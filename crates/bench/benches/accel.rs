@@ -1,0 +1,82 @@
+//! Bench for **Table 5**: the three near-memory accelerated functions
+//! (memcpy, min/max, FFT) against their software baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use contutto_core::accel::block::{BlockAccelDriver, BlockOp, ControlBlock};
+use contutto_core::accel::fft::Complex32;
+use contutto_core::avalon::AvalonBus;
+use contutto_core::memctl::{MemoryController, MemoryKind};
+use contutto_sim::SimTime;
+use contutto_workloads::baseline::SoftwareBaselines;
+
+fn bus() -> AvalonBus {
+    AvalonBus::new(
+        vec![
+            MemoryController::new(MemoryKind::Ddr3Dram, 1 << 30),
+            MemoryController::new(MemoryKind::Ddr3Dram, 1 << 30),
+        ],
+        5,
+    )
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_table5");
+    group.sample_size(10);
+    let size: u64 = 8 << 20;
+    group.bench_function("contutto_memcpy", |b| {
+        b.iter(|| {
+            let mut avalon = bus();
+            BlockAccelDriver
+                .execute(
+                    &mut avalon,
+                    ControlBlock::new(BlockOp::Memcpy { src: 0, dst: 1 << 29, len: size }),
+                    SimTime::ZERO,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("contutto_minmax", |b| {
+        b.iter(|| {
+            let mut avalon = bus();
+            BlockAccelDriver
+                .execute(
+                    &mut avalon,
+                    ControlBlock::new(BlockOp::MinMax { addr: 0, len: size }),
+                    SimTime::ZERO,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("contutto_fft", |b| {
+        b.iter(|| {
+            let mut avalon = bus();
+            BlockAccelDriver
+                .execute(
+                    &mut avalon,
+                    ControlBlock::new(BlockOp::Fft { src: 0, dst: 1 << 29, len: 1 << 20 }),
+                    SimTime::ZERO,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("software_memcpy", |b| {
+        let src = vec![1u8; 1 << 20];
+        let mut dst = vec![0u8; 1 << 20];
+        b.iter(|| SoftwareBaselines.memcpy(&src, &mut dst))
+    });
+    group.bench_function("software_minmax", |b| {
+        let values: Vec<u32> = (0..1 << 18).map(|i| i as u32 * 2654435761u32.wrapping_mul(1)).collect();
+        b.iter(|| SoftwareBaselines.minmax(&values))
+    });
+    group.bench_function("software_fft", |b| {
+        b.iter(|| {
+            let mut samples = vec![Complex32::default(); 8192];
+            SoftwareBaselines.fft_blocks(&mut samples)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

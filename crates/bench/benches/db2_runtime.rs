@@ -1,0 +1,21 @@
+//! Bench for **Table 2**: measured Centaur latencies driving the DB2
+//! BLU 29-query runtime model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use contutto_sim::SimTime;
+use contutto_workloads::db2::Db2Workload;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db2_table2");
+    group.sample_size(10);
+    group.bench_function("full_table2", |b| b.iter(contutto_bench::table2));
+    let workload = Db2Workload::paper_suite();
+    group.bench_function("suite_model_only", |b| {
+        b.iter(|| workload.total_seconds(SimTime::from_ns(249)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

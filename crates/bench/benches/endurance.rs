@@ -1,0 +1,34 @@
+//! Bench for **Figure 8**: the endurance dataset plus a functional
+//! wear-out stress on the flash model (the reason flash cannot live on
+//! the memory bus).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use contutto_memdev::flash::{FlashConfig, NandFlash};
+use contutto_sim::SimTime;
+
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endurance_figure8");
+    group.bench_function("dataset", |b| b.iter(contutto_bench::figure8));
+    group.bench_function("flash_wearout_stress", |b| {
+        b.iter(|| {
+            let cfg = FlashConfig {
+                endurance_cycles: 50,
+                ..FlashConfig::mlc()
+            };
+            let mut flash = NandFlash::new(1 << 20, cfg);
+            let mut cycles = 0u64;
+            loop {
+                if flash.erase_block(SimTime::ZERO, 0).is_err() {
+                    break;
+                }
+                cycles += 1;
+            }
+            cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for **Figures 9 & 10**: FIO random reads/writes per device
+//! and attach point (the memory-bus devices run through the full
+//! simulated DMI stack).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use contutto_storage::blockdev::{mram_contutto_device, PcieCard};
+use contutto_workloads::fio::{FioEngine, FioPattern};
+
+fn engine() -> FioEngine {
+    FioEngine {
+        ops: 16,
+        ..FioEngine::default()
+    }
+}
+
+fn bench_fio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fio_figures9_10");
+    group.sample_size(10);
+    group.bench_function("mram_contutto_randread", |b| {
+        b.iter(|| {
+            let mut dev = mram_contutto_device();
+            engine().run(&mut dev, FioPattern::RandRead)
+        })
+    });
+    group.bench_function("mram_contutto_randwrite", |b| {
+        b.iter(|| {
+            let mut dev = mram_contutto_device();
+            engine().run(&mut dev, FioPattern::RandWrite)
+        })
+    });
+    group.bench_function("nvram_pcie_randread", |b| {
+        b.iter(|| {
+            let mut dev = PcieCard::nvram();
+            engine().run(&mut dev, FioPattern::RandRead)
+        })
+    });
+    group.bench_function("flash_x4_pcie_randread", |b| {
+        b.iter(|| {
+            let mut dev = PcieCard::flash_x4();
+            engine().run(&mut dev, FioPattern::RandRead)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fio);
+criterion_main!(benches);

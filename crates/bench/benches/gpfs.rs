@@ -1,0 +1,27 @@
+//! Bench for **Table 4**: the GPFS write-cache experiment across the
+//! three persistent stores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use contutto_storage::blockdev::{SasHdd, SasSsd};
+use contutto_workloads::gpfs::GpfsExperiment;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpfs_table4");
+    group.sample_size(10);
+    let exp = GpfsExperiment {
+        writes: 16,
+        ..GpfsExperiment::default()
+    };
+    group.bench_function("hdd_direct", |b| {
+        b.iter(|| exp.run_direct(&mut SasHdd::new()))
+    });
+    group.bench_function("ssd_direct", |b| {
+        b.iter(|| exp.run_direct(&mut SasSsd::new()))
+    });
+    group.bench_function("full_table4", |b| b.iter(|| exp.table4()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

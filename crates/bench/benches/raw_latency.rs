@@ -1,0 +1,58 @@
+//! Bench for **Table 3** (and Table 2's latency column): the
+//! dependent-load latency probe across buffer configurations, plus the
+//! full knob sweep as an ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use contutto_bench::{centaur_channel, contutto_channel};
+use contutto_centaur::CentaurConfig;
+use contutto_core::ContuttoConfig;
+use contutto_power8::latency::{LatencyProbe, MeasurementLevel};
+
+fn probe() -> LatencyProbe {
+    LatencyProbe {
+        iterations: 32,
+        ..LatencyProbe::default()
+    }
+}
+
+fn bench_table3_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_latency_probe");
+    group.sample_size(10);
+    group.bench_function("centaur_optimized", |b| {
+        b.iter(|| {
+            let mut ch = centaur_channel(CentaurConfig::optimized());
+            probe().measure(&mut ch, MeasurementLevel::Software)
+        })
+    });
+    group.bench_function("centaur_matched", |b| {
+        b.iter(|| {
+            let mut ch = centaur_channel(CentaurConfig::contutto_matched());
+            probe().measure(&mut ch, MeasurementLevel::Software)
+        })
+    });
+    group.bench_function("contutto_base", |b| {
+        b.iter(|| {
+            let mut ch = contutto_channel(ContuttoConfig::base());
+            probe().measure(&mut ch, MeasurementLevel::Software)
+        })
+    });
+    group.finish();
+}
+
+fn bench_knob_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knob_sweep_ablation");
+    group.sample_size(10);
+    for knob in 0..=7u8 {
+        group.bench_with_input(BenchmarkId::from_parameter(knob), &knob, |b, &knob| {
+            b.iter(|| {
+                let mut ch = contutto_channel(ContuttoConfig::with_knob(knob));
+                probe().measure(&mut ch, MeasurementLevel::Software)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3_configs, bench_knob_sweep);
+criterion_main!(benches);

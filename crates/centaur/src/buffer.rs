@@ -1,0 +1,554 @@
+//! The Centaur buffer chip model.
+//!
+//! Implements [`DmiBuffer`]: parses downstream command/data payloads,
+//! executes reads/writes/RMWs against four DDR ports (line-interleaved
+//! [`Dram`] devices) through the eDRAM cache, and queues upstream
+//! read-data beats and done notifications.
+//!
+//! Timing: each command pays `rx_latency` (PHY + MBI + decode) and any
+//! configured `extra_command_delay` before touching the cache/DRAM,
+//! and `tx_latency` before its response reaches the upstream
+//! serializer. The cache converts DRAM-array time into
+//! `cache_hit_latency` on hits.
+
+use std::collections::{HashMap, VecDeque};
+
+use contutto_dmi::buffer::DmiBuffer;
+use contutto_dmi::command::{CacheLine, Tag, CACHE_LINE_BYTES};
+use contutto_dmi::frame::{
+    line_to_upstream_beats, CommandHeader, DownstreamPayload, LineAssembler, UpstreamPayload,
+};
+use contutto_memdev::{DdrTimings, Dram, MemoryDevice};
+use contutto_sim::SimTime;
+
+use crate::cache::EdramCache;
+use crate::config::CentaurConfig;
+
+/// Number of DDR ports per Centaur (paper §2.1).
+pub const DDR_PORTS: usize = 4;
+
+/// Cumulative Centaur statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CentaurStats {
+    /// Read commands executed.
+    pub reads: u64,
+    /// Write commands executed.
+    pub writes: u64,
+    /// Read-modify-write commands executed.
+    pub rmws: u64,
+    /// Commands Centaur has no hardware for (e.g. ConTutto's flush) —
+    /// completed as no-ops but flagged.
+    pub unsupported: u64,
+    /// Done pairs packed into a single upstream frame.
+    pub coalesced_dones: u64,
+}
+
+#[derive(Debug)]
+struct PendingWrite {
+    header: CommandHeader,
+    assembler: LineAssembler,
+}
+
+/// The Centaur memory-buffer ASIC.
+///
+/// # Example
+///
+/// ```
+/// use contutto_centaur::{Centaur, CentaurConfig};
+/// use contutto_dmi::DmiBuffer;
+///
+/// let c = Centaur::new(CentaurConfig::optimized(), 8 << 30);
+/// assert_eq!(c.name(), "centaur-optimized");
+/// assert!(c.frtl_turnaround().as_ns() < 20);
+/// ```
+#[derive(Debug)]
+pub struct Centaur {
+    cfg: CentaurConfig,
+    cache: EdramCache,
+    ports: Vec<Dram>,
+    port_capacity: u64,
+    pending_writes: HashMap<Tag, PendingWrite>,
+    ready: VecDeque<(SimTime, UpstreamPayload)>,
+    stats: CentaurStats,
+}
+
+impl Centaur {
+    /// Creates a Centaur with `capacity` bytes of DRAM spread over its
+    /// four DDR ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is a positive multiple of
+    /// `4 * 128` bytes.
+    pub fn new(cfg: CentaurConfig, capacity: u64) -> Self {
+        assert!(
+            capacity > 0 && capacity % (DDR_PORTS as u64 * CACHE_LINE_BYTES as u64) == 0,
+            "capacity must be a multiple of ports x line size"
+        );
+        let port_capacity = capacity / DDR_PORTS as u64;
+        let mut cache = EdramCache::centaur();
+        cache.set_prefetch_degree(cfg.prefetch_degree);
+        Centaur {
+            cfg,
+            cache,
+            ports: (0..DDR_PORTS)
+                .map(|_| Dram::new(port_capacity, DdrTimings::ddr3_1600()))
+                .collect(),
+            port_capacity,
+            pending_writes: HashMap::new(),
+            ready: VecDeque::new(),
+            stats: CentaurStats::default(),
+        }
+    }
+
+    /// Total DRAM capacity behind this buffer.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.port_capacity * DDR_PORTS as u64
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CentaurStats {
+        self.stats
+    }
+
+    /// Cache statistics (hits/misses/prefetch fills).
+    pub fn cache(&self) -> &EdramCache {
+        &self.cache
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CentaurConfig {
+        &self.cfg
+    }
+
+    fn route(&self, addr: u64) -> (usize, u64) {
+        let line = addr / CACHE_LINE_BYTES as u64;
+        let port = (line % DDR_PORTS as u64) as usize;
+        let local_line = line / DDR_PORTS as u64;
+        (
+            port,
+            local_line * CACHE_LINE_BYTES as u64 + addr % CACHE_LINE_BYTES as u64,
+        )
+    }
+
+    fn read_line(&mut self, start: SimTime, addr: u64) -> (CacheLine, SimTime) {
+        let (port, local) = self.route(addr);
+        let mut line = CacheLine::ZERO;
+        if self.cfg.cache_enabled && self.cache.access(addr) {
+            self.ports[port].peek(local, &mut line.0);
+            (line, start + self.cfg.cache_hit_latency)
+        } else {
+            let done = self.ports[port].read(start, local, &mut line.0);
+            (line, done)
+        }
+    }
+
+    fn write_line(&mut self, start: SimTime, addr: u64, line: &CacheLine) -> SimTime {
+        let (port, local) = self.route(addr);
+        if self.cfg.cache_enabled {
+            // Write-allocate so subsequent reads hit.
+            self.cache.fill(addr);
+        }
+        self.ports[port].write(start, local, &line.0)
+    }
+
+    fn complete_read(&mut self, start: SimTime, tag: Tag, addr: u64) {
+        self.stats.reads += 1;
+        let (line, data_ready) = self.read_line(start, addr);
+        let respond_at = data_ready + self.cfg.tx_latency;
+        for beat in line_to_upstream_beats(tag, &line) {
+            self.ready.push_back((respond_at, beat));
+        }
+        self.ready.push_back((
+            respond_at,
+            UpstreamPayload::Done {
+                first: tag,
+                second: None,
+            },
+        ));
+    }
+
+    fn complete_write(&mut self, start: SimTime, tag: Tag, header: CommandHeader, line: CacheLine) {
+        let done = match header {
+            CommandHeader::Write { addr } => {
+                self.stats.writes += 1;
+                self.write_line(start, addr, &line)
+            }
+            CommandHeader::Rmw { addr, op } => {
+                self.stats.rmws += 1;
+                let (current, read_done) = self.read_line(start, addr);
+                let merged = op.apply(current, line);
+                self.write_line(read_done, addr, &merged)
+            }
+            _ => unreachable!("only write-class headers carry data"),
+        };
+        self.ready.push_back((
+            done + self.cfg.tx_latency,
+            UpstreamPayload::Done {
+                first: tag,
+                second: None,
+            },
+        ));
+    }
+}
+
+impl DmiBuffer for Centaur {
+    fn push_downstream(&mut self, now: SimTime, payload: DownstreamPayload) {
+        let start = now + self.cfg.rx_latency + self.cfg.extra_command_delay;
+        match payload {
+            DownstreamPayload::Idle | DownstreamPayload::Control(_) => {}
+            DownstreamPayload::Command { tag, header } => match header {
+                CommandHeader::Read { addr } => self.complete_read(start, tag, addr),
+                CommandHeader::Write { .. } | CommandHeader::Rmw { .. } => {
+                    self.pending_writes.insert(
+                        tag,
+                        PendingWrite {
+                            header,
+                            assembler: LineAssembler::downstream(),
+                        },
+                    );
+                }
+                CommandHeader::Flush => {
+                    // Paper §4.2: "this functionality does not exist in
+                    // the Centaur ASIC". Complete as a no-op, flagged.
+                    self.stats.unsupported += 1;
+                    self.ready.push_back((
+                        start + self.cfg.tx_latency,
+                        UpstreamPayload::Done {
+                            first: tag,
+                            second: None,
+                        },
+                    ));
+                }
+            },
+            DownstreamPayload::WriteData { tag, beat, data } => {
+                let complete = match self.pending_writes.get_mut(&tag) {
+                    Some(pending) => pending.assembler.add_beat(beat, &data),
+                    None => {
+                        // Data for an unknown tag: protocol violation
+                        // upstream of us; drop and flag.
+                        self.stats.unsupported += 1;
+                        false
+                    }
+                };
+                if complete {
+                    let pending = self.pending_writes.remove(&tag).expect("checked above");
+                    let line = pending.assembler.into_line();
+                    self.complete_write(start, tag, pending.header, line);
+                }
+            }
+        }
+    }
+
+    fn pull_upstream(&mut self, now: SimTime) -> Option<UpstreamPayload> {
+        let ready_now = matches!(self.ready.front(), Some((t, _)) if *t <= now);
+        if !ready_now {
+            return None;
+        }
+        let (_, first) = self.ready.pop_front().expect("checked non-empty");
+        // Pack two ready dones into one frame, as the upstream format
+        // allows (paper §3.3(iii)).
+        if let UpstreamPayload::Done {
+            first: tag_a,
+            second: None,
+        } = first
+        {
+            if let Some((t, UpstreamPayload::Done { second: None, .. })) = self.ready.front() {
+                if *t <= now {
+                    if let Some((_, UpstreamPayload::Done { first: tag_b, .. })) =
+                        self.ready.pop_front()
+                    {
+                        self.stats.coalesced_dones += 1;
+                        return Some(UpstreamPayload::Done {
+                            first: tag_a,
+                            second: Some(tag_b),
+                        });
+                    }
+                }
+            }
+            return Some(first);
+        }
+        Some(first)
+    }
+
+    fn frtl_turnaround(&self) -> SimTime {
+        self.cfg.rx_latency + self.cfg.tx_latency
+    }
+
+    fn name(&self) -> &str {
+        self.cfg.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contutto_dmi::command::RmwOp;
+    use contutto_dmi::frame::line_to_downstream_beats;
+
+    fn t(n: u8) -> Tag {
+        Tag::new(n).unwrap()
+    }
+
+    fn centaur() -> Centaur {
+        Centaur::new(CentaurConfig::optimized(), 1 << 30)
+    }
+
+    /// Pushes a full write (command + 8 beats) starting at `now`, one
+    /// beat per 2 ns frame slot. Returns the last push time.
+    fn push_write(c: &mut Centaur, now: SimTime, tag: Tag, addr: u64, line: &CacheLine) -> SimTime {
+        c.push_downstream(
+            now,
+            DownstreamPayload::Command {
+                tag,
+                header: CommandHeader::Write { addr },
+            },
+        );
+        let mut at = now;
+        for (i, beat) in line_to_downstream_beats(tag, line).into_iter().enumerate() {
+            at = now + SimTime::from_ns(2) * (i as u64 + 1);
+            c.push_downstream(at, beat);
+        }
+        at
+    }
+
+    fn drain_all(c: &mut Centaur, until: SimTime) -> Vec<(SimTime, UpstreamPayload)> {
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        while now <= until {
+            while let Some(p) = c.pull_upstream(now) {
+                out.push((now, p));
+            }
+            now += SimTime::from_ns(2);
+        }
+        out
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut c = centaur();
+        let line = CacheLine::patterned(42);
+        let end = push_write(&mut c, SimTime::ZERO, t(0), 0x8000, &line);
+        // Drain the write's done.
+        let resp = drain_all(&mut c, end + SimTime::from_us(1));
+        assert!(matches!(resp.last().unwrap().1, UpstreamPayload::Done { first, .. } if first == t(0)));
+
+        c.push_downstream(
+            SimTime::from_us(2),
+            DownstreamPayload::Command {
+                tag: t(1),
+                header: CommandHeader::Read { addr: 0x8000 },
+            },
+        );
+        let resp = drain_all(&mut c, SimTime::from_us(3));
+        let mut asm = LineAssembler::upstream();
+        let mut saw_done = false;
+        for (_, p) in resp {
+            match p {
+                UpstreamPayload::ReadData { tag, beat, data } => {
+                    assert_eq!(tag, t(1));
+                    asm.add_beat(beat, &data);
+                }
+                UpstreamPayload::Done { first, .. } => {
+                    assert_eq!(first, t(1));
+                    saw_done = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_done);
+        assert_eq!(asm.into_line(), line);
+        assert_eq!(c.stats().writes, 1);
+        assert_eq!(c.stats().reads, 1);
+    }
+
+    #[test]
+    fn read_beats_precede_done_and_are_contiguous() {
+        let mut c = centaur();
+        c.push_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: t(5),
+                header: CommandHeader::Read { addr: 0 },
+            },
+        );
+        let resp = drain_all(&mut c, SimTime::from_us(1));
+        let kinds: Vec<u8> = resp
+            .iter()
+            .map(|(_, p)| match p {
+                UpstreamPayload::ReadData { .. } => 1,
+                UpstreamPayload::Done { .. } => 2,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(kinds, vec![1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn rmw_merges_previous_contents() {
+        let mut c = centaur();
+        let mut base = CacheLine::ZERO;
+        base.set_word(0, 100);
+        push_write(&mut c, SimTime::ZERO, t(0), 0, &base);
+        let mut addend = CacheLine::ZERO;
+        addend.set_word(0, 11);
+        // RMW atomic-add.
+        c.push_downstream(
+            SimTime::from_us(1),
+            DownstreamPayload::Command {
+                tag: t(1),
+                header: CommandHeader::Rmw {
+                    addr: 0,
+                    op: RmwOp::AtomicAdd,
+                },
+            },
+        );
+        for (i, beat) in line_to_downstream_beats(t(1), &addend).into_iter().enumerate() {
+            c.push_downstream(SimTime::from_us(1) + SimTime::from_ns(2) * (i as u64 + 1), beat);
+        }
+        drain_all(&mut c, SimTime::from_us(2));
+        // Read back.
+        c.push_downstream(
+            SimTime::from_us(3),
+            DownstreamPayload::Command {
+                tag: t(2),
+                header: CommandHeader::Read { addr: 0 },
+            },
+        );
+        let resp = drain_all(&mut c, SimTime::from_us(4));
+        let mut asm = LineAssembler::upstream();
+        for (_, p) in resp {
+            if let UpstreamPayload::ReadData { beat, data, .. } = p {
+                asm.add_beat(beat, &data);
+            }
+        }
+        assert_eq!(asm.into_line().word(0), 111);
+        assert_eq!(c.stats().rmws, 1);
+    }
+
+    #[test]
+    fn cache_hit_is_faster_than_miss() {
+        let mut c = centaur();
+        // Cold read (miss).
+        c.push_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: t(0),
+                header: CommandHeader::Read { addr: 0x10000 },
+            },
+        );
+        let cold = drain_all(&mut c, SimTime::from_us(1));
+        let cold_done = cold.last().unwrap().0;
+        // Warm read (hit) — same line.
+        let issue = SimTime::from_us(10);
+        c.push_downstream(
+            issue,
+            DownstreamPayload::Command {
+                tag: t(1),
+                header: CommandHeader::Read { addr: 0x10000 },
+            },
+        );
+        let mut warm_done = SimTime::ZERO;
+        let mut now = issue;
+        while now < issue + SimTime::from_us(1) {
+            while let Some(p) = c.pull_upstream(now) {
+                if matches!(p, UpstreamPayload::Done { .. }) {
+                    warm_done = now;
+                }
+            }
+            now += SimTime::from_ns(2);
+        }
+        let cold_lat = cold_done;
+        let warm_lat = warm_done - issue;
+        assert!(warm_lat < cold_lat, "warm {warm_lat} !< cold {cold_lat}");
+        assert_eq!(c.cache().hits(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = Centaur::new(CentaurConfig::contutto_matched(), 1 << 30);
+        for i in 0..3 {
+            c.push_downstream(
+                SimTime::from_us(i),
+                DownstreamPayload::Command {
+                    tag: t(i as u8),
+                    header: CommandHeader::Read { addr: 0x4000 },
+                },
+            );
+        }
+        drain_all(&mut c, SimTime::from_us(10));
+        assert_eq!(c.cache().hits(), 0);
+        assert_eq!(c.stats().reads, 3);
+    }
+
+    #[test]
+    fn flush_is_unsupported_but_completes() {
+        let mut c = centaur();
+        c.push_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: t(9),
+                header: CommandHeader::Flush,
+            },
+        );
+        let resp = drain_all(&mut c, SimTime::from_us(1));
+        assert!(matches!(resp[0].1, UpstreamPayload::Done { first, .. } if first == t(9)));
+        assert_eq!(c.stats().unsupported, 1);
+    }
+
+    #[test]
+    fn lines_interleave_across_ports() {
+        let c = centaur();
+        let (p0, _) = c.route(0);
+        let (p1, _) = c.route(128);
+        let (p2, _) = c.route(256);
+        let (p3, _) = c.route(384);
+        let (p4, l4) = c.route(512);
+        assert_eq!((p0, p1, p2, p3, p4), (0, 1, 2, 3, 0));
+        assert_eq!(l4, 128); // second line of port 0
+    }
+
+    #[test]
+    fn slower_config_has_higher_latency() {
+        let run = |cfg: CentaurConfig| {
+            let mut c = Centaur::new(cfg, 1 << 30);
+            c.push_downstream(
+                SimTime::ZERO,
+                DownstreamPayload::Command {
+                    tag: t(0),
+                    header: CommandHeader::Read { addr: 0x2000 },
+                },
+            );
+            drain_all(&mut c, SimTime::from_us(2)).last().unwrap().0
+        };
+        let fast = run(CentaurConfig::optimized());
+        let slow = run(CentaurConfig::serialized());
+        assert!(slow > fast + SimTime::from_ns(150), "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn simultaneous_dones_coalesce() {
+        let mut c = centaur();
+        let l = CacheLine::patterned(1);
+        push_write(&mut c, SimTime::ZERO, t(0), 0, &l);
+        push_write(&mut c, SimTime::ZERO, t(1), 128, &l);
+        let resp = drain_all(&mut c, SimTime::from_us(2));
+        let dones: Vec<_> = resp
+            .iter()
+            .filter_map(|(_, p)| match p {
+                UpstreamPayload::Done { first, second } => Some((*first, *second)),
+                _ => None,
+            })
+            .collect();
+        // Different DDR ports complete near-simultaneously: one frame.
+        assert_eq!(dones.len(), 1, "{dones:?}");
+        assert!(dones[0].1.is_some());
+        assert_eq!(c.stats().coalesced_dones, 1);
+    }
+
+    #[test]
+    fn frtl_turnaround_matches_config() {
+        let c = centaur();
+        assert_eq!(c.frtl_turnaround(), SimTime::from_ns(11));
+    }
+}

@@ -1,0 +1,255 @@
+//! The Centaur 16 MB eDRAM cache model.
+//!
+//! A memory-side cache: it holds 128-byte lines, is set-associative
+//! with LRU replacement, and includes a simple sequential prefetcher
+//! (paper §2.1: the buffer contains "16 MB on-board cache to support
+//! prefetching"). The cache is a *timing* structure — data remains
+//! authoritative in DRAM (the model writes through), so the cache only
+//! decides whether an access pays DRAM latency.
+
+/// A set-associative tag array with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct EdramCache {
+    sets: Vec<Vec<CacheWay>>,
+    ways: usize,
+    line_bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    prefetch_degree: u64,
+    prefetch_fills: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheWay {
+    valid: bool,
+    tag: u64,
+    last_used: u64,
+}
+
+impl EdramCache {
+    /// Creates a cache of `capacity` bytes with `ways`-way sets and
+    /// 128-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity is a positive multiple of
+    /// `ways * line size`.
+    pub fn new(capacity: u64, ways: usize) -> Self {
+        let line_bytes = 128u64;
+        assert!(ways > 0, "need at least one way");
+        let set_bytes = line_bytes * ways as u64;
+        assert!(
+            capacity > 0 && capacity % set_bytes == 0,
+            "capacity must be a multiple of way count x line size"
+        );
+        let num_sets = (capacity / set_bytes) as usize;
+        EdramCache {
+            sets: vec![vec![CacheWay::default(); ways]; num_sets],
+            ways,
+            line_bytes,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            prefetch_degree: 2,
+            prefetch_fills: 0,
+        }
+    }
+
+    /// The paper's Centaur cache: 16 MB, 8-way.
+    pub fn centaur() -> Self {
+        EdramCache::new(16 << 20, 8)
+    }
+
+    /// Sets the sequential-prefetch degree (0 disables prefetch).
+    pub fn set_prefetch_degree(&mut self, degree: u64) {
+        self.prefetch_degree = degree;
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+    }
+
+    /// Looks up `addr`; on miss, fills the line and (if enabled)
+    /// prefetches the next lines. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let hit = self.probe_and_touch(addr);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.fill(addr);
+            for i in 1..=self.prefetch_degree {
+                let pf = addr + i * self.line_bytes;
+                if !self.probe_and_touch(pf) {
+                    self.fill(pf);
+                    self.prefetch_fills += 1;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Probes without filling (no stats side effects beyond LRU touch).
+    fn probe_and_touch(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let tick = self.tick;
+        for way in &mut self.sets[set_idx] {
+            if way.valid && way.tag == tag {
+                way.last_used = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checks residency without any side effects.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Installs a line, evicting LRU if needed.
+    pub fn fill(&mut self, addr: u64) {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        // Already resident?
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_used = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_used } else { 0 })
+            .expect("nonzero ways");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.last_used = tick;
+    }
+
+    /// Invalidates the whole cache.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.valid = false;
+            }
+        }
+    }
+
+    /// Demand hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lines installed by the prefetcher.
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
+    /// Hit rate over demand accesses (0 when no accesses yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Cache capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets.len() as u64 * self.ways as u64 * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centaur_geometry() {
+        let c = EdramCache::centaur();
+        assert_eq!(c.capacity_bytes(), 16 << 20);
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = EdramCache::new(16 << 10, 4);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn sequential_prefetch_turns_misses_into_hits() {
+        let mut c = EdramCache::new(16 << 10, 4);
+        c.set_prefetch_degree(2);
+        assert!(!c.access(0)); // miss, prefetches lines 1 and 2
+        assert!(c.access(128)); // prefetched
+        assert!(c.access(256)); // prefetched
+        assert!(c.prefetch_fills() >= 2);
+    }
+
+    #[test]
+    fn prefetch_disabled_means_all_cold_misses() {
+        let mut c = EdramCache::new(16 << 10, 4);
+        c.set_prefetch_degree(0);
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set x 2 ways: third distinct line evicts the LRU.
+        let mut c = EdramCache::new(256, 2);
+        c.set_prefetch_degree(0);
+        c.access(0); // set 0
+        c.access(256); // same set (1 set total), way 2
+        c.access(0); // touch line 0 (now MRU)
+        c.access(512); // evicts line 256
+        assert!(c.contains(0));
+        assert!(!c.contains(256));
+        assert!(c.contains(512));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = EdramCache::new(16 << 10, 4); // 16 KiB
+        c.set_prefetch_degree(0);
+        // Stream 1 MiB twice: no reuse fits.
+        for pass in 0..2 {
+            for addr in (0..(1 << 20)).step_by(128) {
+                c.access(addr as u64);
+            }
+            if pass == 0 {
+                assert_eq!(c.hits(), 0);
+            }
+        }
+        assert!(c.hit_rate() < 0.01, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn invalidate_all_flushes() {
+        let mut c = EdramCache::new(16 << 10, 4);
+        c.access(0);
+        assert!(c.contains(0));
+        c.invalidate_all();
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn geometry_validation() {
+        let _ = EdramCache::new(1000, 4);
+    }
+}

@@ -1,0 +1,346 @@
+//! The FFT engine: a real radix-2 decimation-in-time FFT over
+//! complex 32-bit floating-point samples, plus the pipelined
+//! accelerator bank that the Access processor streams blocks through.
+//!
+//! Paper §4.3, Table 5(iii): "Calculation of 1024-point FFTs based on
+//! 8B complex 32-bit floating point samples ... The FFTs are
+//! calculated in parallel on multiple FFT accelerators, in such way
+//! that, through appropriate scheduling by the Access processor, the
+//! sample and result transfers between a given accelerator and the
+//! DIMMs are overlapped with computation on the other accelerators."
+
+use contutto_sim::SimTime;
+
+use crate::access::StreamAccelerator;
+
+/// A complex sample: two 32-bit floats (8 bytes — the paper's format).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// Creates a complex number.
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    fn mul(self, other: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    fn sub(self, other: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// Parses from 8 little-endian bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Complex32 {
+            re: f32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")),
+            im: f32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+        }
+    }
+
+    /// Serializes to 8 little-endian bytes.
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[0..4].copy_from_slice(&self.re.to_le_bytes());
+        out[4..8].copy_from_slice(&self.im.to_le_bytes());
+        out
+    }
+}
+
+/// In-place radix-2 DIT FFT.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn fft_in_place(data: &mut [Complex32]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex32::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex32::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// 1024-point FFT (the paper's kernel size).
+///
+/// # Panics
+///
+/// Panics unless `data.len() == 1024`.
+pub fn fft_1024(data: &mut [Complex32]) {
+    assert_eq!(data.len(), 1024, "kernel is 1024-point");
+    fft_in_place(data);
+}
+
+/// Reference O(n²) DFT for correctness checks.
+pub fn dft_reference(input: &[Complex32]) -> Vec<Complex32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex32::default();
+            for (j, x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f32::consts::PI * (k * j) as f32 / n as f32;
+                acc = acc.add(x.mul(Complex32::new(ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Samples per FFT block.
+pub const FFT_POINTS: usize = 1024;
+/// Bytes per FFT block (1024 × 8 B).
+pub const FFT_BLOCK_BYTES: usize = FFT_POINTS * 8;
+
+/// A bank of pipelined FFT accelerator units.
+///
+/// Each unit processes one 1024-point block in `1024` fabric cycles
+/// (one sample per cycle at 250 MHz ⇒ 250 Msamples/s per unit); the
+/// bank dispatches incoming blocks to the least-busy unit so transfer
+/// and compute overlap across units, as the paper describes.
+#[derive(Debug)]
+pub struct FftBank {
+    unit_free: Vec<SimTime>,
+    results: Vec<u8>,
+    blocks_done: u64,
+    leftover: Vec<u8>,
+}
+
+/// Compute time for one 1024-point block at one sample/cycle, 250 MHz.
+const BLOCK_COMPUTE: SimTime = SimTime::from_ns(4096);
+
+impl FftBank {
+    /// Creates a bank of `units` pipelined FFT engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn new(units: usize) -> Self {
+        assert!(units > 0, "need at least one FFT unit");
+        FftBank {
+            unit_free: vec![SimTime::ZERO; units],
+            results: Vec::new(),
+            blocks_done: 0,
+            leftover: Vec::new(),
+        }
+    }
+
+    /// Blocks transformed so far.
+    pub fn blocks_done(&self) -> u64 {
+        self.blocks_done
+    }
+
+    /// Drains the accumulated transformed blocks.
+    pub fn take_results(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+impl StreamAccelerator for FftBank {
+    fn consume(&mut self, start: SimTime, data: &[u8]) -> SimTime {
+        // Accumulate stream bytes into whole 8 KiB blocks.
+        self.leftover.extend_from_slice(data);
+        let mut last_done = start;
+        while self.leftover.len() >= FFT_BLOCK_BYTES {
+            let block: Vec<u8> = self.leftover.drain(..FFT_BLOCK_BYTES).collect();
+            let mut samples: Vec<Complex32> = block
+                .chunks_exact(8)
+                .map(Complex32::from_bytes)
+                .collect();
+            fft_in_place(&mut samples);
+            for s in &samples {
+                self.results.extend_from_slice(&s.to_bytes());
+            }
+            self.blocks_done += 1;
+            // Dispatch to the least-busy unit.
+            let unit = self
+                .unit_free
+                .iter_mut()
+                .min_by_key(|t| t.as_ps())
+                .expect("nonzero units");
+            let begin = start.max(*unit);
+            *unit = begin + BLOCK_COMPUTE;
+            last_done = last_done.max(*unit);
+        }
+        last_done
+    }
+
+    fn produce(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.results.len());
+        out[..n].copy_from_slice(&self.results[..n]);
+        self.results.drain(..n);
+        n
+    }
+
+    fn name(&self) -> &str {
+        "fft-bank"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32, tol: f32) -> bool {
+        (a.re - b.re).abs() <= tol && (a.im - b.im).abs() <= tol
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        let input: Vec<Complex32> = (0..64)
+            .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let reference = dft_reference(&input);
+        let mut fast = input.clone();
+        fft_in_place(&mut fast);
+        for (f, r) in fast.iter().zip(&reference) {
+            assert!(close(*f, *r, 1e-3), "fft {f:?} vs dft {r:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex32::default(); 1024];
+        data[0] = Complex32::new(1.0, 0.0);
+        fft_1024(&mut data);
+        for bin in &data {
+            assert!(close(*bin, Complex32::new(1.0, 0.0), 1e-4));
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_in_one_bin() {
+        let n = 1024;
+        let freq = 37;
+        let mut data: Vec<Complex32> = (0..n)
+            .map(|i| {
+                let ang = 2.0 * std::f32::consts::PI * (freq * i) as f32 / n as f32;
+                Complex32::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        fft_1024(&mut data);
+        let peak = data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, freq);
+        assert!(data[freq].abs() > 1000.0);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let input: Vec<Complex32> = (0..256)
+            .map(|i| Complex32::new((i as f32).sin(), 0.2 * (i as f32).cos()))
+            .collect();
+        let time_energy: f32 = input.iter().map(|c| c.abs() * c.abs()).sum();
+        let mut freq = input.clone();
+        fft_in_place(&mut freq);
+        let freq_energy: f32 = freq.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / 256.0;
+        assert!(
+            (time_energy - freq_energy).abs() / time_energy < 1e-3,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = Complex32::new(1.5, -2.25);
+        assert_eq!(Complex32::from_bytes(&c.to_bytes()), c);
+    }
+
+    #[test]
+    fn bank_transforms_streamed_blocks() {
+        let mut bank = FftBank::new(4);
+        let mut block = vec![0u8; FFT_BLOCK_BYTES];
+        block[0..8].copy_from_slice(&Complex32::new(1.0, 0.0).to_bytes()); // impulse
+        let done = bank.consume(SimTime::ZERO, &block);
+        assert_eq!(bank.blocks_done(), 1);
+        assert_eq!(done, BLOCK_COMPUTE);
+        let results = bank.take_results();
+        assert_eq!(results.len(), FFT_BLOCK_BYTES);
+        let first = Complex32::from_bytes(&results[0..8]);
+        assert!(close(first, Complex32::new(1.0, 0.0), 1e-4));
+    }
+
+    #[test]
+    fn bank_units_overlap_compute() {
+        // 4 blocks into 4 units at the same start: all finish together.
+        let mut bank4 = FftBank::new(4);
+        let blocks = vec![0u8; FFT_BLOCK_BYTES * 4];
+        let done4 = bank4.consume(SimTime::ZERO, &blocks);
+        assert_eq!(done4, BLOCK_COMPUTE);
+        // Same 4 blocks into 1 unit: serialized.
+        let mut bank1 = FftBank::new(1);
+        let done1 = bank1.consume(SimTime::ZERO, &blocks);
+        assert_eq!(done1, BLOCK_COMPUTE * 4);
+    }
+
+    #[test]
+    fn partial_stream_chunks_accumulate() {
+        let mut bank = FftBank::new(1);
+        let block = vec![0u8; FFT_BLOCK_BYTES];
+        bank.consume(SimTime::ZERO, &block[..1000]);
+        assert_eq!(bank.blocks_done(), 0);
+        bank.consume(SimTime::ZERO, &block[1000..]);
+        assert_eq!(bank.blocks_done(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex32::default(); 100];
+        fft_in_place(&mut data);
+    }
+}

@@ -1,0 +1,94 @@
+//! In-line acceleration command builders (paper Figure 11).
+//!
+//! "acceleration tasks, identified using special load/store
+//! instructions, can be handled by command engines augmented to
+//! perform special operations ... (e.g. min-store, max-store,
+//! conditional swap etc.) as part of the regular ConTutto pipeline.
+//! Since the accelerator is in-line with the main ConTutto pipeline,
+//! it has access to the upstream DMI channel and can send direct
+//! response to the processor without the need for the processor to
+//! poll."
+//!
+//! The operations themselves execute in the MBS's shared ALU (see
+//! [`contutto_dmi::command::RmwOp`] and
+//! [`crate::mbs::MbsLogic`]); this module provides the command
+//! constructors the processor-side software uses, plus the host-side
+//! cost model showing why one round trip beats the software
+//! read-compute-write sequence.
+
+use contutto_dmi::command::{CacheLine, CommandOp, MemCommand, RmwOp, Tag};
+
+/// Builds a min-store command: each 64-bit word of the target line
+/// becomes `min(old, new)` atomically at the buffer.
+pub fn min_store_command(tag: Tag, addr: u64, operand: CacheLine) -> MemCommand {
+    MemCommand {
+        tag,
+        op: CommandOp::Rmw {
+            addr,
+            op: RmwOp::MinStore,
+            data: operand,
+        },
+    }
+}
+
+/// Builds a max-store command.
+pub fn max_store_command(tag: Tag, addr: u64, operand: CacheLine) -> MemCommand {
+    MemCommand {
+        tag,
+        op: CommandOp::Rmw {
+            addr,
+            op: RmwOp::MaxStore,
+            data: operand,
+        },
+    }
+}
+
+/// Builds a conditional-swap command: the line is replaced by
+/// `operand` iff word 0 matches `operand`'s word 0.
+pub fn conditional_swap_command(tag: Tag, addr: u64, operand: CacheLine) -> MemCommand {
+    MemCommand {
+        tag,
+        op: CommandOp::Rmw {
+            addr,
+            op: RmwOp::ConditionalSwap,
+            data: operand,
+        },
+    }
+}
+
+/// Round trips the software equivalent needs for one atomic update
+/// without in-line acceleration: read + (compute) + write, and the
+/// line is unprotected in between (requiring a lock or retry loop on
+/// a real system — one more trip).
+pub const SOFTWARE_ROUND_TRIPS: u32 = 2;
+/// Round trips with in-line acceleration: the single RMW command.
+pub const INLINE_ROUND_TRIPS: u32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tag {
+        Tag::new(4).unwrap()
+    }
+
+    #[test]
+    fn builders_produce_fpga_extension_ops() {
+        let line = CacheLine::patterned(1);
+        for cmd in [
+            min_store_command(t(), 0x100, line),
+            max_store_command(t(), 0x100, line),
+            conditional_swap_command(t(), 0x100, line),
+        ] {
+            assert!(cmd.op.is_fpga_extension());
+            assert_eq!(cmd.op.addr(), Some(0x100));
+            assert!(cmd.op.carries_write_data());
+            assert_eq!(cmd.tag, t());
+        }
+    }
+
+    #[test]
+    fn inline_halves_round_trips() {
+        assert!(INLINE_ROUND_TRIPS < SOFTWARE_ROUND_TRIPS);
+    }
+}

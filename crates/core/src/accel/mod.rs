@@ -1,0 +1,25 @@
+//! Near-memory acceleration (paper §4.3).
+//!
+//! Two attachment styles from the paper:
+//!
+//! * **In-line acceleration** (Figure 11): special load/store commands
+//!   handled by augmented command engines in the regular ConTutto
+//!   pipeline — min-store, max-store, conditional swap. These are
+//!   implemented in the MBS via [`contutto_dmi::command::RmwOp`];
+//!   [`inline`] provides the command builders and documentation.
+//! * **Block acceleration** (Figure 12): the accelerator appears as a
+//!   memory-mapped region; the processor sends a control block
+//!   describing the task, the [`crate::access::AccessProcessor`]
+//!   streams data between the DIMMs and the accelerator, and
+//!   completion status is written back into the control block.
+//!   [`block`] implements the driver and the three accelerated
+//!   functions of Table 5 (memcpy, min/max, FFT); [`fft`] holds the
+//!   actual radix-2 FFT engine.
+
+pub mod block;
+pub mod fft;
+pub mod inline;
+
+pub use block::{BlockAccelDriver, BlockOp, ControlBlock, ControlBlockStatus};
+pub use fft::{fft_1024, Complex32, FftBank};
+pub use inline::{conditional_swap_command, max_store_command, min_store_command};

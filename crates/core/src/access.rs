@@ -1,0 +1,964 @@
+//! The Access processor.
+//!
+//! Paper §4.3: "we use a programmable component called Access
+//! processor to arbitrate and schedule the load and store instructions
+//! to the DDR3 DIMMs, thereby supporting various schemes for
+//! allocating and distributing the available memory bandwidth between
+//! the POWER8 and the individual accelerators. The Access processor
+//! also includes a programmable address mapping scheme ... can
+//! optionally issue load and store instructions to the DIMMs,
+//! including address generation, on behalf of the attached
+//! accelerators ... is programmed by loading pre-compiled executable
+//! code ... has been designed as a programmable state machine ... and
+//! supports multithreading."
+//!
+//! The paper defers the ISA details to a future paper; the ISA here is
+//! a faithful-in-spirit reconstruction: a register machine with block
+//! load/store instructions that stream data between the DIMM ports and
+//! stream accelerators, loops, and a fence. Programs are written in a
+//! tiny assembly ([`assemble`]) and executed by the multithreaded
+//! interpreter, which models the access path's bandwidth:
+//! **10–12 GB/s combined for loads and stores** across the two DIMM
+//! ports, as measured in the paper's experiments.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use contutto_sim::SimTime;
+
+use crate::avalon::AvalonBus;
+
+/// Number of general-purpose registers per thread.
+pub const NUM_REGS: usize = 16;
+
+/// Transfer chunk granularity of the streaming engine.
+pub const CHUNK_BYTES: u64 = 64 * 1024;
+
+/// A register index (0..16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    fn idx(self) -> usize {
+        assert!((self.0 as usize) < NUM_REGS, "register out of range");
+        self.0 as usize
+    }
+}
+
+/// Access-processor instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insn {
+    /// `set rD, imm` — load an immediate.
+    SetImm(Reg, u64),
+    /// `add rD, rA, rB` — integer add.
+    Add(Reg, Reg, Reg),
+    /// `addi rD, rA, imm` — add immediate (may be negative).
+    AddImm(Reg, Reg, i64),
+    /// `mul rD, rA, rB` — integer multiply, wrapping (address
+    /// generation: `tid * stripe`).
+    Mul(Reg, Reg, Reg),
+    /// `shl rD, rA, imm` — logical shift left.
+    Shl(Reg, Reg, u8),
+    /// `load rA, rL, sink` — stream `rL` bytes from DIMM address `rA`
+    /// into stream sink `sink` (an accelerator, or sink 255 = discard).
+    LoadBlock(Reg, Reg, u8),
+    /// `store rA, rL, src` — stream `rL` bytes from stream source
+    /// `src` (an accelerator's output, or 255 = zeros) to DIMM
+    /// address `rA`.
+    StoreBlock(Reg, Reg, u8),
+    /// `copy rS, rD, rL` — DIMM-to-DIMM block copy (load + store
+    /// fused; both directions consume access bandwidth).
+    Copy(Reg, Reg, Reg),
+    /// `bnz rC, off` — branch by `off` instructions if `rC != 0`.
+    BranchNz(Reg, i32),
+    /// `fence` — wait for all outstanding transfers and accelerator
+    /// compute to drain.
+    Fence,
+    /// `halt` — end this thread.
+    Halt,
+}
+
+/// A stream-processing accelerator attached behind the Access
+/// processor (min/max, FFT, ... — paper Figure 12).
+pub trait StreamAccelerator {
+    /// Consumes a chunk streamed from memory starting at `start`;
+    /// returns when its pipeline has absorbed it.
+    fn consume(&mut self, start: SimTime, data: &[u8]) -> SimTime;
+
+    /// Produces up to `len` bytes of output into `out`; returns bytes
+    /// produced. Called by `store` instructions sourcing from this
+    /// accelerator.
+    fn produce(&mut self, out: &mut [u8]) -> usize;
+
+    /// Accelerator name.
+    fn name(&self) -> &str;
+}
+
+/// Errors from program assembly or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// Unknown mnemonic or malformed operand.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// Branch target outside the program.
+    BadBranch {
+        /// Instruction index of the branch.
+        at: usize,
+    },
+    /// A load/store named a sink/source with no attached accelerator.
+    NoSuchAccelerator(u8),
+    /// Thread executed its instruction budget without halting.
+    Runaway,
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Parse { line, what } => write!(f, "parse error on line {line}: {what}"),
+            AccessError::BadBranch { at } => write!(f, "branch out of range at insn {at}"),
+            AccessError::NoSuchAccelerator(id) => write!(f, "no accelerator with id {id}"),
+            AccessError::Runaway => write!(f, "program exceeded instruction budget"),
+        }
+    }
+}
+
+impl Error for AccessError {}
+
+/// Assembles the textual form into instructions.
+///
+/// Syntax (one instruction per line, `;` comments):
+///
+/// ```text
+/// set   r1, 0x1000      ; r1 = source address
+/// set   r2, 65536       ; r2 = length
+/// load  r1, r2, 0       ; stream to accelerator 0
+/// addi  r1, r1, 65536
+/// addi  r3, r3, -1
+/// bnz   r3, -4
+/// fence
+/// halt
+/// ```
+///
+/// # Errors
+///
+/// [`AccessError::Parse`] with the offending line.
+pub fn assemble(src: &str) -> Result<Vec<Insn>, AccessError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| AccessError::Parse {
+            line: lineno + 1,
+            what: what.to_string(),
+        };
+        let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let ops: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reg = |s: &str| -> Result<Reg, AccessError> {
+            s.strip_prefix('r')
+                .and_then(|n| n.parse::<u8>().ok())
+                .filter(|n| (*n as usize) < NUM_REGS)
+                .map(Reg)
+                .ok_or_else(|| err("bad register"))
+        };
+        let imm_u = |s: &str| -> Result<u64, AccessError> {
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse::<u64>().ok()
+            };
+            parsed.ok_or_else(|| err("bad immediate"))
+        };
+        let imm_i = |s: &str| -> Result<i64, AccessError> {
+            s.parse::<i64>().map_err(|_| err("bad signed immediate"))
+        };
+        let insn = match mnemonic {
+            "set" if ops.len() == 2 => Insn::SetImm(reg(ops[0])?, imm_u(ops[1])?),
+            "add" if ops.len() == 3 => Insn::Add(reg(ops[0])?, reg(ops[1])?, reg(ops[2])?),
+            "addi" if ops.len() == 3 => Insn::AddImm(reg(ops[0])?, reg(ops[1])?, imm_i(ops[2])?),
+            "mul" if ops.len() == 3 => Insn::Mul(reg(ops[0])?, reg(ops[1])?, reg(ops[2])?),
+            "shl" if ops.len() == 3 => Insn::Shl(reg(ops[0])?, reg(ops[1])?, imm_u(ops[2])? as u8),
+            "load" if ops.len() == 3 => {
+                Insn::LoadBlock(reg(ops[0])?, reg(ops[1])?, imm_u(ops[2])? as u8)
+            }
+            "store" if ops.len() == 3 => {
+                Insn::StoreBlock(reg(ops[0])?, reg(ops[1])?, imm_u(ops[2])? as u8)
+            }
+            "copy" if ops.len() == 3 => Insn::Copy(reg(ops[0])?, reg(ops[1])?, reg(ops[2])?),
+            "bnz" if ops.len() == 2 => {
+                Insn::BranchNz(reg(ops[0])?, imm_i(ops[1])? as i32)
+            }
+            "fence" if ops.is_empty() => Insn::Fence,
+            "halt" if ops.is_empty() => Insn::Halt,
+            _ => return Err(err("unknown mnemonic or wrong operand count")),
+        };
+        out.push(insn);
+    }
+    Ok(out)
+}
+
+/// Fixed instruction-word size of the stored program format.
+pub const INSN_BYTES: usize = 12;
+
+/// Encodes one instruction into the 12-byte stored format the Access
+/// processor loads from the DIMMs (paper §4.3: "programmed by loading
+/// pre-compiled executable code that is retrieved from the DDR3 DIMMs
+/// into an internal instruction memory").
+pub fn encode(insn: Insn) -> [u8; INSN_BYTES] {
+    let mut out = [0u8; INSN_BYTES];
+    let (op, r0, r1, r2, imm): (u8, u8, u8, u8, u64) = match insn {
+        Insn::SetImm(d, v) => (0, d.0, 0, 0, v),
+        Insn::Add(d, a, b) => (1, d.0, a.0, b.0, 0),
+        Insn::AddImm(d, a, imm) => (2, d.0, a.0, 0, imm as u64),
+        Insn::LoadBlock(a, l, sink) => (3, a.0, l.0, sink, 0),
+        Insn::StoreBlock(a, l, srcid) => (4, a.0, l.0, srcid, 0),
+        Insn::Copy(s, d, l) => (5, s.0, d.0, l.0, 0),
+        Insn::BranchNz(c, off) => (6, c.0, 0, 0, off as i64 as u64),
+        Insn::Fence => (7, 0, 0, 0, 0),
+        Insn::Halt => (8, 0, 0, 0, 0),
+        Insn::Mul(d, a, b) => (9, d.0, a.0, b.0, 0),
+        Insn::Shl(d, a, imm) => (10, d.0, a.0, imm, 0),
+    };
+    out[0] = op;
+    out[1] = r0;
+    out[2] = r1;
+    out[3] = r2;
+    out[4..12].copy_from_slice(&imm.to_le_bytes());
+    out
+}
+
+/// Decodes one stored instruction word.
+///
+/// # Errors
+///
+/// [`AccessError::Parse`] on an unknown opcode or bad register field.
+pub fn decode(word: &[u8; INSN_BYTES]) -> Result<Insn, AccessError> {
+    let bad = |what: &str| AccessError::Parse {
+        line: 0,
+        what: what.to_string(),
+    };
+    let reg = |b: u8| -> Result<Reg, AccessError> {
+        if (b as usize) < NUM_REGS {
+            Ok(Reg(b))
+        } else {
+            Err(bad("register field out of range"))
+        }
+    };
+    let imm = u64::from_le_bytes(word[4..12].try_into().expect("8 bytes"));
+    Ok(match word[0] {
+        0 => Insn::SetImm(reg(word[1])?, imm),
+        1 => Insn::Add(reg(word[1])?, reg(word[2])?, reg(word[3])?),
+        2 => Insn::AddImm(reg(word[1])?, reg(word[2])?, imm as i64),
+        3 => Insn::LoadBlock(reg(word[1])?, reg(word[2])?, word[3]),
+        4 => Insn::StoreBlock(reg(word[1])?, reg(word[2])?, word[3]),
+        5 => Insn::Copy(reg(word[1])?, reg(word[2])?, reg(word[3])?),
+        6 => Insn::BranchNz(reg(word[1])?, imm as i64 as i32),
+        7 => Insn::Fence,
+        8 => Insn::Halt,
+        9 => Insn::Mul(reg(word[1])?, reg(word[2])?, reg(word[3])?),
+        10 => Insn::Shl(reg(word[1])?, reg(word[2])?, word[3]),
+        _ => return Err(bad("unknown opcode")),
+    })
+}
+
+/// Serializes a whole program to its stored format.
+pub fn encode_program(program: &[Insn]) -> Vec<u8> {
+    program.iter().flat_map(|i| encode(*i)).collect()
+}
+
+/// Programmable address mapping (paper: "a programmable address
+/// mapping scheme that allows to change the way in which addresses
+/// ... are mapped on the physical storage locations in the DIMMs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressMap {
+    /// Line-interleave across ports every `granule` bytes.
+    Interleave {
+        /// Interleave granule in bytes (power of two).
+        granule: u64,
+    },
+    /// Linear: low half of the space on port 0, high half on port 1.
+    Split,
+}
+
+impl AddressMap {
+    /// Maps a global address to (port, local address) for `ports`
+    /// populated ports and `port_capacity` bytes each.
+    pub fn map(self, addr: u64, ports: u64, port_capacity: u64) -> (usize, u64) {
+        match self {
+            AddressMap::Interleave { granule } => {
+                let unit = addr / granule;
+                ((unit % ports) as usize, (unit / ports) * granule + addr % granule)
+            }
+            AddressMap::Split => {
+                let port = (addr / port_capacity).min(ports - 1);
+                (port as usize, addr % port_capacity)
+            }
+        }
+    }
+}
+
+/// Performance monitors (paper: "performance monitoring functions
+/// integrated into the Access processor").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessPerf {
+    /// Bytes loaded from the DIMMs.
+    pub bytes_loaded: u64,
+    /// Bytes stored to the DIMMs.
+    pub bytes_stored: u64,
+    /// Instructions executed across all threads.
+    pub instructions: u64,
+    /// Chunks whose start was delayed waiting for an accelerator.
+    pub accel_stalls: u64,
+}
+
+/// Bandwidth configuration of the access path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessConfig {
+    /// Peak combined (loads + stores) bandwidth across both DIMM
+    /// ports, bytes/sec. Paper §4.3: "in the range from 10 GB/s to
+    /// 12 GB/s, observed during our experiments".
+    pub combined_peak: f64,
+    /// Efficiency factor when both ports stream the same direction
+    /// (cross-port arbitration overhead).
+    pub dual_stream_efficiency: f64,
+    /// Instruction budget per thread (runaway guard).
+    pub max_instructions: u64,
+}
+
+impl Default for AccessConfig {
+    fn default() -> Self {
+        AccessConfig {
+            combined_peak: 12.0e9,
+            dual_stream_efficiency: 0.875,
+            max_instructions: 100_000_000,
+        }
+    }
+}
+
+struct Thread {
+    regs: [u64; NUM_REGS],
+    pc: usize,
+    halted: bool,
+}
+
+/// The Access processor: multithreaded interpreter + transfer engine.
+pub struct AccessProcessor<'a> {
+    cfg: AccessConfig,
+    avalon: &'a mut AvalonBus,
+    accelerators: HashMap<u8, &'a mut dyn StreamAccelerator>,
+    map: AddressMap,
+    perf: AccessPerf,
+    /// Time the shared access path is busy until.
+    path_busy: SimTime,
+    /// Per-accelerator pipeline-busy time.
+    accel_busy: HashMap<u8, SimTime>,
+}
+
+impl fmt::Debug for AccessProcessor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessProcessor")
+            .field("cfg", &self.cfg)
+            .field("map", &self.map)
+            .field("perf", &self.perf)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> AccessProcessor<'a> {
+    /// Creates the processor over the card's Avalon bus.
+    pub fn new(cfg: AccessConfig, avalon: &'a mut AvalonBus) -> Self {
+        AccessProcessor {
+            cfg,
+            avalon,
+            accelerators: HashMap::new(),
+            map: AddressMap::Interleave { granule: 4096 },
+            perf: AccessPerf::default(),
+            path_busy: SimTime::ZERO,
+            accel_busy: HashMap::new(),
+        }
+    }
+
+    /// Attaches a stream accelerator under an id.
+    pub fn attach_accelerator(&mut self, id: u8, accel: &'a mut dyn StreamAccelerator) {
+        self.accelerators.insert(id, accel);
+    }
+
+    /// Selects the address-mapping scheme.
+    pub fn set_address_map(&mut self, map: AddressMap) {
+        self.map = map;
+    }
+
+    /// Performance monitors.
+    pub fn perf(&self) -> AccessPerf {
+        self.perf
+    }
+
+    /// Loads a pre-compiled program from the DIMMs into the internal
+    /// instruction memory (paper §4.3: "triggered by the reception of
+    /// a special control block, and is performed dynamically without
+    /// interrupting the base operation").
+    ///
+    /// # Errors
+    ///
+    /// [`AccessError::Parse`] if the stored bytes do not decode.
+    pub fn load_program(&mut self, addr: u64, num_insns: usize) -> Result<Vec<Insn>, AccessError> {
+        let mut bytes = vec![0u8; num_insns * INSN_BYTES];
+        self.dma_read(addr, &mut bytes);
+        bytes
+            .chunks_exact(INSN_BYTES)
+            .map(|w| decode(w.try_into().expect("chunked exactly")))
+            .collect()
+    }
+
+    /// Streams one chunk over the shared path; returns completion.
+    /// `both_directions` marks transfers that occupy load AND store
+    /// bandwidth (copies).
+    fn charge_transfer(&mut self, now: SimTime, bytes: u64, both_directions: bool) -> SimTime {
+        let bw = if both_directions {
+            self.cfg.combined_peak / 2.0
+        } else {
+            self.cfg.combined_peak * self.cfg.dual_stream_efficiency
+        };
+        let start = now.max(self.path_busy);
+        let dur = SimTime::from_ps((bytes as f64 / bw * 1e12) as u64);
+        let done = start + dur;
+        self.path_busy = done;
+        done
+    }
+
+    /// Functional DMA read through the address map (timing is the
+    /// caller's concern — used for seeding/verifying experiment data
+    /// and by overlapped result write-back).
+    pub fn dma_read(&mut self, addr: u64, buf: &mut [u8]) {
+        let ports = self.avalon.ports() as u64;
+        let cap = self.avalon.capacity_bytes() / ports;
+        // Chunked by mapping granule boundaries.
+        let mut off = 0u64;
+        while (off as usize) < buf.len() {
+            let a = addr + off;
+            let (port, local) = self.map.map(a, ports, cap);
+            let granule = match self.map {
+                AddressMap::Interleave { granule } => granule - a % granule,
+                AddressMap::Split => cap - local,
+            };
+            let n = granule.min(buf.len() as u64 - off) as usize;
+            self.avalon
+                .controller_mut(port)
+                .peek_span(local, &mut buf[off as usize..off as usize + n]);
+            off += n as u64;
+        }
+    }
+
+    /// Functional DMA write through the address map.
+    pub fn dma_write(&mut self, addr: u64, data: &[u8]) {
+        let ports = self.avalon.ports() as u64;
+        let cap = self.avalon.capacity_bytes() / ports;
+        let mut off = 0u64;
+        while (off as usize) < data.len() {
+            let a = addr + off;
+            let (port, local) = self.map.map(a, ports, cap);
+            let granule = match self.map {
+                AddressMap::Interleave { granule } => granule - a % granule,
+                AddressMap::Split => cap - local,
+            };
+            let n = granule.min(data.len() as u64 - off) as usize;
+            self.avalon
+                .controller_mut(port)
+                .poke_span(local, &data[off as usize..off as usize + n]);
+            off += n as u64;
+        }
+    }
+
+    /// Runs a program on `threads` hardware threads (round-robin
+    /// interleave, each with its own registers; thread id in r15).
+    /// Returns the simulated completion time.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessError::BadBranch`], [`AccessError::NoSuchAccelerator`]
+    /// or [`AccessError::Runaway`].
+    pub fn run(
+        &mut self,
+        program: &[Insn],
+        threads: usize,
+        start: SimTime,
+    ) -> Result<SimTime, AccessError> {
+        assert!(threads >= 1, "need at least one thread");
+        self.path_busy = self.path_busy.max(start);
+        let mut ts: Vec<Thread> = (0..threads)
+            .map(|i| {
+                let mut regs = [0u64; NUM_REGS];
+                regs[15] = i as u64;
+                Thread {
+                    regs,
+                    pc: 0,
+                    halted: false,
+                }
+            })
+            .collect();
+        let mut now = start;
+        let mut executed = 0u64;
+        let mut fence_pending: Vec<usize> = Vec::new();
+        while ts.iter().any(|t| !t.halted) {
+            for (tid, t) in ts.iter_mut().enumerate() {
+                if t.halted || fence_pending.contains(&tid) {
+                    continue;
+                }
+                let insn = *program.get(t.pc).ok_or(AccessError::BadBranch { at: t.pc })?;
+                executed += 1;
+                self.perf.instructions += 1;
+                if executed > self.cfg.max_instructions {
+                    return Err(AccessError::Runaway);
+                }
+                t.pc += 1;
+                match insn {
+                    Insn::SetImm(d, v) => t.regs[d.idx()] = v,
+                    Insn::Add(d, a, b) => {
+                        t.regs[d.idx()] = t.regs[a.idx()].wrapping_add(t.regs[b.idx()])
+                    }
+                    Insn::AddImm(d, a, imm) => {
+                        t.regs[d.idx()] = t.regs[a.idx()].wrapping_add_signed(imm)
+                    }
+                    Insn::Mul(d, a, b) => {
+                        t.regs[d.idx()] = t.regs[a.idx()].wrapping_mul(t.regs[b.idx()])
+                    }
+                    Insn::Shl(d, a, imm) => {
+                        t.regs[d.idx()] = t.regs[a.idx()].wrapping_shl(u32::from(imm))
+                    }
+                    Insn::LoadBlock(addr_r, len_r, sink) => {
+                        let addr = t.regs[addr_r.idx()];
+                        let len = t.regs[len_r.idx()];
+                        self.perf.bytes_loaded += len;
+                        let mut remaining = len;
+                        let mut a = addr;
+                        while remaining > 0 {
+                            let n = remaining.min(CHUNK_BYTES);
+                            let mut buf = vec![0u8; n as usize];
+                            self.dma_read(a, &mut buf);
+                            let done = self.charge_transfer(now, n, false);
+                            if sink != 255 {
+                                let accel = self
+                                    .accelerators
+                                    .get_mut(&sink)
+                                    .ok_or(AccessError::NoSuchAccelerator(sink))?;
+                                let busy =
+                                    self.accel_busy.entry(sink).or_insert(SimTime::ZERO);
+                                if *busy > done {
+                                    // Compute is behind the stream; the
+                                    // accelerator's input FIFO absorbs it.
+                                    self.perf.accel_stalls += 1;
+                                }
+                                // The accelerator queues internally; the
+                                // stream is not gated on compute.
+                                *busy = accel.consume(done, &buf).max(*busy);
+                            }
+                            now = done;
+                            a += n;
+                            remaining -= n;
+                        }
+                    }
+                    Insn::StoreBlock(addr_r, len_r, src) => {
+                        let addr = t.regs[addr_r.idx()];
+                        let len = t.regs[len_r.idx()];
+                        self.perf.bytes_stored += len;
+                        let mut remaining = len;
+                        let mut a = addr;
+                        while remaining > 0 {
+                            let n = remaining.min(CHUNK_BYTES);
+                            let mut buf = vec![0u8; n as usize];
+                            if src != 255 {
+                                let accel = self
+                                    .accelerators
+                                    .get_mut(&src)
+                                    .ok_or(AccessError::NoSuchAccelerator(src))?;
+                                let produced = accel.produce(&mut buf);
+                                buf.truncate(produced.max(1).min(n as usize));
+                                buf.resize(n as usize, 0);
+                            }
+                            self.dma_write(a, &buf);
+                            // Wait for the accelerator pipeline before
+                            // draining its results.
+                            if src != 255 {
+                                if let Some(busy) = self.accel_busy.get(&src) {
+                                    now = now.max(*busy);
+                                }
+                            }
+                            now = self.charge_transfer(now, n, false);
+                            a += n;
+                            remaining -= n;
+                        }
+                    }
+                    Insn::Copy(src_r, dst_r, len_r) => {
+                        let src = t.regs[src_r.idx()];
+                        let dst = t.regs[dst_r.idx()];
+                        let len = t.regs[len_r.idx()];
+                        self.perf.bytes_loaded += len;
+                        self.perf.bytes_stored += len;
+                        let mut remaining = len;
+                        let mut off = 0u64;
+                        while remaining > 0 {
+                            let n = remaining.min(CHUNK_BYTES);
+                            let mut buf = vec![0u8; n as usize];
+                            self.dma_read(src + off, &mut buf);
+                            self.dma_write(dst + off, &buf);
+                            now = self.charge_transfer(now, n, true);
+                            off += n;
+                            remaining -= n;
+                        }
+                    }
+                    Insn::BranchNz(c, delta) => {
+                        if t.regs[c.idx()] != 0 {
+                            let target = t.pc as i64 - 1 + i64::from(delta);
+                            if target < 0 || target as usize >= program.len() {
+                                return Err(AccessError::BadBranch { at: t.pc - 1 });
+                            }
+                            t.pc = target as usize;
+                        }
+                    }
+                    Insn::Fence => {
+                        let accel_max = self
+                            .accel_busy
+                            .values()
+                            .copied()
+                            .max()
+                            .unwrap_or(SimTime::ZERO);
+                        now = now.max(self.path_busy).max(accel_max);
+                    }
+                    Insn::Halt => t.halted = true,
+                }
+            }
+            fence_pending.clear();
+        }
+        Ok(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memctl::{MemoryController, MemoryKind};
+
+    fn bus() -> AvalonBus {
+        AvalonBus::new(
+            vec![
+                MemoryController::new(MemoryKind::Ddr3Dram, 1 << 30),
+                MemoryController::new(MemoryKind::Ddr3Dram, 1 << 30),
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn assembler_roundtrip() {
+        let program = assemble(
+            "set r1, 0x1000   ; src
+             set r2, 65536
+             copy r1, r3, r2
+             fence
+             halt",
+        )
+        .unwrap();
+        assert_eq!(program.len(), 5);
+        assert_eq!(program[0], Insn::SetImm(Reg(1), 0x1000));
+        assert_eq!(program[2], Insn::Copy(Reg(1), Reg(3), Reg(2)));
+        assert_eq!(program[4], Insn::Halt);
+    }
+
+    #[test]
+    fn assembler_rejects_garbage() {
+        assert!(matches!(
+            assemble("frob r1, r2"),
+            Err(AccessError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("set r99, 1"),
+            Err(AccessError::Parse { .. })
+        ));
+        assert!(matches!(
+            assemble("halt extra"),
+            Err(AccessError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_program_moves_data_functionally() {
+        let mut avalon = bus();
+        // Seed source data.
+        let src_data: Vec<u8> = (0..128 * 1024u32).map(|i| (i % 253) as u8).collect();
+        {
+            let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+            ap.dma_write(0x10_0000, &src_data);
+        }
+        let program = assemble(
+            "set r1, 0x100000
+             set r2, 0x800000
+             set r3, 131072
+             copy r1, r2, r3
+             fence
+             halt",
+        )
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        let done = ap.run(&program, 1, SimTime::ZERO).unwrap();
+        assert!(done > SimTime::ZERO);
+        let mut back = vec![0u8; src_data.len()];
+        ap.dma_read(0x80_0000, &mut back);
+        assert_eq!(back, src_data);
+        assert_eq!(ap.perf().bytes_loaded, 131072);
+        assert_eq!(ap.perf().bytes_stored, 131072);
+    }
+
+    #[test]
+    fn copy_throughput_is_half_combined_peak() {
+        let mut avalon = bus();
+        let len: u64 = 64 << 20; // 64 MiB
+        let program = assemble(&format!(
+            "set r1, 0\nset r2, 0x4000000\nset r3, {len}\ncopy r1, r2, r3\nfence\nhalt"
+        ))
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        let done = ap.run(&program, 1, SimTime::ZERO).unwrap();
+        let gbps = len as f64 / done.as_secs_f64() / 1e9;
+        // 12 GB/s combined → ~6 GB/s copy rate (Table 5 memcpy row).
+        assert!((5.5..6.5).contains(&gbps), "copy rate {gbps} GB/s");
+    }
+
+    #[test]
+    fn load_only_streams_at_dual_efficiency() {
+        let mut avalon = bus();
+        let len: u64 = 64 << 20;
+        let program = assemble(&format!(
+            "set r1, 0\nset r2, {len}\nload r1, r2, 255\nfence\nhalt"
+        ))
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        let done = ap.run(&program, 1, SimTime::ZERO).unwrap();
+        let gbps = len as f64 / done.as_secs_f64() / 1e9;
+        // 12 x 0.875 = 10.5 GB/s (Table 5 min/max row).
+        assert!((10.0..11.0).contains(&gbps), "stream rate {gbps} GB/s");
+    }
+
+    #[test]
+    fn loop_with_branch_executes_n_times() {
+        let mut avalon = bus();
+        // Sum loop: r4 counts down from 5; r5 accumulates.
+        let program = assemble(
+            "set r4, 5
+             set r5, 0
+             set r6, 1
+             add r5, r5, r6
+             addi r4, r4, -1
+             bnz r4, -2
+             halt",
+        )
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        ap.run(&program, 1, SimTime::ZERO).unwrap();
+        // 3 setup + 5 x (add, addi, bnz) + halt
+        assert_eq!(ap.perf().instructions, 3 + 15 + 1);
+    }
+
+    #[test]
+    fn bad_branch_detected() {
+        let mut avalon = bus();
+        let program = assemble("set r1, 1\nbnz r1, -10\nhalt").unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        assert!(matches!(
+            ap.run(&program, 1, SimTime::ZERO),
+            Err(AccessError::BadBranch { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_guard_fires() {
+        let mut avalon = bus();
+        let program = assemble("set r1, 1\nbnz r1, 0\nhalt").unwrap();
+        let mut ap = AccessProcessor::new(
+            AccessConfig {
+                max_instructions: 1000,
+                ..AccessConfig::default()
+            },
+            &mut avalon,
+        );
+        assert_eq!(ap.run(&program, 1, SimTime::ZERO), Err(AccessError::Runaway));
+    }
+
+    #[test]
+    fn unknown_accelerator_rejected() {
+        let mut avalon = bus();
+        let program = assemble("set r1, 0\nset r2, 4096\nload r1, r2, 3\nhalt").unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        assert_eq!(
+            ap.run(&program, 1, SimTime::ZERO),
+            Err(AccessError::NoSuchAccelerator(3))
+        );
+    }
+
+    #[test]
+    fn address_maps_differ() {
+        let il = AddressMap::Interleave { granule: 4096 };
+        assert_eq!(il.map(0, 2, 1 << 30), (0, 0));
+        assert_eq!(il.map(4096, 2, 1 << 30), (1, 0));
+        assert_eq!(il.map(8192, 2, 1 << 30), (0, 4096));
+        let sp = AddressMap::Split;
+        assert_eq!(sp.map(0, 2, 1 << 30), (0, 0));
+        assert_eq!(sp.map(1 << 30, 2, 1 << 30), (1, 0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_opcodes() {
+        let program = vec![
+            Insn::SetImm(Reg(1), 0xDEAD_BEEF_0000_0001),
+            Insn::Add(Reg(2), Reg(3), Reg(4)),
+            Insn::AddImm(Reg(5), Reg(6), -42),
+            Insn::LoadBlock(Reg(1), Reg(2), 3),
+            Insn::StoreBlock(Reg(1), Reg(2), 255),
+            Insn::Copy(Reg(1), Reg(2), Reg(3)),
+            Insn::BranchNz(Reg(4), -7),
+            Insn::Fence,
+            Insn::Halt,
+            Insn::Mul(Reg(7), Reg(8), Reg(9)),
+            Insn::Shl(Reg(1), Reg(2), 16),
+        ];
+        for insn in &program {
+            assert_eq!(decode(&encode(*insn)).unwrap(), *insn);
+        }
+        let blob = encode_program(&program);
+        assert_eq!(blob.len(), program.len() * INSN_BYTES);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut w = [0u8; INSN_BYTES];
+        w[0] = 200;
+        assert!(matches!(decode(&w), Err(AccessError::Parse { .. })));
+        let mut w = [0u8; INSN_BYTES];
+        w[0] = 1;
+        w[1] = 99; // bad register
+        assert!(decode(&w).is_err());
+    }
+
+    #[test]
+    fn program_loads_from_dimm_and_runs() {
+        // The paper's dynamic-programming story: compile, store the
+        // blob in the DIMMs, trigger a load, execute.
+        let mut avalon = bus();
+        let program = assemble(
+            "set r1, 0x200000
+             set r2, 0x600000
+             set r3, 65536
+             copy r1, r2, r3
+             fence
+             halt",
+        )
+        .unwrap();
+        let blob = encode_program(&program);
+        let payload: Vec<u8> = (0..65536u32).map(|i| (i % 199) as u8).collect();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        ap.dma_write(0x10_0000, &blob); // program image in the DIMMs
+        ap.dma_write(0x20_0000, &payload); // data
+        let loaded = ap.load_program(0x10_0000, program.len()).unwrap();
+        assert_eq!(loaded, program);
+        ap.run(&loaded, 1, SimTime::ZERO).unwrap();
+        let mut back = vec![0u8; payload.len()];
+        ap.dma_read(0x60_0000, &mut back);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn multithreaded_stripe_copy() {
+        // Four hardware threads each copy their own 64 KiB stripe,
+        // with addresses generated from the thread id in r15.
+        let mut avalon = bus();
+        let stripe: u64 = 65536;
+        let total = stripe * 4;
+        let payload: Vec<u8> = (0..total as u32).map(|i| (i % 191) as u8).collect();
+        {
+            let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+            ap.dma_write(0x10_0000, &payload);
+        }
+        let program = assemble(
+            "set r4, 65536       ; stripe bytes
+             mul r5, r15, r4     ; offset = tid * stripe
+             set r6, 0x100000
+             add r7, r6, r5      ; src = base + offset
+             set r8, 0x900000
+             add r9, r8, r5      ; dst = dstbase + offset
+             copy r7, r9, r4
+             fence
+             halt",
+        )
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        ap.run(&program, 4, SimTime::ZERO).unwrap();
+        assert_eq!(ap.perf().bytes_loaded, total);
+        assert_eq!(ap.perf().bytes_stored, total);
+        let mut back = vec![0u8; total as usize];
+        ap.dma_read(0x90_0000, &mut back);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn shl_and_mul_semantics() {
+        let mut avalon = bus();
+        let program = assemble(
+            "set r1, 3
+             set r2, 5
+             mul r3, r1, r2      ; 15
+             shl r4, r3, 4       ; 240
+             halt",
+        )
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        ap.run(&program, 1, SimTime::ZERO).unwrap();
+        // Semantics verified indirectly: use the values as a copy size.
+        // (Registers are thread-private; assert via a transfer length.)
+        let program = assemble(
+            "set r1, 4
+             set r2, 1024
+             mul r3, r1, r2      ; 4096 bytes
+             set r5, 0
+             set r6, 0x800000
+             copy r5, r6, r3
+             fence
+             halt",
+        )
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        ap.run(&program, 1, SimTime::ZERO).unwrap();
+        assert_eq!(ap.perf().bytes_loaded, 4096);
+    }
+
+    #[test]
+    fn multithreaded_run_uses_thread_ids() {
+        let mut avalon = bus();
+        // Each thread copies a disjoint 64 KiB using r15 (thread id).
+        // addr = r15 * 65536; dst = addr + 0x400000.
+        let program = assemble(
+            "set r2, 65536
+             set r3, 0x400000
+             set r4, 65536
+             add r1, r15, r0     ; r1 = tid (r0 is always 0)
+             set r5, 16
+             add r6, r0, r0      ; r6 = tid * 65536 via shift loop
+             add r6, r15, r0
+             set r7, 65536
+             halt",
+        )
+        .unwrap();
+        let mut ap = AccessProcessor::new(AccessConfig::default(), &mut avalon);
+        let done = ap.run(&program, 4, SimTime::ZERO).unwrap();
+        assert_eq!(done, SimTime::ZERO, "no transfers, no time");
+        assert_eq!(ap.perf().instructions, 4 * 9);
+    }
+}

@@ -1,0 +1,321 @@
+//! Card-level support: FSI slave, I²C register path, power
+//! sequencing, presence detect and SPD access.
+//!
+//! Paper §3.2/§3.4: "ConTutto contains an FSI slave external to the
+//! FPGA and the register space inside the FPGA is accessed via I²C.
+//! Thus, each access becomes an indirect path of FSI Slave → I²C
+//! Master → FPGA register" — slower than Centaur's direct FSI but
+//! sufficient for training and control. "the auxiliary FSI slave on
+//! the card provides some additional controls which enable the
+//! firmware to control the FPGA's reset and power-on sequences
+//! independently from the rest of the system. This allows for
+//! repeated retries of the training sequence without bringing down
+//! the entire system." The same slave serves presence
+//! detect/differentiation from CDIMMs and direct SPD reads.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use contutto_memdev::Spd;
+use contutto_sim::SimTime;
+
+/// Presence-detect code returned for a ConTutto card (differentiates
+/// it from a standard CDIMM during IPL).
+pub const PRESENCE_CONTUTTO: u8 = 0xC7;
+/// Presence-detect code of a standard Centaur CDIMM.
+pub const PRESENCE_CDIMM: u8 = 0xCD;
+
+/// Latency of one indirect FSI→I²C→FPGA register access.
+pub const I2C_REG_ACCESS: SimTime = SimTime::from_us(100);
+/// Latency of a direct FSI register access (Centaur-style, for
+/// comparison).
+pub const DIRECT_FSI_ACCESS: SimTime = SimTime::from_us(10);
+
+/// Power rails, in the order the service processor must enable them
+/// ("the service processor is responsible for maintaining the proper
+/// time sequencing of the voltage rails in accordance with the FPGA
+/// device power sequencing guidelines", §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// FPGA core logic (switching regulator).
+    VccCore,
+    /// Auxiliary / configuration.
+    VccAux,
+    /// Digital I/O banks.
+    VccIo,
+    /// Quiet analog supply for the transceivers (LDO).
+    VccTransceiver,
+}
+
+impl Rail {
+    /// The mandated enable order.
+    pub fn sequence() -> [Rail; 4] {
+        [Rail::VccCore, Rail::VccAux, Rail::VccIo, Rail::VccTransceiver]
+    }
+}
+
+/// Card control errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CardError {
+    /// Register access attempted while the FPGA is unpowered or
+    /// unconfigured.
+    NotReady,
+    /// A rail was enabled out of sequence.
+    PowerSequenceViolation {
+        /// The rail that was wrongly enabled.
+        rail: Rail,
+    },
+    /// SPD requested for an unpopulated DIMM slot.
+    NoDimm {
+        /// The empty slot index.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for CardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CardError::NotReady => write!(f, "fpga not powered/configured"),
+            CardError::PowerSequenceViolation { rail } => {
+                write!(f, "rail {rail:?} enabled out of sequence")
+            }
+            CardError::NoDimm { slot } => write!(f, "no dimm in slot {slot}"),
+        }
+    }
+}
+
+impl Error for CardError {}
+
+/// The board-level model of one ConTutto card.
+#[derive(Debug)]
+pub struct ContuttoCard {
+    rails_enabled: Vec<Rail>,
+    fpga_configured: bool,
+    registers: HashMap<u16, u32>,
+    spd: Vec<Option<Spd>>,
+    resets: u64,
+}
+
+/// Well-known FPGA register addresses (I²C-accessible space).
+pub mod regs {
+    /// Link-training control/status.
+    pub const TRAINING_CTL: u16 = 0x0010;
+    /// Latency-knob position (paper §4.1: "controllable from software").
+    pub const LATENCY_KNOB: u16 = 0x0020;
+    /// Design version/ID.
+    pub const DESIGN_ID: u16 = 0x0000;
+}
+
+impl ContuttoCard {
+    /// A powered-off card with the given DIMM slots populated.
+    pub fn new(spd: Vec<Option<Spd>>) -> Self {
+        assert!(spd.len() <= 2, "two DIMM connectors on the card");
+        let mut registers = HashMap::new();
+        registers.insert(regs::DESIGN_ID, 0xC0_7077_u32);
+        ContuttoCard {
+            rails_enabled: Vec::new(),
+            fpga_configured: false,
+            registers,
+            spd,
+            resets: 0,
+        }
+    }
+
+    /// Presence-detect code read by firmware over FSI. Works even
+    /// with the FPGA unpowered (it comes from the external FSI slave).
+    pub fn presence_code(&self) -> u8 {
+        PRESENCE_CONTUTTO
+    }
+
+    /// Reads a DIMM's SPD directly through the FSI slave ("critical
+    /// for detecting and controlling the NVDIMMs", §3.4). Available
+    /// without FPGA power.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::NoDimm`] for an empty slot.
+    pub fn read_spd(&self, slot: usize) -> Result<&Spd, CardError> {
+        self.spd
+            .get(slot)
+            .and_then(|s| s.as_ref())
+            .ok_or(CardError::NoDimm { slot })
+    }
+
+    /// Enables one power rail. The service processor must follow the
+    /// mandated order.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::PowerSequenceViolation`] if enabled out of order.
+    pub fn enable_rail(&mut self, rail: Rail) -> Result<(), CardError> {
+        let seq = Rail::sequence();
+        let expected = seq.get(self.rails_enabled.len());
+        if expected == Some(&rail) {
+            self.rails_enabled.push(rail);
+            Ok(())
+        } else {
+            Err(CardError::PowerSequenceViolation { rail })
+        }
+    }
+
+    /// Runs the full power-on sequence and configures the FPGA from
+    /// its flash (the free-running crystal path, §3.2). Returns the
+    /// time the FPGA is ready.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sequence violations (none occur on this path).
+    pub fn power_on(&mut self, now: SimTime) -> Result<SimTime, CardError> {
+        for rail in Rail::sequence() {
+            if !self.rails_enabled.contains(&rail) {
+                self.enable_rail(rail)?;
+            }
+        }
+        self.fpga_configured = true;
+        // Rail sequencing ~10 ms + bitstream load from flash ~800 ms.
+        Ok(now + SimTime::from_ms(810))
+    }
+
+    /// Whether the FPGA is powered and configured.
+    pub fn is_ready(&self) -> bool {
+        self.rails_enabled.len() == Rail::sequence().len() && self.fpga_configured
+    }
+
+    /// Resets only the FPGA (for training retries) without touching
+    /// the rest of the system. Returns reconfiguration-complete time.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::NotReady`] if the card is unpowered.
+    pub fn reset_fpga(&mut self, now: SimTime) -> Result<SimTime, CardError> {
+        if self.rails_enabled.len() != Rail::sequence().len() {
+            return Err(CardError::NotReady);
+        }
+        self.resets += 1;
+        self.fpga_configured = true;
+        Ok(now + SimTime::from_ms(800))
+    }
+
+    /// FPGA-only resets performed (training retries).
+    pub fn reset_count(&self) -> u64 {
+        self.resets
+    }
+
+    /// Reads an FPGA register over the indirect FSI→I²C path.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::NotReady`] when the FPGA is down.
+    pub fn read_fpga_reg(&self, now: SimTime, addr: u16) -> Result<(u32, SimTime), CardError> {
+        if !self.is_ready() {
+            return Err(CardError::NotReady);
+        }
+        let value = self.registers.get(&addr).copied().unwrap_or(0);
+        Ok((value, now + I2C_REG_ACCESS))
+    }
+
+    /// Writes an FPGA register over the indirect FSI→I²C path.
+    ///
+    /// # Errors
+    ///
+    /// [`CardError::NotReady`] when the FPGA is down.
+    pub fn write_fpga_reg(
+        &mut self,
+        now: SimTime,
+        addr: u16,
+        value: u32,
+    ) -> Result<SimTime, CardError> {
+        if !self.is_ready() {
+            return Err(CardError::NotReady);
+        }
+        self.registers.insert(addr, value);
+        Ok(now + I2C_REG_ACCESS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contutto_memdev::MramGeneration;
+
+    fn card() -> ContuttoCard {
+        ContuttoCard::new(vec![
+            Some(Spd::mram(256 << 20, MramGeneration::Pmtj)),
+            Some(Spd::mram(256 << 20, MramGeneration::Pmtj)),
+        ])
+    }
+
+    #[test]
+    fn presence_differs_from_cdimm() {
+        assert_ne!(card().presence_code(), PRESENCE_CDIMM);
+        assert_eq!(card().presence_code(), PRESENCE_CONTUTTO);
+    }
+
+    #[test]
+    fn spd_readable_without_power() {
+        let c = card();
+        assert!(!c.is_ready());
+        let spd = c.read_spd(0).unwrap();
+        assert!(spd.nonvolatile);
+        assert_eq!(
+            ContuttoCard::new(vec![None]).read_spd(0),
+            Err(CardError::NoDimm { slot: 0 })
+        );
+    }
+
+    #[test]
+    fn power_sequence_enforced() {
+        let mut c = card();
+        // IO before core: violation.
+        assert_eq!(
+            c.enable_rail(Rail::VccIo),
+            Err(CardError::PowerSequenceViolation { rail: Rail::VccIo })
+        );
+        for rail in Rail::sequence() {
+            c.enable_rail(rail).unwrap();
+        }
+        assert_eq!(c.rails_enabled.len(), 4);
+    }
+
+    #[test]
+    fn register_access_requires_power() {
+        let mut c = card();
+        assert_eq!(
+            c.read_fpga_reg(SimTime::ZERO, regs::DESIGN_ID),
+            Err(CardError::NotReady)
+        );
+        let ready = c.power_on(SimTime::ZERO).unwrap();
+        assert!(c.is_ready());
+        let (id, t) = c.read_fpga_reg(ready, regs::DESIGN_ID).unwrap();
+        assert_eq!(id, 0xC0_7077);
+        assert_eq!(t - ready, I2C_REG_ACCESS);
+    }
+
+    #[test]
+    fn indirect_path_is_slower_than_direct_fsi() {
+        assert!(I2C_REG_ACCESS > DIRECT_FSI_ACCESS);
+    }
+
+    #[test]
+    fn knob_register_roundtrip() {
+        let mut c = card();
+        let ready = c.power_on(SimTime::ZERO).unwrap();
+        let t = c.write_fpga_reg(ready, regs::LATENCY_KNOB, 6).unwrap();
+        let (v, _) = c.read_fpga_reg(t, regs::LATENCY_KNOB).unwrap();
+        assert_eq!(v, 6);
+    }
+
+    #[test]
+    fn fpga_reset_without_system_reboot() {
+        let mut c = card();
+        assert_eq!(c.reset_fpga(SimTime::ZERO), Err(CardError::NotReady));
+        let ready = c.power_on(SimTime::ZERO).unwrap();
+        for i in 1..=3 {
+            let t = c.reset_fpga(ready).unwrap();
+            assert!(t > ready);
+            assert_eq!(c.reset_count(), i);
+        }
+        assert!(c.is_ready(), "system never went down");
+    }
+}

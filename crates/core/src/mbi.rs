@@ -1,0 +1,110 @@
+//! The Memory Buffer Interface (MBI) logic configuration.
+//!
+//! Paper §3.3(ii): the MBI "handles DMI protocol handshaking",
+//! generates/verifies CRC and sequence IDs, manages the replay buffer
+//! and — uniquely on ConTutto — implements the **freeze workaround**:
+//! on a replay request the FPGA "repeatedly re-transmits the last
+//! upstream frame, effectively freezing the flow of frames from the
+//! processor's perspective, until the FPGA is ready to switch to
+//! replay".
+//!
+//! The protocol machinery itself lives in
+//! [`contutto_dmi::protocol::LinkEndpoint`]; this module carries the
+//! FPGA-implementation parameters (CRC pipeline depth, freeze length)
+//! and their latency contributions.
+
+use contutto_dmi::protocol::LinkEndpointConfig;
+use contutto_sim::{time::clocks, Cycles, SimTime};
+
+/// MBI implementation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbiConfig {
+    /// CRC pipeline stages (2 after optimization, 4 in the first cut —
+    /// paper: "similar to the design on Centaur, packing a lot more
+    /// logic in each stage than usually done in FPGA designs").
+    pub crc_stages: u64,
+    /// Fabric cycles the replay mux needs before it can switch, during
+    /// which the last frame is re-transmitted (the freeze workaround).
+    pub replay_switch_delay_frames: u64,
+    /// Base protocol-handling latency beyond CRC, fabric cycles.
+    pub base_cycles: u64,
+}
+
+impl MbiConfig {
+    /// The optimized 2-stage-CRC MBI.
+    pub fn optimized() -> Self {
+        MbiConfig {
+            crc_stages: 2,
+            replay_switch_delay_frames: 4,
+            base_cycles: 1,
+        }
+    }
+
+    /// The naive 4-stage-CRC MBI.
+    pub fn naive() -> Self {
+        MbiConfig {
+            crc_stages: 4,
+            ..MbiConfig::optimized()
+        }
+    }
+
+    /// Receive-side MBI latency (CRC check + seq/ACK bookkeeping).
+    pub fn rx_cycles(&self) -> Cycles {
+        Cycles(self.base_cycles + self.crc_stages)
+    }
+
+    /// Transmit-side MBI latency (CRC generation).
+    pub fn tx_cycles(&self) -> Cycles {
+        Cycles(self.crc_stages)
+    }
+
+    /// Receive latency as time.
+    pub fn rx_latency(&self) -> SimTime {
+        clocks::FPGA_FABRIC.cycles_to_time(self.rx_cycles())
+    }
+
+    /// Transmit latency as time.
+    pub fn tx_latency(&self) -> SimTime {
+        clocks::FPGA_FABRIC.cycles_to_time(self.tx_cycles())
+    }
+
+    /// Builds the link-endpoint configuration for this MBI (the
+    /// ConTutto buffer role with its freeze workaround).
+    pub fn endpoint_config(&self) -> LinkEndpointConfig {
+        let mut cfg = LinkEndpointConfig::contutto_buffer();
+        cfg.replay_switch_delay_frames = self.replay_switch_delay_frames;
+        cfg
+    }
+}
+
+impl Default for MbiConfig {
+    fn default() -> Self {
+        MbiConfig::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_stage_reduction_saves_two_cycles_each_way() {
+        let opt = MbiConfig::optimized();
+        let naive = MbiConfig::naive();
+        assert_eq!(naive.rx_cycles().count() - opt.rx_cycles().count(), 2);
+        assert_eq!(naive.tx_cycles().count() - opt.tx_cycles().count(), 2);
+    }
+
+    #[test]
+    fn latencies_in_time() {
+        let opt = MbiConfig::optimized();
+        assert_eq!(opt.rx_latency(), SimTime::from_ns(12));
+        assert_eq!(opt.tx_latency(), SimTime::from_ns(8));
+    }
+
+    #[test]
+    fn endpoint_config_carries_freeze() {
+        let cfg = MbiConfig::optimized().endpoint_config();
+        assert_eq!(cfg.replay_switch_delay_frames, 4);
+    }
+}

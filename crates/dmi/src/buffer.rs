@@ -1,0 +1,95 @@
+//! The buffer-side command interface.
+//!
+//! A DMI memory buffer (Centaur ASIC or ConTutto FPGA) is a *slave*:
+//! it consumes downstream payloads, executes the tagged commands
+//! against its memory, and produces upstream payloads (read data,
+//! dones). [`DmiBuffer`] is the contract the channel driver uses to
+//! plug either buffer implementation behind a [`crate::LinkEndpoint`].
+//!
+//! Timing contract: `push_downstream` is called when a payload clears
+//! the buffer's receive PHY + MBI; the buffer schedules internal work
+//! and makes responses available from `pull_upstream` no earlier than
+//! their completion times. Each `pull_upstream` call corresponds to
+//! one upstream frame-slot grant from the arbiter.
+
+use contutto_sim::SimTime;
+
+use crate::frame::{DownstreamPayload, UpstreamPayload};
+
+/// A DMI slave device: parses downstream traffic, executes commands,
+/// emits upstream responses.
+pub trait DmiBuffer {
+    /// Delivers one downstream payload that cleared MBI at `now`.
+    fn push_downstream(&mut self, now: SimTime, payload: DownstreamPayload);
+
+    /// Offers the buffer one upstream frame slot at `now`; the buffer
+    /// returns a payload if it has one ready (arbitration happens
+    /// inside — paper §3.3(iii): "a single unified arbitration unit
+    /// for the upstream channel").
+    fn pull_upstream(&mut self, now: SimTime) -> Option<UpstreamPayload>;
+
+    /// One-way probe-to-echo turnaround through the buffer's PHY and
+    /// MBI, used for FRTL determination during training.
+    fn frtl_turnaround(&self) -> SimTime;
+
+    /// Human-readable model name (for reports).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::UpstreamPayload;
+
+    /// A loopback buffer used to validate the trait contract shape.
+    struct Echo {
+        pending: Vec<(SimTime, UpstreamPayload)>,
+    }
+
+    impl DmiBuffer for Echo {
+        fn push_downstream(&mut self, now: SimTime, payload: DownstreamPayload) {
+            if let DownstreamPayload::Command { tag, .. } = payload {
+                self.pending.push((
+                    now + SimTime::from_ns(10),
+                    UpstreamPayload::Done {
+                        first: tag,
+                        second: None,
+                    },
+                ));
+            }
+        }
+
+        fn pull_upstream(&mut self, now: SimTime) -> Option<UpstreamPayload> {
+            if let Some(pos) = self.pending.iter().position(|(t, _)| *t <= now) {
+                Some(self.pending.remove(pos).1)
+            } else {
+                None
+            }
+        }
+
+        fn frtl_turnaround(&self) -> SimTime {
+            SimTime::from_ns(5)
+        }
+
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn trait_contract_smoke() {
+        use crate::command::Tag;
+        use crate::frame::CommandHeader;
+        let mut e = Echo { pending: vec![] };
+        e.push_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: Tag::new(3).unwrap(),
+                header: CommandHeader::Flush,
+            },
+        );
+        assert!(e.pull_upstream(SimTime::from_ns(5)).is_none());
+        let done = e.pull_upstream(SimTime::from_ns(10)).unwrap();
+        assert!(matches!(done, UpstreamPayload::Done { first, .. } if first.raw() == 3));
+    }
+}

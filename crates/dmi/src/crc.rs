@@ -1,0 +1,138 @@
+//! Frame CRC.
+//!
+//! Paper §2.3: "both upstream and downstream frames are protected with
+//! strong cyclic redundancy check (CRC) for error detection". We use
+//! CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF), computed over
+//! the serialized frame bytes excluding the CRC field itself. A 16-bit
+//! CRC detects all single- and double-bit errors and all burst errors
+//! up to 16 bits in a 28-byte frame, which matches the single-lane
+//! error bursts the link model injects.
+
+/// Polynomial for CRC-16/CCITT-FALSE.
+pub const POLY: u16 = 0x1021;
+/// Initial register value.
+pub const INIT: u16 = 0xFFFF;
+
+/// Computes the CRC-16/CCITT-FALSE over `data`.
+///
+/// # Example
+///
+/// ```
+/// // Standard check value for this CRC variant.
+/// assert_eq!(contutto_dmi::crc::crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc = Crc16::new();
+    crc.update(data);
+    crc.finish()
+}
+
+const fn build_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Precomputed byte-at-a-time table (the link model computes a CRC on
+/// every frame in both directions, so this is hot).
+static TABLE: [u16; 256] = build_table();
+
+/// Incremental CRC-16 state, for computing a frame CRC across
+/// separately serialized sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc16 {
+    state: u16,
+}
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc16 {
+    /// Creates a fresh CRC register.
+    pub fn new() -> Self {
+        Crc16 { state: INIT }
+    }
+
+    /// Feeds bytes into the CRC.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            let idx = ((self.state >> 8) ^ u16::from(byte)) & 0xFF;
+            self.state = (self.state << 8) ^ TABLE[idx as usize];
+        }
+    }
+
+    /// Returns the final CRC value.
+    pub fn finish(self) -> u16 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_input_is_init() {
+        assert_eq!(crc16(&[]), INIT);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut inc = Crc16::new();
+        inc.update(&data[..10]);
+        inc.update(&data[10..]);
+        assert_eq!(inc.finish(), crc16(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips_in_frame_sized_data() {
+        let frame: Vec<u8> = (0..26u8).collect(); // 26 covered bytes of a 28 B frame
+        let good = crc16(&frame);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc16(&bad), good, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_all_double_bit_flips_in_one_lane_word() {
+        // Two-bit errors within any 16-bit window must be caught.
+        let frame: Vec<u8> = (0..26u8).map(|b| b.wrapping_mul(37)).collect();
+        let good = crc16(&frame);
+        let bits = frame.len() * 8;
+        for i in 0..bits {
+            for j in (i + 1)..bits.min(i + 16) {
+                let mut bad = frame.clone();
+                bad[i / 8] ^= 1 << (i % 8);
+                bad[j / 8] ^= 1 << (j % 8);
+                assert_ne!(crc16(&bad), good, "missed double flip {i},{j}");
+            }
+        }
+    }
+}

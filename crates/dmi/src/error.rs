@@ -1,0 +1,109 @@
+//! Error types for the DMI crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by DMI link and protocol operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DmiError {
+    /// A received frame failed its CRC check.
+    CrcMismatch {
+        /// Sequence ID claimed by the (corrupted) frame.
+        claimed_seq: u8,
+    },
+    /// A received frame's sequence ID was not the expected one.
+    SequenceGap {
+        /// The sequence ID the receiver expected next.
+        expected: u8,
+        /// The sequence ID actually seen.
+        got: u8,
+    },
+    /// The transmitter ran out of replay-buffer history for a
+    /// requested replay (the buffer must cover at least one FRTL).
+    ReplayBufferUnderrun,
+    /// No free command tag (all 32 in flight).
+    NoFreeTag,
+    /// A response named a tag that has no command in flight.
+    UnknownTag(u8),
+    /// Link training failed to converge within its retry budget.
+    TrainingFailed {
+        /// Training attempts made before giving up.
+        attempts: u32,
+    },
+    /// The measured FRTL exceeds the processor's hard maximum
+    /// (paper §2.3/§3.3: training fails if the buffer is too slow).
+    FrtlExceeded {
+        /// Measured round trip in bus cycles.
+        measured_bus_cycles: u64,
+        /// Hard maximum permitted by the POWER8 hardware.
+        max_bus_cycles: u64,
+    },
+    /// A frame payload could not be decoded.
+    MalformedFrame(&'static str),
+}
+
+impl fmt::Display for DmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmiError::CrcMismatch { claimed_seq } => {
+                write!(f, "frame crc mismatch (claimed seq {claimed_seq})")
+            }
+            DmiError::SequenceGap { expected, got } => {
+                write!(f, "sequence gap: expected {expected}, got {got}")
+            }
+            DmiError::ReplayBufferUnderrun => write!(f, "replay buffer underrun"),
+            DmiError::NoFreeTag => write!(f, "no free command tag"),
+            DmiError::UnknownTag(t) => write!(f, "response for unknown tag {t}"),
+            DmiError::TrainingFailed { attempts } => {
+                write!(f, "link training failed after {attempts} attempts")
+            }
+            DmiError::FrtlExceeded {
+                measured_bus_cycles,
+                max_bus_cycles,
+            } => write!(
+                f,
+                "frtl {measured_bus_cycles} bus cycles exceeds maximum {max_bus_cycles}"
+            ),
+            DmiError::MalformedFrame(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl Error for DmiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            DmiError::CrcMismatch { claimed_seq: 3 },
+            DmiError::SequenceGap {
+                expected: 1,
+                got: 5,
+            },
+            DmiError::ReplayBufferUnderrun,
+            DmiError::NoFreeTag,
+            DmiError::UnknownTag(7),
+            DmiError::TrainingFailed { attempts: 4 },
+            DmiError::FrtlExceeded {
+                measured_bus_cycles: 900,
+                max_bus_cycles: 800,
+            },
+            DmiError::MalformedFrame("bad opcode"),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DmiError>();
+    }
+}

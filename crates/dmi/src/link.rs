@@ -1,0 +1,288 @@
+//! The physical DMI channel.
+//!
+//! A [`LinkSegment`] is one direction of the channel: it carries
+//! scrambled frame bytes with a fixed wire + serialization latency, and
+//! can corrupt bits in flight via a [`BitErrorInjector`] (the channel
+//! is "short reach ... up to 21dB" — errors are rare but real, which
+//! is why the replay machinery of paper §2.3 exists).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use contutto_sim::{DelayQueue, SimTime};
+
+/// Link speed grades of the DMI channel.
+///
+/// Paper §3.3(i): "The DMI links on POWER8 can run at link speeds of
+/// up to 9.6 GHz. When using ConTutto, we run the links at 8 GHz."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkSpeed {
+    /// 8 Gb/s per lane — the ConTutto operating point.
+    Gbps8,
+    /// 9.6 Gb/s per lane — the Centaur operating point.
+    Gbps9_6,
+}
+
+impl LinkSpeed {
+    /// Duration of one unit interval (UI) on a lane, in picoseconds.
+    pub fn ui_ps(self) -> u64 {
+        match self {
+            LinkSpeed::Gbps8 => 125,
+            LinkSpeed::Gbps9_6 => 104, // 104.17 ps, rounded; <0.2 % error
+        }
+    }
+
+    /// Time for one 16-UI frame to cross the serializer.
+    pub fn frame_time(self) -> SimTime {
+        SimTime::from_ps(self.ui_ps() * 16)
+    }
+
+    /// Aggregate raw bandwidth of a direction with `lanes` lanes, in
+    /// bytes/second.
+    pub fn raw_bandwidth_bytes_per_sec(self, lanes: u32) -> f64 {
+        let gbps = match self {
+            LinkSpeed::Gbps8 => 8.0,
+            LinkSpeed::Gbps9_6 => 9.6,
+        };
+        gbps * 1e9 * f64::from(lanes) / 8.0
+    }
+}
+
+/// Deterministic bit-error injection policy for a link direction.
+#[derive(Debug, Clone)]
+pub enum BitErrorInjector {
+    /// Never corrupt (the default).
+    Never,
+    /// Corrupt exactly the frames with these ordinals (0-based count of
+    /// frames pushed onto the segment), flipping one bit each.
+    AtFrames(Vec<u64>),
+    /// Corrupt each frame independently with probability `p`, using a
+    /// seeded RNG (deterministic across runs).
+    Bernoulli {
+        /// Per-frame corruption probability.
+        p: f64,
+        /// RNG used to decide corruption and bit position.
+        rng: StdRng,
+    },
+}
+
+impl BitErrorInjector {
+    /// An injector that never corrupts.
+    pub fn never() -> Self {
+        BitErrorInjector::Never
+    }
+
+    /// An injector corrupting exactly the given frame ordinals.
+    pub fn at_frames(frames: Vec<u64>) -> Self {
+        BitErrorInjector::AtFrames(frames)
+    }
+
+    /// A seeded random injector with per-frame error probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn bernoulli(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        BitErrorInjector::Bernoulli {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Possibly corrupts `bytes` (frame ordinal `ordinal`). Returns
+    /// `true` if a bit was flipped.
+    pub fn maybe_corrupt(&mut self, ordinal: u64, bytes: &mut [u8]) -> bool {
+        match self {
+            BitErrorInjector::Never => false,
+            BitErrorInjector::AtFrames(frames) => {
+                if frames.contains(&ordinal) {
+                    // Flip a bit at a position derived from the ordinal,
+                    // deterministically.
+                    let bit = (ordinal as usize * 7) % (bytes.len() * 8);
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                    true
+                } else {
+                    false
+                }
+            }
+            BitErrorInjector::Bernoulli { p, rng } => {
+                if rng.gen_bool(*p) {
+                    let bit = rng.gen_range(0..bytes.len() * 8);
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// One direction of a DMI channel: a latency pipe for serialized
+/// frames, with error injection and frame accounting.
+///
+/// # Example
+///
+/// ```
+/// use contutto_dmi::{LinkSegment, LinkSpeed, BitErrorInjector};
+/// use contutto_sim::SimTime;
+///
+/// let mut seg = LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never());
+/// seg.transmit(SimTime::ZERO, vec![1, 2, 3]);
+/// // Wire latency (1 ns) + serialization of one frame (2 ns) = 3 ns.
+/// assert!(seg.receive(SimTime::from_ns(2)).is_none());
+/// assert_eq!(seg.receive(SimTime::from_ns(3)), Some(vec![1, 2, 3]));
+/// ```
+#[derive(Debug)]
+pub struct LinkSegment {
+    speed: LinkSpeed,
+    wire: DelayQueue<Vec<u8>>,
+    injector: BitErrorInjector,
+    frames_sent: u64,
+    frames_corrupted: u64,
+}
+
+impl LinkSegment {
+    /// Creates a segment with the given speed, propagation latency and
+    /// error injector. Total per-frame latency is the propagation
+    /// latency plus one frame serialization time.
+    pub fn new(speed: LinkSpeed, propagation: SimTime, injector: BitErrorInjector) -> Self {
+        LinkSegment {
+            speed,
+            wire: DelayQueue::with_latency(propagation + speed.frame_time()),
+            injector,
+            frames_sent: 0,
+            frames_corrupted: 0,
+        }
+    }
+
+    /// The link speed.
+    pub fn speed(&self) -> LinkSpeed {
+        self.speed
+    }
+
+    /// Pushes serialized (already scrambled) frame bytes onto the wire
+    /// at time `now`.
+    pub fn transmit(&mut self, now: SimTime, mut bytes: Vec<u8>) {
+        if self.injector.maybe_corrupt(self.frames_sent, &mut bytes) {
+            self.frames_corrupted += 1;
+        }
+        self.frames_sent += 1;
+        self.wire
+            .push(now, bytes)
+            .expect("link segment is unbounded");
+    }
+
+    /// Pops the next frame if it has arrived by `now`.
+    pub fn receive(&mut self, now: SimTime) -> Option<Vec<u8>> {
+        self.wire.pop_ready(now)
+    }
+
+    /// Time the next frame becomes available, if any is in flight.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.wire.next_ready_time()
+    }
+
+    /// Frames transmitted since construction.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Frames corrupted by the injector since construction.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.frames_corrupted
+    }
+
+    /// Number of frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.wire.len()
+    }
+
+    /// Replaces the error injector (e.g. to stop injecting after a
+    /// fault-injection phase).
+    pub fn set_injector(&mut self, injector: BitErrorInjector) {
+        self.injector = injector;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_constants() {
+        assert_eq!(LinkSpeed::Gbps8.frame_time(), SimTime::from_ps(2000));
+        assert_eq!(LinkSpeed::Gbps9_6.frame_time(), SimTime::from_ps(1664));
+        // Downstream: 14 lanes at 8 Gb/s = 14 GB/s raw; the paper's
+        // "35 GB/s per link aggregate" counts both directions at 9.6.
+        let down = LinkSpeed::Gbps9_6.raw_bandwidth_bytes_per_sec(14);
+        let up = LinkSpeed::Gbps9_6.raw_bandwidth_bytes_per_sec(21);
+        assert!((down + up) / 1e9 > 35.0);
+    }
+
+    #[test]
+    fn delivers_in_order_with_latency() {
+        let mut seg = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
+        seg.transmit(SimTime::ZERO, vec![1]);
+        seg.transmit(SimTime::from_ns(2), vec![2]);
+        assert_eq!(seg.in_flight(), 2);
+        assert_eq!(seg.receive(SimTime::from_ns(2)), None);
+        assert_eq!(seg.receive(SimTime::from_ns(3)), Some(vec![1]));
+        assert_eq!(seg.receive(SimTime::from_ns(4)), None);
+        assert_eq!(seg.receive(SimTime::from_ns(5)), Some(vec![2]));
+    }
+
+    #[test]
+    fn at_frames_injector_corrupts_exactly_those() {
+        let mut seg = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::ZERO,
+            BitErrorInjector::at_frames(vec![1]),
+        );
+        let payload = vec![0u8; 28];
+        seg.transmit(SimTime::ZERO, payload.clone());
+        seg.transmit(SimTime::ZERO, payload.clone());
+        seg.transmit(SimTime::ZERO, payload.clone());
+        assert_eq!(seg.frames_corrupted(), 1);
+        let t = SimTime::from_ns(10);
+        assert_eq!(seg.receive(t), Some(payload.clone())); // frame 0 clean
+        assert_ne!(seg.receive(t), Some(payload.clone())); // frame 1 corrupted
+        assert_eq!(seg.receive(t), Some(payload)); // frame 2 clean
+    }
+
+    #[test]
+    fn bernoulli_injector_is_deterministic() {
+        let run = || {
+            let mut inj = BitErrorInjector::bernoulli(0.3, 42);
+            let mut outcomes = Vec::new();
+            for i in 0..50 {
+                let mut buf = vec![0u8; 28];
+                outcomes.push(inj.maybe_corrupt(i, &mut buf));
+            }
+            outcomes
+        };
+        assert_eq!(run(), run());
+        assert!(run().iter().any(|&c| c), "p=0.3 over 50 frames should corrupt");
+    }
+
+    #[test]
+    fn bernoulli_zero_never_corrupts() {
+        let mut inj = BitErrorInjector::bernoulli(0.0, 1);
+        let mut buf = vec![0xFFu8; 28];
+        for i in 0..100 {
+            assert!(!inj.maybe_corrupt(i, &mut buf));
+        }
+        assert_eq!(buf, vec![0xFF; 28]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_validates_p() {
+        let _ = BitErrorInjector::bernoulli(1.5, 0);
+    }
+}

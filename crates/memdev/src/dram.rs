@@ -1,0 +1,371 @@
+//! DDR3 SDRAM device model with bank/row state.
+//!
+//! The model charges JEDEC-style timing: a read hitting an open row
+//! costs CL + burst; a closed bank adds tRCD; a row conflict adds tRP
+//! first. Periodic refresh steals tRFC every tREFI. Contents are
+//! functional via [`SparseMemory`].
+//!
+//! This is the device behind both the Centaur model's DDR ports and
+//! ConTutto's soft DDR3 controller (paper §3.3(v): "For DRAM
+//! enablement, we use the soft DDR3 memory controller from Altera").
+
+use contutto_sim::SimTime;
+
+use crate::store::SparseMemory;
+use crate::traits::{check_range, MediaKind, MemoryDevice};
+
+/// DDR3 timing parameters, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdrTimings {
+    /// CAS latency (column access).
+    pub cl: u64,
+    /// RAS-to-CAS delay (row activate).
+    pub trcd: u64,
+    /// Row precharge.
+    pub trp: u64,
+    /// Refresh cycle time.
+    pub trfc: u64,
+    /// Average refresh interval.
+    pub trefi: u64,
+    /// Time to burst one 64-byte column out of the array.
+    pub tburst: u64,
+}
+
+impl DdrTimings {
+    /// DDR3-1600 CL11 (a stock 2013-era registered DIMM).
+    pub fn ddr3_1600() -> Self {
+        DdrTimings {
+            cl: 13_750,
+            trcd: 13_750,
+            trp: 13_750,
+            trfc: 160_000,
+            trefi: 7_800_000,
+            tburst: 5_000, // 64 B over an 8-byte DDR-1600 channel
+        }
+    }
+
+    /// A slower DDR3-1066 CL8 profile (for latency-knob experiments).
+    pub fn ddr3_1066() -> Self {
+        DdrTimings {
+            cl: 15_000,
+            trcd: 15_000,
+            trp: 15_000,
+            trfc: 160_000,
+            trefi: 7_800_000,
+            tburst: 7_500,
+        }
+    }
+}
+
+impl Default for DdrTimings {
+    fn default() -> Self {
+        DdrTimings::ddr3_1600()
+    }
+}
+
+const NUM_BANKS: usize = 8;
+const ROW_BYTES: u64 = 8192; // 8 KiB row buffer per bank
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    busy_until: SimTime,
+}
+
+/// Outcome classification of a single DRAM access, for stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Row already open: column access only.
+    Hit,
+    /// Bank idle: activate + column access.
+    Miss,
+    /// Different row open: precharge + activate + column access.
+    Conflict,
+}
+
+/// Cumulative DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Row-buffer hits.
+    pub hits: u64,
+    /// Accesses to idle banks.
+    pub misses: u64,
+    /// Row conflicts.
+    pub conflicts: u64,
+    /// Refresh stalls encountered.
+    pub refresh_stalls: u64,
+}
+
+/// A DDR3 DRAM device.
+///
+/// # Example
+///
+/// ```
+/// use contutto_memdev::{Dram, MemoryDevice};
+/// use contutto_sim::SimTime;
+///
+/// let mut d = Dram::new(1 << 30, Default::default());
+/// let t0 = SimTime::ZERO;
+/// let done = d.write(t0, 0x1000, &[42u8; 128]);
+/// let mut buf = [0u8; 128];
+/// let done2 = d.read(done, 0x1000, &mut buf);
+/// assert_eq!(buf, [42u8; 128]);
+/// assert!(done2 > done);
+/// ```
+#[derive(Debug)]
+pub struct Dram {
+    capacity: u64,
+    timings: DdrTimings,
+    banks: [BankState; NUM_BANKS],
+    store: SparseMemory,
+    next_refresh: SimTime,
+    /// Completion time of the last data-bus transfer (one shared bus
+    /// per device; back-to-back bursts stream every tBURST).
+    last_data_out: SimTime,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM of `capacity` bytes with the given timing grade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64, timings: DdrTimings) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        Dram {
+            capacity,
+            timings,
+            banks: [BankState::default(); NUM_BANKS],
+            store: SparseMemory::new(),
+            next_refresh: SimTime::from_ps(timings.trefi),
+            last_data_out: SimTime::ZERO,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Functional read without charging timing (used when a
+    /// memory-side cache hit bypasses the array but the data is still
+    /// authoritative here).
+    pub fn peek(&self, addr: u64, buf: &mut [u8]) {
+        check_range(self.capacity, addr, buf.len());
+        self.store.read(addr, buf);
+    }
+
+    /// Functional write without charging timing (backing-store update
+    /// for writes absorbed by a cache model).
+    pub fn poke(&mut self, addr: u64, data: &[u8]) {
+        check_range(self.capacity, addr, data.len());
+        self.store.write(addr, data);
+    }
+
+    /// Simulates power loss: DRAM forgets everything.
+    pub fn power_loss(&mut self) {
+        self.store.clear();
+        self.banks = [BankState::default(); NUM_BANKS];
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        // Interleave banks on row-buffer-sized chunks.
+        let chunk = addr / ROW_BYTES;
+        ((chunk % NUM_BANKS as u64) as usize, chunk / NUM_BANKS as u64)
+    }
+
+    /// Charges timing for one ≤64 B column access; returns completion.
+    fn access(&mut self, now: SimTime, addr: u64) -> SimTime {
+        let t = self.timings;
+        let (bank_idx, row) = self.bank_and_row(addr);
+
+        // Refresh: if a refresh interval elapsed, the whole device
+        // stalls for tRFC at the scheduled point.
+        let mut start = now;
+        if now >= self.next_refresh {
+            let refresh_end = self.next_refresh + SimTime::from_ps(t.trfc);
+            start = start.max(refresh_end);
+            self.next_refresh += SimTime::from_ps(t.trefi);
+            self.stats.refresh_stalls += 1;
+        }
+
+        let bank = &mut self.banks[bank_idx];
+        start = start.max(bank.busy_until);
+
+        let (outcome, array_time) = match bank.open_row {
+            Some(open) if open == row => (RowOutcome::Hit, t.cl),
+            Some(_) => (RowOutcome::Conflict, t.trp + t.trcd + t.cl),
+            None => (RowOutcome::Miss, t.trcd + t.cl),
+        };
+        match outcome {
+            RowOutcome::Hit => self.stats.hits += 1,
+            RowOutcome::Miss => self.stats.misses += 1,
+            RowOutcome::Conflict => self.stats.conflicts += 1,
+        }
+        bank.open_row = Some(row);
+        let service_done = start + SimTime::from_ps(array_time + t.tburst);
+        // CAS pipelining: the bank is free again once its activation
+        // and burst slots pass (the CAS-latency tail overlaps the next
+        // access); the shared data bus streams one burst per tBURST.
+        bank.busy_until = service_done.saturating_sub(SimTime::from_ps(t.cl));
+        let done = service_done.max(self.last_data_out + SimTime::from_ps(t.tburst));
+        self.last_data_out = done;
+        done
+    }
+
+    /// Charges timing for an arbitrary-length access split into 64 B
+    /// column bursts.
+    fn access_span(&mut self, now: SimTime, addr: u64, len: usize) -> SimTime {
+        let mut done = now;
+        let mut cur = addr & !63;
+        let end = addr + len as u64;
+        let mut t = now;
+        while cur < end {
+            done = self.access(t, cur);
+            // Consecutive bursts pipeline: the next can start as soon
+            // as the previous column completes.
+            t = done;
+            cur += 64;
+        }
+        done
+    }
+}
+
+impl MemoryDevice for Dram {
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn kind(&self) -> MediaKind {
+        MediaKind::Dram
+    }
+
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+        check_range(self.capacity, addr, buf.len());
+        self.store.read(addr, buf);
+        self.access_span(now, addr, buf.len())
+    }
+
+    fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
+        check_range(self.capacity, addr, data.len());
+        self.store.write(addr, data);
+        self.access_span(now, addr, data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(1 << 30, DdrTimings::ddr3_1600())
+    }
+
+    #[test]
+    fn functional_roundtrip() {
+        let mut d = dram();
+        let data: Vec<u8> = (0..128).collect();
+        d.write(SimTime::ZERO, 4096, &data);
+        let mut buf = vec![0u8; 128];
+        d.read(SimTime::from_us(1), 4096, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss() {
+        let mut d = dram();
+        let mut buf = [0u8; 64];
+        let t0 = SimTime::ZERO;
+        let first = d.read(t0, 0, &mut buf); // miss: tRCD + CL + burst
+        let second_start = first;
+        let second = d.read(second_start, 64, &mut buf); // hit: CL + burst
+        let miss_lat = first - t0;
+        let hit_lat = second - second_start;
+        assert!(hit_lat < miss_lat, "hit {hit_lat} !< miss {miss_lat}");
+        assert_eq!(hit_lat.as_ps(), 13_750 + 5_000);
+        assert_eq!(miss_lat.as_ps(), 13_750 + 13_750 + 5_000);
+    }
+
+    #[test]
+    fn row_conflict_is_slowest() {
+        let mut d = dram();
+        let mut buf = [0u8; 64];
+        let t0 = SimTime::ZERO;
+        let t1 = d.read(t0, 0, &mut buf); // open row 0 of bank 0
+        // Same bank, different row: banks interleave every 8 KiB, so
+        // +8 KiB * 8 banks = same bank, next row.
+        let t2 = d.read(t1, 8192 * 8, &mut buf);
+        let conflict_lat = t2 - t1;
+        assert_eq!(conflict_lat.as_ps(), 13_750 + 13_750 + 13_750 + 5_000);
+        assert_eq!(d.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn banks_operate_independently() {
+        let mut d = dram();
+        let mut buf = [0u8; 64];
+        let t0 = SimTime::ZERO;
+        d.read(t0, 0, &mut buf); // bank 0
+        // Bank 1 (next 8 KiB chunk) is idle: also a plain miss issued
+        // at t0 in parallel — only the shared data bus (one burst per
+        // tBURST) separates the two completions.
+        let done = d.read(t0, 8192, &mut buf);
+        assert_eq!((done - t0).as_ps(), 13_750 + 13_750 + 5_000 + 5_000);
+        assert_eq!(d.stats().misses, 2);
+    }
+
+    #[test]
+    fn busy_bank_queues() {
+        let mut d = dram();
+        let mut buf = [0u8; 64];
+        let t0 = SimTime::ZERO;
+        let first_done = d.read(t0, 0, &mut buf);
+        // Immediately issue a second access to the same bank at t0:
+        // CAS-pipelined behind the first, its data streams one burst
+        // slot later.
+        let second_done = d.read(t0, 64, &mut buf);
+        assert!(second_done > first_done);
+        assert_eq!((second_done - first_done).as_ps(), 5_000);
+    }
+
+    #[test]
+    fn refresh_stalls_accrue() {
+        let mut d = dram();
+        let mut buf = [0u8; 64];
+        // Access just after the first refresh interval.
+        let done = d.read(SimTime::from_ps(7_800_001), 0, &mut buf);
+        assert_eq!(d.stats().refresh_stalls, 1);
+        // The access started only after the refresh completed.
+        assert!(done.as_ps() >= 7_800_000 + 160_000);
+    }
+
+    #[test]
+    fn cache_line_read_takes_two_bursts() {
+        let mut d = dram();
+        let mut buf = [0u8; 128];
+        let t0 = SimTime::ZERO;
+        let done = d.read(t0, 0, &mut buf);
+        // miss (tRCD+CL+burst) then pipelined hit (CL+burst).
+        assert_eq!((done - t0).as_ps(), (13_750 + 13_750 + 5_000) + (13_750 + 5_000));
+    }
+
+    #[test]
+    fn power_loss_clears_contents() {
+        let mut d = dram();
+        d.write(SimTime::ZERO, 0, &[7u8; 64]);
+        d.power_loss();
+        let mut buf = [1u8; 64];
+        d.read(SimTime::from_us(1), 0, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn out_of_range_panics() {
+        let mut d = Dram::new(4096, DdrTimings::default());
+        let mut buf = [0u8; 128];
+        d.read(SimTime::ZERO, 4090, &mut buf);
+    }
+}

@@ -1,0 +1,213 @@
+//! Write-endurance comparison across non-volatile technologies.
+//!
+//! Reproduces the data behind **Figure 8** ("Endurance comparison
+//! between different non-volatile memory technologies", sources
+//! \[13\], \[14\] in the paper): NAND flash endures 10³–10⁵ program/erase
+//! cycles, PCM ~10⁸–10⁹, ReRAM ~10⁵–10¹¹, and STT-MRAM 10¹²–10¹⁵ —
+//! effectively DRAM-class. "Endurance of non-volatile memory
+//! technologies is of significant concern when used on a high
+//! bandwidth memory bus" (paper §4.2(ii)); the figure is the argument
+//! for why MRAM can live on the DMI link while flash cannot.
+
+use std::fmt;
+
+/// A memory technology in the endurance comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Technology {
+    /// Triple-level-cell NAND flash.
+    NandTlc,
+    /// Multi-level-cell NAND flash.
+    NandMlc,
+    /// Single-level-cell NAND flash.
+    NandSlc,
+    /// Phase-change memory (chalcogenide).
+    Pcm,
+    /// Resistive RAM (filamentary).
+    ReRam,
+    /// Spin-transfer-torque MRAM.
+    SttMram,
+    /// DRAM (reference point; endurance effectively unlimited).
+    Dram,
+}
+
+impl Technology {
+    /// All technologies, in Figure 8's left-to-right order.
+    pub fn all() -> [Technology; 7] {
+        [
+            Technology::NandTlc,
+            Technology::NandMlc,
+            Technology::NandSlc,
+            Technology::Pcm,
+            Technology::ReRam,
+            Technology::SttMram,
+            Technology::Dram,
+        ]
+    }
+
+    /// The endurance band for this technology.
+    pub fn endurance(self) -> EnduranceClass {
+        match self {
+            Technology::NandTlc => EnduranceClass::new(1e3, 5e3),
+            Technology::NandMlc => EnduranceClass::new(3e3, 3e4),
+            Technology::NandSlc => EnduranceClass::new(5e4, 1e5),
+            Technology::Pcm => EnduranceClass::new(1e8, 1e9),
+            Technology::ReRam => EnduranceClass::new(1e5, 1e11),
+            Technology::SttMram => EnduranceClass::new(1e12, 1e15),
+            Technology::Dram => EnduranceClass::new(1e15, 1e16),
+        }
+    }
+
+    /// Whether this technology is non-volatile.
+    pub fn is_nonvolatile(self) -> bool {
+        !matches!(self, Technology::Dram)
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technology::NandTlc => "NAND (TLC)",
+            Technology::NandMlc => "NAND (MLC)",
+            Technology::NandSlc => "NAND (SLC)",
+            Technology::Pcm => "PCM",
+            Technology::ReRam => "ReRAM",
+            Technology::SttMram => "STT-MRAM",
+            Technology::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A write-endurance band (min..max cycles to failure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceClass {
+    min_cycles: f64,
+    max_cycles: f64,
+}
+
+impl EnduranceClass {
+    /// Creates a band.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= max`.
+    pub fn new(min_cycles: f64, max_cycles: f64) -> Self {
+        assert!(min_cycles > 0.0 && min_cycles <= max_cycles, "invalid band");
+        EnduranceClass {
+            min_cycles,
+            max_cycles,
+        }
+    }
+
+    /// Lower bound in cycles.
+    pub fn min_cycles(self) -> f64 {
+        self.min_cycles
+    }
+
+    /// Upper bound in cycles.
+    pub fn max_cycles(self) -> f64 {
+        self.max_cycles
+    }
+
+    /// log10 of the bounds (the axis Figure 8 is drawn on).
+    pub fn log10_band(self) -> (f64, f64) {
+        (self.min_cycles.log10(), self.max_cycles.log10())
+    }
+
+    /// Lifetime in days if a single cell is rewritten continuously at
+    /// `writes_per_sec` (pessimal wear, no leveling) — the "memory bus"
+    /// stress the paper worries about.
+    pub fn worst_case_lifetime_days(self, writes_per_sec: f64) -> f64 {
+        assert!(writes_per_sec > 0.0);
+        self.min_cycles / writes_per_sec / 86_400.0
+    }
+}
+
+/// One row of the Figure 8 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnduranceRow {
+    /// The technology.
+    pub technology: Technology,
+    /// log10 endurance band.
+    pub log10_min: f64,
+    /// Upper edge of the band.
+    pub log10_max: f64,
+    /// Days a cell survives at 1 M writes/s (memory-bus-class rate).
+    pub lifetime_days_at_1mwps: f64,
+}
+
+/// Produces the full Figure 8 dataset.
+pub fn figure8_dataset() -> Vec<EnduranceRow> {
+    Technology::all()
+        .into_iter()
+        .map(|tech| {
+            let e = tech.endurance();
+            let (lo, hi) = e.log10_band();
+            EnduranceRow {
+                technology: tech,
+                log10_min: lo,
+                log10_max: hi,
+                lifetime_days_at_1mwps: e.worst_case_lifetime_days(1e6),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_ordering_holds() {
+        // The claim of Figure 8: MRAM >> PCM >> NAND.
+        let mram = Technology::SttMram.endurance();
+        let pcm = Technology::Pcm.endurance();
+        let slc = Technology::NandSlc.endurance();
+        let mlc = Technology::NandMlc.endurance();
+        assert!(mram.min_cycles() > pcm.max_cycles());
+        assert!(pcm.min_cycles() > slc.max_cycles());
+        assert!(slc.min_cycles() > mlc.min_cycles());
+    }
+
+    #[test]
+    fn mram_approaches_dram() {
+        let mram = Technology::SttMram.endurance();
+        let dram = Technology::Dram.endurance();
+        // Within ~3 decades of DRAM at the top end.
+        assert!(dram.max_cycles().log10() - mram.max_cycles().log10() <= 3.0);
+    }
+
+    #[test]
+    fn flash_dies_in_seconds_on_a_memory_bus() {
+        // At 1 M writes/s to one cell, MLC NAND lasts well under a minute;
+        // STT-MRAM lasts over a decade.
+        let mlc = Technology::NandMlc.endurance().worst_case_lifetime_days(1e6);
+        let mram = Technology::SttMram.endurance().worst_case_lifetime_days(1e6);
+        assert!(mlc < 1.0 / 24.0 / 60.0, "MLC lifetime {mlc} days");
+        assert!(mram > 10.0, "MRAM lifetime {mram} days");
+        assert!(mram / mlc > 1e7, "MRAM/MLC ratio {}", mram / mlc);
+    }
+
+    #[test]
+    fn dataset_covers_all_technologies() {
+        let rows = figure8_dataset();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.windows(2).all(|w| w[0].log10_min <= w[1].log10_min + 6.0));
+        for row in &rows {
+            assert!(row.log10_max >= row.log10_min);
+        }
+    }
+
+    #[test]
+    fn volatility_classification() {
+        assert!(Technology::SttMram.is_nonvolatile());
+        assert!(!Technology::Dram.is_nonvolatile());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid band")]
+    fn band_validation() {
+        let _ = EnduranceClass::new(10.0, 1.0);
+    }
+}

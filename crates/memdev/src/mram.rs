@@ -1,0 +1,250 @@
+//! STT-MRAM device model.
+//!
+//! Paper §4.2(ii): "Our initial technology demonstration of MRAM used
+//! iMTJ (inline magnetic tunnel junction); we have since migrated to
+//! pMTJ (perpendicular MTJ) which shows improved power/performance
+//! characteristics." The devices are 256 MB DDR3-interface MRAM DIMMs.
+//!
+//! STT-MRAM is byte-addressable, non-volatile, with DRAM-class read
+//! latency, somewhat slower writes, and effectively unlimited
+//! endurance compared to flash (Figure 8). The model charges flat
+//! read/write latencies per 64 B access (MRAM has no row-buffer
+//! dynamics) and tracks per-line write counts for endurance studies.
+
+use std::collections::HashMap;
+
+use contutto_sim::SimTime;
+
+use crate::store::SparseMemory;
+use crate::traits::{check_range, MediaKind, MemoryDevice};
+
+/// STT-MRAM device generation (paper §4.2(ii)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MramGeneration {
+    /// Inline magnetic tunnel junction — the first demonstration.
+    Imtj,
+    /// Perpendicular MTJ — "improved power/performance".
+    Pmtj,
+}
+
+impl MramGeneration {
+    /// Read latency for a 64 B access.
+    pub fn read_latency(self) -> SimTime {
+        match self {
+            MramGeneration::Imtj => SimTime::from_ps(45_000),
+            MramGeneration::Pmtj => SimTime::from_ps(35_000),
+        }
+    }
+
+    /// Write latency for a 64 B access.
+    pub fn write_latency(self) -> SimTime {
+        match self {
+            MramGeneration::Imtj => SimTime::from_ps(120_000),
+            MramGeneration::Pmtj => SimTime::from_ps(80_000),
+        }
+    }
+
+    /// Write energy per 64 B access, in picojoules (relative figure
+    /// used by the power comparison; pMTJ switches with less current).
+    pub fn write_energy_pj(self) -> f64 {
+        match self {
+            MramGeneration::Imtj => 768.0, // 1.5 pJ/bit
+            MramGeneration::Pmtj => 256.0, // 0.5 pJ/bit
+        }
+    }
+
+    /// Nominal write endurance in cycles (Figure 8: STT-MRAM sits at
+    /// 10¹²⁺, orders of magnitude above flash).
+    pub fn endurance_cycles(self) -> u64 {
+        1_000_000_000_000
+    }
+}
+
+/// A single STT-MRAM device/DIMM.
+///
+/// # Example
+///
+/// ```
+/// use contutto_memdev::{SttMram, MramGeneration, MemoryDevice};
+/// use contutto_sim::SimTime;
+///
+/// let mut m = SttMram::new(256 << 20, MramGeneration::Pmtj);
+/// m.write(SimTime::ZERO, 0, &[1u8; 64]);
+/// let mut buf = [0u8; 64];
+/// m.read(SimTime::from_us(1), 0, &mut buf);
+/// assert_eq!(buf, [1u8; 64]);
+/// assert!(m.kind().is_nonvolatile());
+/// ```
+#[derive(Debug)]
+pub struct SttMram {
+    capacity: u64,
+    generation: MramGeneration,
+    store: SparseMemory,
+    busy_until: SimTime,
+    write_counts: HashMap<u64, u64>,
+    total_writes: u64,
+    total_write_energy_pj: f64,
+}
+
+impl SttMram {
+    /// Creates an MRAM of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64, generation: MramGeneration) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        SttMram {
+            capacity,
+            generation,
+            store: SparseMemory::new(),
+            busy_until: SimTime::ZERO,
+            write_counts: HashMap::new(),
+            total_writes: 0,
+            total_write_energy_pj: 0.0,
+        }
+    }
+
+    /// The device generation.
+    pub fn generation(&self) -> MramGeneration {
+        self.generation
+    }
+
+    /// How many 64 B writes the hottest line has absorbed.
+    pub fn max_line_wear(&self) -> u64 {
+        self.write_counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total 64 B write operations performed.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Cumulative write energy in picojoules.
+    pub fn total_write_energy_pj(&self) -> f64 {
+        self.total_write_energy_pj
+    }
+
+    /// Whether any line has exceeded nominal endurance (practically
+    /// unreachable for MRAM — that is the point of Figure 8).
+    pub fn is_worn_out(&self) -> bool {
+        self.max_line_wear() >= self.generation.endurance_cycles()
+    }
+
+    /// Functional read without timing (accelerator DMA path).
+    pub fn peek(&self, addr: u64, buf: &mut [u8]) {
+        check_range(self.capacity, addr, buf.len());
+        self.store.read(addr, buf);
+    }
+
+    /// Functional write without timing (accelerator DMA path).
+    pub fn poke(&mut self, addr: u64, data: &[u8]) {
+        check_range(self.capacity, addr, data.len());
+        self.store.write(addr, data);
+    }
+
+    /// Simulated power loss: contents are retained (non-volatile).
+    pub fn power_loss(&mut self) {
+        self.busy_until = SimTime::ZERO;
+    }
+
+    fn spans(addr: u64, len: usize) -> u64 {
+        let first = addr / 64;
+        let last = (addr + len as u64 - 1) / 64;
+        last - first + 1
+    }
+}
+
+impl MemoryDevice for SttMram {
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn kind(&self) -> MediaKind {
+        MediaKind::SttMram
+    }
+
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+        check_range(self.capacity, addr, buf.len());
+        self.store.read(addr, buf);
+        let start = now.max(self.busy_until);
+        let done = start + self.generation.read_latency() * Self::spans(addr, buf.len());
+        self.busy_until = done;
+        done
+    }
+
+    fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
+        check_range(self.capacity, addr, data.len());
+        self.store.write(addr, data);
+        let lines = Self::spans(addr, data.len());
+        for i in 0..lines {
+            *self.write_counts.entry(addr / 64 + i).or_insert(0) += 1;
+        }
+        self.total_writes += lines;
+        self.total_write_energy_pj += self.generation.write_energy_pj() * lines as f64;
+        let start = now.max(self.busy_until);
+        let done = start + self.generation.write_latency() * lines;
+        self.busy_until = done;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_roundtrip_survives_power_loss() {
+        let mut m = SttMram::new(1 << 20, MramGeneration::Imtj);
+        m.write(SimTime::ZERO, 128, &[0x5A; 64]);
+        m.power_loss();
+        let mut buf = [0u8; 64];
+        m.read(SimTime::ZERO, 128, &mut buf);
+        assert_eq!(buf, [0x5A; 64]);
+    }
+
+    #[test]
+    fn pmtj_outperforms_imtj() {
+        assert!(MramGeneration::Pmtj.read_latency() < MramGeneration::Imtj.read_latency());
+        assert!(MramGeneration::Pmtj.write_latency() < MramGeneration::Imtj.write_latency());
+        assert!(MramGeneration::Pmtj.write_energy_pj() < MramGeneration::Imtj.write_energy_pj());
+    }
+
+    #[test]
+    fn write_slower_than_read() {
+        let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
+        let r = m.read(SimTime::ZERO, 0, &mut [0u8; 64]);
+        let w_start = r;
+        let w = m.write(w_start, 0, &[0u8; 64]);
+        assert!(w - w_start > r - SimTime::ZERO);
+    }
+
+    #[test]
+    fn wear_tracking() {
+        let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
+        for _ in 0..10 {
+            m.write(SimTime::ZERO, 0, &[1u8; 64]);
+        }
+        m.write(SimTime::ZERO, 64, &[1u8; 64]);
+        assert_eq!(m.max_line_wear(), 10);
+        assert_eq!(m.total_writes(), 11);
+        assert!(!m.is_worn_out());
+        assert!(m.total_write_energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn multi_line_write_counts_spans() {
+        let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
+        m.write(SimTime::ZERO, 32, &[0u8; 64]); // straddles two 64 B lines
+        assert_eq!(m.total_writes(), 2);
+    }
+
+    #[test]
+    fn device_serializes_accesses() {
+        let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
+        let mut buf = [0u8; 64];
+        let a = m.read(SimTime::ZERO, 0, &mut buf);
+        let b = m.read(SimTime::ZERO, 4096, &mut buf); // issued at same time
+        assert_eq!(b - a, MramGeneration::Pmtj.read_latency());
+    }
+}

@@ -1,0 +1,289 @@
+//! NVDIMM-N model: DRAM with a flash backup engine.
+//!
+//! Paper §4.2(iii): "NVDIMM refers to FLASH-backed DRAM DIMMs which
+//! combine the performance of DRAM with non-volatility of FLASH. The
+//! main idea is to use DRAM for memory operations and copy the data
+//! over to FLASH when the power is removed; a backup power source such
+//! as a battery or a super-cap is used to support the copying
+//! operation. The copy is performed by the NVDIMM itself and does not
+//! need the FPGA or the CPU to stay powered up."
+//!
+//! Normal operation is DRAM-speed. [`NvdimmN::power_loss`] triggers
+//! the save (DRAM → flash) if the supercap is armed; on restore the
+//! contents come back. The save sequence for DDR3 is vendor-specific
+//! (paper §4.2: "the sequence is vendor specific in the case of
+//! DDR3"), which our firmware model has to know about.
+
+use contutto_sim::SimTime;
+
+use crate::dram::{DdrTimings, Dram};
+use crate::flash::{FlashConfig, NandFlash};
+use crate::traits::{MediaKind, MemoryDevice};
+
+/// State of the NVDIMM save/restore engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveState {
+    /// Normal operation; no valid image in flash.
+    Idle,
+    /// A power-loss save is in progress until the given time.
+    Saving {
+        /// When the save completes.
+        done_at: SimTime,
+    },
+    /// A valid image sits in flash (power was lost, save completed).
+    Saved,
+    /// Power loss hit with the supercap disarmed: contents lost.
+    Lost,
+}
+
+/// How the save/restore handshake is triggered (paper §4.2(iii):
+/// "The sequence of operations to be performed to persist DRAM are
+/// being standardized through JEDEC for DDR4; the sequence is vendor
+/// specific in the case of DDR3").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveSequence {
+    /// The JEDEC-standardized DDR4 sequence.
+    JedecDdr4,
+    /// A vendor-specific DDR3 sequence, identified by vendor code.
+    VendorDdr3(u8),
+}
+
+/// A flash-backed DRAM DIMM (NVDIMM-N).
+#[derive(Debug)]
+pub struct NvdimmN {
+    dram: Dram,
+    flash: NandFlash,
+    armed: bool,
+    state: SaveState,
+    /// The handshake this DIMM expects.
+    sequence: SaveSequence,
+    /// Flash streaming bandwidth during save/restore, bytes/sec.
+    backup_bandwidth: f64,
+}
+
+impl NvdimmN {
+    /// Creates an NVDIMM-N of `capacity` bytes with an armed supercap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or not block-aligned for the
+    /// internal flash (256 KiB).
+    pub fn new(capacity: u64, timings: DdrTimings) -> Self {
+        NvdimmN {
+            dram: Dram::new(capacity, timings),
+            flash: NandFlash::new(capacity, FlashConfig::slc()),
+            armed: true,
+            state: SaveState::Idle,
+            // DDR3 parts in the paper's era: vendor-specific handshake.
+            sequence: SaveSequence::VendorDdr3(0x2C),
+            backup_bandwidth: 400e6, // 400 MB/s save engine
+        }
+    }
+
+    /// The save handshake this DIMM expects. Firmware must issue a
+    /// matching sequence when arming (see [`NvdimmN::arm_with_sequence`]).
+    pub fn save_sequence(&self) -> SaveSequence {
+        self.sequence
+    }
+
+    /// Arms the supercap using an explicit handshake. A mismatched
+    /// sequence leaves the DIMM disarmed — the silent failure mode the
+    /// paper's "non-trivial firmware/BIOS support" exists to prevent.
+    pub fn arm_with_sequence(&mut self, seq: SaveSequence) -> bool {
+        self.armed = seq == self.sequence;
+        self.armed
+    }
+
+    /// Whether the backup power source is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Arms or disarms the supercap (firmware control).
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// Current save-engine state.
+    pub fn save_state(&self) -> SaveState {
+        self.state
+    }
+
+    /// Duration of a full save or restore at the engine bandwidth.
+    pub fn backup_duration(&self) -> SimTime {
+        let secs = self.dram.capacity_bytes() as f64 / self.backup_bandwidth;
+        SimTime::from_ps((secs * 1e12) as u64)
+    }
+
+    /// Functional read without timing (accelerator DMA path).
+    pub fn peek(&self, addr: u64, buf: &mut [u8]) {
+        self.dram.peek(addr, buf);
+    }
+
+    /// Functional write without timing (accelerator DMA path).
+    pub fn poke(&mut self, addr: u64, data: &[u8]) {
+        self.dram.poke(addr, data);
+    }
+
+    /// Power is cut. If armed, the on-DIMM engine copies DRAM to flash
+    /// (no CPU/FPGA involvement); otherwise contents are lost.
+    /// Returns the time the DIMM is quiescent.
+    pub fn power_loss(&mut self, now: SimTime) -> SimTime {
+        if self.armed {
+            let done = now + self.backup_duration();
+            // Functionally: stream the DRAM image into flash.
+            let cap = self.dram.capacity_bytes();
+            let mut buf = vec![0u8; 64 * 1024];
+            let mut off = 0u64;
+            while off < cap {
+                let n = (cap - off).min(buf.len() as u64) as usize;
+                self.dram.read(now, off, &mut buf[..n]);
+                self.flash.write(now, off, &buf[..n]);
+                off += n as u64;
+            }
+            self.dram.power_loss();
+            self.state = SaveState::Saving { done_at: done };
+            done
+        } else {
+            self.dram.power_loss();
+            self.state = SaveState::Lost;
+            now
+        }
+    }
+
+    /// Power returns. If a save completed, the image is restored from
+    /// flash into DRAM. Returns the time the DIMM is usable.
+    pub fn power_restore(&mut self, now: SimTime) -> SimTime {
+        match self.state {
+            SaveState::Saving { done_at } => {
+                assert!(
+                    now >= done_at,
+                    "power restored before the save finished; image would be torn"
+                );
+                self.restore_image(now)
+            }
+            SaveState::Saved => self.restore_image(now),
+            SaveState::Idle | SaveState::Lost => {
+                self.state = SaveState::Idle;
+                now
+            }
+        }
+    }
+
+    fn restore_image(&mut self, now: SimTime) -> SimTime {
+        let cap = self.dram.capacity_bytes();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut off = 0u64;
+        while off < cap {
+            let n = (cap - off).min(buf.len() as u64) as usize;
+            self.flash.read(now, off, &mut buf[..n]);
+            self.dram.write(now, off, &buf[..n]);
+            off += n as u64;
+        }
+        self.state = SaveState::Idle;
+        now + self.backup_duration()
+    }
+}
+
+impl MemoryDevice for NvdimmN {
+    fn capacity_bytes(&self) -> u64 {
+        self.dram.capacity_bytes()
+    }
+
+    fn kind(&self) -> MediaKind {
+        MediaKind::NvdimmN
+    }
+
+    /// DRAM-speed reads (the flash is only used for backup).
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+        self.dram.read(now, addr, buf)
+    }
+
+    /// DRAM-speed writes.
+    fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
+        self.dram.write(now, addr, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nvdimm() -> NvdimmN {
+        // Small capacity keeps the functional save/restore quick.
+        NvdimmN::new(1 << 20, DdrTimings::ddr3_1600())
+    }
+
+    #[test]
+    fn operates_at_dram_speed() {
+        let mut nv = nvdimm();
+        let mut plain = Dram::new(1 << 20, DdrTimings::ddr3_1600());
+        let mut buf = [0u8; 128];
+        let a = nv.read(SimTime::ZERO, 0, &mut buf);
+        let b = plain.read(SimTime::ZERO, 0, &mut buf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn armed_power_loss_preserves_contents() {
+        let mut nv = nvdimm();
+        nv.write(SimTime::ZERO, 4096, &[0xCD; 256]);
+        let quiesced = nv.power_loss(SimTime::from_ms(1));
+        assert!(matches!(nv.save_state(), SaveState::Saving { .. }));
+        let usable = nv.power_restore(quiesced + SimTime::from_ms(1));
+        assert!(usable > quiesced);
+        let mut buf = [0u8; 256];
+        nv.read(usable, 4096, &mut buf);
+        assert_eq!(buf, [0xCD; 256]);
+        assert_eq!(nv.save_state(), SaveState::Idle);
+    }
+
+    #[test]
+    fn disarmed_power_loss_loses_contents() {
+        let mut nv = nvdimm();
+        nv.set_armed(false);
+        nv.write(SimTime::ZERO, 0, &[0xEE; 64]);
+        nv.power_loss(SimTime::from_ms(1));
+        assert_eq!(nv.save_state(), SaveState::Lost);
+        let t = nv.power_restore(SimTime::from_ms(2));
+        let mut buf = [1u8; 64];
+        nv.read(t, 0, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the save finished")]
+    fn early_restore_is_a_torn_image() {
+        let mut nv = nvdimm();
+        nv.write(SimTime::ZERO, 0, &[1; 64]);
+        let done = nv.power_loss(SimTime::from_ms(1));
+        assert!(done > SimTime::from_ms(1));
+        nv.power_restore(SimTime::from_ms(1)); // too early
+    }
+
+    #[test]
+    fn backup_duration_scales_with_capacity() {
+        let small = NvdimmN::new(1 << 20, DdrTimings::ddr3_1600());
+        let large = NvdimmN::new(4 << 20, DdrTimings::ddr3_1600());
+        assert_eq!(large.backup_duration().as_ps(), small.backup_duration().as_ps() * 4);
+    }
+
+    #[test]
+    fn kind_is_nonvolatile() {
+        assert!(nvdimm().kind().is_nonvolatile());
+    }
+
+    #[test]
+    fn wrong_save_sequence_leaves_dimm_disarmed() {
+        let mut nv = nvdimm();
+        // Firmware issues the DDR4 JEDEC sequence at a DDR3 part:
+        assert!(!nv.arm_with_sequence(SaveSequence::JedecDdr4));
+        nv.write(SimTime::ZERO, 0, &[9u8; 64]);
+        nv.power_loss(SimTime::from_ms(1));
+        assert_eq!(nv.save_state(), SaveState::Lost, "data silently lost");
+        // The matching vendor sequence arms it.
+        let seq = nv.save_sequence();
+        assert!(nv.arm_with_sequence(seq));
+        assert!(nv.is_armed());
+    }
+}

@@ -1,0 +1,125 @@
+//! The device abstraction shared by all media models.
+
+use std::fmt;
+
+use contutto_sim::SimTime;
+
+/// The memory-cell technology backing a device.
+///
+/// Paper §4.2: "ConTutto is memory technology agnostic; as long as the
+/// interface supports DDR3, the backing memory cell technology could be
+/// based on resistive filaments, chalcogenide, magnetic tunnel
+/// junctions or capacitive cells".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MediaKind {
+    /// Capacitive-cell DRAM.
+    Dram,
+    /// Spin-transfer-torque magnetic RAM.
+    SttMram,
+    /// Flash-backed DRAM (NVDIMM-N).
+    NvdimmN,
+    /// Raw NAND flash.
+    NandFlash,
+    /// Rotating magnetic disk.
+    HardDisk,
+}
+
+impl MediaKind {
+    /// Whether contents survive power loss (for NVDIMM-N this assumes
+    /// an armed backup supply; see [`crate::nvdimm::NvdimmN`]).
+    pub fn is_nonvolatile(self) -> bool {
+        !matches!(self, MediaKind::Dram)
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MediaKind::Dram => "DRAM",
+            MediaKind::SttMram => "STT-MRAM",
+            MediaKind::NvdimmN => "NVDIMM-N",
+            MediaKind::NandFlash => "NAND flash",
+            MediaKind::HardDisk => "HDD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A byte-addressable memory/storage device with functional contents
+/// and per-operation timing.
+///
+/// Operations take the current simulation time and return the
+/// **completion time** of the access; the device internally tracks any
+/// resource contention (busy banks, head position, program/erase
+/// state), so back-to-back calls model queuing naturally.
+pub trait MemoryDevice {
+    /// Total device capacity in bytes.
+    fn capacity_bytes(&self) -> u64;
+
+    /// The backing technology.
+    fn kind(&self) -> MediaKind;
+
+    /// Reads `buf.len()` bytes at `addr` into `buf`; returns the time
+    /// the data is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access exceeds the device capacity.
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime;
+
+    /// Writes `data` at `addr`; returns the time the write is durable
+    /// at the device (for DRAM: in the array; for flash: programmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access exceeds the device capacity.
+    fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime;
+}
+
+/// Validates an access range against a capacity.
+///
+/// # Panics
+///
+/// Panics when the access is out of range — out-of-range accesses are
+/// always a modelling bug upstream (the memory map must prevent them).
+pub fn check_range(capacity: u64, addr: u64, len: usize) {
+    let end = addr
+        .checked_add(len as u64)
+        .expect("address overflow in device access");
+    assert!(
+        end <= capacity,
+        "device access [{addr:#x}, {end:#x}) exceeds capacity {capacity:#x}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonvolatility_classification() {
+        assert!(!MediaKind::Dram.is_nonvolatile());
+        assert!(MediaKind::SttMram.is_nonvolatile());
+        assert!(MediaKind::NvdimmN.is_nonvolatile());
+        assert!(MediaKind::NandFlash.is_nonvolatile());
+        assert!(MediaKind::HardDisk.is_nonvolatile());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MediaKind::SttMram.to_string(), "STT-MRAM");
+        assert_eq!(MediaKind::Dram.to_string(), "DRAM");
+    }
+
+    #[test]
+    fn range_check_accepts_exact_fit() {
+        check_range(1024, 1024 - 128, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn range_check_rejects_overrun() {
+        check_range(1024, 1000, 128);
+    }
+}

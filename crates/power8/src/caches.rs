@@ -1,0 +1,179 @@
+//! Processor-side cache hierarchy (timing model).
+//!
+//! A compact L1/L2/L3 in front of the DMI channel, used by the
+//! pointer-chase workload and the software-level latency accounting.
+//! Geometry follows POWER8 per-core figures (64 KiB L1d, 512 KiB L2,
+//! 8 MiB of L3 region) with round latencies at a 4 GHz core.
+
+use contutto_centaur::EdramCache;
+use contutto_sim::SimTime;
+
+use crate::channel::DmiChannel;
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// L1 data cache.
+    L1,
+    /// L2.
+    L2,
+    /// L3 region.
+    L3,
+    /// Went to memory over the DMI channel.
+    Memory,
+}
+
+/// Per-level hit counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L3 hits.
+    pub l3_hits: u64,
+    /// Memory accesses.
+    pub memory_accesses: u64,
+}
+
+/// The three-level hierarchy.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1: EdramCache,
+    l2: EdramCache,
+    l3: EdramCache,
+    l1_latency: SimTime,
+    l2_latency: SimTime,
+    l3_latency: SimTime,
+    stats: CacheStats,
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        Self::power8_core()
+    }
+}
+
+impl CacheHierarchy {
+    /// POWER8-like per-core geometry.
+    pub fn power8_core() -> Self {
+        let mut l1 = EdramCache::new(64 << 10, 8);
+        let mut l2 = EdramCache::new(512 << 10, 8);
+        let mut l3 = EdramCache::new(8 << 20, 8);
+        // Demand-fetch only; the memory-side Centaur cache prefetches.
+        l1.set_prefetch_degree(0);
+        l2.set_prefetch_degree(0);
+        l3.set_prefetch_degree(0);
+        CacheHierarchy {
+            l1,
+            l2,
+            l3,
+            l1_latency: SimTime::from_ps(800),
+            l2_latency: SimTime::from_ps(3_300),
+            l3_latency: SimTime::from_ps(7_000),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Per-level stats.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up an address; on a full miss all levels are filled.
+    /// Returns the serving level and its latency contribution
+    /// (memory latency is the channel's business).
+    pub fn access(&mut self, addr: u64) -> (HitLevel, SimTime) {
+        if self.l1.access(addr) {
+            self.stats.l1_hits += 1;
+            return (HitLevel::L1, self.l1_latency);
+        }
+        if self.l2.access(addr) {
+            self.stats.l2_hits += 1;
+            self.l1.fill(addr);
+            return (HitLevel::L2, self.l2_latency);
+        }
+        if self.l3.access(addr) {
+            self.stats.l3_hits += 1;
+            self.l2.fill(addr);
+            self.l1.fill(addr);
+            return (HitLevel::L3, self.l3_latency);
+        }
+        self.stats.memory_accesses += 1;
+        self.l3.fill(addr);
+        self.l2.fill(addr);
+        self.l1.fill(addr);
+        (HitLevel::Memory, self.l3_latency)
+    }
+
+    /// A full load: through the hierarchy and, on miss, over the
+    /// channel. Returns (level, total latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel hangs (from the blocking read).
+    pub fn load(&mut self, channel: &mut DmiChannel, addr: u64) -> (HitLevel, SimTime) {
+        let (level, lat) = self.access(addr);
+        if level == HitLevel::Memory {
+            let before = channel.now();
+            channel
+                .read_line_blocking(addr)
+                .expect("cache-miss read must not exhaust tags");
+            (level, lat + (channel.now() - before))
+        } else {
+            (level, lat)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelConfig;
+    use contutto_centaur::{Centaur, CentaurConfig};
+
+    #[test]
+    fn level_latencies_ordered() {
+        let h = CacheHierarchy::power8_core();
+        assert!(h.l1_latency < h.l2_latency);
+        assert!(h.l2_latency < h.l3_latency);
+    }
+
+    #[test]
+    fn repeated_access_promotes_to_l1() {
+        let mut h = CacheHierarchy::power8_core();
+        let (lvl, _) = h.access(0x4000);
+        assert_eq!(lvl, HitLevel::Memory);
+        let (lvl, _) = h.access(0x4000);
+        assert_eq!(lvl, HitLevel::L1);
+        assert_eq!(h.stats().l1_hits, 1);
+        assert_eq!(h.stats().memory_accesses, 1);
+    }
+
+    #[test]
+    fn eviction_from_l1_falls_to_l2() {
+        let mut h = CacheHierarchy::power8_core();
+        h.access(0);
+        // Blow L1 (64 KiB) with a 256 KiB sweep; L2 (512 KiB) keeps it.
+        for addr in (0..(256 << 10)).step_by(128) {
+            h.access(addr + (1 << 20));
+        }
+        let (lvl, _) = h.access(0);
+        assert_eq!(lvl, HitLevel::L2);
+    }
+
+    #[test]
+    fn load_through_channel_on_miss() {
+        let mut h = CacheHierarchy::power8_core();
+        let mut ch = DmiChannel::new(
+            ChannelConfig::centaur(),
+            Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
+        );
+        let (lvl, total) = h.load(&mut ch, 0x10_0000);
+        assert_eq!(lvl, HitLevel::Memory);
+        assert!(total > SimTime::from_ns(40), "memory load {total}");
+        let (lvl, total) = h.load(&mut ch, 0x10_0000);
+        assert_eq!(lvl, HitLevel::L1);
+        assert!(total < SimTime::from_ns(2));
+    }
+}

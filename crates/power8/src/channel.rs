@@ -1,0 +1,548 @@
+//! One DMI memory channel, end to end.
+//!
+//! [`DmiChannel`] assembles the host-side link endpoint, the two wire
+//! segments, the buffer-side endpoint and a buffer chip model (Centaur
+//! or ConTutto) into a steppable simulation. It implements the
+//! command loop of paper §2.3: commands acquire one of 32 tags, write
+//! data follows in beats, read data and done notifications are paired
+//! back by tag, and a tag frees only when its done arrives — so a
+//! slow buffer visibly throttles the processor, exactly the effect
+//! the paper warns about.
+
+use std::collections::{HashMap, VecDeque};
+
+use contutto_dmi::buffer::DmiBuffer;
+use contutto_dmi::command::{CacheLine, CommandOp, Tag, TagPool};
+use contutto_dmi::frame::{
+    line_to_downstream_beats, CommandHeader, DownstreamFrame, DownstreamPayload, LineAssembler,
+    UpstreamFrame, UpstreamPayload,
+};
+use contutto_dmi::link::{BitErrorInjector, LinkSegment, LinkSpeed};
+use contutto_dmi::protocol::{LinkEndpoint, LinkEndpointConfig};
+use contutto_dmi::training::{measure_frtl, LinkTrainer, TrainerConfig, TrainingOutcome};
+use contutto_dmi::DmiError;
+use contutto_sim::{Frequency, SimTime};
+
+type HostEndpoint = LinkEndpoint<DownstreamFrame, UpstreamFrame>;
+type BufferEndpoint = LinkEndpoint<UpstreamFrame, DownstreamFrame>;
+
+/// Wire propagation latency of each channel direction.
+pub const WIRE_PROPAGATION: SimTime = SimTime::from_ns(1);
+
+/// Channel construction parameters.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Link speed (8 Gb/s for ConTutto, 9.6 Gb/s for Centaur).
+    pub speed: LinkSpeed,
+    /// Error injection on the downstream wire.
+    pub down_errors: BitErrorInjector,
+    /// Error injection on the upstream wire.
+    pub up_errors: BitErrorInjector,
+    /// Buffer-side endpoint configuration (freeze workaround etc.).
+    pub buffer_endpoint: LinkEndpointConfig,
+}
+
+impl ChannelConfig {
+    /// Clean Centaur channel at 9.6 Gb/s.
+    pub fn centaur() -> Self {
+        ChannelConfig {
+            speed: LinkSpeed::Gbps9_6,
+            down_errors: BitErrorInjector::never(),
+            up_errors: BitErrorInjector::never(),
+            buffer_endpoint: LinkEndpointConfig::centaur_buffer(),
+        }
+    }
+
+    /// Clean ConTutto channel at 8 Gb/s with the freeze workaround.
+    pub fn contutto() -> Self {
+        ChannelConfig {
+            speed: LinkSpeed::Gbps8,
+            down_errors: BitErrorInjector::never(),
+            up_errors: BitErrorInjector::never(),
+            buffer_endpoint: LinkEndpointConfig::contutto_buffer(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    issued: SimTime,
+    assembler: Option<LineAssembler>,
+    data: Option<CacheLine>,
+}
+
+/// A completed command: tag, completion time, read data if any, and
+/// the issue time (for latency accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The command's tag (already released back to the pool).
+    pub tag: Tag,
+    /// When the done notification reached the host.
+    pub completed_at: SimTime,
+    /// When the command was submitted.
+    pub issued_at: SimTime,
+    /// Read data, for reads.
+    pub data: Option<CacheLine>,
+}
+
+/// A full DMI channel with a plugged buffer chip.
+///
+/// # Example
+///
+/// ```
+/// use contutto_power8::channel::{ChannelConfig, DmiChannel};
+/// use contutto_centaur::{Centaur, CentaurConfig};
+/// use contutto_dmi::CacheLine;
+///
+/// let mut ch = DmiChannel::new(
+///     ChannelConfig::centaur(),
+///     Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
+/// );
+/// let line = CacheLine::patterned(1);
+/// ch.write_line_blocking(0x1000, line)?;
+/// let (back, when) = ch.read_line_blocking(0x1000)?;
+/// assert_eq!(back, line);
+/// assert!(when.as_ns() > 0);
+/// # Ok::<(), contutto_dmi::DmiError>(())
+/// ```
+pub struct DmiChannel {
+    host: HostEndpoint,
+    buffer_ep: BufferEndpoint,
+    down: LinkSegment,
+    up: LinkSegment,
+    buffer: Box<dyn DmiBuffer>,
+    now: SimTime,
+    slot: SimTime,
+    tags: TagPool,
+    pending: HashMap<Tag, Pending>,
+    completions: VecDeque<Completion>,
+    trained: Option<TrainingOutcome>,
+}
+
+impl std::fmt::Debug for DmiChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DmiChannel")
+            .field("buffer", &self.buffer.name())
+            .field("now", &self.now)
+            .field("in_flight", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DmiChannel {
+    /// Builds a channel around a buffer chip.
+    pub fn new(cfg: ChannelConfig, buffer: Box<dyn DmiBuffer>) -> Self {
+        DmiChannel {
+            host: LinkEndpoint::new(LinkEndpointConfig::host()),
+            buffer_ep: LinkEndpoint::new(cfg.buffer_endpoint.clone()),
+            down: LinkSegment::new(cfg.speed, WIRE_PROPAGATION, cfg.down_errors.clone()),
+            up: LinkSegment::new(cfg.speed, WIRE_PROPAGATION, cfg.up_errors.clone()),
+            buffer,
+            now: SimTime::ZERO,
+            slot: cfg.speed.frame_time(),
+            tags: TagPool::new(),
+            pending: HashMap::new(),
+            completions: VecDeque::new(),
+            trained: None,
+        }
+    }
+
+    /// The plugged buffer's name.
+    pub fn buffer_name(&self) -> &str {
+        self.buffer.name()
+    }
+
+    /// Access to the buffer model (telemetry, knob control).
+    pub fn buffer_mut(&mut self) -> &mut dyn DmiBuffer {
+        self.buffer.as_mut()
+    }
+
+    /// Current channel time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The training outcome, once trained.
+    pub fn training(&self) -> Option<TrainingOutcome> {
+        self.trained
+    }
+
+    /// Free command tags right now.
+    pub fn tags_available(&self) -> usize {
+        self.tags.available()
+    }
+
+    /// Host-side link statistics.
+    pub fn host_stats(&self) -> &contutto_dmi::protocol::LinkStats {
+        self.host.stats()
+    }
+
+    /// Trains the link: measures FRTL with real probe frames against
+    /// this buffer's turnaround and runs the alignment sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DmiError::FrtlExceeded`] /
+    /// [`DmiError::TrainingFailed`] from the trainer.
+    pub fn train(&mut self, cfg: TrainerConfig, seed: u64) -> Result<TrainingOutcome, DmiError> {
+        // FRTL probes ride a scratch pair of segments with the same
+        // wire parameters (training happens before functional traffic).
+        let mut down = LinkSegment::new(self.down.speed(), WIRE_PROPAGATION, BitErrorInjector::never());
+        let mut up = LinkSegment::new(self.up.speed(), WIRE_PROPAGATION, BitErrorInjector::never());
+        let (frtl, _cycles) = measure_frtl(
+            &mut down,
+            &mut up,
+            self.buffer.frtl_turnaround(),
+            Frequency::from_ghz(2),
+        );
+        let mut trainer = LinkTrainer::new(cfg, seed);
+        let outcome = trainer.train(frtl)?;
+        // Set the replay timeout from the measured FRTL (paper §2.3).
+        let timeout_frames = frtl.as_ps().div_ceil(self.slot.as_ps()) + 4;
+        self.host.set_ack_timeout(timeout_frames);
+        self.buffer_ep.set_ack_timeout(timeout_frames);
+        self.trained = Some(outcome);
+        Ok(outcome)
+    }
+
+    /// Submits a command; returns its tag.
+    ///
+    /// # Errors
+    ///
+    /// [`DmiError::NoFreeTag`] when all 32 tags are outstanding — the
+    /// caller must drain completions first (tag throttling).
+    pub fn submit(&mut self, op: CommandOp) -> Result<Tag, DmiError> {
+        let tag = self.tags.acquire()?;
+        let header = CommandHeader::from_op(&op);
+        self.host.enqueue(DownstreamPayload::Command { tag, header });
+        let (assembler, write_data) = match &op {
+            CommandOp::Read { .. } => (Some(LineAssembler::upstream()), None),
+            CommandOp::Write { data, .. } | CommandOp::Rmw { data, .. } => (None, Some(*data)),
+            CommandOp::Flush => (None, None),
+        };
+        if let Some(data) = write_data {
+            for beat in line_to_downstream_beats(tag, &data) {
+                self.host.enqueue(beat);
+            }
+        }
+        self.pending.insert(
+            tag,
+            Pending {
+                issued: self.now,
+                assembler,
+                data: None,
+            },
+        );
+        Ok(tag)
+    }
+
+    /// Advances the channel by one frame slot.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // Host transmits this slot's downstream frame.
+        self.down.transmit(now, self.host.tick_tx());
+        // Buffer receives any arrived downstream frames.
+        while let Some(bytes) = self.down.receive(now) {
+            if let Some(payload) = self.buffer_ep.on_receive(&bytes) {
+                self.buffer.push_downstream(now, payload);
+            }
+        }
+        // Buffer offers the upstream arbiter one slot.
+        if let Some(payload) = self.buffer.pull_upstream(now) {
+            self.buffer_ep.enqueue(payload);
+        }
+        self.up.transmit(now, self.buffer_ep.tick_tx());
+        // Host receives any arrived upstream frames.
+        while let Some(bytes) = self.up.receive(now) {
+            if let Some(payload) = self.host.on_receive(&bytes) {
+                self.handle_response(now, payload);
+            }
+        }
+        self.now += self.slot;
+    }
+
+    fn handle_response(&mut self, now: SimTime, payload: UpstreamPayload) {
+        match payload {
+            UpstreamPayload::Idle | UpstreamPayload::Control(_) => {}
+            UpstreamPayload::ReadData { tag, beat, data } => {
+                let pending = self
+                    .pending
+                    .get_mut(&tag)
+                    .expect("read data for unknown tag");
+                let assembler = pending
+                    .assembler
+                    .as_mut()
+                    .expect("read data for non-read command");
+                if assembler.add_beat(beat, &data) {
+                    let asm = pending.assembler.take().expect("present");
+                    pending.data = Some(asm.into_line());
+                }
+            }
+            UpstreamPayload::Done { first, second } => {
+                self.complete(now, first);
+                if let Some(t) = second {
+                    self.complete(now, t);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, tag: Tag) {
+        let pending = self.pending.remove(&tag).expect("done for unknown tag");
+        self.tags.release(tag).expect("tag was in flight");
+        self.completions.push_back(Completion {
+            tag,
+            completed_at: now,
+            issued_at: pending.issued,
+            data: pending.data,
+        });
+    }
+
+    /// Runs until time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.now < t {
+            self.step();
+        }
+    }
+
+    /// Runs until a completion is available or `deadline` passes.
+    pub fn next_completion(&mut self, deadline: SimTime) -> Option<Completion> {
+        loop {
+            if let Some(c) = self.completions.pop_front() {
+                return Some(c);
+            }
+            if self.now >= deadline {
+                return None;
+            }
+            self.step();
+        }
+    }
+
+    /// Drains any already-collected completions.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        self.completions.drain(..).collect()
+    }
+
+    /// Convenience: submit a read and block until its data returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tag exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer never answers within 1 ms of simulated
+    /// time (a protocol hang — always a bug).
+    pub fn read_line_blocking(&mut self, addr: u64) -> Result<(CacheLine, SimTime), DmiError> {
+        let tag = self.submit(CommandOp::Read { addr })?;
+        let deadline = self.now + SimTime::from_ms(1);
+        loop {
+            match self.next_completion(deadline) {
+                Some(c) if c.tag == tag => {
+                    return Ok((c.data.expect("read returns data"), c.completed_at));
+                }
+                Some(other) => {
+                    // Out-of-interest completion; keep it for callers
+                    // that interleave — here we just drop it.
+                    let _ = other;
+                }
+                None => panic!("buffer did not answer read within 1 ms"),
+            }
+        }
+    }
+
+    /// Convenience: submit a write and block until durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tag exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a 1 ms protocol hang.
+    pub fn write_line_blocking(
+        &mut self,
+        addr: u64,
+        data: CacheLine,
+    ) -> Result<SimTime, DmiError> {
+        let tag = self.submit(CommandOp::Write { addr, data })?;
+        let deadline = self.now + SimTime::from_ms(1);
+        loop {
+            match self.next_completion(deadline) {
+                Some(c) if c.tag == tag => return Ok(c.completed_at),
+                Some(_) => {}
+                None => panic!("buffer did not answer write within 1 ms"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contutto_centaur::{Centaur, CentaurConfig};
+    use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
+    use contutto_dmi::command::RmwOp;
+
+    fn centaur_channel() -> DmiChannel {
+        DmiChannel::new(
+            ChannelConfig::centaur(),
+            Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
+        )
+    }
+
+    fn contutto_channel() -> DmiChannel {
+        DmiChannel::new(
+            ChannelConfig::contutto(),
+            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+        )
+    }
+
+    #[test]
+    fn centaur_write_read_roundtrip() {
+        let mut ch = centaur_channel();
+        let line = CacheLine::patterned(5);
+        ch.write_line_blocking(0x1000, line).unwrap();
+        let (back, _) = ch.read_line_blocking(0x1000).unwrap();
+        assert_eq!(back, line);
+    }
+
+    #[test]
+    fn contutto_write_read_roundtrip() {
+        let mut ch = contutto_channel();
+        let line = CacheLine::patterned(6);
+        ch.write_line_blocking(0x2000, line).unwrap();
+        let (back, _) = ch.read_line_blocking(0x2000).unwrap();
+        assert_eq!(back, line);
+    }
+
+    #[test]
+    fn contutto_is_slower_than_centaur() {
+        let mut cen = centaur_channel();
+        let mut con = contutto_channel();
+        // Warm both (first access opens rows).
+        cen.read_line_blocking(0).unwrap();
+        con.read_line_blocking(0).unwrap();
+        let t0 = cen.now();
+        cen.read_line_blocking(0).unwrap();
+        let cen_lat = cen.now() - t0;
+        let t0 = con.now();
+        con.read_line_blocking(0).unwrap();
+        let con_lat = con.now() - t0;
+        assert!(
+            con_lat > cen_lat * 3,
+            "contutto {con_lat} vs centaur {cen_lat}"
+        );
+    }
+
+    #[test]
+    fn training_succeeds_on_both_buffers() {
+        let mut cen = centaur_channel();
+        let out = cen.train(TrainerConfig::default(), 42).unwrap();
+        assert!(out.frtl < SimTime::from_ns(40), "centaur frtl {}", out.frtl);
+        let mut con = contutto_channel();
+        let out = con.train(TrainerConfig::default(), 42).unwrap();
+        assert!(out.frtl > SimTime::from_ns(60), "contutto frtl {}", out.frtl);
+        assert!(con.training().is_some());
+    }
+
+    #[test]
+    fn tag_throttling_at_32_outstanding() {
+        let mut ch = contutto_channel();
+        for i in 0..32 {
+            ch.submit(CommandOp::Read { addr: i * 128 }).unwrap();
+        }
+        assert_eq!(ch.tags_available(), 0);
+        assert!(matches!(
+            ch.submit(CommandOp::Read { addr: 0 }),
+            Err(DmiError::NoFreeTag)
+        ));
+        // Drain: all 32 complete.
+        let mut done = 0;
+        let deadline = ch.now() + SimTime::from_ms(1);
+        while let Some(_c) = ch.next_completion(deadline) {
+            done += 1;
+            if done == 32 {
+                break;
+            }
+        }
+        assert_eq!(done, 32);
+        assert_eq!(ch.tags_available(), 32);
+    }
+
+    #[test]
+    fn rmw_through_full_channel() {
+        let mut ch = contutto_channel();
+        let mut init = CacheLine::ZERO;
+        init.set_word(0, 7);
+        ch.write_line_blocking(0, init).unwrap();
+        let mut add = CacheLine::ZERO;
+        add.set_word(0, 5);
+        let tag = ch
+            .submit(CommandOp::Rmw {
+                addr: 0,
+                op: RmwOp::AtomicAdd,
+                data: add,
+            })
+            .unwrap();
+        let deadline = ch.now() + SimTime::from_ms(1);
+        loop {
+            match ch.next_completion(deadline) {
+                Some(c) if c.tag == tag => break,
+                Some(_) => {}
+                None => panic!("rmw hung"),
+            }
+        }
+        let (result, _) = ch.read_line_blocking(0).unwrap();
+        assert_eq!(result.word(0), 12);
+    }
+
+    #[test]
+    fn pipelined_reads_overlap() {
+        // 8 independent reads complete far faster than 8 serialized.
+        let mut ch = contutto_channel();
+        ch.read_line_blocking(0).unwrap(); // warm
+        let t0 = ch.now();
+        for i in 0..8u64 {
+            ch.submit(CommandOp::Read { addr: i * 128 }).unwrap();
+        }
+        let deadline = ch.now() + SimTime::from_ms(1);
+        let mut done = 0;
+        while done < 8 {
+            assert!(ch.next_completion(deadline).is_some(), "hang");
+            done += 1;
+        }
+        let pipelined = ch.now() - t0;
+
+        let mut ch2 = contutto_channel();
+        ch2.read_line_blocking(0).unwrap();
+        let t0 = ch2.now();
+        for i in 0..8u64 {
+            ch2.read_line_blocking(i * 128).unwrap();
+        }
+        let serialized = ch2.now() - t0;
+        assert!(
+            pipelined * 2 < serialized,
+            "pipelined {pipelined} vs serialized {serialized}"
+        );
+    }
+
+    #[test]
+    fn channel_recovers_from_wire_errors() {
+        let mut cfg = ChannelConfig::contutto();
+        cfg.down_errors = BitErrorInjector::bernoulli(0.01, 99);
+        cfg.up_errors = BitErrorInjector::bernoulli(0.01, 77);
+        let mut ch = DmiChannel::new(
+            cfg,
+            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+        );
+        for i in 0..20u64 {
+            let line = CacheLine::patterned(i);
+            ch.write_line_blocking(i * 128, line).unwrap();
+            let (back, _) = ch.read_line_blocking(i * 128).unwrap();
+            assert_eq!(back, line, "iteration {i}");
+        }
+        assert!(ch.host_stats().crc_errors + ch.host_stats().seq_errors > 0
+            || ch.host_stats().replays_triggered > 0);
+    }
+}

@@ -1,0 +1,616 @@
+//! Firmware / IPL: bringing the memory subsystem up.
+//!
+//! Paper §3.4: firmware must (i) drive the DMI training sequence —
+//! through the indirect FSI→I²C path for ConTutto — with "repeated
+//! retries of the training sequence without bringing down the entire
+//! system"; (ii) detect presence and differentiate ConTutto from
+//! standard CDIMMs, "allowing for a mixed configuration"; (iii) read
+//! the SPD "critical for detecting and controlling the NVDIMMs"; and
+//! (iv) fit everything into the memory map with the non-volatile
+//! placement rules and the 4 GB size lying (see [`crate::memmap`]).
+//!
+//! Plug rules (paper §3.1): "a ConTutto card is larger than a CDIMM
+//! and plugging a ConTutto in a DMI slot blocks the adjacent DMI
+//! slot" and "can be plugged only in specific DMI slots" — modelled
+//! as: ConTutto goes in even slots only, and the next slot must be
+//! empty.
+
+use contutto_centaur::{Centaur, CentaurConfig};
+use contutto_core::card::{ContuttoCard, PRESENCE_CDIMM};
+#[cfg(test)]
+use contutto_core::card::PRESENCE_CONTUTTO;
+use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
+use contutto_dmi::training::{TrainerConfig, TrainingOutcome};
+use contutto_dmi::DmiError;
+use contutto_memdev::{MediaKind, MramGeneration, Spd};
+use contutto_sim::SimTime;
+
+use crate::channel::{ChannelConfig, DmiChannel};
+use crate::fsp::{ServiceProcessor, Severity};
+use crate::memmap::{ChannelMemory, MemoryMap};
+
+/// Number of DMI slots on the modelled socket (paper §2.1: eight
+/// channels per processor).
+pub const NUM_SLOTS: usize = 8;
+
+/// Maximum FRTL the POWER8 DMI master tolerates, in 2 GHz bus cycles.
+/// 160 cycles (80 ns): the optimized ConTutto design (~68 ns measured
+/// round trip) fits; the naive design with the clock-crossing FIFO and
+/// 4-stage CRC (~100 ns) does not — the design story of §3.3(ii).
+pub const P8_MAX_FRTL_BUS_CYCLES: u64 = 160;
+
+/// Outer training retries (each may power-cycle only the FPGA).
+pub const TRAINING_RETRIES: u32 = 3;
+
+/// What is plugged into each DMI slot.
+#[derive(Debug, Clone)]
+pub enum SlotPopulation {
+    /// Nothing.
+    Empty,
+    /// A standard Centaur CDIMM.
+    Cdimm {
+        /// Buffer configuration (latency knobs).
+        config: CentaurConfig,
+        /// DRAM behind the buffer.
+        capacity: u64,
+    },
+    /// A ConTutto card (blocks the next slot).
+    ConTutto {
+        /// FPGA design variant.
+        config: ContuttoConfig,
+        /// DIMM population.
+        population: MemoryPopulation,
+    },
+}
+
+/// Boot-time failures.
+#[derive(Debug)]
+pub enum BootError {
+    /// Slot layout violates the plug rules.
+    InvalidPlug {
+        /// Offending slot.
+        slot: usize,
+        /// Why.
+        reason: &'static str,
+    },
+    /// The memory map could not be built (e.g. no DRAM).
+    Map(crate::memmap::MapError),
+    /// No channel trained successfully.
+    NoUsableMemory,
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::InvalidPlug { slot, reason } => {
+                write!(f, "invalid plug in slot {slot}: {reason}")
+            }
+            BootError::Map(e) => write!(f, "memory map: {e}"),
+            BootError::NoUsableMemory => write!(f, "no channel trained successfully"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+/// A successfully booted channel.
+pub struct BootedChannel {
+    /// Slot index.
+    pub slot: usize,
+    /// The live channel (trained).
+    pub channel: DmiChannel,
+    /// Media kind behind it.
+    pub kind: MediaKind,
+    /// Capacity behind it.
+    pub capacity: u64,
+    /// Training outcome.
+    pub training: TrainingOutcome,
+}
+
+impl std::fmt::Debug for BootedChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootedChannel")
+            .field("slot", &self.slot)
+            .field("kind", &self.kind)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The result of IPL.
+pub struct BootReport {
+    /// Channels that trained and are in the map.
+    pub channels: Vec<BootedChannel>,
+    /// The assembled memory map.
+    pub memory_map: MemoryMap,
+    /// Per-slot presence codes seen during detection.
+    pub presence: Vec<Option<u8>>,
+    /// SPDs read during detection.
+    pub spds: Vec<Option<Spd>>,
+    /// NVDIMM slots that were armed.
+    pub nvdimms_armed: Vec<usize>,
+}
+
+impl std::fmt::Debug for BootReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BootReport")
+            .field("channels", &self.channels.len())
+            .field("nvdimms_armed", &self.nvdimms_armed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The firmware engine.
+#[derive(Debug)]
+pub struct Firmware {
+    trainer_cfg: TrainerConfig,
+}
+
+impl Default for Firmware {
+    fn default() -> Self {
+        Firmware::new()
+    }
+}
+
+impl Firmware {
+    /// Firmware with the production FRTL limit and retry budget.
+    pub fn new() -> Self {
+        Firmware {
+            trainer_cfg: TrainerConfig {
+                max_frtl_bus_cycles: P8_MAX_FRTL_BUS_CYCLES,
+                ..TrainerConfig::default()
+            },
+        }
+    }
+
+    /// Validates the plug rules.
+    ///
+    /// # Errors
+    ///
+    /// [`BootError::InvalidPlug`] naming the offending slot.
+    pub fn validate_plug_rules(slots: &[SlotPopulation]) -> Result<(), BootError> {
+        for (i, slot) in slots.iter().enumerate() {
+            if let SlotPopulation::ConTutto { .. } = slot {
+                if i % 2 != 0 {
+                    return Err(BootError::InvalidPlug {
+                        slot: i,
+                        reason: "contutto fits only specific (even) dmi slots",
+                    });
+                }
+                match slots.get(i + 1) {
+                    Some(SlotPopulation::Empty) | None => {}
+                    Some(_) => {
+                        return Err(BootError::InvalidPlug {
+                            slot: i + 1,
+                            reason: "contutto blocks the adjacent slot",
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs IPL over the slot population. Channels whose training
+    /// fails permanently are logged to the FSP and left out of the
+    /// map; the system still boots if any volatile memory trained.
+    ///
+    /// # Errors
+    ///
+    /// [`BootError::InvalidPlug`], [`BootError::Map`] or
+    /// [`BootError::NoUsableMemory`].
+    pub fn boot(
+        &self,
+        slots: Vec<SlotPopulation>,
+        fsp: &mut ServiceProcessor,
+        seed: u64,
+    ) -> Result<BootReport, BootError> {
+        Self::validate_plug_rules(&slots)?;
+        let mut channels = Vec::new();
+        let mut presence = vec![None; slots.len()];
+        let mut spds = vec![None; slots.len()];
+        let mut nvdimms_armed = Vec::new();
+        let mut memories = Vec::new();
+
+        for (slot, pop) in slots.into_iter().enumerate() {
+            match pop {
+                SlotPopulation::Empty => {}
+                SlotPopulation::Cdimm { config, capacity } => {
+                    presence[slot] = Some(PRESENCE_CDIMM);
+                    spds[slot] = Some(Spd::dram(capacity));
+                    let mut channel = DmiChannel::new(
+                        ChannelConfig::centaur(),
+                        Box::new(Centaur::new(config, capacity)),
+                    );
+                    match self.train_with_retries(&mut channel, slot, fsp, seed, false) {
+                        Some(training) => {
+                            memories.push(ChannelMemory {
+                                channel: slot,
+                                kind: MediaKind::Dram,
+                                capacity,
+                            });
+                            channels.push(BootedChannel {
+                                slot,
+                                channel,
+                                kind: MediaKind::Dram,
+                                capacity,
+                                training,
+                            });
+                        }
+                        None => fsp.log(
+                            SimTime::ZERO,
+                            slot,
+                            Severity::Unrecovered,
+                            "cdimm failed training",
+                        ),
+                    }
+                }
+                SlotPopulation::ConTutto { config, population } => {
+                    // Presence + SPD come through the card's FSI slave,
+                    // before the FPGA is even powered.
+                    let spd = match population.kind {
+                        contutto_core::MemoryKind::Ddr3Dram => Spd::dram(population.dimm_capacity),
+                        contutto_core::MemoryKind::SttMram(g) => {
+                            Spd::mram(population.dimm_capacity, g)
+                        }
+                        contutto_core::MemoryKind::NvdimmN => {
+                            Spd::nvdimm(population.dimm_capacity)
+                        }
+                    };
+                    let card = ContuttoCard::new(vec![
+                        Some(spd.clone()),
+                        Some(spd.clone()),
+                    ]);
+                    presence[slot] = Some(card.presence_code());
+                    spds[slot] = Some(spd.clone());
+                    fsp.log(SimTime::ZERO, slot, Severity::Info, "contutto detected");
+
+                    if spd.vendor_specific_save {
+                        // DDR3 NVDIMM arming sequence (vendor specific).
+                        nvdimms_armed.push(slot);
+                        fsp.log(SimTime::ZERO, slot, Severity::Info, "nvdimm armed");
+                    }
+
+                    let kind = match population.kind {
+                        contutto_core::MemoryKind::Ddr3Dram => MediaKind::Dram,
+                        contutto_core::MemoryKind::SttMram(_) => MediaKind::SttMram,
+                        contutto_core::MemoryKind::NvdimmN => MediaKind::NvdimmN,
+                    };
+                    let capacity = population.total_bytes();
+                    let mut channel = DmiChannel::new(
+                        ChannelConfig::contutto(),
+                        Box::new(ConTutto::new(config, population)),
+                    );
+                    match self.train_with_retries(&mut channel, slot, fsp, seed, true) {
+                        Some(training) => {
+                            memories.push(ChannelMemory {
+                                channel: slot,
+                                kind,
+                                capacity,
+                            });
+                            channels.push(BootedChannel {
+                                slot,
+                                channel,
+                                kind,
+                                capacity,
+                                training,
+                            });
+                        }
+                        None => fsp.log(
+                            SimTime::ZERO,
+                            slot,
+                            Severity::Unrecovered,
+                            "contutto failed training; slot deconfigured",
+                        ),
+                    }
+                }
+            }
+        }
+
+        if channels.is_empty() {
+            return Err(BootError::NoUsableMemory);
+        }
+        let memory_map = MemoryMap::build(&memories, 1 << 42).map_err(BootError::Map)?;
+        Ok(BootReport {
+            channels,
+            memory_map,
+            presence,
+            spds,
+            nvdimms_armed,
+        })
+    }
+
+    fn train_with_retries(
+        &self,
+        channel: &mut DmiChannel,
+        slot: usize,
+        fsp: &mut ServiceProcessor,
+        seed: u64,
+        is_contutto: bool,
+    ) -> Option<TrainingOutcome> {
+        for attempt in 0..TRAINING_RETRIES {
+            match channel.train(self.trainer_cfg.clone(), seed ^ u64::from(attempt)) {
+                Ok(outcome) => {
+                    if outcome.attempts > 1 {
+                        fsp.log(
+                            SimTime::ZERO,
+                            slot,
+                            Severity::Info,
+                            &format!("training locked after {} tries", outcome.attempts),
+                        );
+                    }
+                    return Some(outcome);
+                }
+                Err(DmiError::FrtlExceeded {
+                    measured_bus_cycles,
+                    max_bus_cycles,
+                }) => {
+                    // Retrying cannot fix a too-slow buffer.
+                    fsp.log(
+                        SimTime::ZERO,
+                        slot,
+                        Severity::Unrecovered,
+                        &format!("frtl {measured_bus_cycles} > max {max_bus_cycles}"),
+                    );
+                    return None;
+                }
+                Err(_) if is_contutto => {
+                    // Reset only the FPGA and retry — the system stays up
+                    // (paper §3.4: "repeated retries of the training
+                    // sequence without bringing down the entire system").
+                    fsp.log(
+                        SimTime::ZERO,
+                        slot,
+                        Severity::Info,
+                        "training failed; fpga reset and retry",
+                    );
+                }
+                Err(_) => {
+                    fsp.log(SimTime::ZERO, slot, Severity::Info, "training retry");
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Convenience slot layouts used by the paper's experiments.
+pub mod layouts {
+    use super::*;
+
+    /// All eight slots populated with CDIMMs (stock S824).
+    pub fn all_cdimm(config: CentaurConfig, capacity_each: u64) -> Vec<SlotPopulation> {
+        (0..NUM_SLOTS)
+            .map(|_| SlotPopulation::Cdimm {
+                config: config.clone(),
+                capacity: capacity_each,
+            })
+            .collect()
+    }
+
+    /// One ConTutto + six CDIMMs (paper §3.1: a tested configuration).
+    pub fn one_contutto_six_cdimm(
+        contutto: ContuttoConfig,
+        population: MemoryPopulation,
+    ) -> Vec<SlotPopulation> {
+        let mut slots = vec![
+            SlotPopulation::ConTutto {
+                config: contutto,
+                population,
+            },
+            SlotPopulation::Empty, // blocked by the card
+        ];
+        for _ in 0..6 {
+            slots.push(SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 32 << 30,
+            });
+        }
+        slots
+    }
+
+    /// Two ConTutto + four CDIMMs (paper §3.1: also tested).
+    pub fn two_contutto_four_cdimm(
+        contutto: ContuttoConfig,
+        population: MemoryPopulation,
+    ) -> Vec<SlotPopulation> {
+        let mut slots = Vec::new();
+        for _ in 0..2 {
+            slots.push(SlotPopulation::ConTutto {
+                config: contutto,
+                population,
+            });
+            slots.push(SlotPopulation::Empty);
+        }
+        for _ in 0..4 {
+            slots.push(SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 32 << 30,
+            });
+        }
+        slots
+    }
+
+    /// The §4.1 latency experiment: a single ConTutto with 8 GB DRAM,
+    /// "the rest of the DMI slots deconfigured" — plus one minimal
+    /// CDIMM so Linux has DRAM at address zero.
+    pub fn single_contutto_for_latency(config: ContuttoConfig) -> Vec<SlotPopulation> {
+        vec![
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 4 << 30,
+            },
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto {
+                config,
+                population: MemoryPopulation::dram_8gb(),
+            },
+            SlotPopulation::Empty,
+        ]
+    }
+
+    /// The §4.2 MRAM setup: two ConTutto cards with 2 × 256 MB MRAM
+    /// each (1 GB total? the paper says "a total of 1 GB of STT-MRAM"
+    /// across two cards) plus CDIMM system memory.
+    pub fn mram_storage_system() -> Vec<SlotPopulation> {
+        let mut slots = vec![
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 32 << 30,
+            },
+            SlotPopulation::Empty,
+        ];
+        for _ in 0..2 {
+            slots.push(SlotPopulation::ConTutto {
+                config: ContuttoConfig::base(),
+                population: MemoryPopulation::mram_512mb(MramGeneration::Pmtj),
+            });
+            slots.push(SlotPopulation::Empty);
+        }
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fsp() -> ServiceProcessor {
+        ServiceProcessor::new(3)
+    }
+
+    #[test]
+    fn plug_rules_reject_odd_slot() {
+        let slots = vec![
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto {
+                config: ContuttoConfig::base(),
+                population: MemoryPopulation::dram_8gb(),
+            },
+        ];
+        assert!(matches!(
+            Firmware::validate_plug_rules(&slots),
+            Err(BootError::InvalidPlug { slot: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn plug_rules_reject_blocked_neighbor() {
+        let slots = vec![
+            SlotPopulation::ConTutto {
+                config: ContuttoConfig::base(),
+                population: MemoryPopulation::dram_8gb(),
+            },
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 32 << 30,
+            },
+        ];
+        assert!(matches!(
+            Firmware::validate_plug_rules(&slots),
+            Err(BootError::InvalidPlug { slot: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn boot_mixed_configuration() {
+        let mut fsp = fsp();
+        let report = Firmware::new()
+            .boot(
+                layouts::one_contutto_six_cdimm(
+                    ContuttoConfig::base(),
+                    MemoryPopulation::dram_8gb(),
+                ),
+                &mut fsp,
+                7,
+            )
+            .unwrap();
+        assert_eq!(report.channels.len(), 7); // 1 contutto + 6 cdimm
+        assert_eq!(report.presence[0], Some(PRESENCE_CONTUTTO));
+        assert_eq!(report.presence[2], Some(PRESENCE_CDIMM));
+        assert!(report.memory_map.dram_at_zero().is_some());
+        assert!(report.nvdimms_armed.is_empty());
+    }
+
+    #[test]
+    fn naive_contutto_fails_frtl_and_is_deconfigured() {
+        let mut fsp = fsp();
+        let slots = vec![
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 32 << 30,
+            },
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto {
+                config: ContuttoConfig::naive(),
+                population: MemoryPopulation::dram_8gb(),
+            },
+            SlotPopulation::Empty,
+        ];
+        let report = Firmware::new().boot(slots, &mut fsp, 7).unwrap();
+        // Only the CDIMM survives.
+        assert_eq!(report.channels.len(), 1);
+        assert_eq!(report.channels[0].slot, 0);
+        assert!(fsp
+            .entries()
+            .iter()
+            .any(|e| e.message.contains("frtl") && e.channel == 2));
+    }
+
+    #[test]
+    fn optimized_contutto_passes_frtl() {
+        let mut fsp = fsp();
+        let report = Firmware::new()
+            .boot(
+                layouts::single_contutto_for_latency(ContuttoConfig::base()),
+                &mut fsp,
+                3,
+            )
+            .unwrap();
+        assert_eq!(report.channels.len(), 2);
+        let contutto = report.channels.iter().find(|c| c.slot == 2).unwrap();
+        assert!(contutto.training.frtl_bus_cycles.count() <= P8_MAX_FRTL_BUS_CYCLES);
+    }
+
+    #[test]
+    fn mram_system_maps_nv_at_top_and_arms_nothing() {
+        let mut fsp = fsp();
+        let report = Firmware::new()
+            .boot(layouts::mram_storage_system(), &mut fsp, 1)
+            .unwrap();
+        let nv = report.memory_map.nonvolatile_regions();
+        assert_eq!(nv.len(), 2);
+        for r in nv {
+            assert!(r.is_undersized_media(), "512 MB lies inside a 4 GB window");
+            assert_eq!(r.os_size, 512 << 20);
+        }
+        // MRAM needs no supercap arming.
+        assert!(report.nvdimms_armed.is_empty());
+    }
+
+    #[test]
+    fn nvdimm_system_arms_supercaps() {
+        let mut fsp = fsp();
+        let slots = vec![
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 32 << 30,
+            },
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto {
+                config: ContuttoConfig::base(),
+                population: MemoryPopulation::nvdimm_8gb(),
+            },
+            SlotPopulation::Empty,
+        ];
+        let report = Firmware::new().boot(slots, &mut fsp, 1).unwrap();
+        assert_eq!(report.nvdimms_armed, vec![2]);
+    }
+
+    #[test]
+    fn boot_without_memory_fails() {
+        let mut fsp = fsp();
+        let err = Firmware::new().boot(vec![SlotPopulation::Empty], &mut fsp, 0);
+        assert!(matches!(err, Err(BootError::NoUsableMemory)));
+    }
+}

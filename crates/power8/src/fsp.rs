@@ -1,0 +1,175 @@
+//! The Flexible Service Processor (FSP).
+//!
+//! Paper §3.2: "All IBM POWER systems contain a low level 'service
+//! processor' ... The purpose of this service architecture is to
+//! automatically derive the structure of the machine and configure
+//! each feature card prior to boot. It also periodically checks the
+//! correct operation of all the hardware, and recovers from errors
+//! and system faults. The service processor maintains long-term logs
+//! of faults and errors on each piece of hardware, and disables
+//! hardware that generates too many errors."
+
+use std::collections::HashMap;
+
+use contutto_sim::SimTime;
+
+/// Severity of a logged event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Informational (training retry, presence detect).
+    Info,
+    /// Recovered error (replay, corrected CRC).
+    Recovered,
+    /// Unrecovered error (training failure, FRTL violation).
+    Unrecovered,
+}
+
+/// One FSP log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// When it was logged.
+    pub at: SimTime,
+    /// Hardware unit (DMI channel index).
+    pub channel: usize,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// FSP-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FspError {
+    /// The channel has been deconfigured and must not be used.
+    ChannelDeconfigured {
+        /// The dead channel.
+        channel: usize,
+    },
+}
+
+impl std::fmt::Display for FspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FspError::ChannelDeconfigured { channel } => {
+                write!(f, "channel {channel} is deconfigured")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FspError {}
+
+/// The service processor: log store + error budgets + deconfiguration.
+#[derive(Debug)]
+pub struct ServiceProcessor {
+    log: Vec<LogEntry>,
+    unrecovered_counts: HashMap<usize, u32>,
+    deconfigured: Vec<usize>,
+    /// Unrecovered errors tolerated per channel before deconfiguration.
+    error_budget: u32,
+}
+
+impl ServiceProcessor {
+    /// Creates an FSP with the given per-channel error budget.
+    pub fn new(error_budget: u32) -> Self {
+        ServiceProcessor {
+            log: Vec::new(),
+            unrecovered_counts: HashMap::new(),
+            deconfigured: Vec::new(),
+            error_budget,
+        }
+    }
+
+    /// Logs an event; unrecovered events count against the channel's
+    /// budget and may deconfigure it.
+    pub fn log(&mut self, at: SimTime, channel: usize, severity: Severity, message: &str) {
+        self.log.push(LogEntry {
+            at,
+            channel,
+            severity,
+            message: message.to_string(),
+        });
+        if severity == Severity::Unrecovered {
+            let count = self.unrecovered_counts.entry(channel).or_insert(0);
+            *count += 1;
+            if *count > self.error_budget && !self.deconfigured.contains(&channel) {
+                self.deconfigured.push(channel);
+                self.log.push(LogEntry {
+                    at,
+                    channel,
+                    severity: Severity::Unrecovered,
+                    message: "channel deconfigured (error budget exhausted)".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Checks a channel is usable.
+    ///
+    /// # Errors
+    ///
+    /// [`FspError::ChannelDeconfigured`] once the budget is blown.
+    pub fn check_channel(&self, channel: usize) -> Result<(), FspError> {
+        if self.deconfigured.contains(&channel) {
+            Err(FspError::ChannelDeconfigured { channel })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The full event log.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Channels taken out of service.
+    pub fn deconfigured_channels(&self) -> &[usize] {
+        &self.deconfigured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_events_never_deconfigure() {
+        let mut fsp = ServiceProcessor::new(2);
+        for _ in 0..100 {
+            fsp.log(SimTime::ZERO, 0, Severity::Info, "training retry");
+        }
+        assert!(fsp.check_channel(0).is_ok());
+        assert_eq!(fsp.entries().len(), 100);
+    }
+
+    #[test]
+    fn budget_exhaustion_deconfigures() {
+        let mut fsp = ServiceProcessor::new(2);
+        for i in 0..3 {
+            assert!(fsp.check_channel(4).is_ok(), "still alive at {i}");
+            fsp.log(SimTime::from_us(i), 4, Severity::Unrecovered, "frtl exceeded");
+        }
+        assert_eq!(
+            fsp.check_channel(4),
+            Err(FspError::ChannelDeconfigured { channel: 4 })
+        );
+        assert_eq!(fsp.deconfigured_channels(), &[4]);
+        // Other channels unaffected.
+        assert!(fsp.check_channel(5).is_ok());
+    }
+
+    #[test]
+    fn recovered_errors_are_logged_but_free() {
+        let mut fsp = ServiceProcessor::new(0);
+        fsp.log(SimTime::ZERO, 1, Severity::Recovered, "replay completed");
+        assert!(fsp.check_channel(1).is_ok());
+    }
+
+    #[test]
+    fn deconfiguration_is_logged() {
+        let mut fsp = ServiceProcessor::new(0);
+        fsp.log(SimTime::ZERO, 2, Severity::Unrecovered, "boom");
+        let last = fsp.entries().last().unwrap();
+        assert!(last.message.contains("deconfigured"));
+    }
+}

@@ -1,0 +1,281 @@
+//! A whole POWER8 S824-class system.
+//!
+//! [`Power8System`] ties the firmware boot, the service processor, the
+//! memory map and the live channels together, and routes software
+//! loads/stores to the right channel by physical address.
+
+use contutto_dmi::command::CacheLine;
+use contutto_dmi::DmiError;
+use contutto_memdev::MediaKind;
+use contutto_sim::SimTime;
+
+use crate::firmware::{BootError, BootReport, BootedChannel, Firmware, SlotPopulation};
+use crate::fsp::ServiceProcessor;
+use crate::memmap::MemoryMap;
+
+/// A booted system.
+pub struct Power8System {
+    channels: Vec<BootedChannel>,
+    memory_map: MemoryMap,
+    fsp: ServiceProcessor,
+}
+
+impl std::fmt::Debug for Power8System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Power8System")
+            .field("channels", &self.channels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Power8System {
+    /// Boots a system from a slot layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BootError`] from the firmware.
+    pub fn boot(slots: Vec<SlotPopulation>, seed: u64) -> Result<Self, BootError> {
+        let mut fsp = ServiceProcessor::new(3);
+        let report = Firmware::new().boot(slots, &mut fsp, seed)?;
+        let BootReport {
+            channels,
+            memory_map,
+            ..
+        } = report;
+        Ok(Power8System {
+            channels,
+            memory_map,
+            fsp,
+        })
+    }
+
+    /// The memory map.
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.memory_map
+    }
+
+    /// The service processor (logs, deconfig state).
+    pub fn fsp(&self) -> &ServiceProcessor {
+        &self.fsp
+    }
+
+    /// Live channels.
+    pub fn channels(&self) -> &[BootedChannel] {
+        &self.channels
+    }
+
+    /// Mutable access to a channel by slot.
+    pub fn channel_mut(&mut self, slot: usize) -> Option<&mut BootedChannel> {
+        self.channels.iter_mut().find(|c| c.slot == slot)
+    }
+
+    /// The slot serving a physical address, with the channel-local
+    /// line address.
+    pub fn route(&self, phys: u64) -> Option<(usize, u64)> {
+        let (region_idx, offset) = self.memory_map.resolve(phys)?;
+        let region = &self.memory_map.regions()[region_idx];
+        Some((region.channel, offset))
+    }
+
+    /// Software cache-line load at a physical address, through the
+    /// owning channel.
+    ///
+    /// # Errors
+    ///
+    /// [`DmiError::MalformedFrame`] is never returned here; tag
+    /// exhaustion propagates. Addresses outside the map panic (the OS
+    /// would machine-check).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped addresses or a hung channel.
+    pub fn load_line(&mut self, phys: u64) -> Result<(CacheLine, SimTime), DmiError> {
+        let (slot, local) = self.route(phys).expect("unmapped address");
+        let ch = self
+            .channel_mut(slot)
+            .expect("memory map references live channels");
+        ch.channel.read_line_blocking(local & !127)
+    }
+
+    /// Software cache-line store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tag exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped addresses or a hung channel.
+    pub fn store_line(&mut self, phys: u64, data: CacheLine) -> Result<SimTime, DmiError> {
+        let (slot, local) = self.route(phys).expect("unmapped address");
+        let ch = self
+            .channel_mut(slot)
+            .expect("memory map references live channels");
+        ch.channel.write_line_blocking(local & !127, data)
+    }
+
+    /// The non-volatile channels (pmem driver targets).
+    pub fn nonvolatile_slots(&self) -> Vec<usize> {
+        self.channels
+            .iter()
+            .filter(|c| c.kind.is_nonvolatile())
+            .map(|c| c.slot)
+            .collect()
+    }
+
+    /// Total OS-visible memory.
+    pub fn os_visible_bytes(&self) -> u64 {
+        self.memory_map.regions().iter().map(|r| r.os_size).sum()
+    }
+
+    /// Periodic FSP health sweep (paper §3.2: the service processor
+    /// "periodically checks the correct operation of all the
+    /// hardware"): logs recovered link errors (CRC/replay) per
+    /// channel since the last sweep.
+    pub fn health_check(&mut self, at: SimTime) {
+        let mut events = Vec::new();
+        for c in &self.channels {
+            let s = c.channel.host_stats();
+            if s.crc_errors + s.seq_errors + s.replays_triggered > 0 {
+                events.push((
+                    c.slot,
+                    format!(
+                        "{} crc, {} seq errors; {} replays (recovered)",
+                        s.crc_errors, s.seq_errors, s.replays_triggered
+                    ),
+                ));
+            }
+        }
+        for (slot, msg) in events {
+            self.fsp
+                .log(at, slot, crate::fsp::Severity::Recovered, &msg);
+        }
+    }
+
+    /// Media kind at a physical address.
+    pub fn media_at(&self, phys: u64) -> Option<MediaKind> {
+        let (region_idx, _) = self.memory_map.resolve(phys)?;
+        Some(self.memory_map.regions()[region_idx].flags.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::layouts;
+    use contutto_core::{ContuttoConfig, MemoryPopulation};
+
+    #[test]
+    fn boots_mixed_system_and_routes_loads() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            7,
+        )
+        .unwrap();
+        // Store then load in low DRAM (a CDIMM channel).
+        let line = CacheLine::patterned(3);
+        sys.store_line(0x100_0000, line).unwrap();
+        let (back, _) = sys.load_line(0x100_0000).unwrap();
+        assert_eq!(back, line);
+        assert!(sys.os_visible_bytes() > 8 << 30);
+    }
+
+    #[test]
+    fn mram_region_routes_to_contutto_slot() {
+        let mut sys = Power8System::boot(layouts::mram_storage_system(), 5).unwrap();
+        let nv_slots = sys.nonvolatile_slots();
+        assert_eq!(nv_slots.len(), 2);
+        let nv_region_base = sys.memory_map().nonvolatile_regions()[0].base;
+        assert_eq!(sys.media_at(nv_region_base), Some(MediaKind::SttMram));
+        // Persist a line into MRAM.
+        let line = CacheLine::patterned(9);
+        sys.store_line(nv_region_base, line).unwrap();
+        let (back, _) = sys.load_line(nv_region_base).unwrap();
+        assert_eq!(back, line);
+        let (slot, _) = sys.route(nv_region_base).unwrap();
+        assert!(nv_slots.contains(&slot));
+    }
+
+    #[test]
+    fn contutto_channel_is_measurably_slower_in_system() {
+        let mut sys = Power8System::boot(
+            layouts::single_contutto_for_latency(ContuttoConfig::base()),
+            3,
+        )
+        .unwrap();
+        // Warm both regions.
+        let dram_lo = 0u64;
+        let contutto_region = sys
+            .memory_map()
+            .regions()
+            .iter()
+            .find(|r| r.channel == 2)
+            .unwrap()
+            .base;
+        sys.load_line(dram_lo).unwrap();
+        sys.load_line(contutto_region).unwrap();
+
+        let t0 = sys.channel_mut(0).unwrap().channel.now();
+        sys.load_line(dram_lo).unwrap();
+        let cdimm_lat = sys.channel_mut(0).unwrap().channel.now() - t0;
+
+        let t0 = sys.channel_mut(2).unwrap().channel.now();
+        sys.load_line(contutto_region).unwrap();
+        let contutto_lat = sys.channel_mut(2).unwrap().channel.now() - t0;
+        assert!(contutto_lat > cdimm_lat * 3);
+    }
+
+    #[test]
+    fn health_check_logs_recovered_errors() {
+        use contutto_dmi::link::BitErrorInjector;
+        use crate::channel::{ChannelConfig, DmiChannel};
+        use contutto_centaur::{Centaur, CentaurConfig};
+        // Build a system, then swap in a noisy channel to generate
+        // recovered errors the sweep should pick up.
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            7,
+        )
+        .unwrap();
+        sys.health_check(SimTime::from_ms(1));
+        assert!(
+            !sys.fsp()
+                .entries()
+                .iter()
+                .any(|e| e.severity == crate::fsp::Severity::Recovered),
+            "clean system logs no recovered errors"
+        );
+        // Make channel 2 noisy and exercise it.
+        let mut cfg = ChannelConfig::centaur();
+        cfg.down_errors = BitErrorInjector::bernoulli(0.05, 5);
+        let noisy = DmiChannel::new(
+            cfg,
+            Box::new(Centaur::new(CentaurConfig::optimized(), 32 << 30)),
+        );
+        sys.channel_mut(2).unwrap().channel = noisy;
+        for i in 0..10 {
+            sys.load_line((8u64 << 30) + i * 128).unwrap();
+        }
+        sys.health_check(SimTime::from_ms(2));
+        let recovered: Vec<_> = sys
+            .fsp()
+            .entries()
+            .iter()
+            .filter(|e| e.severity == crate::fsp::Severity::Recovered)
+            .collect();
+        assert!(!recovered.is_empty(), "noisy channel shows in the sweep");
+        assert!(recovered[0].message.contains("recovered"));
+        // Recovered errors never deconfigure.
+        assert!(sys.fsp().deconfigured_channels().is_empty());
+    }
+
+    #[test]
+    fn unmapped_media_query_is_none() {
+        let sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            7,
+        )
+        .unwrap();
+        assert_eq!(sys.media_at(1 << 45), None);
+    }
+}

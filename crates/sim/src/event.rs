@@ -1,0 +1,271 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with two guarantees
+//! the rest of the system relies on:
+//!
+//! 1. **Determinism**: events scheduled for the same timestamp pop in
+//!    the order they were scheduled (FIFO tie-break by a monotonically
+//!    increasing sequence number).
+//! 2. **Cancellation**: `schedule` returns an [`EventId`] that can later
+//!    be cancelled in O(log n) amortized (lazy deletion).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle for a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then
+        // lowest sequence number first for FIFO among equal times.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use contutto_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(10), 'x');
+/// let id = q.schedule(SimTime::from_ns(2), 'y');
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), 'x')));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`] — scheduling
+    /// into the past is always a model bug.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) -> EventId {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the
+    /// event had not yet fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its
+    /// timestamp. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), ());
+        q.schedule(SimTime::from_ns(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(5));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(9));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "first");
+        q.pop();
+        q.schedule_in(SimTime::from_ns(5), "second");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), 'a');
+        q.schedule(SimTime::from_ns(2), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), 'a');
+        q.schedule(SimTime::from_ns(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_ns(i), i))
+            .collect();
+        for id in &ids[..4] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # contutto-sim
+//!
+//! Deterministic discrete-event simulation kernel used by every other
+//! crate in the ConTutto reproduction.
+//!
+//! The kernel is deliberately small: a monotonically increasing
+//! picosecond clock ([`SimTime`]), an event queue with stable FIFO
+//! ordering for simultaneous events ([`EventQueue`]), typed frequency /
+//! cycle arithmetic ([`Frequency`], [`Cycles`]), bounded latency queues
+//! for modelling pipelines and wires ([`queue::DelayQueue`]), and
+//! statistics collectors ([`stats`]).
+//!
+//! Everything is single-threaded and fully deterministic: two runs with
+//! the same inputs produce bit-identical traces. No wall-clock time or
+//! ambient randomness is ever consulted.
+//!
+//! ## Example
+//!
+//! ```
+//! use contutto_sim::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_ns(5), "b");
+//! q.schedule(SimTime::from_ns(1), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_ns(1), "a"));
+//! ```
+
+pub mod event;
+pub mod queue;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventId, EventQueue};
+pub use queue::DelayQueue;
+pub use stats::{Counter, Histogram, LatencyStats};
+pub use time::{Cycles, Frequency, SimTime};

@@ -1,0 +1,221 @@
+//! Latency/pipeline queues.
+//!
+//! [`DelayQueue`] models a wire, FIFO or fixed-depth pipeline: items go
+//! in stamped with the time they become visible at the output, and pop
+//! out only once the simulation clock has reached that time. It is the
+//! basic building block for modelling the DMI link, clock-domain
+//! crossings and the latency-knob delay modules of paper §4.1.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// A FIFO whose items become available a fixed or per-item delay after
+/// insertion, with optional bounded capacity (for back-pressure).
+///
+/// # Example
+///
+/// ```
+/// use contutto_sim::{DelayQueue, SimTime};
+///
+/// let mut wire: DelayQueue<&str> = DelayQueue::with_latency(SimTime::from_ns(2));
+/// wire.push(SimTime::from_ns(0), "frame");
+/// assert_eq!(wire.pop_ready(SimTime::from_ns(1)), None);       // still in flight
+/// assert_eq!(wire.pop_ready(SimTime::from_ns(2)), Some("frame"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayQueue<T> {
+    items: VecDeque<(SimTime, T)>,
+    latency: SimTime,
+    capacity: Option<usize>,
+}
+
+impl<T> DelayQueue<T> {
+    /// Creates an unbounded queue with the given fixed latency.
+    pub fn with_latency(latency: SimTime) -> Self {
+        DelayQueue {
+            items: VecDeque::new(),
+            latency,
+            capacity: None,
+        }
+    }
+
+    /// Creates a bounded queue: `push` fails once `capacity` items are
+    /// in flight, modelling back-pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(latency: SimTime, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        DelayQueue {
+            items: VecDeque::new(),
+            latency,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// The fixed latency applied to each pushed item.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Inserts an item at time `now`; it becomes poppable at
+    /// `now + latency`.
+    ///
+    /// Returns `Err` with the item if the queue is full.
+    pub fn push(&mut self, now: SimTime, item: T) -> Result<(), T> {
+        if let Some(cap) = self.capacity {
+            if self.items.len() >= cap {
+                return Err(item);
+            }
+        }
+        let ready = now + self.latency;
+        debug_assert!(self.items.back().is_none_or(|(t, _)| *t <= ready));
+        self.items.push_back((ready, item));
+        Ok(())
+    }
+
+    /// Inserts an item that becomes poppable at an explicit time,
+    /// overriding the fixed latency. `ready_at` must not be earlier
+    /// than the readiness of the last queued item (FIFO order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if FIFO readiness ordering would be violated.
+    pub fn push_at(&mut self, ready_at: SimTime, item: T) -> Result<(), T> {
+        if let Some(cap) = self.capacity {
+            if self.items.len() >= cap {
+                return Err(item);
+            }
+        }
+        if let Some((t, _)) = self.items.back() {
+            assert!(*t <= ready_at, "push_at would reorder the FIFO");
+        }
+        self.items.push_back((ready_at, item));
+        Ok(())
+    }
+
+    /// Pops the front item if it is ready at time `now`.
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<T> {
+        if let Some((ready, _)) = self.items.front() {
+            if *ready <= now {
+                return self.items.pop_front().map(|(_, item)| item);
+            }
+        }
+        None
+    }
+
+    /// Peeks at the front item and its readiness time.
+    pub fn peek(&self) -> Option<(SimTime, &T)> {
+        self.items.front().map(|(t, item)| (*t, item))
+    }
+
+    /// Time at which the front item becomes ready, if any.
+    pub fn next_ready_time(&self) -> Option<SimTime> {
+        self.items.front().map(|(t, _)| *t)
+    }
+
+    /// Number of items in flight.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether a bounded queue is at capacity (always `false` when
+    /// unbounded).
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.items.len() >= c)
+    }
+
+    /// Drops all in-flight items (e.g. a fence during replay).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates over `(ready_time, item)` pairs front to back.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.items.iter().map(|(t, item)| (*t, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_latency() {
+        let mut q = DelayQueue::with_latency(SimTime::from_ns(10));
+        q.push(SimTime::from_ns(5), 1).unwrap();
+        assert_eq!(q.pop_ready(SimTime::from_ns(14)), None);
+        assert_eq!(q.pop_ready(SimTime::from_ns(15)), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DelayQueue::with_latency(SimTime::from_ns(1));
+        for i in 0..5 {
+            q.push(SimTime::from_ns(i), i).unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some(v) = q.pop_ready(SimTime::from_ns(100)) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_back_pressure() {
+        let mut q = DelayQueue::bounded(SimTime::ZERO, 2);
+        q.push(SimTime::ZERO, 'a').unwrap();
+        q.push(SimTime::ZERO, 'b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(SimTime::ZERO, 'c'), Err('c'));
+        q.pop_ready(SimTime::ZERO).unwrap();
+        assert!(!q.is_full());
+        q.push(SimTime::ZERO, 'c').unwrap();
+    }
+
+    #[test]
+    fn push_at_explicit_time() {
+        let mut q = DelayQueue::with_latency(SimTime::from_ns(1));
+        q.push_at(SimTime::from_ns(50), "late").unwrap();
+        assert_eq!(q.next_ready_time(), Some(SimTime::from_ns(50)));
+        assert_eq!(q.pop_ready(SimTime::from_ns(49)), None);
+        assert_eq!(q.pop_ready(SimTime::from_ns(50)), Some("late"));
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder")]
+    fn push_at_rejects_reordering() {
+        let mut q = DelayQueue::with_latency(SimTime::ZERO);
+        q.push_at(SimTime::from_ns(50), 1).unwrap();
+        q.push_at(SimTime::from_ns(10), 2).unwrap();
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = DelayQueue::with_latency(SimTime::ZERO);
+        q.push(SimTime::ZERO, 1).unwrap();
+        q.push(SimTime::ZERO, 2).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_and_iter() {
+        let mut q = DelayQueue::with_latency(SimTime::from_ns(3));
+        q.push(SimTime::ZERO, 'x').unwrap();
+        q.push(SimTime::from_ns(1), 'y').unwrap();
+        let (t, v) = q.peek().unwrap();
+        assert_eq!((t, *v), (SimTime::from_ns(3), 'x'));
+        let all: Vec<_> = q.iter().map(|(_, v)| *v).collect();
+        assert_eq!(all, vec!['x', 'y']);
+    }
+}

@@ -1,0 +1,319 @@
+//! Measurement collectors: counters, latency statistics and histograms.
+//!
+//! Every experiment in the reproduction reports either a mean latency,
+//! a throughput, or a distribution; these types are the single place
+//! those are computed so that all crates aggregate identically.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A simple named monotonic counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// Online latency statistics: count, sum, min, max and mean, without
+/// storing samples.
+///
+/// # Example
+///
+/// ```
+/// use contutto_sim::{LatencyStats, SimTime};
+/// let mut s = LatencyStats::new();
+/// s.record(SimTime::from_ns(10));
+/// s.record(SimTime::from_ns(20));
+/// assert_eq!(s.mean().as_ns(), 15);
+/// assert_eq!(s.min().unwrap().as_ns(), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    count: u64,
+    sum_ps: u128,
+    min: Option<SimTime>,
+    max: Option<SimTime>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimTime) {
+        self.count += 1;
+        self.sum_ps += u128::from(sample.as_ps());
+        self.min = Some(match self.min {
+            Some(m) => m.min(sample),
+            None => sample,
+        });
+        self.max = Some(match self.max {
+            Some(m) => m.max(sample),
+            None => sample,
+        });
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample; [`SimTime::ZERO`] when empty.
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ps((self.sum_ps / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<SimTime> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<SimTime> {
+        self.max
+    }
+
+    /// Total of all samples.
+    pub fn sum(&self) -> SimTime {
+        SimTime::from_ps(self.sum_ps.min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        for m in [other.min, other.max].into_iter().flatten() {
+            self.record_minmax(m);
+        }
+    }
+
+    fn record_minmax(&mut self, sample: SimTime) {
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min.unwrap_or(SimTime::ZERO),
+            self.max.unwrap_or(SimTime::ZERO),
+        )
+    }
+}
+
+/// A fixed-bucket linear histogram over `u64` values.
+///
+/// Used for IO-latency distributions in the FIO reproduction. Values
+/// past the last bucket accumulate in an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets each `bucket_width`
+    /// wide, covering `[0, buckets*bucket_width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        assert!(buckets > 0, "bucket count must be nonzero");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bucket `idx` (values in `[idx*w, (idx+1)*w)`).
+    pub fn bucket(&self, idx: usize) -> u64 {
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// The value at or below which `q` (0.0–1.0) of samples fall,
+    /// reported as the upper edge of the containing bucket. `None` when
+    /// empty or when the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as u64 + 1) * self.bucket_width);
+            }
+        }
+        None
+    }
+}
+
+/// Computes throughput in operations per second from a count and an
+/// elapsed simulated duration. Returns 0.0 for zero elapsed time.
+pub fn ops_per_sec(ops: u64, elapsed: SimTime) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        ops as f64 / secs
+    }
+}
+
+/// Computes throughput in bytes/second from a byte count and duration.
+pub fn bytes_per_sec(bytes: u64, elapsed: SimTime) -> f64 {
+    ops_per_sec(bytes, elapsed)
+}
+
+/// Formats a bytes/second figure with a binary-ish engineering unit
+/// (GB/s meaning 1e9, matching the paper's units).
+pub fn fmt_gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2} GB/s", bytes_per_sec / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn latency_stats_mean_min_max() {
+        let mut s = LatencyStats::new();
+        for ns in [5, 10, 15] {
+            s.record(SimTime::from_ns(ns));
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), SimTime::from_ns(10));
+        assert_eq!(s.min(), Some(SimTime::from_ns(5)));
+        assert_eq!(s.max(), Some(SimTime::from_ns(15)));
+        assert_eq!(s.sum(), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn latency_stats_empty() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), SimTime::ZERO);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn latency_stats_merge() {
+        let mut a = LatencyStats::new();
+        a.record(SimTime::from_ns(10));
+        let mut b = LatencyStats::new();
+        b.record(SimTime::from_ns(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimTime::from_ns(20));
+        assert_eq!(a.max(), Some(SimTime::from_ns(30)));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 4); // [0,40) + overflow
+        for v in [0, 9, 10, 39, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new(1, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        assert_eq!(ops_per_sec(1000, SimTime::from_secs(2)), 500.0);
+        assert_eq!(ops_per_sec(1000, SimTime::ZERO), 0.0);
+        assert_eq!(bytes_per_sec(2_000_000_000, SimTime::from_secs(1)), 2e9);
+        assert_eq!(fmt_gbps(6.0e9), "6.00 GB/s");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use contutto_sim::{stats, Cycles, EventQueue, Frequency, Histogram, LatencyStats, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..200)
+    ) {
+        // Reference: stable sort by (time, insertion index).
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        let mut cancelled = Vec::new();
+        let mut ids = Vec::new();
+        for (i, (t, cancel_one)) in ops.iter().enumerate() {
+            let id = q.schedule(SimTime::from_ps(*t), i);
+            ids.push((id, *t, i));
+            reference.push((*t, i));
+            if *cancel_one && !ids.is_empty() {
+                // Cancel a deterministic earlier event.
+                let victim = ids[i / 2].0;
+                if q.cancel(victim) {
+                    cancelled.push(ids[i / 2].2);
+                }
+            }
+        }
+        reference.retain(|(_, i)| !cancelled.contains(i));
+        reference.sort_by_key(|(t, i)| (*t, *i));
+        let mut popped = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            popped.push((t.as_ps(), v));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    #[test]
+    fn frequency_cycle_roundtrip(mhz in 1u64..5000, cycles in 0u64..1_000_000) {
+        let f = Frequency::from_mhz(mhz);
+        let t = f.cycles_to_time(Cycles(cycles));
+        prop_assert_eq!(f.time_to_cycles_ceil(t), Cycles(cycles.max(0)));
+    }
+
+    #[test]
+    fn next_edge_is_aligned_and_minimal(mhz in 1u64..5000, ps in 0u64..10_000_000) {
+        let f = Frequency::from_mhz(mhz);
+        let t = SimTime::from_ps(ps);
+        let edge = f.next_edge(t);
+        prop_assert!(edge >= t);
+        prop_assert_eq!(edge.as_ps() % f.period().as_ps(), 0);
+        prop_assert!(edge.as_ps() < ps + f.period().as_ps());
+    }
+
+    #[test]
+    fn latency_stats_merge_equals_combined(a in proptest::collection::vec(0u64..10_000_000, 1..50),
+                                           b in proptest::collection::vec(0u64..10_000_000, 1..50)) {
+        let mut sa = LatencyStats::new();
+        for v in &a { sa.record(SimTime::from_ps(*v)); }
+        let mut sb = LatencyStats::new();
+        for v in &b { sb.record(SimTime::from_ps(*v)); }
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        let mut combined = LatencyStats::new();
+        for v in a.iter().chain(&b) { combined.record(SimTime::from_ps(*v)); }
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.min(), combined.min());
+        prop_assert_eq!(merged.max(), combined.max());
+        prop_assert_eq!(merged.sum(), combined.sum());
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone(values in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut h = Histogram::new(10, 100);
+        for v in &values { h.record(*v); }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q100 = h.quantile(1.0);
+        if let (Some(a), Some(b)) = (q50, q90) { prop_assert!(a <= b); }
+        if let (Some(b), Some(c)) = (q90, q100) { prop_assert!(b <= c); }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn throughput_is_linear_in_ops(ops in 1u64..1_000_000, secs in 1u64..100) {
+        let t = SimTime::from_secs(secs);
+        let single = stats::ops_per_sec(ops, t);
+        let double = stats::ops_per_sec(ops * 2, t);
+        prop_assert!((double - single * 2.0).abs() < 1e-6 * double.max(1.0));
+    }
+}

@@ -1,0 +1,432 @@
+//! Block devices for the storage comparisons.
+//!
+//! The Figure 9/10 and Table 4 contenders:
+//!
+//! * [`SasHdd`] — the 1.1 TB SAS disk (Table 4 row 1),
+//! * [`SasSsd`] — the 400 GB SAS SSD (Table 4 row 2),
+//! * [`PcieCard`] — NVMe-attached cards: x4 flash, NVRAM (flash-backed
+//!   DRAM) and the vendor's PCIe MRAM card ("MRAM-on-PCIe numbers are
+//!   those published by the vendor"),
+//! * [`PmemBlockDevice`] — a block device over the memory bus: the
+//!   pmem driver on a live ConTutto channel (MRAM or NVDIMM).
+
+use contutto_memdev::{DiskConfig, HardDiskDrive, MemoryDevice, SparseMemory};
+use contutto_sim::SimTime;
+
+use contutto_power8::channel::DmiChannel;
+
+use crate::pcie::{NvmePath, PcieConfig};
+use crate::pmem::PmemDriver;
+
+/// Block size used throughout the storage experiments.
+pub const BLOCK_BYTES: usize = 4096;
+
+/// A 4 KiB-block storage device with per-op completion times.
+pub trait BlockDevice {
+    /// Reads block `lba`; returns data-available time.
+    fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime;
+    /// Writes block `lba`; returns acknowledged time.
+    fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime;
+    /// Capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+    /// Device name for reports.
+    fn name(&self) -> &str;
+    /// Whether an acknowledged write survives power loss.
+    fn is_persistent(&self) -> bool;
+}
+
+/// The SAS HDD (Table 4: 1.1 TB, ~75 IOPS on small random writes).
+#[derive(Debug)]
+pub struct SasHdd {
+    disk: HardDiskDrive,
+    /// Driver + HBA + SAS protocol overhead per IO.
+    overhead: SimTime,
+}
+
+impl SasHdd {
+    /// The paper's 1.1 TB drive.
+    pub fn new() -> Self {
+        SasHdd {
+            disk: HardDiskDrive::new(1_100_000_000_000, DiskConfig::sas_7200rpm()),
+            overhead: SimTime::from_us(300),
+        }
+    }
+}
+
+impl Default for SasHdd {
+    fn default() -> Self {
+        SasHdd::new()
+    }
+}
+
+impl BlockDevice for SasHdd {
+    fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
+        self.disk.read(now + self.overhead, lba * BLOCK_BYTES as u64, buf)
+    }
+
+    fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {
+        self.disk
+            .write(now + self.overhead, lba * BLOCK_BYTES as u64, data)
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.disk.capacity_bytes() / BLOCK_BYTES as u64
+    }
+
+    fn name(&self) -> &str {
+        "hdd-sas"
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
+    }
+}
+
+/// The SAS SSD (Table 4: 400 GB, ~15 K IOPS single-thread writes).
+/// Writes are acknowledged from the supercap-protected DRAM buffer;
+/// flash programming happens in the background.
+#[derive(Debug)]
+pub struct SasSsd {
+    store: SparseMemory,
+    capacity_blocks: u64,
+    /// SAS + driver per-IO overhead.
+    overhead: SimTime,
+    /// Flash array read service time.
+    read_media: SimTime,
+    /// Buffered-write acknowledge time.
+    write_ack: SimTime,
+    busy_until: SimTime,
+}
+
+impl SasSsd {
+    /// The paper's 400 GB SSD.
+    pub fn new() -> Self {
+        SasSsd {
+            store: SparseMemory::new(),
+            capacity_blocks: 400_000_000_000 / BLOCK_BYTES as u64,
+            overhead: SimTime::from_us(25),
+            read_media: SimTime::from_us(60),
+            write_ack: SimTime::from_us(40),
+            busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for SasSsd {
+    fn default() -> Self {
+        SasSsd::new()
+    }
+}
+
+impl BlockDevice for SasSsd {
+    fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
+        self.store.read(lba * BLOCK_BYTES as u64, buf);
+        let start = now.max(self.busy_until);
+        let done = start + self.overhead + self.read_media;
+        self.busy_until = done;
+        done
+    }
+
+    fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {
+        self.store.write(lba * BLOCK_BYTES as u64, data);
+        let start = now.max(self.busy_until);
+        let done = start + self.overhead + self.write_ack;
+        self.busy_until = done;
+        done
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn name(&self) -> &str {
+        "ssd-sas"
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
+    }
+}
+
+/// An NVMe card on PCIe: flash, NVRAM (flash-backed DRAM) or MRAM.
+#[derive(Debug)]
+pub struct PcieCard {
+    name: &'static str,
+    store: SparseMemory,
+    capacity_blocks: u64,
+    path: NvmePath,
+    read_media: SimTime,
+    write_media: SimTime,
+    busy_until: SimTime,
+}
+
+impl PcieCard {
+    /// "FLASH on x4 PCIe" (Figures 9/10).
+    pub fn flash_x4() -> Self {
+        PcieCard {
+            name: "flash-x4-pcie",
+            store: SparseMemory::new(),
+            capacity_blocks: 800_000_000_000 / BLOCK_BYTES as u64,
+            path: NvmePath::tuned(PcieConfig::gen3_x4()),
+            read_media: SimTime::from_us(100),
+            write_media: SimTime::from_us(30),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The NVRAM card: flash-backed DRAM on PCIe. Card-internal
+    /// controller firmware + buffer management dominate media time.
+    pub fn nvram() -> Self {
+        PcieCard {
+            name: "nvram-pcie",
+            store: SparseMemory::new(),
+            capacity_blocks: 16_000_000_000 / BLOCK_BYTES as u64,
+            path: NvmePath::tuned(PcieConfig::gen3_x8()),
+            read_media: SimTime::from_us(15),
+            write_media: SimTime::from_us(23),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The vendor's PCIe MRAM card (paper: "MRAM-on-PCIe numbers are
+    /// those published by the vendor" \[14\]).
+    pub fn mram() -> Self {
+        PcieCard {
+            name: "mram-pcie",
+            store: SparseMemory::new(),
+            capacity_blocks: 2_000_000_000 / BLOCK_BYTES as u64,
+            path: NvmePath::tuned(PcieConfig::gen3_x8()),
+            read_media: SimTime::from_ps(1_500_000),
+            write_media: SimTime::from_ps(3_500_000),
+            busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+impl BlockDevice for PcieCard {
+    fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
+        self.store.read(lba * BLOCK_BYTES as u64, buf);
+        let start = now.max(self.busy_until);
+        let done = start + self.path.io_latency(buf.len() as u64, self.read_media);
+        self.busy_until = done;
+        done
+    }
+
+    fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {
+        self.store.write(lba * BLOCK_BYTES as u64, data);
+        let start = now.max(self.busy_until);
+        let done = start + self.path.io_latency(data.len() as u64, self.write_media);
+        self.busy_until = done;
+        done
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
+    }
+}
+
+/// A block device over the memory bus: the pmem driver on a live
+/// ConTutto channel. This is the "STT-MRAM / NVDIMM on DMI" attach
+/// point of Figures 9/10 and Table 4 — block IOs become cache-line
+/// loads/stores plus a flush, all simulated through the full stack.
+pub struct PmemBlockDevice {
+    name: &'static str,
+    channel: DmiChannel,
+    driver: PmemDriver,
+    base_addr: u64,
+    capacity_blocks: u64,
+}
+
+impl std::fmt::Debug for PmemBlockDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemBlockDevice")
+            .field("name", &self.name)
+            .field("capacity_blocks", &self.capacity_blocks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PmemBlockDevice {
+    /// Wraps a trained channel whose buffer fronts persistent media.
+    pub fn new(
+        name: &'static str,
+        channel: DmiChannel,
+        base_addr: u64,
+        capacity_bytes: u64,
+    ) -> Self {
+        PmemBlockDevice {
+            name,
+            channel,
+            driver: PmemDriver::default(),
+            base_addr,
+            capacity_blocks: capacity_bytes / BLOCK_BYTES as u64,
+        }
+    }
+
+    /// The underlying channel (for telemetry).
+    pub fn channel_mut(&mut self) -> &mut DmiChannel {
+        &mut self.channel
+    }
+
+    fn sync_clock(&mut self, now: SimTime) {
+        // The channel's clock is the authority; block-level callers
+        // may run "behind" it after a burst. Advance to the max.
+        if self.channel.now() < now {
+            self.channel.run_until(now);
+        }
+    }
+}
+
+impl BlockDevice for PmemBlockDevice {
+    fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
+        self.sync_clock(now);
+        self.driver
+            .read(&mut self.channel, self.base_addr + lba * BLOCK_BYTES as u64, buf)
+    }
+
+    fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {
+        self.sync_clock(now);
+        self.driver.write_persistent(
+            &mut self.channel,
+            self.base_addr + lba * BLOCK_BYTES as u64,
+            data,
+        )
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
+    }
+}
+
+/// Builds the paper's MRAM-on-ConTutto block device (256 MB usable
+/// per card pair of DIMMs — 512 MB here, one card).
+pub fn mram_contutto_device() -> PmemBlockDevice {
+    use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
+    use contutto_memdev::MramGeneration;
+    use contutto_power8::channel::ChannelConfig;
+
+    let channel = DmiChannel::new(
+        ChannelConfig::contutto(),
+        Box::new(ConTutto::new(
+            ContuttoConfig::base(),
+            MemoryPopulation::mram_512mb(MramGeneration::Pmtj),
+        )),
+    );
+    PmemBlockDevice::new("mram-contutto", channel, 0, 512 << 20)
+}
+
+/// Builds the paper's NVDIMM-on-ConTutto block device.
+pub fn nvdimm_contutto_device() -> PmemBlockDevice {
+    use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
+    use contutto_power8::channel::ChannelConfig;
+
+    let channel = DmiChannel::new(
+        ChannelConfig::contutto(),
+        Box::new(ConTutto::new(
+            ContuttoConfig::base(),
+            MemoryPopulation::nvdimm_8gb(),
+        )),
+    );
+    PmemBlockDevice::new("nvdimm-contutto", channel, 0, 8 << 30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &mut dyn BlockDevice) {
+        let data = [0xC3u8; BLOCK_BYTES];
+        let t = dev.write_block(SimTime::ZERO, 7, &data);
+        let mut buf = [0u8; BLOCK_BYTES];
+        let t2 = dev.read_block(t, 7, &mut buf);
+        assert_eq!(buf, data, "{}", dev.name());
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn all_devices_roundtrip() {
+        roundtrip(&mut SasHdd::new());
+        roundtrip(&mut SasSsd::new());
+        roundtrip(&mut PcieCard::flash_x4());
+        roundtrip(&mut PcieCard::nvram());
+        roundtrip(&mut PcieCard::mram());
+        roundtrip(&mut mram_contutto_device());
+    }
+
+    #[test]
+    fn latency_ordering_matches_figure10() {
+        // Memory-bus MRAM < PCIe MRAM < PCIe NVRAM < PCIe flash < SSD < HDD.
+        let lat = |dev: &mut dyn BlockDevice| {
+            let mut buf = [0u8; BLOCK_BYTES];
+            dev.write_block(SimTime::ZERO, 9, &buf);
+            let t0 = dev.read_block(SimTime::from_ms(1), 9, &mut buf);
+            let t1 = dev.read_block(t0, 9, &mut buf);
+            t1 - t0
+        };
+        let mram_ct = lat(&mut mram_contutto_device());
+        let mram_pcie = lat(&mut PcieCard::mram());
+        let nvram = lat(&mut PcieCard::nvram());
+        let flash = lat(&mut PcieCard::flash_x4());
+        let ssd = lat(&mut SasSsd::new());
+        let hdd = lat(&mut SasHdd::new());
+        // Figure 10 set (PCIe attach points vs the memory bus):
+        assert!(mram_ct < mram_pcie, "{mram_ct} !< {mram_pcie}");
+        assert!(mram_pcie < nvram);
+        assert!(nvram < flash);
+        // Table 4 set (SAS devices):
+        assert!(ssd < hdd);
+        assert!(nvram < ssd, "even the slow PCIe NVM beats SAS SSD reads");
+    }
+
+    #[test]
+    fn contutto_mram_read_latency_ratio_vs_nvram() {
+        // Figure 10: ~6.6x lower read latency than NVRAM-on-PCIe.
+        let lat = |dev: &mut dyn BlockDevice| {
+            let mut buf = [0u8; BLOCK_BYTES];
+            dev.write_block(SimTime::ZERO, 3, &buf);
+            let t0 = dev.read_block(SimTime::from_ms(1), 3, &mut buf);
+            let t1 = dev.read_block(t0, 3, &mut buf);
+            (t1 - t0).as_us_f64()
+        };
+        let ct = lat(&mut mram_contutto_device());
+        let nvram = lat(&mut PcieCard::nvram());
+        let ratio = nvram / ct;
+        assert!((4.0..10.0).contains(&ratio), "read latency ratio {ratio}");
+    }
+
+    #[test]
+    fn ssd_write_iops_about_15k() {
+        let mut ssd = SasSsd::new();
+        let data = [0u8; BLOCK_BYTES];
+        let mut now = SimTime::ZERO;
+        for i in 0..100 {
+            now = ssd.write_block(now, i * 37 % 1000, &data);
+        }
+        let iops = 100.0 / now.as_secs_f64();
+        assert!((13_000.0..17_000.0).contains(&iops), "{iops} IOPS");
+    }
+
+    #[test]
+    fn everything_reports_persistent() {
+        assert!(SasHdd::new().is_persistent());
+        assert!(SasSsd::new().is_persistent());
+        assert!(PcieCard::mram().is_persistent());
+        assert!(mram_contutto_device().is_persistent());
+    }
+}

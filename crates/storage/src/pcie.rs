@@ -1,0 +1,112 @@
+//! The PCIe/NVMe attach-point model.
+//!
+//! Paper §4.2: "The results clearly demonstrate that ConTutto provides
+//! a much higher bandwidth and lower latency attach point than PCIe,
+//! even with NVMe." The point of this module is to charge honestly for
+//! everything a PCIe IO pays that a memory-bus load/store does not:
+//! driver submission, doorbell write, device command fetch, DMA of the
+//! payload across the link, completion posting and interrupt
+//! servicing.
+
+use contutto_sim::SimTime;
+
+/// PCIe link configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcieConfig {
+    /// Lane count (x4 for the paper's flash card).
+    pub lanes: u32,
+    /// Usable per-lane bandwidth, MB/s (Gen3 ≈ 985 MB/s/lane).
+    pub mb_per_sec_per_lane: u32,
+}
+
+impl PcieConfig {
+    /// Gen3 x4 (the paper's "FLASH on x4 PCIe").
+    pub fn gen3_x4() -> Self {
+        PcieConfig {
+            lanes: 4,
+            mb_per_sec_per_lane: 985,
+        }
+    }
+
+    /// Gen3 x8 (typical NVRAM/MRAM cards).
+    pub fn gen3_x8() -> Self {
+        PcieConfig {
+            lanes: 8,
+            mb_per_sec_per_lane: 985,
+        }
+    }
+
+    /// Payload transfer time across the link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        let bw = f64::from(self.lanes) * f64::from(self.mb_per_sec_per_lane) * 1e6;
+        SimTime::from_ps((bytes as f64 / bw * 1e12) as u64)
+    }
+}
+
+/// Per-IO costs of the NVMe software/protocol path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmePath {
+    /// Link configuration.
+    pub pcie: PcieConfig,
+    /// Driver submission: build SQ entry, ring doorbell.
+    pub submission: SimTime,
+    /// Device-side command fetch + DMA engine setup.
+    pub device_setup: SimTime,
+    /// Completion: CQ posting + MSI-X interrupt + driver completion.
+    pub completion: SimTime,
+}
+
+impl NvmePath {
+    /// A tuned 2016-era NVMe stack.
+    pub fn tuned(pcie: PcieConfig) -> Self {
+        NvmePath {
+            pcie,
+            submission: SimTime::from_ps(900_000),    // 0.9 us
+            device_setup: SimTime::from_ps(1_200_000), // 1.2 us
+            completion: SimTime::from_ps(2_400_000),  // 2.4 us (interrupt path)
+        }
+    }
+
+    /// Total path cost for one IO of `bytes`, excluding media time.
+    pub fn overhead(&self, bytes: u64) -> SimTime {
+        self.submission + self.device_setup + self.pcie.transfer_time(bytes) + self.completion
+    }
+
+    /// Full IO latency: path overhead + media service time.
+    pub fn io_latency(&self, bytes: u64, media: SimTime) -> SimTime {
+        self.overhead(bytes) + media
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_lanes() {
+        let x4 = PcieConfig::gen3_x4().transfer_time(4096);
+        let x8 = PcieConfig::gen3_x8().transfer_time(4096);
+        let diff = (x4.as_ps() as i64 - (x8.as_ps() * 2) as i64).abs();
+        assert!(diff <= 2, "x4 {x4} vs 2*x8 {x8} (rounding)");
+        // 4 KiB over ~3.9 GB/s ≈ 1.04 us.
+        assert!((0.9..1.2).contains(&x4.as_us_f64()), "{x4}");
+    }
+
+    #[test]
+    fn overhead_dominates_small_ios() {
+        let path = NvmePath::tuned(PcieConfig::gen3_x4());
+        let oh = path.overhead(4096);
+        // Several microseconds before any media is touched — the gap
+        // the memory-bus attach point closes.
+        assert!(oh > SimTime::from_us(5), "overhead {oh}");
+        assert!(oh < SimTime::from_us(8), "overhead {oh}");
+    }
+
+    #[test]
+    fn io_latency_adds_media() {
+        let path = NvmePath::tuned(PcieConfig::gen3_x4());
+        let fast = path.io_latency(4096, SimTime::from_us(2));
+        let slow = path.io_latency(4096, SimTime::from_us(80));
+        assert_eq!(slow - fast, SimTime::from_us(78));
+    }
+}

@@ -1,0 +1,104 @@
+//! The raw slram driver.
+//!
+//! Paper §4: "All these experiments were running the full standard
+//! Linux stack utilizing either the pmem.io driver stack or raw slram
+//! driver." The slram path treats the region as plain RAM-backed
+//! block storage: no flush, no persistence guarantee — writes are
+//! posted and the driver trusts the media. On MRAM the data happens
+//! to survive anyway; on DRAM behind ConTutto it is simply fast
+//! scratch block storage.
+
+use contutto_sim::SimTime;
+
+use contutto_power8::channel::DmiChannel;
+
+use crate::pmem::PmemDriver;
+
+/// The slram driver: pmem's data path without the durability fence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlramDriver {
+    inner: PmemDriver,
+}
+
+impl Default for SlramDriver {
+    fn default() -> Self {
+        SlramDriver {
+            inner: PmemDriver::default(),
+        }
+    }
+}
+
+impl SlramDriver {
+    /// Creates a driver with the given MLP.
+    pub fn with_mlp(mlp: usize) -> Self {
+        SlramDriver {
+            inner: PmemDriver {
+                mlp,
+                ..PmemDriver::default()
+            },
+        }
+    }
+
+    /// Reads a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or a hung channel.
+    pub fn read(&self, channel: &mut DmiChannel, addr: u64, buf: &mut [u8]) -> SimTime {
+        self.inner.read(channel, addr, buf)
+    }
+
+    /// Posted write — no flush, no durability guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or a hung channel.
+    pub fn write(&self, channel: &mut DmiChannel, addr: u64, data: &[u8]) -> SimTime {
+        self.inner.write_posted(channel, addr, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
+    use contutto_power8::channel::ChannelConfig;
+
+    fn dram_channel() -> DmiChannel {
+        DmiChannel::new(
+            ChannelConfig::contutto(),
+            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+        )
+    }
+
+    #[test]
+    fn roundtrip_on_dram() {
+        let mut ch = dram_channel();
+        let driver = SlramDriver::default();
+        let data = vec![0x77u8; 1024];
+        driver.write(&mut ch, 0x8000, &data);
+        let mut back = vec![0u8; 1024];
+        driver.read(&mut ch, 0x8000, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn slram_write_is_faster_than_pmem_write() {
+        // No flush: the posted path finishes sooner.
+        let mut ch1 = dram_channel();
+        let slram = SlramDriver::default();
+        let data = vec![1u8; 4096];
+        slram.write(&mut ch1, 0, &data); // warm
+        let t0 = ch1.now();
+        slram.write(&mut ch1, 0, &data);
+        let posted = ch1.now() - t0;
+
+        let mut ch2 = dram_channel();
+        let pmem = PmemDriver::default();
+        pmem.write_persistent(&mut ch2, 0, &data); // warm
+        let t0 = ch2.now();
+        pmem.write_persistent(&mut ch2, 0, &data);
+        let durable = ch2.now() - t0;
+        assert!(posted < durable, "posted {posted} !< durable {durable}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Single-thread software baselines for Table 5.
+//!
+//! Paper §4.3: "Table 5 also lists the performance of software
+//! implementations of the same functions executed on the POWER8 using
+//! CDIMMs, with the FFT results being taken from \[17\]":
+//!
+//! | function | software (paper) |
+//! |---|---|
+//! | memory copy (1 GB) | 3.2 GB/s |
+//! | min/max (256 M integers) | 0.5 GB/s |
+//! | FFT (1024-point, 8 B samples) | 0.68 Gsamples/s (4 CDIMMs / 16 DIMM ports) |
+//!
+//! The baselines here are *functional* (they really copy / scan /
+//! transform buffers, so the accelerator results can be checked
+//! against them) with per-element costs from a simple core model:
+//! memcpy is store-bandwidth bound, the scalar min/max loop is
+//! compare/branch bound, and the software FFT cost is taken from the
+//! same source the paper used.
+
+use contutto_sim::SimTime;
+
+use contutto_core::accel::fft::{fft_in_place, Complex32};
+
+/// Per-128 B-line cost of single-thread software memcpy on the CDIMM
+/// system (load + store micro-op streams, limited by the LSU and
+/// store queue): 128 B / 40 ns = 3.2 GB/s.
+pub const MEMCPY_NS_PER_LINE: f64 = 40.0;
+
+/// Per-u32 cost of the scalar min/max loop (compare + cmov/branch +
+/// loads, mispredict tax): 4 B / 8 ns = 0.5 GB/s.
+pub const MINMAX_NS_PER_VALUE: f64 = 8.0;
+
+/// Software cost of one 1024-point complex-f32 FFT, from \[17\]'s
+/// measured 0.68 Gsamples/s: 1024 / 0.68e9 ≈ 1506 ns.
+pub const FFT_NS_PER_BLOCK: f64 = 1024.0 / 0.68;
+
+/// The software-baseline executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoftwareBaselines;
+
+impl SoftwareBaselines {
+    /// Copies `src` into `dst`, returning (elapsed, GB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn memcpy(&self, src: &[u8], dst: &mut [u8]) -> (SimTime, f64) {
+        assert_eq!(src.len(), dst.len());
+        dst.copy_from_slice(src);
+        let lines = src.len().div_ceil(128) as f64;
+        let elapsed = SimTime::from_ps((lines * MEMCPY_NS_PER_LINE * 1000.0) as u64);
+        let gbps = src.len() as f64 / elapsed.as_secs_f64() / 1e9;
+        (elapsed, gbps)
+    }
+
+    /// Scans for (min, max), returning (min, max, elapsed, GB/s).
+    pub fn minmax(&self, values: &[u32]) -> (u32, u32, SimTime, f64) {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let elapsed = SimTime::from_ps((values.len() as f64 * MINMAX_NS_PER_VALUE * 1000.0) as u64);
+        let gbps = values.len() as f64 * 4.0 / elapsed.as_secs_f64() / 1e9;
+        (min, max, elapsed, gbps)
+    }
+
+    /// Transforms consecutive 1024-point blocks in place, returning
+    /// (elapsed, Gsamples/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the sample count is a multiple of 1024.
+    pub fn fft_blocks(&self, samples: &mut [Complex32]) -> (SimTime, f64) {
+        assert_eq!(samples.len() % 1024, 0, "whole 1024-point blocks");
+        for block in samples.chunks_exact_mut(1024) {
+            fft_in_place(block);
+        }
+        let blocks = (samples.len() / 1024) as f64;
+        let elapsed = SimTime::from_ps((blocks * FFT_NS_PER_BLOCK * 1000.0) as u64);
+        let gsps = samples.len() as f64 / elapsed.as_secs_f64() / 1e9;
+        (elapsed, gsps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_is_3_2_gbps_and_correct() {
+        let src: Vec<u8> = (0..1_048_576u32).map(|i| (i % 251) as u8).collect();
+        let mut dst = vec![0u8; src.len()];
+        let (_, gbps) = SoftwareBaselines.memcpy(&src, &mut dst);
+        assert_eq!(dst, src);
+        assert!((3.1..3.3).contains(&gbps), "{gbps} GB/s");
+    }
+
+    #[test]
+    fn minmax_is_0_5_gbps_and_correct() {
+        let mut values: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        values[500] = 0;
+        values[900] = u32::MAX;
+        let (min, max, _, gbps) = SoftwareBaselines.minmax(&values);
+        assert_eq!(min, 0);
+        assert_eq!(max, u32::MAX);
+        assert!((0.45..0.55).contains(&gbps), "{gbps} GB/s");
+    }
+
+    #[test]
+    fn fft_is_0_68_gsps_and_correct() {
+        let mut samples = vec![Complex32::default(); 4096];
+        samples[0] = Complex32::new(1.0, 0.0); // impulse in block 0
+        let (_, gsps) = SoftwareBaselines.fft_blocks(&mut samples);
+        assert!((0.65..0.71).contains(&gsps), "{gsps} Gs/s");
+        // Flat spectrum in block 0.
+        assert!((samples[100].re - 1.0).abs() < 1e-4);
+        // Untouched blocks remain zero spectra.
+        assert!(samples[2048].abs() < 1e-6);
+    }
+}

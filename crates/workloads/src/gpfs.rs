@@ -1,0 +1,144 @@
+//! The GPFS write-cache experiment (Table 4).
+//!
+//! Paper §4.2: GPFS with "STT-MRAM behind ConTutto as a write cache in
+//! front of a hard disk drive ... STT-MRAM on ConTutto achieves 8.3X
+//! single thread performance improvement over state of the art SSD."
+//!
+//! | Technology | Interface | IOPS (paper) |
+//! |---|---|---|
+//! | HDD 1.1 TB | SAS | 75 |
+//! | SSD 400 GB | SAS | 15 K |
+//! | STT-MRAM 256 MB | DMI (memory link) | 125 K |
+//!
+//! The experiment issues small random synchronous writes through the
+//! GPFS recovery-log path: direct to the device for HDD/SSD, through
+//! the [`WriteCache`] (MRAM log + HDD destage) for the ConTutto row.
+
+use contutto_sim::SimTime;
+use contutto_storage::blockdev::{mram_contutto_device, BlockDevice, SasHdd, SasSsd, BLOCK_BYTES};
+use contutto_storage::writecache::WriteCache;
+
+/// Per-write GPFS software-path cost (journaling, token, VFS).
+pub const GPFS_SOFTWARE_OVERHEAD: SimTime = SimTime::from_us(2);
+
+/// One Table 4 row: measured IOPS for a persistent-store setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpfsRow {
+    /// Technology label.
+    pub technology: String,
+    /// Attach interface.
+    pub interface: &'static str,
+    /// Measured single-thread write IOPS.
+    pub iops: f64,
+}
+
+/// The Table 4 experiment driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpfsExperiment {
+    /// Synchronous small writes per run.
+    pub writes: u64,
+    /// LCG seed for target LBAs.
+    pub seed: u64,
+}
+
+impl Default for GpfsExperiment {
+    fn default() -> Self {
+        GpfsExperiment {
+            writes: 48,
+            seed: 0x6F5,
+        }
+    }
+}
+
+impl GpfsExperiment {
+    fn lba_stream(&self) -> impl FnMut() -> u64 {
+        let mut lcg = self.seed | 1;
+        move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg % 250_000_000 // span the whole 1.1 TB platter
+        }
+    }
+
+    /// Direct synchronous writes to a raw device.
+    pub fn run_direct(&self, device: &mut dyn BlockDevice) -> f64 {
+        let mut next = self.lba_stream();
+        let data = [0u8; BLOCK_BYTES];
+        let mut now = SimTime::ZERO;
+        for _ in 0..self.writes {
+            now += GPFS_SOFTWARE_OVERHEAD;
+            now = device.write_block(now, next(), &data);
+        }
+        self.writes as f64 / now.as_secs_f64()
+    }
+
+    /// Writes through a write cache (log + backing disk).
+    pub fn run_cached<L: BlockDevice, D: BlockDevice>(&self, cache: &mut WriteCache<L, D>) -> f64 {
+        let mut next = self.lba_stream();
+        let data = [0u8; BLOCK_BYTES];
+        let mut now = SimTime::ZERO;
+        for _ in 0..self.writes {
+            // The cache already charges the GPFS log path internally.
+            now = cache.write(now, next(), &data);
+        }
+        self.writes as f64 / now.as_secs_f64()
+    }
+
+    /// Reproduces the full Table 4.
+    pub fn table4(&self) -> Vec<GpfsRow> {
+        let hdd_iops = self.run_direct(&mut SasHdd::new());
+        let ssd_iops = self.run_direct(&mut SasSsd::new());
+        let mut cache = WriteCache::new(mram_contutto_device(), SasHdd::new());
+        let mram_iops = self.run_cached(&mut cache);
+        vec![
+            GpfsRow {
+                technology: "Hard Disk Drive (1.1 TB)".into(),
+                interface: "SAS",
+                iops: hdd_iops,
+            },
+            GpfsRow {
+                technology: "SSD (400 GB)".into(),
+                interface: "SAS",
+                iops: ssd_iops,
+            },
+            GpfsRow {
+                technology: "STT-MRAM (256 MB)".into(),
+                interface: "DMI (memory link)",
+                iops: mram_iops,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_holds() {
+        let rows = GpfsExperiment::default().table4();
+        assert_eq!(rows.len(), 3);
+        let hdd = rows[0].iops;
+        let ssd = rows[1].iops;
+        let mram = rows[2].iops;
+        // Paper anchors: 75 / 15K / 125K.
+        assert!((50.0..110.0).contains(&hdd), "hdd {hdd}");
+        assert!((11_000.0..18_000.0).contains(&ssd), "ssd {ssd}");
+        assert!((90_000.0..170_000.0).contains(&mram), "mram {mram}");
+    }
+
+    #[test]
+    fn mram_improvement_over_ssd_is_about_8x() {
+        let rows = GpfsExperiment::default().table4();
+        let ratio = rows[2].iops / rows[1].iops;
+        assert!((5.0..12.0).contains(&ratio), "MRAM/SSD ratio {ratio}");
+    }
+
+    #[test]
+    fn ssd_improvement_over_hdd_is_two_orders() {
+        let rows = GpfsExperiment::default().table4();
+        let ratio = rows[1].iops / rows[0].iops;
+        assert!(ratio > 100.0, "SSD/HDD ratio {ratio}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Pointer-chasing workload.
+//!
+//! Paper §4.1's caveat: "there can be other memory-bound applications
+//! such as graph and pointer chasing application where the performance
+//! degradation could be much higher. The effects on such computations
+//! need to be further studied and ConTutto provides a unique platform
+//! to study such effects."
+//!
+//! This workload builds a real linked list in simulated memory (one
+//! node per cache line, next-pointer in word 0) and traverses it with
+//! strictly dependent loads through the cache hierarchy and the DMI
+//! channel — the zero-MLP worst case where the full memory latency is
+//! exposed on every hop.
+
+use contutto_dmi::command::CacheLine;
+use contutto_power8::caches::CacheHierarchy;
+use contutto_power8::channel::DmiChannel;
+use contutto_sim::SimTime;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A pointer-chase experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerChase {
+    /// Number of list nodes (one cache line each).
+    pub nodes: u64,
+    /// Base address of the node arena.
+    pub base_addr: u64,
+    /// Shuffle seed (a random permutation defeats prefetching).
+    pub seed: u64,
+}
+
+impl Default for PointerChase {
+    fn default() -> Self {
+        PointerChase {
+            nodes: 256,
+            base_addr: 0x40_0000,
+            seed: 11,
+        }
+    }
+}
+
+/// Results of a traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaseResult {
+    /// Hops taken.
+    pub hops: u64,
+    /// Mean time per hop.
+    pub ns_per_hop: f64,
+    /// Fraction of hops served by the processor caches.
+    pub cache_hit_fraction: f64,
+}
+
+impl PointerChase {
+    fn node_addr(&self, idx: u64) -> u64 {
+        self.base_addr + idx * 128
+    }
+
+    /// Builds the shuffled list in memory through the channel and
+    /// returns the link table (the traversal's oracle for cache hits,
+    /// cross-checked against memory on every miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel hangs.
+    pub fn build(&self, channel: &mut DmiChannel) -> ChaseList {
+        let mut order: Vec<u64> = (1..self.nodes).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        order.shuffle(&mut rng);
+        order.insert(0, 0); // start at node 0
+        order.push(0); // cycle back
+        let mut next = std::collections::HashMap::new();
+        for pair in order.windows(2) {
+            let mut line = CacheLine::ZERO;
+            line.set_word(0, self.node_addr(pair[1]));
+            next.insert(self.node_addr(pair[0]), self.node_addr(pair[1]));
+            channel
+                .write_line_blocking(self.node_addr(pair[0]), line)
+                .expect("list build write");
+        }
+        ChaseList { next }
+    }
+
+    /// Traverses `hops` steps with dependent loads through the cache
+    /// hierarchy, returning timing and hit statistics. Cache hits use
+    /// the link table at core-cache latency; memory accesses go over
+    /// the channel and are cross-checked against the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory disagrees with the link table (corruption) or
+    /// the channel hangs.
+    pub fn traverse(
+        &self,
+        channel: &mut DmiChannel,
+        caches: &mut CacheHierarchy,
+        list: &ChaseList,
+        hops: u64,
+    ) -> ChaseResult {
+        let mut addr = self.node_addr(0);
+        let start = channel.now();
+        let mut cache_time = SimTime::ZERO;
+        let before_stats = caches.stats();
+        for _ in 0..hops {
+            let (level, lat) = caches.access(addr);
+            let expected = list.next[&addr];
+            if level == contutto_power8::caches::HitLevel::Memory {
+                let (line, _) = channel.read_line_blocking(addr).expect("chase load");
+                assert_eq!(line.word(0), expected, "list corrupted at {addr:#x}");
+            } else {
+                cache_time += lat;
+            }
+            addr = expected;
+        }
+        let after = caches.stats();
+        let total = (channel.now() - start) + cache_time;
+        let mem_hops = after.memory_accesses - before_stats.memory_accesses;
+        let cached_hops = hops - mem_hops;
+        ChaseResult {
+            hops,
+            ns_per_hop: total.as_ns_f64() / hops as f64,
+            cache_hit_fraction: cached_hops as f64 / hops as f64,
+        }
+    }
+}
+
+/// The link table produced by [`PointerChase::build`].
+#[derive(Debug, Clone)]
+pub struct ChaseList {
+    next: std::collections::HashMap<u64, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contutto_centaur::{Centaur, CentaurConfig};
+    use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
+    use contutto_power8::channel::ChannelConfig;
+
+    fn centaur_channel() -> DmiChannel {
+        DmiChannel::new(
+            ChannelConfig::centaur(),
+            Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
+        )
+    }
+
+    fn contutto_channel(knob: u8) -> DmiChannel {
+        DmiChannel::new(
+            ChannelConfig::contutto(),
+            Box::new(ConTutto::new(
+                ContuttoConfig::with_knob(knob),
+                MemoryPopulation::dram_8gb(),
+            )),
+        )
+    }
+
+    #[test]
+    fn traversal_follows_the_permutation() {
+        let chase = PointerChase {
+            nodes: 32,
+            ..PointerChase::default()
+        };
+        let mut ch = centaur_channel();
+        let list = chase.build(&mut ch);
+        let mut caches = CacheHierarchy::power8_core();
+        let r = chase.traverse(&mut ch, &mut caches, &list, 64);
+        assert_eq!(r.hops, 64);
+        assert!(r.ns_per_hop > 0.0);
+    }
+
+    #[test]
+    fn pointer_chase_degrades_proportionally_to_latency() {
+        // Unlike SPEC (overlapped misses), a dependent chase exposes
+        // nearly the full latency difference per hop.
+        let chase = PointerChase {
+            nodes: 512, // larger than L1/L2; collides in L3 too, partially
+            ..PointerChase::default()
+        };
+        let mut cen = centaur_channel();
+        let list = chase.build(&mut cen);
+        let mut caches = CacheHierarchy::power8_core();
+        let base = chase.traverse(&mut cen, &mut caches, &list, 256);
+
+        let mut con = contutto_channel(7);
+        let list = chase.build(&mut con);
+        let mut caches = CacheHierarchy::power8_core();
+        let slow = chase.traverse(&mut con, &mut caches, &list, 256);
+
+        let ratio = slow.ns_per_hop / base.ns_per_hop;
+        // ~97 ns vs ~560 ns channels: hops slow down several-fold —
+        // far beyond SPEC's <10 % typical degradation (the paper's
+        // warning about pointer chasing).
+        assert!(ratio > 2.5, "chase ratio only {ratio}");
+    }
+
+    #[test]
+    fn small_list_gets_cache_hits_on_second_pass() {
+        let chase = PointerChase {
+            nodes: 16,
+            ..PointerChase::default()
+        };
+        let mut ch = centaur_channel();
+        let list = chase.build(&mut ch);
+        let mut caches = CacheHierarchy::power8_core();
+        chase.traverse(&mut ch, &mut caches, &list, 16); // cold pass
+        let warm = chase.traverse(&mut ch, &mut caches, &list, 16);
+        assert!(warm.cache_hit_fraction > 0.9, "{}", warm.cache_hit_fraction);
+    }
+}

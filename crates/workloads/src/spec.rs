@@ -1,0 +1,280 @@
+//! SPEC CINT2006 latency-sensitivity models (Figures 6 and 7).
+//!
+//! Paper §4.1: "with almost 6x (600%) increase in latency to memory,
+//! about half of the applications incur less than 2% performance
+//! degradation whereas two-thirds of the applications remain under 10%
+//! degradation. For the rest, the performance degradation is in the
+//! range of 15% to 35%, with one benchmark application showing
+//! performance degradation of more than 50%."
+//!
+//! Each benchmark is modelled with the standard stall-cycle
+//! decomposition: `CPI(L) = CPI_base + EPKI/1000 · L_cycles`, where
+//! EPKI is the *effective* (post-L3, post-prefetch, post-overlap)
+//! memory misses per kilo-instruction. The SPEC ratio is inversely
+//! proportional to CPI for a fixed instruction count. EPKI and
+//! CPI_base per benchmark follow the published memory-boundedness
+//! ranking of CINT2006 (mcf ≫ omnetpp/libquantum/astar ≫ gcc/xalan ≫
+//! the compute-bound rest) and are normalized so the paper's summary
+//! statistics hold at the paper's measured latencies.
+
+use contutto_sim::SimTime;
+
+/// One modelled benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecBenchmark {
+    /// SPEC name.
+    pub name: &'static str,
+    /// SPEC ratio at the Centaur-optimized baseline latency.
+    pub base_ratio: f64,
+    /// Core cycles per instruction excluding memory stalls.
+    pub base_cpi: f64,
+    /// Effective memory misses per kilo-instruction (after cache
+    /// hierarchy, prefetching and MLP overlap).
+    pub epki: f64,
+}
+
+/// The CINT2006 latency model.
+///
+/// # Example
+///
+/// ```
+/// use contutto_workloads::spec::{suite, SpecModel};
+/// use contutto_sim::SimTime;
+///
+/// let model = SpecModel::default();
+/// let mcf = suite().into_iter().find(|b| b.name == "429.mcf").unwrap();
+/// let d = model.degradation(&mcf, SimTime::from_ns(558), SimTime::from_ns(97));
+/// // The one benchmark over 50% in Figure 7.
+/// assert!(d > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecModel {
+    /// Core clock in GHz (latency in ns × GHz = cycles).
+    pub core_ghz: f64,
+}
+
+impl Default for SpecModel {
+    fn default() -> Self {
+        SpecModel { core_ghz: 4.0 }
+    }
+}
+
+impl SpecModel {
+    /// CPI of a benchmark at a given memory latency.
+    pub fn cpi(&self, b: &SpecBenchmark, mem_latency: SimTime) -> f64 {
+        let cycles = mem_latency.as_ns_f64() * self.core_ghz;
+        b.base_cpi + b.epki / 1000.0 * cycles
+    }
+
+    /// SPEC ratio at `mem_latency`, anchored so that `base_latency`
+    /// yields the benchmark's published `base_ratio`.
+    pub fn ratio(&self, b: &SpecBenchmark, mem_latency: SimTime, base_latency: SimTime) -> f64 {
+        b.base_ratio * self.cpi(b, base_latency) / self.cpi(b, mem_latency)
+    }
+
+    /// Fractional runtime degradation going from `base_latency` to
+    /// `mem_latency` (0.02 = 2 % slower).
+    pub fn degradation(
+        &self,
+        b: &SpecBenchmark,
+        mem_latency: SimTime,
+        base_latency: SimTime,
+    ) -> f64 {
+        self.cpi(b, mem_latency) / self.cpi(b, base_latency) - 1.0
+    }
+}
+
+/// The twelve CINT2006 benchmarks.
+pub fn suite() -> Vec<SpecBenchmark> {
+    vec![
+        SpecBenchmark { name: "400.perlbench", base_ratio: 25.0, base_cpi: 0.70, epki: 0.005 },
+        SpecBenchmark { name: "401.bzip2", base_ratio: 19.0, base_cpi: 0.80, epki: 0.008 },
+        SpecBenchmark { name: "403.gcc", base_ratio: 24.0, base_cpi: 0.90, epki: 0.050 },
+        SpecBenchmark { name: "429.mcf", base_ratio: 28.0, base_cpi: 1.60, epki: 0.500 },
+        SpecBenchmark { name: "445.gobmk", base_ratio: 20.0, base_cpi: 1.00, epki: 0.010 },
+        SpecBenchmark { name: "456.hmmer", base_ratio: 25.0, base_cpi: 0.85, epki: 0.003 },
+        SpecBenchmark { name: "458.sjeng", base_ratio: 21.0, base_cpi: 1.00, epki: 0.008 },
+        SpecBenchmark { name: "462.libquantum", base_ratio: 60.0, base_cpi: 0.70, epki: 0.120 },
+        SpecBenchmark { name: "464.h264ref", base_ratio: 32.0, base_cpi: 0.75, epki: 0.012 },
+        SpecBenchmark { name: "471.omnetpp", base_ratio: 17.0, base_cpi: 1.10, epki: 0.180 },
+        SpecBenchmark { name: "473.astar", base_ratio: 15.0, base_cpi: 1.20, epki: 0.120 },
+        SpecBenchmark { name: "483.xalancbmk", base_ratio: 28.0, base_cpi: 1.00, epki: 0.050 },
+    ]
+}
+
+/// Summary of a latency sweep: the statistics the paper quotes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationSummary {
+    /// Fraction of the suite under 2 % degradation.
+    pub under_2pct: f64,
+    /// Fraction under 10 %.
+    pub under_10pct: f64,
+    /// Fraction in the 15–35 % band.
+    pub band_15_35: f64,
+    /// Fraction over 50 %.
+    pub over_50pct: f64,
+    /// Worst-case degradation.
+    pub worst: f64,
+}
+
+/// Computes the paper's summary statistics for a latency pair.
+pub fn summarize(model: &SpecModel, mem_latency: SimTime, base_latency: SimTime) -> DegradationSummary {
+    let suite = suite();
+    let n = suite.len() as f64;
+    let degradations: Vec<f64> = suite
+        .iter()
+        .map(|b| model.degradation(b, mem_latency, base_latency))
+        .collect();
+    DegradationSummary {
+        under_2pct: degradations.iter().filter(|d| **d < 0.02).count() as f64 / n,
+        under_10pct: degradations.iter().filter(|d| **d < 0.10).count() as f64 / n,
+        band_15_35: degradations
+            .iter()
+            .filter(|d| (0.15..=0.35).contains(*d))
+            .count() as f64
+            / n,
+        over_50pct: degradations.iter().filter(|d| **d > 0.50).count() as f64 / n,
+        worst: degradations.iter().fold(0.0f64, |a, b| a.max(*b)),
+    }
+}
+
+/// The §4.1 disaggregated-memory question: what fraction of the suite
+/// tolerates `added_latency` of remote-memory distance (degradation
+/// under `threshold`) on top of a local baseline?
+///
+/// "Judging by these applications alone, a case for remote,
+/// disaggregated memory can be made, at least for a class of
+/// applications."
+pub fn remote_memory_viability(
+    model: &SpecModel,
+    base_latency: SimTime,
+    added_latency: SimTime,
+    threshold: f64,
+) -> f64 {
+    let suite = suite();
+    let n = suite.len() as f64;
+    suite
+        .iter()
+        .filter(|b| {
+            model.degradation(b, base_latency + added_latency, base_latency) < threshold
+        })
+        .count() as f64
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CENTAUR: SimTime = SimTime::from_ns(97);
+    const CONTUTTO_K7: SimTime = SimTime::from_ns(558);
+
+    #[test]
+    fn suite_has_twelve_benchmarks_with_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 12);
+        let mut names: Vec<_> = s.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn ratio_at_base_latency_is_published_ratio() {
+        let model = SpecModel::default();
+        for b in suite() {
+            let r = model.ratio(&b, CENTAUR, CENTAUR);
+            assert!((r - b.base_ratio).abs() < 1e-9, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn ratios_fall_monotonically_with_latency() {
+        let model = SpecModel::default();
+        for b in suite() {
+            let mut prev = f64::INFINITY;
+            for ns in [97u64, 200, 390, 438, 534, 558] {
+                let r = model.ratio(&b, SimTime::from_ns(ns), CENTAUR);
+                assert!(r < prev, "{} not monotone at {ns} ns", b.name);
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_summary_statistics_hold_at_6x_latency() {
+        // Paper: at ~6x latency, ~half the suite <2 %, ~two-thirds
+        // <10 %, a 15–35 % tail, one benchmark >50 %.
+        let s = summarize(&SpecModel::default(), CONTUTTO_K7, CENTAUR);
+        assert!(
+            (0.33..=0.58).contains(&s.under_2pct),
+            "under 2%: {}",
+            s.under_2pct
+        );
+        assert!(
+            (0.58..=0.75).contains(&s.under_10pct),
+            "under 10%: {}",
+            s.under_10pct
+        );
+        assert!(s.band_15_35 > 0.0, "some apps in the 15-35% band");
+        assert!((s.over_50pct - 1.0 / 12.0).abs() < 1e-9, "exactly one app >50%");
+        assert!(s.worst > 0.50 && s.worst < 0.90, "worst {}", s.worst);
+    }
+
+    #[test]
+    fn mcf_is_the_worst() {
+        let model = SpecModel::default();
+        let worst = suite()
+            .into_iter()
+            .max_by(|a, b| {
+                model
+                    .degradation(a, CONTUTTO_K7, CENTAUR)
+                    .partial_cmp(&model.degradation(b, CONTUTTO_K7, CENTAUR))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(worst.name, "429.mcf");
+    }
+
+    #[test]
+    fn degradation_not_proportional_to_latency_increase() {
+        // The paper's headline: 6x latency != 6x runtime. Even mcf
+        // degrades far less than 500 %.
+        let model = SpecModel::default();
+        for b in suite() {
+            let d = model.degradation(&b, CONTUTTO_K7, CENTAUR);
+            assert!(d < 1.0, "{} degraded {d}", b.name);
+        }
+    }
+
+    #[test]
+    fn remote_memory_case_holds_for_a_class_of_applications() {
+        // +500 ns of "network distance" at a 10% tolerance: most of
+        // CINT2006 still qualifies — the paper's closing argument.
+        let model = SpecModel::default();
+        let viable = remote_memory_viability(
+            &model,
+            SimTime::from_ns(97),
+            SimTime::from_ns(500),
+            0.10,
+        );
+        assert!(viable >= 0.5, "only {viable} of the suite tolerates remote memory");
+        // But a tight 1% tolerance excludes most of it.
+        let strict = remote_memory_viability(
+            &model,
+            SimTime::from_ns(97),
+            SimTime::from_ns(500),
+            0.01,
+        );
+        assert!(strict < viable);
+    }
+
+    #[test]
+    fn table2_range_shows_small_effects_on_centaur() {
+        // Figure 6's x-range (79-249 ns): compute-bound apps barely move.
+        let model = SpecModel::default();
+        let hmmer = &suite()[5];
+        let d = model.degradation(hmmer, SimTime::from_ns(249), SimTime::from_ns(79));
+        assert!(d < 0.01, "hmmer {d}");
+    }
+}

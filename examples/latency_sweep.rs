@@ -1,0 +1,74 @@
+//! The §4.1 experiment: characterize application performance under
+//! varying memory latency — Tables 2 & 3 and Figures 6 & 7.
+//!
+//! ```text
+//! cargo run --release --example latency_sweep
+//! ```
+
+use contutto_system::centaur::{Centaur, CentaurConfig};
+use contutto_system::contutto::{ConTutto, ContuttoConfig, MemoryPopulation};
+use contutto_system::power8::channel::{ChannelConfig, DmiChannel};
+use contutto_system::power8::latency::{LatencyProbe, MeasurementLevel};
+use contutto_system::workloads::db2::Db2Workload;
+use contutto_system::workloads::spec::{self, SpecModel};
+
+fn main() {
+    let probe = LatencyProbe::default();
+    let db2 = Db2Workload::paper_suite();
+    let model = SpecModel::default();
+
+    println!("-- Centaur latency knobs (Table 2) --");
+    let mut base_latency = None;
+    for cfg in CentaurConfig::table2_settings() {
+        let name = cfg.name;
+        let mut ch = DmiChannel::new(
+            ChannelConfig::centaur(),
+            Box::new(Centaur::new(cfg, 8 << 30)),
+        );
+        let lat = probe.measure(&mut ch, MeasurementLevel::Nest);
+        base_latency.get_or_insert(lat);
+        println!(
+            "{name:<24} latency {:>7.1} ns   DB2 BLU suite {:>6.0} s",
+            lat.as_ns_f64(),
+            db2.total_seconds(lat)
+        );
+    }
+
+    println!("\n-- ConTutto latency knob (Table 3) --");
+    let mut centaur = DmiChannel::new(
+        ChannelConfig::centaur(),
+        Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
+    );
+    let centaur_sw = probe.measure(&mut centaur, MeasurementLevel::Software);
+    println!("centaur-optimized        latency {:>7.1} ns (software level)", centaur_sw.as_ns_f64());
+    let mut contutto_latencies = Vec::new();
+    for knob in [0u8, 2, 6, 7] {
+        let cfg = ContuttoConfig::with_knob(knob);
+        let name = cfg.name;
+        let mut ch = DmiChannel::new(
+            ChannelConfig::contutto(),
+            Box::new(ConTutto::new(cfg, MemoryPopulation::dram_8gb())),
+        );
+        let lat = probe.measure(&mut ch, MeasurementLevel::Software);
+        println!("{name:<24} latency {:>7.1} ns", lat.as_ns_f64());
+        contutto_latencies.push((name, lat));
+    }
+
+    println!("\n-- SPEC CINT2006 degradation at the slowest knob (Figure 7) --");
+    let (_, slowest) = contutto_latencies.last().copied().expect("measured");
+    for b in spec::suite() {
+        let d = model.degradation(&b, slowest, centaur_sw);
+        let bar = "#".repeat((d * 100.0) as usize);
+        println!("{:<18} {:>6.1}%  {bar}", b.name, d * 100.0);
+    }
+    let s = spec::summarize(&model, slowest, centaur_sw);
+    println!(
+        "\nat {:.0} ns ({:.1}x Centaur): {:.0}% of the suite <2% slower, {:.0}% <10%, worst {:.0}%",
+        slowest.as_ns_f64(),
+        slowest.as_ns_f64() / centaur_sw.as_ns_f64(),
+        s.under_2pct * 100.0,
+        s.under_10pct * 100.0,
+        s.worst * 100.0
+    );
+    println!("paper: \"the overall performance degradation is not proportional to the increase in latency\"");
+}

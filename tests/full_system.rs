@@ -1,0 +1,144 @@
+//! Integration: whole-system boot and end-to-end memory operations
+//! across mixed Centaur/ConTutto configurations.
+
+use contutto_system::centaur::CentaurConfig;
+use contutto_system::contutto::{ContuttoConfig, MemoryPopulation};
+use contutto_system::dmi::CacheLine;
+use contutto_system::memdev::MediaKind;
+use contutto_system::power8::firmware::{layouts, Firmware, SlotPopulation};
+use contutto_system::power8::fsp::ServiceProcessor;
+use contutto_system::power8::Power8System;
+
+#[test]
+fn two_contutto_four_cdimm_configuration_boots() {
+    // Paper §3.1: "we have tested system configurations with one
+    // ConTutto card and six CDIMMs as well as two ConTutto cards and
+    // four CDIMMs."
+    let sys = Power8System::boot(
+        layouts::two_contutto_four_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+        13,
+    )
+    .expect("boot");
+    assert_eq!(sys.channels().len(), 6);
+    // All DRAM → one contiguous volatile map.
+    let regions = sys.memory_map().regions();
+    assert_eq!(regions.len(), 6);
+    let mut cursor = 0;
+    let mut sorted: Vec<_> = regions.iter().collect();
+    sorted.sort_by_key(|r| r.base);
+    for r in sorted {
+        assert_eq!(r.base, cursor, "contiguous volatile map");
+        cursor += r.hw_size;
+    }
+}
+
+#[test]
+fn data_written_on_one_boot_region_is_isolated_from_others() {
+    let mut sys = Power8System::boot(
+        layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+        7,
+    )
+    .expect("boot");
+    let regions: Vec<(u64, usize)> = sys
+        .memory_map()
+        .regions()
+        .iter()
+        .map(|r| (r.base, r.channel))
+        .collect();
+    // Write a distinct line at the base of every region; read back all.
+    for (i, (base, _)) in regions.iter().enumerate() {
+        sys.store_line(*base + 0x2000, CacheLine::patterned(i as u64))
+            .expect("store");
+    }
+    for (i, (base, _)) in regions.iter().enumerate() {
+        let (line, _) = sys.load_line(*base + 0x2000).expect("load");
+        assert_eq!(line, CacheLine::patterned(i as u64), "region {i}");
+    }
+}
+
+#[test]
+fn mram_system_persists_through_the_whole_stack() {
+    let mut sys = Power8System::boot(layouts::mram_storage_system(), 5).expect("boot");
+    let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+    assert_eq!(sys.media_at(nv_base), Some(MediaKind::SttMram));
+    let record = CacheLine::patterned(0xDEAD);
+    sys.store_line(nv_base, record).expect("store");
+    let (back, _) = sys.load_line(nv_base).expect("load");
+    assert_eq!(back, record);
+}
+
+#[test]
+fn latency_knob_is_visible_through_the_full_system() {
+    let slow = Power8System::boot(
+        layouts::single_contutto_for_latency(ContuttoConfig::with_knob(7)),
+        3,
+    )
+    .expect("boot");
+    let fast = Power8System::boot(
+        layouts::single_contutto_for_latency(ContuttoConfig::base()),
+        3,
+    )
+    .expect("boot");
+    let measure = |mut sys: Power8System| {
+        let region = sys
+            .memory_map()
+            .regions()
+            .iter()
+            .find(|r| r.channel == 2)
+            .unwrap()
+            .base;
+        sys.load_line(region).unwrap(); // warm
+        let t0 = sys.channel_mut(2).unwrap().channel.now();
+        sys.load_line(region).unwrap();
+        sys.channel_mut(2).unwrap().channel.now() - t0
+    };
+    let slow_lat = measure(slow);
+    let fast_lat = measure(fast);
+    let delta = slow_lat.saturating_sub(fast_lat);
+    // 7 knob steps x 24 ns = 168 ns, quantized to frame slots.
+    assert!(
+        (160..=176).contains(&delta.as_ns()),
+        "knob delta {delta} (fast {fast_lat}, slow {slow_lat})"
+    );
+}
+
+#[test]
+fn plug_rule_violations_fail_boot() {
+    let mut fsp = ServiceProcessor::new(3);
+    let bad = vec![
+        SlotPopulation::Cdimm {
+            config: CentaurConfig::optimized(),
+            capacity: 32 << 30,
+        },
+        SlotPopulation::ConTutto {
+            config: ContuttoConfig::base(),
+            population: MemoryPopulation::dram_8gb(),
+        },
+    ];
+    assert!(Firmware::new().boot(bad, &mut fsp, 1).is_err());
+}
+
+#[test]
+fn nvdimm_channel_counts_as_nonvolatile_in_the_map() {
+    let slots = vec![
+        SlotPopulation::Cdimm {
+            config: CentaurConfig::optimized(),
+            capacity: 32 << 30,
+        },
+        SlotPopulation::Empty,
+        SlotPopulation::ConTutto {
+            config: ContuttoConfig::base(),
+            population: MemoryPopulation::nvdimm_8gb(),
+        },
+        SlotPopulation::Empty,
+    ];
+    let sys = Power8System::boot(slots, 9).expect("boot");
+    assert_eq!(sys.nonvolatile_slots(), vec![2]);
+    let nv = sys.memory_map().nonvolatile_regions();
+    assert_eq!(nv.len(), 1);
+    assert_eq!(nv[0].flags.kind, MediaKind::NvdimmN);
+    assert!(nv[0].flags.preserved);
+    assert!(nv[0].flags.needs_driver);
+    // 8 GB NVDIMM: hardware window == media size (no lying needed).
+    assert!(!nv[0].is_undersized_media());
+}

@@ -1,0 +1,119 @@
+//! Integration: persistence semantics across the stack — pmem flush,
+//! NVDIMM save/restore, MRAM retention and endurance accounting.
+
+use contutto_system::contutto::{ConTutto, ContuttoConfig, MemoryPopulation};
+use contutto_system::memdev::{MemoryDevice, MramGeneration, NvdimmN, SaveState};
+use contutto_system::power8::channel::{ChannelConfig, DmiChannel};
+use contutto_system::sim::SimTime;
+use contutto_system::storage::blockdev::{mram_contutto_device, BlockDevice};
+use contutto_system::storage::pmem::PmemDriver;
+use contutto_system::storage::writecache::WriteCache;
+
+fn mram_channel() -> DmiChannel {
+    DmiChannel::new(
+        ChannelConfig::contutto(),
+        Box::new(ConTutto::new(
+            ContuttoConfig::base(),
+            MemoryPopulation::mram_512mb(MramGeneration::Pmtj),
+        )),
+    )
+}
+
+#[test]
+fn pmem_flush_orders_after_all_stores() {
+    let mut ch = mram_channel();
+    let driver = PmemDriver::default();
+    // Many posted writes, then one flush: the durable time must be at
+    // or after the last write's completion.
+    let posted_done = driver.write_posted(&mut ch, 0, &vec![0x11u8; 8192]);
+    let durable = driver.write_persistent(&mut ch, 8192, &vec![0x22u8; 128]);
+    assert!(durable > posted_done);
+    // And the data is all there.
+    let mut buf = vec![0u8; 8192];
+    driver.read(&mut ch, 0, &mut buf);
+    assert!(buf.iter().all(|&b| b == 0x11));
+}
+
+#[test]
+fn nvdimm_full_power_cycle_preserves_filesystem_image() {
+    let mut nv = NvdimmN::new(1 << 20, Default::default());
+    // Simulate a filesystem: superblock + a few inodes.
+    nv.write(SimTime::ZERO, 0, b"SUPERBLOCKv1");
+    for i in 0..16u64 {
+        let inode = [i as u8; 64];
+        nv.write(SimTime::from_us(i), 4096 + i * 64, &inode);
+    }
+    let quiesced = nv.power_loss(SimTime::from_ms(1));
+    assert!(matches!(nv.save_state(), SaveState::Saving { .. }));
+    let usable = nv.power_restore(quiesced);
+    let mut sb = [0u8; 12];
+    nv.read(usable, 0, &mut sb);
+    assert_eq!(&sb, b"SUPERBLOCKv1");
+    for i in 0..16u64 {
+        let mut inode = [0u8; 64];
+        nv.read(usable, 4096 + i * 64, &mut inode);
+        assert_eq!(inode, [i as u8; 64], "inode {i}");
+    }
+}
+
+#[test]
+fn write_cache_contents_survive_and_destage_correctly() {
+    let mut cache = WriteCache::new(
+        mram_contutto_device(),
+        contutto_system::storage::blockdev::SasHdd::new(),
+    );
+    let mut expected = Vec::new();
+    let mut now = SimTime::ZERO;
+    for i in 0..12u64 {
+        let lba = (i * 7919) % 100_000;
+        let mut data = [0u8; 4096];
+        data[0] = i as u8;
+        data[4095] = !(i as u8);
+        now = cache.write(now, lba, &data);
+        expected.push((lba, data));
+    }
+    // Before destage: reads come from the log.
+    for (lba, data) in &expected {
+        let mut buf = [0u8; 4096];
+        now = cache.read(now, *lba, &mut buf);
+        assert_eq!(&buf, data);
+    }
+    // After destage: reads come from the disk, identically.
+    now = cache.destage(now);
+    assert_eq!(cache.pending_records(), 0);
+    for (lba, data) in &expected {
+        let mut buf = [0u8; 4096];
+        now = cache.read(now, *lba, &mut buf);
+        assert_eq!(&buf, data, "lba {lba} after destage");
+    }
+}
+
+#[test]
+fn mram_block_device_tracks_wear_in_the_media_model() {
+    let mut dev = mram_contutto_device();
+    let data = [0u8; 4096];
+    for _ in 0..5 {
+        dev.write_block(SimTime::ZERO, 3, &data);
+    }
+    // The wear counters live in the MRAM device behind the channel;
+    // verify the block device stayed functional and persistent.
+    let mut buf = [1u8; 4096];
+    dev.read_block(SimTime::from_ms(1), 3, &mut buf);
+    assert_eq!(buf, data);
+    assert!(dev.is_persistent());
+}
+
+#[test]
+fn mram_endurance_never_threatened_by_storage_workloads() {
+    use contutto_system::memdev::SttMram;
+    let mut mram = SttMram::new(1 << 20, MramGeneration::Pmtj);
+    // A hot log block rewritten 10k times.
+    for _ in 0..10_000 {
+        mram.write(SimTime::ZERO, 0, &[0u8; 64]);
+    }
+    assert_eq!(mram.max_line_wear(), 10_000);
+    assert!(
+        !mram.is_worn_out(),
+        "10k writes is 8 orders below MRAM endurance (Figure 8)"
+    );
+}
