@@ -1,7 +1,7 @@
 //! Bench for **Table 5**: the three near-memory accelerated functions
 //! (memcpy, min/max, FFT) against their software baselines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 use contutto_core::accel::block::{BlockAccelDriver, BlockOp, ControlBlock};
 use contutto_core::accel::fft::Complex32;
@@ -30,7 +30,11 @@ fn bench_table5(c: &mut Criterion) {
             BlockAccelDriver
                 .execute(
                     &mut avalon,
-                    ControlBlock::new(BlockOp::Memcpy { src: 0, dst: 1 << 29, len: size }),
+                    ControlBlock::new(BlockOp::Memcpy {
+                        src: 0,
+                        dst: 1 << 29,
+                        len: size,
+                    }),
                     SimTime::ZERO,
                 )
                 .unwrap()
@@ -54,7 +58,11 @@ fn bench_table5(c: &mut Criterion) {
             BlockAccelDriver
                 .execute(
                     &mut avalon,
-                    ControlBlock::new(BlockOp::Fft { src: 0, dst: 1 << 29, len: 1 << 20 }),
+                    ControlBlock::new(BlockOp::Fft {
+                        src: 0,
+                        dst: 1 << 29,
+                        len: 1 << 20,
+                    }),
                     SimTime::ZERO,
                 )
                 .unwrap()
@@ -66,7 +74,9 @@ fn bench_table5(c: &mut Criterion) {
         b.iter(|| SoftwareBaselines.memcpy(&src, &mut dst))
     });
     group.bench_function("software_minmax", |b| {
-        let values: Vec<u32> = (0..1 << 18).map(|i| i as u32 * 2654435761u32.wrapping_mul(1)).collect();
+        let values: Vec<u32> = (0..1 << 18)
+            .map(|i| i as u32 * 2654435761u32.wrapping_mul(1))
+            .collect();
         b.iter(|| SoftwareBaselines.minmax(&values))
     });
     group.bench_function("software_fft", |b| {

@@ -1,7 +1,7 @@
 //! Bench for **Table 2**: measured Centaur latencies driving the DB2
 //! BLU 29-query runtime model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 use contutto_sim::SimTime;
 use contutto_workloads::db2::Db2Workload;

@@ -2,7 +2,7 @@
 //! wear-out stress on the flash model (the reason flash cannot live on
 //! the memory bus).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 use contutto_memdev::flash::{FlashConfig, NandFlash};
 use contutto_sim::SimTime;

@@ -2,7 +2,7 @@
 //! and attach point (the memory-bus devices run through the full
 //! simulated DMI stack).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 use contutto_storage::blockdev::{mram_contutto_device, PcieCard};
 use contutto_workloads::fio::{FioEngine, FioPattern};

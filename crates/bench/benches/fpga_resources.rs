@@ -1,14 +1,18 @@
 //! Bench for **Table 1**: assembling the per-block FPGA resource
 //! inventory and its utilization percentages.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1_resource_report", |b| {
         b.iter(|| {
             let report = contutto_bench::table1();
             let total = report.total();
-            (total, total.percent_of_device(), report.headroom_alm_fraction())
+            (
+                total,
+                total.percent_of_device(),
+                report.headroom_alm_fraction(),
+            )
         })
     });
 }

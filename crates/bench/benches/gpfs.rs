@@ -1,7 +1,7 @@
 //! Bench for **Table 4**: the GPFS write-cache experiment across the
 //! three persistent stores.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 use contutto_storage::blockdev::{SasHdd, SasSsd};
 use contutto_workloads::gpfs::GpfsExperiment;

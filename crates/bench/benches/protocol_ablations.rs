@@ -2,7 +2,7 @@
 //! bypass, the 4-to-2-stage CRC reduction (both gate the FRTL limit),
 //! the replay path under injected errors, and raw channel throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 use contutto_bench::contutto_channel;
 use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
@@ -53,7 +53,10 @@ fn bench_replay_overhead(c: &mut Criterion) {
             cfg.down_errors = BitErrorInjector::bernoulli(0.005, 3);
             let mut ch = DmiChannel::new(
                 cfg,
-                Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+                Box::new(ConTutto::new(
+                    ContuttoConfig::base(),
+                    MemoryPopulation::dram_8gb(),
+                )),
             );
             read_throughput_lines_per_sec(&mut ch, 64)
         })
@@ -82,5 +85,10 @@ fn bench_tag_throttling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frtl_ablation, bench_replay_overhead, bench_tag_throttling);
+criterion_group!(
+    benches,
+    bench_frtl_ablation,
+    bench_replay_overhead,
+    bench_tag_throttling
+);
 criterion_main!(benches);

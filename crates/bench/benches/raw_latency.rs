@@ -2,7 +2,7 @@
 //! dependent-load latency probe across buffer configurations, plus the
 //! full knob sweep as an ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use contutto_bench::{centaur_channel, contutto_channel};
 use contutto_centaur::CentaurConfig;

@@ -1,14 +1,12 @@
 //! Bench for **Figures 6 & 7**: the SPEC CINT2006 latency-sensitivity
 //! sweeps, end to end (probe measurement + model evaluation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use contutto_bench::harness::{criterion_group, criterion_main, Criterion};
 
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("spec_figures");
     group.sample_size(10);
-    group.bench_function("figure6_centaur_sweep", |b| {
-        b.iter(contutto_bench::figure6)
-    });
+    group.bench_function("figure6_centaur_sweep", |b| b.iter(contutto_bench::figure6));
     group.bench_function("figure7_contutto_sweep", |b| {
         b.iter(contutto_bench::figure7)
     });

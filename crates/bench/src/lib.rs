@@ -2,7 +2,8 @@
 //!
 //! Experiment runners that regenerate **every table and figure** of
 //! the ConTutto paper from the simulated system. The `tables` binary
-//! prints them; the criterion benches time them.
+//! prints them; the benches under `benches/` time them with the
+//! in-repo [`harness`].
 //!
 //! | function | paper artifact |
 //! |---|---|
@@ -20,6 +21,8 @@
 //! the dependent-load probe on the simulated channel of the
 //! corresponding configuration — the same methodology as the paper.
 
+pub mod harness;
+
 use contutto_centaur::{Centaur, CentaurConfig};
 use contutto_core::accel::block::{BlockAccelDriver, BlockOp, ControlBlock};
 use contutto_core::avalon::AvalonBus;
@@ -30,7 +33,9 @@ use contutto_memdev::endurance::{figure8_dataset, EnduranceRow};
 use contutto_power8::channel::{ChannelConfig, DmiChannel};
 use contutto_power8::latency::{LatencyProbe, MeasurementLevel};
 use contutto_sim::SimTime;
-use contutto_storage::blockdev::{mram_contutto_device, nvdimm_contutto_device, BlockDevice, PcieCard};
+use contutto_storage::blockdev::{
+    mram_contutto_device, nvdimm_contutto_device, BlockDevice, PcieCard,
+};
 use contutto_workloads::baseline::SoftwareBaselines;
 use contutto_workloads::db2::Db2Workload;
 use contutto_workloads::fio::{FioEngine, FioPattern, FioResult};
@@ -39,7 +44,10 @@ use contutto_workloads::spec::{self, SpecModel};
 
 /// Builds a channel for a Centaur configuration.
 pub fn centaur_channel(cfg: CentaurConfig) -> DmiChannel {
-    DmiChannel::new(ChannelConfig::centaur(), Box::new(Centaur::new(cfg, 8 << 30)))
+    DmiChannel::new(
+        ChannelConfig::centaur(),
+        Box::new(Centaur::new(cfg, 8 << 30)),
+    )
 }
 
 /// Builds a channel for a ConTutto configuration (8 GB DRAM).
@@ -151,7 +159,9 @@ pub fn table3() -> Vec<Table3Row> {
     let mut ch = centaur_channel(CentaurConfig::optimized());
     rows.push(Table3Row {
         configuration: "Centaur".into(),
-        latency_ns: probe.measure(&mut ch, MeasurementLevel::Software).as_ns_f64(),
+        latency_ns: probe
+            .measure(&mut ch, MeasurementLevel::Software)
+            .as_ns_f64(),
     });
     for knob in [0u8, 2, 6, 7] {
         let mut ch = contutto_channel(ContuttoConfig::with_knob(knob));
@@ -162,13 +172,17 @@ pub fn table3() -> Vec<Table3Row> {
         };
         rows.push(Table3Row {
             configuration: label,
-            latency_ns: probe.measure(&mut ch, MeasurementLevel::Software).as_ns_f64(),
+            latency_ns: probe
+                .measure(&mut ch, MeasurementLevel::Software)
+                .as_ns_f64(),
         });
     }
     let mut ch = centaur_channel(CentaurConfig::contutto_matched());
     rows.push(Table3Row {
         configuration: "Centaur (matched to ConTutto functions)".into(),
-        latency_ns: probe.measure(&mut ch, MeasurementLevel::Software).as_ns_f64(),
+        latency_ns: probe
+            .measure(&mut ch, MeasurementLevel::Software)
+            .as_ns_f64(),
     });
     rows
 }
@@ -433,8 +447,14 @@ mod tests {
         let memcpy_factor = rows[0].contutto / rows[0].software;
         let minmax_factor = rows[1].contutto / rows[1].software;
         let fft_factor = rows[2].contutto / rows[2].software;
-        assert!((1.4..2.5).contains(&memcpy_factor), "memcpy {memcpy_factor}");
-        assert!((15.0..30.0).contains(&minmax_factor), "minmax {minmax_factor}");
+        assert!(
+            (1.4..2.5).contains(&memcpy_factor),
+            "memcpy {memcpy_factor}"
+        );
+        assert!(
+            (15.0..30.0).contains(&minmax_factor),
+            "minmax {minmax_factor}"
+        );
         assert!((1.4..2.5).contains(&fft_factor), "fft {fft_factor}");
     }
 }

@@ -19,7 +19,7 @@ use contutto_dmi::frame::{
     line_to_upstream_beats, CommandHeader, DownstreamPayload, LineAssembler, UpstreamPayload,
 };
 use contutto_memdev::{DdrTimings, Dram, MemoryDevice};
-use contutto_sim::SimTime;
+use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
 use crate::cache::EdramCache;
 use crate::config::CentaurConfig;
@@ -70,6 +70,7 @@ pub struct Centaur {
     pending_writes: HashMap<Tag, PendingWrite>,
     ready: VecDeque<(SimTime, UpstreamPayload)>,
     stats: CentaurStats,
+    tracer: Tracer,
 }
 
 impl Centaur {
@@ -82,7 +83,7 @@ impl Centaur {
     /// `4 * 128` bytes.
     pub fn new(cfg: CentaurConfig, capacity: u64) -> Self {
         assert!(
-            capacity > 0 && capacity % (DDR_PORTS as u64 * CACHE_LINE_BYTES as u64) == 0,
+            capacity > 0 && capacity.is_multiple_of(DDR_PORTS as u64 * CACHE_LINE_BYTES as u64),
             "capacity must be a multiple of ports x line size"
         );
         let port_capacity = capacity / DDR_PORTS as u64;
@@ -98,6 +99,7 @@ impl Centaur {
             pending_writes: HashMap::new(),
             ready: VecDeque::new(),
             stats: CentaurStats::default(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -135,9 +137,13 @@ impl Centaur {
         let (port, local) = self.route(addr);
         let mut line = CacheLine::ZERO;
         if self.cfg.cache_enabled && self.cache.access(addr) {
+            self.tracer.record(TraceEvent::CacheHit { addr });
             self.ports[port].peek(local, &mut line.0);
             (line, start + self.cfg.cache_hit_latency)
         } else {
+            if self.cfg.cache_enabled {
+                self.tracer.record(TraceEvent::CacheMiss { addr });
+            }
             let done = self.ports[port].read(start, local, &mut line.0);
             (line, done)
         }
@@ -154,6 +160,7 @@ impl Centaur {
 
     fn complete_read(&mut self, start: SimTime, tag: Tag, addr: u64) {
         self.stats.reads += 1;
+        self.tracer.record(TraceEvent::DeviceRead { addr });
         let (line, data_ready) = self.read_line(start, addr);
         let respond_at = data_ready + self.cfg.tx_latency;
         for beat in line_to_upstream_beats(tag, &line) {
@@ -172,10 +179,12 @@ impl Centaur {
         let done = match header {
             CommandHeader::Write { addr } => {
                 self.stats.writes += 1;
+                self.tracer.record(TraceEvent::DeviceWrite { addr });
                 self.write_line(start, addr, &line)
             }
             CommandHeader::Rmw { addr, op } => {
                 self.stats.rmws += 1;
+                self.tracer.record(TraceEvent::DeviceWrite { addr });
                 let (current, read_done) = self.read_line(start, addr);
                 let merged = op.apply(current, line);
                 self.write_line(read_done, addr, &merged)
@@ -278,6 +287,27 @@ impl DmiBuffer for Centaur {
     fn name(&self) -> &str {
         self.cfg.name
     }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_counter(&format!("{prefix}.reads"), self.stats.reads);
+        registry.set_counter(&format!("{prefix}.writes"), self.stats.writes);
+        registry.set_counter(&format!("{prefix}.rmws"), self.stats.rmws);
+        registry.set_counter(&format!("{prefix}.unsupported"), self.stats.unsupported);
+        registry.set_counter(
+            &format!("{prefix}.coalesced_dones"),
+            self.stats.coalesced_dones,
+        );
+        registry.set_counter(&format!("{prefix}.cache.hits"), self.cache.hits());
+        registry.set_counter(&format!("{prefix}.cache.misses"), self.cache.misses());
+        registry.set_counter(
+            &format!("{prefix}.cache.prefetch_fills"),
+            self.cache.prefetch_fills(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -331,7 +361,9 @@ mod tests {
         let end = push_write(&mut c, SimTime::ZERO, t(0), 0x8000, &line);
         // Drain the write's done.
         let resp = drain_all(&mut c, end + SimTime::from_us(1));
-        assert!(matches!(resp.last().unwrap().1, UpstreamPayload::Done { first, .. } if first == t(0)));
+        assert!(
+            matches!(resp.last().unwrap().1, UpstreamPayload::Done { first, .. } if first == t(0))
+        );
 
         c.push_downstream(
             SimTime::from_us(2),
@@ -403,8 +435,14 @@ mod tests {
                 },
             },
         );
-        for (i, beat) in line_to_downstream_beats(t(1), &addend).into_iter().enumerate() {
-            c.push_downstream(SimTime::from_us(1) + SimTime::from_ns(2) * (i as u64 + 1), beat);
+        for (i, beat) in line_to_downstream_beats(t(1), &addend)
+            .into_iter()
+            .enumerate()
+        {
+            c.push_downstream(
+                SimTime::from_us(1) + SimTime::from_ns(2) * (i as u64 + 1),
+                beat,
+            );
         }
         drain_all(&mut c, SimTime::from_us(2));
         // Read back.
@@ -523,7 +561,10 @@ mod tests {
         };
         let fast = run(CentaurConfig::optimized());
         let slow = run(CentaurConfig::serialized());
-        assert!(slow > fast + SimTime::from_ns(150), "fast {fast} slow {slow}");
+        assert!(
+            slow > fast + SimTime::from_ns(150),
+            "fast {fast} slow {slow}"
+        );
     }
 
     #[test]

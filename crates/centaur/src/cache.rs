@@ -40,7 +40,7 @@ impl EdramCache {
         assert!(ways > 0, "need at least one way");
         let set_bytes = line_bytes * ways as u64;
         assert!(
-            capacity > 0 && capacity % set_bytes == 0,
+            capacity > 0 && capacity.is_multiple_of(set_bytes),
             "capacity must be a multiple of way count x line size"
         );
         let num_sets = (capacity / set_bytes) as usize;
@@ -68,7 +68,10 @@ impl EdramCache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes;
-        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+        (
+            (line as usize) % self.sets.len(),
+            line / self.sets.len() as u64,
+        )
     }
 
     /// Looks up `addr`; on miss, fills the line and (if enabled)

@@ -124,11 +124,15 @@ mod tests {
     #[test]
     fn presets_are_monotonically_slower() {
         let settings = CentaurConfig::table2_settings();
-        let total = |c: &CentaurConfig| {
-            (c.rx_latency + c.tx_latency + c.extra_command_delay).as_ps()
-        };
+        let total =
+            |c: &CentaurConfig| (c.rx_latency + c.tx_latency + c.extra_command_delay).as_ps();
         for pair in settings.windows(2) {
-            assert!(total(&pair[0]) < total(&pair[1]), "{} vs {}", pair[0].name, pair[1].name);
+            assert!(
+                total(&pair[0]) < total(&pair[1]),
+                "{} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
         }
     }
 

@@ -15,8 +15,8 @@
 
 use contutto_sim::SimTime;
 
-use crate::access::{assemble, AccessConfig, AccessError, AccessProcessor, StreamAccelerator};
 use crate::accel::fft::{FftBank, FFT_BLOCK_BYTES};
+use crate::access::{assemble, AccessConfig, AccessError, AccessProcessor, StreamAccelerator};
 use crate::avalon::AvalonBus;
 
 /// The acceleration task requested in a control block.
@@ -412,7 +412,9 @@ mod tests {
             dst: 0x4000_0000,
             len: data.len() as u64,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         assert_eq!(done.status, ControlBlockStatus::Complete);
         assert_eq!(fetch(&mut avalon, 0x4000_0000, data.len()), data);
         let gbps = done.throughput_bytes_per_sec(SimTime::ZERO) / 1e9;
@@ -422,7 +424,9 @@ mod tests {
     #[test]
     fn minmax_block_finds_extremes() {
         let mut avalon = bus();
-        let mut values: Vec<u32> = (0..262_144u32).map(|i| i.wrapping_mul(2654435761) | 1).collect();
+        let mut values: Vec<u32> = (0..262_144u32)
+            .map(|i| i.wrapping_mul(2654435761) | 1)
+            .collect();
         values[1000] = 0; // planted min
         values[2000] = u32::MAX; // planted max
         let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
@@ -431,7 +435,9 @@ mod tests {
             addr: 0x20_0000,
             len: bytes.len() as u64,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         assert_eq!(done.result_min, 0);
         assert_eq!(done.result_max, u32::MAX);
         let gbps = done.throughput_bytes_per_sec(SimTime::ZERO) / 1e9;
@@ -451,7 +457,9 @@ mod tests {
             dst: 0x1000_0000,
             len: input.len() as u64,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         assert_eq!(done.blocks_done, 2);
         let out = fetch(&mut avalon, 0x1000_0000, FFT_BLOCK_BYTES);
         // Impulse → flat spectrum of 1.0s.
@@ -470,7 +478,9 @@ mod tests {
             dst: 0x1000_0000,
             len,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         let samples = len as f64 / 8.0;
         let gs = samples / done.completed_at.as_secs_f64() / 1e9;
         assert!((1.1..1.5).contains(&gs), "fft at {gs} Gsamples/s");
@@ -489,7 +499,9 @@ mod tests {
             len: bytes.len() as u64,
             key: 0xBEEF_0000,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         assert_eq!(done.result_offset, 77_777 * 4);
         // Scanning streams at the same bandwidth class as min/max.
         let gbps = done.throughput_bytes_per_sec(SimTime::ZERO) / 1e9;
@@ -504,7 +516,9 @@ mod tests {
             len: 1 << 20,
             key: 0xDEAD_BEEF,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         assert_eq!(done.result_offset, u64::MAX);
     }
 
@@ -519,7 +533,9 @@ mod tests {
             addr: 0x40_0000,
             len: bytes.len() as u64,
         });
-        let done = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let done = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         let out = fetch(&mut avalon, 0x40_0000, bytes.len());
         let sorted: Vec<u32> = out
             .chunks_exact(4)
@@ -542,13 +558,17 @@ mod tests {
             addr: 0,
             len: 64 << 20,
         });
-        let big = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let big = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         let mut avalon = bus();
         let cb = ControlBlock::new(BlockOp::Sort {
             addr: 0,
             len: 2 << 20,
         });
-        let small = BlockAccelDriver.execute(&mut avalon, cb, SimTime::ZERO).unwrap();
+        let small = BlockAccelDriver
+            .execute(&mut avalon, cb, SimTime::ZERO)
+            .unwrap();
         let big_rate = big.throughput_bytes_per_sec(SimTime::ZERO);
         let small_rate = small.throughput_bytes_per_sec(SimTime::ZERO);
         assert!(
@@ -580,7 +600,11 @@ mod tests {
         let cb = BlockAccelDriver
             .execute(
                 &mut avalon,
-                ControlBlock::new(BlockOp::Fft { src: 0, dst: 1 << 28, len }),
+                ControlBlock::new(BlockOp::Fft {
+                    src: 0,
+                    dst: 1 << 28,
+                    len,
+                }),
                 SimTime::ZERO,
             )
             .unwrap();

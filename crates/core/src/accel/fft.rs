@@ -193,10 +193,8 @@ impl StreamAccelerator for FftBank {
         let mut last_done = start;
         while self.leftover.len() >= FFT_BLOCK_BYTES {
             let block: Vec<u8> = self.leftover.drain(..FFT_BLOCK_BYTES).collect();
-            let mut samples: Vec<Complex32> = block
-                .chunks_exact(8)
-                .map(Complex32::from_bytes)
-                .collect();
+            let mut samples: Vec<Complex32> =
+                block.chunks_exact(8).map(Complex32::from_bytes).collect();
             fft_in_place(&mut samples);
             for s in &samples {
                 self.results.extend_from_slice(&s.to_bytes());

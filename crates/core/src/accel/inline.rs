@@ -89,6 +89,6 @@ mod tests {
 
     #[test]
     fn inline_halves_round_trips() {
-        assert!(INLINE_ROUND_TRIPS < SOFTWARE_ROUND_TRIPS);
+        const { assert!(INLINE_ROUND_TRIPS < SOFTWARE_ROUND_TRIPS) };
     }
 }

@@ -195,9 +195,7 @@ pub fn assemble(src: &str) -> Result<Vec<Insn>, AccessError> {
                 Insn::StoreBlock(reg(ops[0])?, reg(ops[1])?, imm_u(ops[2])? as u8)
             }
             "copy" if ops.len() == 3 => Insn::Copy(reg(ops[0])?, reg(ops[1])?, reg(ops[2])?),
-            "bnz" if ops.len() == 2 => {
-                Insn::BranchNz(reg(ops[0])?, imm_i(ops[1])? as i32)
-            }
+            "bnz" if ops.len() == 2 => Insn::BranchNz(reg(ops[0])?, imm_i(ops[1])? as i32),
             "fence" if ops.is_empty() => Insn::Fence,
             "halt" if ops.is_empty() => Insn::Halt,
             _ => return Err(err("unknown mnemonic or wrong operand count")),
@@ -297,7 +295,10 @@ impl AddressMap {
         match self {
             AddressMap::Interleave { granule } => {
                 let unit = addr / granule;
-                ((unit % ports) as usize, (unit / ports) * granule + addr % granule)
+                (
+                    (unit % ports) as usize,
+                    (unit / ports) * granule + addr % granule,
+                )
             }
             AddressMap::Split => {
                 let port = (addr / port_capacity).min(ports - 1);
@@ -514,7 +515,9 @@ impl<'a> AccessProcessor<'a> {
                 if t.halted || fence_pending.contains(&tid) {
                     continue;
                 }
-                let insn = *program.get(t.pc).ok_or(AccessError::BadBranch { at: t.pc })?;
+                let insn = *program
+                    .get(t.pc)
+                    .ok_or(AccessError::BadBranch { at: t.pc })?;
                 executed += 1;
                 self.perf.instructions += 1;
                 if executed > self.cfg.max_instructions {
@@ -551,8 +554,7 @@ impl<'a> AccessProcessor<'a> {
                                     .accelerators
                                     .get_mut(&sink)
                                     .ok_or(AccessError::NoSuchAccelerator(sink))?;
-                                let busy =
-                                    self.accel_busy.entry(sink).or_insert(SimTime::ZERO);
+                                let busy = self.accel_busy.entry(sink).or_insert(SimTime::ZERO);
                                 if *busy > done {
                                     // Compute is behind the stream; the
                                     // accelerator's input FIFO absorbs it.
@@ -790,7 +792,10 @@ mod tests {
             },
             &mut avalon,
         );
-        assert_eq!(ap.run(&program, 1, SimTime::ZERO), Err(AccessError::Runaway));
+        assert_eq!(
+            ap.run(&program, 1, SimTime::ZERO),
+            Err(AccessError::Runaway)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use contutto_dmi::buffer::DmiBuffer;
 use contutto_dmi::frame::{DownstreamPayload, UpstreamPayload};
 use contutto_memdev::MramGeneration;
-use contutto_sim::SimTime;
+use contutto_sim::{MetricsRegistry, SimTime, Tracer};
 
 use crate::avalon::AvalonBus;
 use crate::mbi::MbiConfig;
@@ -235,6 +235,31 @@ impl DmiBuffer for ConTutto {
     fn name(&self) -> &str {
         self.cfg.name
     }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.mbs.attach_tracer(tracer);
+    }
+
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        let stats = self.stats();
+        registry.set_counter(&format!("{prefix}.reads"), stats.mbs.reads);
+        registry.set_counter(&format!("{prefix}.writes"), stats.mbs.writes);
+        registry.set_counter(&format!("{prefix}.rmws"), stats.mbs.rmws);
+        registry.set_counter(
+            &format!("{prefix}.inline_accel_ops"),
+            stats.mbs.inline_accel_ops,
+        );
+        registry.set_counter(&format!("{prefix}.flushes"), stats.mbs.flushes);
+        registry.set_counter(&format!("{prefix}.write_beats"), stats.mbs.write_beats);
+        registry.set_counter(
+            &format!("{prefix}.coalesced_dones"),
+            stats.mbs.coalesced_dones,
+        );
+        registry.set_counter(
+            &format!("{prefix}.avalon_transfers"),
+            stats.avalon_transfers,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -270,7 +295,10 @@ mod tests {
                 header: CommandHeader::Write { addr: 0x10_0000 },
             },
         );
-        for (i, beat) in line_to_downstream_beats(t(0), &line).into_iter().enumerate() {
+        for (i, beat) in line_to_downstream_beats(t(0), &line)
+            .into_iter()
+            .enumerate()
+        {
             c.push_downstream(SimTime::from_ns(2) * (i as u64 + 1), beat);
         }
         drain(&mut c, SimTime::from_us(2));

@@ -51,7 +51,12 @@ pub enum Rail {
 impl Rail {
     /// The mandated enable order.
     pub fn sequence() -> [Rail; 4] {
-        [Rail::VccCore, Rail::VccAux, Rail::VccIo, Rail::VccTransceiver]
+        [
+            Rail::VccCore,
+            Rail::VccAux,
+            Rail::VccIo,
+            Rail::VccTransceiver,
+        ]
     }
 }
 

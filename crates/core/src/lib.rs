@@ -46,9 +46,9 @@ pub mod resources;
 pub mod tcam;
 
 pub use buffer::{ConTutto, ContuttoConfig, ContuttoStats, MemoryPopulation};
-pub use p2p::P2pLink;
-pub use tcam::{Tcam, TcamEntry};
 pub use mbi::MbiConfig;
 pub use memctl::{MemoryController, MemoryKind};
+pub use p2p::P2pLink;
 pub use phy::PhyConfig;
 pub use resources::{ResourceReport, ResourceUsage};
+pub use tcam::{Tcam, TcamEntry};

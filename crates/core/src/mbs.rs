@@ -32,7 +32,7 @@ use contutto_dmi::command::{CacheLine, Tag};
 use contutto_dmi::frame::{
     line_to_upstream_beats, CommandHeader, DownstreamPayload, LineAssembler, UpstreamPayload,
 };
-use contutto_sim::{time::clocks, Cycles, SimTime};
+use contutto_sim::{time::clocks, Cycles, SimTime, TraceEvent, Tracer};
 
 use crate::avalon::{AvalonBus, ReadPort, WritePort};
 
@@ -125,6 +125,7 @@ pub struct MbsLogic {
     tx_extra: SimTime,
     decoder_toggle: bool,
     stats: MbsStats,
+    tracer: Tracer,
 }
 
 impl MbsLogic {
@@ -140,12 +141,19 @@ impl MbsLogic {
             tx_extra,
             decoder_toggle: false,
             stats: MbsStats::default(),
+            tracer: Tracer::off(),
         }
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> MbsStats {
         self.stats
+    }
+
+    /// Connects the MBS to a shared [`Tracer`]; memory accesses issued
+    /// to the Avalon bus are recorded as device read/write events.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Engines currently occupied by in-flight write-class commands.
@@ -196,6 +204,7 @@ impl MbsLogic {
             DownstreamPayload::Command { tag, header } => match header {
                 CommandHeader::Read { addr } => {
                     self.stats.reads += 1;
+                    self.tracer.record(TraceEvent::DeviceRead { addr });
                     // Issued directly by the decoder on its dedicated
                     // read port — no engine arbitration.
                     let port = if self.decoder_toggle {
@@ -267,7 +276,13 @@ impl MbsLogic {
         }
     }
 
-    fn execute_write(&mut self, decoded: SimTime, tag: Tag, header: CommandHeader, line: CacheLine) {
+    fn execute_write(
+        &mut self,
+        decoded: SimTime,
+        tag: Tag,
+        header: CommandHeader,
+        line: CacheLine,
+    ) {
         // Engines 0-15 share write port W0 (and its ALU), 16-31 W1.
         let wport = if tag.index() < 16 {
             WritePort::W0
@@ -281,6 +296,7 @@ impl MbsLogic {
         let durable = match header {
             CommandHeader::Write { addr } => {
                 self.stats.writes += 1;
+                self.tracer.record(TraceEvent::DeviceWrite { addr });
                 // ALU in NOP mode.
                 self.avalon.write_line(issue, wport, addr, &line.0)
             }
@@ -290,9 +306,10 @@ impl MbsLogic {
                 } else {
                     self.stats.rmws += 1;
                 }
+                self.tracer.record(TraceEvent::DeviceWrite { addr });
                 // Read the current line (decoder read port by tag
                 // parity), merge in the shared ALU, write back.
-                let rport = if tag.index() % 2 == 0 {
+                let rport = if tag.index().is_multiple_of(2) {
                     ReadPort::R0
                 } else {
                     ReadPort::R1
@@ -467,10 +484,21 @@ mod tests {
         let k6 = run(6);
         let k7 = run(7);
         // 2 ns frame-slot quantization of the drain loop.
-        let close = |a: SimTime, b: SimTime| a.saturating_sub(b).as_ps().max(b.saturating_sub(a).as_ps()) <= 2000;
-        assert!(close(k2, base + SimTime::from_ns(48)), "base {base} k2 {k2}");
-        assert!(close(k6, base + SimTime::from_ns(144)), "base {base} k6 {k6}");
-        assert!(close(k7, base + SimTime::from_ns(168)), "base {base} k7 {k7}");
+        let close = |a: SimTime, b: SimTime| {
+            a.saturating_sub(b).as_ps().max(b.saturating_sub(a).as_ps()) <= 2000
+        };
+        assert!(
+            close(k2, base + SimTime::from_ns(48)),
+            "base {base} k2 {k2}"
+        );
+        assert!(
+            close(k6, base + SimTime::from_ns(144)),
+            "base {base} k6 {k6}"
+        );
+        assert!(
+            close(k7, base + SimTime::from_ns(168)),
+            "base {base} k7 {k7}"
+        );
     }
 
     #[test]
@@ -501,7 +529,10 @@ mod tests {
             .into_iter()
             .enumerate()
         {
-            m.handle_downstream(SimTime::from_us(3) + SimTime::from_ns(2) * (i as u64 + 1), beat);
+            m.handle_downstream(
+                SimTime::from_us(3) + SimTime::from_ns(2) * (i as u64 + 1),
+                beat,
+            );
         }
         drain(&mut m, SimTime::from_us(5));
         assert_eq!(m.stats().inline_accel_ops, 1);
@@ -529,7 +560,13 @@ mod tests {
     #[test]
     fn flush_completes_after_writes() {
         let mut m = mbs();
-        push_write(&mut m, SimTime::ZERO, t(0), 0x2000, &CacheLine::patterned(1));
+        push_write(
+            &mut m,
+            SimTime::ZERO,
+            t(0),
+            0x2000,
+            &CacheLine::patterned(1),
+        );
         m.handle_downstream(
             SimTime::from_ns(20),
             DownstreamPayload::Command {
@@ -572,7 +609,9 @@ mod tests {
                 SimTime::from_ns(2 * u64::from(i)),
                 DownstreamPayload::Command {
                     tag: t(i),
-                    header: CommandHeader::Write { addr: u64::from(i) * 128 },
+                    header: CommandHeader::Write {
+                        addr: u64::from(i) * 128,
+                    },
                 },
             );
         }
@@ -610,7 +649,9 @@ mod tests {
                 SimTime::from_ns(2 * u64::from(i)),
                 DownstreamPayload::Command {
                     tag: t(i),
-                    header: CommandHeader::Read { addr: u64::from(i) * 128 },
+                    header: CommandHeader::Read {
+                        addr: u64::from(i) * 128,
+                    },
                 },
             );
         }

@@ -14,9 +14,7 @@
 //! the media. The controller tracks write completion times to serve
 //! it.
 
-use contutto_memdev::{
-    DdrTimings, Dram, MemoryDevice, MramGeneration, NvdimmN, SttMram,
-};
+use contutto_memdev::{DdrTimings, Dram, MemoryDevice, MramGeneration, NvdimmN, SttMram};
 use contutto_sim::SimTime;
 
 /// The memory technology a controller instance drives.
@@ -187,7 +185,7 @@ mod tests {
         let mut mc = MemoryController::new(MemoryKind::Ddr3Dram, 1 << 30);
         let data = [0xABu8; 128];
         let t1 = mc.write_line(SimTime::ZERO, 0x100_0000, &data);
-        let (back, t2) = mc.read_line(t1, 0x100_0000, );
+        let (back, t2) = mc.read_line(t1, 0x100_0000);
         assert_eq!(back, data);
         assert!(t2 > t1);
         assert_eq!(mc.op_counts(), (1, 1, 0));
@@ -196,8 +194,7 @@ mod tests {
     #[test]
     fn mram_controller_uses_mram_timing() {
         let mut dram = MemoryController::new(MemoryKind::Ddr3Dram, 1 << 28);
-        let mut mram =
-            MemoryController::new(MemoryKind::SttMram(MramGeneration::Pmtj), 1 << 28);
+        let mut mram = MemoryController::new(MemoryKind::SttMram(MramGeneration::Pmtj), 1 << 28);
         let (_, t_dram) = dram.read_line(SimTime::ZERO, 0);
         let (_, t_mram) = mram.read_line(SimTime::ZERO, 0);
         // pMTJ: 2 x 35 ns = 70 ns for 128 B vs DRAM ~51 ns.

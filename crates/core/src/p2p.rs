@@ -60,8 +60,14 @@ impl P2pLink {
         len: u64,
         now: SimTime,
     ) -> P2pTransfer {
-        assert!(src_addr + len <= src.capacity_bytes(), "source out of range");
-        assert!(dst_addr + len <= dst.capacity_bytes(), "destination out of range");
+        assert!(
+            src_addr + len <= src.capacity_bytes(),
+            "source out of range"
+        );
+        assert!(
+            dst_addr + len <= dst.capacity_bytes(),
+            "destination out of range"
+        );
         // Functional move in 64 KiB chunks, port-interleaved like the
         // cards' line interleave.
         let mut buf = vec![0u8; 64 * 1024];
@@ -136,7 +142,14 @@ mod tests {
         let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 249) as u8).collect();
         write_interleaved(&mut a, 0x1000, &payload);
         let link = P2pLink::default();
-        let t = link.transfer(&mut a, &mut b, 0x1000, 0x9000, payload.len() as u64, SimTime::ZERO);
+        let t = link.transfer(
+            &mut a,
+            &mut b,
+            0x1000,
+            0x9000,
+            payload.len() as u64,
+            SimTime::ZERO,
+        );
         assert_eq!(t.bytes, payload.len() as u64);
         let mut back = vec![0u8; payload.len()];
         read_interleaved(&mut b, 0x9000, &mut back);

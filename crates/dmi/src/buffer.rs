@@ -12,7 +12,7 @@
 //! their completion times. Each `pull_upstream` call corresponds to
 //! one upstream frame-slot grant from the arbiter.
 
-use contutto_sim::SimTime;
+use contutto_sim::{MetricsRegistry, SimTime, Tracer};
 
 use crate::frame::{DownstreamPayload, UpstreamPayload};
 
@@ -34,6 +34,19 @@ pub trait DmiBuffer {
 
     /// Human-readable model name (for reports).
     fn name(&self) -> &str;
+
+    /// Connects the buffer to a shared [`Tracer`] so device accesses
+    /// and cache activity show up in the channel trace. Default: no
+    /// tracing (models opt in).
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
+    }
+
+    /// Contributes this buffer's counters to a [`MetricsRegistry`]
+    /// under `prefix` (e.g. `"buffer"`). Default: contributes nothing.
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        let _ = (prefix, registry);
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 
 use std::fmt;
 
+use contutto_sim::{TraceEvent, Tracer};
+
 use crate::error::DmiError;
 
 /// Size of a DMI cache line in bytes (paper §2.2).
@@ -138,6 +140,7 @@ impl fmt::Display for Tag {
 #[derive(Debug, Clone)]
 pub struct TagPool {
     free: u32, // bitmask, bit i set = tag i free
+    tracer: Tracer,
 }
 
 impl Default for TagPool {
@@ -149,7 +152,16 @@ impl Default for TagPool {
 impl TagPool {
     /// Creates a pool with all 32 tags free.
     pub fn new() -> Self {
-        TagPool { free: u32::MAX }
+        TagPool {
+            free: u32::MAX,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Connects the pool to a shared [`Tracer`]; every tag acquire,
+    /// release and exhaustion stall is recorded.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Acquires the lowest-numbered free tag.
@@ -159,10 +171,12 @@ impl TagPool {
     /// Returns [`DmiError::NoFreeTag`] when all 32 tags are in flight.
     pub fn acquire(&mut self) -> Result<Tag, DmiError> {
         if self.free == 0 {
+            self.tracer.record(TraceEvent::TagExhausted);
             return Err(DmiError::NoFreeTag);
         }
         let idx = self.free.trailing_zeros() as u8;
         self.free &= !(1 << idx);
+        self.tracer.record(TraceEvent::TagAcquire { tag: idx });
         Ok(Tag(idx))
     }
 
@@ -178,6 +192,7 @@ impl TagPool {
             return Err(DmiError::UnknownTag(tag.0));
         }
         self.free |= bit;
+        self.tracer.record(TraceEvent::TagRelease { tag: tag.0 });
         Ok(())
     }
 
@@ -433,7 +448,10 @@ mod tests {
     fn partial_write_merges_sectors() {
         let old = CacheLine::patterned(1);
         let new = CacheLine::patterned(2);
-        let merged = RmwOp::PartialWrite { sector_mask: 0b0000_0101 }.apply(old, new);
+        let merged = RmwOp::PartialWrite {
+            sector_mask: 0b0000_0101,
+        }
+        .apply(old, new);
         assert_eq!(&merged.0[0..16], &new.0[0..16]);
         assert_eq!(&merged.0[16..32], &old.0[16..32]);
         assert_eq!(&merged.0[32..48], &new.0[32..48]);

@@ -133,7 +133,10 @@ impl CommandHeader {
 
     /// Whether write-data beats follow this header.
     pub fn expects_data(&self) -> bool {
-        matches!(self, CommandHeader::Write { .. } | CommandHeader::Rmw { .. })
+        matches!(
+            self,
+            CommandHeader::Write { .. } | CommandHeader::Rmw { .. }
+        )
     }
 }
 
@@ -751,7 +754,13 @@ mod tests {
         // 14 lanes x 16 UI = 224 bits downstream, 21 x 16 = 336 upstream.
         assert_eq!(DOWNSTREAM_FRAME_BYTES * 8, 14 * 16);
         assert_eq!(UPSTREAM_FRAME_BYTES * 8, 21 * 16);
-        assert_eq!(DOWNSTREAM_BEATS_PER_LINE * DOWNSTREAM_BEAT_BYTES, CACHE_LINE_BYTES);
-        assert_eq!(UPSTREAM_BEATS_PER_LINE * UPSTREAM_BEAT_BYTES, CACHE_LINE_BYTES);
+        assert_eq!(
+            DOWNSTREAM_BEATS_PER_LINE * DOWNSTREAM_BEAT_BYTES,
+            CACHE_LINE_BYTES
+        );
+        assert_eq!(
+            UPSTREAM_BEATS_PER_LINE * UPSTREAM_BEAT_BYTES,
+            CACHE_LINE_BYTES
+        );
     }
 }

@@ -6,10 +6,7 @@
 //! is "short reach ... up to 21dB" — errors are rare but real, which
 //! is why the replay machinery of paper §2.3 exists).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use contutto_sim::{DelayQueue, SimTime};
+use contutto_sim::{DelayQueue, SimRng, SimTime};
 
 /// Link speed grades of the DMI channel.
 ///
@@ -54,7 +51,8 @@ pub enum BitErrorInjector {
     /// Never corrupt (the default).
     Never,
     /// Corrupt exactly the frames with these ordinals (0-based count of
-    /// frames pushed onto the segment), flipping one bit each.
+    /// frames pushed onto the segment), flipping one bit each. Kept
+    /// sorted so the per-transmit lookup is a binary search, not a scan.
     AtFrames(Vec<u64>),
     /// Corrupt each frame independently with probability `p`, using a
     /// seeded RNG (deterministic across runs).
@@ -62,7 +60,7 @@ pub enum BitErrorInjector {
         /// Per-frame corruption probability.
         p: f64,
         /// RNG used to decide corruption and bit position.
-        rng: StdRng,
+        rng: SimRng,
     },
 }
 
@@ -72,8 +70,12 @@ impl BitErrorInjector {
         BitErrorInjector::Never
     }
 
-    /// An injector corrupting exactly the given frame ordinals.
-    pub fn at_frames(frames: Vec<u64>) -> Self {
+    /// An injector corrupting exactly the given frame ordinals. The
+    /// schedule is sorted once here so each transmit-path lookup is
+    /// O(log n) even for long fault schedules.
+    pub fn at_frames(mut frames: Vec<u64>) -> Self {
+        frames.sort_unstable();
+        frames.dedup();
         BitErrorInjector::AtFrames(frames)
     }
 
@@ -86,17 +88,27 @@ impl BitErrorInjector {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         BitErrorInjector::Bernoulli {
             p,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
     /// Possibly corrupts `bytes` (frame ordinal `ordinal`). Returns
-    /// `true` if a bit was flipped.
+    /// `true` if a bit was flipped. Empty payloads (idle slots carry no
+    /// bytes) have no bit to flip and are always left alone.
     pub fn maybe_corrupt(&mut self, ordinal: u64, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() {
+            // Still advance the Bernoulli stream so that whether a frame
+            // is empty does not shift corruption decisions for later
+            // frames.
+            if let BitErrorInjector::Bernoulli { p, rng } = self {
+                let _ = rng.gen_bool(*p);
+            }
+            return false;
+        }
         match self {
             BitErrorInjector::Never => false,
             BitErrorInjector::AtFrames(frames) => {
-                if frames.contains(&ordinal) {
+                if frames.binary_search(&ordinal).is_ok() {
                     // Flip a bit at a position derived from the ordinal,
                     // deterministically.
                     let bit = (ordinal as usize * 7) % (bytes.len() * 8);
@@ -108,7 +120,7 @@ impl BitErrorInjector {
             }
             BitErrorInjector::Bernoulli { p, rng } => {
                 if rng.gen_bool(*p) {
-                    let bit = rng.gen_range(0..bytes.len() * 8);
+                    let bit = rng.gen_index(bytes.len() * 8);
                     bytes[bit / 8] ^= 1 << (bit % 8);
                     true
                 } else {
@@ -267,7 +279,10 @@ mod tests {
             outcomes
         };
         assert_eq!(run(), run());
-        assert!(run().iter().any(|&c| c), "p=0.3 over 50 frames should corrupt");
+        assert!(
+            run().iter().any(|&c| c),
+            "p=0.3 over 50 frames should corrupt"
+        );
     }
 
     #[test]
@@ -284,5 +299,61 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bernoulli_validates_p() {
         let _ = BitErrorInjector::bernoulli(1.5, 0);
+    }
+
+    #[test]
+    fn empty_payloads_are_never_corrupted() {
+        // Regression: `(ordinal * 7) % (len * 8)` divided by zero and
+        // the Bernoulli draw sampled an empty range when a zero-length
+        // payload crossed the injector.
+        let mut empty = Vec::new();
+        let mut scheduled = BitErrorInjector::at_frames(vec![0, 1, 2]);
+        assert!(!scheduled.maybe_corrupt(1, &mut empty));
+        let mut noisy = BitErrorInjector::bernoulli(1.0, 7);
+        assert!(!noisy.maybe_corrupt(0, &mut empty));
+        let mut never = BitErrorInjector::never();
+        assert!(!never.maybe_corrupt(0, &mut empty));
+        // And a segment transmit of an empty frame survives end to end.
+        let mut seg = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::ZERO,
+            BitErrorInjector::bernoulli(1.0, 7),
+        );
+        seg.transmit(SimTime::ZERO, Vec::new());
+        assert_eq!(seg.frames_corrupted(), 0);
+        assert_eq!(seg.receive(SimTime::from_ns(10)), Some(Vec::new()));
+    }
+
+    #[test]
+    fn empty_frames_do_not_shift_bernoulli_decisions() {
+        let decide = |lengths: &[usize]| {
+            let mut inj = BitErrorInjector::bernoulli(0.5, 3);
+            lengths
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    let mut buf = vec![0u8; len];
+                    inj.maybe_corrupt(i as u64, &mut buf)
+                })
+                .collect::<Vec<_>>()
+        };
+        let with_gap = decide(&[28, 0, 28, 28]);
+        let without_gap = decide(&[28, 28, 28, 28]);
+        // The empty slot itself never corrupts, and the frames after it
+        // see the same coin flips either way.
+        assert!(!with_gap[1]);
+        assert_eq!(with_gap[2..], without_gap[2..]);
+    }
+
+    #[test]
+    fn at_frames_accepts_unsorted_schedules() {
+        let mut inj = BitErrorInjector::at_frames(vec![9, 3, 7, 3]);
+        let hits: Vec<u64> = (0..12)
+            .filter(|&i| {
+                let mut buf = vec![0u8; 28];
+                inj.maybe_corrupt(i, &mut buf)
+            })
+            .collect();
+        assert_eq!(hits, vec![3, 7, 9]);
     }
 }

@@ -25,6 +25,8 @@
 
 use std::collections::VecDeque;
 
+use contutto_sim::{LinkDir, TraceEvent, Tracer};
+
 use crate::error::DmiError;
 use crate::frame::{
     DownstreamFrame, DownstreamPayload, UpstreamFrame, UpstreamPayload, DOWNSTREAM_FRAME_BYTES,
@@ -194,9 +196,13 @@ impl LinkEndpointConfig {
 enum TxState {
     Normal,
     /// Re-transmitting the last frame while preparing the replay mux.
-    Freeze { slots_left: u64 },
+    Freeze {
+        slots_left: u64,
+    },
     /// Replaying from the replay buffer, next index to send.
-    Replay { next_idx: usize },
+    Replay {
+        next_idx: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,8 +260,9 @@ pub struct LinkEndpoint<T: WireFrame, R: WireFrame> {
     rx_expected: u8,
     rx_state: RxState,
     pending_ack: Option<u8>,
-    // Stats.
+    // Observability.
     stats: LinkStats,
+    tracer: Tracer,
     _marker: std::marker::PhantomData<R>,
 }
 
@@ -289,7 +296,23 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
             rx_state: RxState::Normal,
             pending_ack: None,
             stats: LinkStats::default(),
+            tracer: Tracer::off(),
             _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Connects this endpoint to a shared [`Tracer`]. Frame, CRC and
+    /// replay events are reported with the direction this endpoint
+    /// transmits in ([`LinkRole::Host`] ⇒ downstream).
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Direction of frames this endpoint puts on the wire.
+    fn tx_dir(&self) -> LinkDir {
+        match self.cfg.role {
+            LinkRole::Host => LinkDir::Downstream,
+            LinkRole::Buffer => LinkDir::Upstream,
         }
     }
 
@@ -338,19 +361,25 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
         {
             self.stats.replays_triggered += 1;
             self.slots_since_progress = 0;
+            self.tracer.record(TraceEvent::ReplayTrigger {
+                dir: self.tx_dir(),
+                unacked: self.unacked_frames(),
+            });
             self.tx_state = if self.cfg.replay_switch_delay_frames > 0 {
                 // ConTutto: not ready to switch the mux yet — freeze.
                 TxState::Freeze {
                     slots_left: self.cfg.replay_switch_delay_frames,
                 }
             } else {
+                self.record_rewind();
                 TxState::Replay { next_idx: 0 }
             };
         }
 
-        let frame = match self.tx_state {
+        let (frame, replayed) = match self.tx_state {
             TxState::Freeze { slots_left } => {
                 self.tx_state = if slots_left <= 1 {
+                    self.record_rewind();
                     TxState::Replay { next_idx: 0 }
                 } else {
                     TxState::Freeze {
@@ -362,7 +391,10 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
                     .last_frame
                     .clone()
                     .unwrap_or_else(|| T::assemble(0, self.pending_ack, T::idle_payload()));
-                T::assemble(prev.seq(), self.pending_ack, prev.payload().clone())
+                (
+                    T::assemble(prev.seq(), self.pending_ack, prev.payload().clone()),
+                    true,
+                )
             }
             TxState::Replay { next_idx } => {
                 if next_idx < self.replay.len() {
@@ -372,7 +404,10 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
                         next_idx: next_idx + 1,
                     };
                     // Same seq and payload, fresh ACK.
-                    T::assemble(original.seq(), self.pending_ack, original.payload().clone())
+                    (
+                        T::assemble(original.seq(), self.pending_ack, original.payload().clone()),
+                        true,
+                    )
                 } else {
                     // Replay complete; back to normal flow.
                     self.tx_state = TxState::Normal;
@@ -386,6 +421,11 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
             self.slots_since_progress += 1;
         }
         self.stats.frames_tx += 1;
+        self.tracer.record(TraceEvent::FrameTx {
+            dir: self.tx_dir(),
+            seq: frame.seq(),
+            replayed,
+        });
         self.last_frame = Some(frame.clone());
 
         let mut bytes = frame.serialize();
@@ -393,7 +433,20 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
         bytes
     }
 
-    fn next_new_frame(&mut self) -> T {
+    /// Records the rewind that accompanies a switch into replay mode.
+    fn record_rewind(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let from_seq = self.replay.front().map_or(self.next_seq, WireFrame::seq);
+        self.tracer.record(TraceEvent::ReplayRewind {
+            dir: self.tx_dir(),
+            from_seq,
+            frames: self.replay.len(),
+        });
+    }
+
+    fn next_new_frame(&mut self) -> (T, bool) {
         // Flow control: never let unacked frames outrun the replay
         // buffer; send idles (which consume no new seq... they do — all
         // frames are sequenced) — so instead, stall new *payload* but
@@ -403,14 +456,17 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
                 .last_frame
                 .clone()
                 .unwrap_or_else(|| T::assemble(0, self.pending_ack, T::idle_payload()));
-            return T::assemble(prev.seq(), self.pending_ack, prev.payload().clone());
+            return (
+                T::assemble(prev.seq(), self.pending_ack, prev.payload().clone()),
+                true,
+            );
         }
         let payload = self.backlog.pop_front().unwrap_or_else(T::idle_payload);
         let seq = self.next_seq;
         self.next_seq = (self.next_seq + 1) % SEQ_MODULO;
         let frame = T::assemble(seq, self.pending_ack, payload);
         self.replay.push_back(frame.clone());
-        frame
+        (frame, false)
     }
 
     /// Consumes a frame arriving from the far end. Returns the payload
@@ -418,11 +474,13 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
     pub fn on_receive(&mut self, bytes: &[u8]) -> Option<R::Payload> {
         let mut descrambled = bytes.to_vec();
         apply_trained(&mut descrambled);
+        let rx_dir = self.tx_dir().opposite();
         let frame = match R::deserialize(&descrambled) {
             Ok(f) => f,
             Err(DmiError::CrcMismatch { .. }) => {
                 self.stats.crc_errors += 1;
                 self.rx_state = RxState::AwaitReplay;
+                self.tracer.record(TraceEvent::CrcFailure { dir: rx_dir });
                 return None;
             }
             Err(_) => {
@@ -444,11 +502,9 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
             self.rx_state = RxState::Normal;
             self.pending_ack = Some(seq);
             self.stats.frames_rx_ok += 1;
+            self.tracer.record(TraceEvent::FrameRx { dir: rx_dir, seq });
             Some(frame.into_payload())
-        } else if self
-            .pending_ack
-            .is_some_and(|last| seq_reaches(seq, last))
-        {
+        } else if self.pending_ack.is_some_and(|last| seq_reaches(seq, last)) {
             // Old frame (freeze duplicate or replay overlap): drop.
             self.stats.duplicates_dropped += 1;
             None
@@ -456,6 +512,11 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
             // Gap: a frame went missing entirely. Wait for replay.
             self.stats.seq_errors += 1;
             self.rx_state = RxState::AwaitReplay;
+            self.tracer.record(TraceEvent::SeqGap {
+                dir: rx_dir,
+                expected: self.rx_expected,
+                got: seq,
+            });
             None
         }
     }
@@ -496,10 +557,10 @@ pub type BufferEndpoint = LinkEndpoint<UpstreamFrame, DownstreamFrame>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scramble::Scrambler;
     use crate::command::Tag;
     use crate::frame::CommandHeader;
     use crate::link::{BitErrorInjector, LinkSegment, LinkSpeed};
+    use crate::scramble::Scrambler;
     use contutto_sim::SimTime;
 
     fn host() -> HostEndpoint {
@@ -550,8 +611,16 @@ mod tests {
     fn clean_link_delivers_in_order() {
         let mut h = host();
         let mut b = buffer();
-        let mut down = LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never());
-        let mut up = LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never());
+        let mut down = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
+        let mut up = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
         for i in 0..5 {
             h.enqueue(cmd_payload(i, u64::from(i) * 128));
         }
@@ -572,9 +641,16 @@ mod tests {
         let mut h = host();
         let mut b = buffer();
         // Corrupt downstream frame #3.
-        let mut down =
-            LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::at_frames(vec![3]));
-        let mut up = LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never());
+        let mut down = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::at_frames(vec![3]),
+        );
+        let mut up = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
         for i in 0..10 {
             h.enqueue(cmd_payload(i, u64::from(i) * 128));
         }
@@ -597,9 +673,16 @@ mod tests {
     fn corrupted_upstream_frame_is_replayed() {
         let mut h = host();
         let mut b = LinkEndpoint::new(LinkEndpointConfig::contutto_buffer());
-        let mut down = LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never());
-        let mut up =
-            LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::at_frames(vec![5]));
+        let mut down = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
+        let mut up = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::at_frames(vec![5]),
+        );
         for t in 0..4 {
             b.enqueue(UpstreamPayload::Done {
                 first: Tag::new(t).unwrap(),
@@ -612,7 +695,13 @@ mod tests {
             .into_iter()
             .filter(|p| !matches!(p, UpstreamPayload::Idle))
             .collect();
-        assert_eq!(dones.len(), 4, "host stats {:?} buf stats {:?}", h.stats(), b.stats());
+        assert_eq!(
+            dones.len(),
+            4,
+            "host stats {:?} buf stats {:?}",
+            h.stats(),
+            b.stats()
+        );
         assert_eq!(h.stats().crc_errors, 1);
         assert!(b.stats().replays_triggered >= 1);
         // The freeze workaround produced frames the host discarded
@@ -665,7 +754,11 @@ mod tests {
             SimTime::from_ns(1),
             BitErrorInjector::bernoulli(0.05, 7),
         );
-        let mut up = LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never());
+        let mut up = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
         for i in 0..20 {
             h.enqueue(cmd_payload(i % 32, u64::from(i) * 128));
         }
@@ -674,9 +767,17 @@ mod tests {
             .into_iter()
             .filter(|p| !matches!(p, DownstreamPayload::Idle))
             .collect();
-        assert_eq!(cmds.len(), 20, "all commands delivered despite 5% frame errors");
+        assert_eq!(
+            cmds.len(),
+            20,
+            "all commands delivered despite 5% frame errors"
+        );
         for (i, c) in cmds.iter().enumerate() {
-            assert_eq!(*c, cmd_payload(i as u8 % 32, i as u64 * 128), "order preserved");
+            assert_eq!(
+                *c,
+                cmd_payload(i as u8 % 32, i as u64 * 128),
+                "order preserved"
+            );
         }
     }
 

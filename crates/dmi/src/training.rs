@@ -14,13 +14,12 @@
 //! itself is performed with **real probe/echo frames** through the
 //! link segments ([`measure_frtl`]).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use contutto_sim::{Cycles, Frequency, SimTime};
+use contutto_sim::{Cycles, Frequency, SimRng, SimTime};
 
 use crate::error::DmiError;
-use crate::frame::{ControlKind, DownstreamFrame, DownstreamPayload, UpstreamFrame, UpstreamPayload};
+use crate::frame::{
+    ControlKind, DownstreamFrame, DownstreamPayload, UpstreamFrame, UpstreamPayload,
+};
 use crate::link::LinkSegment;
 use crate::scramble::Scrambler;
 
@@ -192,7 +191,7 @@ pub fn measure_frtl(
 #[derive(Debug)]
 pub struct LinkTrainer {
     cfg: TrainerConfig,
-    rng: StdRng,
+    rng: SimRng,
     state: TrainingState,
 }
 
@@ -201,7 +200,7 @@ impl LinkTrainer {
     pub fn new(cfg: TrainerConfig, seed: u64) -> Self {
         LinkTrainer {
             cfg,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             state: TrainingState::BitAlign,
         }
     }
@@ -264,8 +263,16 @@ mod tests {
 
     fn segments() -> (LinkSegment, LinkSegment) {
         (
-            LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never()),
-            LinkSegment::new(LinkSpeed::Gbps8, SimTime::from_ns(1), BitErrorInjector::never()),
+            LinkSegment::new(
+                LinkSpeed::Gbps8,
+                SimTime::from_ns(1),
+                BitErrorInjector::never(),
+            ),
+            LinkSegment::new(
+                LinkSpeed::Gbps8,
+                SimTime::from_ns(1),
+                BitErrorInjector::never(),
+            ),
         )
     }
 
@@ -290,7 +297,10 @@ mod tests {
         let delta = slow - fast;
         // The difference is the turnaround difference, up to frame-slot
         // quantization (2 ns slots).
-        assert!(delta >= SimTime::from_ns(98) && delta <= SimTime::from_ns(102), "delta {delta}");
+        assert!(
+            delta >= SimTime::from_ns(98) && delta <= SimTime::from_ns(102),
+            "delta {delta}"
+        );
     }
 
     #[test]
@@ -313,7 +323,11 @@ mod tests {
         };
         let mut tr = LinkTrainer::new(cfg, 1);
         let outcome = tr.train(SimTime::from_ns(100)).unwrap();
-        assert!(outcome.attempts > 1, "expected retries, got {}", outcome.attempts);
+        assert!(
+            outcome.attempts > 1,
+            "expected retries, got {}",
+            outcome.attempts
+        );
     }
 
     #[test]
@@ -335,7 +349,13 @@ mod tests {
         let mut tr = LinkTrainer::new(TrainerConfig::default(), 9);
         // 400 bus cycles at 2 GHz = 200 ns; 250 ns must fail.
         let err = tr.train(SimTime::from_ns(250)).unwrap_err();
-        assert!(matches!(err, DmiError::FrtlExceeded { measured_bus_cycles: 500, max_bus_cycles: 400 }));
+        assert!(matches!(
+            err,
+            DmiError::FrtlExceeded {
+                measured_bus_cycles: 500,
+                max_bus_cycles: 400
+            }
+        ));
     }
 
     #[test]
@@ -348,7 +368,10 @@ mod tests {
     #[test]
     fn state_progression() {
         assert_eq!(TrainingState::BitAlign.next(), TrainingState::WordAlign);
-        assert_eq!(TrainingState::ScramblerSync.next(), TrainingState::FrtlMeasure);
+        assert_eq!(
+            TrainingState::ScramblerSync.next(),
+            TrainingState::FrtlMeasure
+        );
         assert_eq!(TrainingState::Done.next(), TrainingState::Done);
     }
 }

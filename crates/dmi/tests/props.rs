@@ -1,88 +1,113 @@
-//! Property-based tests for the DMI link: in-order exactly-once
+//! Randomized property tests for the DMI link: in-order exactly-once
 //! delivery under arbitrary error schedules, frame-format totality,
-//! scrambler identity.
+//! scrambler identity. Driven by the deterministic [`SimRng`] with
+//! fixed seeds, so every run exercises the same inputs.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use contutto_dmi::command::{RmwOp, Tag};
 use contutto_dmi::frame::{CommandHeader, DownstreamFrame, DownstreamPayload, UpstreamPayload};
 use contutto_dmi::link::{BitErrorInjector, LinkSegment, LinkSpeed};
 use contutto_dmi::protocol::{LinkEndpoint, LinkEndpointConfig};
 use contutto_dmi::scramble::Scrambler;
-use contutto_sim::SimTime;
+use contutto_sim::{SimRng, SimTime};
 
 type Host = LinkEndpoint<DownstreamFrame, contutto_dmi::frame::UpstreamFrame>;
 type Buffer = LinkEndpoint<contutto_dmi::frame::UpstreamFrame, DownstreamFrame>;
 
-fn arb_rmw() -> impl Strategy<Value = RmwOp> {
-    prop_oneof![
-        any::<u8>().prop_map(|m| RmwOp::PartialWrite { sector_mask: m }),
-        Just(RmwOp::AtomicAdd),
-        Just(RmwOp::MinStore),
-        Just(RmwOp::MaxStore),
-        Just(RmwOp::ConditionalSwap),
-    ]
+fn arb_rmw(rng: &mut SimRng) -> RmwOp {
+    match rng.gen_index(5) {
+        0 => RmwOp::PartialWrite {
+            sector_mask: rng.next_u64() as u8,
+        },
+        1 => RmwOp::AtomicAdd,
+        2 => RmwOp::MinStore,
+        3 => RmwOp::MaxStore,
+        _ => RmwOp::ConditionalSwap,
+    }
 }
 
-fn arb_header() -> impl Strategy<Value = CommandHeader> {
-    prop_oneof![
-        any::<u64>().prop_map(|addr| CommandHeader::Read { addr }),
-        any::<u64>().prop_map(|addr| CommandHeader::Write { addr }),
-        (any::<u64>(), arb_rmw()).prop_map(|(addr, op)| CommandHeader::Rmw { addr, op }),
-        Just(CommandHeader::Flush),
-    ]
+fn arb_header(rng: &mut SimRng) -> CommandHeader {
+    match rng.gen_index(4) {
+        0 => CommandHeader::Read {
+            addr: rng.next_u64(),
+        },
+        1 => CommandHeader::Write {
+            addr: rng.next_u64(),
+        },
+        2 => CommandHeader::Rmw {
+            addr: rng.next_u64(),
+            op: arb_rmw(rng),
+        },
+        _ => CommandHeader::Flush,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn frame_roundtrip_any_header(seq in 0u8..128, tag in 0u8..32, header in arb_header()) {
+#[test]
+fn frame_roundtrip_any_header() {
+    let mut rng = SimRng::seed_from_u64(0xD311_0000);
+    for case in 0..256 {
         let f = DownstreamFrame {
-            seq,
+            seq: rng.gen_index(128) as u8,
             ack: None,
             payload: DownstreamPayload::Command {
-                tag: Tag::new(tag).expect("range"),
-                header,
+                tag: Tag::new(rng.gen_index(32) as u8).expect("range"),
+                header: arb_header(&mut rng),
             },
         };
         let back = DownstreamFrame::from_bytes(&f.to_bytes()).expect("clean");
-        prop_assert_eq!(back, f);
+        assert_eq!(back, f, "case {case}");
     }
+}
 
-    #[test]
-    fn scrambler_identity_any_data(seed in 1u32..0x7F_FFFF, data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn scrambler_identity_any_data() {
+    let mut rng = SimRng::seed_from_u64(0xD311_1000);
+    for case in 0..64 {
+        let seed = rng.gen_range(1..0x7F_FFFF) as u32;
+        let len = rng.gen_index(256);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let mut tx = Scrambler::new(seed);
         let mut rx = Scrambler::new(seed);
         let mut buf = data.clone();
         tx.apply(&mut buf);
         rx.apply(&mut buf);
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data, "case {case}");
     }
+}
 
-    #[test]
-    fn exactly_once_in_order_delivery_under_any_error_schedule(
-        n_cmds in 1usize..12,
-        down_errors in proptest::collection::btree_set(0u64..120, 0..6),
-        up_errors in proptest::collection::btree_set(0u64..120, 0..6),
-    ) {
+#[test]
+fn exactly_once_in_order_delivery_under_any_error_schedule() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0xD311_2000 + case);
+        let n_cmds = rng.gen_range(1..12) as usize;
+        let schedule = |rng: &mut SimRng| -> Vec<u64> {
+            let n = rng.gen_index(6);
+            let set: BTreeSet<u64> = (0..n).map(|_| rng.gen_range(0..120)).collect();
+            set.into_iter().collect()
+        };
+        let down_errors = schedule(&mut rng);
+        let up_errors = schedule(&mut rng);
+
         let mut host: Host = LinkEndpoint::new(LinkEndpointConfig::host());
         let mut buf: Buffer = LinkEndpoint::new(LinkEndpointConfig::contutto_buffer());
         let mut down = LinkSegment::new(
             LinkSpeed::Gbps8,
             SimTime::from_ns(1),
-            BitErrorInjector::at_frames(down_errors.into_iter().collect()),
+            BitErrorInjector::at_frames(down_errors.clone()),
         );
         let mut up = LinkSegment::new(
             LinkSpeed::Gbps8,
             SimTime::from_ns(1),
-            BitErrorInjector::at_frames(up_errors.into_iter().collect()),
+            BitErrorInjector::at_frames(up_errors.clone()),
         );
         // Enqueue distinct commands both directions.
         for i in 0..n_cmds {
             host.enqueue(DownstreamPayload::Command {
                 tag: Tag::new((i % 32) as u8).expect("range"),
-                header: CommandHeader::Read { addr: i as u64 * 128 },
+                header: CommandHeader::Read {
+                    addr: i as u64 * 128,
+                },
             });
             buf.enqueue(UpstreamPayload::Done {
                 first: Tag::new((i % 32) as u8).expect("range"),
@@ -114,43 +139,49 @@ proptest! {
                 break;
             }
         }
+        let ctx = format!("case {case} down={down_errors:?} up={up_errors:?}");
         // Exactly once, in order, in both directions.
-        prop_assert_eq!(to_buf.len(), n_cmds, "downstream delivery count");
-        prop_assert_eq!(to_host.len(), n_cmds, "upstream delivery count");
+        assert_eq!(to_buf.len(), n_cmds, "downstream delivery count ({ctx})");
+        assert_eq!(to_host.len(), n_cmds, "upstream delivery count ({ctx})");
         for (i, p) in to_buf.iter().enumerate() {
             match p {
-                DownstreamPayload::Command { header: CommandHeader::Read { addr }, .. } => {
-                    prop_assert_eq!(*addr, i as u64 * 128, "downstream order");
+                DownstreamPayload::Command {
+                    header: CommandHeader::Read { addr },
+                    ..
+                } => {
+                    assert_eq!(*addr, i as u64 * 128, "downstream order ({ctx})");
                 }
-                other => prop_assert!(false, "unexpected payload {other:?}"),
+                other => panic!("unexpected payload {other:?} ({ctx})"),
             }
         }
         for (i, p) in to_host.iter().enumerate() {
             match p {
                 UpstreamPayload::Done { first, .. } => {
-                    prop_assert_eq!(first.index(), i % 32, "upstream order");
+                    assert_eq!(first.index(), i % 32, "upstream order ({ctx})");
                 }
-                other => prop_assert!(false, "unexpected payload {other:?}"),
+                other => panic!("unexpected payload {other:?} ({ctx})"),
             }
         }
     }
+}
 
-    #[test]
-    fn corrupted_frames_never_parse_silently(
-        header in arb_header(),
-        flips in proptest::collection::vec((0usize..28, 0u8..8), 1..4),
-    ) {
+#[test]
+fn corrupted_frames_never_parse_silently() {
+    let mut rng = SimRng::seed_from_u64(0xD311_3000);
+    for case in 0..256 {
         let f = DownstreamFrame {
             seq: 9,
             ack: Some(3),
             payload: DownstreamPayload::Command {
                 tag: Tag::new(5).expect("range"),
-                header,
+                header: arb_header(&mut rng),
             },
         };
         let clean = f.to_bytes();
         let mut bytes = clean;
-        for (byte, bit) in flips {
+        for _ in 0..rng.gen_range(1..4) {
+            let byte = rng.gen_index(28);
+            let bit = rng.gen_index(8);
             bytes[byte] ^= 1 << bit;
         }
         if bytes != clean {
@@ -160,7 +191,10 @@ proptest! {
             // astronomically unlikely across the suite; treat parse
             // success with differing content as failure.
             if let Ok(parsed) = DownstreamFrame::from_bytes(&bytes) {
-                prop_assert_eq!(parsed, f, "collision produced a different frame");
+                assert_eq!(
+                    parsed, f,
+                    "collision produced a different frame (case {case})"
+                );
             }
         }
     }

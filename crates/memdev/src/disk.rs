@@ -184,7 +184,10 @@ mod tests {
         let t2 = d.write(t1, 4096, &[0u8; 4096]);
         let seq_cost = t2 - t1;
         // Pure transfer: 4096 / 150 MB/s ≈ 27 µs.
-        assert!(seq_cost < SimTime::from_us(30), "sequential cost {seq_cost}");
+        assert!(
+            seq_cost < SimTime::from_us(30),
+            "sequential cost {seq_cost}"
+        );
         // Both writes were sequential: the head parks at LBA 0.
         assert_eq!(d.sequential_hits(), 2);
     }
@@ -198,7 +201,9 @@ mod tests {
         let mut addr = 7_777u64;
         for _ in 0..n {
             // Deterministic pseudo-random addresses across the platter.
-            addr = (addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            addr = (addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
                 % (d.capacity_bytes() - 4096);
             now = d.write(now, addr & !511, &[0u8; 4096]);
         }

@@ -173,7 +173,10 @@ impl Dram {
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
         // Interleave banks on row-buffer-sized chunks.
         let chunk = addr / ROW_BYTES;
-        ((chunk % NUM_BANKS as u64) as usize, chunk / NUM_BANKS as u64)
+        (
+            (chunk % NUM_BANKS as u64) as usize,
+            chunk / NUM_BANKS as u64,
+        )
     }
 
     /// Charges timing for one ≤64 B column access; returns completion.
@@ -294,8 +297,8 @@ mod tests {
         let mut buf = [0u8; 64];
         let t0 = SimTime::ZERO;
         let t1 = d.read(t0, 0, &mut buf); // open row 0 of bank 0
-        // Same bank, different row: banks interleave every 8 KiB, so
-        // +8 KiB * 8 banks = same bank, next row.
+                                          // Same bank, different row: banks interleave every 8 KiB, so
+                                          // +8 KiB * 8 banks = same bank, next row.
         let t2 = d.read(t1, 8192 * 8, &mut buf);
         let conflict_lat = t2 - t1;
         assert_eq!(conflict_lat.as_ps(), 13_750 + 13_750 + 13_750 + 5_000);
@@ -308,9 +311,9 @@ mod tests {
         let mut buf = [0u8; 64];
         let t0 = SimTime::ZERO;
         d.read(t0, 0, &mut buf); // bank 0
-        // Bank 1 (next 8 KiB chunk) is idle: also a plain miss issued
-        // at t0 in parallel — only the shared data bus (one burst per
-        // tBURST) separates the two completions.
+                                 // Bank 1 (next 8 KiB chunk) is idle: also a plain miss issued
+                                 // at t0 in parallel — only the shared data bus (one burst per
+                                 // tBURST) separates the two completions.
         let done = d.read(t0, 8192, &mut buf);
         assert_eq!((done - t0).as_ps(), 13_750 + 13_750 + 5_000 + 5_000);
         assert_eq!(d.stats().misses, 2);
@@ -348,7 +351,10 @@ mod tests {
         let t0 = SimTime::ZERO;
         let done = d.read(t0, 0, &mut buf);
         // miss (tRCD+CL+burst) then pipelined hit (CL+burst).
-        assert_eq!((done - t0).as_ps(), (13_750 + 13_750 + 5_000) + (13_750 + 5_000));
+        assert_eq!(
+            (done - t0).as_ps(),
+            (13_750 + 13_750 + 5_000) + (13_750 + 5_000)
+        );
     }
 
     #[test]

@@ -182,8 +182,12 @@ mod tests {
     fn flash_dies_in_seconds_on_a_memory_bus() {
         // At 1 M writes/s to one cell, MLC NAND lasts well under a minute;
         // STT-MRAM lasts over a decade.
-        let mlc = Technology::NandMlc.endurance().worst_case_lifetime_days(1e6);
-        let mram = Technology::SttMram.endurance().worst_case_lifetime_days(1e6);
+        let mlc = Technology::NandMlc
+            .endurance()
+            .worst_case_lifetime_days(1e6);
+        let mram = Technology::SttMram
+            .endurance()
+            .worst_case_lifetime_days(1e6);
         assert!(mlc < 1.0 / 24.0 / 60.0, "MLC lifetime {mlc} days");
         assert!(mram > 10.0, "MRAM lifetime {mram} days");
         assert!(mram / mlc > 1e7, "MRAM/MLC ratio {}", mram / mlc);
@@ -193,7 +197,9 @@ mod tests {
     fn dataset_covers_all_technologies() {
         let rows = figure8_dataset();
         assert_eq!(rows.len(), 7);
-        assert!(rows.windows(2).all(|w| w[0].log10_min <= w[1].log10_min + 6.0));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].log10_min <= w[1].log10_min + 6.0));
         for row in &rows {
             assert!(row.log10_max >= row.log10_min);
         }

@@ -114,8 +114,14 @@ impl NandFlash {
     /// zero.
     pub fn new(capacity: u64, cfg: FlashConfig) -> Self {
         let block_bytes = cfg.page_bytes * cfg.pages_per_block;
-        assert!(capacity > 0 && capacity % block_bytes == 0, "capacity must be whole blocks");
-        assert!(cfg.pages_per_block <= 64, "block bitmap limited to 64 pages");
+        assert!(
+            capacity > 0 && capacity.is_multiple_of(block_bytes),
+            "capacity must be whole blocks"
+        );
+        assert!(
+            cfg.pages_per_block <= 64,
+            "block bitmap limited to 64 pages"
+        );
         let blocks = (capacity / block_bytes) as usize;
         NandFlash {
             capacity,
@@ -155,7 +161,11 @@ impl NandFlash {
     ///
     /// Panics if `page` is out of range or `buf` is not page-sized.
     pub fn read_page(&mut self, now: SimTime, page: u64, buf: &mut [u8]) -> SimTime {
-        assert_eq!(buf.len() as u64, self.cfg.page_bytes, "page-sized buffer required");
+        assert_eq!(
+            buf.len() as u64,
+            self.cfg.page_bytes,
+            "page-sized buffer required"
+        );
         let addr = page * self.cfg.page_bytes;
         check_range(self.capacity, addr, buf.len());
         self.store.read(addr, buf);
@@ -181,7 +191,11 @@ impl NandFlash {
         page: u64,
         data: &[u8],
     ) -> Result<SimTime, FlashError> {
-        assert_eq!(data.len() as u64, self.cfg.page_bytes, "page-sized data required");
+        assert_eq!(
+            data.len() as u64,
+            self.cfg.page_bytes,
+            "page-sized data required"
+        );
         let addr = page * self.cfg.page_bytes;
         check_range(self.capacity, addr, data.len());
         let block_idx = self.block_of_page(page);

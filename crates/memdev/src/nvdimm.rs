@@ -265,7 +265,10 @@ mod tests {
     fn backup_duration_scales_with_capacity() {
         let small = NvdimmN::new(1 << 20, DdrTimings::ddr3_1600());
         let large = NvdimmN::new(4 << 20, DdrTimings::ddr3_1600());
-        assert_eq!(large.backup_duration().as_ps(), small.backup_duration().as_ps() * 4);
+        assert_eq!(
+            large.backup_duration().as_ps(),
+            small.backup_duration().as_ps() * 4
+        );
     }
 
     #[test]

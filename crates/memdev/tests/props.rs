@@ -1,67 +1,77 @@
-//! Property-based tests for the device models: functional equivalence
-//! against a reference store, timing monotonicity, and the flash
-//! program/erase state machine.
-
-use proptest::prelude::*;
+//! Randomized property tests for the device models: functional
+//! equivalence against a reference store, timing monotonicity, and the
+//! flash program/erase state machine. Driven by the deterministic
+//! [`SimRng`] with fixed seeds, so every run exercises the same inputs.
 
 use contutto_memdev::flash::{FlashConfig, NandFlash};
 use contutto_memdev::{
     DdrTimings, Dram, HardDiskDrive, MemoryDevice, MramGeneration, NvdimmN, SttMram,
 };
-use contutto_sim::SimTime;
+use contutto_sim::{SimRng, SimTime};
 
-fn arb_ops() -> impl Strategy<Value = Vec<(bool, u64, Vec<u8>)>> {
-    proptest::collection::vec(
-        (
-            any::<bool>(),
-            0u64..60_000,
-            proptest::collection::vec(any::<u8>(), 1..256),
-        ),
-        1..40,
-    )
+const CASES: u64 = 32;
+
+fn arb_ops(rng: &mut SimRng) -> Vec<(bool, u64, Vec<u8>)> {
+    let n = rng.gen_range(1..40) as usize;
+    (0..n)
+        .map(|_| {
+            let is_write = rng.gen_bool(0.5);
+            let addr = rng.gen_range(0..60_000);
+            let len = rng.gen_range(1..256) as usize;
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            (is_write, addr, data)
+        })
+        .collect()
 }
 
 /// Runs a random op sequence against a device and a flat reference,
 /// checking functional equivalence and non-decreasing completion times.
-fn check_device(dev: &mut dyn MemoryDevice, ops: &[(bool, u64, Vec<u8>)]) -> Result<(), TestCaseError> {
+fn check_device(dev: &mut dyn MemoryDevice, ops: &[(bool, u64, Vec<u8>)]) {
     let mut reference = vec![0u8; 70_000];
     let mut now = SimTime::ZERO;
     for (is_write, addr, data) in ops {
         if *is_write {
             let done = dev.write(now, *addr, data);
-            prop_assert!(done >= now, "write completion not monotone");
+            assert!(done >= now, "write completion not monotone");
             now = done;
             reference[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
         } else {
             let mut buf = vec![0u8; data.len()];
             let done = dev.read(now, *addr, &mut buf);
-            prop_assert!(done >= now, "read completion not monotone");
+            assert!(done >= now, "read completion not monotone");
             now = done;
-            prop_assert_eq!(&buf, &reference[*addr as usize..*addr as usize + data.len()]);
+            assert_eq!(
+                &buf,
+                &reference[*addr as usize..*addr as usize + data.len()]
+            );
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn dram_matches_reference(ops in arb_ops()) {
+#[test]
+fn dram_matches_reference() {
+    for case in 0..CASES {
+        let ops = arb_ops(&mut SimRng::seed_from_u64(0x3E3D_0000 + case));
         let mut d = Dram::new(1 << 20, DdrTimings::ddr3_1600());
-        check_device(&mut d, &ops)?;
+        check_device(&mut d, &ops);
     }
+}
 
-    #[test]
-    fn mram_matches_reference(ops in arb_ops()) {
+#[test]
+fn mram_matches_reference() {
+    for case in 0..CASES {
+        let ops = arb_ops(&mut SimRng::seed_from_u64(0x3E3D_1000 + case));
         let mut d = SttMram::new(1 << 20, MramGeneration::Pmtj);
-        check_device(&mut d, &ops)?;
+        check_device(&mut d, &ops);
     }
+}
 
-    #[test]
-    fn nvdimm_matches_reference_and_survives_power_cycle(ops in arb_ops()) {
+#[test]
+fn nvdimm_matches_reference_and_survives_power_cycle() {
+    for case in 0..CASES {
+        let ops = arb_ops(&mut SimRng::seed_from_u64(0x3E3D_2000 + case));
         let mut d = NvdimmN::new(1 << 20, DdrTimings::ddr3_1600());
-        check_device(&mut d, &ops)?;
+        check_device(&mut d, &ops);
         // Rebuild the reference from the op list, power-cycle, verify.
         let mut reference = vec![0u8; 70_000];
         for (is_write, addr, data) in &ops {
@@ -73,20 +83,26 @@ proptest! {
         let usable = d.power_restore(quiesced);
         let mut buf = vec![0u8; reference.len()];
         d.read(usable, 0, &mut buf);
-        prop_assert_eq!(buf, reference);
+        assert_eq!(buf, reference, "case {case}");
     }
+}
 
-    #[test]
-    fn hdd_matches_reference(ops in arb_ops()) {
+#[test]
+fn hdd_matches_reference() {
+    for case in 0..CASES {
+        let ops = arb_ops(&mut SimRng::seed_from_u64(0x3E3D_3000 + case));
         let mut d = HardDiskDrive::new(1 << 20, Default::default());
-        check_device(&mut d, &ops)?;
+        check_device(&mut d, &ops);
     }
+}
 
-    #[test]
-    fn flash_program_erase_state_machine(
-        pages in proptest::collection::vec(0u64..64, 1..40)
-    ) {
-        // Model: a page programs successfully iff currently erased.
+#[test]
+fn flash_program_erase_state_machine() {
+    // Model: a page programs successfully iff currently erased.
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x3E3D_4000 + case);
+        let n = rng.gen_range(1..40) as usize;
+        let pages: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
         let mut flash = NandFlash::new(256 << 10, FlashConfig::mlc());
         let mut programmed = [false; 64];
         let data = vec![0xA5u8; 4096];
@@ -94,13 +110,11 @@ proptest! {
         for page in pages {
             let result = flash.program_page(now, page, &data);
             if programmed[page as usize] {
-                prop_assert!(result.is_err(), "double program must fail");
+                assert!(result.is_err(), "double program must fail (case {case})");
                 // Erase the whole block (64 pages per 256 KiB block here
                 // = block 0 covers pages 0..63).
                 now = flash.erase_block(now, page / 64).expect("erase");
-                for p in &mut programmed {
-                    *p = false;
-                }
+                programmed.fill(false);
                 now = flash.program_page(now, page, &data).expect("after erase");
                 programmed[page as usize] = true;
             } else {
@@ -109,21 +123,32 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn mram_wear_counts_exactly(writes in proptest::collection::vec(0u64..64, 1..100)) {
+#[test]
+fn mram_wear_counts_exactly() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x3E3D_5000 + case);
+        let n = rng.gen_range(1..100) as usize;
+        let writes: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
         let mut m = SttMram::new(1 << 20, MramGeneration::Imtj);
         let mut counts = [0u64; 64];
         for line in &writes {
             m.write(SimTime::ZERO, line * 64, &[1u8; 64]);
             counts[*line as usize] += 1;
         }
-        prop_assert_eq!(m.total_writes(), writes.len() as u64);
-        prop_assert_eq!(m.max_line_wear(), counts.iter().copied().max().unwrap_or(0));
+        assert_eq!(m.total_writes(), writes.len() as u64, "case {case}");
+        assert_eq!(
+            m.max_line_wear(),
+            counts.iter().copied().max().unwrap_or(0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sequential_disk_access_never_slower_than_random(len in 1usize..64) {
+#[test]
+fn sequential_disk_access_never_slower_than_random() {
+    for len in 1usize..64 {
         let data = vec![0u8; 4096];
         let mut seq = HardDiskDrive::new(1 << 30, Default::default());
         let mut t_seq = SimTime::ZERO;
@@ -134,9 +159,13 @@ proptest! {
         let mut t_rnd = SimTime::ZERO;
         for i in 0..len {
             // Alternate ends of the disk.
-            let addr = if i % 2 == 0 { i as u64 * 4096 } else { (1 << 30) - 4096 * (i as u64 + 1) };
+            let addr = if i % 2 == 0 {
+                i as u64 * 4096
+            } else {
+                (1 << 30) - 4096 * (i as u64 + 1)
+            };
             t_rnd = rnd.write(t_rnd, addr, &data);
         }
-        prop_assert!(t_seq <= t_rnd);
+        assert!(t_seq <= t_rnd, "len {len}");
     }
 }

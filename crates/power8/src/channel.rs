@@ -21,7 +21,7 @@ use contutto_dmi::link::{BitErrorInjector, LinkSegment, LinkSpeed};
 use contutto_dmi::protocol::{LinkEndpoint, LinkEndpointConfig};
 use contutto_dmi::training::{measure_frtl, LinkTrainer, TrainerConfig, TrainingOutcome};
 use contutto_dmi::DmiError;
-use contutto_sim::{Frequency, SimTime};
+use contutto_sim::{Frequency, LatencyStats, MetricsRegistry, SimTime, TraceEvent, Tracer};
 
 type HostEndpoint = LinkEndpoint<DownstreamFrame, UpstreamFrame>;
 type BufferEndpoint = LinkEndpoint<UpstreamFrame, DownstreamFrame>;
@@ -117,6 +117,8 @@ pub struct DmiChannel {
     pending: HashMap<Tag, Pending>,
     completions: VecDeque<Completion>,
     trained: Option<TrainingOutcome>,
+    tracer: Tracer,
+    command_latency: LatencyStats,
 }
 
 impl std::fmt::Debug for DmiChannel {
@@ -144,7 +146,69 @@ impl DmiChannel {
             pending: HashMap::new(),
             completions: VecDeque::new(),
             trained: None,
+            tracer: Tracer::off(),
+            command_latency: LatencyStats::new(),
         }
+    }
+
+    /// Turns on structured tracing with a ring of `capacity` events and
+    /// connects every layer of the channel (both link endpoints, the
+    /// tag pool and the buffer model) to it. Returns a handle to the
+    /// shared tracer; the channel advances its clock every slot.
+    pub fn enable_tracing(&mut self, capacity: usize) -> Tracer {
+        let tracer = Tracer::ring(capacity);
+        tracer.advance(self.now);
+        self.host.attach_tracer(tracer.clone());
+        self.buffer_ep.attach_tracer(tracer.clone());
+        self.tags.attach_tracer(tracer.clone());
+        self.buffer.attach_tracer(tracer.clone());
+        self.tracer = tracer.clone();
+        tracer
+    }
+
+    /// The channel's tracer (disabled unless
+    /// [`DmiChannel::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshots every layer's counters into one hierarchical
+    /// [`MetricsRegistry`]: `dmi.host.*` / `dmi.buffer.*` (protocol
+    /// endpoints), `link.down.*` / `link.up.*` (wire segments),
+    /// `channel.*` (tags and command latency), and whatever the plugged
+    /// buffer model contributes under `buffer.*`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for (prefix, stats) in [
+            ("dmi.host", self.host.stats()),
+            ("dmi.buffer", self.buffer_ep.stats()),
+        ] {
+            reg.set_counter(&format!("{prefix}.frames_tx"), stats.frames_tx);
+            reg.set_counter(&format!("{prefix}.frames_rx_ok"), stats.frames_rx_ok);
+            reg.set_counter(&format!("{prefix}.crc_errors"), stats.crc_errors);
+            reg.set_counter(&format!("{prefix}.seq_errors"), stats.seq_errors);
+            reg.set_counter(
+                &format!("{prefix}.duplicates_dropped"),
+                stats.duplicates_dropped,
+            );
+            reg.set_counter(
+                &format!("{prefix}.replays_triggered"),
+                stats.replays_triggered,
+            );
+            reg.set_counter(&format!("{prefix}.frames_replayed"), stats.frames_replayed);
+        }
+        for (prefix, seg) in [("link.down", &self.down), ("link.up", &self.up)] {
+            reg.set_counter(&format!("{prefix}.frames_sent"), seg.frames_sent());
+            reg.set_counter(
+                &format!("{prefix}.frames_corrupted"),
+                seg.frames_corrupted(),
+            );
+        }
+        reg.set_counter("channel.tags_in_flight", self.tags.in_flight() as u64);
+        reg.set_counter("channel.commands_completed", self.command_latency.count());
+        reg.set_latency("channel.command_latency", &self.command_latency);
+        self.buffer.register_metrics("buffer", &mut reg);
+        reg
     }
 
     /// The plugged buffer's name.
@@ -187,7 +251,11 @@ impl DmiChannel {
     pub fn train(&mut self, cfg: TrainerConfig, seed: u64) -> Result<TrainingOutcome, DmiError> {
         // FRTL probes ride a scratch pair of segments with the same
         // wire parameters (training happens before functional traffic).
-        let mut down = LinkSegment::new(self.down.speed(), WIRE_PROPAGATION, BitErrorInjector::never());
+        let mut down = LinkSegment::new(
+            self.down.speed(),
+            WIRE_PROPAGATION,
+            BitErrorInjector::never(),
+        );
         let mut up = LinkSegment::new(self.up.speed(), WIRE_PROPAGATION, BitErrorInjector::never());
         let (frtl, _cycles) = measure_frtl(
             &mut down,
@@ -214,7 +282,8 @@ impl DmiChannel {
     pub fn submit(&mut self, op: CommandOp) -> Result<Tag, DmiError> {
         let tag = self.tags.acquire()?;
         let header = CommandHeader::from_op(&op);
-        self.host.enqueue(DownstreamPayload::Command { tag, header });
+        self.host
+            .enqueue(DownstreamPayload::Command { tag, header });
         let (assembler, write_data) = match &op {
             CommandOp::Read { .. } => (Some(LineAssembler::upstream()), None),
             CommandOp::Write { data, .. } | CommandOp::Rmw { data, .. } => (None, Some(*data)),
@@ -239,6 +308,8 @@ impl DmiChannel {
     /// Advances the channel by one frame slot.
     pub fn step(&mut self) {
         let now = self.now;
+        // All trace events this slot are stamped with the slot time.
+        self.tracer.advance(now);
         // Host transmits this slot's downstream frame.
         self.down.transmit(now, self.host.tick_tx());
         // Buffer receives any arrived downstream frames.
@@ -290,6 +361,7 @@ impl DmiChannel {
     fn complete(&mut self, now: SimTime, tag: Tag) {
         let pending = self.pending.remove(&tag).expect("done for unknown tag");
         self.tags.release(tag).expect("tag was in flight");
+        self.command_latency.record(now - pending.issued);
         self.completions.push_back(Completion {
             tag,
             completed_at: now,
@@ -346,7 +418,11 @@ impl DmiChannel {
                     // that interleave — here we just drop it.
                     let _ = other;
                 }
-                None => panic!("buffer did not answer read within 1 ms"),
+                None => {
+                    self.tracer
+                        .record(TraceEvent::TagTimeout { tag: tag.raw() });
+                    panic!("buffer did not answer read within 1 ms")
+                }
             }
         }
     }
@@ -360,18 +436,18 @@ impl DmiChannel {
     /// # Panics
     ///
     /// Panics on a 1 ms protocol hang.
-    pub fn write_line_blocking(
-        &mut self,
-        addr: u64,
-        data: CacheLine,
-    ) -> Result<SimTime, DmiError> {
+    pub fn write_line_blocking(&mut self, addr: u64, data: CacheLine) -> Result<SimTime, DmiError> {
         let tag = self.submit(CommandOp::Write { addr, data })?;
         let deadline = self.now + SimTime::from_ms(1);
         loop {
             match self.next_completion(deadline) {
                 Some(c) if c.tag == tag => return Ok(c.completed_at),
                 Some(_) => {}
-                None => panic!("buffer did not answer write within 1 ms"),
+                None => {
+                    self.tracer
+                        .record(TraceEvent::TagTimeout { tag: tag.raw() });
+                    panic!("buffer did not answer write within 1 ms")
+                }
             }
         }
     }
@@ -394,7 +470,10 @@ mod tests {
     fn contutto_channel() -> DmiChannel {
         DmiChannel::new(
             ChannelConfig::contutto(),
-            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+            Box::new(ConTutto::new(
+                ContuttoConfig::base(),
+                MemoryPopulation::dram_8gb(),
+            )),
         )
     }
 
@@ -442,7 +521,11 @@ mod tests {
         assert!(out.frtl < SimTime::from_ns(40), "centaur frtl {}", out.frtl);
         let mut con = contutto_channel();
         let out = con.train(TrainerConfig::default(), 42).unwrap();
-        assert!(out.frtl > SimTime::from_ns(60), "contutto frtl {}", out.frtl);
+        assert!(
+            out.frtl > SimTime::from_ns(60),
+            "contutto frtl {}",
+            out.frtl
+        );
         assert!(con.training().is_some());
     }
 
@@ -534,7 +617,10 @@ mod tests {
         cfg.up_errors = BitErrorInjector::bernoulli(0.01, 77);
         let mut ch = DmiChannel::new(
             cfg,
-            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+            Box::new(ConTutto::new(
+                ContuttoConfig::base(),
+                MemoryPopulation::dram_8gb(),
+            )),
         );
         for i in 0..20u64 {
             let line = CacheLine::patterned(i);
@@ -542,7 +628,9 @@ mod tests {
             let (back, _) = ch.read_line_blocking(i * 128).unwrap();
             assert_eq!(back, line, "iteration {i}");
         }
-        assert!(ch.host_stats().crc_errors + ch.host_stats().seq_errors > 0
-            || ch.host_stats().replays_triggered > 0);
+        assert!(
+            ch.host_stats().crc_errors + ch.host_stats().seq_errors > 0
+                || ch.host_stats().replays_triggered > 0
+        );
     }
 }

@@ -16,9 +16,9 @@
 //! empty.
 
 use contutto_centaur::{Centaur, CentaurConfig};
-use contutto_core::card::{ContuttoCard, PRESENCE_CDIMM};
 #[cfg(test)]
 use contutto_core::card::PRESENCE_CONTUTTO;
+use contutto_core::card::{ContuttoCard, PRESENCE_CDIMM};
 use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
 use contutto_dmi::training::{TrainerConfig, TrainingOutcome};
 use contutto_dmi::DmiError;
@@ -253,14 +253,9 @@ impl Firmware {
                         contutto_core::MemoryKind::SttMram(g) => {
                             Spd::mram(population.dimm_capacity, g)
                         }
-                        contutto_core::MemoryKind::NvdimmN => {
-                            Spd::nvdimm(population.dimm_capacity)
-                        }
+                        contutto_core::MemoryKind::NvdimmN => Spd::nvdimm(population.dimm_capacity),
                     };
-                    let card = ContuttoCard::new(vec![
-                        Some(spd.clone()),
-                        Some(spd.clone()),
-                    ]);
+                    let card = ContuttoCard::new(vec![Some(spd.clone()), Some(spd.clone())]);
                     presence[slot] = Some(card.presence_code());
                     spds[slot] = Some(spd.clone());
                     fsp.log(SimTime::ZERO, slot, Severity::Info, "contutto detected");

@@ -147,7 +147,12 @@ mod tests {
         let mut fsp = ServiceProcessor::new(2);
         for i in 0..3 {
             assert!(fsp.check_channel(4).is_ok(), "still alive at {i}");
-            fsp.log(SimTime::from_us(i), 4, Severity::Unrecovered, "frtl exceeded");
+            fsp.log(
+                SimTime::from_us(i),
+                4,
+                Severity::Unrecovered,
+                "frtl exceeded",
+            );
         }
         assert_eq!(
             fsp.check_channel(4),

@@ -88,11 +88,7 @@ impl LatencyProbe {
     }
 
     /// Full statistics variant of [`LatencyProbe::measure`].
-    pub fn measure_stats(
-        &self,
-        channel: &mut DmiChannel,
-        level: MeasurementLevel,
-    ) -> LatencyStats {
+    pub fn measure_stats(&self, channel: &mut DmiChannel, level: MeasurementLevel) -> LatencyStats {
         // Warm-up: open the rows.
         for i in 0..self.ring_lines {
             let addr = self.base_addr + i * 128;
@@ -179,7 +175,10 @@ mod tests {
     use contutto_core::{ConTutto, ContuttoConfig, MemoryPopulation};
 
     fn centaur(cfg: CentaurConfig) -> DmiChannel {
-        DmiChannel::new(ChannelConfig::centaur(), Box::new(Centaur::new(cfg, 8 << 30)))
+        DmiChannel::new(
+            ChannelConfig::centaur(),
+            Box::new(Centaur::new(cfg, 8 << 30)),
+        )
     }
 
     fn contutto(cfg: ContuttoConfig) -> DmiChannel {
@@ -197,8 +196,14 @@ mod tests {
     #[test]
     fn probe_is_deterministic() {
         let probe = LatencyProbe::default();
-        let a = probe.measure(&mut centaur(CentaurConfig::optimized()), MeasurementLevel::Nest);
-        let b = probe.measure(&mut centaur(CentaurConfig::optimized()), MeasurementLevel::Nest);
+        let a = probe.measure(
+            &mut centaur(CentaurConfig::optimized()),
+            MeasurementLevel::Nest,
+        );
+        let b = probe.measure(
+            &mut centaur(CentaurConfig::optimized()),
+            MeasurementLevel::Nest,
+        );
         assert_eq!(a, b);
     }
 
@@ -206,7 +211,10 @@ mod tests {
     fn centaur_optimized_is_about_79ns_at_nest() {
         // Table 2 row 1.
         let probe = LatencyProbe::default();
-        let mean = probe.measure(&mut centaur(CentaurConfig::optimized()), MeasurementLevel::Nest);
+        let mean = probe.measure(
+            &mut centaur(CentaurConfig::optimized()),
+            MeasurementLevel::Nest,
+        );
         let ns = mean.as_ns_f64();
         assert!((74.0..84.0).contains(&ns), "measured {ns} ns");
     }
@@ -227,7 +235,10 @@ mod tests {
     fn contutto_base_is_about_390ns_at_software() {
         // Table 3 row 2.
         let probe = LatencyProbe::default();
-        let mean = probe.measure(&mut contutto(ContuttoConfig::base()), MeasurementLevel::Software);
+        let mean = probe.measure(
+            &mut contutto(ContuttoConfig::base()),
+            MeasurementLevel::Software,
+        );
         let ns = mean.as_ns_f64();
         assert!((370.0..410.0).contains(&ns), "measured {ns} ns");
     }
@@ -238,7 +249,10 @@ mod tests {
         let probe = LatencyProbe::default();
         let min_of = |knob: u8| {
             probe
-                .measure_stats(&mut contutto(ContuttoConfig::with_knob(knob)), MeasurementLevel::Software)
+                .measure_stats(
+                    &mut contutto(ContuttoConfig::with_knob(knob)),
+                    MeasurementLevel::Software,
+                )
                 .min()
                 .unwrap()
                 .as_ns_f64()
@@ -294,7 +308,10 @@ mod tests {
         // ~32x128B/390ns = 10.5 GB/s — the §2.3 throttling effect —
         // while Centaur is wire-bound; "on par or near" holds at the
         // slower link speed.
-        assert!(ratio > 0.55, "contutto reaches {ratio:.2}x of centaur bandwidth");
+        assert!(
+            ratio > 0.55,
+            "contutto reaches {ratio:.2}x of centaur bandwidth"
+        );
     }
 
     #[test]

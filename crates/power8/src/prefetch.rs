@@ -59,7 +59,10 @@ impl StreamingLoader {
     ///
     /// Panics if `degree` is zero or would exhaust the 32-tag pool.
     pub fn new(degree: usize) -> Self {
-        assert!(degree > 0 && degree < 28, "degree must leave tags for demand");
+        assert!(
+            degree > 0 && degree < 28,
+            "degree must leave tags for demand"
+        );
         StreamingLoader {
             degree,
             last_addr: None,
@@ -175,7 +178,10 @@ mod tests {
     fn contutto_channel() -> DmiChannel {
         DmiChannel::new(
             ChannelConfig::contutto(),
-            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+            Box::new(ConTutto::new(
+                ContuttoConfig::base(),
+                MemoryPopulation::dram_8gb(),
+            )),
         )
     }
 
@@ -199,7 +205,8 @@ mod tests {
     fn prefetcher_returns_correct_data() {
         let mut ch = contutto_channel();
         for i in 0..32u64 {
-            ch.write_line_blocking(i * 128, CacheLine::patterned(i)).unwrap();
+            ch.write_line_blocking(i * 128, CacheLine::patterned(i))
+                .unwrap();
         }
         let mut loader = StreamingLoader::new(8);
         for i in 0..32u64 {

@@ -227,9 +227,9 @@ mod tests {
 
     #[test]
     fn health_check_logs_recovered_errors() {
-        use contutto_dmi::link::BitErrorInjector;
         use crate::channel::{ChannelConfig, DmiChannel};
         use contutto_centaur::{Centaur, CentaurConfig};
+        use contutto_dmi::link::BitErrorInjector;
         // Build a system, then swap in a noisy channel to generate
         // recovered errors the sweep should pick up.
         let mut sys = Power8System::boot(

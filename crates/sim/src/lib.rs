@@ -7,8 +7,10 @@
 //! picosecond clock ([`SimTime`]), an event queue with stable FIFO
 //! ordering for simultaneous events ([`EventQueue`]), typed frequency /
 //! cycle arithmetic ([`Frequency`], [`Cycles`]), bounded latency queues
-//! for modelling pipelines and wires ([`queue::DelayQueue`]), and
-//! statistics collectors ([`stats`]).
+//! for modelling pipelines and wires ([`queue::DelayQueue`]), statistics
+//! collectors ([`stats`]) aggregated under hierarchical names by a
+//! [`MetricsRegistry`], a frozen-stream deterministic PRNG ([`SimRng`]),
+//! and ring-buffered structured protocol tracing ([`trace`]).
 //!
 //! Everything is single-threaded and fully deterministic: two runs with
 //! the same inputs produce bit-identical traces. No wall-clock time or
@@ -28,10 +30,16 @@
 
 pub mod event;
 pub mod queue;
+pub mod registry;
+pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventId, EventQueue};
 pub use queue::DelayQueue;
+pub use registry::{Metric, MetricsRegistry};
+pub use rng::SimRng;
 pub use stats::{Counter, Histogram, LatencyStats};
 pub use time::{Cycles, Frequency, SimTime};
+pub use trace::{LinkDir, TraceEvent, TraceRecord, Tracer};

@@ -1,0 +1,211 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! Every stochastic element of the reproduction (bit-error injection,
+//! link-training lock, workload shuffles) must be bit-reproducible
+//! across runs and across machines, because trace diffing is the
+//! debugging methodology of the whole codebase: same seed ⇒ same
+//! trace. An external RNG crate can silently change its stream between
+//! versions; this small generator is part of the kernel so the stream
+//! is frozen with the repository.
+//!
+//! The generator is xoshiro256** (public domain, Blackman & Vigna)
+//! seeded through SplitMix64, which is well distributed even for
+//! small consecutive seeds like 0, 1, 2.
+//!
+//! # Example
+//!
+//! ```
+//! use contutto_sim::SimRng;
+//!
+//! let mut a = SimRng::seed_from_u64(7);
+//! let mut b = SimRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// Not cryptographically secure — it exists for reproducible
+/// simulation stimulus only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. Identical seeds produce
+    /// identical streams, forever.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `[0, n)` via the widening-multiply map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (an empty range has no element to return).
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample an empty range");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform value in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        range.start + self.gen_below(range.end - range.start)
+    }
+
+    /// A uniform index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_below(len as u64) as usize
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_calibrated() {
+        let mut r = SimRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+        assert!((0..1000).all(|_| r.gen_index(1) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SimRng::seed_from_u64(0).gen_below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gen_bool_validates_p() {
+        let _ = SimRng::seed_from_u64(0).gen_bool(1.5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let shuffled = |seed| {
+            let mut v: Vec<u32> = (0..100).collect();
+            SimRng::seed_from_u64(seed).shuffle(&mut v);
+            v
+        };
+        let a = shuffled(9);
+        assert_eq!(a, shuffled(9));
+        assert_ne!(a, (0..100).collect::<Vec<_>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_is_frozen() {
+        // Guards against accidental algorithm changes: these values are
+        // part of the repository's determinism contract.
+        let mut r = SimRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+}

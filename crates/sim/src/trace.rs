@@ -1,0 +1,467 @@
+//! Deterministic structured protocol tracing.
+//!
+//! Every layer of the protocol stack (DMI endpoints, the POWER8
+//! channel, the Centaur and ConTutto buffers) reports structured
+//! [`TraceEvent`]s through a shared [`Tracer`] handle. Events are
+//! stamped with the simulation clock, stored in a bounded ring, and
+//! folded into a running FNV-1a fingerprint, so that:
+//!
+//! * a failing integration test can be diagnosed by diffing two rendered
+//!   traces rather than by re-running under a debugger, and
+//! * determinism is cheap to assert — two same-seed runs must produce
+//!   identical fingerprints even when the ring has wrapped.
+//!
+//! Tracing is off by default ([`Tracer::off`]) and every recording call
+//! is a no-op in that state, so instrumented hot paths cost one branch
+//! when observability is not wanted.
+//!
+//! # Example
+//!
+//! ```
+//! use contutto_sim::{SimTime, TraceEvent, Tracer};
+//!
+//! let tracer = Tracer::ring(1024);
+//! tracer.advance(SimTime::from_ns(8));
+//! tracer.record(TraceEvent::TagAcquire { tag: 3 });
+//! assert_eq!(tracer.total_recorded(), 1);
+//! assert!(tracer.render().contains("tag-acquire"));
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// Direction a DMI frame travels: host→buffer is downstream, buffer→host
+/// is upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    Downstream,
+    Upstream,
+}
+
+impl LinkDir {
+    /// The opposite direction.
+    pub fn opposite(self) -> LinkDir {
+        match self {
+            LinkDir::Downstream => LinkDir::Upstream,
+            LinkDir::Upstream => LinkDir::Downstream,
+        }
+    }
+}
+
+impl fmt::Display for LinkDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LinkDir::Downstream => "down",
+            LinkDir::Upstream => "up",
+        })
+    }
+}
+
+/// One structured observability event, reported by whichever layer
+/// observed it. `dir` is always the direction the frame in question is
+/// travelling on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An endpoint put a frame on the wire. `replayed` marks frames
+    /// re-sent from the replay buffer (including the freeze-window
+    /// duplicates of the ConTutto workaround).
+    FrameTx {
+        dir: LinkDir,
+        seq: u8,
+        replayed: bool,
+    },
+    /// An endpoint accepted a frame (CRC and sequence both good).
+    FrameRx { dir: LinkDir, seq: u8 },
+    /// A received frame failed its CRC check.
+    CrcFailure { dir: LinkDir },
+    /// A received frame carried an unexpected sequence number.
+    SeqGap { dir: LinkDir, expected: u8, got: u8 },
+    /// A transmitter's ACK timeout expired with frames outstanding; it
+    /// will rewind and replay.
+    ReplayTrigger { dir: LinkDir, unacked: usize },
+    /// The transmitter rewound and will re-send `frames` frames starting
+    /// at `from_seq`.
+    ReplayRewind {
+        dir: LinkDir,
+        from_seq: u8,
+        frames: usize,
+    },
+    /// A command tag was taken from the pool.
+    TagAcquire { tag: u8 },
+    /// A command completed and its tag returned to the pool.
+    TagRelease { tag: u8 },
+    /// A submit found no free tag (pool exhausted).
+    TagExhausted,
+    /// A blocking wait on a tag exceeded its deadline.
+    TagTimeout { tag: u8 },
+    /// A memory-buffer device port serviced a read.
+    DeviceRead { addr: u64 },
+    /// A memory-buffer device port serviced a write.
+    DeviceWrite { addr: u64 },
+    /// A buffer-side cache lookup hit.
+    CacheHit { addr: u64 },
+    /// A buffer-side cache lookup missed.
+    CacheMiss { addr: u64 },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TraceEvent::*;
+        match self {
+            FrameTx { dir, seq, replayed } => {
+                write!(f, "frame-tx dir={dir} seq={seq} replayed={replayed}")
+            }
+            FrameRx { dir, seq } => write!(f, "frame-rx dir={dir} seq={seq}"),
+            CrcFailure { dir } => write!(f, "crc-failure dir={dir}"),
+            SeqGap { dir, expected, got } => {
+                write!(f, "seq-gap dir={dir} expected={expected} got={got}")
+            }
+            ReplayTrigger { dir, unacked } => {
+                write!(f, "replay-trigger dir={dir} unacked={unacked}")
+            }
+            ReplayRewind {
+                dir,
+                from_seq,
+                frames,
+            } => {
+                write!(f, "replay-rewind dir={dir} from={from_seq} frames={frames}")
+            }
+            TagAcquire { tag } => write!(f, "tag-acquire tag={tag}"),
+            TagRelease { tag } => write!(f, "tag-release tag={tag}"),
+            TagExhausted => write!(f, "tag-exhausted"),
+            TagTimeout { tag } => write!(f, "tag-timeout tag={tag}"),
+            DeviceRead { addr } => write!(f, "device-read addr={addr:#x}"),
+            DeviceWrite { addr } => write!(f, "device-write addr={addr:#x}"),
+            CacheHit { addr } => write!(f, "cache-hit addr={addr:#x}"),
+            CacheMiss { addr } => write!(f, "cache-miss addr={addr:#x}"),
+        }
+    }
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub at: SimTime,
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12} ps] {}", self.at.as_ps(), self.event)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+struct TraceRing {
+    capacity: usize,
+    events: VecDeque<TraceRecord>,
+    total: u64,
+    dropped: u64,
+    fingerprint: u64,
+}
+
+struct TracerShared {
+    now: Cell<SimTime>,
+    ring: RefCell<TraceRing>,
+}
+
+/// A cheaply cloneable handle to a shared trace buffer.
+///
+/// All clones of one `Tracer` feed the same ring; the simulation is
+/// single-threaded, so the handle uses `Rc` internally and is not
+/// `Send`. The clock is advanced by whoever owns the simulation loop
+/// (normally `DmiChannel::step`) via [`Tracer::advance`]; layers below
+/// the channel record events without needing a time parameter.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<TracerShared>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every operation is a no-op.
+    pub fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer retaining the last `capacity` events.
+    ///
+    /// The running fingerprint and totals cover *all* events ever
+    /// recorded, including those evicted from the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be nonzero");
+        Tracer {
+            inner: Some(Rc::new(TracerShared {
+                now: Cell::new(SimTime::ZERO),
+                ring: RefCell::new(TraceRing {
+                    capacity,
+                    events: VecDeque::with_capacity(capacity.min(4096)),
+                    total: 0,
+                    dropped: 0,
+                    fingerprint: FNV_OFFSET,
+                }),
+            })),
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Moves the trace clock forward; subsequent events are stamped with
+    /// `now`. Called by the simulation loop, never by leaf layers.
+    pub fn advance(&self, now: SimTime) {
+        if let Some(inner) = &self.inner {
+            inner.now.set(now);
+        }
+    }
+
+    /// The current trace clock (zero when disabled).
+    pub fn now(&self) -> SimTime {
+        self.inner
+            .as_ref()
+            .map_or(SimTime::ZERO, |inner| inner.now.get())
+    }
+
+    /// Records one event at the current trace clock. No-op when off.
+    pub fn record(&self, event: TraceEvent) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let record = TraceRecord {
+            at: inner.now.get(),
+            event,
+        };
+        let mut ring = inner.ring.borrow_mut();
+        ring.total += 1;
+        // The fingerprint folds in the canonical rendering so it is
+        // exactly as strong as a byte-compare of the full (unbounded)
+        // trace text.
+        ring.fingerprint = fnv1a(ring.fingerprint, record.to_string().as_bytes());
+        ring.fingerprint = fnv1a(ring.fingerprint, b"\n");
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(record);
+    }
+
+    /// Number of events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.ring.borrow().events.len())
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.ring.borrow().total)
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.ring.borrow().dropped)
+    }
+
+    /// Running FNV-1a fingerprint over every event ever recorded.
+    /// Two same-seed runs must produce equal fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(FNV_OFFSET, |inner| inner.ring.borrow().fingerprint)
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner.ring.borrow().events.iter().cloned().collect()
+        })
+    }
+
+    /// Counts retained events matching a predicate.
+    pub fn count_matching(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .ring
+                .borrow()
+                .events
+                .iter()
+                .filter(|r| pred(&r.event))
+                .count()
+        })
+    }
+
+    /// Renders the retained trace as text: a header with totals and the
+    /// fingerprint, then one line per event. Byte-identical across
+    /// same-seed runs.
+    pub fn render(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::from("trace: disabled\n");
+        };
+        let ring = inner.ring.borrow();
+        let mut out = format!(
+            "trace: {} events ({} retained, {} dropped) fingerprint={:016x}\n",
+            ring.total,
+            ring.events.len(),
+            ring.dropped,
+            ring.fingerprint,
+        );
+        for record in &ring.events {
+            out.push_str(&record.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Tracer(off)"),
+            Some(inner) => {
+                let ring = inner.ring.borrow();
+                write!(
+                    f,
+                    "Tracer(total={}, retained={}, fingerprint={:016x})",
+                    ring.total,
+                    ring.events.len(),
+                    ring.fingerprint,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_is_inert() {
+        let t = Tracer::off();
+        t.advance(SimTime::from_ns(5));
+        t.record(TraceEvent::TagExhausted);
+        assert!(!t.is_enabled());
+        assert_eq!(t.total_recorded(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "trace: disabled\n");
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let a = Tracer::ring(8);
+        let b = a.clone();
+        a.advance(SimTime::from_ns(1));
+        b.record(TraceEvent::TagAcquire { tag: 0 });
+        a.record(TraceEvent::TagRelease { tag: 0 });
+        assert_eq!(a.total_recorded(), 2);
+        assert_eq!(b.total_recorded(), 2);
+        assert_eq!(a.snapshot()[0].at, SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_fingerprint_covers_all() {
+        let small = Tracer::ring(2);
+        let large = Tracer::ring(100);
+        for tag in 0..10 {
+            for t in [&small, &large] {
+                t.record(TraceEvent::TagAcquire { tag });
+            }
+        }
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.dropped(), 8);
+        assert_eq!(small.total_recorded(), 10);
+        assert_eq!(
+            small.snapshot().last().unwrap().event,
+            TraceEvent::TagAcquire { tag: 9 }
+        );
+        // Same event stream ⇒ same fingerprint, regardless of capacity.
+        assert_eq!(small.fingerprint(), large.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_streams() {
+        let a = Tracer::ring(4);
+        let b = Tracer::ring(4);
+        a.record(TraceEvent::CrcFailure {
+            dir: LinkDir::Downstream,
+        });
+        b.record(TraceEvent::CrcFailure {
+            dir: LinkDir::Upstream,
+        });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Timestamps are part of the fingerprint too.
+        let c = Tracer::ring(4);
+        c.advance(SimTime::from_ps(1));
+        c.record(TraceEvent::CrcFailure {
+            dir: LinkDir::Downstream,
+        });
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let t = Tracer::ring(16);
+        t.advance(SimTime::from_ns(2));
+        t.record(TraceEvent::FrameTx {
+            dir: LinkDir::Downstream,
+            seq: 7,
+            replayed: false,
+        });
+        t.record(TraceEvent::CacheMiss { addr: 0x80 });
+        let text = t.render();
+        assert!(text.starts_with("trace: 2 events"));
+        assert!(text.contains("frame-tx dir=down seq=7 replayed=false"));
+        assert!(text.contains("cache-miss addr=0x80"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let t = Tracer::ring(16);
+        t.record(TraceEvent::TagAcquire { tag: 1 });
+        t.record(TraceEvent::TagRelease { tag: 1 });
+        t.record(TraceEvent::TagAcquire { tag: 2 });
+        let acquires = t.count_matching(|e| matches!(e, TraceEvent::TagAcquire { .. }));
+        assert_eq!(acquires, 2);
+    }
+
+    #[test]
+    fn dir_opposite() {
+        assert_eq!(LinkDir::Downstream.opposite(), LinkDir::Upstream);
+        assert_eq!(LinkDir::Upstream.opposite(), LinkDir::Downstream);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Tracer::ring(0);
+    }
+}

@@ -1,14 +1,21 @@
-//! Property-based tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! kernel's own deterministic [`SimRng`] (fixed seeds, fixed case
+//! counts — every run exercises the same inputs).
 
-use proptest::prelude::*;
+use contutto_sim::{
+    stats, Cycles, EventQueue, Frequency, Histogram, LatencyStats, SimRng, SimTime,
+};
 
-use contutto_sim::{stats, Cycles, EventQueue, Frequency, Histogram, LatencyStats, SimTime};
+const CASES: u64 = 64;
 
-proptest! {
-    #[test]
-    fn event_queue_matches_reference_model(
-        ops in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..200)
-    ) {
+#[test]
+fn event_queue_matches_reference_model() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x51A7_0000 + case);
+        let n = rng.gen_range(1..200) as usize;
+        let ops: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0..1_000_000), rng.gen_bool(0.5)))
+            .collect();
         // Reference: stable sort by (time, insertion index).
         let mut q = EventQueue::new();
         let mut reference: Vec<(u64, usize)> = Vec::new();
@@ -32,60 +39,101 @@ proptest! {
         while let Some((t, v)) = q.pop() {
             popped.push((t.as_ps(), v));
         }
-        prop_assert_eq!(popped, reference);
+        assert_eq!(popped, reference, "case {case}");
     }
+}
 
-    #[test]
-    fn frequency_cycle_roundtrip(mhz in 1u64..5000, cycles in 0u64..1_000_000) {
+#[test]
+fn frequency_cycle_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_1000);
+    for case in 0..CASES * 4 {
+        let mhz = rng.gen_range(1..5000);
+        let cycles = rng.gen_range(0..1_000_000);
         let f = Frequency::from_mhz(mhz);
         let t = f.cycles_to_time(Cycles(cycles));
-        prop_assert_eq!(f.time_to_cycles_ceil(t), Cycles(cycles.max(0)));
+        assert_eq!(f.time_to_cycles_ceil(t), Cycles(cycles), "case {case}");
     }
+}
 
-    #[test]
-    fn next_edge_is_aligned_and_minimal(mhz in 1u64..5000, ps in 0u64..10_000_000) {
-        let f = Frequency::from_mhz(mhz);
+#[test]
+fn next_edge_is_aligned_and_minimal() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_2000);
+    for case in 0..CASES * 4 {
+        let f = Frequency::from_mhz(rng.gen_range(1..5000));
+        let ps = rng.gen_range(0..10_000_000);
         let t = SimTime::from_ps(ps);
         let edge = f.next_edge(t);
-        prop_assert!(edge >= t);
-        prop_assert_eq!(edge.as_ps() % f.period().as_ps(), 0);
-        prop_assert!(edge.as_ps() < ps + f.period().as_ps());
+        assert!(edge >= t, "case {case}");
+        assert_eq!(edge.as_ps() % f.period().as_ps(), 0, "case {case}");
+        assert!(edge.as_ps() < ps + f.period().as_ps(), "case {case}");
     }
+}
 
-    #[test]
-    fn latency_stats_merge_equals_combined(a in proptest::collection::vec(0u64..10_000_000, 1..50),
-                                           b in proptest::collection::vec(0u64..10_000_000, 1..50)) {
+#[test]
+fn latency_stats_merge_equals_combined() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x51A7_3000 + case);
+        let sample = |rng: &mut SimRng| -> Vec<u64> {
+            let n = rng.gen_range(1..50) as usize;
+            (0..n).map(|_| rng.gen_range(0..10_000_000)).collect()
+        };
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
         let mut sa = LatencyStats::new();
-        for v in &a { sa.record(SimTime::from_ps(*v)); }
+        for v in &a {
+            sa.record(SimTime::from_ps(*v));
+        }
         let mut sb = LatencyStats::new();
-        for v in &b { sb.record(SimTime::from_ps(*v)); }
+        for v in &b {
+            sb.record(SimTime::from_ps(*v));
+        }
         let mut merged = sa.clone();
         merged.merge(&sb);
         let mut combined = LatencyStats::new();
-        for v in a.iter().chain(&b) { combined.record(SimTime::from_ps(*v)); }
-        prop_assert_eq!(merged.count(), combined.count());
-        prop_assert_eq!(merged.min(), combined.min());
-        prop_assert_eq!(merged.max(), combined.max());
-        prop_assert_eq!(merged.sum(), combined.sum());
+        for v in a.iter().chain(&b) {
+            combined.record(SimTime::from_ps(*v));
+        }
+        assert_eq!(merged.count(), combined.count(), "case {case}");
+        assert_eq!(merged.min(), combined.min(), "case {case}");
+        assert_eq!(merged.max(), combined.max(), "case {case}");
+        assert_eq!(merged.sum(), combined.sum(), "case {case}");
     }
+}
 
-    #[test]
-    fn histogram_quantiles_monotone(values in proptest::collection::vec(0u64..1000, 1..200)) {
+#[test]
+fn histogram_quantiles_monotone() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x51A7_4000 + case);
+        let n = rng.gen_range(1..200) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
         let mut h = Histogram::new(10, 100);
-        for v in &values { h.record(*v); }
+        for v in &values {
+            h.record(*v);
+        }
         let q50 = h.quantile(0.5);
         let q90 = h.quantile(0.9);
         let q100 = h.quantile(1.0);
-        if let (Some(a), Some(b)) = (q50, q90) { prop_assert!(a <= b); }
-        if let (Some(b), Some(c)) = (q90, q100) { prop_assert!(b <= c); }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        if let (Some(a), Some(b)) = (q50, q90) {
+            assert!(a <= b, "case {case}");
+        }
+        if let (Some(b), Some(c)) = (q90, q100) {
+            assert!(b <= c, "case {case}");
+        }
+        assert_eq!(h.count(), values.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn throughput_is_linear_in_ops(ops in 1u64..1_000_000, secs in 1u64..100) {
-        let t = SimTime::from_secs(secs);
+#[test]
+fn throughput_is_linear_in_ops() {
+    let mut rng = SimRng::seed_from_u64(0x51A7_5000);
+    for case in 0..CASES * 4 {
+        let ops = rng.gen_range(1..1_000_000);
+        let t = SimTime::from_secs(rng.gen_range(1..100));
         let single = stats::ops_per_sec(ops, t);
         let double = stats::ops_per_sec(ops * 2, t);
-        prop_assert!((double - single * 2.0).abs() < 1e-6 * double.max(1.0));
+        assert!(
+            (double - single * 2.0).abs() < 1e-6 * double.max(1.0),
+            "case {case}"
+        );
     }
 }

@@ -61,7 +61,8 @@ impl Default for SasHdd {
 
 impl BlockDevice for SasHdd {
     fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
-        self.disk.read(now + self.overhead, lba * BLOCK_BYTES as u64, buf)
+        self.disk
+            .read(now + self.overhead, lba * BLOCK_BYTES as u64, buf)
     }
 
     fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {
@@ -288,8 +289,11 @@ impl PmemBlockDevice {
 impl BlockDevice for PmemBlockDevice {
     fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
         self.sync_clock(now);
-        self.driver
-            .read(&mut self.channel, self.base_addr + lba * BLOCK_BYTES as u64, buf)
+        self.driver.read(
+            &mut self.channel,
+            self.base_addr + lba * BLOCK_BYTES as u64,
+            buf,
+        )
     }
 
     fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {

@@ -61,9 +61,9 @@ impl NvmePath {
     pub fn tuned(pcie: PcieConfig) -> Self {
         NvmePath {
             pcie,
-            submission: SimTime::from_ps(900_000),    // 0.9 us
+            submission: SimTime::from_ps(900_000),     // 0.9 us
             device_setup: SimTime::from_ps(1_200_000), // 1.2 us
-            completion: SimTime::from_ps(2_400_000),  // 2.4 us (interrupt path)
+            completion: SimTime::from_ps(2_400_000),   // 2.4 us (interrupt path)
         }
     }
 

@@ -65,9 +65,7 @@ impl PmemDriver {
                 tag_to_line.insert(tag, next);
                 next += 1;
             }
-            let c = channel
-                .next_completion(deadline)
-                .expect("pmem read hung");
+            let c = channel.next_completion(deadline).expect("pmem read hung");
             let line_idx = tag_to_line.remove(&c.tag).expect("our tag");
             let data = c.data.expect("read data");
             buf[line_idx * 128..(line_idx + 1) * 128].copy_from_slice(&data.0);
@@ -191,7 +189,10 @@ mod tests {
         let durable = ch.now() - t0;
         assert!(durable > posted, "durable {durable} !> posted {posted}");
         // Both stay in the low microseconds — the memory-bus advantage.
-        assert!(durable < contutto_sim::SimTime::from_us(8), "durable {durable}");
+        assert!(
+            durable < contutto_sim::SimTime::from_us(8),
+            "durable {durable}"
+        );
     }
 
     #[test]

@@ -15,17 +15,9 @@ use contutto_power8::channel::DmiChannel;
 use crate::pmem::PmemDriver;
 
 /// The slram driver: pmem's data path without the durability fence.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SlramDriver {
     inner: PmemDriver,
-}
-
-impl Default for SlramDriver {
-    fn default() -> Self {
-        SlramDriver {
-            inner: PmemDriver::default(),
-        }
-    }
 }
 
 impl SlramDriver {
@@ -67,7 +59,10 @@ mod tests {
     fn dram_channel() -> DmiChannel {
         DmiChannel::new(
             ChannelConfig::contutto(),
-            Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+            Box::new(ConTutto::new(
+                ContuttoConfig::base(),
+                MemoryPopulation::dram_8gb(),
+            )),
         )
     }
 

@@ -99,7 +99,9 @@ mod tests {
 
     #[test]
     fn minmax_is_0_5_gbps_and_correct() {
-        let mut values: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut values: Vec<u32> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
         values[500] = 0;
         values[900] = u32::MAX;
         let (min, max, _, gbps) = SoftwareBaselines.minmax(&values);

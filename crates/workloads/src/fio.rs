@@ -199,7 +199,12 @@ mod tests {
     fn p99_bounds_the_mean() {
         let engine = quick();
         let r = engine.run(&mut SasSsd::new(), FioPattern::RandRead);
-        assert!(r.p99 >= r.latency.mean(), "p99 {} < mean {}", r.p99, r.latency.mean());
+        assert!(
+            r.p99 >= r.latency.mean(),
+            "p99 {} < mean {}",
+            r.p99,
+            r.latency.mean()
+        );
         assert!(r.p99 <= r.latency.max().unwrap() + contutto_sim::SimTime::from_us(1));
     }
 

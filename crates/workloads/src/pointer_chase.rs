@@ -15,11 +15,7 @@
 use contutto_dmi::command::CacheLine;
 use contutto_power8::caches::CacheHierarchy;
 use contutto_power8::channel::DmiChannel;
-use contutto_sim::SimTime;
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use contutto_sim::{SimRng, SimTime};
 
 /// A pointer-chase experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,8 +63,8 @@ impl PointerChase {
     /// Panics if the channel hangs.
     pub fn build(&self, channel: &mut DmiChannel) -> ChaseList {
         let mut order: Vec<u64> = (1..self.nodes).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        order.shuffle(&mut rng);
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        rng.shuffle(&mut order);
         order.insert(0, 0); // start at node 0
         order.push(0); // cycle back
         let mut next = std::collections::HashMap::new();

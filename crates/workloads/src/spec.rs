@@ -87,18 +87,78 @@ impl SpecModel {
 /// The twelve CINT2006 benchmarks.
 pub fn suite() -> Vec<SpecBenchmark> {
     vec![
-        SpecBenchmark { name: "400.perlbench", base_ratio: 25.0, base_cpi: 0.70, epki: 0.005 },
-        SpecBenchmark { name: "401.bzip2", base_ratio: 19.0, base_cpi: 0.80, epki: 0.008 },
-        SpecBenchmark { name: "403.gcc", base_ratio: 24.0, base_cpi: 0.90, epki: 0.050 },
-        SpecBenchmark { name: "429.mcf", base_ratio: 28.0, base_cpi: 1.60, epki: 0.500 },
-        SpecBenchmark { name: "445.gobmk", base_ratio: 20.0, base_cpi: 1.00, epki: 0.010 },
-        SpecBenchmark { name: "456.hmmer", base_ratio: 25.0, base_cpi: 0.85, epki: 0.003 },
-        SpecBenchmark { name: "458.sjeng", base_ratio: 21.0, base_cpi: 1.00, epki: 0.008 },
-        SpecBenchmark { name: "462.libquantum", base_ratio: 60.0, base_cpi: 0.70, epki: 0.120 },
-        SpecBenchmark { name: "464.h264ref", base_ratio: 32.0, base_cpi: 0.75, epki: 0.012 },
-        SpecBenchmark { name: "471.omnetpp", base_ratio: 17.0, base_cpi: 1.10, epki: 0.180 },
-        SpecBenchmark { name: "473.astar", base_ratio: 15.0, base_cpi: 1.20, epki: 0.120 },
-        SpecBenchmark { name: "483.xalancbmk", base_ratio: 28.0, base_cpi: 1.00, epki: 0.050 },
+        SpecBenchmark {
+            name: "400.perlbench",
+            base_ratio: 25.0,
+            base_cpi: 0.70,
+            epki: 0.005,
+        },
+        SpecBenchmark {
+            name: "401.bzip2",
+            base_ratio: 19.0,
+            base_cpi: 0.80,
+            epki: 0.008,
+        },
+        SpecBenchmark {
+            name: "403.gcc",
+            base_ratio: 24.0,
+            base_cpi: 0.90,
+            epki: 0.050,
+        },
+        SpecBenchmark {
+            name: "429.mcf",
+            base_ratio: 28.0,
+            base_cpi: 1.60,
+            epki: 0.500,
+        },
+        SpecBenchmark {
+            name: "445.gobmk",
+            base_ratio: 20.0,
+            base_cpi: 1.00,
+            epki: 0.010,
+        },
+        SpecBenchmark {
+            name: "456.hmmer",
+            base_ratio: 25.0,
+            base_cpi: 0.85,
+            epki: 0.003,
+        },
+        SpecBenchmark {
+            name: "458.sjeng",
+            base_ratio: 21.0,
+            base_cpi: 1.00,
+            epki: 0.008,
+        },
+        SpecBenchmark {
+            name: "462.libquantum",
+            base_ratio: 60.0,
+            base_cpi: 0.70,
+            epki: 0.120,
+        },
+        SpecBenchmark {
+            name: "464.h264ref",
+            base_ratio: 32.0,
+            base_cpi: 0.75,
+            epki: 0.012,
+        },
+        SpecBenchmark {
+            name: "471.omnetpp",
+            base_ratio: 17.0,
+            base_cpi: 1.10,
+            epki: 0.180,
+        },
+        SpecBenchmark {
+            name: "473.astar",
+            base_ratio: 15.0,
+            base_cpi: 1.20,
+            epki: 0.120,
+        },
+        SpecBenchmark {
+            name: "483.xalancbmk",
+            base_ratio: 28.0,
+            base_cpi: 1.00,
+            epki: 0.050,
+        },
     ]
 }
 
@@ -118,7 +178,11 @@ pub struct DegradationSummary {
 }
 
 /// Computes the paper's summary statistics for a latency pair.
-pub fn summarize(model: &SpecModel, mem_latency: SimTime, base_latency: SimTime) -> DegradationSummary {
+pub fn summarize(
+    model: &SpecModel,
+    mem_latency: SimTime,
+    base_latency: SimTime,
+) -> DegradationSummary {
     let suite = suite();
     let n = suite.len() as f64;
     let degradations: Vec<f64> = suite
@@ -155,9 +219,7 @@ pub fn remote_memory_viability(
     let n = suite.len() as f64;
     suite
         .iter()
-        .filter(|b| {
-            model.degradation(b, base_latency + added_latency, base_latency) < threshold
-        })
+        .filter(|b| model.degradation(b, base_latency + added_latency, base_latency) < threshold)
         .count() as f64
         / n
 }
@@ -217,7 +279,10 @@ mod tests {
             s.under_10pct
         );
         assert!(s.band_15_35 > 0.0, "some apps in the 15-35% band");
-        assert!((s.over_50pct - 1.0 / 12.0).abs() < 1e-9, "exactly one app >50%");
+        assert!(
+            (s.over_50pct - 1.0 / 12.0).abs() < 1e-9,
+            "exactly one app >50%"
+        );
         assert!(s.worst > 0.50 && s.worst < 0.90, "worst {}", s.worst);
     }
 
@@ -252,20 +317,15 @@ mod tests {
         // +500 ns of "network distance" at a 10% tolerance: most of
         // CINT2006 still qualifies — the paper's closing argument.
         let model = SpecModel::default();
-        let viable = remote_memory_viability(
-            &model,
-            SimTime::from_ns(97),
-            SimTime::from_ns(500),
-            0.10,
+        let viable =
+            remote_memory_viability(&model, SimTime::from_ns(97), SimTime::from_ns(500), 0.10);
+        assert!(
+            viable >= 0.5,
+            "only {viable} of the suite tolerates remote memory"
         );
-        assert!(viable >= 0.5, "only {viable} of the suite tolerates remote memory");
         // But a tight 1% tolerance excludes most of it.
-        let strict = remote_memory_viability(
-            &model,
-            SimTime::from_ns(97),
-            SimTime::from_ns(500),
-            0.01,
-        );
+        let strict =
+            remote_memory_viability(&model, SimTime::from_ns(97), SimTime::from_ns(500), 0.01);
         assert!(strict < viable);
     }
 

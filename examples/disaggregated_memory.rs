@@ -33,7 +33,10 @@ fn main() {
         Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
     );
     let base = probe.measure(&mut local, MeasurementLevel::Software);
-    println!("local memory latency: {:.0} ns (measured)", base.as_ns_f64());
+    println!(
+        "local memory latency: {:.0} ns (measured)",
+        base.as_ns_f64()
+    );
 
     println!("\n-- SPEC viability vs remote-memory distance --");
     println!(
@@ -89,7 +92,10 @@ fn main() {
 
     let mut slow = DmiChannel::new(
         ChannelConfig::contutto(),
-        Box::new(ConTutto::new(ContuttoConfig::with_knob(7), MemoryPopulation::dram_8gb())),
+        Box::new(ConTutto::new(
+            ContuttoConfig::with_knob(7),
+            MemoryPopulation::dram_8gb(),
+        )),
     );
     let list = chase.build(&mut slow);
     let mut caches = CacheHierarchy::power8_core();

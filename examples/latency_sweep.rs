@@ -40,7 +40,10 @@ fn main() {
         Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
     );
     let centaur_sw = probe.measure(&mut centaur, MeasurementLevel::Software);
-    println!("centaur-optimized        latency {:>7.1} ns (software level)", centaur_sw.as_ns_f64());
+    println!(
+        "centaur-optimized        latency {:>7.1} ns (software level)",
+        centaur_sw.as_ns_f64()
+    );
     let mut contutto_latencies = Vec::new();
     for knob in [0u8, 2, 6, 7] {
         let cfg = ContuttoConfig::with_knob(knob);

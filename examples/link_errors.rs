@@ -22,7 +22,10 @@ fn main() {
     cfg.up_errors = BitErrorInjector::bernoulli(0.01, 5678);
     let mut ch = DmiChannel::new(
         cfg,
-        Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+        Box::new(ConTutto::new(
+            ContuttoConfig::base(),
+            MemoryPopulation::dram_8gb(),
+        )),
     );
     for i in 0..50u64 {
         let line = CacheLine::patterned(i);
@@ -57,7 +60,9 @@ fn main() {
             }
         );
     }
-    println!("(the paper's workarounds — direct clock capture + 2-stage CRC — exist to pass this check)");
+    println!(
+        "(the paper's workarounds — direct clock capture + 2-stage CRC — exist to pass this check)"
+    );
 
     // 3. FSP error budget: a flapping channel gets deconfigured.
     println!("\n-- FSP: error budget and deconfiguration --");
@@ -80,6 +85,9 @@ fn main() {
     }
     println!("FSP log:");
     for entry in fsp.entries() {
-        println!("  [{}] ch{} {:?}: {}", entry.at, entry.channel, entry.severity, entry.message);
+        println!(
+            "  [{}] ch{} {:?}: {}",
+            entry.at, entry.channel, entry.severity, entry.message
+        );
     }
 }

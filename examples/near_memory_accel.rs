@@ -34,7 +34,10 @@ fn main() {
     println!("-- in-line acceleration: min-store through the full channel --");
     let mut ch = DmiChannel::new(
         ChannelConfig::contutto(),
-        Box::new(ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb())),
+        Box::new(ConTutto::new(
+            ContuttoConfig::base(),
+            MemoryPopulation::dram_8gb(),
+        )),
     );
     let mut initial = CacheLine::ZERO;
     for w in 0..16 {
@@ -56,11 +59,18 @@ fn main() {
             break;
         }
     }
-    println!("min-store completed in {:.0} ns (one command round trip)", (ch.now() - t0).as_ns_f64());
+    println!(
+        "min-store completed in {:.0} ns (one command round trip)",
+        (ch.now() - t0).as_ns_f64()
+    );
     let (result, _) = ch.read_line_blocking(0x4000).expect("read back");
     assert_eq!(result.word(0), 5);
     assert_eq!(result.word(1), 1001);
-    println!("word0 = min(1000, 5) = {}, word1 = min(1001, 5000) = {} (verified)", result.word(0), result.word(1));
+    println!(
+        "word0 = min(1000, 5) = {}, word1 = min(1001, 5000) = {} (verified)",
+        result.word(0),
+        result.word(1)
+    );
 
     // 2. The programmable Access processor (Figure 12): write, load
     //    and run a real program.
@@ -97,7 +107,11 @@ halt";
     let cb = BlockAccelDriver
         .execute(
             &mut avalon,
-            ControlBlock::new(BlockOp::Memcpy { src: 0, dst: 1 << 29, len: size }),
+            ControlBlock::new(BlockOp::Memcpy {
+                src: 0,
+                dst: 1 << 29,
+                len: size,
+            }),
             SimTime::ZERO,
         )
         .expect("memcpy");
@@ -128,7 +142,11 @@ halt";
     let cb = BlockAccelDriver
         .execute(
             &mut avalon,
-            ControlBlock::new(BlockOp::Fft { src: 0, dst: 1 << 29, len: fft_len }),
+            ControlBlock::new(BlockOp::Fft {
+                src: 0,
+                dst: 1 << 29,
+                len: fft_len,
+            }),
             SimTime::ZERO,
         )
         .expect("fft");
@@ -138,5 +156,8 @@ halt";
     println!(
         "FFT:     ConTutto {gs:.2} Gsamples/s vs software {sw_fft:.2} Gsamples/s (paper: 1.3 vs 0.68)"
     );
-    println!("         ({} x 1024-point blocks transformed and deposited)", cb.blocks_done);
+    println!(
+        "         ({} x 1024-point blocks transformed and deposited)",
+        cb.blocks_done
+    );
 }

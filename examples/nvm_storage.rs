@@ -38,7 +38,10 @@ fn main() {
     let t0 = ch.now();
     let done = pmem.read(&mut ch, 0x10_0000, &mut back);
     assert_eq!(back, payload);
-    println!("4 KiB read back: {:.2} us (verified)", (done - t0).as_us_f64());
+    println!(
+        "4 KiB read back: {:.2} us (verified)",
+        (done - t0).as_us_f64()
+    );
 
     // 2. FIO across attach points (Figures 9/10).
     println!("\n-- FIO 4 KiB random IO, QD1 (Figures 9 & 10) --");
@@ -49,7 +52,10 @@ fn main() {
         Box::new(PcieCard::mram()),
         Box::new(mram_contutto_device()),
     ];
-    println!("{:<18} {:>12} {:>14} {:>12} {:>14}", "device", "read IOPS", "read lat (us)", "write IOPS", "write lat (us)");
+    println!(
+        "{:<18} {:>12} {:>14} {:>12} {:>14}",
+        "device", "read IOPS", "read lat (us)", "write IOPS", "write lat (us)"
+    );
     for dev in &mut devices {
         let r = engine.run(dev.as_mut(), FioPattern::RandRead);
         let w = engine.run(dev.as_mut(), FioPattern::RandWrite);
@@ -66,7 +72,10 @@ fn main() {
     // 3. GPFS write cache (Table 4).
     println!("\n-- GPFS small-random-write IOPS (Table 4) --");
     for row in GpfsExperiment::default().table4() {
-        println!("{:<28} {:>18} {:>10.0} IOPS", row.technology, row.interface, row.iops);
+        println!(
+            "{:<28} {:>18} {:>10.0} IOPS",
+            row.technology, row.interface, row.iops
+        );
     }
 
     // 4. NVDIMM power-loss drill: writes survive via the save engine.

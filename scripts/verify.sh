@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate: formatting, lints, and the tier-1 test suite.
+# Everything runs offline against the vendored-free workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo build --benches"
+cargo build --benches --workspace --quiet
+
+echo "verify: all gates passed"

@@ -24,7 +24,13 @@ fn table2_rows_track_paper_anchors() {
     let paper = [79.0, 83.0, 116.0, 249.0];
     for (row, target) in rows.iter().zip(paper) {
         let err = (row.latency_ns - target).abs() / target;
-        assert!(err < 0.05, "{}: {} vs {}", row.setting, row.latency_ns, target);
+        assert!(
+            err < 0.05,
+            "{}: {} vs {}",
+            row.setting,
+            row.latency_ns,
+            target
+        );
     }
     // DB2 column: monotone, 5387 → ~5800, <8% total increase.
     assert!((rows[0].db2_seconds - 5387.0).abs() < 5.0);
@@ -59,8 +65,16 @@ fn table3_rows_track_paper_anchors() {
 #[test]
 fn figure7_summary_matches_paper_prose() {
     let s = bench::figure7_summary();
-    assert!((0.33..=0.58).contains(&s.under_2pct), "~half <2%: {}", s.under_2pct);
-    assert!((0.58..=0.75).contains(&s.under_10pct), "~two-thirds <10%: {}", s.under_10pct);
+    assert!(
+        (0.33..=0.58).contains(&s.under_2pct),
+        "~half <2%: {}",
+        s.under_2pct
+    );
+    assert!(
+        (0.58..=0.75).contains(&s.under_10pct),
+        "~two-thirds <10%: {}",
+        s.under_10pct
+    );
     assert!(s.over_50pct > 0.0 && s.over_50pct < 0.17, "one app >50%");
 }
 
@@ -76,7 +90,10 @@ fn figure8_covers_all_technologies_in_order() {
         .iter()
         .find(|r| r.technology.to_string() == "NAND (MLC)")
         .unwrap();
-    assert!(mram.log10_min - nand.log10_max >= 7.0, "MRAM >= 7 decades above NAND");
+    assert!(
+        mram.log10_min - nand.log10_max >= 7.0,
+        "MRAM >= 7 decades above NAND"
+    );
 }
 
 #[test]
@@ -85,7 +102,10 @@ fn table4_ordering_and_factors() {
     let (hdd, ssd, mram) = (rows[0].iops, rows[1].iops, rows[2].iops);
     assert!(hdd < ssd && ssd < mram);
     let mram_over_ssd = mram / ssd;
-    assert!((5.0..12.0).contains(&mram_over_ssd), "paper: 8.3x, measured {mram_over_ssd}");
+    assert!(
+        (5.0..12.0).contains(&mram_over_ssd),
+        "paper: 8.3x, measured {mram_over_ssd}"
+    );
 }
 
 #[test]
@@ -118,7 +138,10 @@ fn figures9_10_orderings_hold() {
     // The headline factors (ConTutto vs NVRAM PCIe).
     let read_gain = find("nvram-pcie", true).latency.mean().as_ns_f64()
         / find("mram-contutto", true).latency.mean().as_ns_f64();
-    assert!((4.0..9.0).contains(&read_gain), "paper 6.6x, measured {read_gain}");
+    assert!(
+        (4.0..9.0).contains(&read_gain),
+        "paper 6.6x, measured {read_gain}"
+    );
     let write_gain = find("nvram-pcie", false).latency.mean().as_ns_f64()
         / find("mram-contutto", false).latency.mean().as_ns_f64();
     assert!(write_gain > read_gain, "write gains exceed read gains");

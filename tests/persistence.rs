@@ -26,7 +26,7 @@ fn pmem_flush_orders_after_all_stores() {
     // Many posted writes, then one flush: the durable time must be at
     // or after the last write's completion.
     let posted_done = driver.write_posted(&mut ch, 0, &vec![0x11u8; 8192]);
-    let durable = driver.write_persistent(&mut ch, 8192, &vec![0x22u8; 128]);
+    let durable = driver.write_persistent(&mut ch, 8192, &[0x22u8; 128]);
     assert!(durable > posted_done);
     // And the data is all there.
     let mut buf = vec![0u8; 8192];

@@ -1,7 +1,6 @@
-//! Property-based tests on the core data structures and protocol
-//! invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests on the core data structures and protocol
+//! invariants, driven by the kernel's deterministic [`SimRng`] (fixed
+//! seeds, fixed case counts — every run exercises the same inputs).
 
 use contutto_system::dmi::command::{CacheLine, RmwOp, TagPool};
 use contutto_system::dmi::crc::crc16;
@@ -11,25 +10,40 @@ use contutto_system::dmi::frame::{
 };
 use contutto_system::dmi::Tag;
 use contutto_system::memdev::SparseMemory;
+use contutto_system::sim::SimRng;
 use contutto_system::sim::{DelayQueue, EventQueue, SimTime};
 
-fn arb_line() -> impl Strategy<Value = CacheLine> {
-    any::<u64>().prop_map(CacheLine::patterned)
+const CASES: u64 = 64;
+
+fn arb_line(rng: &mut SimRng) -> CacheLine {
+    CacheLine::patterned(rng.next_u64())
 }
 
-fn arb_tag() -> impl Strategy<Value = Tag> {
-    (0u8..32).prop_map(|t| Tag::new(t).expect("in range"))
+fn arb_tag(rng: &mut SimRng) -> Tag {
+    Tag::new(rng.gen_index(32) as u8).expect("in range")
 }
 
-proptest! {
-    #[test]
-    fn downstream_frames_roundtrip(seq in 0u8..128, tag in arb_tag(), addr: u64, line in arb_line()) {
+#[test]
+fn downstream_frames_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x0707_0000);
+    for case in 0..CASES {
+        let seq = rng.gen_index(128) as u8;
+        let tag = arb_tag(&mut rng);
+        let addr = rng.next_u64();
+        let line = arb_line(&mut rng);
         let frames = vec![
-            DownstreamFrame { seq, ack: None, payload: DownstreamPayload::Idle },
+            DownstreamFrame {
+                seq,
+                ack: None,
+                payload: DownstreamPayload::Idle,
+            },
             DownstreamFrame {
                 seq,
                 ack: Some((seq + 5) % 128),
-                payload: DownstreamPayload::Command { tag, header: CommandHeader::Read { addr } },
+                payload: DownstreamPayload::Command {
+                    tag,
+                    header: CommandHeader::Read { addr },
+                },
             },
             DownstreamFrame {
                 seq,
@@ -43,61 +57,77 @@ proptest! {
         ];
         for f in frames {
             let back = DownstreamFrame::from_bytes(&f.to_bytes()).expect("clean frame");
-            prop_assert_eq!(back, f);
+            assert_eq!(back, f, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn upstream_frames_roundtrip(seq in 0u8..128, tag in arb_tag(), second in proptest::option::of(arb_tag())) {
+#[test]
+fn upstream_frames_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x0707_1000);
+    for case in 0..CASES {
+        let seq = rng.gen_index(128) as u8;
+        let tag = arb_tag(&mut rng);
+        let second = if rng.gen_bool(0.5) {
+            Some(arb_tag(&mut rng))
+        } else {
+            None
+        };
         let f = UpstreamFrame {
             seq,
             ack: Some(seq),
             payload: UpstreamPayload::Done { first: tag, second },
         };
         let back = UpstreamFrame::from_bytes(&f.to_bytes()).expect("clean frame");
-        prop_assert_eq!(back, f);
+        assert_eq!(back, f, "case {case}");
     }
+}
 
-    #[test]
-    fn any_single_bitflip_is_detected(payload_seed: u64, byte in 0usize..28, bit in 0u8..8) {
+#[test]
+fn any_single_bitflip_is_detected() {
+    let mut rng = SimRng::seed_from_u64(0x0707_2000);
+    for case in 0..CASES * 4 {
+        let payload_seed = rng.next_u64();
+        let byte = rng.gen_index(28);
+        let bit = rng.gen_index(8);
         let f = DownstreamFrame {
             seq: (payload_seed % 128) as u8,
             ack: None,
             payload: DownstreamPayload::WriteData {
                 tag: Tag::new((payload_seed % 32) as u8).expect("in range"),
                 beat: (payload_seed % 8) as u8,
-                data: CacheLine::patterned(payload_seed).0[0..16].try_into().expect("16"),
+                data: CacheLine::patterned(payload_seed).0[0..16]
+                    .try_into()
+                    .expect("16"),
             },
         };
         let mut bytes = f.to_bytes();
         bytes[byte] ^= 1 << bit;
-        prop_assert!(DownstreamFrame::from_bytes(&bytes).is_err());
+        assert!(
+            DownstreamFrame::from_bytes(&bytes).is_err(),
+            "case {case}: single bit flip at byte {byte} bit {bit} went undetected"
+        );
     }
+}
 
-    #[test]
-    fn crc16_differs_for_different_inputs(a: Vec<u8>, b: Vec<u8>) {
-        if a != b && a.len() == b.len() && a.len() < 64 {
-            // Not a guarantee in general, but collisions in short
-            // random pairs are ~2^-16; treat equality as suspicious
-            // only when inputs are identical.
-            if crc16(&a) == crc16(&b) {
-                // allowed, but must be rare; just don't fail the build
-            }
-        }
-        prop_assert_eq!(crc16(&a), crc16(&a.clone()));
+#[test]
+fn crc16_is_a_pure_function() {
+    let mut rng = SimRng::seed_from_u64(0x0707_3000);
+    for case in 0..CASES {
+        let len = rng.gen_index(64);
+        let a: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert_eq!(crc16(&a), crc16(&a.clone()), "case {case}");
     }
+}
 
-    #[test]
-    fn line_beats_reassemble_in_any_order(line in arb_line(), tag in arb_tag(), order in Just(()).prop_perturb(|_, mut rng| {
-        use proptest::test_runner::RngAlgorithm;
-        let _ = RngAlgorithm::default();
-        let mut idx: Vec<usize> = (0..8).collect();
-        for i in (1..8).rev() {
-            let j = (rng.next_u32() as usize) % (i + 1);
-            idx.swap(i, j);
-        }
-        idx
-    })) {
+#[test]
+fn line_beats_reassemble_in_any_order() {
+    let mut rng = SimRng::seed_from_u64(0x0707_4000);
+    for case in 0..CASES {
+        let line = arb_line(&mut rng);
+        let tag = arb_tag(&mut rng);
+        let mut order: Vec<usize> = (0..8).collect();
+        rng.shuffle(&mut order);
         let beats = line_to_downstream_beats(tag, &line);
         let mut asm = LineAssembler::downstream();
         for &i in &order {
@@ -105,12 +135,17 @@ proptest! {
                 asm.add_beat(*beat, data);
             }
         }
-        prop_assert!(asm.is_complete());
-        prop_assert_eq!(asm.into_line(), line);
+        assert!(asm.is_complete(), "case {case}");
+        assert_eq!(asm.into_line(), line, "case {case}");
     }
+}
 
-    #[test]
-    fn upstream_beats_reassemble(line in arb_line(), tag in arb_tag()) {
+#[test]
+fn upstream_beats_reassemble() {
+    let mut rng = SimRng::seed_from_u64(0x0707_5000);
+    for case in 0..CASES {
+        let line = arb_line(&mut rng);
+        let tag = arb_tag(&mut rng);
         let beats = line_to_upstream_beats(tag, &line);
         let mut asm = LineAssembler::upstream();
         for p in beats.iter().rev() {
@@ -118,106 +153,147 @@ proptest! {
                 asm.add_beat(*beat, data);
             }
         }
-        prop_assert_eq!(asm.into_line(), line);
+        assert_eq!(asm.into_line(), line, "case {case}");
     }
+}
 
-    #[test]
-    fn rmw_partial_write_only_touches_masked_sectors(old in arb_line(), new in arb_line(), mask: u8) {
+#[test]
+fn rmw_partial_write_only_touches_masked_sectors() {
+    let mut rng = SimRng::seed_from_u64(0x0707_6000);
+    for case in 0..CASES {
+        let old = arb_line(&mut rng);
+        let new = arb_line(&mut rng);
+        let mask = rng.next_u64() as u8;
         let merged = RmwOp::PartialWrite { sector_mask: mask }.apply(old, new);
         for sector in 0..8 {
             let range = sector * 16..(sector + 1) * 16;
             if mask & (1 << sector) != 0 {
-                prop_assert_eq!(&merged.0[range.clone()], &new.0[range]);
+                assert_eq!(&merged.0[range.clone()], &new.0[range], "case {case}");
             } else {
-                prop_assert_eq!(&merged.0[range.clone()], &old.0[range]);
+                assert_eq!(&merged.0[range.clone()], &old.0[range], "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn rmw_min_then_max_brackets(old in arb_line(), new in arb_line()) {
+#[test]
+fn rmw_min_then_max_brackets() {
+    let mut rng = SimRng::seed_from_u64(0x0707_7000);
+    for case in 0..CASES {
+        let old = arb_line(&mut rng);
+        let new = arb_line(&mut rng);
         let mn = RmwOp::MinStore.apply(old, new);
         let mx = RmwOp::MaxStore.apply(old, new);
         for w in 0..16 {
-            prop_assert!(mn.word(w) <= old.word(w));
-            prop_assert!(mn.word(w) <= new.word(w));
-            prop_assert!(mx.word(w) >= old.word(w));
-            prop_assert!(mx.word(w) >= new.word(w));
-            prop_assert!(mn.word(w) == old.word(w) || mn.word(w) == new.word(w));
+            assert!(mn.word(w) <= old.word(w), "case {case}");
+            assert!(mn.word(w) <= new.word(w), "case {case}");
+            assert!(mx.word(w) >= old.word(w), "case {case}");
+            assert!(mx.word(w) >= new.word(w), "case {case}");
+            assert!(
+                mn.word(w) == old.word(w) || mn.word(w) == new.word(w),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn min_store_is_idempotent(old in arb_line(), new in arb_line()) {
+#[test]
+fn min_store_is_idempotent() {
+    let mut rng = SimRng::seed_from_u64(0x0707_8000);
+    for case in 0..CASES {
+        let old = arb_line(&mut rng);
+        let new = arb_line(&mut rng);
         let once = RmwOp::MinStore.apply(old, new);
         let twice = RmwOp::MinStore.apply(once, new);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    #[test]
-    fn tag_pool_never_double_allocates(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+#[test]
+fn tag_pool_never_double_allocates() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x0707_9000 + case);
+        let n = rng.gen_range(1..200) as usize;
         let mut pool = TagPool::new();
         let mut held: Vec<Tag> = Vec::new();
-        for acquire in ops {
-            if acquire {
+        for _ in 0..n {
+            if rng.gen_bool(0.5) {
                 if let Ok(t) = pool.acquire() {
-                    prop_assert!(!held.contains(&t), "double allocation of {t}");
+                    assert!(!held.contains(&t), "double allocation of {t} (case {case})");
                     held.push(t);
                 }
             } else if let Some(t) = held.pop() {
                 pool.release(t).expect("held tag releases");
             }
         }
-        prop_assert_eq!(pool.in_flight(), held.len());
+        assert_eq!(pool.in_flight(), held.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn sparse_memory_matches_reference(model_ops in proptest::collection::vec(
-        (0u64..100_000, proptest::collection::vec(any::<u8>(), 1..128)), 1..40)) {
+#[test]
+fn sparse_memory_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x0707_A000 + case);
+        let n = rng.gen_range(1..40) as usize;
         let mut mem = SparseMemory::new();
         let mut reference = vec![0u8; 101_000];
-        for (addr, data) in &model_ops {
-            mem.write(*addr, data);
-            reference[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        for _ in 0..n {
+            let addr = rng.gen_range(0..100_000);
+            let len = rng.gen_range(1..128) as usize;
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            mem.write(addr, &data);
+            reference[addr as usize..addr as usize + data.len()].copy_from_slice(&data);
         }
         // Check a window covering everything.
         let mut out = vec![0u8; 101_000];
         mem.read(0, &mut out);
-        prop_assert_eq!(out, reference);
+        assert_eq!(out, reference, "case {case}");
     }
+}
 
-    #[test]
-    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+#[test]
+fn event_queue_pops_sorted() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x0707_B000 + case);
+        let n = rng.gen_range(1..100) as usize;
         let mut q = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_ps(*t), i);
+        for i in 0..n {
+            q.schedule(SimTime::from_ps(rng.gen_range(0..1_000_000)), i);
         }
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}");
             last = t;
         }
     }
+}
 
-    #[test]
-    fn delay_queue_preserves_fifo(latencies in proptest::collection::vec(0u64..1000, 1..50)) {
+#[test]
+fn delay_queue_preserves_fifo() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0x0707_C000 + case);
+        let n = rng.gen_range(1..50) as usize;
         let mut q = DelayQueue::with_latency(SimTime::from_ns(5));
         let mut t = SimTime::ZERO;
-        for (i, l) in latencies.iter().enumerate() {
-            t += SimTime::from_ps(*l);
+        for i in 0..n {
+            t += SimTime::from_ps(rng.gen_range(0..1000));
             q.push(t, i).expect("unbounded");
         }
         let mut out = Vec::new();
         while let Some(v) = q.pop_ready(SimTime::from_secs(1)) {
             out.push(v);
         }
-        let expected: Vec<usize> = (0..latencies.len()).collect();
-        prop_assert_eq!(out, expected);
+        let expected: Vec<usize> = (0..n).collect();
+        assert_eq!(out, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn fft_roundtrip_via_inverse_energy(seeds in proptest::collection::vec(any::<u32>(), 8)) {
-        use contutto_system::contutto::accel::fft::{fft_in_place, Complex32};
+#[test]
+fn fft_roundtrip_via_inverse_energy() {
+    use contutto_system::contutto::accel::fft::{fft_in_place, Complex32};
+    let mut rng = SimRng::seed_from_u64(0x0707_D000);
+    for case in 0..8 {
+        let seeds: Vec<u32> = (0..8).map(|_| rng.next_u64() as u32).collect();
         // Parseval: energy preserved (up to 1/N normalization).
         let n = 256usize;
         let input: Vec<Complex32> = (0..n)
@@ -232,7 +308,7 @@ proptest! {
         let freq_energy: f32 = freq.iter().map(|c| c.abs() * c.abs()).sum::<f32>() / n as f32;
         if time_energy > 1e-3 {
             let rel = (time_energy - freq_energy).abs() / time_energy;
-            prop_assert!(rel < 1e-2, "energy drift {rel}");
+            assert!(rel < 1e-2, "energy drift {rel} (case {case})");
         }
     }
 }
