@@ -1,0 +1,52 @@
+//! Runs the deterministic fault-injection campaign and renders the
+//! pass/degrade/fail table.
+//!
+//! ```text
+//! faults [--smoke] [--seeds N] [--lines N] [--metrics]
+//! ```
+//!
+//! * `--smoke`   — 3 seeds × 6 lines (the `scripts/verify.sh` gate);
+//! * `--seeds N` — sweep seeds 1..=N (default: the full 5-seed sweep);
+//! * `--lines N` — lines written/read back per run;
+//! * `--metrics` — also print the merged metrics registry.
+//!
+//! Exits nonzero if any run panics, corrupts data, or fails where the
+//! scenario does not permit a typed failure.
+
+use contutto_bench::faults::{run_campaign, CampaignConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+
+    let mut cfg = if flag("--smoke") {
+        CampaignConfig::smoke()
+    } else {
+        CampaignConfig::full()
+    };
+    if let Some(n) = value("--seeds") {
+        cfg.seeds = (1..=n.max(1)).collect();
+    }
+    if let Some(n) = value("--lines") {
+        cfg.lines = n.max(1);
+    }
+
+    let report = run_campaign(&cfg);
+    print!("{}", report.render_table());
+
+    if flag("--metrics") {
+        println!("\nmerged metrics across all runs:");
+        print!("{}", report.merged_metrics().render());
+    }
+
+    if !report.violations().is_empty() {
+        eprintln!("fault campaign FAILED: see violations above");
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,7 @@
 //! the dependent-load probe on the simulated channel of the
 //! corresponding configuration — the same methodology as the paper.
 
+pub mod faults;
 pub mod harness;
 
 use contutto_centaur::{Centaur, CentaurConfig};

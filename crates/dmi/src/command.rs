@@ -196,6 +196,23 @@ impl TagPool {
         Ok(())
     }
 
+    /// Forcibly returns a tag to the pool outside the normal done path
+    /// (timeout reclamation after a protocol hang). Returns `true` if
+    /// the tag was in flight and is now free again; `false` if it was
+    /// already free (idempotent, unlike [`TagPool::release`]).
+    ///
+    /// Records [`TraceEvent::TagReclaimed`] rather than a release, so
+    /// traces distinguish recovered tags from normally completed ones.
+    pub fn reclaim(&mut self, tag: Tag) -> bool {
+        let bit = 1u32 << tag.0;
+        if self.free & bit != 0 {
+            return false;
+        }
+        self.free |= bit;
+        self.tracer.record(TraceEvent::TagReclaimed { tag: tag.0 });
+        true
+    }
+
     /// Number of free tags.
     pub fn available(&self) -> usize {
         self.free.count_ones() as usize
@@ -431,6 +448,17 @@ mod tests {
         let t = pool.acquire().unwrap();
         pool.release(t).unwrap();
         assert_eq!(pool.release(t), Err(DmiError::UnknownTag(t.raw())));
+    }
+
+    #[test]
+    fn tag_pool_reclaim_is_idempotent_and_reusable() {
+        let mut pool = TagPool::new();
+        let t = pool.acquire().unwrap();
+        assert!(pool.reclaim(t), "in-flight tag reclaimed");
+        assert!(!pool.reclaim(t), "second reclaim is a no-op");
+        assert_eq!(pool.available(), 32);
+        // A reclaimed tag is immediately reusable.
+        assert_eq!(pool.acquire().unwrap(), t);
     }
 
     #[test]

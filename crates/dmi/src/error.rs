@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use contutto_sim::SimTime;
+
 /// Errors surfaced by DMI link and protocol operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -41,6 +43,18 @@ pub enum DmiError {
     },
     /// A frame payload could not be decoded.
     MalformedFrame(&'static str),
+    /// A blocking operation waited past its deadline for a completion
+    /// that never arrived (protocol hang). The tag is quarantined for
+    /// reclamation rather than leaked.
+    Timeout {
+        /// Tag of the command that never completed.
+        tag: u8,
+        /// How long the waiter blocked before giving up.
+        waited: SimTime,
+    },
+    /// A configuration violated a documented invariant at construction
+    /// time (e.g. a replay buffer too small to cover the ACK timeout).
+    Config(&'static str),
 }
 
 impl fmt::Display for DmiError {
@@ -66,6 +80,10 @@ impl fmt::Display for DmiError {
                 "frtl {measured_bus_cycles} bus cycles exceeds maximum {max_bus_cycles}"
             ),
             DmiError::MalformedFrame(what) => write!(f, "malformed frame: {what}"),
+            DmiError::Timeout { tag, waited } => {
+                write!(f, "tag {tag} timed out after {waited}")
+            }
+            DmiError::Config(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }
@@ -93,6 +111,11 @@ mod tests {
                 max_bus_cycles: 800,
             },
             DmiError::MalformedFrame("bad opcode"),
+            DmiError::Timeout {
+                tag: 11,
+                waited: SimTime::from_us(20),
+            },
+            DmiError::Config("replay buffer must cover the ack timeout"),
         ];
         for e in errs {
             let s = e.to_string();

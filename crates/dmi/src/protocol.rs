@@ -190,6 +190,32 @@ impl LinkEndpointConfig {
             replay_switch_delay_frames: 4,
         }
     }
+
+    /// Checks the documented invariants: the ACK timeout must be
+    /// nonzero (a zero timeout replays on every slot and the link
+    /// livelocks), the replay buffer must exceed the ACK timeout in
+    /// frames (the transmitter must be able to rewind a full round
+    /// trip), and it must stay within half the sequence space (beyond
+    /// that, old and new frames become ambiguous under modulo-128
+    /// sequence IDs).
+    ///
+    /// # Errors
+    ///
+    /// [`DmiError::Config`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), DmiError> {
+        if self.ack_timeout_frames == 0 {
+            return Err(DmiError::Config("ack timeout must be nonzero"));
+        }
+        if self.replay_buffer_frames as u64 <= self.ack_timeout_frames {
+            return Err(DmiError::Config("replay buffer must cover the ack timeout"));
+        }
+        if self.replay_buffer_frames >= SEQ_MODULO as usize / 2 {
+            return Err(DmiError::Config(
+                "replay buffer must stay within half the sequence space",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -271,19 +297,21 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
     ///
     /// # Panics
     ///
-    /// Panics if the replay buffer cannot cover the ACK timeout (the
-    /// transmitter must be able to rewind a full round trip), or if it
-    /// reaches into the ambiguous half of the sequence space.
+    /// Panics if [`LinkEndpointConfig::validate`] rejects the
+    /// configuration. Use [`LinkEndpoint::try_new`] for a typed error.
     pub fn new(cfg: LinkEndpointConfig) -> Self {
-        assert!(
-            cfg.replay_buffer_frames as u64 > cfg.ack_timeout_frames,
-            "replay buffer must cover the ack timeout"
-        );
-        assert!(
-            cfg.replay_buffer_frames < SEQ_MODULO as usize / 2,
-            "replay buffer must stay within half the sequence space"
-        );
-        LinkEndpoint {
+        Self::try_new(cfg).expect("valid link endpoint config")
+    }
+
+    /// Creates an endpoint, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DmiError::Config`] from
+    /// [`LinkEndpointConfig::validate`].
+    pub fn try_new(cfg: LinkEndpointConfig) -> Result<Self, DmiError> {
+        cfg.validate()?;
+        Ok(LinkEndpoint {
             cfg,
             backlog: VecDeque::new(),
             replay: VecDeque::new(),
@@ -298,7 +326,7 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
             stats: LinkStats::default(),
             tracer: Tracer::off(),
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 
     /// Connects this endpoint to a shared [`Tracer`]. Frame, CRC and
@@ -337,12 +365,19 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
     }
 
     /// Updates the ACK timeout (called after FRTL measurement).
-    pub fn set_ack_timeout(&mut self, frames: u64) {
-        assert!(
-            self.cfg.replay_buffer_frames as u64 > frames,
-            "replay buffer must cover the ack timeout"
-        );
-        self.cfg.ack_timeout_frames = frames;
+    ///
+    /// # Errors
+    ///
+    /// [`DmiError::Config`] if the new timeout would violate the replay
+    /// buffer's coverage invariant (the endpoint is left unchanged).
+    pub fn set_ack_timeout(&mut self, frames: u64) -> Result<(), DmiError> {
+        let candidate = LinkEndpointConfig {
+            ack_timeout_frames: frames,
+            ..self.cfg.clone()
+        };
+        candidate.validate()?;
+        self.cfg = candidate;
+        Ok(())
     }
 
     fn unacked_frames(&self) -> usize {
@@ -815,5 +850,54 @@ mod tests {
             replay_switch_delay_frames: 0,
         };
         let _: HostEndpoint = LinkEndpoint::new(cfg);
+    }
+
+    #[test]
+    fn try_new_returns_typed_config_errors() {
+        let undersized = LinkEndpointConfig {
+            replay_buffer_frames: 8,
+            ack_timeout_frames: 16,
+            ..LinkEndpointConfig::host()
+        };
+        assert_eq!(
+            HostEndpoint::try_new(undersized).err(),
+            Some(DmiError::Config("replay buffer must cover the ack timeout"))
+        );
+        let zero_timeout = LinkEndpointConfig {
+            ack_timeout_frames: 0,
+            ..LinkEndpointConfig::host()
+        };
+        assert_eq!(
+            HostEndpoint::try_new(zero_timeout).err(),
+            Some(DmiError::Config("ack timeout must be nonzero"))
+        );
+        let oversized = LinkEndpointConfig {
+            replay_buffer_frames: SEQ_MODULO as usize / 2,
+            ..LinkEndpointConfig::host()
+        };
+        assert_eq!(
+            HostEndpoint::try_new(oversized).err(),
+            Some(DmiError::Config(
+                "replay buffer must stay within half the sequence space"
+            ))
+        );
+        assert!(HostEndpoint::try_new(LinkEndpointConfig::host()).is_ok());
+    }
+
+    #[test]
+    fn set_ack_timeout_rejects_uncoverable_values() {
+        let mut h = host();
+        // 48-frame replay buffer: 47 is the largest coverable timeout.
+        h.set_ack_timeout(47).unwrap();
+        assert_eq!(
+            h.set_ack_timeout(48),
+            Err(DmiError::Config("replay buffer must cover the ack timeout"))
+        );
+        assert_eq!(
+            h.set_ack_timeout(0),
+            Err(DmiError::Config("ack timeout must be nonzero"))
+        );
+        // The rejected calls left the previous (valid) timeout in place.
+        assert_eq!(h.cfg.ack_timeout_frames, 47);
     }
 }

@@ -99,6 +99,28 @@ impl Default for TrainerConfig {
     }
 }
 
+impl TrainerConfig {
+    /// A configuration whose alignment stages lock with the given
+    /// probability and the default retry budget — the knob the fault
+    /// campaign's training-flakiness scenarios sweep (paper §3.4:
+    /// "link training often does not complete successfully in a
+    /// single try").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock_probability` is not within `0.0..=1.0`.
+    pub fn flaky(lock_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lock_probability),
+            "lock probability must be within 0..=1"
+        );
+        TrainerConfig {
+            lock_probability,
+            ..TrainerConfig::default()
+        }
+    }
+}
+
 /// Measures FRTL by bouncing a real signature probe frame down the
 /// channel and timing the echo, exactly as paper §2.3 describes.
 ///
@@ -328,6 +350,21 @@ mod tests {
             "expected retries, got {}",
             outcome.attempts
         );
+    }
+
+    #[test]
+    fn flaky_config_sets_lock_probability_only() {
+        let cfg = TrainerConfig::flaky(0.25);
+        let defaults = TrainerConfig::default();
+        assert!((cfg.lock_probability - 0.25).abs() < f64::EPSILON);
+        assert_eq!(cfg.max_attempts, defaults.max_attempts);
+        assert_eq!(cfg.max_frtl_bus_cycles, defaults.max_frtl_bus_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock probability")]
+    fn flaky_rejects_out_of_range() {
+        let _ = TrainerConfig::flaky(1.5);
     }
 
     #[test]

@@ -8,8 +8,15 @@
 //! back by tag, and a tag frees only when its done arrives — so a
 //! slow buffer visibly throttles the processor, exactly the effect
 //! the paper warns about.
+//!
+//! A protocol hang is a *survivable, measured event*, not a panic: the
+//! blocking helpers drive a degradation ladder ([`RetryPolicy`]) of
+//! bounded retries with exponential sim-time backoff, escalating to a
+//! full link retrain ([`DmiChannel::retrain`]) before surfacing a typed
+//! [`DmiError::Timeout`]. Tags abandoned by timed-out waiters are
+//! quarantined and reclaimed instead of leaked.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use contutto_dmi::buffer::DmiBuffer;
 use contutto_dmi::command::{CacheLine, CommandOp, Tag, TagPool};
@@ -28,6 +35,44 @@ type BufferEndpoint = LinkEndpoint<UpstreamFrame, DownstreamFrame>;
 
 /// Wire propagation latency of each channel direction.
 pub const WIRE_PROPAGATION: SimTime = SimTime::from_ns(1);
+
+/// Sim time a retrain waits with no commands pending so that buffer
+/// responses to aborted commands arrive (and are absorbed as stale)
+/// before tags can be reused. Covers the slowest buffer turnaround.
+const RETRAIN_SETTLE: SimTime = SimTime::from_us(4);
+
+/// The degradation ladder for blocking channel operations.
+///
+/// Each attempt waits `op_timeout` of sim time for the command to
+/// complete. A timed-out attempt abandons its tag (quarantining it for
+/// reclamation), backs off — doubling each retry — and resubmits. When
+/// `max_attempts` are exhausted, the channel escalates to a full link
+/// retrain (paper §3.4: firmware retrains the link without bringing
+/// the system down) and starts a fresh attempt budget; after
+/// `max_retrains` escalations the hang is surfaced as
+/// [`DmiError::Timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt completion deadline in sim time.
+    pub op_timeout: SimTime,
+    /// Blocking attempts per training epoch (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles every retry.
+    pub base_backoff: SimTime,
+    /// Full link retrains before the error is surfaced.
+    pub max_retrains: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            op_timeout: SimTime::from_ms(1),
+            max_attempts: 3,
+            base_backoff: SimTime::from_us(4),
+            max_retrains: 1,
+        }
+    }
+}
 
 /// Channel construction parameters.
 #[derive(Debug, Clone)]
@@ -114,11 +159,23 @@ pub struct DmiChannel {
     now: SimTime,
     slot: SimTime,
     tags: TagPool,
-    pending: HashMap<Tag, Pending>,
+    pending: BTreeMap<Tag, Pending>,
     completions: VecDeque<Completion>,
+    /// Tags abandoned by timed-out waiters, keyed to when they were
+    /// parked. Held out of the pool until a late response proves them
+    /// safe, a retrain flushes link state, or the quarantine ages out.
+    quarantine: BTreeMap<Tag, SimTime>,
+    retry: RetryPolicy,
     trained: Option<TrainingOutcome>,
+    trainer_cfg: TrainerConfig,
+    train_seed: u64,
+    buffer_endpoint_cfg: LinkEndpointConfig,
     tracer: Tracer,
     command_latency: LatencyStats,
+    tags_reclaimed: u64,
+    retries_scheduled: u64,
+    link_retrains: u64,
+    stale_responses: u64,
 }
 
 impl std::fmt::Debug for DmiChannel {
@@ -133,22 +190,48 @@ impl std::fmt::Debug for DmiChannel {
 
 impl DmiChannel {
     /// Builds a channel around a buffer chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint configuration is invalid; use
+    /// [`DmiChannel::try_new`] for a typed [`DmiError::Config`].
     pub fn new(cfg: ChannelConfig, buffer: Box<dyn DmiBuffer>) -> Self {
-        DmiChannel {
-            host: LinkEndpoint::new(LinkEndpointConfig::host()),
-            buffer_ep: LinkEndpoint::new(cfg.buffer_endpoint.clone()),
+        Self::try_new(cfg, buffer).expect("valid channel config")
+    }
+
+    /// Builds a channel, validating the endpoint configurations first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DmiError::Config`] from
+    /// [`LinkEndpointConfig::validate`].
+    pub fn try_new(cfg: ChannelConfig, buffer: Box<dyn DmiBuffer>) -> Result<Self, DmiError> {
+        let host = LinkEndpoint::try_new(LinkEndpointConfig::host())?;
+        let buffer_ep = LinkEndpoint::try_new(cfg.buffer_endpoint.clone())?;
+        Ok(DmiChannel {
+            host,
+            buffer_ep,
             down: LinkSegment::new(cfg.speed, WIRE_PROPAGATION, cfg.down_errors.clone()),
             up: LinkSegment::new(cfg.speed, WIRE_PROPAGATION, cfg.up_errors.clone()),
             buffer,
             now: SimTime::ZERO,
             slot: cfg.speed.frame_time(),
             tags: TagPool::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             completions: VecDeque::new(),
+            quarantine: BTreeMap::new(),
+            retry: RetryPolicy::default(),
             trained: None,
+            trainer_cfg: TrainerConfig::default(),
+            train_seed: 0,
+            buffer_endpoint_cfg: cfg.buffer_endpoint,
             tracer: Tracer::off(),
             command_latency: LatencyStats::new(),
-        }
+            tags_reclaimed: 0,
+            retries_scheduled: 0,
+            link_retrains: 0,
+            stale_responses: 0,
+        })
     }
 
     /// Turns on structured tracing with a ring of `capacity` events and
@@ -206,6 +289,11 @@ impl DmiChannel {
         }
         reg.set_counter("channel.tags_in_flight", self.tags.in_flight() as u64);
         reg.set_counter("channel.commands_completed", self.command_latency.count());
+        reg.set_counter("channel.tags_reclaimed", self.tags_reclaimed);
+        reg.set_counter("channel.tags_quarantined", self.quarantine.len() as u64);
+        reg.set_counter("channel.retries_scheduled", self.retries_scheduled);
+        reg.set_counter("channel.link_retrains", self.link_retrains);
+        reg.set_counter("channel.stale_responses", self.stale_responses);
         reg.set_latency("channel.command_latency", &self.command_latency);
         self.buffer.register_metrics("buffer", &mut reg);
         reg
@@ -236,6 +324,54 @@ impl DmiChannel {
         self.tags.available()
     }
 
+    /// The active degradation-ladder policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Replaces the degradation-ladder policy for blocking operations.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Tags reclaimed outside the normal done path so far (late stale
+    /// responses, retrain flushes, quarantine aging).
+    pub fn tags_reclaimed(&self) -> u64 {
+        self.tags_reclaimed
+    }
+
+    /// Retries the degradation ladder has scheduled so far.
+    pub fn retries_scheduled(&self) -> u64 {
+        self.retries_scheduled
+    }
+
+    /// Full link retrains performed so far.
+    pub fn link_retrains(&self) -> u64 {
+        self.link_retrains
+    }
+
+    /// Responses absorbed for tags with no command pending (late
+    /// stragglers from timed-out or retrain-aborted commands).
+    pub fn stale_responses(&self) -> u64 {
+        self.stale_responses
+    }
+
+    /// Tags currently parked in quarantine (not yet reusable).
+    pub fn quarantined_tags(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Swaps the downstream wire's error injector mid-run (fault
+    /// windows in campaigns and tests).
+    pub fn set_down_injector(&mut self, injector: BitErrorInjector) {
+        self.down.set_injector(injector);
+    }
+
+    /// Swaps the upstream wire's error injector mid-run.
+    pub fn set_up_injector(&mut self, injector: BitErrorInjector) {
+        self.up.set_injector(injector);
+    }
+
     /// Host-side link statistics.
     pub fn host_stats(&self) -> &contutto_dmi::protocol::LinkStats {
         self.host.stats()
@@ -263,14 +399,88 @@ impl DmiChannel {
             self.buffer.frtl_turnaround(),
             Frequency::from_ghz(2),
         );
-        let mut trainer = LinkTrainer::new(cfg, seed);
+        let mut trainer = LinkTrainer::new(cfg.clone(), seed);
         let outcome = trainer.train(frtl)?;
         // Set the replay timeout from the measured FRTL (paper §2.3).
         let timeout_frames = frtl.as_ps().div_ceil(self.slot.as_ps()) + 4;
-        self.host.set_ack_timeout(timeout_frames);
-        self.buffer_ep.set_ack_timeout(timeout_frames);
+        self.host.set_ack_timeout(timeout_frames)?;
+        self.buffer_ep.set_ack_timeout(timeout_frames)?;
+        // Remember the parameters so an escalated retrain can re-run
+        // the same sequence deterministically.
+        self.trainer_cfg = cfg;
+        self.train_seed = seed;
         self.trained = Some(outcome);
         Ok(outcome)
+    }
+
+    /// Tears the link layer down and retrains it: both endpoints are
+    /// rebuilt (sequence spaces, replay buffers and ACK state reset),
+    /// the wires are drained, and every outstanding or quarantined
+    /// command is aborted with its tag reclaimed. The buffer model's
+    /// memory contents are untouched — like the paper's firmware
+    /// retrain that power-cycles only the FPGA (§3.4). After the tag
+    /// flush the channel idles for a settle window so responses to
+    /// aborted commands are absorbed as stale before tags are reused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DmiError::TrainingFailed`] /
+    /// [`DmiError::FrtlExceeded`] from the trainer; tags are reclaimed
+    /// even when the retrain itself fails.
+    pub fn retrain(&mut self) -> Result<TrainingOutcome, DmiError> {
+        self.link_retrains += 1;
+        self.tracer.record(TraceEvent::LinkRetrain {
+            count: self.link_retrains,
+        });
+        self.reset_link()?;
+        // Derive a fresh (still deterministic) trainer seed per retrain
+        // so a flaky trainer does not replay an identical attempt
+        // sequence forever.
+        let cfg = self.trainer_cfg.clone();
+        let seed = self.train_seed.wrapping_add(self.link_retrains);
+        self.train(cfg, seed)
+    }
+
+    /// Resets the link layer without retraining: drains both wires,
+    /// rebuilds both endpoints (sequence spaces, replay buffers and
+    /// ACK state) and aborts every pending or quarantined command,
+    /// reclaiming its tag. Replay buffers are dropped too — an
+    /// abandoned command must never be delivered by a later replay,
+    /// where its stale response could alias a reused tag.
+    fn reset_link(&mut self) -> Result<(), DmiError> {
+        // Drain in-flight garbage off both wires.
+        let horizon = self.now + WIRE_PROPAGATION + self.slot * 2;
+        while self.down.receive(horizon).is_some() {}
+        while self.up.receive(horizon).is_some() {}
+        // Fresh endpoints; the wires (and their injector state) persist.
+        self.host = LinkEndpoint::try_new(LinkEndpointConfig::host())?;
+        self.buffer_ep = LinkEndpoint::try_new(self.buffer_endpoint_cfg.clone())?;
+        if self.tracer.is_enabled() {
+            self.host.attach_tracer(self.tracer.clone());
+            self.buffer_ep.attach_tracer(self.tracer.clone());
+        }
+        // Abort outstanding commands: across the link reset no response
+        // can complete them, so their tags go straight back to the pool.
+        let aborted: Vec<Tag> = self.pending.keys().copied().collect();
+        for tag in aborted {
+            self.pending.remove(&tag);
+            if self.tags.reclaim(tag) {
+                self.tags_reclaimed += 1;
+            }
+        }
+        let parked: Vec<Tag> = self.quarantine.keys().copied().collect();
+        for tag in parked {
+            self.quarantine.remove(&tag);
+            if self.tags.reclaim(tag) {
+                self.tags_reclaimed += 1;
+            }
+        }
+        // Settle: with nothing pending, the buffer model's responses to
+        // aborted commands arrive now and are counted as stale instead
+        // of completing a future command that reuses the tag.
+        let settle = self.now + RETRAIN_SETTLE;
+        self.run_until(settle);
+        Ok(())
     }
 
     /// Submits a command; returns its tag.
@@ -330,22 +540,49 @@ impl DmiChannel {
             }
         }
         self.now += self.slot;
+        if !self.quarantine.is_empty() {
+            self.age_quarantine();
+        }
+    }
+
+    /// Quarantined tags whose late response never materialized within
+    /// two op-timeouts are declared dead and returned to the pool: by
+    /// then any response still in flight would long since have been
+    /// delivered or lost, so reuse is unambiguous.
+    fn age_quarantine(&mut self) {
+        let ttl = self.retry.op_timeout * 2;
+        let now = self.now;
+        let expired: Vec<Tag> = self
+            .quarantine
+            .iter()
+            .filter(|&(_, &parked)| now - parked > ttl)
+            .map(|(&tag, _)| tag)
+            .collect();
+        for tag in expired {
+            self.quarantine.remove(&tag);
+            if self.tags.reclaim(tag) {
+                self.tags_reclaimed += 1;
+            }
+        }
     }
 
     fn handle_response(&mut self, now: SimTime, payload: UpstreamPayload) {
         match payload {
             UpstreamPayload::Idle | UpstreamPayload::Control(_) => {}
             UpstreamPayload::ReadData { tag, beat, data } => {
-                let pending = self
-                    .pending
-                    .get_mut(&tag)
-                    .expect("read data for unknown tag");
-                let assembler = pending
-                    .assembler
-                    .as_mut()
-                    .expect("read data for non-read command");
+                // Beats for a tag with no pending command (or one that
+                // is not a read) are late stragglers from a command
+                // whose waiter gave up: absorb, never die.
+                let Some(pending) = self.pending.get_mut(&tag) else {
+                    self.stale_responses += 1;
+                    return;
+                };
+                let Some(assembler) = pending.assembler.as_mut() else {
+                    self.stale_responses += 1;
+                    return;
+                };
                 if assembler.add_beat(beat, &data) {
-                    let asm = pending.assembler.take().expect("present");
+                    let asm = pending.assembler.take().expect("assembler checked above");
                     pending.data = Some(asm.into_line());
                 }
             }
@@ -359,8 +596,23 @@ impl DmiChannel {
     }
 
     fn complete(&mut self, now: SimTime, tag: Tag) {
-        let pending = self.pending.remove(&tag).expect("done for unknown tag");
-        self.tags.release(tag).expect("tag was in flight");
+        let Some(pending) = self.pending.remove(&tag) else {
+            // A late done for a command whose waiter already gave up:
+            // the buffer is alive after all, so a quarantined tag is
+            // proven drained and safe to reuse. Dones for
+            // retrain-aborted (already reclaimed) tags are absorbed
+            // the same way.
+            if self.quarantine.remove(&tag).is_some() && self.tags.reclaim(tag) {
+                self.tags_reclaimed += 1;
+            }
+            self.stale_responses += 1;
+            return;
+        };
+        if self.tags.release(tag).is_err() {
+            // Duplicate done: the first one already freed the tag.
+            self.stale_responses += 1;
+            return;
+        }
         self.command_latency.record(now - pending.issued);
         self.completions.push_back(Completion {
             tag,
@@ -377,13 +629,15 @@ impl DmiChannel {
         }
     }
 
-    /// Runs until a completion is available or `deadline` passes.
+    /// Runs until a completion is available or `deadline` passes. The
+    /// deadline is inclusive: a completion arriving exactly at the
+    /// deadline tick is still delivered.
     pub fn next_completion(&mut self, deadline: SimTime) -> Option<Completion> {
         loop {
             if let Some(c) = self.completions.pop_front() {
                 return Some(c);
             }
-            if self.now >= deadline {
+            if self.now > deadline {
                 return None;
             }
             self.step();
@@ -395,61 +649,106 @@ impl DmiChannel {
         self.completions.drain(..).collect()
     }
 
-    /// Convenience: submit a read and block until its data returns.
-    ///
-    /// # Errors
-    ///
-    /// Propagates tag exhaustion.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the buffer never answers within 1 ms of simulated
-    /// time (a protocol hang — always a bug).
-    pub fn read_line_blocking(&mut self, addr: u64) -> Result<(CacheLine, SimTime), DmiError> {
-        let tag = self.submit(CommandOp::Read { addr })?;
-        let deadline = self.now + SimTime::from_ms(1);
+    /// Steps the channel until `tag` completes or `timeout` of sim
+    /// time elapses. Completions for *other* tags stay queued in
+    /// arrival order, so interleaved callers see each of them exactly
+    /// once. On timeout the tag is quarantined (its pending state
+    /// dropped, the tag held out of the pool until proven safe) and a
+    /// typed [`DmiError::Timeout`] is returned.
+    fn wait_for_tag(&mut self, tag: Tag, timeout: SimTime) -> Result<Completion, DmiError> {
+        let start = self.now;
+        let deadline = start + timeout;
         loop {
-            match self.next_completion(deadline) {
-                Some(c) if c.tag == tag => {
-                    return Ok((c.data.expect("read returns data"), c.completed_at));
-                }
-                Some(other) => {
-                    // Out-of-interest completion; keep it for callers
-                    // that interleave — here we just drop it.
-                    let _ = other;
-                }
-                None => {
-                    self.tracer
-                        .record(TraceEvent::TagTimeout { tag: tag.raw() });
-                    panic!("buffer did not answer read within 1 ms")
-                }
+            if let Some(pos) = self.completions.iter().position(|c| c.tag == tag) {
+                return Ok(self.completions.remove(pos).expect("position just found"));
+            }
+            if self.now > deadline {
+                self.tracer
+                    .record(TraceEvent::TagTimeout { tag: tag.raw() });
+                self.pending.remove(&tag);
+                self.quarantine.insert(tag, self.now);
+                return Err(DmiError::Timeout {
+                    tag: tag.raw(),
+                    waited: self.now - start,
+                });
+            }
+            self.step();
+        }
+    }
+
+    /// Submits `op` and drives the degradation ladder: bounded
+    /// attempts with exponential sim-time backoff, then a full link
+    /// retrain with a fresh attempt budget, then the typed error.
+    fn run_with_recovery(&mut self, op: CommandOp) -> Result<Completion, DmiError> {
+        let mut attempt: u32 = 1;
+        let mut backoff = self.retry.base_backoff;
+        let mut retrains_left = self.retry.max_retrains;
+        loop {
+            let tag = self.submit(op.clone())?;
+            let err = match self.wait_for_tag(tag, self.retry.op_timeout) {
+                Ok(c) => return Ok(c),
+                Err(e) => e,
+            };
+            if !matches!(err, DmiError::Timeout { .. }) {
+                return Err(err);
+            }
+            if attempt < self.retry.max_attempts {
+                self.retries_scheduled += 1;
+                self.tracer.record(TraceEvent::RetryScheduled {
+                    tag: tag.raw(),
+                    attempt,
+                    backoff_ps: backoff.as_ps(),
+                });
+                let resume = self.now + backoff;
+                self.run_until(resume);
+                attempt += 1;
+                backoff = backoff * 2;
+            } else if retrains_left > 0 {
+                retrains_left -= 1;
+                self.retrain()?;
+                attempt = 1;
+                backoff = self.retry.base_backoff;
+            } else {
+                // Ladder exhausted. Reset the link so the abandoned
+                // attempts cannot be delivered by a later replay (a
+                // stale response must never alias a reused tag once
+                // the fault clears), then surface the typed error.
+                self.reset_link()?;
+                return Err(err);
             }
         }
     }
 
-    /// Convenience: submit a write and block until durable.
+    /// Convenience: submit a read and block until its data returns,
+    /// driving the recovery ladder (retry → backoff → retrain) on
+    /// protocol hangs. Completions for other tags are left queued for
+    /// their own waiters.
     ///
     /// # Errors
     ///
-    /// Propagates tag exhaustion.
+    /// * [`DmiError::NoFreeTag`] when all 32 tags are outstanding.
+    /// * [`DmiError::Timeout`] when the ladder is exhausted and the
+    ///   buffer still has not answered (the tag is quarantined for
+    ///   reclamation, never leaked).
+    /// * Training errors if an escalated retrain fails.
+    pub fn read_line_blocking(&mut self, addr: u64) -> Result<(CacheLine, SimTime), DmiError> {
+        let c = self.run_with_recovery(CommandOp::Read { addr })?;
+        let data = c
+            .data
+            .ok_or(DmiError::MalformedFrame("read completed without data"))?;
+        Ok((data, c.completed_at))
+    }
+
+    /// Convenience: submit a write and block until durable, with the
+    /// same recovery ladder as [`DmiChannel::read_line_blocking`].
+    /// Retried writes re-execute the store, which is idempotent.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a 1 ms protocol hang.
+    /// As for [`DmiChannel::read_line_blocking`].
     pub fn write_line_blocking(&mut self, addr: u64, data: CacheLine) -> Result<SimTime, DmiError> {
-        let tag = self.submit(CommandOp::Write { addr, data })?;
-        let deadline = self.now + SimTime::from_ms(1);
-        loop {
-            match self.next_completion(deadline) {
-                Some(c) if c.tag == tag => return Ok(c.completed_at),
-                Some(_) => {}
-                None => {
-                    self.tracer
-                        .record(TraceEvent::TagTimeout { tag: tag.raw() });
-                    panic!("buffer did not answer write within 1 ms")
-                }
-            }
-        }
+        let c = self.run_with_recovery(CommandOp::Write { addr, data })?;
+        Ok(c.completed_at)
     }
 }
 

@@ -98,6 +98,19 @@ pub enum TraceEvent {
     TagExhausted,
     /// A blocking wait on a tag exceeded its deadline.
     TagTimeout { tag: u8 },
+    /// A timed-out command's tag was returned to the pool outside the
+    /// normal done path (timeout reclamation).
+    TagReclaimed { tag: u8 },
+    /// A timed-out command was rescheduled for another attempt after a
+    /// sim-time backoff.
+    RetryScheduled {
+        tag: u8,
+        attempt: u32,
+        backoff_ps: u64,
+    },
+    /// The channel escalated persistent hangs to a full link retrain;
+    /// `count` is the channel's lifetime retrain total.
+    LinkRetrain { count: u64 },
     /// A memory-buffer device port serviced a read.
     DeviceRead { addr: u64 },
     /// A memory-buffer device port serviced a write.
@@ -134,6 +147,16 @@ impl fmt::Display for TraceEvent {
             TagRelease { tag } => write!(f, "tag-release tag={tag}"),
             TagExhausted => write!(f, "tag-exhausted"),
             TagTimeout { tag } => write!(f, "tag-timeout tag={tag}"),
+            TagReclaimed { tag } => write!(f, "tag-reclaimed tag={tag}"),
+            RetryScheduled {
+                tag,
+                attempt,
+                backoff_ps,
+            } => write!(
+                f,
+                "retry-scheduled tag={tag} attempt={attempt} backoff_ps={backoff_ps}"
+            ),
+            LinkRetrain { count } => write!(f, "link-retrain count={count}"),
             DeviceRead { addr } => write!(f, "device-read addr={addr:#x}"),
             DeviceWrite { addr } => write!(f, "device-write addr={addr:#x}"),
             CacheHit { addr } => write!(f, "cache-hit addr={addr:#x}"),
@@ -441,6 +464,22 @@ mod tests {
         assert!(text.contains("frame-tx dir=down seq=7 replayed=false"));
         assert!(text.contains("cache-miss addr=0x80"));
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn recovery_events_render() {
+        let t = Tracer::ring(8);
+        t.record(TraceEvent::TagReclaimed { tag: 5 });
+        t.record(TraceEvent::RetryScheduled {
+            tag: 5,
+            attempt: 2,
+            backoff_ps: 8_000_000,
+        });
+        t.record(TraceEvent::LinkRetrain { count: 1 });
+        let text = t.render();
+        assert!(text.contains("tag-reclaimed tag=5"));
+        assert!(text.contains("retry-scheduled tag=5 attempt=2 backoff_ps=8000000"));
+        assert!(text.contains("link-retrain count=1"));
     }
 
     #[test]

@@ -19,4 +19,7 @@ cargo test --workspace --quiet
 echo "==> cargo build --benches"
 cargo build --benches --workspace --quiet
 
+echo "==> fault campaign (smoke)"
+cargo run -p contutto-bench --release --bin faults --quiet -- --smoke
+
 echo "verify: all gates passed"
