@@ -1,19 +1,23 @@
-//! Runs the deterministic fault-injection campaign and renders the
-//! pass/degrade/fail table.
+//! Runs the deterministic fault-injection campaigns and renders the
+//! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--smoke] [--seeds N] [--lines N] [--metrics]
+//! faults [--media] [--smoke] [--seeds N] [--lines N] [--metrics]
 //! ```
 //!
-//! * `--smoke`   — 3 seeds × 6 lines (the `scripts/verify.sh` gate);
+//! * `--media`   — run the media-fault campaign (seeded bit flips in
+//!   the DIMM arrays across {DRAM, MRAM, NVDIMM} × {scrub on/off})
+//!   instead of the link-fault campaign;
+//! * `--smoke`   — the quick `scripts/verify.sh` gate;
 //! * `--seeds N` — sweep seeds 1..=N (default: the full 5-seed sweep);
 //! * `--lines N` — lines written/read back per run;
 //! * `--metrics` — also print the merged metrics registry.
 //!
 //! Exits nonzero if any run panics, corrupts data, or fails where the
-//! scenario does not permit a typed failure.
+//! scenario does not permit a typed failure — and, for `--media`, if
+//! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::faults::{run_campaign, CampaignConfig};
+use contutto_bench::{faults, media};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,10 +29,39 @@ fn main() {
             .and_then(|v| v.parse().ok())
     };
 
+    if flag("--media") {
+        let mut cfg = if flag("--smoke") {
+            media::CampaignConfig::smoke()
+        } else {
+            media::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.lines = n.max(1);
+        }
+        let report = media::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        if flag("--metrics") {
+            println!("\nmerged metrics across all runs:");
+            print!("{}", report.merged_metrics().render());
+        }
+        if !report.violations().is_empty() {
+            eprintln!("media-fault campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        if !report.scrub_helps() {
+            eprintln!("media-fault campaign FAILED: scrub showed no benefit");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let mut cfg = if flag("--smoke") {
-        CampaignConfig::smoke()
+        faults::CampaignConfig::smoke()
     } else {
-        CampaignConfig::full()
+        faults::CampaignConfig::full()
     };
     if let Some(n) = value("--seeds") {
         cfg.seeds = (1..=n.max(1)).collect();
@@ -37,7 +70,7 @@ fn main() {
         cfg.lines = n.max(1);
     }
 
-    let report = run_campaign(&cfg);
+    let report = faults::run_campaign(&cfg);
     print!("{}", report.render_table());
 
     if flag("--metrics") {

@@ -23,6 +23,7 @@
 
 pub mod faults;
 pub mod harness;
+pub mod media;
 
 use contutto_centaur::{Centaur, CentaurConfig};
 use contutto_core::accel::block::{BlockAccelDriver, BlockOp, ControlBlock};

@@ -18,7 +18,7 @@ use contutto_dmi::command::{CacheLine, Tag, CACHE_LINE_BYTES};
 use contutto_dmi::frame::{
     line_to_upstream_beats, CommandHeader, DownstreamPayload, LineAssembler, UpstreamPayload,
 };
-use contutto_memdev::{DdrTimings, Dram, MemoryDevice};
+use contutto_memdev::{DdrTimings, Dram, MemoryDevice, RasCounters, ReadOutcome};
 use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
 use crate::cache::EdramCache;
@@ -41,6 +41,13 @@ pub struct CentaurStats {
     pub unsupported: u64,
     /// Done pairs packed into a single upstream frame.
     pub coalesced_dones: u64,
+    /// Demand reads whose line needed (successful) ECC correction.
+    pub corrected_reads: u64,
+    /// Demand reads answered with the poison bit set (uncorrectable).
+    pub poisoned_reads: u64,
+    /// RMWs whose read-half hit a poisoned line; the merge is dropped
+    /// rather than laundering the poison into a fresh write.
+    pub poisoned_rmws: u64,
 }
 
 #[derive(Debug)]
@@ -133,19 +140,31 @@ impl Centaur {
         )
     }
 
-    fn read_line(&mut self, start: SimTime, addr: u64) -> (CacheLine, SimTime) {
+    fn read_line(&mut self, start: SimTime, addr: u64) -> (CacheLine, SimTime, ReadOutcome) {
         let (port, local) = self.route(addr);
         let mut line = CacheLine::ZERO;
         if self.cfg.cache_enabled && self.cache.access(addr) {
             self.tracer.record(TraceEvent::CacheHit { addr });
+            // Cache hits serve the verified-at-fill copy; the eDRAM
+            // array itself is assumed protected, so the hit is clean.
             self.ports[port].peek(local, &mut line.0);
-            (line, start + self.cfg.cache_hit_latency)
+            (line, start + self.cfg.cache_hit_latency, ReadOutcome::Clean)
         } else {
             if self.cfg.cache_enabled {
                 self.tracer.record(TraceEvent::CacheMiss { addr });
             }
-            let done = self.ports[port].read(start, local, &mut line.0);
-            (line, done)
+            let result = self.ports[port].read(start, local, &mut line.0);
+            match result.outcome {
+                ReadOutcome::Clean => {}
+                ReadOutcome::Corrected { bits } => {
+                    self.stats.corrected_reads += 1;
+                    self.tracer.record(TraceEvent::EccCorrected { addr, bits });
+                }
+                ReadOutcome::Uncorrectable => {
+                    self.tracer.record(TraceEvent::EccUncorrectable { addr });
+                }
+            }
+            (line, result.done, result.outcome)
         }
     }
 
@@ -161,9 +180,13 @@ impl Centaur {
     fn complete_read(&mut self, start: SimTime, tag: Tag, addr: u64) {
         self.stats.reads += 1;
         self.tracer.record(TraceEvent::DeviceRead { addr });
-        let (line, data_ready) = self.read_line(start, addr);
+        let (line, data_ready, outcome) = self.read_line(start, addr);
+        let poison = outcome.is_uncorrectable();
+        if poison {
+            self.stats.poisoned_reads += 1;
+        }
         let respond_at = data_ready + self.cfg.tx_latency;
-        for beat in line_to_upstream_beats(tag, &line) {
+        for beat in line_to_upstream_beats(tag, &line, poison) {
             self.ready.push_back((respond_at, beat));
         }
         self.ready.push_back((
@@ -185,9 +208,16 @@ impl Centaur {
             CommandHeader::Rmw { addr, op } => {
                 self.stats.rmws += 1;
                 self.tracer.record(TraceEvent::DeviceWrite { addr });
-                let (current, read_done) = self.read_line(start, addr);
-                let merged = op.apply(current, line);
-                self.write_line(read_done, addr, &merged)
+                let (current, read_done, outcome) = self.read_line(start, addr);
+                if outcome.is_uncorrectable() {
+                    // Do not merge against poisoned data; the line
+                    // stays poisoned in the media so reads stay loud.
+                    self.stats.poisoned_rmws += 1;
+                    read_done
+                } else {
+                    let merged = op.apply(current, line);
+                    self.write_line(read_done, addr, &merged)
+                }
             }
             _ => unreachable!("only write-class headers carry data"),
         };
@@ -307,6 +337,28 @@ impl DmiBuffer for Centaur {
             &format!("{prefix}.cache.prefetch_fills"),
             self.cache.prefetch_fills(),
         );
+        let mut media = RasCounters::default();
+        for p in &self.ports {
+            let c = p.ras_counters();
+            media.demand_corrected += c.demand_corrected;
+            media.demand_uncorrectable += c.demand_uncorrectable;
+            media.scrub_corrected += c.scrub_corrected;
+            media.scrub_uncorrectable += c.scrub_uncorrectable;
+            media.scrub_passes += c.scrub_passes;
+            media.pages_retired += c.pages_retired;
+        }
+        registry.set_counter(
+            &format!("{prefix}.media.demand_corrected"),
+            media.demand_corrected,
+        );
+        registry.set_counter(
+            &format!("{prefix}.media.demand_uncorrectable"),
+            media.demand_uncorrectable,
+        );
+        registry.set_counter(
+            &format!("{prefix}.media.pages_retired"),
+            media.pages_retired,
+        );
     }
 }
 
@@ -377,7 +429,9 @@ mod tests {
         let mut saw_done = false;
         for (_, p) in resp {
             match p {
-                UpstreamPayload::ReadData { tag, beat, data } => {
+                UpstreamPayload::ReadData {
+                    tag, beat, data, ..
+                } => {
                     assert_eq!(tag, t(1));
                     asm.add_beat(beat, &data);
                 }

@@ -14,7 +14,8 @@
 //! line-interleaved addresses, charges the clock-domain-crossing
 //! latency each way, and serializes transfers per port.
 
-use contutto_sim::{time::clocks, Cycles, SimTime};
+use contutto_memdev::{FaultConfig, RasCounters, ReadOutcome};
+use contutto_sim::{time::clocks, Cycles, SimTime, Tracer};
 
 use crate::memctl::{MemoryController, MemoryKind};
 
@@ -107,8 +108,14 @@ impl AvalonBus {
         )
     }
 
-    /// Reads one 128 B line through an MBS read port.
-    pub fn read_line(&mut self, now: SimTime, port: ReadPort, addr: u64) -> ([u8; 128], SimTime) {
+    /// Reads one 128 B line through an MBS read port; the media ECC
+    /// outcome rides along so MBS can poison the response.
+    pub fn read_line(
+        &mut self,
+        now: SimTime,
+        port: ReadPort,
+        addr: u64,
+    ) -> ([u8; 128], SimTime, ReadOutcome) {
         self.transfers += 1;
         let idx = match port {
             ReadPort::R0 => 0,
@@ -120,8 +127,8 @@ impl AvalonBus {
         self.read_busy[idx] = start + clocks::FPGA_FABRIC.period();
         let issue = start + self.cdc();
         let (dev_port, local) = self.route(addr);
-        let (data, dev_done) = self.controllers[dev_port].read_line(issue, local);
-        (data, dev_done + self.cdc())
+        let (data, dev_done, outcome) = self.controllers[dev_port].read_line(issue, local);
+        (data, dev_done + self.cdc(), outcome)
     }
 
     /// Writes one 128 B line through an MBS write port.
@@ -170,6 +177,52 @@ impl AvalonBus {
     pub fn ports(&self) -> usize {
         self.controllers.len()
     }
+
+    /// Routes RAS trace events from every port into a shared tracer.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        for c in &mut self.controllers {
+            c.attach_tracer(tracer.clone());
+        }
+    }
+
+    /// Enables patrol scrub on every port.
+    pub fn enable_scrub(&mut self, interval: SimTime) {
+        for c in &mut self.controllers {
+            c.enable_scrub(interval);
+        }
+    }
+
+    /// Arms a media-fault injector on every port. Each port's seed is
+    /// decorrelated so the two DIMMs do not fail in lock-step.
+    pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
+        for (i, c) in self.controllers.iter_mut().enumerate() {
+            let mut port_cfg = cfg;
+            port_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            c.attach_media_faults(port_cfg);
+        }
+    }
+
+    /// Sets the correctable-error page-retirement threshold per port.
+    pub fn set_retire_threshold(&mut self, threshold: u32) {
+        for c in &mut self.controllers {
+            c.set_retire_threshold(threshold);
+        }
+    }
+
+    /// Media RAS counters summed across ports.
+    pub fn ras_counters(&self) -> RasCounters {
+        let mut total = RasCounters::default();
+        for c in &self.controllers {
+            let p = c.ras_counters();
+            total.demand_corrected += p.demand_corrected;
+            total.demand_uncorrectable += p.demand_uncorrectable;
+            total.scrub_corrected += p.scrub_corrected;
+            total.scrub_uncorrectable += p.scrub_uncorrectable;
+            total.scrub_passes += p.scrub_passes;
+            total.pages_retired += p.pages_retired;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +244,7 @@ mod tests {
         let mut b = bus();
         let data = [0x3Cu8; 128];
         let t = b.write_line(SimTime::ZERO, WritePort::W0, 0x4000, &data);
-        let (back, _) = b.read_line(t, ReadPort::R0, 0x4000);
+        let (back, _, _) = b.read_line(t, ReadPort::R0, 0x4000);
         assert_eq!(back, data);
         assert_eq!(b.transfers(), 2);
     }
@@ -206,8 +259,8 @@ mod tests {
             vec![MemoryController::new(MemoryKind::Ddr3Dram, 1 << 29)],
             5,
         );
-        let (_, t_fast) = b_fast.read_line(SimTime::ZERO, ReadPort::R0, 0);
-        let (_, t_slow) = b_slow.read_line(SimTime::ZERO, ReadPort::R0, 0);
+        let (_, t_fast, _) = b_fast.read_line(SimTime::ZERO, ReadPort::R0, 0);
+        let (_, t_slow, _) = b_slow.read_line(SimTime::ZERO, ReadPort::R0, 0);
         // 5 cycles x 4 ns x 2 directions = 40 ns extra.
         assert_eq!(t_slow - t_fast, SimTime::from_ns(40));
     }
@@ -235,11 +288,11 @@ mod tests {
         let mut b = bus();
         // Two reads on the same port at the same instant: the second
         // is delayed by one fabric cycle at the port.
-        let (_, t1) = b.read_line(SimTime::ZERO, ReadPort::R0, 0);
-        let (_, t2) = b.read_line(SimTime::ZERO, ReadPort::R0, 256);
+        let (_, t1, _) = b.read_line(SimTime::ZERO, ReadPort::R0, 0);
+        let (_, t2, _) = b.read_line(SimTime::ZERO, ReadPort::R0, 256);
         assert!(t2 >= t1, "same-bank same-port second access serializes");
         // Different port, different DIMM: independent.
-        let (_, t3) = b.read_line(SimTime::ZERO, ReadPort::R1, 128);
+        let (_, t3, _) = b.read_line(SimTime::ZERO, ReadPort::R1, 128);
         assert_eq!(t3, t1);
     }
 

@@ -11,7 +11,7 @@
 
 use contutto_dmi::buffer::DmiBuffer;
 use contutto_dmi::frame::{DownstreamPayload, UpstreamPayload};
-use contutto_memdev::MramGeneration;
+use contutto_memdev::{FaultConfig, MramGeneration, RasCounters};
 use contutto_sim::{MetricsRegistry, SimTime, Tracer};
 
 use crate::avalon::AvalonBus;
@@ -213,6 +213,21 @@ impl ConTutto {
         &mut self.mbs
     }
 
+    /// Arms a deterministic media-fault injector on every DIMM port.
+    pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
+        self.mbs.avalon_mut().attach_media_faults(cfg);
+    }
+
+    /// Enables background patrol scrub on every DIMM port.
+    pub fn enable_scrub(&mut self, interval: SimTime) {
+        self.mbs.avalon_mut().enable_scrub(interval);
+    }
+
+    /// Media RAS counters aggregated across DIMM ports.
+    pub fn ras_counters(&self) -> RasCounters {
+        self.mbs.avalon().ras_counters()
+    }
+
     /// FPGA resource utilization of this design variant (Table 1).
     pub fn resource_report(&self) -> ResourceReport {
         ResourceReport::for_base_design()
@@ -258,6 +273,37 @@ impl DmiBuffer for ConTutto {
         registry.set_counter(
             &format!("{prefix}.avalon_transfers"),
             stats.avalon_transfers,
+        );
+        registry.set_counter(
+            &format!("{prefix}.corrected_reads"),
+            stats.mbs.corrected_reads,
+        );
+        registry.set_counter(
+            &format!("{prefix}.poisoned_reads"),
+            stats.mbs.poisoned_reads,
+        );
+        registry.set_counter(&format!("{prefix}.poisoned_rmws"), stats.mbs.poisoned_rmws);
+        let media = self.ras_counters();
+        registry.set_counter(
+            &format!("{prefix}.media.demand_corrected"),
+            media.demand_corrected,
+        );
+        registry.set_counter(
+            &format!("{prefix}.media.demand_uncorrectable"),
+            media.demand_uncorrectable,
+        );
+        registry.set_counter(
+            &format!("{prefix}.media.scrub_corrected"),
+            media.scrub_corrected,
+        );
+        registry.set_counter(
+            &format!("{prefix}.media.scrub_uncorrectable"),
+            media.scrub_uncorrectable,
+        );
+        registry.set_counter(&format!("{prefix}.media.scrub_passes"), media.scrub_passes);
+        registry.set_counter(
+            &format!("{prefix}.media.pages_retired"),
+            media.pages_retired,
         );
     }
 }

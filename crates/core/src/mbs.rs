@@ -103,6 +103,13 @@ pub struct MbsStats {
     pub write_beats: u64,
     /// Done pairs packed into a single upstream frame.
     pub coalesced_dones: u64,
+    /// Demand reads whose line needed (successful) ECC correction.
+    pub corrected_reads: u64,
+    /// Demand reads answered with the poison bit set (uncorrectable).
+    pub poisoned_reads: u64,
+    /// RMWs whose read-half hit a poisoned line; the merge is dropped
+    /// rather than laundering the poison into a fresh write.
+    pub poisoned_rmws: u64,
 }
 
 #[derive(Debug)]
@@ -151,8 +158,10 @@ impl MbsLogic {
     }
 
     /// Connects the MBS to a shared [`Tracer`]; memory accesses issued
-    /// to the Avalon bus are recorded as device read/write events.
+    /// to the Avalon bus are recorded as device read/write events, and
+    /// the bus forwards media RAS events (ECC, scrub, retire).
     pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.avalon.attach_tracer(tracer.clone());
         self.tracer = tracer;
     }
 
@@ -215,12 +224,18 @@ impl MbsLogic {
                     self.decoder_toggle = !self.decoder_toggle;
                     let issue =
                         decoded + self.cfg.knob_delay() + self.cy(self.cfg.memctl_issue_cycles);
-                    let (bytes, avail) = self.avalon.read_line(issue, port, addr);
+                    let (bytes, avail, outcome) = self.avalon.read_line(issue, port, addr);
                     let avail = avail
                         + self.cy(self.cfg.memctl_return_cycles)
                         + self.cy(self.cfg.engine_cycles + self.cfg.arb_cycles);
+                    let poison = outcome.is_uncorrectable();
+                    if poison {
+                        self.stats.poisoned_reads += 1;
+                    } else if outcome.corrected_bits() > 0 {
+                        self.stats.corrected_reads += 1;
+                    }
                     let line = CacheLine(bytes);
-                    for beat in line_to_upstream_beats(tag, &line) {
+                    for beat in line_to_upstream_beats(tag, &line, poison) {
                         self.respond(avail, beat);
                     }
                     self.respond(
@@ -314,11 +329,20 @@ impl MbsLogic {
                 } else {
                     ReadPort::R1
                 };
-                let (current, read_avail) = self.avalon.read_line(issue, rport, addr);
-                let merged = op.apply(CacheLine(current), line);
-                // One ALU cycle, then the write.
-                let wr_issue = read_avail + self.cy(1);
-                self.avalon.write_line(wr_issue, wport, addr, &merged.0)
+                let (current, read_avail, outcome) = self.avalon.read_line(issue, rport, addr);
+                if outcome.is_uncorrectable() {
+                    // Merging against poisoned data would launder the
+                    // corruption into a fresh-looking line. Drop the
+                    // merge; the line stays poisoned in the media, so
+                    // later reads stay loud.
+                    self.stats.poisoned_rmws += 1;
+                    read_avail + self.cy(1)
+                } else {
+                    let merged = op.apply(CacheLine(current), line);
+                    // One ALU cycle, then the write.
+                    let wr_issue = read_avail + self.cy(1);
+                    self.avalon.write_line(wr_issue, wport, addr, &merged.0)
+                }
             }
             _ => unreachable!("only write-class headers reach execute_write"),
         };

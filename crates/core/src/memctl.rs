@@ -14,8 +14,11 @@
 //! the media. The controller tracks write completion times to serve
 //! it.
 
-use contutto_memdev::{DdrTimings, Dram, MemoryDevice, MramGeneration, NvdimmN, SttMram};
-use contutto_sim::SimTime;
+use contutto_memdev::{
+    DdrTimings, Dram, FaultConfig, MemoryDevice, MramGeneration, NvdimmN, RasCounters, ReadOutcome,
+    ReadResult, SttMram,
+};
+use contutto_sim::{SimTime, TraceEvent, Tracer};
 
 /// The memory technology a controller instance drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +56,11 @@ impl PortDevice {
 }
 
 /// One soft memory controller driving one DIMM port.
+///
+/// Besides demand traffic, the controller owns the port's patrol-scrub
+/// schedule ([`MemoryController::enable_scrub`]): before each demand
+/// access it replays any scrub passes that fell due, so background
+/// correction interleaves deterministically with foreground traffic.
 #[derive(Debug)]
 pub struct MemoryController {
     kind: MemoryKind,
@@ -62,6 +70,9 @@ pub struct MemoryController {
     reads: u64,
     writes: u64,
     flushes: u64,
+    scrub_interval: Option<SimTime>,
+    next_scrub: SimTime,
+    tracer: Tracer,
 }
 
 impl MemoryController {
@@ -81,6 +92,99 @@ impl MemoryController {
             reads: 0,
             writes: 0,
             flushes: 0,
+            scrub_interval: None,
+            next_scrub: SimTime::ZERO,
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Routes RAS trace events into a shared tracer.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        if let PortDevice::Nvdimm(d) = &mut self.device {
+            d.attach_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// Installs a deterministic media-fault injector on this port.
+    pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
+        match &mut self.device {
+            PortDevice::Dram(d) => d.attach_media_faults(cfg),
+            PortDevice::Mram(d) => d.attach_media_faults(cfg),
+            PortDevice::Nvdimm(d) => d.attach_media_faults(cfg),
+        }
+    }
+
+    /// Correctable errors a page may accumulate before retirement.
+    pub fn set_retire_threshold(&mut self, threshold: u32) {
+        match &mut self.device {
+            PortDevice::Dram(d) => d.set_retire_threshold(threshold),
+            PortDevice::Mram(d) => d.set_retire_threshold(threshold),
+            PortDevice::Nvdimm(d) => d.set_retire_threshold(threshold),
+        }
+    }
+
+    /// Enables patrol scrub with the given interval; the first pass
+    /// falls due one interval from time zero.
+    pub fn enable_scrub(&mut self, interval: SimTime) {
+        assert!(interval > SimTime::ZERO, "scrub interval must be nonzero");
+        self.scrub_interval = Some(interval);
+        self.next_scrub = interval;
+    }
+
+    /// Disables patrol scrub.
+    pub fn disable_scrub(&mut self) {
+        self.scrub_interval = None;
+    }
+
+    /// Cumulative media RAS counters for this port.
+    pub fn ras_counters(&self) -> RasCounters {
+        match &self.device {
+            PortDevice::Dram(d) => d.ras_counters(),
+            PortDevice::Mram(d) => d.ras_counters(),
+            PortDevice::Nvdimm(d) => d.ras_counters(),
+        }
+    }
+
+    /// Pages retired on this port so far.
+    pub fn retired_pages(&self) -> Vec<u64> {
+        match &self.device {
+            PortDevice::Dram(d) => d.retired_pages(),
+            PortDevice::Mram(d) => d.retired_pages(),
+            PortDevice::Nvdimm(d) => d.retired_pages(),
+        }
+    }
+
+    /// Replays every scrub pass that fell due at or before `now`, at
+    /// its nominal time, so background correction interleaves
+    /// deterministically with the demand stream.
+    fn run_due_scrub(&mut self, now: SimTime) {
+        let Some(interval) = self.scrub_interval else {
+            return;
+        };
+        while self.next_scrub <= now {
+            let at = self.next_scrub;
+            let report = self.device.as_device_mut().scrub_pass(at);
+            self.tracer.record(TraceEvent::ScrubPass {
+                corrected: report.corrected,
+                uncorrectable: report.uncorrectable,
+            });
+            for page in &report.retired_pages {
+                self.tracer.record(TraceEvent::PageRetired { addr: *page });
+            }
+            self.next_scrub = at + interval;
+        }
+    }
+
+    fn note_outcome(&mut self, addr: u64, outcome: ReadOutcome) {
+        match outcome {
+            ReadOutcome::Clean => {}
+            ReadOutcome::Corrected { bits } => {
+                self.tracer.record(TraceEvent::EccCorrected { addr, bits });
+            }
+            ReadOutcome::Uncorrectable => {
+                self.tracer.record(TraceEvent::EccUncorrectable { addr });
+            }
         }
     }
 
@@ -98,16 +202,20 @@ impl MemoryController {
         }
     }
 
-    /// Reads one 128 B line; returns data + availability time.
-    pub fn read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], SimTime) {
+    /// Reads one 128 B line; returns data, availability time, and the
+    /// media ECC outcome.
+    pub fn read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], SimTime, ReadOutcome) {
+        self.run_due_scrub(now);
         self.reads += 1;
         let mut buf = [0u8; 128];
-        let done = self.device.as_device_mut().read(now, addr, &mut buf);
-        (buf, done)
+        let result = self.device.as_device_mut().read(now, addr, &mut buf);
+        self.note_outcome(addr, result.outcome);
+        (buf, result.done, result.outcome)
     }
 
     /// Writes one 128 B line; returns durability time.
     pub fn write_line(&mut self, now: SimTime, addr: u64, data: &[u8; 128]) -> SimTime {
+        self.run_due_scrub(now);
         self.writes += 1;
         let done = self.device.as_device_mut().write(now, addr, data);
         self.last_write_durable = self.last_write_durable.max(done);
@@ -115,13 +223,17 @@ impl MemoryController {
     }
 
     /// Reads an arbitrary span (accelerator/Access-processor path).
-    pub fn read_span(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+    pub fn read_span(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult {
+        self.run_due_scrub(now);
         self.reads += 1;
-        self.device.as_device_mut().read(now, addr, buf)
+        let result = self.device.as_device_mut().read(now, addr, buf);
+        self.note_outcome(addr, result.outcome);
+        result
     }
 
     /// Writes an arbitrary span (accelerator/Access-processor path).
     pub fn write_span(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
+        self.run_due_scrub(now);
         self.writes += 1;
         let done = self.device.as_device_mut().write(now, addr, data);
         self.last_write_durable = self.last_write_durable.max(done);
@@ -185,9 +297,10 @@ mod tests {
         let mut mc = MemoryController::new(MemoryKind::Ddr3Dram, 1 << 30);
         let data = [0xABu8; 128];
         let t1 = mc.write_line(SimTime::ZERO, 0x100_0000, &data);
-        let (back, t2) = mc.read_line(t1, 0x100_0000);
+        let (back, t2, outcome) = mc.read_line(t1, 0x100_0000);
         assert_eq!(back, data);
         assert!(t2 > t1);
+        assert!(outcome.is_clean());
         assert_eq!(mc.op_counts(), (1, 1, 0));
     }
 
@@ -195,8 +308,8 @@ mod tests {
     fn mram_controller_uses_mram_timing() {
         let mut dram = MemoryController::new(MemoryKind::Ddr3Dram, 1 << 28);
         let mut mram = MemoryController::new(MemoryKind::SttMram(MramGeneration::Pmtj), 1 << 28);
-        let (_, t_dram) = dram.read_line(SimTime::ZERO, 0);
-        let (_, t_mram) = mram.read_line(SimTime::ZERO, 0);
+        let (_, t_dram, _) = dram.read_line(SimTime::ZERO, 0);
+        let (_, t_mram, _) = mram.read_line(SimTime::ZERO, 0);
         // pMTJ: 2 x 35 ns = 70 ns for 128 B vs DRAM ~51 ns.
         assert!(t_mram > t_dram);
         assert!(mram.as_mram().is_some());
@@ -230,8 +343,39 @@ mod tests {
         mc.write_line(SimTime::ZERO, 0, &[7u8; 128]);
         let nv = mc.as_nvdimm_mut().unwrap();
         let done = nv.power_loss(SimTime::from_ms(1));
-        nv.power_restore(done);
-        let (back, _) = mc.read_line(SimTime::from_secs(1), 0);
+        nv.power_restore(done).expect("clean restore");
+        let (back, _, _) = mc.read_line(SimTime::from_secs(1), 0);
         assert_eq!(back, [7u8; 128]);
+    }
+
+    #[test]
+    fn scrub_heals_latent_faults_and_traces() {
+        use contutto_memdev::FaultConfig;
+
+        let mut mc = MemoryController::new(MemoryKind::Ddr3Dram, 1 << 20);
+        let tracer = Tracer::ring(256);
+        mc.attach_tracer(tracer.clone());
+        mc.attach_media_faults(FaultConfig {
+            transient_flips: 4,
+            window: SimTime::from_us(100),
+            hot_start: 0,
+            hot_len: 256,
+            ..FaultConfig::none(7)
+        });
+        mc.enable_scrub(SimTime::from_us(50));
+        mc.write_line(SimTime::ZERO, 0, &[0x3Cu8; 128]);
+        mc.write_line(SimTime::ZERO, 128, &[0x3Cu8; 128]);
+        // A demand access long after the fault window: the catch-up
+        // loop replays the due scrub passes first, which heal the
+        // single-bit flips before they can pair up.
+        let (back, _, outcome) = mc.read_line(SimTime::from_ms(1), 0);
+        assert!(!outcome.is_uncorrectable());
+        assert_eq!(back, [0x3Cu8; 128]);
+        let c = mc.ras_counters();
+        assert!(c.scrub_passes >= 20, "passes {}", c.scrub_passes);
+        assert!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::ScrubPass { .. })) > 0,
+            "scrub passes must be traced"
+        );
     }
 }

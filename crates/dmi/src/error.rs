@@ -55,6 +55,13 @@ pub enum DmiError {
     /// A configuration violated a documented invariant at construction
     /// time (e.g. a replay buffer too small to cover the ACK timeout).
     Config(&'static str),
+    /// The buffer returned the line but flagged it poisoned: media ECC
+    /// detected an uncorrectable error. The data must not be consumed;
+    /// firmware surfaces this as a machine check.
+    Poisoned {
+        /// Host address of the poisoned line.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for DmiError {
@@ -84,6 +91,7 @@ impl fmt::Display for DmiError {
                 write!(f, "tag {tag} timed out after {waited}")
             }
             DmiError::Config(what) => write!(f, "invalid configuration: {what}"),
+            DmiError::Poisoned { addr } => write!(f, "poisoned data at {addr:#x}"),
         }
     }
 }
@@ -116,6 +124,7 @@ mod tests {
                 waited: SimTime::from_us(20),
             },
             DmiError::Config("replay buffer must cover the ack timeout"),
+            DmiError::Poisoned { addr: 0x8000 },
         ];
         for e in errs {
             let s = e.to_string();

@@ -164,6 +164,9 @@ pub enum UpstreamPayload {
         beat: u8,
         /// The 32 data bytes.
         data: [u8; UPSTREAM_BEAT_BYTES],
+        /// Media ECC found the line uncorrectable; the data rides the
+        /// frame but must not be consumed (poison bit, CRC-covered).
+        poison: bool,
     },
     /// Completion notifications for one or two tags.
     Done {
@@ -366,11 +369,17 @@ impl UpstreamFrame {
             UpstreamPayload::Idle => {
                 body[0] = 0;
             }
-            UpstreamPayload::ReadData { tag, beat, data } => {
+            UpstreamPayload::ReadData {
+                tag,
+                beat,
+                data,
+                poison,
+            } => {
                 body[0] = 1;
                 body[1] = tag.raw();
                 body[2] = *beat;
                 body[3..35].copy_from_slice(data);
+                body[35] = u8::from(*poison);
             }
             UpstreamPayload::Done { first, second } => {
                 body[0] = 2;
@@ -421,7 +430,13 @@ impl UpstreamFrame {
                 }
                 let mut data = [0u8; UPSTREAM_BEAT_BYTES];
                 data.copy_from_slice(&body[3..35]);
-                UpstreamPayload::ReadData { tag, beat, data }
+                let poison = body[35] != 0;
+                UpstreamPayload::ReadData {
+                    tag,
+                    beat,
+                    data,
+                    poison,
+                }
             }
             2 => {
                 let first = Tag::new(body[1])?;
@@ -456,8 +471,9 @@ pub fn line_to_downstream_beats(tag: Tag, line: &CacheLine) -> Vec<DownstreamPay
         .collect()
 }
 
-/// Splits a cache line into four upstream read-data beats.
-pub fn line_to_upstream_beats(tag: Tag, line: &CacheLine) -> Vec<UpstreamPayload> {
+/// Splits a cache line into four upstream read-data beats. `poison`
+/// marks every beat when the media flagged the line uncorrectable.
+pub fn line_to_upstream_beats(tag: Tag, line: &CacheLine, poison: bool) -> Vec<UpstreamPayload> {
     (0..UPSTREAM_BEATS_PER_LINE)
         .map(|beat| {
             let mut data = [0u8; UPSTREAM_BEAT_BYTES];
@@ -468,6 +484,7 @@ pub fn line_to_upstream_beats(tag: Tag, line: &CacheLine) -> Vec<UpstreamPayload
                 tag,
                 beat: beat as u8,
                 data,
+                poison,
             }
         })
         .collect()
@@ -618,6 +635,17 @@ mod tests {
                     tag: t(4),
                     beat: 3,
                     data: [0x5A; 32],
+                    poison: false,
+                },
+            },
+            UpstreamFrame {
+                seq: 14,
+                ack: None,
+                payload: UpstreamPayload::ReadData {
+                    tag: t(5),
+                    beat: 0,
+                    data: [0xEE; 32],
+                    poison: true,
                 },
             },
             UpstreamFrame {
@@ -713,7 +741,7 @@ mod tests {
     #[test]
     fn line_splitting_and_reassembly_upstream() {
         let line = CacheLine::patterned(99);
-        let beats = line_to_upstream_beats(t(0), &line);
+        let beats = line_to_upstream_beats(t(0), &line, false);
         assert_eq!(beats.len(), 4);
         let mut asm = LineAssembler::upstream();
         for p in &beats {
@@ -723,6 +751,28 @@ mod tests {
         }
         assert!(asm.is_complete());
         assert_eq!(asm.into_line(), line);
+    }
+
+    #[test]
+    fn poison_bit_is_crc_covered() {
+        let f = UpstreamFrame {
+            seq: 1,
+            ack: None,
+            payload: UpstreamPayload::ReadData {
+                tag: t(3),
+                beat: 0,
+                data: [0x11; 32],
+                poison: false,
+            },
+        };
+        let mut bytes = f.to_bytes();
+        // Flipping the poison byte on the wire must be caught by CRC —
+        // poison can never be silently gained or lost in transit.
+        bytes[37] ^= 1;
+        assert!(matches!(
+            UpstreamFrame::from_bytes(&bytes),
+            Err(DmiError::CrcMismatch { .. })
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use contutto_sim::SimTime;
 
+use crate::ecc::{ReadOutcome, ReadResult};
 use crate::store::SparseMemory;
 use crate::traits::{check_range, MediaKind, MemoryDevice};
 
@@ -138,10 +139,13 @@ impl MemoryDevice for HardDiskDrive {
         MediaKind::HardDisk
     }
 
-    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult {
         check_range(self.capacity, addr, buf.len());
         self.store.read(addr, buf);
-        self.access(now, addr, buf.len())
+        ReadResult {
+            done: self.access(now, addr, buf.len()),
+            outcome: ReadOutcome::Clean,
+        }
     }
 
     fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {

@@ -11,6 +11,8 @@
 
 use contutto_sim::SimTime;
 
+use crate::ecc::{MediaRas, RasCounters, ReadResult, ScrubReport};
+use crate::fault::{FaultConfig, MediaFaultInjector};
 use crate::store::SparseMemory;
 use crate::traits::{check_range, MediaKind, MemoryDevice};
 
@@ -108,9 +110,10 @@ pub struct DramStats {
 /// let t0 = SimTime::ZERO;
 /// let done = d.write(t0, 0x1000, &[42u8; 128]);
 /// let mut buf = [0u8; 128];
-/// let done2 = d.read(done, 0x1000, &mut buf);
+/// let result = d.read(done, 0x1000, &mut buf);
 /// assert_eq!(buf, [42u8; 128]);
-/// assert!(done2 > done);
+/// assert!(result.outcome.is_clean());
+/// assert!(result.done > done);
 /// ```
 #[derive(Debug)]
 pub struct Dram {
@@ -123,6 +126,7 @@ pub struct Dram {
     /// per device; back-to-back bursts stream every tBURST).
     last_data_out: SimTime,
     stats: DramStats,
+    ras: MediaRas,
 }
 
 impl Dram {
@@ -141,12 +145,35 @@ impl Dram {
             next_refresh: SimTime::from_ps(timings.trefi),
             last_data_out: SimTime::ZERO,
             stats: DramStats::default(),
+            ras: MediaRas::new(),
         }
     }
 
     /// Access statistics so far.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Installs a deterministic media-fault injector.
+    pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
+        self.ras.attach_injector(MediaFaultInjector::new(cfg));
+    }
+
+    /// Correctable errors a page may accumulate before the patrol
+    /// scrubber retires it.
+    pub fn set_retire_threshold(&mut self, threshold: u32) {
+        self.ras.set_retire_threshold(threshold);
+    }
+
+    /// Cumulative RAS counters (ECC corrections, scrub activity,
+    /// retirements).
+    pub fn ras_counters(&self) -> RasCounters {
+        self.ras.counters()
+    }
+
+    /// Pages retired so far (4 KiB base addresses, ascending).
+    pub fn retired_pages(&self) -> Vec<u64> {
+        self.ras.retired_pages()
     }
 
     /// Functional read without charging timing (used when a
@@ -162,12 +189,14 @@ impl Dram {
     pub fn poke(&mut self, addr: u64, data: &[u8]) {
         check_range(self.capacity, addr, data.len());
         self.store.write(addr, data);
+        self.ras.record_write(addr, data.len(), &self.store);
     }
 
     /// Simulates power loss: DRAM forgets everything.
     pub fn power_loss(&mut self) {
         self.store.clear();
         self.banks = [BankState::default(); NUM_BANKS];
+        self.ras.on_power_loss();
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
@@ -245,16 +274,28 @@ impl MemoryDevice for Dram {
         MediaKind::Dram
     }
 
-    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult {
         check_range(self.capacity, addr, buf.len());
-        self.store.read(addr, buf);
-        self.access_span(now, addr, buf.len())
+        // The RAS layer fills `buf` with the verified (corrected)
+        // view of the array; the ECC pipeline is part of the array
+        // access, so it adds no simulated time.
+        let outcome = self.ras.verify_read(now, addr, buf, &mut self.store);
+        ReadResult {
+            done: self.access_span(now, addr, buf.len()),
+            outcome,
+        }
     }
 
     fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
         check_range(self.capacity, addr, data.len());
+        self.ras.pre_write(now, addr, data.len(), &mut self.store);
         self.store.write(addr, data);
+        self.ras.record_write(addr, data.len(), &self.store);
         self.access_span(now, addr, data.len())
+    }
+
+    fn scrub_pass(&mut self, now: SimTime) -> ScrubReport {
+        self.ras.scrub(now, &mut self.store)
     }
 }
 
@@ -281,9 +322,9 @@ mod tests {
         let mut d = dram();
         let mut buf = [0u8; 64];
         let t0 = SimTime::ZERO;
-        let first = d.read(t0, 0, &mut buf); // miss: tRCD + CL + burst
+        let first = d.read(t0, 0, &mut buf).done; // miss: tRCD + CL + burst
         let second_start = first;
-        let second = d.read(second_start, 64, &mut buf); // hit: CL + burst
+        let second = d.read(second_start, 64, &mut buf).done; // hit: CL + burst
         let miss_lat = first - t0;
         let hit_lat = second - second_start;
         assert!(hit_lat < miss_lat, "hit {hit_lat} !< miss {miss_lat}");
@@ -296,10 +337,10 @@ mod tests {
         let mut d = dram();
         let mut buf = [0u8; 64];
         let t0 = SimTime::ZERO;
-        let t1 = d.read(t0, 0, &mut buf); // open row 0 of bank 0
-                                          // Same bank, different row: banks interleave every 8 KiB, so
-                                          // +8 KiB * 8 banks = same bank, next row.
-        let t2 = d.read(t1, 8192 * 8, &mut buf);
+        let t1 = d.read(t0, 0, &mut buf).done; // open row 0 of bank 0
+                                               // Same bank, different row: banks interleave every 8 KiB, so
+                                               // +8 KiB * 8 banks = same bank, next row.
+        let t2 = d.read(t1, 8192 * 8, &mut buf).done;
         let conflict_lat = t2 - t1;
         assert_eq!(conflict_lat.as_ps(), 13_750 + 13_750 + 13_750 + 5_000);
         assert_eq!(d.stats().conflicts, 1);
@@ -314,7 +355,7 @@ mod tests {
                                  // Bank 1 (next 8 KiB chunk) is idle: also a plain miss issued
                                  // at t0 in parallel — only the shared data bus (one burst per
                                  // tBURST) separates the two completions.
-        let done = d.read(t0, 8192, &mut buf);
+        let done = d.read(t0, 8192, &mut buf).done;
         assert_eq!((done - t0).as_ps(), 13_750 + 13_750 + 5_000 + 5_000);
         assert_eq!(d.stats().misses, 2);
     }
@@ -324,11 +365,11 @@ mod tests {
         let mut d = dram();
         let mut buf = [0u8; 64];
         let t0 = SimTime::ZERO;
-        let first_done = d.read(t0, 0, &mut buf);
+        let first_done = d.read(t0, 0, &mut buf).done;
         // Immediately issue a second access to the same bank at t0:
         // CAS-pipelined behind the first, its data streams one burst
         // slot later.
-        let second_done = d.read(t0, 64, &mut buf);
+        let second_done = d.read(t0, 64, &mut buf).done;
         assert!(second_done > first_done);
         assert_eq!((second_done - first_done).as_ps(), 5_000);
     }
@@ -338,7 +379,7 @@ mod tests {
         let mut d = dram();
         let mut buf = [0u8; 64];
         // Access just after the first refresh interval.
-        let done = d.read(SimTime::from_ps(7_800_001), 0, &mut buf);
+        let done = d.read(SimTime::from_ps(7_800_001), 0, &mut buf).done;
         assert_eq!(d.stats().refresh_stalls, 1);
         // The access started only after the refresh completed.
         assert!(done.as_ps() >= 7_800_000 + 160_000);
@@ -349,7 +390,7 @@ mod tests {
         let mut d = dram();
         let mut buf = [0u8; 128];
         let t0 = SimTime::ZERO;
-        let done = d.read(t0, 0, &mut buf);
+        let done = d.read(t0, 0, &mut buf).done;
         // miss (tRCD+CL+burst) then pipelined hit (CL+burst).
         assert_eq!(
             (done - t0).as_ps(),
@@ -365,6 +406,63 @@ mod tests {
         let mut buf = [1u8; 64];
         d.read(SimTime::from_us(1), 0, &mut buf);
         assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn injected_transient_is_corrected_never_silent() {
+        let mut d = dram();
+        d.attach_media_faults(FaultConfig {
+            seed: 7,
+            transient_flips: 1,
+            window: SimTime::from_us(10),
+            hot_start: 0,
+            hot_len: 128,
+            stuck_cells: 0,
+            wear_acceleration: 0.0,
+        });
+        d.write(SimTime::ZERO, 0, &[0x77u8; 128]);
+        let mut buf = [0u8; 128];
+        let r = d.read(SimTime::from_us(20), 0, &mut buf);
+        assert!(!r.outcome.is_uncorrectable());
+        assert_eq!(buf, [0x77u8; 128], "returned data always correct");
+        // The scrubber heals the array; the next read is clean.
+        d.scrub_pass(SimTime::from_us(21));
+        let r2 = d.read(SimTime::from_us(22), 0, &mut buf);
+        assert!(r2.outcome.is_clean());
+        assert_eq!(buf, [0x77u8; 128]);
+    }
+
+    #[test]
+    fn stuck_cell_drives_page_retirement() {
+        let mut d = dram();
+        d.set_retire_threshold(3);
+        d.attach_media_faults(FaultConfig {
+            seed: 3,
+            transient_flips: 0,
+            window: SimTime::ZERO,
+            hot_start: 0,
+            hot_len: 64,
+            stuck_cells: 1,
+            wear_acceleration: 0.0,
+        });
+        // Data whose bits disagree with the stuck level roughly half
+        // the time; alternate patterns so the cell shows up.
+        let mut retired = false;
+        for pass in 0..16u64 {
+            let fill = if pass % 2 == 0 { 0x00 } else { 0xFF };
+            d.write(SimTime::from_us(pass), 0, &[fill; 128]);
+            let report = d.scrub_pass(SimTime::from_us(pass) + SimTime::from_ns(500));
+            if !report.retired_pages.is_empty() {
+                retired = true;
+                break;
+            }
+        }
+        assert!(retired, "repeated corrections retire the page");
+        assert_eq!(d.retired_pages(), vec![0]);
+        // A retired page goes quiet: the injector is mapped out.
+        let mut buf = [0u8; 128];
+        let r = d.read(SimTime::from_ms(1), 0, &mut buf);
+        assert!(r.outcome.is_clean());
     }
 
     #[test]

@@ -122,6 +122,30 @@ impl EnduranceClass {
         assert!(writes_per_sec > 0.0);
         self.min_cycles / writes_per_sec / 86_400.0
     }
+
+    /// Expected number of failed lines after `writes_per_line` write
+    /// cycles to each of `lines` lines.
+    ///
+    /// Figure 8 gives each technology a min..max cycles-to-failure
+    /// band on a log axis; this interprets the band as a population
+    /// spread: no line fails below `min_cycles`, every line has
+    /// failed at `max_cycles`, and the failed fraction grows linearly
+    /// in log10(cycles) between the two. The MRAM wear-out injector
+    /// ([`crate::fault::MediaFaultInjector::note_write`]) uses this
+    /// to turn Figure 8 from a display dataset into a failure model.
+    pub fn expected_failures(self, writes_per_line: f64, lines: u64) -> f64 {
+        if writes_per_line <= self.min_cycles {
+            return 0.0;
+        }
+        if writes_per_line >= self.max_cycles {
+            return lines as f64;
+        }
+        let (lo, hi) = self.log10_band();
+        if hi <= lo {
+            return lines as f64;
+        }
+        (writes_per_line.log10() - lo) / (hi - lo) * lines as f64
+    }
 }
 
 /// One row of the Figure 8 dataset.
@@ -215,5 +239,19 @@ mod tests {
     #[should_panic(expected = "invalid band")]
     fn band_validation() {
         let _ = EnduranceClass::new(10.0, 1.0);
+    }
+
+    #[test]
+    fn expected_failures_tracks_the_band() {
+        let mram = Technology::SttMram.endurance(); // 1e12..1e15
+        assert_eq!(mram.expected_failures(1e9, 1000), 0.0);
+        assert_eq!(mram.expected_failures(1e12, 1000), 0.0);
+        assert_eq!(mram.expected_failures(1e15, 1000), 1000.0);
+        assert_eq!(mram.expected_failures(1e16, 1000), 1000.0);
+        // Halfway through the log band: half the population.
+        let mid = mram.expected_failures(10f64.powf(13.5), 1000);
+        assert!((mid - 500.0).abs() < 1e-6, "mid {mid}");
+        // Monotone in writes.
+        assert!(mram.expected_failures(1e14, 10) > mram.expected_failures(1e13, 10));
     }
 }

@@ -9,6 +9,7 @@
 
 use contutto_sim::SimTime;
 
+use crate::ecc::{ReadOutcome, ReadResult};
 use crate::store::SparseMemory;
 use crate::traits::{check_range, MediaKind, MemoryDevice};
 
@@ -67,6 +68,9 @@ struct BlockState {
     /// Bitmask-free page-programmed flags (pages_per_block ≤ 64).
     programmed: u64,
     erase_count: u64,
+    /// Worn out and retired: writes are dropped (and counted), reads
+    /// come back uncorrectable.
+    bad: bool,
 }
 
 /// Errors from flash operations.
@@ -103,6 +107,7 @@ pub struct NandFlash {
     store: SparseMemory,
     blocks: Vec<BlockState>,
     busy_until: SimTime,
+    dropped_writes: u64,
 }
 
 impl NandFlash {
@@ -129,6 +134,7 @@ impl NandFlash {
             store: SparseMemory::new(),
             blocks: vec![BlockState::default(); blocks],
             busy_until: SimTime::ZERO,
+            dropped_writes: 0,
         }
     }
 
@@ -145,6 +151,31 @@ impl NandFlash {
     /// Erase count of a block.
     pub fn erase_count(&self, block: u64) -> u64 {
         self.blocks[block as usize].erase_count
+    }
+
+    /// Blocks retired after wearing out on the write path.
+    pub fn bad_blocks(&self) -> u64 {
+        self.blocks.iter().filter(|b| b.bad).count() as u64
+    }
+
+    /// Whether a block has been retired as bad.
+    pub fn is_bad_block(&self, block: u64) -> bool {
+        self.blocks[block as usize].bad
+    }
+
+    /// Page writes dropped because their block was bad.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped_writes
+    }
+
+    /// Fault-injection hook: XORs `mask` into the stored byte at
+    /// `addr`, modelling retention loss in the media (no timing).
+    pub fn corrupt_byte(&mut self, addr: u64, mask: u8) {
+        check_range(self.capacity, addr, 1);
+        let mut b = [0u8; 1];
+        self.store.read(addr, &mut b);
+        b[0] ^= mask;
+        self.store.write(addr, &b);
     }
 
     fn page_of(&self, addr: u64) -> u64 {
@@ -250,21 +281,31 @@ impl MemoryDevice for NandFlash {
         MediaKind::NandFlash
     }
 
-    /// Byte reads round up to whole pages internally.
-    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+    /// Byte reads round up to whole pages internally. Reads that touch
+    /// a bad (wear-retired) block come back [`ReadOutcome::Uncorrectable`].
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult {
         check_range(self.capacity, addr, buf.len());
         let first = self.page_of(addr);
         let last = self.page_of(addr + buf.len() as u64 - 1);
         self.store.read(addr, buf);
+        let mut outcome = ReadOutcome::Clean;
+        for page in first..=last {
+            if self.blocks[self.block_of_page(page) as usize].bad {
+                outcome = ReadOutcome::Uncorrectable;
+            }
+        }
         let start = now.max(self.busy_until);
         let done = start + self.cfg.read_page * (last - first + 1);
         self.busy_until = done;
-        done
+        ReadResult { done, outcome }
     }
 
     /// A `MemoryDevice::write` on raw flash models the FTL-free
     /// "overwrite in place" path used by the NVDIMM save engine: it
-    /// erases affected blocks as needed and programs the pages.
+    /// erases affected blocks as needed and programs the pages. A
+    /// write-path erase that hits the endurance limit retires the
+    /// block as bad — its page writes are dropped (and counted in
+    /// [`NandFlash::dropped_writes`]) rather than silently served.
     fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
         check_range(self.capacity, addr, data.len());
         let first_page = self.page_of(addr);
@@ -273,20 +314,39 @@ impl MemoryDevice for NandFlash {
         for page in first_page..=last_page {
             let block_idx = self.block_of_page(page);
             let in_block = page % self.cfg.pages_per_block;
+            if self.blocks[block_idx as usize].bad {
+                continue;
+            }
             if self.blocks[block_idx as usize].programmed & (1 << in_block) != 0 {
-                t = self
-                    .erase_block(t, block_idx)
-                    .expect("write-path erase hit worn block");
+                match self.erase_block(t, block_idx) {
+                    Ok(done) => t = done,
+                    Err(FlashError::BlockWornOut { .. }) => {
+                        self.blocks[block_idx as usize].bad = true;
+                    }
+                    Err(e) => unreachable!("erase_block: {e}"),
+                }
             }
         }
-        self.store.write(addr, data);
+        let mut programmed = 0u64;
         for page in first_page..=last_page {
             let block_idx = self.block_of_page(page);
             let in_block = page % self.cfg.pages_per_block;
+            if self.blocks[block_idx as usize].bad {
+                self.dropped_writes += 1;
+                continue;
+            }
+            // Clip the caller's span to this page.
+            let p_start = page * self.cfg.page_bytes;
+            let p_end = p_start + self.cfg.page_bytes;
+            let lo = addr.max(p_start);
+            let hi = (addr + data.len() as u64).min(p_end);
+            let slice = &data[(lo - addr) as usize..(hi - addr) as usize];
+            self.store.write(lo, slice);
             self.blocks[block_idx as usize].programmed |= 1 << in_block;
+            programmed += 1;
         }
         let start = t.max(self.busy_until);
-        let done = start + self.cfg.program_page * (last_page - first_page + 1);
+        let done = start + self.cfg.program_page * programmed;
         self.busy_until = done;
         done
     }
@@ -363,6 +423,45 @@ mod tests {
         let mut buf = vec![0u8; 4096];
         f.read(done, 0, &mut buf);
         assert_eq!(buf, vec![2u8; 4096]);
+    }
+
+    #[test]
+    fn worn_block_goes_bad_instead_of_serving_writes() {
+        let cfg = FlashConfig {
+            endurance_cycles: 1,
+            ..FlashConfig::mlc()
+        };
+        let mut f = NandFlash::new(1 << 20, cfg);
+        let block_bytes = (cfg.page_bytes * cfg.pages_per_block) as usize;
+        f.write(SimTime::ZERO, 0, &vec![1u8; 4096]); // program
+        f.write(SimTime::ZERO, 0, &vec![2u8; 4096]); // erase #1 (last allowed)
+        assert_eq!(f.bad_blocks(), 0);
+        // The next overwrite needs erase #2: block goes bad, write drops.
+        f.write(SimTime::ZERO, 0, &vec![3u8; 4096]);
+        assert_eq!(f.bad_blocks(), 1);
+        assert!(f.is_bad_block(0));
+        assert_eq!(f.dropped_writes(), 1);
+        // The old data is stale AND the read says so, loudly.
+        let mut buf = vec![0u8; 4096];
+        let r = f.read(SimTime::ZERO, 0, &mut buf);
+        assert!(r.outcome.is_uncorrectable());
+        assert_eq!(buf, vec![2u8; 4096], "stale image, flagged as such");
+        // Neighboring blocks still work and read clean.
+        f.write(SimTime::ZERO, block_bytes as u64, &vec![7u8; 4096]);
+        let r = f.read(SimTime::ZERO, block_bytes as u64, &mut buf);
+        assert!(r.outcome.is_clean());
+        assert_eq!(buf, vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn corrupt_byte_flips_stored_data() {
+        let mut f = flash();
+        f.write(SimTime::ZERO, 0, &vec![0xAAu8; 4096]);
+        f.corrupt_byte(10, 0x01);
+        let mut buf = vec![0u8; 4096];
+        f.read(SimTime::ZERO, 0, &mut buf);
+        assert_eq!(buf[10], 0xAB);
+        assert_eq!(buf[11], 0xAA);
     }
 
     #[test]

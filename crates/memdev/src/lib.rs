@@ -12,7 +12,10 @@
 //! * [`disk`] — a mechanical HDD (seek + rotation + transfer),
 //! * [`dimm`] — DIMM modules and their SPD (serial presence detect)
 //!   contents, which the ConTutto firmware reads over FSI (paper §3.4),
-//! * [`endurance`] — the write-endurance comparison behind Figure 8.
+//! * [`endurance`] — the write-endurance comparison behind Figure 8,
+//! * [`ecc`] — SEC-DED over 64-bit words, patrol scrub and page
+//!   retirement (the media RAS layer),
+//! * [`fault`] — the deterministic, seedable media-fault injector.
 //!
 //! All devices implement [`MemoryDevice`]: functional byte storage
 //! (reads return exactly what was written) plus a per-operation
@@ -22,7 +25,9 @@
 pub mod dimm;
 pub mod disk;
 pub mod dram;
+pub mod ecc;
 pub mod endurance;
+pub mod fault;
 pub mod flash;
 pub mod mram;
 pub mod nvdimm;
@@ -32,9 +37,11 @@ pub mod traits;
 pub use dimm::{DimmModule, Spd};
 pub use disk::{DiskConfig, HardDiskDrive};
 pub use dram::{DdrTimings, Dram};
+pub use ecc::{RasCounters, ReadOutcome, ReadResult, ScrubReport};
 pub use endurance::{EnduranceClass, Technology};
-pub use flash::NandFlash;
+pub use fault::{FaultConfig, InjectorStats, MediaFaultInjector};
+pub use flash::{FlashError, NandFlash};
 pub use mram::{MramGeneration, SttMram};
-pub use nvdimm::{NvdimmN, SaveSequence, SaveState};
+pub use nvdimm::{NvdimmN, RestoreError, SaveSequence, SaveState};
 pub use store::SparseMemory;
 pub use traits::{MediaKind, MemoryDevice};

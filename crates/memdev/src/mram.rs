@@ -15,6 +15,9 @@ use std::collections::HashMap;
 
 use contutto_sim::SimTime;
 
+use crate::ecc::{MediaRas, RasCounters, ReadResult, ScrubReport};
+use crate::endurance::Technology;
+use crate::fault::{FaultConfig, MediaFaultInjector};
 use crate::store::SparseMemory;
 use crate::traits::{check_range, MediaKind, MemoryDevice};
 
@@ -84,6 +87,7 @@ pub struct SttMram {
     write_counts: HashMap<u64, u64>,
     total_writes: u64,
     total_write_energy_pj: f64,
+    ras: MediaRas,
 }
 
 impl SttMram {
@@ -102,7 +106,31 @@ impl SttMram {
             write_counts: HashMap::new(),
             total_writes: 0,
             total_write_energy_pj: 0.0,
+            ras: MediaRas::new(),
         }
+    }
+
+    /// Installs a deterministic media-fault injector. With
+    /// `wear_acceleration` set, per-line write counts drive stuck-cell
+    /// failures through the Figure 8 endurance band
+    /// ([`crate::EnduranceClass::expected_failures`]).
+    pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
+        self.ras.attach_injector(MediaFaultInjector::new(cfg));
+    }
+
+    /// Correctable errors a page may accumulate before retirement.
+    pub fn set_retire_threshold(&mut self, threshold: u32) {
+        self.ras.set_retire_threshold(threshold);
+    }
+
+    /// Cumulative RAS counters.
+    pub fn ras_counters(&self) -> RasCounters {
+        self.ras.counters()
+    }
+
+    /// Pages retired so far.
+    pub fn retired_pages(&self) -> Vec<u64> {
+        self.ras.retired_pages()
     }
 
     /// The device generation.
@@ -141,6 +169,7 @@ impl SttMram {
     pub fn poke(&mut self, addr: u64, data: &[u8]) {
         check_range(self.capacity, addr, data.len());
         self.store.write(addr, data);
+        self.ras.record_write(addr, data.len(), &self.store);
     }
 
     /// Simulated power loss: contents are retained (non-volatile).
@@ -164,21 +193,27 @@ impl MemoryDevice for SttMram {
         MediaKind::SttMram
     }
 
-    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult {
         check_range(self.capacity, addr, buf.len());
-        self.store.read(addr, buf);
+        let outcome = self.ras.verify_read(now, addr, buf, &mut self.store);
         let start = now.max(self.busy_until);
         let done = start + self.generation.read_latency() * Self::spans(addr, buf.len());
         self.busy_until = done;
-        done
+        ReadResult { done, outcome }
     }
 
     fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
         check_range(self.capacity, addr, data.len());
+        self.ras.pre_write(now, addr, data.len(), &mut self.store);
         self.store.write(addr, data);
+        self.ras.record_write(addr, data.len(), &self.store);
         let lines = Self::spans(addr, data.len());
+        let endurance = Technology::SttMram.endurance();
         for i in 0..lines {
-            *self.write_counts.entry(addr / 64 + i).or_insert(0) += 1;
+            let line = addr / 64 + i;
+            let count = self.write_counts.entry(line).or_insert(0);
+            *count += 1;
+            self.ras.note_write(line * 64, *count, endurance);
         }
         self.total_writes += lines;
         self.total_write_energy_pj += self.generation.write_energy_pj() * lines as f64;
@@ -186,6 +221,10 @@ impl MemoryDevice for SttMram {
         let done = start + self.generation.write_latency() * lines;
         self.busy_until = done;
         done
+    }
+
+    fn scrub_pass(&mut self, now: SimTime) -> ScrubReport {
+        self.ras.scrub(now, &mut self.store)
     }
 }
 
@@ -213,7 +252,7 @@ mod tests {
     #[test]
     fn write_slower_than_read() {
         let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
-        let r = m.read(SimTime::ZERO, 0, &mut [0u8; 64]);
+        let r = m.read(SimTime::ZERO, 0, &mut [0u8; 64]).done;
         let w_start = r;
         let w = m.write(w_start, 0, &[0u8; 64]);
         assert!(w - w_start > r - SimTime::ZERO);
@@ -243,8 +282,8 @@ mod tests {
     fn device_serializes_accesses() {
         let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
         let mut buf = [0u8; 64];
-        let a = m.read(SimTime::ZERO, 0, &mut buf);
-        let b = m.read(SimTime::ZERO, 4096, &mut buf); // issued at same time
+        let a = m.read(SimTime::ZERO, 0, &mut buf).done;
+        let b = m.read(SimTime::ZERO, 4096, &mut buf).done; // issued at same time
         assert_eq!(b - a, MramGeneration::Pmtj.read_latency());
     }
 }

@@ -14,9 +14,13 @@
 //! (paper §4.2: "the sequence is vendor specific in the case of
 //! DDR3"), which our firmware model has to know about.
 
-use contutto_sim::SimTime;
+use std::fmt;
+
+use contutto_sim::{SimTime, TraceEvent, Tracer};
 
 use crate::dram::{DdrTimings, Dram};
+use crate::ecc::{RasCounters, ReadResult, ScrubReport};
+use crate::fault::FaultConfig;
 use crate::flash::{FlashConfig, NandFlash};
 use crate::traits::{MediaKind, MemoryDevice};
 
@@ -48,6 +52,63 @@ pub enum SaveSequence {
     VendorDdr3(u8),
 }
 
+/// Why a power-restore failed to bring the data back. Either way the
+/// DIMM refuses to present the image as valid: the failure is loud,
+/// never silent corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// Power returned before the save engine finished; the flash
+    /// image is torn (part old, part new) and must not be used.
+    TornSave {
+        /// When power came back.
+        restored_at: SimTime,
+        /// When the save would have completed.
+        save_done_at: SimTime,
+    },
+    /// The restored image failed its integrity check (flash bit rot,
+    /// bad blocks, or corruption while powered off).
+    CrcMismatch {
+        /// CRC recorded when the save completed.
+        expected: u32,
+        /// CRC of what actually came back from flash.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::TornSave {
+                restored_at,
+                save_done_at,
+            } => write!(
+                f,
+                "torn save: power restored at {restored_at} but the save ran until {save_done_at}"
+            ),
+            RestoreError::CrcMismatch { expected, actual } => write!(
+                f,
+                "restore CRC mismatch: saved {expected:#010x}, restored {actual:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise — the save engine's
+/// integrity check over the streamed image.
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    crc
+}
+
 /// A flash-backed DRAM DIMM (NVDIMM-N).
 #[derive(Debug)]
 pub struct NvdimmN {
@@ -59,6 +120,9 @@ pub struct NvdimmN {
     sequence: SaveSequence,
     /// Flash streaming bandwidth during save/restore, bytes/sec.
     backup_bandwidth: f64,
+    /// CRC of the last saved image, recorded when the save completed.
+    save_crc: Option<u32>,
+    tracer: Tracer,
 }
 
 impl NvdimmN {
@@ -77,7 +141,57 @@ impl NvdimmN {
             // DDR3 parts in the paper's era: vendor-specific handshake.
             sequence: SaveSequence::VendorDdr3(0x2C),
             backup_bandwidth: 400e6, // 400 MB/s save engine
+            save_crc: None,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Routes save-engine trace events into a shared tracer.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Installs a deterministic media-fault injector on the DRAM side.
+    pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
+        self.dram.attach_media_faults(cfg);
+    }
+
+    /// Correctable errors a page may accumulate before retirement.
+    pub fn set_retire_threshold(&mut self, threshold: u32) {
+        self.dram.set_retire_threshold(threshold);
+    }
+
+    /// Cumulative RAS counters (DRAM side).
+    pub fn ras_counters(&self) -> RasCounters {
+        self.dram.ras_counters()
+    }
+
+    /// Pages retired so far (DRAM side).
+    pub fn retired_pages(&self) -> Vec<u64> {
+        self.dram.retired_pages()
+    }
+
+    /// Whether a power cut **right now** would preserve the contents.
+    ///
+    /// This is the paper's point about "non-trivial firmware/BIOS
+    /// support": non-volatile media (`kind().is_nonvolatile()`) is a
+    /// static property, but actual durability depends on the supercap
+    /// being armed and the save engine's state — a disarmed DIMM, or
+    /// one still mid-save, is volatile no matter what its media says.
+    pub fn is_durable(&self, now: SimTime) -> bool {
+        match self.state {
+            SaveState::Lost => false,
+            SaveState::Saving { done_at } => now >= done_at,
+            SaveState::Saved => true,
+            SaveState::Idle => self.armed,
+        }
+    }
+
+    /// Fault-injection hook for tests: corrupts one byte of the saved
+    /// flash image (retention loss while powered off). The next
+    /// restore fails its CRC check instead of returning bad data.
+    pub fn corrupt_saved_image(&mut self, addr: u64, mask: u8) {
+        self.flash.corrupt_byte(addr, mask);
     }
 
     /// The save handshake this DIMM expects. Firmware must issue a
@@ -131,16 +245,20 @@ impl NvdimmN {
     pub fn power_loss(&mut self, now: SimTime) -> SimTime {
         if self.armed {
             let done = now + self.backup_duration();
-            // Functionally: stream the DRAM image into flash.
+            // Functionally: stream the DRAM image into flash, hashing
+            // as it goes so restore can prove the image came back.
             let cap = self.dram.capacity_bytes();
             let mut buf = vec![0u8; 64 * 1024];
             let mut off = 0u64;
+            let mut crc = !0u32;
             while off < cap {
                 let n = (cap - off).min(buf.len() as u64) as usize;
-                self.dram.read(now, off, &mut buf[..n]);
+                self.dram.peek(off, &mut buf[..n]);
+                crc = crc32_update(crc, &buf[..n]);
                 self.flash.write(now, off, &buf[..n]);
                 off += n as u64;
             }
+            self.save_crc = Some(!crc);
             self.dram.power_loss();
             self.state = SaveState::Saving { done_at: done };
             done
@@ -152,36 +270,61 @@ impl NvdimmN {
     }
 
     /// Power returns. If a save completed, the image is restored from
-    /// flash into DRAM. Returns the time the DIMM is usable.
-    pub fn power_restore(&mut self, now: SimTime) -> SimTime {
+    /// flash into DRAM and verified against the save-time CRC. Returns
+    /// the time the DIMM is usable.
+    ///
+    /// # Errors
+    ///
+    /// * [`RestoreError::TornSave`] if power returns mid-save; the
+    ///   torn image is discarded (state becomes [`SaveState::Lost`]).
+    /// * [`RestoreError::CrcMismatch`] if the image fails its
+    ///   integrity check; likewise discarded.
+    pub fn power_restore(&mut self, now: SimTime) -> Result<SimTime, RestoreError> {
         match self.state {
-            SaveState::Saving { done_at } => {
-                assert!(
-                    now >= done_at,
-                    "power restored before the save finished; image would be torn"
-                );
-                self.restore_image(now)
+            SaveState::Saving { done_at } if now < done_at => {
+                self.tracer.record(TraceEvent::SaveTorn {
+                    restored_ps: now.as_ps(),
+                    save_done_ps: done_at.as_ps(),
+                });
+                self.state = SaveState::Lost;
+                self.save_crc = None;
+                Err(RestoreError::TornSave {
+                    restored_at: now,
+                    save_done_at: done_at,
+                })
             }
-            SaveState::Saved => self.restore_image(now),
+            SaveState::Saving { .. } | SaveState::Saved => self.restore_image(now),
             SaveState::Idle | SaveState::Lost => {
                 self.state = SaveState::Idle;
-                now
+                Ok(now)
             }
         }
     }
 
-    fn restore_image(&mut self, now: SimTime) -> SimTime {
+    fn restore_image(&mut self, now: SimTime) -> Result<SimTime, RestoreError> {
         let cap = self.dram.capacity_bytes();
         let mut buf = vec![0u8; 64 * 1024];
         let mut off = 0u64;
+        let mut crc = !0u32;
         while off < cap {
             let n = (cap - off).min(buf.len() as u64) as usize;
             self.flash.read(now, off, &mut buf[..n]);
-            self.dram.write(now, off, &buf[..n]);
+            crc = crc32_update(crc, &buf[..n]);
+            self.dram.poke(off, &buf[..n]);
             off += n as u64;
         }
+        let actual = !crc;
+        if let Some(expected) = self.save_crc {
+            if expected != actual {
+                self.dram.power_loss();
+                self.state = SaveState::Lost;
+                self.save_crc = None;
+                return Err(RestoreError::CrcMismatch { expected, actual });
+            }
+        }
         self.state = SaveState::Idle;
-        now + self.backup_duration()
+        self.save_crc = None;
+        Ok(now + self.backup_duration())
     }
 }
 
@@ -195,13 +338,18 @@ impl MemoryDevice for NvdimmN {
     }
 
     /// DRAM-speed reads (the flash is only used for backup).
-    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime {
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult {
         self.dram.read(now, addr, buf)
     }
 
     /// DRAM-speed writes.
     fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime {
         self.dram.write(now, addr, data)
+    }
+
+    /// Patrol scrub runs over the DRAM side.
+    fn scrub_pass(&mut self, now: SimTime) -> ScrubReport {
+        self.dram.scrub_pass(now)
     }
 }
 
@@ -230,7 +378,9 @@ mod tests {
         nv.write(SimTime::ZERO, 4096, &[0xCD; 256]);
         let quiesced = nv.power_loss(SimTime::from_ms(1));
         assert!(matches!(nv.save_state(), SaveState::Saving { .. }));
-        let usable = nv.power_restore(quiesced + SimTime::from_ms(1));
+        let usable = nv
+            .power_restore(quiesced + SimTime::from_ms(1))
+            .expect("clean restore");
         assert!(usable > quiesced);
         let mut buf = [0u8; 256];
         nv.read(usable, 4096, &mut buf);
@@ -245,20 +395,93 @@ mod tests {
         nv.write(SimTime::ZERO, 0, &[0xEE; 64]);
         nv.power_loss(SimTime::from_ms(1));
         assert_eq!(nv.save_state(), SaveState::Lost);
-        let t = nv.power_restore(SimTime::from_ms(2));
+        let t = nv
+            .power_restore(SimTime::from_ms(2))
+            .expect("nothing saved");
         let mut buf = [1u8; 64];
         nv.read(t, 0, &mut buf);
         assert_eq!(buf, [0u8; 64]);
     }
 
     #[test]
-    #[should_panic(expected = "before the save finished")]
     fn early_restore_is_a_torn_image() {
         let mut nv = nvdimm();
+        let tracer = Tracer::ring(16);
+        nv.attach_tracer(tracer.clone());
         nv.write(SimTime::ZERO, 0, &[1; 64]);
         let done = nv.power_loss(SimTime::from_ms(1));
         assert!(done > SimTime::from_ms(1));
-        nv.power_restore(SimTime::from_ms(1)); // too early
+        // Power back too early: typed error, torn image discarded.
+        let err = nv.power_restore(SimTime::from_ms(1)).unwrap_err();
+        assert_eq!(
+            err,
+            RestoreError::TornSave {
+                restored_at: SimTime::from_ms(1),
+                save_done_at: done,
+            }
+        );
+        assert!(err.to_string().contains("torn save"));
+        assert_eq!(nv.save_state(), SaveState::Lost);
+        assert!(!nv.is_durable(SimTime::from_ms(1)));
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::SaveTorn { .. })),
+            1
+        );
+        // The DIMM recovers as empty, never presenting torn data.
+        let t = nv
+            .power_restore(SimTime::from_ms(2))
+            .expect("empty restart");
+        let mut buf = [9u8; 64];
+        nv.read(t, 0, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn corrupted_save_image_fails_restore_loudly() {
+        let mut nv = nvdimm();
+        nv.write(SimTime::ZERO, 4096, &[0x5A; 128]);
+        let quiesced = nv.power_loss(SimTime::from_ms(1));
+        // Bit rot in the flash image while powered off.
+        nv.corrupt_saved_image(4100, 0x10);
+        let err = nv
+            .power_restore(quiesced + SimTime::from_ms(1))
+            .unwrap_err();
+        assert!(
+            matches!(err, RestoreError::CrcMismatch { expected, actual } if expected != actual),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("CRC mismatch"));
+        // Loud loss, not silent corruption: contents are gone.
+        assert_eq!(nv.save_state(), SaveState::Lost);
+        let t = nv
+            .power_restore(SimTime::from_ms(10))
+            .expect("empty restart");
+        let mut buf = [9u8; 128];
+        nv.read(t, 4096, &mut buf);
+        assert_eq!(buf, [0u8; 128]);
+    }
+
+    #[test]
+    fn durability_tracks_supercap_and_save_state() {
+        let mut nv = nvdimm();
+        // Armed and idle: a cut now would be saved.
+        assert!(nv.is_durable(SimTime::ZERO));
+        // Disarmed: volatile even though the media is non-volatile.
+        nv.set_armed(false);
+        assert!(nv.kind().is_nonvolatile());
+        assert!(!nv.is_durable(SimTime::ZERO));
+        nv.set_armed(true);
+        // Mid-save: not durable until the engine finishes.
+        let done = nv.power_loss(SimTime::from_ms(1));
+        assert!(!nv.is_durable(SimTime::from_ms(1)));
+        assert!(nv.is_durable(done));
+        nv.power_restore(done).expect("restore");
+        assert!(nv.is_durable(done));
+        // Lost: never durable.
+        nv.set_armed(false);
+        nv.power_loss(done + SimTime::from_ms(1));
+        assert_eq!(nv.save_state(), SaveState::Lost);
+        assert!(!nv.is_durable(done + SimTime::from_ms(2)));
     }
 
     #[test]

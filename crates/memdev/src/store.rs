@@ -70,6 +70,15 @@ impl SparseMemory {
         self.pages.len()
     }
 
+    /// Base addresses of all materialized pages, ascending. The sort
+    /// makes walkers (e.g. the patrol scrubber) deterministic despite
+    /// the hash-map backing.
+    pub fn resident_page_addrs(&self) -> Vec<u64> {
+        let mut addrs: Vec<u64> = self.pages.keys().map(|idx| idx * PAGE_SIZE).collect();
+        addrs.sort_unstable();
+        addrs
+    }
+
     /// Drops all contents (simulated power loss on volatile media).
     pub fn clear(&mut self) {
         self.pages.clear();
@@ -140,6 +149,18 @@ mod tests {
         let mut buf = [1u8; 32];
         m.read(0, &mut buf);
         assert_eq!(buf, [0u8; 32]);
+    }
+
+    #[test]
+    fn resident_page_addrs_are_sorted() {
+        let mut m = SparseMemory::new();
+        for addr in [9 * PAGE_SIZE, PAGE_SIZE, 5 * PAGE_SIZE] {
+            m.write(addr, &[1]);
+        }
+        assert_eq!(
+            m.resident_page_addrs(),
+            vec![PAGE_SIZE, 5 * PAGE_SIZE, 9 * PAGE_SIZE]
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::fmt;
 
 use contutto_sim::SimTime;
 
+use crate::ecc::{ReadResult, ScrubReport};
+
 /// The memory-cell technology backing a device.
 ///
 /// Paper §4.2: "ConTutto is memory technology agnostic; as long as the
@@ -26,8 +28,12 @@ pub enum MediaKind {
 }
 
 impl MediaKind {
-    /// Whether contents survive power loss (for NVDIMM-N this assumes
-    /// an armed backup supply; see [`crate::nvdimm::NvdimmN`]).
+    /// Whether the *technology class* is marketed as non-volatile.
+    ///
+    /// This is a static property of the media, not a durability
+    /// guarantee: an NVDIMM-N is only as non-volatile as its backup
+    /// supply and save-image health. For the state-aware answer, ask
+    /// the device — [`crate::nvdimm::NvdimmN::is_durable`].
     pub fn is_nonvolatile(self) -> bool {
         !matches!(self, MediaKind::Dram)
     }
@@ -61,12 +67,14 @@ pub trait MemoryDevice {
     fn kind(&self) -> MediaKind;
 
     /// Reads `buf.len()` bytes at `addr` into `buf`; returns the time
-    /// the data is available.
+    /// the data is available plus the ECC verdict for the returned
+    /// bytes ([`crate::ecc::ReadOutcome`]). Devices without an ECC
+    /// path always report `Clean`.
     ///
     /// # Panics
     ///
     /// Panics if the access exceeds the device capacity.
-    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> SimTime;
+    fn read(&mut self, now: SimTime, addr: u64, buf: &mut [u8]) -> ReadResult;
 
     /// Writes `data` at `addr`; returns the time the write is durable
     /// at the device (for DRAM: in the array; for flash: programmed).
@@ -75,6 +83,14 @@ pub trait MemoryDevice {
     ///
     /// Panics if the access exceeds the device capacity.
     fn write(&mut self, now: SimTime, addr: u64, data: &[u8]) -> SimTime;
+
+    /// Runs one patrol-scrub pass at `now`: walks the array,
+    /// corrects latent single-bit errors in place and retires pages
+    /// over the correctable-error threshold. Devices without a scrub
+    /// engine report an empty pass. Zero simulated time.
+    fn scrub_pass(&mut self, _now: SimTime) -> ScrubReport {
+        ScrubReport::default()
+    }
 }
 
 /// Validates an access range against a capacity.

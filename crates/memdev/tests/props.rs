@@ -37,9 +37,10 @@ fn check_device(dev: &mut dyn MemoryDevice, ops: &[(bool, u64, Vec<u8>)]) {
             reference[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
         } else {
             let mut buf = vec![0u8; data.len()];
-            let done = dev.read(now, *addr, &mut buf);
-            assert!(done >= now, "read completion not monotone");
-            now = done;
+            let result = dev.read(now, *addr, &mut buf);
+            assert!(result.outcome.is_clean(), "fault-free read not clean");
+            assert!(result.done >= now, "read completion not monotone");
+            now = result.done;
             assert_eq!(
                 &buf,
                 &reference[*addr as usize..*addr as usize + data.len()]
@@ -80,7 +81,7 @@ fn nvdimm_matches_reference_and_survives_power_cycle() {
             }
         }
         let quiesced = d.power_loss(SimTime::from_secs(10));
-        let usable = d.power_restore(quiesced);
+        let usable = d.power_restore(quiesced).expect("clean restore");
         let mut buf = vec![0u8; reference.len()];
         d.read(usable, 0, &mut buf);
         assert_eq!(buf, reference, "case {case}");

@@ -112,8 +112,10 @@ impl ChannelConfig {
 #[derive(Debug)]
 struct Pending {
     issued: SimTime,
+    addr: u64,
     assembler: Option<LineAssembler>,
     data: Option<CacheLine>,
+    poisoned: bool,
 }
 
 /// A completed command: tag, completion time, read data if any, and
@@ -128,6 +130,11 @@ pub struct Completion {
     pub issued_at: SimTime,
     /// Read data, for reads.
     pub data: Option<CacheLine>,
+    /// Host address the command targeted (0 for flushes).
+    pub addr: u64,
+    /// True when any read-data beat carried the poison bit: the media
+    /// flagged an uncorrectable error and `data` must not be consumed.
+    pub poisoned: bool,
 }
 
 /// A full DMI channel with a plugged buffer chip.
@@ -176,6 +183,7 @@ pub struct DmiChannel {
     retries_scheduled: u64,
     link_retrains: u64,
     stale_responses: u64,
+    poisoned_reads: u64,
 }
 
 impl std::fmt::Debug for DmiChannel {
@@ -231,6 +239,7 @@ impl DmiChannel {
             retries_scheduled: 0,
             link_retrains: 0,
             stale_responses: 0,
+            poisoned_reads: 0,
         })
     }
 
@@ -294,6 +303,7 @@ impl DmiChannel {
         reg.set_counter("channel.retries_scheduled", self.retries_scheduled);
         reg.set_counter("channel.link_retrains", self.link_retrains);
         reg.set_counter("channel.stale_responses", self.stale_responses);
+        reg.set_counter("channel.poisoned_reads", self.poisoned_reads);
         reg.set_latency("channel.command_latency", &self.command_latency);
         self.buffer.register_metrics("buffer", &mut reg);
         reg
@@ -359,6 +369,12 @@ impl DmiChannel {
     /// Tags currently parked in quarantine (not yet reusable).
     pub fn quarantined_tags(&self) -> usize {
         self.quarantine.len()
+    }
+
+    /// Reads surfaced as [`DmiError::Poisoned`] so far (media ECC
+    /// uncorrectable errors delivered end to end).
+    pub fn poisoned_reads(&self) -> u64 {
+        self.poisoned_reads
     }
 
     /// Swaps the downstream wire's error injector mid-run (fault
@@ -499,6 +515,12 @@ impl DmiChannel {
             CommandOp::Write { data, .. } | CommandOp::Rmw { data, .. } => (None, Some(*data)),
             CommandOp::Flush => (None, None),
         };
+        let addr = match &op {
+            CommandOp::Read { addr }
+            | CommandOp::Write { addr, .. }
+            | CommandOp::Rmw { addr, .. } => *addr,
+            CommandOp::Flush => 0,
+        };
         if let Some(data) = write_data {
             for beat in line_to_downstream_beats(tag, &data) {
                 self.host.enqueue(beat);
@@ -508,8 +530,10 @@ impl DmiChannel {
             tag,
             Pending {
                 issued: self.now,
+                addr,
                 assembler,
                 data: None,
+                poisoned: false,
             },
         );
         Ok(tag)
@@ -569,7 +593,12 @@ impl DmiChannel {
     fn handle_response(&mut self, now: SimTime, payload: UpstreamPayload) {
         match payload {
             UpstreamPayload::Idle | UpstreamPayload::Control(_) => {}
-            UpstreamPayload::ReadData { tag, beat, data } => {
+            UpstreamPayload::ReadData {
+                tag,
+                beat,
+                data,
+                poison,
+            } => {
                 // Beats for a tag with no pending command (or one that
                 // is not a read) are late stragglers from a command
                 // whose waiter gave up: absorb, never die.
@@ -577,6 +606,7 @@ impl DmiChannel {
                     self.stale_responses += 1;
                     return;
                 };
+                pending.poisoned |= poison;
                 let Some(assembler) = pending.assembler.as_mut() else {
                     self.stale_responses += 1;
                     return;
@@ -619,6 +649,8 @@ impl DmiChannel {
             completed_at: now,
             issued_at: pending.issued,
             data: pending.data,
+            addr: pending.addr,
+            poisoned: pending.poisoned,
         });
     }
 
@@ -730,9 +762,17 @@ impl DmiChannel {
     /// * [`DmiError::Timeout`] when the ladder is exhausted and the
     ///   buffer still has not answered (the tag is quarantined for
     ///   reclamation, never leaked).
+    /// * [`DmiError::Poisoned`] when the buffer flagged the line with
+    ///   an uncorrectable media error: the data is withheld so it can
+    ///   never be consumed silently.
     /// * Training errors if an escalated retrain fails.
     pub fn read_line_blocking(&mut self, addr: u64) -> Result<(CacheLine, SimTime), DmiError> {
         let c = self.run_with_recovery(CommandOp::Read { addr })?;
+        if c.poisoned {
+            self.poisoned_reads += 1;
+            self.tracer.record(TraceEvent::PoisonDelivered { addr });
+            return Err(DmiError::Poisoned { addr });
+        }
         let data = c
             .data
             .ok_or(DmiError::MalformedFrame("read completed without data"))?;
@@ -907,6 +947,38 @@ mod tests {
             pipelined * 2 < serialized,
             "pipelined {pipelined} vs serialized {serialized}"
         );
+    }
+
+    #[test]
+    fn poisoned_line_surfaces_as_typed_error_end_to_end() {
+        use contutto_memdev::FaultConfig;
+        // A storm of bit flips confined to one 64-bit word guarantees
+        // a multi-bit (uncorrectable) error; no scrub to heal it.
+        let mut card = ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb());
+        card.attach_media_faults(FaultConfig {
+            transient_flips: 64,
+            window: SimTime::from_us(10),
+            hot_start: 0,
+            hot_len: 8,
+            ..FaultConfig::none(11)
+        });
+        let mut ch = DmiChannel::new(ChannelConfig::contutto(), Box::new(card));
+        let line = CacheLine::patterned(9);
+        ch.write_line_blocking(0, line).unwrap();
+        // Let the fault window elapse so the flips land in the array.
+        let resume = ch.now() + SimTime::from_us(15);
+        ch.run_until(resume);
+        let err = ch.read_line_blocking(0).unwrap_err();
+        assert!(
+            matches!(err, DmiError::Poisoned { addr: 0 }),
+            "expected poison, got {err}"
+        );
+        assert_eq!(ch.poisoned_reads(), 1);
+        // An unaffected line still reads clean: poison is contained.
+        let clean = CacheLine::patterned(3);
+        ch.write_line_blocking(0x4000, clean).unwrap();
+        let (back, _) = ch.read_line_blocking(0x4000).unwrap();
+        assert_eq!(back, clean);
     }
 
     #[test]

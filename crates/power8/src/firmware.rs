@@ -140,6 +140,20 @@ impl std::fmt::Debug for BootReport {
     }
 }
 
+/// How firmware reacts to a runtime channel error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorAction {
+    /// Machine check: poisoned (media-uncorrectable) data reached the
+    /// host. The consuming context is terminated, the data discarded;
+    /// the system stays up.
+    MachineCheck,
+    /// Link-level event the channel recovers from transparently
+    /// (replay, retry ladder); logged for trend analysis.
+    Recoverable,
+    /// The channel is dead or unsafe; firmware deconfigures the slot.
+    Deconfigure,
+}
+
 /// The firmware engine.
 #[derive(Debug)]
 pub struct Firmware {
@@ -313,6 +327,53 @@ impl Firmware {
             spds,
             nvdimms_armed,
         })
+    }
+
+    /// Classifies a runtime channel error and logs it to the FSP.
+    ///
+    /// [`DmiError::Poisoned`] is the RAS path this exists for: the
+    /// buffer delivered a line the media flagged uncorrectable, so the
+    /// firmware raises a machine check — the poisoned data is never
+    /// consumed, and only the faulting context dies, not the system.
+    pub fn classify_runtime_error(
+        now: SimTime,
+        slot: usize,
+        err: &DmiError,
+        fsp: &mut ServiceProcessor,
+    ) -> ErrorAction {
+        match err {
+            DmiError::Poisoned { addr } => {
+                fsp.log(
+                    now,
+                    slot,
+                    Severity::Unrecovered,
+                    &format!("machine check: poisoned data at {addr:#x}"),
+                );
+                ErrorAction::MachineCheck
+            }
+            DmiError::Timeout { tag, .. } => {
+                fsp.log(
+                    now,
+                    slot,
+                    Severity::Unrecovered,
+                    &format!("channel hang on tag {tag}; slot deconfigured"),
+                );
+                ErrorAction::Deconfigure
+            }
+            DmiError::TrainingFailed { .. } | DmiError::FrtlExceeded { .. } => {
+                fsp.log(
+                    now,
+                    slot,
+                    Severity::Unrecovered,
+                    "retrain failed; slot deconfigured",
+                );
+                ErrorAction::Deconfigure
+            }
+            other => {
+                fsp.log(now, slot, Severity::Recovered, &format!("{other}"));
+                ErrorAction::Recoverable
+            }
+        }
     }
 
     fn train_with_retries(
@@ -600,6 +661,45 @@ mod tests {
         ];
         let report = Firmware::new().boot(slots, &mut fsp, 1).unwrap();
         assert_eq!(report.nvdimms_armed, vec![2]);
+    }
+
+    #[test]
+    fn poisoned_read_is_a_machine_check_not_a_crash() {
+        let mut fsp = fsp();
+        let action = Firmware::classify_runtime_error(
+            SimTime::from_us(5),
+            2,
+            &DmiError::Poisoned { addr: 0x8000 },
+            &mut fsp,
+        );
+        assert_eq!(action, ErrorAction::MachineCheck);
+        let entry = fsp.entries().last().expect("logged");
+        assert_eq!(entry.channel, 2);
+        assert_eq!(entry.severity, Severity::Unrecovered);
+        assert!(entry.message.contains("machine check"), "{}", entry.message);
+        assert!(entry.message.contains("0x8000"), "{}", entry.message);
+    }
+
+    #[test]
+    fn runtime_error_classification_spans_the_ladder() {
+        let mut fsp = fsp();
+        let hang = Firmware::classify_runtime_error(
+            SimTime::ZERO,
+            0,
+            &DmiError::Timeout {
+                tag: 4,
+                waited: SimTime::from_ms(1),
+            },
+            &mut fsp,
+        );
+        assert_eq!(hang, ErrorAction::Deconfigure);
+        let crc = Firmware::classify_runtime_error(
+            SimTime::ZERO,
+            0,
+            &DmiError::CrcMismatch { claimed_seq: 1 },
+            &mut fsp,
+        );
+        assert_eq!(crc, ErrorAction::Recoverable);
     }
 
     #[test]

@@ -119,6 +119,20 @@ pub enum TraceEvent {
     CacheHit { addr: u64 },
     /// A buffer-side cache lookup missed.
     CacheMiss { addr: u64 },
+    /// Media ECC corrected `bits` flipped bits on a demand read.
+    EccCorrected { addr: u64, bits: u32 },
+    /// Media ECC detected an uncorrectable error; the line is poisoned.
+    EccUncorrectable { addr: u64 },
+    /// A poisoned line crossed the channel and reached the host as a
+    /// typed error instead of silent data.
+    PoisonDelivered { addr: u64 },
+    /// A patrol-scrub pass over one device finished.
+    ScrubPass { corrected: u64, uncorrectable: u64 },
+    /// A page crossed the correctable-error threshold and was retired.
+    PageRetired { addr: u64 },
+    /// Power returned before the NVDIMM save engine finished; the flash
+    /// image is torn and must not be restored.
+    SaveTorn { restored_ps: u64, save_done_ps: u64 },
 }
 
 impl fmt::Display for TraceEvent {
@@ -161,6 +175,24 @@ impl fmt::Display for TraceEvent {
             DeviceWrite { addr } => write!(f, "device-write addr={addr:#x}"),
             CacheHit { addr } => write!(f, "cache-hit addr={addr:#x}"),
             CacheMiss { addr } => write!(f, "cache-miss addr={addr:#x}"),
+            EccCorrected { addr, bits } => write!(f, "ecc-corrected addr={addr:#x} bits={bits}"),
+            EccUncorrectable { addr } => write!(f, "ecc-uncorrectable addr={addr:#x}"),
+            PoisonDelivered { addr } => write!(f, "poison-delivered addr={addr:#x}"),
+            ScrubPass {
+                corrected,
+                uncorrectable,
+            } => write!(
+                f,
+                "scrub-pass corrected={corrected} uncorrectable={uncorrectable}"
+            ),
+            PageRetired { addr } => write!(f, "page-retired addr={addr:#x}"),
+            SaveTorn {
+                restored_ps,
+                save_done_ps,
+            } => write!(
+                f,
+                "save-torn restored_ps={restored_ps} save_done_ps={save_done_ps}"
+            ),
         }
     }
 }
@@ -480,6 +512,33 @@ mod tests {
         assert!(text.contains("tag-reclaimed tag=5"));
         assert!(text.contains("retry-scheduled tag=5 attempt=2 backoff_ps=8000000"));
         assert!(text.contains("link-retrain count=1"));
+    }
+
+    #[test]
+    fn ras_events_render() {
+        let t = Tracer::ring(8);
+        t.record(TraceEvent::EccCorrected {
+            addr: 0x80,
+            bits: 1,
+        });
+        t.record(TraceEvent::EccUncorrectable { addr: 0x100 });
+        t.record(TraceEvent::PoisonDelivered { addr: 0x100 });
+        t.record(TraceEvent::ScrubPass {
+            corrected: 3,
+            uncorrectable: 1,
+        });
+        t.record(TraceEvent::PageRetired { addr: 0x1000 });
+        t.record(TraceEvent::SaveTorn {
+            restored_ps: 5,
+            save_done_ps: 9,
+        });
+        let text = t.render();
+        assert!(text.contains("ecc-corrected addr=0x80 bits=1"));
+        assert!(text.contains("ecc-uncorrectable addr=0x100"));
+        assert!(text.contains("poison-delivered addr=0x100"));
+        assert!(text.contains("scrub-pass corrected=3 uncorrectable=1"));
+        assert!(text.contains("page-retired addr=0x1000"));
+        assert!(text.contains("save-torn restored_ps=5 save_done_ps=9"));
     }
 
     #[test]

@@ -63,6 +63,7 @@ impl BlockDevice for SasHdd {
     fn read_block(&mut self, now: SimTime, lba: u64, buf: &mut [u8]) -> SimTime {
         self.disk
             .read(now + self.overhead, lba * BLOCK_BYTES as u64, buf)
+            .done
     }
 
     fn write_block(&mut self, now: SimTime, lba: u64, data: &[u8]) -> SimTime {

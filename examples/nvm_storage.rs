@@ -84,7 +84,9 @@ fn main() {
     nv.write(SimTime::ZERO, 0, b"committed transaction log record");
     let quiesced = nv.power_loss(SimTime::from_ms(5));
     println!("power lost at 5 ms; on-DIMM save engine done at {quiesced}");
-    let usable = nv.power_restore(quiesced + SimTime::from_ms(1));
+    let usable = nv
+        .power_restore(quiesced + SimTime::from_ms(1))
+        .expect("clean power cycle restores intact");
     let mut buf = [0u8; 32];
     nv.read(usable, 0, &mut buf);
     assert_eq!(&buf, b"committed transaction log record");

@@ -19,7 +19,13 @@ cargo test --workspace --quiet
 echo "==> cargo build --benches"
 cargo build --benches --workspace --quiet
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> fault campaign (smoke)"
 cargo run -p contutto-bench --release --bin faults --quiet -- --smoke
+
+echo "==> media-fault campaign (smoke)"
+cargo run -p contutto-bench --release --bin faults --quiet -- --media --smoke
 
 echo "verify: all gates passed"

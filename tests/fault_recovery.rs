@@ -209,6 +209,30 @@ fn ladder_seed_sweep_is_byte_identical() {
 }
 
 #[test]
+fn scrub_seed_sweep_is_byte_identical() {
+    // Media-RAS determinism: with patrol scrub enabled, the same seed
+    // must replay to a byte-identical trace fingerprint — the scrub
+    // scheduler, fault injector and ECC pipeline contain no hidden
+    // nondeterminism. Eight seeds, each run twice.
+    use contutto_bench::media;
+    for seed in 1..=8u64 {
+        let scenario = media::Scenario {
+            media: media::Media::Dram,
+            scrub: true,
+        };
+        let a = media::run_scenario(scenario, seed, 8);
+        let b = media::run_scenario(scenario, seed, 8);
+        assert_eq!(a.fingerprint, b.fingerprint, "seed {seed}");
+        assert_eq!(a.outcome, b.outcome, "seed {seed}");
+        assert_eq!(a.corrected, b.corrected, "seed {seed}");
+        assert_eq!(a.uncorrectable, b.uncorrectable, "seed {seed}");
+        assert_eq!(a.scrub_passes, b.scrub_passes, "seed {seed}");
+        assert!(!a.is_violation(), "seed {seed}: {}", a.outcome);
+        assert!(a.scrub_passes > 0, "seed {seed}: scrub must run");
+    }
+}
+
+#[test]
 fn campaign_smoke_is_deterministic_and_violation_free() {
     let cfg = CampaignConfig::smoke();
     let runs_a = contutto_bench::faults::run_campaign(&cfg);

@@ -2,7 +2,7 @@
 //! NVDIMM save/restore, MRAM retention and endurance accounting.
 
 use contutto_system::contutto::{ConTutto, ContuttoConfig, MemoryPopulation};
-use contutto_system::memdev::{MemoryDevice, MramGeneration, NvdimmN, SaveState};
+use contutto_system::memdev::{MemoryDevice, MramGeneration, NvdimmN, RestoreError, SaveState};
 use contutto_system::power8::channel::{ChannelConfig, DmiChannel};
 use contutto_system::sim::SimTime;
 use contutto_system::storage::blockdev::{mram_contutto_device, BlockDevice};
@@ -45,7 +45,9 @@ fn nvdimm_full_power_cycle_preserves_filesystem_image() {
     }
     let quiesced = nv.power_loss(SimTime::from_ms(1));
     assert!(matches!(nv.save_state(), SaveState::Saving { .. }));
-    let usable = nv.power_restore(quiesced);
+    let usable = nv
+        .power_restore(quiesced)
+        .expect("clean power cycle restores intact");
     let mut sb = [0u8; 12];
     nv.read(usable, 0, &mut sb);
     assert_eq!(&sb, b"SUPERBLOCKv1");
@@ -54,6 +56,39 @@ fn nvdimm_full_power_cycle_preserves_filesystem_image() {
         nv.read(usable, 4096 + i * 64, &mut inode);
         assert_eq!(inode, [i as u8; 64], "inode {i}");
     }
+}
+
+#[test]
+fn nvdimm_torn_save_fails_loudly_not_silently() {
+    let mut nv = NvdimmN::new(1 << 20, Default::default());
+    nv.write(SimTime::ZERO, 0, b"CRITICAL");
+    let quiesced = nv.power_loss(SimTime::from_ms(1));
+    // Power returns before the supercap-backed save finished: the
+    // image is torn and the restore must refuse it, typed, instead of
+    // serving partial data.
+    let early = SimTime::from_ms(1) + SimTime::from_us(1);
+    assert!(early < quiesced, "save takes longer than 1 us");
+    let err = nv.power_restore(early).expect_err("torn save must fail");
+    assert!(matches!(err, RestoreError::TornSave { .. }), "{err}");
+    assert!(!nv.is_durable(early), "a lost image is not durable");
+}
+
+#[test]
+fn nvdimm_corrupted_save_image_is_rejected_end_to_end() {
+    let mut nv = NvdimmN::new(1 << 20, Default::default());
+    nv.write(SimTime::ZERO, 0, &[0xA5u8; 128]);
+    let quiesced = nv.power_loss(SimTime::from_ms(1));
+    // Flash rot while the system was off.
+    nv.corrupt_saved_image(7, 0x10);
+    let err = nv
+        .power_restore(quiesced)
+        .expect_err("corrupted image must not restore");
+    assert!(matches!(err, RestoreError::CrcMismatch { .. }), "{err}");
+    // The failed restore wiped DRAM: the garbage is never readable as
+    // if it were valid data.
+    let mut buf = [0xFFu8; 128];
+    nv.read(quiesced, 0, &mut buf);
+    assert!(buf.iter().all(|&b| b == 0), "no stale bytes survive");
 }
 
 #[test]

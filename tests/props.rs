@@ -146,7 +146,7 @@ fn upstream_beats_reassemble() {
     for case in 0..CASES {
         let line = arb_line(&mut rng);
         let tag = arb_tag(&mut rng);
-        let beats = line_to_upstream_beats(tag, &line);
+        let beats = line_to_upstream_beats(tag, &line, false);
         let mut asm = LineAssembler::upstream();
         for p in beats.iter().rev() {
             if let UpstreamPayload::ReadData { beat, data, .. } = p {
