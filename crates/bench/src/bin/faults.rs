@@ -2,12 +2,15 @@
 //! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--media] [--smoke] [--seeds N] [--lines N] [--metrics]
+//! faults [--media | --failover] [--smoke] [--seeds N] [--lines N] [--metrics]
 //! ```
 //!
 //! * `--media`   — run the media-fault campaign (seeded bit flips in
 //!   the DIMM arrays across {DRAM, MRAM, NVDIMM} × {scrub on/off})
 //!   instead of the link-fault campaign;
+//! * `--failover` — run the channel-failover campaign ({spare,
+//!   mirrored} × {error-budget, dead-link, maintenance-pull}): a
+//!   victim buffer dies mid-workload and zero data loss is asserted;
 //! * `--smoke`   — the quick `scripts/verify.sh` gate;
 //! * `--seeds N` — sweep seeds 1..=N (default: the full 5-seed sweep);
 //! * `--lines N` — lines written/read back per run;
@@ -17,7 +20,7 @@
 //! scenario does not permit a typed failure — and, for `--media`, if
 //! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::{faults, media};
+use contutto_bench::{failover, faults, media};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +31,31 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
     };
+
+    if flag("--failover") {
+        let mut cfg = if flag("--smoke") {
+            failover::CampaignConfig::smoke()
+        } else {
+            failover::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.lines = n.max(1);
+        }
+        let report = failover::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        if flag("--metrics") {
+            println!("\nmerged metrics across all runs:");
+            print!("{}", report.merged_metrics().render());
+        }
+        if !report.violations().is_empty() {
+            eprintln!("failover campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if flag("--media") {
         let mut cfg = if flag("--smoke") {

@@ -48,6 +48,9 @@ pub struct CentaurStats {
     /// RMWs whose read-half hit a poisoned line; the merge is dropped
     /// rather than laundering the poison into a fresh write.
     pub poisoned_rmws: u64,
+    /// WriteData frames that arrived for an idle/unknown tag (late
+    /// delivery after a retrain, or decode aliasing) and were dropped.
+    pub frames_orphaned: u64,
 }
 
 #[derive(Debug)]
@@ -261,19 +264,20 @@ impl DmiBuffer for Centaur {
                 }
             },
             DownstreamPayload::WriteData { tag, beat, data } => {
-                let complete = match self.pending_writes.get_mut(&tag) {
-                    Some(pending) => pending.assembler.add_beat(beat, &data),
-                    None => {
-                        // Data for an unknown tag: protocol violation
-                        // upstream of us; drop and flag.
-                        self.stats.unsupported += 1;
-                        false
-                    }
+                // Data for an idle tag is a stale frame (late delivery
+                // after a retrain, or decode aliasing): drop and flag —
+                // the originating command was already reclaimed.
+                let Some(pending) = self.pending_writes.get_mut(&tag) else {
+                    self.stats.frames_orphaned += 1;
+                    self.tracer
+                        .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
+                    return;
                 };
-                if complete {
-                    let pending = self.pending_writes.remove(&tag).expect("checked above");
-                    let line = pending.assembler.into_line();
-                    self.complete_write(start, tag, pending.header, line);
+                if pending.assembler.add_beat(beat, &data) {
+                    if let Some(pending) = self.pending_writes.remove(&tag) {
+                        let line = pending.assembler.into_line();
+                        self.complete_write(start, tag, pending.header, line);
+                    }
                 }
             }
         }
@@ -322,11 +326,26 @@ impl DmiBuffer for Centaur {
         self.tracer = tracer;
     }
 
+    fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> Option<([u8; 128], bool)> {
+        let (port, local) = self.route(addr);
+        Some(self.ports[port].sideband_read_line(now, local))
+    }
+
+    fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) -> bool {
+        let (port, local) = self.route(addr);
+        self.ports[port].sideband_write_line(local, data, poison);
+        true
+    }
+
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         registry.set_counter(&format!("{prefix}.reads"), self.stats.reads);
         registry.set_counter(&format!("{prefix}.writes"), self.stats.writes);
         registry.set_counter(&format!("{prefix}.rmws"), self.stats.rmws);
         registry.set_counter(&format!("{prefix}.unsupported"), self.stats.unsupported);
+        registry.set_counter(
+            &format!("{prefix}.frames_orphaned"),
+            self.stats.frames_orphaned,
+        );
         registry.set_counter(
             &format!("{prefix}.coalesced_dones"),
             self.stats.coalesced_dones,
@@ -404,6 +423,28 @@ mod tests {
             now += SimTime::from_ns(2);
         }
         out
+    }
+
+    #[test]
+    fn orphan_write_beat_is_dropped_not_fatal() {
+        let mut c = centaur();
+        let tracer = Tracer::ring(16);
+        c.attach_tracer(tracer.clone());
+        let line = CacheLine::patterned(7);
+        // A stray data beat with no pending write: dropped and flagged.
+        let beats = line_to_downstream_beats(t(9), &line);
+        c.push_downstream(SimTime::ZERO, beats[0].clone());
+        assert_eq!(c.stats().frames_orphaned, 1);
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::FrameOrphaned { tag: 9 })),
+            1
+        );
+        // Real traffic still completes afterwards.
+        push_write(&mut c, SimTime::from_ns(100), t(0), 0x8000, &line);
+        let resp = drain_all(&mut c, SimTime::from_us(2));
+        assert!(resp
+            .iter()
+            .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
     }
 
     #[test]

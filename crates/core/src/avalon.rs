@@ -152,6 +152,20 @@ impl AvalonBus {
         done + self.cdc()
     }
 
+    /// Maintenance-path read of one line: routed to the owning port's
+    /// service interface, no bus or CDC time charged (the sideband
+    /// does not ride the Avalon fabric).
+    pub fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], bool) {
+        let (dev_port, local) = self.route(addr);
+        self.controllers[dev_port].sideband_read_line(now, local)
+    }
+
+    /// Maintenance-path write of one line, optionally with poison.
+    pub fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) {
+        let (dev_port, local) = self.route(addr);
+        self.controllers[dev_port].sideband_write_line(local, data, poison);
+    }
+
     /// Flush across all controllers (persistent-memory sync).
     pub fn flush_all(&mut self, now: SimTime) -> SimTime {
         let issue = now + self.cdc();

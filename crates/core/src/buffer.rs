@@ -255,6 +255,17 @@ impl DmiBuffer for ConTutto {
         self.mbs.attach_tracer(tracer);
     }
 
+    fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> Option<([u8; 128], bool)> {
+        Some(self.mbs.avalon_mut().sideband_read_line(now, addr))
+    }
+
+    fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) -> bool {
+        self.mbs
+            .avalon_mut()
+            .sideband_write_line(addr, data, poison);
+        true
+    }
+
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         let stats = self.stats();
         registry.set_counter(&format!("{prefix}.reads"), stats.mbs.reads);
@@ -283,6 +294,10 @@ impl DmiBuffer for ConTutto {
             stats.mbs.poisoned_reads,
         );
         registry.set_counter(&format!("{prefix}.poisoned_rmws"), stats.mbs.poisoned_rmws);
+        registry.set_counter(
+            &format!("{prefix}.frames_orphaned"),
+            stats.mbs.frames_orphaned,
+        );
         let media = self.ras_counters();
         registry.set_counter(
             &format!("{prefix}.media.demand_corrected"),

@@ -110,6 +110,9 @@ pub struct MbsStats {
     /// RMWs whose read-half hit a poisoned line; the merge is dropped
     /// rather than laundering the poison into a fresh write.
     pub poisoned_rmws: u64,
+    /// WriteData frames that arrived for an idle/unknown tag (late
+    /// delivery after a retrain, or decode aliasing) and were dropped.
+    pub frames_orphaned: u64,
 }
 
 #[derive(Debug)]
@@ -278,14 +281,22 @@ impl MbsLogic {
             },
             DownstreamPayload::WriteData { tag, beat, data } => {
                 self.stats.write_beats += 1;
-                let complete = match self.engines.get_mut(&tag) {
-                    Some(engine) => engine.assembler.add_beat(beat, &data),
-                    None => panic!("write data for idle engine {tag}"),
+                // A beat for an idle engine is a stale frame (late
+                // delivery after a retrain, or decode aliasing):
+                // dropping it is safe — the originating command was
+                // already reclaimed host-side — executing it would not
+                // be.
+                let Some(engine) = self.engines.get_mut(&tag) else {
+                    self.stats.frames_orphaned += 1;
+                    self.tracer
+                        .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
+                    return;
                 };
-                if complete {
-                    let engine = self.engines.remove(&tag).expect("engine exists");
-                    let line = engine.assembler.into_line();
-                    self.execute_write(decoded, tag, engine.header, line);
+                if engine.assembler.add_beat(beat, &data) {
+                    if let Some(engine) = self.engines.remove(&tag) {
+                        let line = engine.assembler.into_line();
+                        self.execute_write(decoded, tag, engine.header, line);
+                    }
                 }
             }
         }
@@ -443,6 +454,30 @@ mod tests {
         for (i, beat) in line_to_downstream_beats(tag, line).into_iter().enumerate() {
             m.handle_downstream(base + SimTime::from_ns(2) * (i as u64 + 1), beat);
         }
+    }
+
+    #[test]
+    fn orphan_write_beat_is_dropped_not_fatal() {
+        let mut m = mbs();
+        let tracer = Tracer::ring(16);
+        m.attach_tracer(tracer.clone());
+        // A WriteData beat with no preceding command: a stale frame
+        // surviving a retrain. It must be dropped, flagged, and leave
+        // the engine pool untouched.
+        let line = CacheLine::patterned(9);
+        let beats = line_to_downstream_beats(t(5), &line);
+        m.handle_downstream(SimTime::ZERO, beats[0].clone());
+        assert_eq!(m.stats().frames_orphaned, 1);
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::FrameOrphaned { tag: 5 })),
+            1
+        );
+        // The decoder still services real traffic afterwards.
+        push_write(&mut m, SimTime::from_ns(100), t(0), 0x2000, &line);
+        let resp = drain(&mut m, SimTime::from_us(2));
+        assert!(resp
+            .iter()
+            .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
     }
 
     #[test]
@@ -609,20 +644,6 @@ mod tests {
             .collect();
         assert!(dones.contains(&t(0)) && dones.contains(&t(1)));
         assert_eq!(m.stats().flushes, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "idle engine")]
-    fn write_data_without_command_panics() {
-        let mut m = mbs();
-        m.handle_downstream(
-            SimTime::ZERO,
-            DownstreamPayload::WriteData {
-                tag: t(3),
-                beat: 0,
-                data: [0; 16],
-            },
-        );
     }
 
     #[test]

@@ -260,6 +260,28 @@ impl MemoryController {
         }
     }
 
+    /// Maintenance-path read of one 128 B line via the service
+    /// interface (FSI → I²C sideband, paper §3.4): functional, zero
+    /// timing, independent of the DMI link. Returns the ECC-verified
+    /// line and whether it must travel as poison.
+    pub fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], bool) {
+        match &mut self.device {
+            PortDevice::Dram(d) => d.sideband_read_line(now, addr),
+            PortDevice::Mram(d) => d.sideband_read_line(now, addr),
+            PortDevice::Nvdimm(d) => d.sideband_read_line(now, addr),
+        }
+    }
+
+    /// Maintenance-path write of one 128 B line, optionally depositing
+    /// it with its poison marker (evacuation moves rot as rot).
+    pub fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) {
+        match &mut self.device {
+            PortDevice::Dram(d) => d.sideband_write_line(addr, data, poison),
+            PortDevice::Mram(d) => d.sideband_write_line(addr, data, poison),
+            PortDevice::Nvdimm(d) => d.sideband_write_line(addr, data, poison),
+        }
+    }
+
     /// Flush: completes when all previously issued writes are durable.
     pub fn flush(&mut self, now: SimTime) -> SimTime {
         self.flushes += 1;

@@ -47,6 +47,26 @@ pub trait DmiBuffer {
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         let _ = (prefix, registry);
     }
+
+    /// Maintenance-path read of one 128 B line through the buffer's
+    /// service interface (ConTutto trains and debugs over an indirect
+    /// FSI → I²C path — paper §3.4 — which keeps working when the DMI
+    /// link itself is dead). Functional and zero-sim-time; the caller
+    /// charges whatever sideband latency its scenario dictates.
+    /// Returns the line plus whether it must travel as poison, or
+    /// `None` if the model has no sideband (the default).
+    fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> Option<([u8; 128], bool)> {
+        let _ = (now, addr);
+        None
+    }
+
+    /// Maintenance-path write of one 128 B line, optionally depositing
+    /// it with its poison marker so evacuation never launders rot.
+    /// Returns `false` if the model has no sideband (the default).
+    fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) -> bool {
+        let _ = (addr, data, poison);
+        false
+    }
 }
 
 #[cfg(test)]

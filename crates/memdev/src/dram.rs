@@ -192,6 +192,21 @@ impl Dram {
         self.ras.record_write(addr, data.len(), &self.store);
     }
 
+    /// Maintenance-path read of one line via the service interface
+    /// (zero timing, independent of the demand path): returns the
+    /// ECC-verified line and whether it must travel as poison.
+    pub fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], bool) {
+        check_range(self.capacity, addr, 128);
+        self.ras.sideband_read(now, addr, &mut self.store)
+    }
+
+    /// Maintenance-path write of one line, optionally depositing it
+    /// with its poison marker (evacuation moves rot as rot).
+    pub fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) {
+        check_range(self.capacity, addr, 128);
+        self.ras.sideband_write(addr, data, poison, &mut self.store);
+    }
+
     /// Simulates power loss: DRAM forgets everything.
     pub fn power_loss(&mut self) {
         self.store.clear();

@@ -386,6 +386,66 @@ impl MediaRas {
         }
     }
 
+    /// Maintenance-path read of one full line through the service
+    /// interface (FSI → I²C on ConTutto, paper §3.4): functional, zero
+    /// simulated time, and independent of the DMI link. Plants due
+    /// faults so the sideband sees the same array state a demand read
+    /// at `now` would, runs the ECC check on a private copy of the
+    /// line, and reports whether the line must travel as poison — but
+    /// charges no demand/scrub counters and heals nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_base` is not line-aligned.
+    pub fn sideband_read(
+        &mut self,
+        now: SimTime,
+        line_base: u64,
+        store: &mut SparseMemory,
+    ) -> ([u8; ECC_LINE_BYTES], bool) {
+        assert_eq!(line_base % ECC_LINE_BYTES as u64, 0, "line-aligned reads");
+        self.plant_due(now, store);
+        let mut line = [0u8; ECC_LINE_BYTES];
+        store.read(line_base, &mut line);
+        if let Some(inj) = &self.injector {
+            inj.overlay(line_base, &mut line, &self.retired);
+        }
+        let check = self.check.get(&line_base).copied().unwrap_or_default();
+        let outcome = decode_line(&mut line, &check);
+        let poisoned = outcome.is_uncorrectable() || self.poisoned.contains(&line_base);
+        (line, poisoned)
+    }
+
+    /// Maintenance-path write of one full line. Unlike the demand path
+    /// ([`Self::pre_write`]), a sideband write can deposit a line
+    /// *with* its poison marker: evacuation must move rot as rot,
+    /// never launder it into clean data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_base` is not line-aligned.
+    pub fn sideband_write(
+        &mut self,
+        line_base: u64,
+        data: &[u8; ECC_LINE_BYTES],
+        poison: bool,
+        store: &mut SparseMemory,
+    ) {
+        assert_eq!(line_base % ECC_LINE_BYTES as u64, 0, "line-aligned writes");
+        store.write(line_base, data);
+        self.check.insert(line_base, encode_line(data));
+        if poison {
+            self.poisoned.insert(line_base);
+        } else {
+            self.poisoned.remove(&line_base);
+        }
+    }
+
+    /// Whether `line_base` is currently marked poisoned.
+    pub fn is_poisoned(&self, line_base: u64) -> bool {
+        self.poisoned.contains(&line_base)
+    }
+
     /// Resets contents-derived state after the array lost power:
     /// check bytes, per-page accumulation and poison all describe
     /// data that no longer exists. Retirement records and the fault
@@ -506,6 +566,58 @@ impl MediaRas {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sideband_write_preserves_poison_across_migration() {
+        let mut src_ras = MediaRas::new();
+        let mut src = SparseMemory::new();
+        let mut dst_ras = MediaRas::new();
+        let mut dst = SparseMemory::new();
+
+        let data = [0x5Au8; ECC_LINE_BYTES];
+        src_ras.pre_write(SimTime::ZERO, 0, ECC_LINE_BYTES, &mut src);
+        src.write(0, &data);
+        src_ras.record_write(0, ECC_LINE_BYTES, &src);
+
+        // Rot the line beyond correction: two flips in one word.
+        let mut raw = [0u8; ECC_LINE_BYTES];
+        src.read(0, &mut raw);
+        raw[0] ^= 0b11;
+        src.write(0, &raw);
+
+        let (moved, poisoned) = src_ras.sideband_read(SimTime::from_us(1), 0, &mut src);
+        assert!(poisoned, "double flip must travel as poison");
+
+        dst_ras.sideband_write(0, &moved, poisoned, &mut dst);
+        assert!(dst_ras.is_poisoned(0), "poison marker survives the move");
+        let mut buf = [0u8; ECC_LINE_BYTES];
+        let outcome = dst_ras.verify_read(SimTime::from_us(2), 0, &mut buf, &mut dst);
+        assert!(outcome.is_uncorrectable(), "destination read is poisoned");
+
+        // A fully-covering demand write supersedes the rot as usual.
+        dst_ras.pre_write(SimTime::from_us(3), 0, ECC_LINE_BYTES, &mut dst);
+        dst.write(0, &data);
+        dst_ras.record_write(0, ECC_LINE_BYTES, &dst);
+        let outcome = dst_ras.verify_read(SimTime::from_us(4), 0, &mut buf, &mut dst);
+        assert!(outcome.is_clean());
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn sideband_read_returns_verified_clean_line() {
+        let mut ras = MediaRas::new();
+        let mut store = SparseMemory::new();
+        let data = [0xC3u8; ECC_LINE_BYTES];
+        ras.pre_write(SimTime::ZERO, 128, ECC_LINE_BYTES, &mut store);
+        store.write(128, &data);
+        ras.record_write(128, ECC_LINE_BYTES, &store);
+        let before = ras.counters();
+        let (line, poisoned) = ras.sideband_read(SimTime::from_us(1), 128, &mut store);
+        assert_eq!(line, data);
+        assert!(!poisoned);
+        // Maintenance reads never perturb the demand accounting.
+        assert_eq!(ras.counters(), before);
+    }
 
     #[test]
     fn zero_word_encodes_to_zero() {

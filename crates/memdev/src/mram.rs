@@ -172,6 +172,20 @@ impl SttMram {
         self.ras.record_write(addr, data.len(), &self.store);
     }
 
+    /// Maintenance-path read of one line via the service interface
+    /// (zero timing): the ECC-verified line plus its poison status.
+    pub fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], bool) {
+        check_range(self.capacity, addr, 128);
+        self.ras.sideband_read(now, addr, &mut self.store)
+    }
+
+    /// Maintenance-path write of one line, optionally depositing it
+    /// with its poison marker (evacuation moves rot as rot).
+    pub fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) {
+        check_range(self.capacity, addr, 128);
+        self.ras.sideband_write(addr, data, poison, &mut self.store);
+    }
+
     /// Simulated power loss: contents are retained (non-volatile).
     pub fn power_loss(&mut self) {
         self.busy_until = SimTime::ZERO;

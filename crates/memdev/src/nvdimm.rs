@@ -239,6 +239,16 @@ impl NvdimmN {
         self.dram.poke(addr, data);
     }
 
+    /// Maintenance-path read of one line via the service interface.
+    pub fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> ([u8; 128], bool) {
+        self.dram.sideband_read_line(now, addr)
+    }
+
+    /// Maintenance-path write of one line, optionally with poison.
+    pub fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) {
+        self.dram.sideband_write_line(addr, data, poison);
+    }
+
     /// Power is cut. If armed, the on-DIMM engine copies DRAM to flash
     /// (no CPU/FPGA involvement); otherwise contents are lost.
     /// Returns the time the DIMM is quiescent.

@@ -249,13 +249,19 @@ impl DmiChannel {
     /// shared tracer; the channel advances its clock every slot.
     pub fn enable_tracing(&mut self, capacity: usize) -> Tracer {
         let tracer = Tracer::ring(capacity);
+        self.attach_tracer(tracer.clone());
+        tracer
+    }
+
+    /// Attaches an existing (shared) tracer: system-level tracing
+    /// records every channel into one ring with one fingerprint.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
         tracer.advance(self.now);
         self.host.attach_tracer(tracer.clone());
         self.buffer_ep.attach_tracer(tracer.clone());
         self.tags.attach_tracer(tracer.clone());
         self.buffer.attach_tracer(tracer.clone());
-        self.tracer = tracer.clone();
-        tracer
+        self.tracer = tracer;
     }
 
     /// The channel's tracer (disabled unless
@@ -455,6 +461,28 @@ impl DmiChannel {
         let cfg = self.trainer_cfg.clone();
         let seed = self.train_seed.wrapping_add(self.link_retrains);
         self.train(cfg, seed)
+    }
+
+    /// Drains the channel ahead of a failover: runs the simulation
+    /// until every in-flight tag completes or ages out of quarantine,
+    /// up to `budget` from now. If tags are still outstanding after
+    /// that (a dead link never completes anything), the link is reset
+    /// to reclaim them. Returns `true` when the drain was clean — no
+    /// reset was needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint-rebuild failures from the link reset.
+    pub fn quiesce(&mut self, budget: SimTime) -> Result<bool, DmiError> {
+        let deadline = self.now + budget;
+        while (!self.pending.is_empty() || !self.quarantine.is_empty()) && self.now < deadline {
+            self.step();
+        }
+        let clean = self.pending.is_empty() && self.quarantine.is_empty();
+        if !clean {
+            self.reset_link()?;
+        }
+        Ok(clean)
     }
 
     /// Resets the link layer without retraining: drains both wires,
@@ -814,6 +842,33 @@ mod tests {
                 MemoryPopulation::dram_8gb(),
             )),
         )
+    }
+
+    #[test]
+    fn quiesce_drains_in_flight_tags() {
+        let mut ch = centaur_channel();
+        ch.submit(CommandOp::Write {
+            addr: 0x1000,
+            data: CacheLine::patterned(1),
+        })
+        .unwrap();
+        ch.submit(CommandOp::Read { addr: 0x1000 }).unwrap();
+        assert!(ch.tags_available() < 32);
+        let clean = ch.quiesce(SimTime::from_us(50)).unwrap();
+        assert!(clean, "healthy link drains without a reset");
+        assert_eq!(ch.tags_available(), 32);
+    }
+
+    #[test]
+    fn quiesce_dead_link_reclaims_via_reset() {
+        let mut ch = centaur_channel();
+        // Kill both directions, then leave a command in flight.
+        ch.set_down_injector(BitErrorInjector::bernoulli(1.0, 99));
+        ch.set_up_injector(BitErrorInjector::bernoulli(1.0, 99));
+        ch.submit(CommandOp::Read { addr: 0 }).unwrap();
+        let clean = ch.quiesce(SimTime::from_us(40)).unwrap();
+        assert!(!clean, "a dead link cannot drain cleanly");
+        assert_eq!(ch.tags_available(), 32, "tags reclaimed by the reset");
     }
 
     #[test]

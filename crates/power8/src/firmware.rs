@@ -219,7 +219,38 @@ impl Firmware {
         fsp: &mut ServiceProcessor,
         seed: u64,
     ) -> Result<BootReport, BootError> {
+        self.boot_with_reserves(slots, fsp, seed, &[])
+    }
+
+    /// [`Self::boot`], but slots named in `reserves` are trained and
+    /// kept powered without being placed in the memory map: hot spares
+    /// a later failover can rebind regions onto. The paper's concurrent
+    /// maintenance story (§3.2) depends on having somewhere to go.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::boot`] returns, plus
+    /// [`BootError::InvalidPlug`] if a reserve index names an empty or
+    /// out-of-range slot.
+    pub fn boot_with_reserves(
+        &self,
+        slots: Vec<SlotPopulation>,
+        fsp: &mut ServiceProcessor,
+        seed: u64,
+        reserves: &[usize],
+    ) -> Result<BootReport, BootError> {
         Self::validate_plug_rules(&slots)?;
+        for &r in reserves {
+            match slots.get(r) {
+                Some(SlotPopulation::Empty) | None => {
+                    return Err(BootError::InvalidPlug {
+                        slot: r,
+                        reason: "reserve slot is empty or out of range",
+                    })
+                }
+                Some(_) => {}
+            }
+        }
         let mut channels = Vec::new();
         let mut presence = vec![None; slots.len()];
         let mut spds = vec![None; slots.len()];
@@ -238,11 +269,15 @@ impl Firmware {
                     );
                     match self.train_with_retries(&mut channel, slot, fsp, seed, false) {
                         Some(training) => {
-                            memories.push(ChannelMemory {
-                                channel: slot,
-                                kind: MediaKind::Dram,
-                                capacity,
-                            });
+                            if reserves.contains(&slot) {
+                                fsp.log(SimTime::ZERO, slot, Severity::Info, "held in reserve");
+                            } else {
+                                memories.push(ChannelMemory {
+                                    channel: slot,
+                                    kind: MediaKind::Dram,
+                                    capacity,
+                                });
+                            }
                             channels.push(BootedChannel {
                                 slot,
                                 channel,
@@ -292,11 +327,15 @@ impl Firmware {
                     );
                     match self.train_with_retries(&mut channel, slot, fsp, seed, true) {
                         Some(training) => {
-                            memories.push(ChannelMemory {
-                                channel: slot,
-                                kind,
-                                capacity,
-                            });
+                            if reserves.contains(&slot) {
+                                fsp.log(SimTime::ZERO, slot, Severity::Info, "held in reserve");
+                            } else {
+                                memories.push(ChannelMemory {
+                                    channel: slot,
+                                    kind,
+                                    capacity,
+                                });
+                            }
                             channels.push(BootedChannel {
                                 slot,
                                 channel,
@@ -505,6 +544,26 @@ pub mod layouts {
         ]
     }
 
+    /// A failover testbed: minimal CDIMM system memory at slot 0, a
+    /// ConTutto victim at slot 2 and an identical ConTutto at slot 4
+    /// to serve as hot spare or mirror.
+    pub fn failover_pair(
+        config: ContuttoConfig,
+        population: MemoryPopulation,
+    ) -> Vec<SlotPopulation> {
+        vec![
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 4 << 30,
+            },
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto { config, population },
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto { config, population },
+            SlotPopulation::Empty,
+        ]
+    }
+
     /// The §4.2 MRAM setup: two ConTutto cards with 2 × 256 MB MRAM
     /// each (1 GB total? the paper says "a total of 1 GB of STT-MRAM"
     /// across two cards) plus CDIMM system memory.
@@ -609,7 +668,6 @@ mod tests {
         assert_eq!(report.channels[0].slot, 0);
         assert!(fsp
             .entries()
-            .iter()
             .any(|e| e.message.contains("frtl") && e.channel == 2));
     }
 

@@ -9,7 +9,7 @@
 //! of faults and errors on each piece of hardware, and disables
 //! hardware that generates too many errors."
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use contutto_sim::SimTime;
 
@@ -59,10 +59,17 @@ impl std::fmt::Display for FspError {
 
 impl std::error::Error for FspError {}
 
+/// Default bound on the in-memory event log. A real FSP keeps
+/// long-term logs on its own flash; our model keeps the most recent
+/// window and counts what scrolled off.
+pub const DEFAULT_LOG_CAPACITY: usize = 512;
+
 /// The service processor: log store + error budgets + deconfiguration.
 #[derive(Debug)]
 pub struct ServiceProcessor {
-    log: Vec<LogEntry>,
+    log: VecDeque<LogEntry>,
+    log_capacity: usize,
+    log_dropped: u64,
     unrecovered_counts: HashMap<usize, u32>,
     deconfigured: Vec<usize>,
     /// Unrecovered errors tolerated per channel before deconfiguration.
@@ -70,20 +77,42 @@ pub struct ServiceProcessor {
 }
 
 impl ServiceProcessor {
-    /// Creates an FSP with the given per-channel error budget.
+    /// Creates an FSP with the given per-channel error budget and the
+    /// default log capacity.
     pub fn new(error_budget: u32) -> Self {
+        ServiceProcessor::with_log_capacity(error_budget, DEFAULT_LOG_CAPACITY)
+    }
+
+    /// Creates an FSP with an explicit log capacity (entries beyond it
+    /// evict the oldest and increment [`Self::log_dropped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_capacity` is zero.
+    pub fn with_log_capacity(error_budget: u32, log_capacity: usize) -> Self {
+        assert!(log_capacity > 0, "log capacity must be nonzero");
         ServiceProcessor {
-            log: Vec::new(),
+            log: VecDeque::new(),
+            log_capacity,
+            log_dropped: 0,
             unrecovered_counts: HashMap::new(),
             deconfigured: Vec::new(),
             error_budget,
         }
     }
 
+    fn push_entry(&mut self, entry: LogEntry) {
+        if self.log.len() == self.log_capacity {
+            self.log.pop_front();
+            self.log_dropped += 1;
+        }
+        self.log.push_back(entry);
+    }
+
     /// Logs an event; unrecovered events count against the channel's
     /// budget and may deconfigure it.
     pub fn log(&mut self, at: SimTime, channel: usize, severity: Severity, message: &str) {
-        self.log.push(LogEntry {
+        self.push_entry(LogEntry {
             at,
             channel,
             severity,
@@ -94,7 +123,7 @@ impl ServiceProcessor {
             *count += 1;
             if *count > self.error_budget && !self.deconfigured.contains(&channel) {
                 self.deconfigured.push(channel);
-                self.log.push(LogEntry {
+                self.push_entry(LogEntry {
                     at,
                     channel,
                     severity: Severity::Unrecovered,
@@ -104,25 +133,62 @@ impl ServiceProcessor {
         }
     }
 
+    /// Takes a channel out of service directly — the firmware's
+    /// verdict on a hard fault (hang, final retrain failure) or an
+    /// operator's concurrent-maintenance request, as opposed to the
+    /// gradual error-budget path. Idempotent.
+    pub fn deconfigure(&mut self, at: SimTime, channel: usize, reason: &str) {
+        if self.deconfigured.contains(&channel) {
+            return;
+        }
+        self.deconfigured.push(channel);
+        self.push_entry(LogEntry {
+            at,
+            channel,
+            severity: Severity::Unrecovered,
+            message: format!("channel deconfigured ({reason})"),
+        });
+    }
+
     /// Checks a channel is usable.
     ///
     /// # Errors
     ///
     /// [`FspError::ChannelDeconfigured`] once the budget is blown.
     pub fn check_channel(&self, channel: usize) -> Result<(), FspError> {
-        if self.deconfigured.contains(&channel) {
+        if self.is_deconfigured(channel) {
             Err(FspError::ChannelDeconfigured { channel })
         } else {
             Ok(())
         }
     }
 
-    /// The full event log.
-    pub fn entries(&self) -> &[LogEntry] {
-        &self.log
+    /// Whether a channel has been taken out of service.
+    pub fn is_deconfigured(&self, channel: usize) -> bool {
+        self.deconfigured.contains(&channel)
     }
 
-    /// Channels taken out of service.
+    /// The retained event log, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.log.iter()
+    }
+
+    /// Entries currently retained.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Entries evicted to stay within the capacity bound.
+    pub fn log_dropped(&self) -> u64 {
+        self.log_dropped
+    }
+
+    /// The configured log bound.
+    pub fn log_capacity(&self) -> usize {
+        self.log_capacity
+    }
+
+    /// Channels taken out of service, in deconfiguration order.
     pub fn deconfigured_channels(&self) -> &[usize] {
         &self.deconfigured
     }
@@ -139,7 +205,7 @@ mod tests {
             fsp.log(SimTime::ZERO, 0, Severity::Info, "training retry");
         }
         assert!(fsp.check_channel(0).is_ok());
-        assert_eq!(fsp.entries().len(), 100);
+        assert_eq!(fsp.log_len(), 100);
     }
 
     #[test]
@@ -158,6 +224,7 @@ mod tests {
             fsp.check_channel(4),
             Err(FspError::ChannelDeconfigured { channel: 4 })
         );
+        assert!(fsp.is_deconfigured(4));
         assert_eq!(fsp.deconfigured_channels(), &[4]);
         // Other channels unaffected.
         assert!(fsp.check_channel(5).is_ok());
@@ -176,5 +243,33 @@ mod tests {
         fsp.log(SimTime::ZERO, 2, Severity::Unrecovered, "boom");
         let last = fsp.entries().last().unwrap();
         assert!(last.message.contains("deconfigured"));
+    }
+
+    #[test]
+    fn explicit_deconfigure_is_immediate_and_idempotent() {
+        let mut fsp = ServiceProcessor::new(100);
+        fsp.deconfigure(SimTime::from_us(3), 6, "maintenance pull");
+        assert!(fsp.is_deconfigured(6));
+        assert_eq!(fsp.deconfigured_channels(), &[6]);
+        let logged = fsp.log_len();
+        fsp.deconfigure(SimTime::from_us(4), 6, "again");
+        assert_eq!(fsp.deconfigured_channels(), &[6], "no duplicate entry");
+        assert_eq!(fsp.log_len(), logged, "idempotent calls log nothing");
+        let last = fsp.entries().last().unwrap();
+        assert!(last.message.contains("maintenance pull"));
+    }
+
+    #[test]
+    fn log_is_bounded_and_counts_drops() {
+        let mut fsp = ServiceProcessor::with_log_capacity(1000, 8);
+        for i in 0..20u64 {
+            fsp.log(SimTime::from_us(i), 0, Severity::Info, &format!("e{i}"));
+        }
+        assert_eq!(fsp.log_len(), 8);
+        assert_eq!(fsp.log_capacity(), 8);
+        assert_eq!(fsp.log_dropped(), 12);
+        // Oldest entries were the ones evicted.
+        let first = fsp.entries().next().unwrap();
+        assert_eq!(first.message, "e12");
     }
 }

@@ -16,6 +16,7 @@
 
 pub mod caches;
 pub mod channel;
+pub mod failover;
 pub mod firmware;
 pub mod fsp;
 pub mod latency;
@@ -24,9 +25,10 @@ pub mod prefetch;
 pub mod system;
 
 pub use channel::{ChannelConfig, DmiChannel};
+pub use failover::{FailoverMode, FailoverStats};
 pub use firmware::{BootError, BootReport, Firmware, SlotPopulation};
 pub use fsp::{FspError, ServiceProcessor};
 pub use latency::{LatencyProbe, MeasurementLevel};
-pub use memmap::{MemoryMap, MemoryRegion, RegionFlags};
+pub use memmap::{MemoryMap, MemoryRegion, RegionFlags, RouteError};
 pub use prefetch::StreamingLoader;
-pub use system::Power8System;
+pub use system::{Power8System, SystemError};

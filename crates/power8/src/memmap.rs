@@ -80,6 +80,28 @@ impl std::fmt::Display for MapError {
 
 impl std::error::Error for MapError {}
 
+/// Errors in routing a demand access through the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The physical address falls outside every OS-visible region.
+    Unmapped {
+        /// The offending physical address.
+        phys: u64,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unmapped { phys } => {
+                write!(f, "physical address {phys:#x} is not mapped")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// The assembled memory map.
 ///
 /// # Example
@@ -209,6 +231,27 @@ impl MemoryMap {
             .find(|r| r.base == 0 && !r.flags.kind.is_nonvolatile())
     }
 
+    /// Retargets every region backed by channel `from` onto channel
+    /// `to`, returning how many regions moved. The address ranges the
+    /// processor decodes are untouched — only the backing channel
+    /// changes, which is exactly what a failover does: same physical
+    /// addresses, different buffer serving them.
+    pub fn rebind_channel(&mut self, from: usize, to: usize) -> usize {
+        let mut moved = 0;
+        for region in &mut self.regions {
+            if region.channel == from {
+                region.channel = to;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Whether any region is backed by the given channel.
+    pub fn channel_is_mapped(&self, channel: usize) -> bool {
+        self.regions.iter().any(|r| r.channel == channel)
+    }
+
     /// All non-volatile regions (for the pmem driver).
     pub fn nonvolatile_regions(&self) -> Vec<&MemoryRegion> {
         self.regions
@@ -290,6 +333,20 @@ mod tests {
         assert_eq!(map.resolve(0), Some((0, 0)));
         assert_eq!(map.resolve((8 << 30) + 5), Some((1, 5)));
         assert_eq!(map.resolve(1 << 41), None);
+    }
+
+    #[test]
+    fn rebind_retargets_regions_without_moving_addresses() {
+        let mut map = MemoryMap::build(&[dram(0, 8 << 30), dram(2, 8 << 30)], TOP).unwrap();
+        let before: Vec<(u64, u64)> = map.regions().iter().map(|r| (r.base, r.hw_size)).collect();
+        assert!(map.channel_is_mapped(2));
+        assert_eq!(map.rebind_channel(2, 4), 1);
+        assert!(!map.channel_is_mapped(2));
+        assert!(map.channel_is_mapped(4));
+        let after: Vec<(u64, u64)> = map.regions().iter().map(|r| (r.base, r.hw_size)).collect();
+        assert_eq!(before, after, "address layout is unchanged");
+        // Rebinding a channel that backs nothing is a no-op.
+        assert_eq!(map.rebind_channel(9, 1), 0);
     }
 
     #[test]

@@ -3,50 +3,182 @@
 //! [`Power8System`] ties the firmware boot, the service processor, the
 //! memory map and the live channels together, and routes software
 //! loads/stores to the right channel by physical address.
+//!
+//! It also owns the channel-RAS ladder above the link (PR-2) and media
+//! (PR-3) ladders: when the FSP deconfigures a channel — error budget
+//! exhausted, retrain ladder's final failure, or a concurrent
+//! maintenance pull — the system quiesces the dead channel, rebinds
+//! its regions onto a failover target, and (in spare mode) evacuates
+//! the written lines over the sideband path, poison travelling as
+//! poison. Demand accesses during migration are pulled ahead of the
+//! copy frontier; accesses with nowhere to go return typed errors,
+//! never panics.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use contutto_dmi::command::CacheLine;
 use contutto_dmi::DmiError;
 use contutto_memdev::MediaKind;
-use contutto_sim::SimTime;
+use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
-use crate::firmware::{BootError, BootReport, BootedChannel, Firmware, SlotPopulation};
-use crate::fsp::ServiceProcessor;
-use crate::memmap::MemoryMap;
+use crate::channel::RetryPolicy;
+use crate::failover::{
+    FailoverMode, FailoverStats, Migration, MIGRATION_BATCH, MIGRATION_LINE_COST,
+    MIGRATION_PROGRESS_STRIDE,
+};
+use crate::firmware::{
+    BootError, BootReport, BootedChannel, ErrorAction, Firmware, SlotPopulation,
+};
+use crate::fsp::{FspError, ServiceProcessor};
+use crate::memmap::{MemoryMap, RouteError};
+
+/// Quiesce budget, in multiples of the channel's per-op timeout:
+/// enough for in-flight commands to complete or time out before the
+/// link is reset to reclaim whatever is left.
+const QUIESCE_TIMEOUTS: u64 = 3;
+
+/// Any error a software-visible access can surface: routing, FSP
+/// deconfiguration, or the channel ladder underneath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// The address hits no OS-visible region.
+    Route(RouteError),
+    /// The FSP has taken the owning channel out of service.
+    Fsp(FspError),
+    /// The channel itself failed (timeout, poison, tag exhaustion).
+    Dmi(DmiError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Route(e) => write!(f, "route: {e}"),
+            SystemError::Fsp(e) => write!(f, "fsp: {e}"),
+            SystemError::Dmi(e) => write!(f, "dmi: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<RouteError> for SystemError {
+    fn from(e: RouteError) -> Self {
+        SystemError::Route(e)
+    }
+}
+
+impl From<FspError> for SystemError {
+    fn from(e: FspError) -> Self {
+        SystemError::Fsp(e)
+    }
+}
+
+impl From<DmiError> for SystemError {
+    fn from(e: DmiError) -> Self {
+        SystemError::Dmi(e)
+    }
+}
 
 /// A booted system.
 pub struct Power8System {
     channels: Vec<BootedChannel>,
     memory_map: MemoryMap,
     fsp: ServiceProcessor,
+    mode: FailoverMode,
+    migration: Option<Migration>,
+    /// Channel-local line addresses ever written per slot — the set a
+    /// spare must receive for the system to have lost nothing.
+    written: BTreeMap<usize, BTreeSet<u64>>,
+    /// Lines that arrived on a slot already poisoned (migrated from a
+    /// dying channel). Consuming one raises a machine check but is not
+    /// fresh evidence against the hosting channel's hardware, so it
+    /// must not charge that channel's error budget.
+    inherited_poison: BTreeMap<usize, BTreeSet<u64>>,
+    stats: FailoverStats,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Power8System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Power8System")
             .field("channels", &self.channels.len())
+            .field("mode", &self.mode)
             .finish_non_exhaustive()
     }
 }
 
 impl Power8System {
-    /// Boots a system from a slot layout.
+    /// Boots a system from a slot layout with no failover redundancy.
     ///
     /// # Errors
     ///
     /// Propagates [`BootError`] from the firmware.
     pub fn boot(slots: Vec<SlotPopulation>, seed: u64) -> Result<Self, BootError> {
+        Self::boot_with_failover(slots, seed, FailoverMode::None)
+    }
+
+    /// Boots with a failover policy: spare slots are trained but held
+    /// out of the memory map; mirrored pairs shadow every store.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::boot`] returns, plus
+    /// [`BootError::InvalidPlug`] if the failover target failed
+    /// training or a mirror primary is not in the map.
+    pub fn boot_with_failover(
+        slots: Vec<SlotPopulation>,
+        seed: u64,
+        mode: FailoverMode,
+    ) -> Result<Self, BootError> {
+        let reserves: Vec<usize> = match mode {
+            FailoverMode::None => Vec::new(),
+            FailoverMode::Spare { spare } => vec![spare],
+            FailoverMode::Mirrored { mirror, .. } => vec![mirror],
+        };
         let mut fsp = ServiceProcessor::new(3);
-        let report = Firmware::new().boot(slots, &mut fsp, seed)?;
+        let report = Firmware::new().boot_with_reserves(slots, &mut fsp, seed, &reserves)?;
         let BootReport {
             channels,
             memory_map,
             ..
         } = report;
-        Ok(Power8System {
+        let sys = Power8System {
             channels,
             memory_map,
             fsp,
-        })
+            mode,
+            migration: None,
+            written: BTreeMap::new(),
+            inherited_poison: BTreeMap::new(),
+            stats: FailoverStats::default(),
+            tracer: Tracer::off(),
+        };
+        match mode {
+            FailoverMode::None => {}
+            FailoverMode::Spare { spare } => {
+                if sys.channel_index(spare).is_none() {
+                    return Err(BootError::InvalidPlug {
+                        slot: spare,
+                        reason: "failover spare failed training",
+                    });
+                }
+            }
+            FailoverMode::Mirrored { primary, mirror } => {
+                if sys.channel_index(mirror).is_none() {
+                    return Err(BootError::InvalidPlug {
+                        slot: mirror,
+                        reason: "mirror failed training",
+                    });
+                }
+                if !sys.memory_map.channel_is_mapped(primary) {
+                    return Err(BootError::InvalidPlug {
+                        slot: primary,
+                        reason: "mirror primary is not in the memory map",
+                    });
+                }
+            }
+        }
+        Ok(sys)
     }
 
     /// The memory map.
@@ -59,6 +191,21 @@ impl Power8System {
         &self.fsp
     }
 
+    /// Mutable FSP access (injecting maintenance events, budgets).
+    pub fn fsp_mut(&mut self) -> &mut ServiceProcessor {
+        &mut self.fsp
+    }
+
+    /// The failover policy this system booted with.
+    pub fn failover_mode(&self) -> FailoverMode {
+        self.mode
+    }
+
+    /// Failover/migration counters.
+    pub fn failover_stats(&self) -> &FailoverStats {
+        &self.stats
+    }
+
     /// Live channels.
     pub fn channels(&self) -> &[BootedChannel] {
         &self.channels
@@ -67,6 +214,67 @@ impl Power8System {
     /// Mutable access to a channel by slot.
     pub fn channel_mut(&mut self, slot: usize) -> Option<&mut BootedChannel> {
         self.channels.iter_mut().find(|c| c.slot == slot)
+    }
+
+    fn channel_index(&self, slot: usize) -> Option<usize> {
+        self.channels.iter().position(|c| c.slot == slot)
+    }
+
+    /// Shares one trace ring across every channel and the system's own
+    /// failover events, so one fingerprint covers the whole machine.
+    pub fn enable_tracing(&mut self, capacity: usize) -> Tracer {
+        let tracer = Tracer::ring(capacity);
+        for c in &mut self.channels {
+            c.channel.attach_tracer(tracer.clone());
+        }
+        self.tracer = tracer.clone();
+        tracer
+    }
+
+    /// Applies one retry policy to every channel.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for c in &mut self.channels {
+            c.channel.set_retry_policy(policy.clone());
+        }
+    }
+
+    /// Aggregated system metrics: every channel's registry merged
+    /// (counters accumulate across channels) plus `system.failover.*`
+    /// and `system.fsp.*`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for c in &self.channels {
+            reg.merge(&c.channel.metrics());
+        }
+        reg.set_counter("system.failover.failovers", self.stats.failovers);
+        reg.set_counter("system.failover.lines_migrated", self.stats.lines_migrated);
+        reg.set_counter(
+            "system.failover.poison_migrated",
+            self.stats.poison_migrated,
+        );
+        reg.set_counter(
+            "system.failover.demand_migrations",
+            self.stats.demand_migrations,
+        );
+        reg.set_counter(
+            "system.failover.mirror_read_fallbacks",
+            self.stats.mirror_read_fallbacks,
+        );
+        reg.set_counter(
+            "system.failover.lines_unreadable",
+            self.stats.lines_unreadable,
+        );
+        reg.set_counter(
+            "system.failover.migration_backlog",
+            self.migration_backlog(),
+        );
+        reg.set_counter(
+            "system.fsp.deconfigured_channels",
+            self.fsp.deconfigured_channels().len() as u64,
+        );
+        reg.set_counter("system.fsp.log_entries", self.fsp.log_len() as u64);
+        reg.set_counter("system.fsp.log_dropped", self.fsp.log_dropped());
+        reg
     }
 
     /// The slot serving a physical address, with the channel-local
@@ -82,36 +290,417 @@ impl Power8System {
     ///
     /// # Errors
     ///
-    /// [`DmiError::MalformedFrame`] is never returned here; tag
-    /// exhaustion propagates. Addresses outside the map panic (the OS
-    /// would machine-check).
-    ///
-    /// # Panics
-    ///
-    /// Panics on unmapped addresses or a hung channel.
-    pub fn load_line(&mut self, phys: u64) -> Result<(CacheLine, SimTime), DmiError> {
-        let (slot, local) = self.route(phys).expect("unmapped address");
-        let ch = self
-            .channel_mut(slot)
-            .expect("memory map references live channels");
-        ch.channel.read_line_blocking(local & !127)
+    /// [`SystemError::Route`] for unmapped addresses,
+    /// [`SystemError::Fsp`] when the owning channel is deconfigured
+    /// with nowhere to fail over, [`SystemError::Dmi`] for channel
+    /// faults that survived the recovery ladder.
+    pub fn load_line(&mut self, phys: u64) -> Result<(CacheLine, SimTime), SystemError> {
+        self.pump_migration();
+        let (slot, local) = self
+            .route(phys)
+            .ok_or(SystemError::Route(RouteError::Unmapped { phys }))?;
+        self.fsp.check_channel(slot)?;
+        let line_addr = local & !127;
+        self.demand_pull(slot, line_addr);
+        let result =
+            {
+                let ch = self.channel_mut(slot).ok_or(SystemError::Fsp(
+                    FspError::ChannelDeconfigured { channel: slot },
+                ))?;
+                ch.channel.read_line_blocking(line_addr)
+            };
+        match result {
+            Ok(ok) => Ok(ok),
+            Err(err) => self.handle_load_error(phys, slot, line_addr, err),
+        }
     }
 
     /// Software cache-line store.
     ///
     /// # Errors
     ///
-    /// Propagates tag exhaustion.
+    /// Same ladder as [`Self::load_line`].
+    pub fn store_line(&mut self, phys: u64, data: CacheLine) -> Result<SimTime, SystemError> {
+        self.pump_migration();
+        let (slot, local) = self
+            .route(phys)
+            .ok_or(SystemError::Route(RouteError::Unmapped { phys }))?;
+        self.fsp.check_channel(slot)?;
+        let line_addr = local & !127;
+        // A demand write supersedes any stale copy still queued for
+        // this line — the migrator must not overwrite newer data.
+        if let Some(mig) = self.migration.as_mut() {
+            if mig.to == slot && mig.pending.remove(&line_addr) {
+                mig.migrated += 1;
+            }
+        }
+        let result =
+            {
+                let ch = self.channel_mut(slot).ok_or(SystemError::Fsp(
+                    FspError::ChannelDeconfigured { channel: slot },
+                ))?;
+                ch.channel.write_line_blocking(line_addr, data)
+            };
+        match result {
+            Ok(t) => {
+                self.written.entry(slot).or_default().insert(line_addr);
+                // A successful full-line demand write overwrites any
+                // rot the line inherited from an evacuation.
+                if let Some(lines) = self.inherited_poison.get_mut(&slot) {
+                    lines.remove(&line_addr);
+                }
+                self.mirror_store(slot, line_addr, data);
+                Ok(t)
+            }
+            Err(err) => self.handle_store_error(phys, slot, line_addr, data, err),
+        }
+    }
+
+    /// Fans a successful primary store out to the mirror.
+    fn mirror_store(&mut self, slot: usize, line_addr: u64, data: CacheLine) {
+        let FailoverMode::Mirrored { primary, mirror } = self.mode else {
+            return;
+        };
+        if slot != primary || self.fsp.is_deconfigured(mirror) {
+            return;
+        }
+        let result = match self.channel_mut(mirror) {
+            Some(ch) => ch.channel.write_line_blocking(line_addr, data),
+            None => return,
+        };
+        match result {
+            Ok(_) => {
+                self.written.entry(mirror).or_default().insert(line_addr);
+            }
+            Err(err) => {
+                // The mirror is degrading, not the primary: classify
+                // against the mirror's budget; the pair keeps running
+                // unmirrored once the FSP pulls it.
+                self.apply_error_verdict(mirror, line_addr, &err);
+            }
+        }
+    }
+
+    /// Runs the firmware's error classification and applies its
+    /// verdict. The blocking helpers only surface `Timeout` /
+    /// `TrainingFailed` after the retry→retrain ladder is exhausted,
+    /// so an [`ErrorAction::Deconfigure`] verdict takes the channel
+    /// out of service immediately — it is the ladder's final answer,
+    /// not a first symptom. Poison on a line that arrived already
+    /// poisoned via evacuation is exempt: consuming it machine-checks
+    /// the reader, but is not fresh evidence against the hosting
+    /// channel's hardware, so it must not charge that channel's error
+    /// budget.
+    fn apply_error_verdict(&mut self, slot: usize, line_addr: u64, err: &DmiError) {
+        if matches!(err, DmiError::Poisoned { .. })
+            && self
+                .inherited_poison
+                .get(&slot)
+                .is_some_and(|lines| lines.contains(&line_addr))
+        {
+            return;
+        }
+        let now = self.now_of(slot);
+        if Firmware::classify_runtime_error(now, slot, err, &mut self.fsp)
+            == ErrorAction::Deconfigure
+        {
+            self.fsp.deconfigure(now, slot, "recovery ladder exhausted");
+        }
+    }
+
+    fn handle_load_error(
+        &mut self,
+        phys: u64,
+        slot: usize,
+        line_addr: u64,
+        err: DmiError,
+    ) -> Result<(CacheLine, SimTime), SystemError> {
+        self.apply_error_verdict(slot, line_addr, &err);
+        let failed_over = if self.fsp.is_deconfigured(slot) {
+            self.try_failover(slot)
+        } else {
+            false
+        };
+        // Mirrored pairs fail reads over per-access: a poisoned or
+        // timed-out primary read is served from the shadow copy.
+        if let FailoverMode::Mirrored { primary, mirror } = self.mode {
+            if slot == primary
+                && matches!(err, DmiError::Poisoned { .. } | DmiError::Timeout { .. })
+                && !self.fsp.is_deconfigured(mirror)
+            {
+                let fallback = self
+                    .channel_mut(mirror)
+                    .and_then(|ch| ch.channel.read_line_blocking(line_addr).ok());
+                if let Some(ok) = fallback {
+                    self.stats.mirror_read_fallbacks += 1;
+                    self.tracer
+                        .record(TraceEvent::MirrorReadFallback { addr: phys });
+                    return Ok(ok);
+                }
+            }
+        }
+        if failed_over && matches!(err, DmiError::Timeout { .. }) {
+            // The map now points at the failover target; one retry
+            // through the new route serves the access.
+            return self.load_line(phys);
+        }
+        Err(SystemError::Dmi(err))
+    }
+
+    fn handle_store_error(
+        &mut self,
+        phys: u64,
+        slot: usize,
+        line_addr: u64,
+        data: CacheLine,
+        err: DmiError,
+    ) -> Result<SimTime, SystemError> {
+        self.apply_error_verdict(slot, line_addr, &err);
+        let failed_over = if self.fsp.is_deconfigured(slot) {
+            self.try_failover(slot)
+        } else {
+            false
+        };
+        if failed_over && matches!(err, DmiError::Timeout { .. }) {
+            return self.store_line(phys, data);
+        }
+        Err(SystemError::Dmi(err))
+    }
+
+    /// Concurrent maintenance (paper §3.2): an operator pulls a buffer
+    /// card from the running system. The FSP deconfigures the slot and
+    /// the system fails over before the access stream resumes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unmapped addresses or a hung channel.
-    pub fn store_line(&mut self, phys: u64, data: CacheLine) -> Result<SimTime, DmiError> {
-        let (slot, local) = self.route(phys).expect("unmapped address");
-        let ch = self
-            .channel_mut(slot)
-            .expect("memory map references live channels");
-        ch.channel.write_line_blocking(local & !127, data)
+    /// [`SystemError::Fsp`] if the slot backs live regions and there is
+    /// no failover target — the pull would orphan mapped memory.
+    pub fn maintenance_pull(&mut self, slot: usize) -> Result<(), SystemError> {
+        let at = self.now_of(slot);
+        self.fsp.deconfigure(at, slot, "maintenance pull");
+        if self.memory_map.channel_is_mapped(slot) && !self.try_failover(slot) {
+            return Err(SystemError::Fsp(FspError::ChannelDeconfigured {
+                channel: slot,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Quiesce → remap → (spare mode) start evacuation. Returns
+    /// whether a target took over the dead slot's regions.
+    fn try_failover(&mut self, slot: usize) -> bool {
+        if self
+            .migration
+            .as_ref()
+            .is_some_and(|m| m.from == slot || m.to == slot)
+        {
+            return false;
+        }
+        if !self.memory_map.channel_is_mapped(slot) {
+            return false;
+        }
+        let target = match self.mode {
+            FailoverMode::None => return false,
+            FailoverMode::Spare { spare } => {
+                if spare == slot
+                    || self.fsp.is_deconfigured(spare)
+                    || self.channel_index(spare).is_none()
+                {
+                    return false;
+                }
+                spare
+            }
+            FailoverMode::Mirrored { primary, mirror } => {
+                if slot != primary
+                    || self.fsp.is_deconfigured(mirror)
+                    || self.channel_index(mirror).is_none()
+                {
+                    return false;
+                }
+                mirror
+            }
+        };
+        // Quiesce: drain in-flight tags within a bounded budget; a
+        // dead link reclaims them via reset instead.
+        let clean = match self.channel_mut(slot) {
+            Some(ch) => {
+                let budget = ch.channel.retry_policy().op_timeout * QUIESCE_TIMEOUTS;
+                ch.channel.quiesce(budget).unwrap_or(false)
+            }
+            None => false,
+        };
+        self.tracer
+            .record(TraceEvent::ChannelQuiesced { slot, clean });
+        let mirrored = matches!(self.mode, FailoverMode::Mirrored { .. });
+        self.memory_map.rebind_channel(slot, target);
+        self.tracer.record(TraceEvent::ChannelFailedOver {
+            from: slot,
+            to: target,
+            mirrored,
+        });
+        self.stats.failovers += 1;
+        if !mirrored {
+            // Evacuate everything software ever wrote through the dead
+            // slot. The mirror already holds its copy by construction.
+            let pending: BTreeSet<u64> = self.written.get(&slot).cloned().unwrap_or_default();
+            let backlog = pending.len() as u64;
+            self.migration = Some(Migration {
+                from: slot,
+                to: target,
+                pending,
+                migrated: 0,
+                poison_migrated: 0,
+            });
+            self.tracer.record(TraceEvent::MigrationProgress {
+                from: slot,
+                to: target,
+                migrated: 0,
+                remaining: backlog,
+            });
+        }
+        true
+    }
+
+    /// Background catch-up: each demand access moves up to
+    /// [`MIGRATION_BATCH`] lines (scrub-style, like the PR-3 patrol).
+    fn pump_migration(&mut self) {
+        for _ in 0..MIGRATION_BATCH {
+            if !self.migrate_next() {
+                break;
+            }
+        }
+    }
+
+    /// Moves one pending line; returns false when nothing is left.
+    fn migrate_next(&mut self) -> bool {
+        let Some(mig) = self.migration.as_mut() else {
+            return false;
+        };
+        let from = mig.from;
+        let to = mig.to;
+        let Some(line) = mig.pending.pop_first() else {
+            let migrated = mig.migrated;
+            self.migration = None;
+            self.tracer.record(TraceEvent::MigrationProgress {
+                from,
+                to,
+                migrated,
+                remaining: 0,
+            });
+            return false;
+        };
+        let poisoned = self.copy_line(from, to, line);
+        self.stats.lines_migrated += 1;
+        if poisoned {
+            self.stats.poison_migrated += 1;
+        }
+        if let Some(mig) = self.migration.as_mut() {
+            mig.migrated += 1;
+            if poisoned {
+                mig.poison_migrated += 1;
+            }
+            if mig.migrated % MIGRATION_PROGRESS_STRIDE == 0 {
+                let migrated = mig.migrated;
+                let remaining = mig.backlog();
+                self.tracer.record(TraceEvent::MigrationProgress {
+                    from,
+                    to,
+                    migrated,
+                    remaining,
+                });
+            }
+        }
+        true
+    }
+
+    /// Pulls one line ahead of the copy frontier because a demand
+    /// access needs it on the spare right now.
+    fn demand_pull(&mut self, slot: usize, line_addr: u64) {
+        let Some(mig) = self.migration.as_mut() else {
+            return;
+        };
+        if mig.to != slot || !mig.pending.remove(&line_addr) {
+            return;
+        }
+        let from = mig.from;
+        let poisoned = self.copy_line(from, slot, line_addr);
+        self.stats.demand_migrations += 1;
+        self.stats.lines_migrated += 1;
+        if poisoned {
+            self.stats.poison_migrated += 1;
+        }
+        if let Some(mig) = self.migration.as_mut() {
+            mig.migrated += 1;
+            if poisoned {
+                mig.poison_migrated += 1;
+            }
+        }
+    }
+
+    /// Moves one line over the sideband path (FSI→I²C, paper §3.4 —
+    /// alive even when the DMI link is not). Returns whether the line
+    /// landed poisoned. Unreadable lines migrate as explicit poison:
+    /// data is lost loudly, never silently.
+    fn copy_line(&mut self, from: usize, to: usize, line: u64) -> bool {
+        let read = match self.channel_mut(from) {
+            Some(ch) => {
+                let now = ch.channel.now();
+                ch.channel.buffer_mut().sideband_read_line(now, line)
+            }
+            None => None,
+        };
+        let (data, poison) = match read {
+            Some((data, poison)) => (data, poison),
+            None => {
+                self.stats.lines_unreadable += 1;
+                ([0u8; 128], true)
+            }
+        };
+        if let Some(ch) = self.channel_mut(to) {
+            if ch
+                .channel
+                .buffer_mut()
+                .sideband_write_line(line, &data, poison)
+            {
+                // Sideband transfers are slow: charge the spare's clock.
+                let t = ch.channel.now() + MIGRATION_LINE_COST;
+                ch.channel.run_until(t);
+                self.written.entry(to).or_default().insert(line);
+                if poison {
+                    // Remember the rot arrived with the line, so
+                    // consuming it never charges the spare's budget.
+                    self.inherited_poison.entry(to).or_default().insert(line);
+                } else if let Some(lines) = self.inherited_poison.get_mut(&to) {
+                    lines.remove(&line);
+                }
+            } else {
+                self.stats.lines_unreadable += 1;
+            }
+        }
+        poison
+    }
+
+    /// Whether an evacuation is still running.
+    pub fn failover_in_progress(&self) -> bool {
+        self.migration.is_some()
+    }
+
+    /// Lines still waiting to reach the spare.
+    pub fn migration_backlog(&self) -> u64 {
+        self.migration.as_ref().map_or(0, Migration::backlog)
+    }
+
+    /// Runs the migrator to completion (maintenance windows do this
+    /// before declaring the dead card safe to physically remove).
+    pub fn complete_migration(&mut self) {
+        while self.migrate_next() {}
+    }
+
+    fn now_of(&self, slot: usize) -> SimTime {
+        self.channels
+            .iter()
+            .find(|c| c.slot == slot)
+            .map_or(SimTime::ZERO, |c| c.channel.now())
     }
 
     /// The non-volatile channels (pmem driver targets).
@@ -241,7 +830,6 @@ mod tests {
         assert!(
             !sys.fsp()
                 .entries()
-                .iter()
                 .any(|e| e.severity == crate::fsp::Severity::Recovered),
             "clean system logs no recovered errors"
         );
@@ -260,7 +848,6 @@ mod tests {
         let recovered: Vec<_> = sys
             .fsp()
             .entries()
-            .iter()
             .filter(|e| e.severity == crate::fsp::Severity::Recovered)
             .collect();
         assert!(!recovered.is_empty(), "noisy channel shows in the sweep");
@@ -277,5 +864,110 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sys.media_at(1 << 45), None);
+    }
+
+    #[test]
+    fn unmapped_access_returns_typed_error_not_panic() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            7,
+        )
+        .unwrap();
+        let phys = 1u64 << 45;
+        assert_eq!(
+            sys.load_line(phys),
+            Err(SystemError::Route(RouteError::Unmapped { phys }))
+        );
+        assert_eq!(
+            sys.store_line(phys, CacheLine::patterned(1)),
+            Err(SystemError::Route(RouteError::Unmapped { phys }))
+        );
+    }
+
+    #[test]
+    fn deconfigured_channel_access_returns_typed_error() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            7,
+        )
+        .unwrap();
+        let (slot, _) = sys.route(0).unwrap();
+        sys.fsp_mut().deconfigure(SimTime::ZERO, slot, "test");
+        assert_eq!(
+            sys.load_line(0),
+            Err(SystemError::Fsp(FspError::ChannelDeconfigured {
+                channel: slot
+            }))
+        );
+        assert_eq!(
+            sys.store_line(0, CacheLine::patterned(2)),
+            Err(SystemError::Fsp(FspError::ChannelDeconfigured {
+                channel: slot
+            }))
+        );
+    }
+
+    #[test]
+    fn maintenance_pull_without_target_is_typed_error() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            7,
+        )
+        .unwrap();
+        let (slot, _) = sys.route(0).unwrap();
+        // No failover mode: the pull is refused (typed), and the slot
+        // stays deconfigured.
+        assert!(matches!(
+            sys.maintenance_pull(slot),
+            Err(SystemError::Fsp(FspError::ChannelDeconfigured { .. }))
+        ));
+        assert!(sys.fsp().is_deconfigured(slot));
+    }
+
+    #[test]
+    fn inherited_poison_never_charges_the_spare() {
+        let mut sys = Power8System::boot_with_failover(
+            layouts::failover_pair(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            11,
+            FailoverMode::Spare { spare: 4 },
+        )
+        .unwrap();
+        let base = sys
+            .memory_map()
+            .regions()
+            .iter()
+            .find(|r| r.channel == 2)
+            .unwrap()
+            .base;
+        let line = CacheLine::patterned(21);
+        sys.store_line(base, line).unwrap();
+        // Rot the line in place on the victim, then pull the card: the
+        // evacuation must carry the poison marker across.
+        let ch = sys.channel_mut(2).unwrap();
+        let now = ch.channel.now();
+        let (bytes, poisoned) = ch.channel.buffer_mut().sideband_read_line(now, 0).unwrap();
+        assert!(!poisoned);
+        assert!(ch.channel.buffer_mut().sideband_write_line(0, &bytes, true));
+        sys.maintenance_pull(2).unwrap();
+        sys.complete_migration();
+        assert_eq!(sys.failover_stats().poison_migrated, 1);
+        // Consuming inherited rot machine-checks the reader every
+        // time, but is not evidence against the spare's hardware: with
+        // a budget of 3, eight reads must not deconfigure slot 4.
+        for _ in 0..8 {
+            assert!(matches!(
+                sys.load_line(base),
+                Err(SystemError::Dmi(DmiError::Poisoned { .. }))
+            ));
+        }
+        assert!(
+            !sys.fsp().is_deconfigured(4),
+            "inherited poison charged the spare's error budget"
+        );
+        // Fresh demand data overwrites the rot.
+        let fresh = CacheLine::patterned(22);
+        sys.store_line(base, fresh).unwrap();
+        let (back, _) = sys.load_line(base).unwrap();
+        assert_eq!(back, fresh);
     }
 }

@@ -133,6 +133,30 @@ pub enum TraceEvent {
     /// Power returned before the NVDIMM save engine finished; the flash
     /// image is torn and must not be restored.
     SaveTorn { restored_ps: u64, save_done_ps: u64 },
+    /// A channel was drained of in-flight tags ahead of a failover;
+    /// `clean` is false when the link had to be reset to reclaim tags.
+    ChannelQuiesced { slot: usize, clean: bool },
+    /// The background evacuation engine copied another batch of lines
+    /// from a deconfigured channel to its spare.
+    MigrationProgress {
+        from: usize,
+        to: usize,
+        migrated: u64,
+        remaining: u64,
+    },
+    /// The memory map was rebound: the physical region formerly served
+    /// by `from` is now served by `to`.
+    ChannelFailedOver {
+        from: usize,
+        to: usize,
+        mirrored: bool,
+    },
+    /// A demand read failed on the mirrored primary and was served from
+    /// the mirror copy instead.
+    MirrorReadFallback { addr: u64 },
+    /// A WriteData frame arrived for an idle/unknown tag (late delivery
+    /// after a retrain, or decode aliasing) and was dropped.
+    FrameOrphaned { tag: u8 },
 }
 
 impl fmt::Display for TraceEvent {
@@ -193,6 +217,26 @@ impl fmt::Display for TraceEvent {
                 f,
                 "save-torn restored_ps={restored_ps} save_done_ps={save_done_ps}"
             ),
+            ChannelQuiesced { slot, clean } => {
+                write!(f, "channel-quiesced slot={slot} clean={clean}")
+            }
+            MigrationProgress {
+                from,
+                to,
+                migrated,
+                remaining,
+            } => write!(
+                f,
+                "migration-progress from={from} to={to} migrated={migrated} remaining={remaining}"
+            ),
+            ChannelFailedOver { from, to, mirrored } => {
+                write!(
+                    f,
+                    "channel-failed-over from={from} to={to} mirrored={mirrored}"
+                )
+            }
+            MirrorReadFallback { addr } => write!(f, "mirror-read-fallback addr={addr:#x}"),
+            FrameOrphaned { tag } => write!(f, "frame-orphaned tag={tag}"),
         }
     }
 }
@@ -539,6 +583,34 @@ mod tests {
         assert!(text.contains("scrub-pass corrected=3 uncorrectable=1"));
         assert!(text.contains("page-retired addr=0x1000"));
         assert!(text.contains("save-torn restored_ps=5 save_done_ps=9"));
+    }
+
+    #[test]
+    fn failover_events_render() {
+        let t = Tracer::ring(8);
+        t.record(TraceEvent::ChannelQuiesced {
+            slot: 2,
+            clean: true,
+        });
+        t.record(TraceEvent::MigrationProgress {
+            from: 2,
+            to: 4,
+            migrated: 8,
+            remaining: 16,
+        });
+        t.record(TraceEvent::ChannelFailedOver {
+            from: 2,
+            to: 4,
+            mirrored: false,
+        });
+        t.record(TraceEvent::MirrorReadFallback { addr: 0x4000 });
+        t.record(TraceEvent::FrameOrphaned { tag: 7 });
+        let text = t.render();
+        assert!(text.contains("channel-quiesced slot=2 clean=true"));
+        assert!(text.contains("migration-progress from=2 to=4 migrated=8 remaining=16"));
+        assert!(text.contains("channel-failed-over from=2 to=4 mirrored=false"));
+        assert!(text.contains("mirror-read-fallback addr=0x4000"));
+        assert!(text.contains("frame-orphaned tag=7"));
     }
 
     #[test]

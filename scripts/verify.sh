@@ -28,4 +28,7 @@ cargo run -p contutto-bench --release --bin faults --quiet -- --smoke
 echo "==> media-fault campaign (smoke)"
 cargo run -p contutto-bench --release --bin faults --quiet -- --media --smoke
 
+echo "==> channel-failover campaign (smoke)"
+cargo run -p contutto-bench --release --bin faults --quiet -- --failover --smoke
+
 echo "verify: all gates passed"
