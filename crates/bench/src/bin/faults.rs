@@ -2,7 +2,7 @@
 //! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--media | --failover] [--smoke] [--seeds N] [--lines N] [--metrics]
+//! faults [--media | --failover | --power] [--smoke] [--seeds N] [--lines N] [--metrics]
 //! ```
 //!
 //! * `--media`   — run the media-fault campaign (seeded bit flips in
@@ -11,6 +11,11 @@
 //! * `--failover` — run the channel-failover campaign ({spare,
 //!   mirrored} × {error-budget, dead-link, maintenance-pull}): a
 //!   victim buffer dies mid-workload and zero data loss is asserted;
+//! * `--power`   — run the power-fail crash-point sweep ({armed,
+//!   disarmed supercap} × {generous, starved energy} × {orderly EPOW,
+//!   surprise cut} × crash points): the whole system loses power and
+//!   the durability contract is asserted — NVDIMM contents survive or
+//!   produce a typed loss report, never silent corruption;
 //! * `--smoke`   — the quick `scripts/verify.sh` gate;
 //! * `--seeds N` — sweep seeds 1..=N (default: the full 5-seed sweep);
 //! * `--lines N` — lines written/read back per run;
@@ -20,7 +25,7 @@
 //! scenario does not permit a typed failure — and, for `--media`, if
 //! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::{failover, faults, media};
+use contutto_bench::{failover, faults, media, power};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +36,31 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
     };
+
+    if flag("--power") {
+        let mut cfg = if flag("--smoke") {
+            power::CampaignConfig::smoke()
+        } else {
+            power::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.lines = n.max(1);
+        }
+        let report = power::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        if flag("--metrics") {
+            println!("\nmerged metrics across all runs:");
+            print!("{}", report.merged_metrics().render());
+        }
+        if !report.violations().is_empty() {
+            eprintln!("power-fail campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if flag("--failover") {
         let mut cfg = if flag("--smoke") {

@@ -273,10 +273,21 @@ impl DmiBuffer for Centaur {
                         .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
                     return;
                 };
-                if pending.assembler.add_beat(beat, &data) {
-                    if let Some(pending) = self.pending_writes.remove(&tag) {
-                        let line = pending.assembler.into_line();
-                        self.complete_write(start, tag, pending.header, line);
+                match pending.assembler.try_add_beat(beat, &data) {
+                    Ok(true) => {
+                        if let Some(pending) = self.pending_writes.remove(&tag) {
+                            let line = pending.assembler.into_line();
+                            self.complete_write(start, tag, pending.header, line);
+                        }
+                    }
+                    Ok(false) => {}
+                    // An impossible beat index or size (decode aliasing
+                    // past the frame-level checks): drop loudly rather
+                    // than corrupting the assembly.
+                    Err(_) => {
+                        self.stats.frames_orphaned += 1;
+                        self.tracer
+                            .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
                     }
                 }
             }
@@ -335,6 +346,22 @@ impl DmiBuffer for Centaur {
         let (port, local) = self.route(addr);
         self.ports[port].sideband_write_line(local, data, poison);
         true
+    }
+
+    /// Centaur is fully volatile: the eDRAM cache, pending-write
+    /// assemblies, response queue and all four DRAM ports lose their
+    /// contents the instant the rail drops. (No `epow_flush` either —
+    /// the flush extension "does not exist in the Centaur ASIC",
+    /// paper §4.2; the default `power_restore` correctly reports
+    /// `Volatile`.)
+    fn power_cut(&mut self, now: SimTime) -> SimTime {
+        for p in &mut self.ports {
+            p.power_loss();
+        }
+        self.cache.invalidate_all();
+        self.pending_writes.clear();
+        self.ready.clear();
+        now
     }
 
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
@@ -445,6 +472,74 @@ mod tests {
         assert!(resp
             .iter()
             .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
+    }
+
+    #[test]
+    fn malformed_beat_index_is_dropped_not_fatal() {
+        let mut c = centaur();
+        let tracer = Tracer::ring(16);
+        c.attach_tracer(tracer.clone());
+        c.push_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: t(2),
+                header: CommandHeader::Write { addr: 0x4000 },
+            },
+        );
+        // Beat index past the 8-beat line: dropped loudly, the pending
+        // write keeps waiting for real beats.
+        c.push_downstream(
+            SimTime::from_ns(2),
+            DownstreamPayload::WriteData {
+                tag: t(2),
+                beat: 12,
+                data: [0u8; 16],
+            },
+        );
+        assert_eq!(c.stats().frames_orphaned, 1);
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::FrameOrphaned { tag: 2 })),
+            1
+        );
+        // The real beats still complete the write.
+        let line = CacheLine::patterned(5);
+        for (i, beat) in line_to_downstream_beats(t(2), &line)
+            .into_iter()
+            .enumerate()
+        {
+            c.push_downstream(SimTime::from_ns(4) + SimTime::from_ns(2) * (i as u64), beat);
+        }
+        let resp = drain_all(&mut c, SimTime::from_us(2));
+        assert!(resp
+            .iter()
+            .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
+        assert_eq!(c.stats().writes, 1);
+    }
+
+    #[test]
+    fn power_cut_discards_everything() {
+        use contutto_dmi::buffer::PowerRestoreOutcome;
+        let mut c = centaur();
+        let line = CacheLine::patterned(3);
+        push_write(&mut c, SimTime::ZERO, t(0), 0x8000, &line);
+        // A second write left mid-assembly (command, no beats yet).
+        c.push_downstream(
+            SimTime::from_ns(40),
+            DownstreamPayload::Command {
+                tag: t(1),
+                header: CommandHeader::Write { addr: 0x9000 },
+            },
+        );
+        let quiet = c.power_cut(SimTime::from_us(1));
+        assert_eq!(quiet, SimTime::from_us(1), "volatile: nothing to save");
+        let (_, outcome) = c.power_restore(quiet);
+        assert_eq!(outcome, PowerRestoreOutcome::Volatile);
+        // Queued responses died with the rail...
+        assert!(c.pull_upstream(SimTime::from_secs(1)).is_none());
+        // ...and so did the DRAM contents.
+        let (back, _) = c.sideband_read_line(SimTime::from_secs(1), 0x8000).unwrap();
+        assert_eq!(back, [0u8; 128]);
+        assert_eq!(c.cache().hits(), 0);
     }
 
     #[test]

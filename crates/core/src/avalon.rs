@@ -14,6 +14,7 @@
 //! line-interleaved addresses, charges the clock-domain-crossing
 //! latency each way, and serializes transfers per port.
 
+use contutto_dmi::PowerRestoreOutcome;
 use contutto_memdev::{FaultConfig, RasCounters, ReadOutcome};
 use contutto_sim::{time::clocks, Cycles, SimTime, Tracer};
 
@@ -220,6 +221,51 @@ impl AvalonBus {
     pub fn set_retire_threshold(&mut self, threshold: u32) {
         for c in &mut self.controllers {
             c.set_retire_threshold(threshold);
+        }
+    }
+
+    /// Power cut across every port: volatile contents are gone, armed
+    /// NVDIMM save engines run on supercap. Port-busy bookkeeping is
+    /// reset — the fabric comes back idle. Returns when the last port
+    /// is quiescent.
+    pub fn power_cut(&mut self, now: SimTime) -> SimTime {
+        self.read_busy = [SimTime::ZERO; 2];
+        self.write_busy = [SimTime::ZERO; 2];
+        self.controllers
+            .iter_mut()
+            .map(|c| c.power_cut(now))
+            .max()
+            .expect("at least one controller")
+    }
+
+    /// Power restore across every port. Returns when the last port is
+    /// serviceable and the *worst* per-port outcome (one torn DIMM
+    /// marks the whole bus torn — losses never average away).
+    pub fn power_restore(&mut self, now: SimTime) -> (SimTime, PowerRestoreOutcome) {
+        let mut ready = now;
+        let mut worst = PowerRestoreOutcome::Volatile;
+        for c in &mut self.controllers {
+            let (t, outcome) = c.power_restore(now);
+            ready = ready.max(t);
+            worst = worst.max(outcome);
+        }
+        (ready, worst)
+    }
+
+    /// Arms/disarms every port's NVDIMM save engine. Returns `true`
+    /// if at least one port has one.
+    pub fn set_save_armed(&mut self, armed: bool) -> bool {
+        let mut any = false;
+        for c in &mut self.controllers {
+            any |= c.set_save_armed(armed);
+        }
+        any
+    }
+
+    /// Installs a finite supercap budget on every port's save engine.
+    pub fn set_supercap_budget_nj(&mut self, nj: u64) {
+        for c in &mut self.controllers {
+            c.set_supercap_budget_nj(nj);
         }
     }
 

@@ -9,7 +9,7 @@
 //! plus the extensions: the latency knob (§4.1), non-DRAM memory
 //! (§4.2) and the acceleration hooks (§4.3).
 
-use contutto_dmi::buffer::DmiBuffer;
+use contutto_dmi::buffer::{DmiBuffer, PowerRestoreOutcome};
 use contutto_dmi::frame::{DownstreamPayload, UpstreamPayload};
 use contutto_memdev::{FaultConfig, MramGeneration, RasCounters};
 use contutto_sim::{MetricsRegistry, SimTime, Tracer};
@@ -266,6 +266,38 @@ impl DmiBuffer for ConTutto {
         true
     }
 
+    /// The MBS flush extension run under EPOW (paper §4.2: "we
+    /// extended the MBS logic to add a special flush command ... this
+    /// functionality does not exist in the Centaur ASIC"): drives
+    /// every buffered write to the media and charges the hold-up rail
+    /// a small fixed cost per DIMM port for the bus activity.
+    fn epow_flush(&mut self, now: SimTime, energy_nj: &mut u64) -> SimTime {
+        const EPOW_FLUSH_COST_PER_PORT_NJ: u64 = 1_000;
+        let cost = EPOW_FLUSH_COST_PER_PORT_NJ * self.mbs.avalon().ports() as u64;
+        *energy_nj = energy_nj.saturating_sub(cost);
+        self.mbs.avalon_mut().flush_all(now)
+    }
+
+    fn power_cut(&mut self, now: SimTime) -> SimTime {
+        // Fabric state (engines, response queues) dies instantly; the
+        // DIMM ports then run their own power-loss paths (an armed
+        // NVDIMM keeps saving on supercap).
+        self.mbs.discard_volatile();
+        self.mbs.avalon_mut().power_cut(now)
+    }
+
+    fn power_restore(&mut self, now: SimTime) -> (SimTime, PowerRestoreOutcome) {
+        self.mbs.avalon_mut().power_restore(now)
+    }
+
+    fn set_save_armed(&mut self, armed: bool) -> bool {
+        self.mbs.avalon_mut().set_save_armed(armed)
+    }
+
+    fn set_supercap_budget_nj(&mut self, nj: u64) {
+        self.mbs.avalon_mut().set_supercap_budget_nj(nj);
+    }
+
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         let stats = self.stats();
         registry.set_counter(&format!("{prefix}.reads"), stats.mbs.reads);
@@ -402,6 +434,54 @@ mod tests {
             UpstreamPayload::Done { first, .. } if first == t(7)
         ));
         assert_eq!(c.stats().mbs.flushes, 1);
+    }
+
+    #[test]
+    fn nvdimm_card_survives_power_cycle_and_torn_save_is_typed() {
+        let pop = MemoryPopulation {
+            kind: MemoryKind::NvdimmN,
+            dimm_capacity: 512 << 10,
+            dimms: 2,
+        };
+        // Armed card with an ideal supercap: the image comes back.
+        let mut c = ConTutto::new(ContuttoConfig::base(), pop);
+        let line = [0x5Au8; 128];
+        assert!(c.sideband_write_line(0x100, &line, false));
+        assert!(c.set_save_armed(true));
+        let quiet = c.power_cut(SimTime::from_ms(1));
+        assert!(quiet > SimTime::from_ms(1), "save engine takes time");
+        let (ready, outcome) = c.power_restore(quiet + SimTime::from_secs(1));
+        assert_eq!(outcome, PowerRestoreOutcome::Restored);
+        assert!(ready > quiet);
+        let (back, poison) = c.sideband_read_line(ready, 0x100).unwrap();
+        assert_eq!(back, line);
+        assert!(!poison);
+
+        // Starved supercap: the save tears and the loss is typed.
+        let mut c = ConTutto::new(ContuttoConfig::base(), pop);
+        c.sideband_write_line(0x100, &line, false);
+        c.set_save_armed(true);
+        c.set_supercap_budget_nj(contutto_memdev::SAVE_COST_PER_PAGE_NJ * 4);
+        let quiet = c.power_cut(SimTime::from_ms(1));
+        let (_, outcome) = c.power_restore(quiet + SimTime::from_secs(1));
+        assert_eq!(outcome, PowerRestoreOutcome::TornSave);
+        // After the typed loss the card serves traffic empty, never
+        // presenting the torn image as data.
+        let (back, _) = c.sideband_read_line(SimTime::from_secs(2), 0x100).unwrap();
+        assert_eq!(back, [0u8; 128]);
+    }
+
+    #[test]
+    fn dram_card_power_cycle_is_volatile() {
+        let mut c = ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb());
+        c.sideband_write_line(0x2000, &[9u8; 128], false);
+        assert!(!c.set_save_armed(true), "no save engine on DRAM");
+        let quiet = c.power_cut(SimTime::from_ms(1));
+        assert_eq!(quiet, SimTime::from_ms(1), "nothing to save");
+        let (_, outcome) = c.power_restore(quiet);
+        assert_eq!(outcome, PowerRestoreOutcome::Volatile);
+        let (back, _) = c.sideband_read_line(quiet, 0x2000).unwrap();
+        assert_eq!(back, [0u8; 128]);
     }
 
     #[test]

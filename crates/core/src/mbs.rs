@@ -292,10 +292,21 @@ impl MbsLogic {
                         .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
                     return;
                 };
-                if engine.assembler.add_beat(beat, &data) {
-                    if let Some(engine) = self.engines.remove(&tag) {
-                        let line = engine.assembler.into_line();
-                        self.execute_write(decoded, tag, engine.header, line);
+                match engine.assembler.try_add_beat(beat, &data) {
+                    Ok(true) => {
+                        if let Some(engine) = self.engines.remove(&tag) {
+                            let line = engine.assembler.into_line();
+                            self.execute_write(decoded, tag, engine.header, line);
+                        }
+                    }
+                    Ok(false) => {}
+                    // A beat with an impossible index or size (decode
+                    // aliasing past the frame-level checks): drop it
+                    // loudly rather than corrupting the assembly.
+                    Err(_) => {
+                        self.stats.frames_orphaned += 1;
+                        self.tracer
+                            .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
                     }
                 }
             }
@@ -366,6 +377,15 @@ impl MbsLogic {
                 second: None,
             },
         );
+    }
+
+    /// Power cut: every in-flight engine assembly and queued response
+    /// is volatile fabric state and dies with the rail. The media
+    /// below is handled separately by the Avalon power path.
+    pub fn discard_volatile(&mut self) {
+        self.engines.clear();
+        self.ready.clear();
+        self.decoder_toggle = false;
     }
 
     /// Offers the upstream arbiter a frame slot at `now`.
@@ -478,6 +498,72 @@ mod tests {
         assert!(resp
             .iter()
             .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
+    }
+
+    #[test]
+    fn malformed_beat_index_is_dropped_not_fatal() {
+        let mut m = mbs();
+        let tracer = Tracer::ring(16);
+        m.attach_tracer(tracer.clone());
+        m.handle_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: t(3),
+                header: CommandHeader::Write { addr: 0x1000 },
+            },
+        );
+        // A beat index past the 8-beat line (decode aliasing): dropped
+        // loudly, the engine keeps waiting for real beats.
+        m.handle_downstream(
+            SimTime::from_ns(2),
+            DownstreamPayload::WriteData {
+                tag: t(3),
+                beat: 9,
+                data: [0u8; 16],
+            },
+        );
+        assert_eq!(m.stats().frames_orphaned, 1);
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::FrameOrphaned { tag: 3 })),
+            1
+        );
+        assert_eq!(m.engines_busy(), 1, "engine survives the bad beat");
+        // The real beats still complete the write.
+        let line = CacheLine::patterned(7);
+        for (i, beat) in line_to_downstream_beats(t(3), &line)
+            .into_iter()
+            .enumerate()
+        {
+            m.handle_downstream(SimTime::from_ns(4) + SimTime::from_ns(2) * (i as u64), beat);
+        }
+        let resp = drain(&mut m, SimTime::from_us(2));
+        assert!(resp
+            .iter()
+            .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
+        assert_eq!(m.stats().writes, 1);
+    }
+
+    #[test]
+    fn discard_volatile_clears_engines_and_responses() {
+        let mut m = mbs();
+        push_write(
+            &mut m,
+            SimTime::ZERO,
+            t(0),
+            0x1000,
+            &CacheLine::patterned(1),
+        );
+        m.handle_downstream(
+            SimTime::from_ns(40),
+            DownstreamPayload::Command {
+                tag: t(1),
+                header: CommandHeader::Write { addr: 0x2000 },
+            },
+        );
+        assert_eq!(m.engines_busy(), 1);
+        m.discard_volatile();
+        assert_eq!(m.engines_busy(), 0);
+        assert!(m.pull_upstream(SimTime::from_secs(1)).is_none());
     }
 
     #[test]

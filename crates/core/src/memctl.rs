@@ -14,9 +14,10 @@
 //! the media. The controller tracks write completion times to serve
 //! it.
 
+use contutto_dmi::PowerRestoreOutcome;
 use contutto_memdev::{
     DdrTimings, Dram, FaultConfig, MemoryDevice, MramGeneration, NvdimmN, RasCounters, ReadOutcome,
-    ReadResult, SttMram,
+    ReadResult, RestoreError, SaveState, SttMram,
 };
 use contutto_sim::{SimTime, TraceEvent, Tracer};
 
@@ -40,17 +41,17 @@ impl MemoryKind {
 
 #[derive(Debug)]
 enum PortDevice {
-    Dram(Dram),
-    Mram(SttMram),
-    Nvdimm(NvdimmN),
+    Dram(Box<Dram>),
+    Mram(Box<SttMram>),
+    Nvdimm(Box<NvdimmN>),
 }
 
 impl PortDevice {
     fn as_device_mut(&mut self) -> &mut dyn MemoryDevice {
         match self {
-            PortDevice::Dram(d) => d,
-            PortDevice::Mram(d) => d,
-            PortDevice::Nvdimm(d) => d,
+            PortDevice::Dram(d) => d.as_mut(),
+            PortDevice::Mram(d) => d.as_mut(),
+            PortDevice::Nvdimm(d) => d.as_mut(),
         }
     }
 }
@@ -79,10 +80,12 @@ impl MemoryController {
     /// Creates a controller for `capacity` bytes of the given media.
     pub fn new(kind: MemoryKind, capacity: u64) -> Self {
         let device = match kind {
-            MemoryKind::Ddr3Dram => PortDevice::Dram(Dram::new(capacity, DdrTimings::ddr3_1600())),
-            MemoryKind::SttMram(gen) => PortDevice::Mram(SttMram::new(capacity, gen)),
+            MemoryKind::Ddr3Dram => {
+                PortDevice::Dram(Box::new(Dram::new(capacity, DdrTimings::ddr3_1600())))
+            }
+            MemoryKind::SttMram(gen) => PortDevice::Mram(Box::new(SttMram::new(capacity, gen))),
             MemoryKind::NvdimmN => {
-                PortDevice::Nvdimm(NvdimmN::new(capacity, DdrTimings::ddr3_1600()))
+                PortDevice::Nvdimm(Box::new(NvdimmN::new(capacity, DdrTimings::ddr3_1600())))
             }
         };
         MemoryController {
@@ -293,10 +296,81 @@ impl MemoryController {
         (self.reads, self.writes, self.flushes)
     }
 
+    /// Power cut on this port: volatile contents are gone *now*; an
+    /// armed NVDIMM's on-DIMM engine starts streaming DRAM to flash.
+    /// Returns when the port is electrically quiet.
+    pub fn power_cut(&mut self, now: SimTime) -> SimTime {
+        // Outstanding-write bookkeeping dies with the power rail.
+        self.last_write_durable = SimTime::ZERO;
+        match &mut self.device {
+            PortDevice::Dram(d) => {
+                d.power_loss();
+                now
+            }
+            PortDevice::Mram(d) => {
+                d.power_loss();
+                now
+            }
+            PortDevice::Nvdimm(d) => d.power_loss(now),
+        }
+    }
+
+    /// Power returns on this port. Recovers whatever the media held:
+    /// MRAM cells natively, an NVDIMM by restoring its save image.
+    /// Every failure is typed — a torn or corrupt image leaves the
+    /// port usable but *empty*, with the loss reported in the outcome,
+    /// never silently presented as data.
+    pub fn power_restore(&mut self, now: SimTime) -> (SimTime, PowerRestoreOutcome) {
+        match &mut self.device {
+            PortDevice::Dram(_) => (now, PowerRestoreOutcome::Volatile),
+            PortDevice::Mram(_) => (now, PowerRestoreOutcome::Restored),
+            PortDevice::Nvdimm(d) => {
+                let was_lost = matches!(d.save_state(), SaveState::Lost);
+                match d.power_restore(now) {
+                    // Disarmed at the cut: contents are gone, and that
+                    // is a loss the caller must surface.
+                    Ok(ready) if was_lost => (ready, PowerRestoreOutcome::Lost),
+                    Ok(ready) => (ready, PowerRestoreOutcome::Restored),
+                    Err(e) => {
+                        let outcome = match e {
+                            RestoreError::TornSave { .. } => PowerRestoreOutcome::TornSave,
+                            RestoreError::CrcMismatch { .. } => PowerRestoreOutcome::CorruptImage,
+                            _ => PowerRestoreOutcome::Lost,
+                        };
+                        // The failed restore left the DIMM in `Lost`;
+                        // a second restore brings it up usable-empty.
+                        let ready = d.power_restore(now).unwrap_or(now);
+                        (ready, outcome)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arms/disarms the port's NVDIMM save engine. Returns `true` if
+    /// the port has one.
+    pub fn set_save_armed(&mut self, armed: bool) -> bool {
+        match &mut self.device {
+            PortDevice::Nvdimm(d) => {
+                d.set_armed(armed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Installs a finite supercap budget on the port's NVDIMM save
+    /// engine, if it has one.
+    pub fn set_supercap_budget_nj(&mut self, nj: u64) {
+        if let PortDevice::Nvdimm(d) = &mut self.device {
+            d.set_supercap_budget_nj(nj);
+        }
+    }
+
     /// NVDIMM save/restore engine access (firmware path).
     pub fn as_nvdimm_mut(&mut self) -> Option<&mut NvdimmN> {
         match &mut self.device {
-            PortDevice::Nvdimm(d) => Some(d),
+            PortDevice::Nvdimm(d) => Some(d.as_mut()),
             _ => None,
         }
     }
@@ -304,7 +378,7 @@ impl MemoryController {
     /// MRAM wear/energy telemetry, if this port drives MRAM.
     pub fn as_mram(&self) -> Option<&SttMram> {
         match &self.device {
-            PortDevice::Mram(d) => Some(d),
+            PortDevice::Mram(d) => Some(d.as_ref()),
             _ => None,
         }
     }

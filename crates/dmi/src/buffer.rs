@@ -16,6 +16,60 @@ use contutto_sim::{MetricsRegistry, SimTime, Tracer};
 
 use crate::frame::{DownstreamPayload, UpstreamPayload};
 
+/// What a buffer's media held when power came back.
+///
+/// One value summarises the whole buffer: the *worst* per-device
+/// outcome wins, so a single torn DIMM marks the buffer `TornSave`
+/// even if its siblings restored cleanly. Ordering of the variants
+/// encodes that severity (later = worse), which lets aggregation be
+/// a plain `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PowerRestoreOutcome {
+    /// Volatile media: contents were lost by design, nothing to
+    /// restore and nothing to report. The reset state is the
+    /// architected post-power-on state.
+    Volatile,
+    /// Nonvolatile media came back with its pre-cut contents intact
+    /// (MRAM held state natively, or an NVDIMM image restored clean).
+    Restored,
+    /// An NVDIMM save image was incomplete — the supercap ran out (or
+    /// the cut landed) mid-save. Detected and reported, contents
+    /// discarded: a typed data loss, never silent corruption.
+    TornSave,
+    /// A save image existed but failed its integrity check (CRC
+    /// mismatch — flash rot while powered off). Typed data loss.
+    CorruptImage,
+    /// No usable image at all: the DIMM was disarmed when power cut,
+    /// or the image was already consumed. Typed data loss.
+    Lost,
+}
+
+impl PowerRestoreOutcome {
+    /// `true` when the outcome is a typed data loss that firmware must
+    /// surface (machine-check + loss report), as opposed to a clean
+    /// restore or architected volatility.
+    pub fn is_data_loss(self) -> bool {
+        matches!(
+            self,
+            PowerRestoreOutcome::TornSave
+                | PowerRestoreOutcome::CorruptImage
+                | PowerRestoreOutcome::Lost
+        )
+    }
+}
+
+impl std::fmt::Display for PowerRestoreOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerRestoreOutcome::Volatile => write!(f, "volatile"),
+            PowerRestoreOutcome::Restored => write!(f, "restored"),
+            PowerRestoreOutcome::TornSave => write!(f, "torn-save"),
+            PowerRestoreOutcome::CorruptImage => write!(f, "corrupt-image"),
+            PowerRestoreOutcome::Lost => write!(f, "lost"),
+        }
+    }
+}
+
 /// A DMI slave device: parses downstream traffic, executes commands,
 /// emits upstream responses.
 pub trait DmiBuffer {
@@ -66,6 +120,50 @@ pub trait DmiBuffer {
     fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) -> bool {
         let _ = (addr, data, poison);
         false
+    }
+
+    /// EPOW flush: push every buffered dirty line down to media before
+    /// the hold-up window closes (the MBS flush extension ConTutto adds
+    /// that "does not exist in the Centaur ASIC" — paper §4.2). Charges
+    /// the flush against `energy_nj` (saturating at zero) and returns
+    /// the sim time at which the buffer's write pipeline is empty.
+    /// Default: nothing buffered, nothing to flush.
+    fn epow_flush(&mut self, now: SimTime, energy_nj: &mut u64) -> SimTime {
+        let _ = energy_nj;
+        now
+    }
+
+    /// Power cut: all volatile state — caches, replay buffers, engine
+    /// queues, DRAM contents — is gone *now*; media-backed state (an
+    /// armed NVDIMM's in-progress save, MRAM cells) persists. Returns
+    /// when the buffer is electrically quiet. Default: a stateless
+    /// buffer just goes dark.
+    fn power_cut(&mut self, now: SimTime) -> SimTime {
+        now
+    }
+
+    /// Power restore: bring media back up and recover what persisted
+    /// (NVDIMM image restore, supercap recharge). Returns when the
+    /// media is serviceable plus the worst per-device
+    /// [`PowerRestoreOutcome`]. Default: purely volatile buffer.
+    fn power_restore(&mut self, now: SimTime) -> (SimTime, PowerRestoreOutcome) {
+        (now, PowerRestoreOutcome::Volatile)
+    }
+
+    /// Arms (or disarms) the buffer's NVDIMM save engines for the
+    /// vendor save sequence. Returns `true` if at least one device
+    /// accepted the handshake; `false` when the buffer has no save
+    /// engine (the default) or the sequence was refused.
+    fn set_save_armed(&mut self, armed: bool) -> bool {
+        let _ = armed;
+        false
+    }
+
+    /// Installs a finite supercap energy budget (nanojoules) on every
+    /// save engine behind this buffer. Devices without a save engine
+    /// ignore it (the default).
+    fn set_supercap_budget_nj(&mut self, nj: u64) {
+        let _ = nj;
     }
 }
 
@@ -124,5 +222,20 @@ mod tests {
         assert!(e.pull_upstream(SimTime::from_ns(5)).is_none());
         let done = e.pull_upstream(SimTime::from_ns(10)).unwrap();
         assert!(matches!(done, UpstreamPayload::Done { first, .. } if first.raw() == 3));
+    }
+
+    #[test]
+    fn default_power_hooks_model_a_fully_volatile_buffer() {
+        let mut e = Echo { pending: vec![] };
+        let now = SimTime::from_ns(100);
+        let mut energy = 42u64;
+        assert_eq!(e.epow_flush(now, &mut energy), now);
+        assert_eq!(energy, 42, "a stateless buffer charges nothing");
+        assert_eq!(e.power_cut(now), now);
+        assert_eq!(e.power_restore(now), (now, PowerRestoreOutcome::Volatile));
+        assert!(!e.set_save_armed(true));
+        assert!(!PowerRestoreOutcome::Volatile.is_data_loss());
+        assert!(PowerRestoreOutcome::TornSave.is_data_loss());
+        assert!(PowerRestoreOutcome::TornSave < PowerRestoreOutcome::Lost);
     }
 }

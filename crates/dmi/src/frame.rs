@@ -440,10 +440,12 @@ impl UpstreamFrame {
             }
             2 => {
                 let first = Tag::new(body[1])?;
-                let second = if body[2] == 1 {
-                    Some(Tag::new(body[3])?)
-                } else {
-                    None
+                let second = match body[2] {
+                    0 => None,
+                    1 => Some(Tag::new(body[3])?),
+                    // The flag is a single bit on the wire; anything
+                    // else is a decode error, not a missing second tag.
+                    _ => return Err(DmiError::MalformedFrame("done second-tag flag")),
                 };
                 UpstreamPayload::Done { first, second }
             }
@@ -527,13 +529,36 @@ impl LineAssembler {
     /// # Panics
     ///
     /// Panics if the beat index is out of range or `data` has the
-    /// wrong length for this direction.
+    /// wrong length for this direction. Beats handed over from a
+    /// decoded frame are already range-checked; use
+    /// [`LineAssembler::try_add_beat`] for data of wire/replay
+    /// provenance that has not been through the frame decoder.
     pub fn add_beat(&mut self, beat: u8, data: &[u8]) -> bool {
-        assert_eq!(data.len(), self.beat_bytes, "wrong beat size");
+        self.try_add_beat(beat, data)
+            .expect("beat index/size validated by the frame decoder")
+    }
+
+    /// Fallible [`LineAssembler::add_beat`]: rejects out-of-range beat
+    /// indices and wrong-sized data as [`DmiError::MalformedFrame`]
+    /// instead of panicking, so consumers fed from the wire or a
+    /// replay buffer can drop a malformed beat loudly rather than
+    /// bring the whole simulation down.
+    ///
+    /// # Errors
+    ///
+    /// [`DmiError::MalformedFrame`] when `beat` exceeds this
+    /// direction's beat count or `data` is not one beat long.
+    pub fn try_add_beat(&mut self, beat: u8, data: &[u8]) -> Result<bool, DmiError> {
+        if data.len() != self.beat_bytes {
+            return Err(DmiError::MalformedFrame("wrong beat size"));
+        }
         let start = beat as usize * self.beat_bytes;
-        self.line.0[start..start + self.beat_bytes].copy_from_slice(data);
+        let Some(slot) = self.line.0.get_mut(start..start + self.beat_bytes) else {
+            return Err(DmiError::MalformedFrame("beat index out of range"));
+        };
+        slot.copy_from_slice(data);
         self.beats_seen |= 1 << beat;
-        self.is_complete()
+        Ok(self.is_complete())
     }
 
     /// Whether all beats have arrived.
@@ -549,6 +574,20 @@ impl LineAssembler {
     pub fn into_line(self) -> CacheLine {
         assert!(self.is_complete(), "line not complete");
         self.line
+    }
+
+    /// Fallible [`LineAssembler::into_line`]: a line with missing
+    /// beats (a write abandoned mid-burst when the power failed, or
+    /// beats lost to a retrain) comes back as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`DmiError::MalformedFrame`] when beats are missing.
+    pub fn try_into_line(self) -> Result<CacheLine, DmiError> {
+        if !self.is_complete() {
+            return Err(DmiError::MalformedFrame("line incomplete"));
+        }
+        Ok(self.line)
     }
 }
 
@@ -797,6 +836,92 @@ mod tests {
             DownstreamFrame::from_bytes(&bytes),
             Err(DmiError::MalformedFrame(_))
         ));
+    }
+
+    #[test]
+    fn done_second_tag_flag_must_be_a_bit() {
+        let f = UpstreamFrame {
+            seq: 4,
+            ack: None,
+            payload: UpstreamPayload::Done {
+                first: t(1),
+                second: None,
+            },
+        };
+        let mut bytes = f.to_bytes();
+        bytes[4] = 2; // body[2]: the second-tag flag, corrupted past CRC
+        let crc = crc16(&bytes[..40]);
+        bytes[40..42].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            UpstreamFrame::from_bytes(&bytes),
+            Err(DmiError::MalformedFrame("done second-tag flag"))
+        ));
+    }
+
+    #[test]
+    fn try_add_beat_rejects_out_of_range_index() {
+        let mut asm = LineAssembler::upstream();
+        assert!(matches!(
+            asm.try_add_beat(4, &[0u8; UPSTREAM_BEAT_BYTES]),
+            Err(DmiError::MalformedFrame("beat index out of range"))
+        ));
+        // A huge index must not overflow anything either.
+        assert!(asm.try_add_beat(255, &[0u8; UPSTREAM_BEAT_BYTES]).is_err());
+        // The assembler is still usable after rejecting garbage.
+        assert!(!asm.try_add_beat(0, &[0u8; UPSTREAM_BEAT_BYTES]).unwrap());
+    }
+
+    #[test]
+    fn try_add_beat_rejects_wrong_size() {
+        let mut asm = LineAssembler::downstream();
+        assert!(matches!(
+            asm.try_add_beat(0, &[0u8; UPSTREAM_BEAT_BYTES]),
+            Err(DmiError::MalformedFrame("wrong beat size"))
+        ));
+    }
+
+    #[test]
+    fn try_into_line_reports_missing_beats() {
+        let mut asm = LineAssembler::upstream();
+        asm.try_add_beat(0, &[1u8; UPSTREAM_BEAT_BYTES]).unwrap();
+        assert!(matches!(
+            asm.try_into_line(),
+            Err(DmiError::MalformedFrame("line incomplete"))
+        ));
+        // A complete line comes back intact.
+        let line = CacheLine::patterned(3);
+        let mut asm = LineAssembler::upstream();
+        for p in line_to_upstream_beats(t(0), &line, false) {
+            if let UpstreamPayload::ReadData { beat, data, .. } = p {
+                asm.try_add_beat(beat, &data).unwrap();
+            }
+        }
+        assert_eq!(asm.try_into_line().unwrap(), line);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoders() {
+        use contutto_sim::SimRng;
+        // Valid CRCs over arbitrary bodies: the decoder must return a
+        // typed error (or a frame) for every byte pattern, never panic.
+        let mut rng = SimRng::seed_from_u64(0xF00D);
+        for _ in 0..20_000 {
+            let mut down = [0u8; DOWNSTREAM_FRAME_BYTES];
+            for b in down.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            let crc = crc16(&down[..26]);
+            down[26..28].copy_from_slice(&crc.to_le_bytes());
+            let _ = DownstreamFrame::from_bytes(&down);
+
+            let mut up = [0u8; UPSTREAM_FRAME_BYTES];
+            for b in up.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            let crc = crc16(&up[..40]);
+            up[40..42].copy_from_slice(&crc.to_le_bytes());
+            let _ = UpstreamFrame::from_bytes(&up);
+        }
     }
 
     #[test]

@@ -80,11 +80,11 @@ pub struct DimmModule {
 #[derive(Debug)]
 pub enum DimmDevice {
     /// Plain DRAM.
-    Dram(Dram),
+    Dram(Box<Dram>),
     /// STT-MRAM.
-    Mram(SttMram),
+    Mram(Box<SttMram>),
     /// Flash-backed DRAM.
-    Nvdimm(NvdimmN),
+    Nvdimm(Box<NvdimmN>),
 }
 
 impl DimmModule {
@@ -92,7 +92,7 @@ impl DimmModule {
     pub fn new_dram(capacity: u64, timings: DdrTimings) -> Self {
         DimmModule {
             spd: Spd::dram(capacity),
-            device: DimmDevice::Dram(Dram::new(capacity, timings)),
+            device: DimmDevice::Dram(Box::new(Dram::new(capacity, timings))),
         }
     }
 
@@ -100,7 +100,7 @@ impl DimmModule {
     pub fn new_mram(capacity: u64, gen: MramGeneration) -> Self {
         DimmModule {
             spd: Spd::mram(capacity, gen),
-            device: DimmDevice::Mram(SttMram::new(capacity, gen)),
+            device: DimmDevice::Mram(Box::new(SttMram::new(capacity, gen))),
         }
     }
 
@@ -108,7 +108,7 @@ impl DimmModule {
     pub fn new_nvdimm(capacity: u64, timings: DdrTimings) -> Self {
         DimmModule {
             spd: Spd::nvdimm(capacity),
-            device: DimmDevice::Nvdimm(NvdimmN::new(capacity, timings)),
+            device: DimmDevice::Nvdimm(Box::new(NvdimmN::new(capacity, timings))),
         }
     }
 
@@ -120,18 +120,18 @@ impl DimmModule {
     /// Mutable access to the device model.
     pub fn device_mut(&mut self) -> &mut dyn MemoryDevice {
         match &mut self.device {
-            DimmDevice::Dram(d) => d,
-            DimmDevice::Mram(d) => d,
-            DimmDevice::Nvdimm(d) => d,
+            DimmDevice::Dram(d) => d.as_mut(),
+            DimmDevice::Mram(d) => d.as_mut(),
+            DimmDevice::Nvdimm(d) => d.as_mut(),
         }
     }
 
     /// Shared access to the device model.
     pub fn device(&self) -> &dyn MemoryDevice {
         match &self.device {
-            DimmDevice::Dram(d) => d,
-            DimmDevice::Mram(d) => d,
-            DimmDevice::Nvdimm(d) => d,
+            DimmDevice::Dram(d) => d.as_ref(),
+            DimmDevice::Mram(d) => d.as_ref(),
+            DimmDevice::Nvdimm(d) => d.as_ref(),
         }
     }
 
@@ -139,7 +139,7 @@ impl DimmModule {
     /// arming controls).
     pub fn as_nvdimm_mut(&mut self) -> Option<&mut NvdimmN> {
         match &mut self.device {
-            DimmDevice::Nvdimm(d) => Some(d),
+            DimmDevice::Nvdimm(d) => Some(d.as_mut()),
             _ => None,
         }
     }

@@ -42,6 +42,6 @@ pub use endurance::{EnduranceClass, Technology};
 pub use fault::{FaultConfig, InjectorStats, MediaFaultInjector};
 pub use flash::{FlashError, NandFlash};
 pub use mram::{MramGeneration, SttMram};
-pub use nvdimm::{NvdimmN, RestoreError, SaveSequence, SaveState};
+pub use nvdimm::{NvdimmN, RestoreError, SaveSequence, SaveState, SAVE_COST_PER_PAGE_NJ};
 pub use store::SparseMemory;
 pub use traits::{MediaKind, MemoryDevice};

@@ -96,6 +96,14 @@ impl fmt::Display for RestoreError {
 
 impl std::error::Error for RestoreError {}
 
+/// Energy the save engine draws from the supercap per 4 KiB flash page
+/// streamed, in nanojoules. Deterministic integer accounting: a save of
+/// `capacity / 4096` pages needs exactly that many multiples of this.
+pub const SAVE_COST_PER_PAGE_NJ: u64 = 50_000;
+
+/// Bytes per flash page the save engine streams (and charges for).
+const SAVE_PAGE_BYTES: u64 = 4096;
+
 /// CRC-32 (IEEE 802.3, reflected), bitwise — the save engine's
 /// integrity check over the streamed image.
 fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
@@ -122,6 +130,18 @@ pub struct NvdimmN {
     backup_bandwidth: f64,
     /// CRC of the last saved image, recorded when the save completed.
     save_crc: Option<u32>,
+    /// Configured supercap energy, nanojoules (`None` = ideal supercap,
+    /// never exhausted — the default, matching a healthy part).
+    supercap_budget_nj: Option<u64>,
+    /// Energy left in the supercap right now (only meaningful with a
+    /// finite budget; recharged when power returns).
+    supercap_remaining_nj: u64,
+    /// Lifetime energy drawn by the save engine.
+    supercap_spent_nj: u64,
+    /// The last save ran out of supercap energy mid-stream: the flash
+    /// image is truncated and must never be restored, no matter how
+    /// much wall time passes before power returns.
+    save_truncated: bool,
     tracer: Tracer,
 }
 
@@ -142,8 +162,37 @@ impl NvdimmN {
             sequence: SaveSequence::VendorDdr3(0x2C),
             backup_bandwidth: 400e6, // 400 MB/s save engine
             save_crc: None,
+            supercap_budget_nj: None,
+            supercap_remaining_nj: u64::MAX,
+            supercap_spent_nj: 0,
+            save_truncated: false,
             tracer: Tracer::off(),
         }
+    }
+
+    /// Gives the supercap a finite energy budget in nanojoules. The
+    /// save engine charges [`SAVE_COST_PER_PAGE_NJ`] per 4 KiB page
+    /// streamed to flash; running out mid-save leaves a truncated
+    /// image that every later restore rejects as a torn save.
+    pub fn set_supercap_budget_nj(&mut self, nj: u64) {
+        self.supercap_budget_nj = Some(nj);
+        self.supercap_remaining_nj = nj;
+    }
+
+    /// Energy left in the supercap (`None` while the supercap is
+    /// ideal/unbudgeted).
+    pub fn supercap_remaining_nj(&self) -> Option<u64> {
+        self.supercap_budget_nj.map(|_| self.supercap_remaining_nj)
+    }
+
+    /// Lifetime energy drawn by the save engine, nanojoules.
+    pub fn supercap_spent_nj(&self) -> u64 {
+        self.supercap_spent_nj
+    }
+
+    /// Energy a full save of this DIMM needs, nanojoules.
+    pub fn save_energy_required_nj(&self) -> u64 {
+        self.dram.capacity_bytes().div_ceil(SAVE_PAGE_BYTES) * SAVE_COST_PER_PAGE_NJ
     }
 
     /// Routes save-engine trace events into a shared tracer.
@@ -179,6 +228,9 @@ impl NvdimmN {
     /// being armed and the save engine's state — a disarmed DIMM, or
     /// one still mid-save, is volatile no matter what its media says.
     pub fn is_durable(&self, now: SimTime) -> bool {
+        if self.save_truncated {
+            return false;
+        }
         match self.state {
             SaveState::Lost => false,
             SaveState::Saving { done_at } => now >= done_at,
@@ -257,18 +309,42 @@ impl NvdimmN {
             let done = now + self.backup_duration();
             // Functionally: stream the DRAM image into flash, hashing
             // as it goes so restore can prove the image came back.
+            // Every 4 KiB page streamed draws SAVE_COST_PER_PAGE_NJ
+            // from the supercap; an exhausted supercap stops the
+            // engine mid-stream, leaving a truncated image.
             let cap = self.dram.capacity_bytes();
             let mut buf = vec![0u8; 64 * 1024];
             let mut off = 0u64;
             let mut crc = !0u32;
             while off < cap {
                 let n = (cap - off).min(buf.len() as u64) as usize;
+                if self.supercap_budget_nj.is_some() {
+                    let cost = (n as u64).div_ceil(SAVE_PAGE_BYTES) * SAVE_COST_PER_PAGE_NJ;
+                    if self.supercap_remaining_nj < cost {
+                        self.supercap_spent_nj += self.supercap_remaining_nj;
+                        self.supercap_remaining_nj = 0;
+                        self.save_truncated = true;
+                        self.tracer.record(TraceEvent::SaveEnergyExhausted {
+                            saved_bytes: off,
+                            capacity_bytes: cap,
+                        });
+                        break;
+                    }
+                    self.supercap_remaining_nj -= cost;
+                    self.supercap_spent_nj += cost;
+                }
                 self.dram.peek(off, &mut buf[..n]);
                 crc = crc32_update(crc, &buf[..n]);
                 self.flash.write(now, off, &buf[..n]);
                 off += n as u64;
             }
-            self.save_crc = Some(!crc);
+            // A truncated image has no valid CRC: the truncation marker
+            // itself is what makes the next restore fail loudly.
+            self.save_crc = if self.save_truncated {
+                None
+            } else {
+                Some(!crc)
+            };
             self.dram.power_loss();
             self.state = SaveState::Saving { done_at: done };
             done
@@ -290,6 +366,30 @@ impl NvdimmN {
     /// * [`RestoreError::CrcMismatch`] if the image fails its
     ///   integrity check; likewise discarded.
     pub fn power_restore(&mut self, now: SimTime) -> Result<SimTime, RestoreError> {
+        if let Some(budget) = self.supercap_budget_nj {
+            // Power is back: the supercap recharges for the next cut.
+            self.supercap_remaining_nj = budget;
+        }
+        if self.save_truncated {
+            // The engine died mid-save: the image is torn no matter how
+            // long power stayed off. `save_done_at` reports when a full
+            // save would have completed.
+            let done_at = match self.state {
+                SaveState::Saving { done_at } => done_at,
+                _ => now,
+            };
+            self.tracer.record(TraceEvent::SaveTorn {
+                restored_ps: now.as_ps(),
+                save_done_ps: done_at.as_ps(),
+            });
+            self.state = SaveState::Lost;
+            self.save_crc = None;
+            self.save_truncated = false;
+            return Err(RestoreError::TornSave {
+                restored_at: now,
+                save_done_at: done_at,
+            });
+        }
         match self.state {
             SaveState::Saving { done_at } if now < done_at => {
                 self.tracer.record(TraceEvent::SaveTorn {
@@ -507,6 +607,91 @@ mod tests {
     #[test]
     fn kind_is_nonvolatile() {
         assert!(nvdimm().kind().is_nonvolatile());
+    }
+
+    #[test]
+    fn starved_supercap_truncates_save_into_a_genuine_torn_image() {
+        let mut nv = nvdimm();
+        let tracer = Tracer::ring(16);
+        nv.attach_tracer(tracer.clone());
+        // 1 MiB = 256 pages; a full save needs 256 x 50_000 nJ. Give it
+        // enough for one 64 KiB chunk (16 pages) and change.
+        nv.set_supercap_budget_nj(SAVE_COST_PER_PAGE_NJ * 20);
+        nv.write(SimTime::ZERO, 0, &[0x11; 128]);
+        nv.write(SimTime::ZERO, 512 * 1024, &[0x22; 128]);
+        let done = nv.power_loss(SimTime::from_ms(1));
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::SaveEnergyExhausted { .. })),
+            1
+        );
+        // Even long after the nominal save window, the DIMM is not
+        // durable and the restore is a typed torn save — the engine
+        // died mid-stream, it never finished.
+        assert!(!nv.is_durable(done + SimTime::from_secs(1)));
+        let err = nv.power_restore(done + SimTime::from_secs(1)).unwrap_err();
+        assert!(matches!(err, RestoreError::TornSave { .. }), "got {err:?}");
+        assert_eq!(nv.save_state(), SaveState::Lost);
+        // Loud loss, not silent corruption: the partial image is never
+        // presented; the DIMM comes back empty.
+        let t = nv
+            .power_restore(done + SimTime::from_secs(2))
+            .expect("empty restart");
+        let mut buf = [9u8; 128];
+        nv.read(t, 0, &mut buf);
+        assert_eq!(buf, [0u8; 128]);
+    }
+
+    #[test]
+    fn generous_supercap_saves_cleanly_and_accounts_energy() {
+        let mut nv = nvdimm();
+        nv.set_supercap_budget_nj(nv.save_energy_required_nj());
+        nv.write(SimTime::ZERO, 4096, &[0x77; 128]);
+        let done = nv.power_loss(SimTime::from_ms(1));
+        assert_eq!(nv.supercap_spent_nj(), nv.save_energy_required_nj());
+        assert_eq!(nv.supercap_remaining_nj(), Some(0));
+        assert!(nv.is_durable(done));
+        let usable = nv.power_restore(done).expect("clean restore");
+        // Power back: the supercap recharges for the next cut.
+        assert_eq!(
+            nv.supercap_remaining_nj(),
+            Some(nv.save_energy_required_nj())
+        );
+        let mut buf = [0u8; 128];
+        nv.read(usable, 4096, &mut buf);
+        assert_eq!(buf, [0x77; 128]);
+    }
+
+    #[test]
+    fn save_energy_required_scales_with_capacity() {
+        let small = NvdimmN::new(1 << 20, DdrTimings::ddr3_1600());
+        let large = NvdimmN::new(4 << 20, DdrTimings::ddr3_1600());
+        assert_eq!(small.save_energy_required_nj(), 256 * SAVE_COST_PER_PAGE_NJ);
+        assert_eq!(
+            large.save_energy_required_nj(),
+            small.save_energy_required_nj() * 4
+        );
+    }
+
+    #[test]
+    fn mismatched_arm_sequence_refuses_and_leaves_save_state_untouched() {
+        let mut nv = nvdimm();
+        nv.write(SimTime::ZERO, 0, &[0xB7; 128]);
+        // A save is in flight when firmware fumbles the handshake.
+        let done = nv.power_loss(SimTime::from_ms(1));
+        let before = nv.save_state();
+        assert_eq!(before, SaveState::Saving { done_at: done });
+        assert!(!nv.arm_with_sequence(SaveSequence::JedecDdr4));
+        assert!(!nv.is_armed());
+        // The refusal must not clobber the in-flight save image.
+        assert_eq!(nv.save_state(), before);
+        // Re-arming with the right sequence and restoring after the
+        // save window brings the original data back intact.
+        let seq = nv.save_sequence();
+        assert!(nv.arm_with_sequence(seq));
+        let usable = nv.power_restore(done).expect("save image still valid");
+        let mut buf = [0u8; 128];
+        nv.read(usable, 0, &mut buf);
+        assert_eq!(buf, [0xB7; 128]);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use contutto_dmi::buffer::DmiBuffer;
+use contutto_dmi::buffer::{DmiBuffer, PowerRestoreOutcome};
 use contutto_dmi::command::{CacheLine, CommandOp, Tag, TagPool};
 use contutto_dmi::frame::{
     line_to_downstream_beats, CommandHeader, DownstreamFrame, DownstreamPayload, LineAssembler,
@@ -527,6 +527,70 @@ impl DmiChannel {
         Ok(())
     }
 
+    /// Advances the channel clock across an interval in which nothing
+    /// runs (a power outage): no frames move, no timers fire — time
+    /// simply passes.
+    pub(crate) fn fast_forward(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+            self.tracer.advance(t);
+        }
+    }
+
+    /// EPOW flush on the plugged buffer: drives its buffered writes to
+    /// media on hold-up power (charged against `energy_nj`) and syncs
+    /// the channel clock to the flush completion. The link itself
+    /// keeps running — EPOW precedes the cut.
+    pub fn epow_flush_buffer(&mut self, energy_nj: &mut u64) -> SimTime {
+        let done = self.buffer.epow_flush(self.now, energy_nj);
+        self.fast_forward(done);
+        done
+    }
+
+    /// The power rail drops at `at` (clamped forward to the channel's
+    /// clock): every in-flight frame, pending command, completion,
+    /// quarantined tag and both endpoints' replay state is volatile
+    /// and dies instantly — nothing is retried, nothing settles, the
+    /// training is gone. The buffer's own power-cut path runs (an
+    /// armed NVDIMM keeps saving on supercap); media-backed state
+    /// persists. Returns when the buffer is electrically quiet.
+    pub fn power_cut(&mut self, at: SimTime) -> SimTime {
+        self.fast_forward(at);
+        // Frames in flight on the wires are simply lost.
+        let horizon = self.now + WIRE_PROPAGATION + self.slot * 2;
+        while self.down.receive(horizon).is_some() {}
+        while self.up.receive(horizon).is_some() {}
+        // Endpoint state (sequence spaces, replay buffers, ACKs) is
+        // SRAM: rebuilt from the same validated configs.
+        self.host =
+            LinkEndpoint::try_new(LinkEndpointConfig::host()).expect("host config is static");
+        self.buffer_ep = LinkEndpoint::try_new(self.buffer_endpoint_cfg.clone())
+            .expect("buffer endpoint config validated at construction");
+        self.tags = TagPool::new();
+        if self.tracer.is_enabled() {
+            self.host.attach_tracer(self.tracer.clone());
+            self.buffer_ep.attach_tracer(self.tracer.clone());
+            self.tags.attach_tracer(self.tracer.clone());
+        }
+        self.pending.clear();
+        self.completions.clear();
+        self.quarantine.clear();
+        self.trained = None;
+        let quiet = self.buffer.power_cut(self.now);
+        quiet.max(self.now)
+    }
+
+    /// Power returns at `now`: brings the buffer's media back
+    /// (NVDIMM image restore, supercap recharge) and syncs the channel
+    /// clock. The link is still untrained — the caller must
+    /// [`DmiChannel::retrain`] before traffic flows.
+    pub fn power_restore_media(&mut self, now: SimTime) -> (SimTime, PowerRestoreOutcome) {
+        self.fast_forward(now);
+        let (ready, outcome) = self.buffer.power_restore(self.now);
+        self.fast_forward(ready);
+        (ready, outcome)
+    }
+
     /// Submits a command; returns its tag.
     ///
     /// # Errors
@@ -639,9 +703,18 @@ impl DmiChannel {
                     self.stale_responses += 1;
                     return;
                 };
-                if assembler.add_beat(beat, &data) {
-                    let asm = pending.assembler.take().expect("assembler checked above");
-                    pending.data = Some(asm.into_line());
+                match assembler.try_add_beat(beat, &data) {
+                    Ok(true) => {
+                        let asm = pending.assembler.take().expect("assembler checked above");
+                        pending.data = Some(asm.into_line());
+                    }
+                    Ok(false) => {}
+                    // A beat with an impossible index or size slipped
+                    // past frame decode: absorb it like any other
+                    // garbage response instead of corrupting the line.
+                    Err(_) => {
+                        self.stale_responses += 1;
+                    }
                 }
             }
             UpstreamPayload::Done { first, second } => {
@@ -869,6 +942,40 @@ mod tests {
         let clean = ch.quiesce(SimTime::from_us(40)).unwrap();
         assert!(!clean, "a dead link cannot drain cleanly");
         assert_eq!(ch.tags_available(), 32, "tags reclaimed by the reset");
+    }
+
+    #[test]
+    fn power_cycle_through_channel_restores_nvdimm_and_kills_link_state() {
+        use contutto_core::MemoryKind;
+        let pop = MemoryPopulation {
+            kind: MemoryKind::NvdimmN,
+            dimm_capacity: 512 << 10,
+            dimms: 2,
+        };
+        let mut ch = DmiChannel::new(
+            ChannelConfig::contutto(),
+            Box::new(ConTutto::new(ContuttoConfig::base(), pop)),
+        );
+        ch.train(TrainerConfig::default(), 7).unwrap();
+        let line = CacheLine::patterned(4);
+        ch.write_line_blocking(0x1000, line).unwrap();
+        ch.buffer_mut().set_save_armed(true);
+        // Leave a command in flight when the rail drops.
+        ch.submit(CommandOp::Read { addr: 0x1000 }).unwrap();
+        let quiet = ch.power_cut(ch.now());
+        assert!(quiet > ch.now(), "save engine runs past the cut");
+        // All link/channel state died: tags free, training gone.
+        assert_eq!(ch.tags_available(), 32);
+        assert!(ch.training().is_none());
+        assert!(ch.take_completions().is_empty());
+        // Power returns after the save finished: clean restore.
+        let (ready, outcome) = ch.power_restore_media(quiet + SimTime::from_secs(2));
+        assert_eq!(outcome, PowerRestoreOutcome::Restored);
+        assert!(ready >= quiet);
+        // Retrain and serve traffic again.
+        ch.retrain().unwrap();
+        let (back, _) = ch.read_line_blocking(0x1000).unwrap();
+        assert_eq!(back, line);
     }
 
     #[test]

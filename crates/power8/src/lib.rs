@@ -31,4 +31,6 @@ pub use fsp::{FspError, ServiceProcessor};
 pub use latency::{LatencyProbe, MeasurementLevel};
 pub use memmap::{MemoryMap, MemoryRegion, RegionFlags, RouteError};
 pub use prefetch::StreamingLoader;
-pub use system::{Power8System, SystemError};
+pub use system::{
+    DataLoss, EpowReport, Power8System, PowerConfig, PowerStats, RebootReport, SystemError,
+};

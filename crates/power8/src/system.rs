@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use contutto_dmi::command::CacheLine;
-use contutto_dmi::DmiError;
+use contutto_dmi::{DmiError, PowerRestoreOutcome};
 use contutto_memdev::MediaKind;
 use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
@@ -29,13 +29,118 @@ use crate::failover::{
 use crate::firmware::{
     BootError, BootReport, BootedChannel, ErrorAction, Firmware, SlotPopulation,
 };
-use crate::fsp::{FspError, ServiceProcessor};
-use crate::memmap::{MemoryMap, RouteError};
+use crate::fsp::{FspError, ServiceProcessor, Severity};
+use crate::memmap::{ChannelMemory, MemoryMap, RouteError};
 
 /// Quiesce budget, in multiples of the channel's per-op timeout:
 /// enough for in-flight commands to complete or time out before the
 /// link is reset to reclaim whatever is left.
 const QUIESCE_TIMEOUTS: u64 = 3;
+
+/// Hold-up energy charged per written cache line pushed out of the
+/// core caches in EPOW stage 1, in nanojoules.
+pub const EPOW_CORE_FLUSH_COST_PER_LINE_NJ: u64 = 100;
+
+/// Hold-up energy charged per channel to drain in-flight DMI tags in
+/// EPOW stage 3, in nanojoules.
+pub const EPOW_DRAIN_COST_PER_CHANNEL_NJ: u64 = 500;
+
+/// Power-fail model configuration: how much stored energy backs the
+/// EPOW flush cascade and the per-DIMM NVDIMM save.
+///
+/// `None` budgets model ideal (unbounded) energy — the default, and
+/// what every test before this subsystem implicitly assumed.
+#[derive(Debug, Clone, Default)]
+pub struct PowerConfig {
+    /// Bulk-capacitor hold-up energy available to the EPOW cascade
+    /// (core flush, buffer flush, DMI drain), in nanojoules.
+    pub holdup_budget_nj: Option<u64>,
+    /// Per-DIMM supercap energy available to the NVDIMM-N save, in
+    /// nanojoules. Applied to every NVDIMM in the system.
+    pub nvdimm_supercap_nj: Option<u64>,
+}
+
+impl PowerConfig {
+    /// Unbounded energy everywhere: every flush and save completes.
+    pub fn ideal() -> Self {
+        PowerConfig::default()
+    }
+
+    /// Finite energy on both rails.
+    pub fn budgeted(holdup_nj: u64, supercap_nj: u64) -> Self {
+        PowerConfig {
+            holdup_budget_nj: Some(holdup_nj),
+            nvdimm_supercap_nj: Some(supercap_nj),
+        }
+    }
+}
+
+/// Counters for the power-fail subsystem, surfaced as
+/// `system.power.*` metrics.
+#[derive(Debug, Clone, Default)]
+pub struct PowerStats {
+    /// EPOW assertions.
+    pub epow_asserted: u64,
+    /// Power cuts taken.
+    pub cuts: u64,
+    /// Reboots completed.
+    pub reboots: u64,
+    /// Written lines flushed out of core caches by EPOW stage 1.
+    pub lines_flushed: u64,
+    /// Hold-up energy spent by EPOW cascades, in nanojoules.
+    pub holdup_spent_nj: u64,
+    /// NVDIMM saves that ran out of supercap energy mid-save.
+    pub saves_torn: u64,
+    /// Media images restored intact at reboot.
+    pub restores_clean: u64,
+    /// Media restores that reported data loss at reboot.
+    pub restores_failed: u64,
+}
+
+/// What one EPOW flush cascade accomplished before the power died.
+#[derive(Debug, Clone)]
+pub struct EpowReport {
+    /// When the FSP asserted EPOW.
+    pub asserted_at: SimTime,
+    /// When the cascade finished (or gave out).
+    pub done_at: SimTime,
+    /// Stages fully completed (1 core caches, 2 buffer caches, 3 DMI
+    /// drain, 4 NVDIMM arm confirm).
+    pub stages_completed: u8,
+    /// Whether all four stages ran to completion.
+    pub completed: bool,
+    /// Written lines flushed from core caches in stage 1.
+    pub lines_flushed: u64,
+    /// Hold-up energy this cascade consumed, in nanojoules.
+    pub holdup_spent_nj: u64,
+    /// NVDIMM slots whose supercap arming was confirmed in stage 4.
+    pub armed_slots: Vec<usize>,
+}
+
+/// One slot's typed data-loss report from a reboot. Loss is always
+/// reported — never silently absorbed into an all-zero region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataLoss {
+    /// The slot whose contents did not survive.
+    pub slot: usize,
+    /// How the restore failed (torn save, corrupt image, lost).
+    pub outcome: PowerRestoreOutcome,
+}
+
+/// The result of a cold reboot after a power cut.
+#[derive(Debug, Clone)]
+pub struct RebootReport {
+    /// When power returned.
+    pub at: SimTime,
+    /// When every surviving channel was trained and serving again.
+    pub ready_at: SimTime,
+    /// Slots whose media contents restored intact.
+    pub restored_slots: Vec<usize>,
+    /// Slots that lost data, with the typed outcome.
+    pub data_loss: Vec<DataLoss>,
+    /// Slots whose link failed to retrain (deconfigured).
+    pub retrain_failures: Vec<usize>,
+}
 
 /// Any error a software-visible access can surface: routing, FSP
 /// deconfiguration, or the channel ladder underneath.
@@ -47,6 +152,8 @@ pub enum SystemError {
     Fsp(FspError),
     /// The channel itself failed (timeout, poison, tag exhaustion).
     Dmi(DmiError),
+    /// The system is powered off; no software access can proceed.
+    PoweredOff,
 }
 
 impl std::fmt::Display for SystemError {
@@ -55,6 +162,7 @@ impl std::fmt::Display for SystemError {
             SystemError::Route(e) => write!(f, "route: {e}"),
             SystemError::Fsp(e) => write!(f, "fsp: {e}"),
             SystemError::Dmi(e) => write!(f, "dmi: {e}"),
+            SystemError::PoweredOff => write!(f, "system is powered off"),
         }
     }
 }
@@ -96,6 +204,12 @@ pub struct Power8System {
     inherited_poison: BTreeMap<usize, BTreeSet<u64>>,
     stats: FailoverStats,
     tracer: Tracer,
+    power: PowerConfig,
+    powered: bool,
+    power_stats: PowerStats,
+    /// NVDIMM slots whose supercap save is armed — the FSP's record,
+    /// queried by EPOW stage 4 without touching the devices.
+    nvdimm_armed: BTreeSet<usize>,
 }
 
 impl std::fmt::Debug for Power8System {
@@ -140,9 +254,10 @@ impl Power8System {
         let BootReport {
             channels,
             memory_map,
+            nvdimms_armed,
             ..
         } = report;
-        let sys = Power8System {
+        let mut sys = Power8System {
             channels,
             memory_map,
             fsp,
@@ -152,7 +267,21 @@ impl Power8System {
             inherited_poison: BTreeMap::new(),
             stats: FailoverStats::default(),
             tracer: Tracer::off(),
+            power: PowerConfig::ideal(),
+            powered: true,
+            power_stats: PowerStats::default(),
+            nvdimm_armed: BTreeSet::new(),
         };
+        // The boot report's arming list is a promise; keep it by
+        // actually arming the supercap save on each NVDIMM buffer.
+        for slot in nvdimms_armed {
+            let armed = sys
+                .channel_mut(slot)
+                .is_some_and(|c| c.channel.buffer_mut().set_save_armed(true));
+            if armed {
+                sys.nvdimm_armed.insert(slot);
+            }
+        }
         match mode {
             FailoverMode::None => {}
             FailoverMode::Spare { spare } => {
@@ -238,6 +367,302 @@ impl Power8System {
         }
     }
 
+    /// Installs a power-fail energy model; a finite NVDIMM supercap
+    /// budget is pushed down to every DIMM.
+    pub fn configure_power(&mut self, cfg: PowerConfig) {
+        if let Some(nj) = cfg.nvdimm_supercap_nj {
+            for c in &mut self.channels {
+                c.channel.buffer_mut().set_supercap_budget_nj(nj);
+            }
+        }
+        self.power = cfg;
+    }
+
+    /// Arms or disarms the supercap save on every NVDIMM, updating the
+    /// FSP's arming record. Returns the slots that hold an NVDIMM.
+    pub fn set_nvdimm_armed(&mut self, armed: bool) -> Vec<usize> {
+        let mut slots = Vec::new();
+        for c in &mut self.channels {
+            if c.channel.buffer_mut().set_save_armed(armed) {
+                slots.push(c.slot);
+                if armed {
+                    self.nvdimm_armed.insert(c.slot);
+                } else {
+                    self.nvdimm_armed.remove(&c.slot);
+                }
+            }
+        }
+        slots
+    }
+
+    /// Whether mains power is up (software accesses are allowed).
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Power-fail counters.
+    pub fn power_stats(&self) -> &PowerStats {
+        &self.power_stats
+    }
+
+    /// Early-power-off warning: the FSP has detected the supply
+    /// failing and runs the ordered flush cascade on stored hold-up
+    /// energy — (1) core caches, (2) buffer-side caches (the MBS
+    /// flush extension, paper §4.2), (3) in-flight DMI tags, (4)
+    /// NVDIMM save-arm confirmation. Each stage charges the hold-up
+    /// budget; running dry stops the cascade where it stands and the
+    /// later stages simply never happen — exactly what an undersized
+    /// bulk capacitor does.
+    pub fn epow(&mut self) -> EpowReport {
+        let asserted_at = self
+            .channels
+            .iter()
+            .map(|c| c.channel.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.tracer.record(TraceEvent::EpowAsserted);
+        self.fsp.log(
+            asserted_at,
+            0,
+            Severity::Info,
+            "epow asserted; flush cascade started",
+        );
+        self.power_stats.epow_asserted += 1;
+
+        let start = self.power.holdup_budget_nj.unwrap_or(u64::MAX);
+        let mut energy = start;
+        let mut stages_completed = 0u8;
+        let lines_flushed: u64;
+        let mut armed_slots = Vec::new();
+        let mut exhausted_at = None;
+
+        'cascade: {
+            // Stage 1: push every written line out of the core caches.
+            let before = energy;
+            let total: u64 = self.written.values().map(|s| s.len() as u64).sum();
+            let affordable = (energy / EPOW_CORE_FLUSH_COST_PER_LINE_NJ).min(total);
+            energy = energy.saturating_sub(affordable * EPOW_CORE_FLUSH_COST_PER_LINE_NJ);
+            lines_flushed = affordable;
+            self.tracer.record(TraceEvent::EpowFlushStage {
+                stage: 1,
+                charged_nj: before - energy,
+            });
+            if affordable < total {
+                exhausted_at = Some(1);
+                break 'cascade;
+            }
+            stages_completed = 1;
+
+            // Stage 2: buffer-side caches (MBS flush extension).
+            let before = energy;
+            for c in &mut self.channels {
+                c.channel.epow_flush_buffer(&mut energy);
+                if energy == 0 {
+                    break;
+                }
+            }
+            self.tracer.record(TraceEvent::EpowFlushStage {
+                stage: 2,
+                charged_nj: before - energy,
+            });
+            if energy == 0 {
+                exhausted_at = Some(2);
+                break 'cascade;
+            }
+            stages_completed = 2;
+
+            // Stage 3: drain in-flight DMI tags.
+            let before = energy;
+            for c in &mut self.channels {
+                if energy < EPOW_DRAIN_COST_PER_CHANNEL_NJ {
+                    exhausted_at = Some(3);
+                    break;
+                }
+                energy -= EPOW_DRAIN_COST_PER_CHANNEL_NJ;
+                let budget = c.channel.retry_policy().op_timeout * QUIESCE_TIMEOUTS;
+                let _ = c.channel.quiesce(budget);
+            }
+            self.tracer.record(TraceEvent::EpowFlushStage {
+                stage: 3,
+                charged_nj: before - energy,
+            });
+            if exhausted_at.is_some() {
+                break 'cascade;
+            }
+
+            // Stage 4: confirm the NVDIMM saves are armed (free — a
+            // register read over the sideband).
+            armed_slots = self.nvdimm_armed.iter().copied().collect();
+            for c in &self.channels {
+                if c.kind == MediaKind::NvdimmN && !self.nvdimm_armed.contains(&c.slot) {
+                    self.fsp.log(
+                        asserted_at,
+                        c.slot,
+                        Severity::Unrecovered,
+                        "epow: nvdimm save not armed; contents will not survive",
+                    );
+                }
+            }
+            self.tracer.record(TraceEvent::EpowFlushStage {
+                stage: 4,
+                charged_nj: 0,
+            });
+            stages_completed = 4;
+        }
+
+        if let Some(stage) = exhausted_at {
+            self.tracer
+                .record(TraceEvent::EpowHoldupExhausted { stage });
+            // A system-level energy event, not evidence against any
+            // channel's hardware: it must not charge an error budget.
+            self.fsp.log(
+                asserted_at,
+                0,
+                Severity::Info,
+                &format!("epow hold-up energy exhausted in stage {stage}"),
+            );
+        }
+        let spent = start - energy;
+        self.power_stats.lines_flushed += lines_flushed;
+        self.power_stats.holdup_spent_nj += spent;
+        let done_at = self
+            .channels
+            .iter()
+            .map(|c| c.channel.now())
+            .max()
+            .unwrap_or(asserted_at);
+        EpowReport {
+            asserted_at,
+            done_at: done_at.max(asserted_at),
+            stages_completed,
+            completed: exhausted_at.is_none(),
+            lines_flushed,
+            holdup_spent_nj: spent,
+            armed_slots,
+        }
+    }
+
+    /// Mains power dies at `at`. Every piece of volatile state — DRAM
+    /// contents, caches, replay buffers, in-flight tags, the host's
+    /// own record of what it wrote — is discarded; armed NVDIMMs run
+    /// their supercap save. Returns when the last save finished (the
+    /// machine is dark from `at`; the save runs on stored energy).
+    pub fn power_cut(&mut self, at: SimTime) -> SimTime {
+        self.tracer.record(TraceEvent::PowerCut);
+        self.fsp.log(at, 0, Severity::Info, "power cut");
+        self.power_stats.cuts += 1;
+        let mut quiet = at;
+        for c in &mut self.channels {
+            quiet = quiet.max(c.channel.power_cut(at));
+        }
+        self.written.clear();
+        self.inherited_poison.clear();
+        self.migration = None;
+        self.powered = false;
+        quiet
+    }
+
+    /// Cold boot after a power cut: restore media images (typed —
+    /// a torn or corrupt save raises a machine-check log and lands in
+    /// the report's `data_loss`, never a silent zero-fill), retrain
+    /// every link through the surviving firmware training state, and
+    /// rebuild the memory map from the channels that came back.
+    ///
+    /// # Errors
+    ///
+    /// [`BootError::Map`] / [`BootError::NoUsableMemory`] if too few
+    /// channels retrained to rebuild a bootable map.
+    pub fn reboot(&mut self, at: SimTime) -> Result<RebootReport, BootError> {
+        self.tracer.record(TraceEvent::PowerRestored);
+        self.fsp
+            .log(at, 0, Severity::Info, "power restored; rebooting");
+        let mut ready_at = at;
+        let mut restored_slots = Vec::new();
+        let mut data_loss = Vec::new();
+        for c in &mut self.channels {
+            let (ready, outcome) = c.channel.power_restore_media(at);
+            ready_at = ready_at.max(ready);
+            match outcome {
+                PowerRestoreOutcome::Volatile => {}
+                PowerRestoreOutcome::Restored => {
+                    self.power_stats.restores_clean += 1;
+                    restored_slots.push(c.slot);
+                    if c.kind == MediaKind::NvdimmN {
+                        self.tracer
+                            .record(TraceEvent::NvdimmRestored { slot: c.slot });
+                        self.fsp
+                            .log(ready, c.slot, Severity::Info, "nvdimm image restored");
+                    }
+                }
+                loss => {
+                    self.power_stats.restores_failed += 1;
+                    if loss == PowerRestoreOutcome::TornSave {
+                        self.power_stats.saves_torn += 1;
+                    }
+                    self.tracer
+                        .record(TraceEvent::NvdimmRestoreFailed { slot: c.slot });
+                    self.fsp.log(
+                        ready,
+                        c.slot,
+                        Severity::Unrecovered,
+                        &format!("machine check: media restore failed ({loss}); contents lost"),
+                    );
+                    data_loss.push(DataLoss {
+                        slot: c.slot,
+                        outcome: loss,
+                    });
+                }
+            }
+        }
+
+        // Retrain every link. The trainer config and seed survive in
+        // firmware NVRAM, so the same system retrains identically.
+        let mut retrain_failures = Vec::new();
+        for c in &mut self.channels {
+            match c.channel.retrain() {
+                Ok(_) => ready_at = ready_at.max(c.channel.now()),
+                Err(e) => {
+                    self.fsp.log(
+                        at,
+                        c.slot,
+                        Severity::Unrecovered,
+                        &format!("reboot retrain failed: {e}"),
+                    );
+                    self.fsp.deconfigure(at, c.slot, "reboot retrain failed");
+                    retrain_failures.push(c.slot);
+                }
+            }
+        }
+
+        // Rebuild the memory map from the channels that were mapped
+        // before the cut and came back up.
+        let memories: Vec<ChannelMemory> = self
+            .channels
+            .iter()
+            .filter(|c| {
+                self.memory_map.channel_is_mapped(c.slot) && !self.fsp.is_deconfigured(c.slot)
+            })
+            .map(|c| ChannelMemory {
+                channel: c.slot,
+                kind: c.kind,
+                capacity: c.capacity,
+            })
+            .collect();
+        if memories.is_empty() {
+            return Err(BootError::NoUsableMemory);
+        }
+        self.memory_map = MemoryMap::build(&memories, 1 << 42).map_err(BootError::Map)?;
+        self.powered = true;
+        self.power_stats.reboots += 1;
+        Ok(RebootReport {
+            at,
+            ready_at,
+            restored_slots,
+            data_loss,
+            retrain_failures,
+        })
+    }
+
     /// Aggregated system metrics: every channel's registry merged
     /// (counters accumulate across channels) plus `system.failover.*`
     /// and `system.fsp.*`.
@@ -274,6 +699,23 @@ impl Power8System {
         );
         reg.set_counter("system.fsp.log_entries", self.fsp.log_len() as u64);
         reg.set_counter("system.fsp.log_dropped", self.fsp.log_dropped());
+        reg.set_counter("system.power.epow_asserted", self.power_stats.epow_asserted);
+        reg.set_counter("system.power.cuts", self.power_stats.cuts);
+        reg.set_counter("system.power.reboots", self.power_stats.reboots);
+        reg.set_counter("system.power.lines_flushed", self.power_stats.lines_flushed);
+        reg.set_counter(
+            "system.power.holdup_spent_nj",
+            self.power_stats.holdup_spent_nj,
+        );
+        reg.set_counter("system.power.saves_torn", self.power_stats.saves_torn);
+        reg.set_counter(
+            "system.power.restores_clean",
+            self.power_stats.restores_clean,
+        );
+        reg.set_counter(
+            "system.power.restores_failed",
+            self.power_stats.restores_failed,
+        );
         reg
     }
 
@@ -295,6 +737,9 @@ impl Power8System {
     /// with nowhere to fail over, [`SystemError::Dmi`] for channel
     /// faults that survived the recovery ladder.
     pub fn load_line(&mut self, phys: u64) -> Result<(CacheLine, SimTime), SystemError> {
+        if !self.powered {
+            return Err(SystemError::PoweredOff);
+        }
         self.pump_migration();
         let (slot, local) = self
             .route(phys)
@@ -321,6 +766,9 @@ impl Power8System {
     ///
     /// Same ladder as [`Self::load_line`].
     pub fn store_line(&mut self, phys: u64, data: CacheLine) -> Result<SimTime, SystemError> {
+        if !self.powered {
+            return Err(SystemError::PoweredOff);
+        }
         self.pump_migration();
         let (slot, local) = self
             .route(phys)
@@ -752,7 +1200,16 @@ impl Power8System {
 mod tests {
     use super::*;
     use crate::firmware::layouts;
-    use contutto_core::{ContuttoConfig, MemoryPopulation};
+    use contutto_core::{ContuttoConfig, MemoryKind, MemoryPopulation};
+
+    /// A small NVDIMM population so save/restore sweeps stay fast.
+    fn nvdimm_small() -> MemoryPopulation {
+        MemoryPopulation {
+            kind: MemoryKind::NvdimmN,
+            dimm_capacity: 512 << 10,
+            dimms: 2,
+        }
+    }
 
     #[test]
     fn boots_mixed_system_and_routes_loads() {
@@ -969,5 +1426,140 @@ mod tests {
         sys.store_line(base, fresh).unwrap();
         let (back, _) = sys.load_line(base).unwrap();
         assert_eq!(back, fresh);
+    }
+
+    #[test]
+    fn epow_cut_reboot_preserves_nvdimm_and_discards_dram() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+            7,
+        )
+        .unwrap();
+        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+        for i in 0..8u64 {
+            sys.store_line(nv_base + i * 128, CacheLine::patterned(i + 1))
+                .unwrap();
+        }
+        let dram_addr = 0x10_0000u64;
+        sys.store_line(dram_addr, CacheLine::patterned(0xAA))
+            .unwrap();
+
+        let epow = sys.epow();
+        assert!(epow.completed, "ideal budget runs all four stages");
+        assert_eq!(epow.stages_completed, 4);
+        assert_eq!(epow.armed_slots, vec![0]);
+        assert_eq!(epow.lines_flushed, 9);
+
+        let quiet = sys.power_cut(epow.done_at + SimTime::from_us(1));
+        assert!(quiet > epow.done_at, "the supercap save takes real time");
+        assert!(!sys.powered());
+        assert_eq!(sys.load_line(nv_base), Err(SystemError::PoweredOff));
+        assert_eq!(
+            sys.store_line(nv_base, CacheLine::patterned(9)),
+            Err(SystemError::PoweredOff)
+        );
+
+        let report = sys.reboot(quiet + SimTime::from_ms(50)).unwrap();
+        assert!(report.data_loss.is_empty(), "{:?}", report.data_loss);
+        assert!(report.retrain_failures.is_empty());
+        assert_eq!(report.restored_slots, vec![0]);
+        assert!(sys.powered());
+        for i in 0..8u64 {
+            let (back, _) = sys.load_line(nv_base + i * 128).unwrap();
+            assert_eq!(back, CacheLine::patterned(i + 1), "nv line {i}");
+        }
+        // DRAM is volatile: it comes back zeroed, never stale.
+        let (back, _) = sys.load_line(dram_addr).unwrap();
+        assert_eq!(back, CacheLine::default());
+        let m = sys.metrics();
+        assert_eq!(m.counter("system.power.cuts"), 1);
+        assert_eq!(m.counter("system.power.reboots"), 1);
+        assert_eq!(m.counter("system.power.restores_failed"), 0);
+    }
+
+    #[test]
+    fn starved_supercap_is_a_typed_torn_save_never_silent() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+            11,
+        )
+        .unwrap();
+        sys.configure_power(PowerConfig {
+            holdup_budget_nj: None,
+            // Four pages of energy against a 128-page DIMM: the save
+            // tears partway through.
+            nvdimm_supercap_nj: Some(contutto_memdev::SAVE_COST_PER_PAGE_NJ * 4),
+        });
+        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+        let line = CacheLine::patterned(42);
+        sys.store_line(nv_base, line).unwrap();
+
+        let epow = sys.epow();
+        let quiet = sys.power_cut(epow.done_at + SimTime::from_us(1));
+        let report = sys.reboot(quiet + SimTime::from_ms(50)).unwrap();
+        assert_eq!(
+            report.data_loss,
+            vec![DataLoss {
+                slot: 0,
+                outcome: PowerRestoreOutcome::TornSave
+            }]
+        );
+        assert_eq!(sys.power_stats().saves_torn, 1);
+        assert!(sys
+            .fsp()
+            .entries()
+            .any(|e| e.message.contains("machine check") && e.message.contains("torn")));
+        // The torn image is discarded, not partially served: reads
+        // come back empty.
+        let (back, _) = sys.load_line(nv_base).unwrap();
+        assert_eq!(back, CacheLine::default());
+    }
+
+    #[test]
+    fn starved_holdup_stops_the_epow_cascade_where_it_stands() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+            3,
+        )
+        .unwrap();
+        sys.configure_power(PowerConfig {
+            holdup_budget_nj: Some(EPOW_CORE_FLUSH_COST_PER_LINE_NJ * 2),
+            nvdimm_supercap_nj: None,
+        });
+        for i in 0..8u64 {
+            sys.store_line(0x10_0000 + i * 128, CacheLine::patterned(i))
+                .unwrap();
+        }
+        let epow = sys.epow();
+        assert!(!epow.completed);
+        assert_eq!(epow.stages_completed, 0, "died mid-stage-1");
+        assert_eq!(epow.lines_flushed, 2, "only what the budget affords");
+        assert!(sys
+            .fsp()
+            .entries()
+            .any(|e| e.message.contains("exhausted in stage 1")));
+    }
+
+    #[test]
+    fn disarmed_nvdimm_loss_is_reported_not_silent() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+            5,
+        )
+        .unwrap();
+        assert_eq!(sys.set_nvdimm_armed(false), vec![0]);
+        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+        sys.store_line(nv_base, CacheLine::patterned(7)).unwrap();
+
+        let epow = sys.epow();
+        assert!(epow.armed_slots.is_empty());
+        assert!(sys.fsp().entries().any(|e| e.message.contains("not armed")));
+        let quiet = sys.power_cut(epow.done_at + SimTime::from_us(1));
+        let report = sys.reboot(quiet + SimTime::from_ms(50)).unwrap();
+        assert_eq!(report.data_loss.len(), 1);
+        assert_eq!(report.data_loss[0].slot, 0);
+        assert!(report.data_loss[0].outcome.is_data_loss());
+        let (back, _) = sys.load_line(nv_base).unwrap();
+        assert_eq!(back, CacheLine::default());
     }
 }

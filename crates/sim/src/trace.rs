@@ -157,6 +157,33 @@ pub enum TraceEvent {
     /// A WriteData frame arrived for an idle/unknown tag (late delivery
     /// after a retrain, or decode aliasing) and was dropped.
     FrameOrphaned { tag: u8 },
+    /// The FSP asserted an early-power-off warning; the flush cascade
+    /// starts.
+    EpowAsserted,
+    /// One stage of the EPOW flush cascade completed (1 = core caches,
+    /// 2 = buffer caches/write pipelines, 3 = in-flight DMI drain,
+    /// 4 = NVDIMM save engines confirmed armed).
+    EpowFlushStage { stage: u8, charged_nj: u64 },
+    /// The system holdup energy ran out before the cascade finished;
+    /// `stage` is the first stage that was skipped.
+    EpowHoldupExhausted { stage: u8 },
+    /// Power was cut: all volatile state is gone.
+    PowerCut,
+    /// An NVDIMM save engine exhausted its supercap mid-save; the flash
+    /// image is truncated at `saved_bytes` of `capacity_bytes`.
+    SaveEnergyExhausted {
+        saved_bytes: u64,
+        capacity_bytes: u64,
+    },
+    /// Power returned; the system is rebooting.
+    PowerRestored,
+    /// A non-volatile buffer restored its media image intact after the
+    /// power cut.
+    NvdimmRestored { slot: usize },
+    /// A non-volatile buffer could not restore its image (torn save,
+    /// corrupt image, or disarmed supercap); the loss is reported as a
+    /// machine check, never silently.
+    NvdimmRestoreFailed { slot: usize },
 }
 
 impl fmt::Display for TraceEvent {
@@ -237,6 +264,22 @@ impl fmt::Display for TraceEvent {
             }
             MirrorReadFallback { addr } => write!(f, "mirror-read-fallback addr={addr:#x}"),
             FrameOrphaned { tag } => write!(f, "frame-orphaned tag={tag}"),
+            EpowAsserted => write!(f, "epow-asserted"),
+            EpowFlushStage { stage, charged_nj } => {
+                write!(f, "epow-flush-stage stage={stage} charged_nj={charged_nj}")
+            }
+            EpowHoldupExhausted { stage } => write!(f, "epow-holdup-exhausted stage={stage}"),
+            PowerCut => write!(f, "power-cut"),
+            SaveEnergyExhausted {
+                saved_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "save-energy-exhausted saved_bytes={saved_bytes} capacity_bytes={capacity_bytes}"
+            ),
+            PowerRestored => write!(f, "power-restored"),
+            NvdimmRestored { slot } => write!(f, "nvdimm-restored slot={slot}"),
+            NvdimmRestoreFailed { slot } => write!(f, "nvdimm-restore-failed slot={slot}"),
         }
     }
 }
@@ -611,6 +654,34 @@ mod tests {
         assert!(text.contains("channel-failed-over from=2 to=4 mirrored=false"));
         assert!(text.contains("mirror-read-fallback addr=0x4000"));
         assert!(text.contains("frame-orphaned tag=7"));
+    }
+
+    #[test]
+    fn power_events_render() {
+        let t = Tracer::ring(16);
+        t.record(TraceEvent::EpowAsserted);
+        t.record(TraceEvent::EpowFlushStage {
+            stage: 1,
+            charged_nj: 4_000,
+        });
+        t.record(TraceEvent::EpowHoldupExhausted { stage: 3 });
+        t.record(TraceEvent::PowerCut);
+        t.record(TraceEvent::SaveEnergyExhausted {
+            saved_bytes: 65_536,
+            capacity_bytes: 1_048_576,
+        });
+        t.record(TraceEvent::PowerRestored);
+        t.record(TraceEvent::NvdimmRestored { slot: 3 });
+        t.record(TraceEvent::NvdimmRestoreFailed { slot: 3 });
+        let text = t.render();
+        assert!(text.contains("epow-asserted"));
+        assert!(text.contains("epow-flush-stage stage=1 charged_nj=4000"));
+        assert!(text.contains("epow-holdup-exhausted stage=3"));
+        assert!(text.contains("power-cut"));
+        assert!(text.contains("save-energy-exhausted saved_bytes=65536 capacity_bytes=1048576"));
+        assert!(text.contains("power-restored"));
+        assert!(text.contains("nvdimm-restored slot=3"));
+        assert!(text.contains("nvdimm-restore-failed slot=3"));
     }
 
     #[test]

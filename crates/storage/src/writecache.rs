@@ -108,6 +108,24 @@ impl<L: BlockDevice, D: BlockDevice> WriteCache<L, D> {
         t
     }
 
+    /// Destages everything; when this returns, the backing disk holds
+    /// every acknowledged write. This is the power-fail contract: a
+    /// power cut after `flush` may discard the log contents and the
+    /// in-memory pending map without losing a single acknowledged
+    /// block.
+    pub fn flush(&mut self, now: SimTime) -> SimTime {
+        let t = self.destage(now);
+        debug_assert!(self.pending.is_empty(), "flush left dirty records behind");
+        t
+    }
+
+    /// Tears the cache down into its devices — what a power cut
+    /// leaves behind: the media survive, the in-memory pending map
+    /// does not.
+    pub fn into_devices(self) -> (L, D) {
+        (self.log, self.disk)
+    }
+
     /// Writes acknowledged so far.
     pub fn acknowledged_writes(&self) -> u64 {
         self.acknowledged_writes
@@ -199,6 +217,39 @@ mod tests {
         // 6 adjacent blocks → one seek then sequential writes.
         // (First disk write seeks; the rest land sequentially.)
         assert_eq!(wc.destages(), 1);
+    }
+
+    #[test]
+    fn flush_is_complete_and_a_later_power_cut_loses_nothing() {
+        let mut wc = cache();
+        let lbas = [913u64, 7, 4242, 88, 555];
+        let mut t = SimTime::ZERO;
+        for (i, &lba) in lbas.iter().enumerate() {
+            t = wc.write(t, lba, &[i as u8 + 1; BLOCK_BYTES]);
+        }
+        assert_eq!(wc.pending_records(), lbas.len());
+        let t = wc.flush(t);
+        assert_eq!(wc.pending_records(), 0, "flush left dirty records");
+        // Every acknowledged block is on the backing media itself.
+        for (i, &lba) in lbas.iter().enumerate() {
+            let mut buf = [0u8; BLOCK_BYTES];
+            wc.disk_mut().read_block(t, lba, &mut buf);
+            assert_eq!(buf, [i as u8 + 1; BLOCK_BYTES], "lba {lba} not on disk");
+        }
+        // Power cut: the cache struct (with its volatile pending map)
+        // is gone; only the devices survive. A cache rebuilt over the
+        // same disk must serve every block.
+        let (log, disk) = wc.into_devices();
+        let mut reborn = WriteCache::new(log, disk);
+        for (i, &lba) in lbas.iter().enumerate() {
+            let mut buf = [0u8; BLOCK_BYTES];
+            reborn.read(t, lba, &mut buf);
+            assert_eq!(
+                buf,
+                [i as u8 + 1; BLOCK_BYTES],
+                "lba {lba} lost across the power cut"
+            );
+        }
     }
 
     #[test]

@@ -31,4 +31,7 @@ cargo run -p contutto-bench --release --bin faults --quiet -- --media --smoke
 echo "==> channel-failover campaign (smoke)"
 cargo run -p contutto-bench --release --bin faults --quiet -- --failover --smoke
 
+echo "==> power-fail campaign (smoke)"
+cargo run -p contutto-bench --release --bin faults --quiet -- --power --smoke
+
 echo "verify: all gates passed"

@@ -1,9 +1,13 @@
 //! Integration: persistence semantics across the stack — pmem flush,
 //! NVDIMM save/restore, MRAM retention and endurance accounting.
 
-use contutto_system::contutto::{ConTutto, ContuttoConfig, MemoryPopulation};
+use contutto_system::centaur::CentaurConfig;
+use contutto_system::contutto::{ConTutto, ContuttoConfig, MemoryKind, MemoryPopulation};
+use contutto_system::dmi::command::CacheLine;
 use contutto_system::memdev::{MemoryDevice, MramGeneration, NvdimmN, RestoreError, SaveState};
 use contutto_system::power8::channel::{ChannelConfig, DmiChannel};
+use contutto_system::power8::firmware::SlotPopulation;
+use contutto_system::power8::system::{Power8System, PowerConfig, SystemError};
 use contutto_system::sim::SimTime;
 use contutto_system::storage::blockdev::{mram_contutto_device, BlockDevice};
 use contutto_system::storage::pmem::PmemDriver;
@@ -89,6 +93,114 @@ fn nvdimm_corrupted_save_image_is_rejected_end_to_end() {
     let mut buf = [0xFFu8; 128];
     nv.read(quiesced, 0, &mut buf);
     assert!(buf.iter().all(|&b| b == 0), "no stale bytes survive");
+}
+
+fn nvdimm_system_seeded(seed: u64) -> Result<Power8System, contutto_system::power8::BootError> {
+    Power8System::boot(
+        vec![
+            SlotPopulation::Cdimm {
+                config: CentaurConfig::optimized(),
+                capacity: 4 << 30,
+            },
+            SlotPopulation::Empty,
+            SlotPopulation::ConTutto {
+                config: ContuttoConfig::base(),
+                population: MemoryPopulation {
+                    kind: MemoryKind::NvdimmN,
+                    dimm_capacity: 512 << 10,
+                    dimms: 2,
+                },
+            },
+            SlotPopulation::Empty,
+        ],
+        seed,
+    )
+}
+
+fn nvdimm_system() -> Result<Power8System, contutto_system::power8::BootError> {
+    nvdimm_system_seeded(42)
+}
+
+#[test]
+fn whole_system_power_cycle_preserves_nvdimm_and_zeroes_dram() {
+    let mut sys = nvdimm_system().expect("boots");
+    let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+    let nv_line = CacheLine::patterned(0xC0FFEE);
+    let dram_line = CacheLine::patterned(0xDEAD);
+    sys.store_line(nv_base, nv_line).unwrap();
+    sys.store_line(0x10_0000, dram_line).unwrap();
+
+    // Orderly shutdown: EPOW cascade, then the cut.
+    let epow = sys.epow();
+    assert!(epow.completed, "ideal energy completes all four stages");
+    let quiet = sys.power_cut(epow.done_at + SimTime::from_us(1));
+    assert!(
+        matches!(sys.load_line(nv_base), Err(SystemError::PoweredOff)),
+        "a powered-off system serves nothing"
+    );
+
+    let report = sys.reboot(quiet + SimTime::from_ms(50)).expect("reboots");
+    assert!(report.data_loss.is_empty(), "{:?}", report.data_loss);
+    let (back, _) = sys.load_line(nv_base).unwrap();
+    assert_eq!(back, nv_line, "NVDIMM line survives the power cycle");
+    let (back, _) = sys.load_line(0x10_0000).unwrap();
+    assert_eq!(back, CacheLine::default(), "DRAM does not survive");
+}
+
+#[test]
+fn starved_save_energy_reports_torn_loss_end_to_end() {
+    let mut sys = nvdimm_system().expect("boots");
+    sys.configure_power(PowerConfig {
+        holdup_budget_nj: None,
+        nvdimm_supercap_nj: Some(contutto_system::memdev::SAVE_COST_PER_PAGE_NJ * 4),
+    });
+    let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+    sys.store_line(nv_base, CacheLine::patterned(7)).unwrap();
+    let now = sys
+        .channels()
+        .iter()
+        .map(|c| c.channel.now())
+        .max()
+        .unwrap();
+    // Surprise cut: no EPOW warning at all.
+    let quiet = sys.power_cut(now + SimTime::from_us(1));
+    let report = sys.reboot(quiet + SimTime::from_ms(50)).expect("reboots");
+    // The loss is typed and attributed, never silent.
+    assert_eq!(report.data_loss.len(), 1);
+    assert!(report.data_loss[0].outcome.is_data_loss());
+    let (back, _) = sys.load_line(nv_base).unwrap();
+    assert_eq!(
+        back,
+        CacheLine::default(),
+        "no stale bytes after a torn save"
+    );
+}
+
+#[test]
+fn same_seed_power_cycles_are_byte_identical() {
+    let fingerprint = |seed: u64, lines: u64| {
+        let mut sys = nvdimm_system_seeded(seed).expect("boots");
+        let tracer = sys.enable_tracing(1 << 12);
+        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+        for i in 0..lines {
+            sys.store_line(nv_base + i * 128, CacheLine::patterned(seed + i))
+                .unwrap();
+        }
+        let epow = sys.epow();
+        let quiet = sys.power_cut(epow.done_at + SimTime::from_us(1));
+        sys.reboot(quiet + SimTime::from_ms(50)).expect("reboots");
+        tracer.fingerprint()
+    };
+    assert_eq!(
+        fingerprint(9, 4),
+        fingerprint(9, 4),
+        "same seed, same trace"
+    );
+    assert_ne!(
+        fingerprint(9, 4),
+        fingerprint(9, 5),
+        "the workload reaches the trace — equality above is not vacuous"
+    );
 }
 
 #[test]
