@@ -25,6 +25,7 @@ pub mod failover;
 pub mod faults;
 pub mod harness;
 pub mod media;
+pub mod pipeline;
 pub mod power;
 
 use contutto_centaur::{Centaur, CentaurConfig};

@@ -62,6 +62,15 @@ pub enum DmiError {
         /// Host address of the poisoned line.
         addr: u64,
     },
+    /// A read-modify-write command was abandoned mid-flight (timeout or
+    /// link reset) and cannot be retried: the buffer may already have
+    /// applied the merge and only the done notification was lost, so a
+    /// resubmission would apply it twice. The caller must re-read the
+    /// line to learn which side of the merge it landed on.
+    RmwAborted {
+        /// Host address the RMW targeted.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for DmiError {
@@ -92,6 +101,9 @@ impl fmt::Display for DmiError {
             }
             DmiError::Config(what) => write!(f, "invalid configuration: {what}"),
             DmiError::Poisoned { addr } => write!(f, "poisoned data at {addr:#x}"),
+            DmiError::RmwAborted { addr } => {
+                write!(f, "rmw at {addr:#x} aborted mid-flight; not retried")
+            }
         }
     }
 }
@@ -125,6 +137,7 @@ mod tests {
             },
             DmiError::Config("replay buffer must cover the ack timeout"),
             DmiError::Poisoned { addr: 0x8000 },
+            DmiError::RmwAborted { addr: 0x4000 },
         ];
         for e in errs {
             let s = e.to_string();

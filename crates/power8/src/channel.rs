@@ -9,17 +9,25 @@
 //! slow buffer visibly throttles the processor, exactly the effect
 //! the paper warns about.
 //!
-//! A protocol hang is a *survivable, measured event*, not a panic: the
-//! blocking helpers drive a degradation ladder ([`RetryPolicy`]) of
-//! bounded retries with exponential sim-time backoff, escalating to a
-//! full link retrain ([`DmiChannel::retrain`]) before surfacing a typed
-//! [`DmiError::Timeout`]. Tags abandoned by timed-out waiters are
-//! quarantined and reclaimed instead of leaked.
+//! Commands flow through a **non-blocking submit/poll path**: software
+//! enqueues tagged commands with [`DmiChannel::enqueue_command`], the
+//! channel keeps up to a configurable window of them in flight at
+//! once, and finished commands are collected with
+//! [`DmiChannel::poll_command`]. The degradation ladder
+//! ([`RetryPolicy`]) is **per tag**, advanced by [`DmiChannel::step`]:
+//! each in-flight command carries its own deadline, attempt count and
+//! retrain budget, so one hung tag times out, backs off and retries
+//! while its neighbours keep completing. Escalation to a full link
+//! retrain ([`DmiChannel::retrain`]) reclaims *every* in-flight tag
+//! and requeues the innocent bystanders; a command that exhausts its
+//! ladder surfaces a typed [`DmiError::Timeout`]. Tags abandoned by
+//! timed-out commands are quarantined and reclaimed instead of leaked.
+//! The blocking helpers are thin shims over this path.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use contutto_dmi::buffer::{DmiBuffer, PowerRestoreOutcome};
-use contutto_dmi::command::{CacheLine, CommandOp, Tag, TagPool};
+use contutto_dmi::command::{CacheLine, CommandOp, Tag, TagPool, NUM_TAGS};
 use contutto_dmi::frame::{
     line_to_downstream_beats, CommandHeader, DownstreamFrame, DownstreamPayload, LineAssembler,
     UpstreamFrame, UpstreamPayload,
@@ -109,6 +117,47 @@ impl ChannelConfig {
     }
 }
 
+/// Identifier of a tracked command on the submit/poll path.
+///
+/// Monotonic per channel and never reused — a command keeps its id
+/// across retries, backoffs and retrains, even though each attempt
+/// rides a different link tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmdId(u64);
+
+impl CmdId {
+    /// The raw monotonic counter value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A tracked command waiting on the software issue queue — either
+/// freshly enqueued or parked for a retry backoff.
+#[derive(Debug, Clone)]
+struct QueuedCmd {
+    op: CommandOp,
+    /// When the command first entered the queue (ladder accounting).
+    enqueued: SimTime,
+    /// Attempt number the next issue will be (1-based).
+    attempt: u32,
+    /// Retrain escalations already spent on this command.
+    retrains_used: u32,
+}
+
+/// Ladder state carried by an in-flight tracked command: its identity,
+/// the op to resubmit on retry, and the per-attempt deadline that
+/// `step()` checks every slot.
+#[derive(Debug, Clone)]
+struct TrackedPending {
+    id: CmdId,
+    op: CommandOp,
+    enqueued: SimTime,
+    attempt: u32,
+    retrains_used: u32,
+    deadline: SimTime,
+}
+
 #[derive(Debug)]
 struct Pending {
     issued: SimTime,
@@ -116,6 +165,9 @@ struct Pending {
     assembler: Option<LineAssembler>,
     data: Option<CacheLine>,
     poisoned: bool,
+    /// Present when this tag carries a tracked command; raw
+    /// [`DmiChannel::submit`] tags have no ladder state.
+    tracked: Option<TrackedPending>,
 }
 
 /// A completed command: tag, completion time, read data if any, and
@@ -172,6 +224,21 @@ pub struct DmiChannel {
     /// parked. Held out of the pool until a late response proves them
     /// safe, a retrain flushes link state, or the quarantine ages out.
     quarantine: BTreeMap<Tag, SimTime>,
+    /// Software issue queue for tracked commands, ordered by
+    /// (not-before time, command id): retries park here through their
+    /// backoff; fresh commands are keyed at their enqueue time.
+    queue: BTreeMap<(SimTime, CmdId), QueuedCmd>,
+    /// Results of finished tracked commands, indexed by id so targeted
+    /// waiters never rescan a deque.
+    finished: BTreeMap<CmdId, Result<Completion, DmiError>>,
+    /// Finish order for fair [`DmiChannel::poll_command`] draining.
+    finished_order: VecDeque<CmdId>,
+    next_cmd: u64,
+    /// Max tracked commands in flight at once (1..=NUM_TAGS).
+    window: usize,
+    /// No tracked command issues before this time — set across a link
+    /// reset so the settle window is not polluted by fresh traffic.
+    issue_hold: SimTime,
     retry: RetryPolicy,
     trained: Option<TrainingOutcome>,
     trainer_cfg: TrainerConfig,
@@ -184,6 +251,7 @@ pub struct DmiChannel {
     link_retrains: u64,
     stale_responses: u64,
     poisoned_reads: u64,
+    rmw_aborts: u64,
 }
 
 impl std::fmt::Debug for DmiChannel {
@@ -228,6 +296,12 @@ impl DmiChannel {
             pending: BTreeMap::new(),
             completions: VecDeque::new(),
             quarantine: BTreeMap::new(),
+            queue: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            finished_order: VecDeque::new(),
+            next_cmd: 0,
+            window: NUM_TAGS,
+            issue_hold: SimTime::ZERO,
             retry: RetryPolicy::default(),
             trained: None,
             trainer_cfg: TrainerConfig::default(),
@@ -240,6 +314,7 @@ impl DmiChannel {
             link_retrains: 0,
             stale_responses: 0,
             poisoned_reads: 0,
+            rmw_aborts: 0,
         })
     }
 
@@ -310,6 +385,10 @@ impl DmiChannel {
         reg.set_counter("channel.link_retrains", self.link_retrains);
         reg.set_counter("channel.stale_responses", self.stale_responses);
         reg.set_counter("channel.poisoned_reads", self.poisoned_reads);
+        reg.set_counter("channel.inflight", self.tracked_in_flight() as u64);
+        reg.set_counter("channel.window", self.window as u64);
+        reg.set_counter("channel.cmds_queued", self.queue.len() as u64);
+        reg.set_counter("channel.rmw_aborts", self.rmw_aborts);
         reg.set_latency("channel.command_latency", &self.command_latency);
         self.buffer.register_metrics("buffer", &mut reg);
         reg
@@ -381,6 +460,52 @@ impl DmiChannel {
     /// uncorrectable errors delivered end to end).
     pub fn poisoned_reads(&self) -> u64 {
         self.poisoned_reads
+    }
+
+    /// Records a poison delivery against this channel's counters and
+    /// trace. Called by whoever turns a poisoned completion into a
+    /// surfaced error (the blocking shim here, or the system's poll
+    /// path), so the count stays consistent across both paths.
+    pub(crate) fn note_poison_delivered(&mut self, addr: u64) {
+        self.poisoned_reads += 1;
+        self.tracer.record(TraceEvent::PoisonDelivered { addr });
+    }
+
+    /// RMW commands abandoned mid-flight with [`DmiError::RmwAborted`]
+    /// (never retried — the merge may already have been applied).
+    pub fn rmw_aborts(&self) -> u64 {
+        self.rmw_aborts
+    }
+
+    /// Tracked commands currently in flight on link tags.
+    pub fn tracked_in_flight(&self) -> usize {
+        self.pending
+            .values()
+            .filter(|p| p.tracked.is_some())
+            .count()
+    }
+
+    /// Tracked commands waiting on the software issue queue.
+    pub fn queued_commands(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True while tracked commands still need [`DmiChannel::step`] to
+    /// make progress (queued or in flight).
+    pub fn has_command_work(&self) -> bool {
+        !self.queue.is_empty() || self.pending.values().any(|p| p.tracked.is_some())
+    }
+
+    /// The in-flight window for tracked commands.
+    pub fn inflight_window(&self) -> usize {
+        self.window
+    }
+
+    /// Sets the max tracked commands in flight at once, clamped to
+    /// `1..=32` (the DMI tag space). Commands beyond the window wait
+    /// on the issue queue.
+    pub fn set_inflight_window(&mut self, window: usize) {
+        self.window = window.clamp(1, NUM_TAGS);
     }
 
     /// Swaps the downstream wire's error injector mid-run (fault
@@ -464,21 +589,26 @@ impl DmiChannel {
     }
 
     /// Drains the channel ahead of a failover: runs the simulation
-    /// until every in-flight tag completes or ages out of quarantine,
-    /// up to `budget` from now. If tags are still outstanding after
-    /// that (a dead link never completes anything), the link is reset
-    /// to reclaim them. Returns `true` when the drain was clean — no
-    /// reset was needed.
+    /// until every in-flight tag completes or ages out of quarantine
+    /// and the tracked issue queue is empty, up to `budget` from now.
+    /// If tags are still outstanding after that (a dead link never
+    /// completes anything), the link is reset to reclaim them — any
+    /// tracked commands caught by the reset are requeued (or, for RMW,
+    /// aborted) and will run their ladders against whatever buffer the
+    /// channel serves next. Returns `true` when the drain was clean —
+    /// no reset was needed.
     ///
     /// # Errors
     ///
     /// Propagates endpoint-rebuild failures from the link reset.
     pub fn quiesce(&mut self, budget: SimTime) -> Result<bool, DmiError> {
         let deadline = self.now + budget;
-        while (!self.pending.is_empty() || !self.quarantine.is_empty()) && self.now < deadline {
+        while (!self.pending.is_empty() || !self.quarantine.is_empty() || !self.queue.is_empty())
+            && self.now < deadline
+        {
             self.step();
         }
-        let clean = self.pending.is_empty() && self.quarantine.is_empty();
+        let clean = self.pending.is_empty() && self.quarantine.is_empty() && self.queue.is_empty();
         if !clean {
             self.reset_link()?;
         }
@@ -503,6 +633,15 @@ impl DmiChannel {
             self.host.attach_tracer(self.tracer.clone());
             self.buffer_ep.attach_tracer(self.tracer.clone());
         }
+        // Tracked commands caught in flight are innocent bystanders of
+        // the reset: requeue them (RMWs excepted — their merge may
+        // already have landed, so they abort with a typed error) before
+        // their tags are reclaimed. Hold the issue gate through the
+        // settle window so requeued commands cannot reuse a tag while
+        // stale responses are still arriving.
+        self.requeue_bystanders();
+        let hold = self.now + RETRAIN_SETTLE;
+        self.issue_hold = self.issue_hold.max(hold);
         // Abort outstanding commands: across the link reset no response
         // can complete them, so their tags go straight back to the pool.
         let aborted: Vec<Tag> = self.pending.keys().copied().collect();
@@ -575,6 +714,13 @@ impl DmiChannel {
         self.pending.clear();
         self.completions.clear();
         self.quarantine.clear();
+        // The software issue queue and finished-command index are
+        // processor-side SRAM: gone with the rail. CmdIds stay
+        // monotonic so stale ids can never alias post-restore work.
+        self.queue.clear();
+        self.finished.clear();
+        self.finished_order.clear();
+        self.issue_hold = SimTime::ZERO;
         self.trained = None;
         let quiet = self.buffer.power_cut(self.now);
         quiet.max(self.now)
@@ -593,11 +739,25 @@ impl DmiChannel {
 
     /// Submits a command; returns its tag.
     ///
+    /// This is the raw, untracked path: the caller owns the tag's
+    /// lifecycle and collects its [`Completion`] from
+    /// [`DmiChannel::next_completion`] / [`DmiChannel::take_completions`].
+    /// No recovery ladder runs for it. Most callers want
+    /// [`DmiChannel::enqueue_command`] instead.
+    ///
     /// # Errors
     ///
     /// [`DmiError::NoFreeTag`] when all 32 tags are outstanding — the
     /// caller must drain completions first (tag throttling).
     pub fn submit(&mut self, op: CommandOp) -> Result<Tag, DmiError> {
+        self.submit_inner(op, None)
+    }
+
+    fn submit_inner(
+        &mut self,
+        op: CommandOp,
+        tracked: Option<TrackedPending>,
+    ) -> Result<Tag, DmiError> {
         let tag = self.tags.acquire()?;
         let header = CommandHeader::from_op(&op);
         self.host
@@ -626,9 +786,240 @@ impl DmiChannel {
                 assembler,
                 data: None,
                 poisoned: false,
+                tracked,
             },
         );
         Ok(tag)
+    }
+
+    /// Enqueues a tracked command on the software issue queue and
+    /// returns its [`CmdId`]. The command issues onto a link tag as
+    /// soon as the in-flight window and tag pool allow; `step()` then
+    /// drives its per-tag recovery ladder (timeout → backoff retry →
+    /// retrain escalation → typed error). Collect its result with
+    /// [`DmiChannel::poll_command`] or [`DmiChannel::wait_for_command`].
+    ///
+    /// RMW commands are accepted but **never retried**: a timed-out or
+    /// reset-aborted RMW finishes with [`DmiError::RmwAborted`],
+    /// because the buffer may already have applied the merge and only
+    /// the done notification was lost.
+    pub fn enqueue_command(&mut self, op: CommandOp) -> CmdId {
+        let id = CmdId(self.next_cmd);
+        self.next_cmd += 1;
+        self.queue.insert(
+            (self.now, id),
+            QueuedCmd {
+                op,
+                enqueued: self.now,
+                attempt: 1,
+                retrains_used: 0,
+            },
+        );
+        id
+    }
+
+    /// Pops the oldest finished tracked command, if any. Commands
+    /// already claimed by a targeted [`DmiChannel::wait_for_command`]
+    /// are skipped. This only drains results — call
+    /// [`DmiChannel::step`] to make progress.
+    pub fn poll_command(&mut self) -> Option<(CmdId, Result<Completion, DmiError>)> {
+        while let Some(id) = self.finished_order.pop_front() {
+            if let Some(result) = self.finished.remove(&id) {
+                return Some((id, result));
+            }
+        }
+        None
+    }
+
+    /// Steps the channel until tracked command `id` finishes, then
+    /// returns its result. Other commands' results stay indexed for
+    /// their own collectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not queued, in flight, or finished (it was
+    /// never enqueued, or its result was already collected).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the command's ladder surfaced: [`DmiError::Timeout`],
+    /// [`DmiError::RmwAborted`], or a training error from a failed
+    /// retrain escalation.
+    pub fn wait_for_command(&mut self, id: CmdId) -> Result<Completion, DmiError> {
+        loop {
+            if let Some(result) = self.finished.remove(&id) {
+                return result;
+            }
+            assert!(
+                self.queue.keys().any(|&(_, q)| q == id)
+                    || self
+                        .pending
+                        .values()
+                        .any(|p| p.tracked.as_ref().is_some_and(|t| t.id == id)),
+                "wait_for_command: command {id:?} is not queued, in flight, or finished"
+            );
+            self.step();
+        }
+    }
+
+    /// Issues queued tracked commands up to the in-flight window. Runs
+    /// at the top of every step so a command enqueued at `now`
+    /// transmits its first frame in the same slot.
+    fn issue_ready(&mut self) {
+        if self.now < self.issue_hold {
+            return;
+        }
+        while self.tracked_in_flight() < self.window && self.tags.available() > 0 {
+            let Some((&key, _)) = self.queue.iter().next() else {
+                break;
+            };
+            let (not_before, id) = key;
+            if not_before > self.now {
+                break;
+            }
+            let qc = self.queue.remove(&key).expect("key just found");
+            let tracked = TrackedPending {
+                id,
+                op: qc.op.clone(),
+                enqueued: qc.enqueued,
+                attempt: qc.attempt,
+                retrains_used: qc.retrains_used,
+                deadline: self.now + self.retry.op_timeout,
+            };
+            if let Err(e) = self.submit_inner(qc.op, Some(tracked)) {
+                self.finish(id, Err(e));
+            }
+        }
+    }
+
+    /// Advances the per-tag ladders: any tracked command past its
+    /// per-attempt deadline times out here. One `find` per expiry
+    /// keeps the borrow local; the pending map holds ≤ 32 entries.
+    fn check_deadlines(&mut self) {
+        while let Some(tag) = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.tracked.as_ref().is_some_and(|t| self.now > t.deadline))
+            .map(|(&tag, _)| tag)
+        {
+            self.on_tracked_timeout(tag);
+        }
+    }
+
+    /// One rung of the per-tag degradation ladder: the attempt's tag
+    /// is quarantined, then the command either aborts (RMW), parks for
+    /// a backoff retry, escalates to a retrain, or exhausts the ladder
+    /// and surfaces [`DmiError::Timeout`].
+    fn on_tracked_timeout(&mut self, tag: Tag) {
+        let mut pending = self.pending.remove(&tag).expect("caller found tag pending");
+        let t = pending.tracked.take().expect("caller checked tracked");
+        self.tracer
+            .record(TraceEvent::TagTimeout { tag: tag.raw() });
+        self.quarantine.insert(tag, self.now);
+        if let CommandOp::Rmw { addr, .. } = t.op {
+            // Never retry an RMW: the merge may already have landed
+            // and only the done was lost, so a resubmission could
+            // apply it twice. Abort with the typed error instead.
+            self.rmw_aborts += 1;
+            self.finish(t.id, Err(DmiError::RmwAborted { addr }));
+            return;
+        }
+        if t.attempt < self.retry.max_attempts {
+            let backoff = self.retry.base_backoff * (1u64 << (t.attempt - 1));
+            self.retries_scheduled += 1;
+            self.tracer.record(TraceEvent::RetryScheduled {
+                tag: tag.raw(),
+                attempt: t.attempt,
+                backoff_ps: backoff.as_ps(),
+            });
+            self.queue.insert(
+                (self.now + backoff, t.id),
+                QueuedCmd {
+                    op: t.op,
+                    enqueued: t.enqueued,
+                    attempt: t.attempt + 1,
+                    retrains_used: t.retrains_used,
+                },
+            );
+        } else if t.retrains_used < self.retry.max_retrains {
+            self.escalate_retrain(t);
+        } else {
+            // Ladder exhausted. Reset the link so the abandoned
+            // attempts cannot be delivered by a later replay (a stale
+            // response must never alias a reused tag once the fault
+            // clears), then surface the typed error. Tracked
+            // bystanders are requeued by the reset itself.
+            let waited = self.now - t.enqueued;
+            let result = match self.reset_link() {
+                Ok(()) => Err(DmiError::Timeout {
+                    tag: tag.raw(),
+                    waited,
+                }),
+                Err(e) => Err(e),
+            };
+            self.finish(t.id, result);
+        }
+    }
+
+    /// Escalates a timed-out command to a full link retrain: the
+    /// command restarts its ladder with a fresh attempt budget, every
+    /// tracked bystander is requeued by the reset, and a failed
+    /// retrain is charged to the escalating command alone.
+    fn escalate_retrain(&mut self, t: TrackedPending) {
+        let key = (self.now, t.id);
+        let id = t.id;
+        self.queue.insert(
+            key,
+            QueuedCmd {
+                op: t.op,
+                enqueued: t.enqueued,
+                attempt: 1,
+                retrains_used: t.retrains_used + 1,
+            },
+        );
+        if let Err(e) = self.retrain() {
+            self.queue.remove(&key);
+            self.finish(id, Err(e));
+        }
+    }
+
+    /// Takes the ladder state out of every tracked in-flight command
+    /// ahead of a link reset and requeues it (attempt budget intact —
+    /// bystanders are not penalized for someone else's hang). RMW
+    /// bystanders abort with [`DmiError::RmwAborted`] instead: their
+    /// merge may already have been applied.
+    fn requeue_bystanders(&mut self) {
+        let mut requeue = Vec::new();
+        let mut abort = Vec::new();
+        for p in self.pending.values_mut() {
+            if let Some(t) = p.tracked.take() {
+                if let CommandOp::Rmw { addr, .. } = t.op {
+                    abort.push((t.id, addr));
+                } else {
+                    requeue.push(t);
+                }
+            }
+        }
+        for t in requeue {
+            self.queue.insert(
+                (self.now, t.id),
+                QueuedCmd {
+                    op: t.op,
+                    enqueued: t.enqueued,
+                    attempt: t.attempt,
+                    retrains_used: t.retrains_used,
+                },
+            );
+        }
+        for (id, addr) in abort {
+            self.rmw_aborts += 1;
+            self.finish(id, Err(DmiError::RmwAborted { addr }));
+        }
+    }
+
+    fn finish(&mut self, id: CmdId, result: Result<Completion, DmiError>) {
+        self.finished.insert(id, result);
+        self.finished_order.push_back(id);
     }
 
     /// Advances the channel by one frame slot.
@@ -636,6 +1027,9 @@ impl DmiChannel {
         let now = self.now;
         // All trace events this slot are stamped with the slot time.
         self.tracer.advance(now);
+        // Issue queued tracked commands into the window first, so they
+        // transmit this very slot.
+        self.issue_ready();
         // Host transmits this slot's downstream frame.
         self.down.transmit(now, self.host.tick_tx());
         // Buffer receives any arrived downstream frames.
@@ -656,6 +1050,7 @@ impl DmiChannel {
             }
         }
         self.now += self.slot;
+        self.check_deadlines();
         if !self.quarantine.is_empty() {
             self.age_quarantine();
         }
@@ -664,22 +1059,23 @@ impl DmiChannel {
     /// Quarantined tags whose late response never materialized within
     /// two op-timeouts are declared dead and returned to the pool: by
     /// then any response still in flight would long since have been
-    /// delivered or lost, so reuse is unambiguous.
+    /// delivered or lost, so reuse is unambiguous. Allocation-free —
+    /// this runs on the hot path while any tag is quarantined.
     fn age_quarantine(&mut self) {
         let ttl = self.retry.op_timeout * 2;
         let now = self.now;
-        let expired: Vec<Tag> = self
-            .quarantine
-            .iter()
-            .filter(|&(_, &parked)| now - parked > ttl)
-            .map(|(&tag, _)| tag)
-            .collect();
-        for tag in expired {
-            self.quarantine.remove(&tag);
-            if self.tags.reclaim(tag) {
-                self.tags_reclaimed += 1;
+        let tags = &mut self.tags;
+        let reclaimed = &mut self.tags_reclaimed;
+        self.quarantine.retain(|&tag, &mut parked| {
+            if now - parked > ttl {
+                if tags.reclaim(tag) {
+                    *reclaimed += 1;
+                }
+                false
+            } else {
+                true
             }
-        }
+        });
     }
 
     fn handle_response(&mut self, now: SimTime, payload: UpstreamPayload) {
@@ -698,11 +1094,16 @@ impl DmiChannel {
                     self.stale_responses += 1;
                     return;
                 };
-                pending.poisoned |= poison;
-                let Some(assembler) = pending.assembler.as_mut() else {
+                // A data beat for a pending command that is not a read
+                // is a stale straggler aliasing a reused tag: absorb it
+                // *before* latching its poison bit, or garbage could
+                // falsely poison a write or flush completion.
+                if pending.assembler.is_none() {
                     self.stale_responses += 1;
                     return;
-                };
+                }
+                pending.poisoned |= poison;
+                let assembler = pending.assembler.as_mut().expect("checked above");
                 match assembler.try_add_beat(beat, &data) {
                     Ok(true) => {
                         let asm = pending.assembler.take().expect("assembler checked above");
@@ -727,7 +1128,7 @@ impl DmiChannel {
     }
 
     fn complete(&mut self, now: SimTime, tag: Tag) {
-        let Some(pending) = self.pending.remove(&tag) else {
+        let Some(mut pending) = self.pending.remove(&tag) else {
             // A late done for a command whose waiter already gave up:
             // the buffer is alive after all, so a quarantined tag is
             // proven drained and safe to reuse. Dones for
@@ -745,14 +1146,19 @@ impl DmiChannel {
             return;
         }
         self.command_latency.record(now - pending.issued);
-        self.completions.push_back(Completion {
+        let tracked = pending.tracked.take();
+        let completion = Completion {
             tag,
             completed_at: now,
             issued_at: pending.issued,
             data: pending.data,
             addr: pending.addr,
             poisoned: pending.poisoned,
-        });
+        };
+        match tracked {
+            Some(t) => self.finish(t.id, Ok(completion)),
+            None => self.completions.push_back(completion),
+        }
     }
 
     /// Runs until time `t`.
@@ -782,84 +1188,15 @@ impl DmiChannel {
         self.completions.drain(..).collect()
     }
 
-    /// Steps the channel until `tag` completes or `timeout` of sim
-    /// time elapses. Completions for *other* tags stay queued in
-    /// arrival order, so interleaved callers see each of them exactly
-    /// once. On timeout the tag is quarantined (its pending state
-    /// dropped, the tag held out of the pool until proven safe) and a
-    /// typed [`DmiError::Timeout`] is returned.
-    fn wait_for_tag(&mut self, tag: Tag, timeout: SimTime) -> Result<Completion, DmiError> {
-        let start = self.now;
-        let deadline = start + timeout;
-        loop {
-            if let Some(pos) = self.completions.iter().position(|c| c.tag == tag) {
-                return Ok(self.completions.remove(pos).expect("position just found"));
-            }
-            if self.now > deadline {
-                self.tracer
-                    .record(TraceEvent::TagTimeout { tag: tag.raw() });
-                self.pending.remove(&tag);
-                self.quarantine.insert(tag, self.now);
-                return Err(DmiError::Timeout {
-                    tag: tag.raw(),
-                    waited: self.now - start,
-                });
-            }
-            self.step();
-        }
-    }
-
-    /// Submits `op` and drives the degradation ladder: bounded
-    /// attempts with exponential sim-time backoff, then a full link
-    /// retrain with a fresh attempt budget, then the typed error.
-    fn run_with_recovery(&mut self, op: CommandOp) -> Result<Completion, DmiError> {
-        let mut attempt: u32 = 1;
-        let mut backoff = self.retry.base_backoff;
-        let mut retrains_left = self.retry.max_retrains;
-        loop {
-            let tag = self.submit(op.clone())?;
-            let err = match self.wait_for_tag(tag, self.retry.op_timeout) {
-                Ok(c) => return Ok(c),
-                Err(e) => e,
-            };
-            if !matches!(err, DmiError::Timeout { .. }) {
-                return Err(err);
-            }
-            if attempt < self.retry.max_attempts {
-                self.retries_scheduled += 1;
-                self.tracer.record(TraceEvent::RetryScheduled {
-                    tag: tag.raw(),
-                    attempt,
-                    backoff_ps: backoff.as_ps(),
-                });
-                let resume = self.now + backoff;
-                self.run_until(resume);
-                attempt += 1;
-                backoff = backoff * 2;
-            } else if retrains_left > 0 {
-                retrains_left -= 1;
-                self.retrain()?;
-                attempt = 1;
-                backoff = self.retry.base_backoff;
-            } else {
-                // Ladder exhausted. Reset the link so the abandoned
-                // attempts cannot be delivered by a later replay (a
-                // stale response must never alias a reused tag once
-                // the fault clears), then surface the typed error.
-                self.reset_link()?;
-                return Err(err);
-            }
-        }
-    }
-
-    /// Convenience: submit a read and block until its data returns,
-    /// driving the recovery ladder (retry → backoff → retrain) on
-    /// protocol hangs. Completions for other tags are left queued for
-    /// their own waiters.
+    /// Convenience: enqueue a read on the tracked path and block until
+    /// its data returns, with the full per-tag recovery ladder (retry
+    /// → backoff → retrain) behind it. A thin shim over
+    /// [`DmiChannel::enqueue_command`] / [`DmiChannel::wait_for_command`];
+    /// results for other tracked commands stay indexed for their own
+    /// collectors.
     ///
     /// # Errors
     ///
-    /// * [`DmiError::NoFreeTag`] when all 32 tags are outstanding.
     /// * [`DmiError::Timeout`] when the ladder is exhausted and the
     ///   buffer still has not answered (the tag is quarantined for
     ///   reclamation, never leaked).
@@ -868,10 +1205,10 @@ impl DmiChannel {
     ///   never be consumed silently.
     /// * Training errors if an escalated retrain fails.
     pub fn read_line_blocking(&mut self, addr: u64) -> Result<(CacheLine, SimTime), DmiError> {
-        let c = self.run_with_recovery(CommandOp::Read { addr })?;
+        let id = self.enqueue_command(CommandOp::Read { addr });
+        let c = self.wait_for_command(id)?;
         if c.poisoned {
-            self.poisoned_reads += 1;
-            self.tracer.record(TraceEvent::PoisonDelivered { addr });
+            self.note_poison_delivered(addr);
             return Err(DmiError::Poisoned { addr });
         }
         let data = c
@@ -880,15 +1217,18 @@ impl DmiChannel {
         Ok((data, c.completed_at))
     }
 
-    /// Convenience: submit a write and block until durable, with the
-    /// same recovery ladder as [`DmiChannel::read_line_blocking`].
-    /// Retried writes re-execute the store, which is idempotent.
+    /// Convenience: enqueue a write on the tracked path and block
+    /// until durable, with the same recovery ladder as
+    /// [`DmiChannel::read_line_blocking`]. Retried writes re-execute
+    /// the store, which is idempotent — unlike RMW, which the ladder
+    /// refuses to retry (see [`DmiChannel::enqueue_command`]).
     ///
     /// # Errors
     ///
     /// As for [`DmiChannel::read_line_blocking`].
     pub fn write_line_blocking(&mut self, addr: u64, data: CacheLine) -> Result<SimTime, DmiError> {
-        let c = self.run_with_recovery(CommandOp::Write { addr, data })?;
+        let id = self.enqueue_command(CommandOp::Write { addr, data });
+        let c = self.wait_for_command(id)?;
         Ok(c.completed_at)
     }
 }
@@ -1079,6 +1419,67 @@ mod tests {
         }
         let (result, _) = ch.read_line_blocking(0).unwrap();
         assert_eq!(result.word(0), 12);
+    }
+
+    #[test]
+    fn stale_read_beat_cannot_poison_a_write() {
+        // Regression: a straggler data beat aliasing a reused tag used
+        // to latch its poison bit onto whatever command now owned the
+        // tag — even a write, which has no assembler and will never
+        // consume data. The beat must be absorbed as stale *before*
+        // poison is recorded.
+        use contutto_dmi::frame::UPSTREAM_BEAT_BYTES;
+        let mut ch = centaur_channel();
+        let tag = ch
+            .submit(CommandOp::Write {
+                addr: 0x2000,
+                data: CacheLine::patterned(3),
+            })
+            .unwrap();
+        let now = ch.now();
+        ch.handle_response(
+            now,
+            UpstreamPayload::ReadData {
+                tag,
+                beat: 0,
+                data: [0u8; UPSTREAM_BEAT_BYTES],
+                poison: true,
+            },
+        );
+        assert!(ch.stale_responses() >= 1, "beat not counted as stale");
+        let c = ch
+            .next_completion(ch.now() + SimTime::from_us(50))
+            .expect("write completes");
+        assert_eq!(c.tag, tag);
+        assert!(!c.poisoned, "stale beat poisoned a write completion");
+    }
+
+    #[test]
+    fn tracked_rmw_is_aborted_not_retried() {
+        // An RMW whose done notification is lost must NOT ride the
+        // retry ladder: the buffer may already have applied the merge,
+        // so a resubmission would double-apply it. The ladder surfaces
+        // RmwAborted instead and schedules zero retries.
+        let mut ch = centaur_channel();
+        ch.set_retry_policy(RetryPolicy {
+            op_timeout: SimTime::from_us(3),
+            max_attempts: 3,
+            base_backoff: SimTime::from_ns(500),
+            max_retrains: 0,
+        });
+        ch.set_up_injector(BitErrorInjector::bernoulli(1.0, 42));
+        let id = ch.enqueue_command(CommandOp::Rmw {
+            addr: 0x3000,
+            op: RmwOp::AtomicAdd,
+            data: CacheLine::patterned(1),
+        });
+        let err = ch.wait_for_command(id).unwrap_err();
+        assert!(
+            matches!(err, DmiError::RmwAborted { addr: 0x3000 }),
+            "got {err:?}"
+        );
+        assert!(ch.rmw_aborts() >= 1);
+        assert_eq!(ch.retries_scheduled(), 0, "rmw must never retry");
     }
 
     #[test]

@@ -14,14 +14,14 @@
 //! copy frontier; accesses with nowhere to go return typed errors,
 //! never panics.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use contutto_dmi::command::CacheLine;
+use contutto_dmi::command::{CacheLine, CommandOp};
 use contutto_dmi::{DmiError, PowerRestoreOutcome};
 use contutto_memdev::MediaKind;
 use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
-use crate::channel::RetryPolicy;
+use crate::channel::{CmdId, RetryPolicy};
 use crate::failover::{
     FailoverMode, FailoverStats, Migration, MIGRATION_BATCH, MIGRATION_LINE_COST,
     MIGRATION_PROGRESS_STRIDE,
@@ -36,6 +36,12 @@ use crate::memmap::{ChannelMemory, MemoryMap, RouteError};
 /// enough for in-flight commands to complete or time out before the
 /// link is reset to reclaim whatever is left.
 const QUIESCE_TIMEOUTS: u64 = 3;
+
+/// How many times one pipelined request may be re-routed after a
+/// timeout before its error is surfaced. One redirect covers the
+/// common failover (primary → spare/mirror); the second covers a
+/// remap that happened while the retry was in flight.
+const MAX_REDIRECTS: u32 = 2;
 
 /// Hold-up energy charged per written cache line pushed out of the
 /// core caches in EPOW stage 1, in nanojoules.
@@ -187,6 +193,53 @@ impl From<DmiError> for SystemError {
     }
 }
 
+/// Identifier of a pipelined memory request submitted with
+/// [`Power8System::submit_load`] / [`Power8System::submit_store`].
+/// Monotonic per system; never reused, even across failover redirects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(u64);
+
+impl ReqId {
+    /// The raw monotonic counter value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A finished pipelined memory request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemCompletion {
+    /// The physical address the request targeted.
+    pub phys: u64,
+    /// Read data, for loads.
+    pub data: Option<CacheLine>,
+    /// When the owning channel delivered the completion.
+    pub completed_at: SimTime,
+}
+
+/// A pipelined request in flight: where it currently routes, and how
+/// many failover redirects it has already ridden.
+#[derive(Debug, Clone)]
+struct OutstandingReq {
+    phys: u64,
+    slot: usize,
+    line_addr: u64,
+    /// `Some` for stores (the data to land, mirrored on completion);
+    /// `None` for loads.
+    data: Option<CacheLine>,
+    redirects: u32,
+}
+
+/// Counters for the pipelined submit/poll path, surfaced as
+/// `system.mlp.*` metrics.
+#[derive(Debug, Clone, Default)]
+struct MlpStats {
+    submitted: u64,
+    completed: u64,
+    redirects: u64,
+    peak_outstanding: u64,
+}
+
 /// A booted system.
 pub struct Power8System {
     channels: Vec<BootedChannel>,
@@ -210,6 +263,15 @@ pub struct Power8System {
     /// NVDIMM slots whose supercap save is armed — the FSP's record,
     /// queried by EPOW stage 4 without touching the devices.
     nvdimm_armed: BTreeSet<usize>,
+    next_req: u64,
+    /// Pipelined requests in flight, keyed by request id.
+    outstanding: BTreeMap<u64, OutstandingReq>,
+    /// Maps a channel-level command back to its request:
+    /// (slot, channel CmdId) → request id. Rebuilt per redirect.
+    route_back: BTreeMap<(usize, CmdId), u64>,
+    /// Finished pipelined requests awaiting [`Power8System::poll`].
+    finished_sys: VecDeque<(ReqId, Result<MemCompletion, SystemError>)>,
+    mlp_stats: MlpStats,
 }
 
 impl std::fmt::Debug for Power8System {
@@ -271,6 +333,11 @@ impl Power8System {
             powered: true,
             power_stats: PowerStats::default(),
             nvdimm_armed: BTreeSet::new(),
+            next_req: 0,
+            outstanding: BTreeMap::new(),
+            route_back: BTreeMap::new(),
+            finished_sys: VecDeque::new(),
+            mlp_stats: MlpStats::default(),
         };
         // The boot report's arming list is a promise; keep it by
         // actually arming the supercap save on each NVDIMM buffer.
@@ -558,6 +625,11 @@ impl Power8System {
         self.written.clear();
         self.inherited_poison.clear();
         self.migration = None;
+        // Pipelined requests in flight die with the rail: their ids
+        // stay monotonic, but no completion will ever be delivered.
+        self.outstanding.clear();
+        self.route_back.clear();
+        self.finished_sys.clear();
         self.powered = false;
         quiet
     }
@@ -693,6 +765,14 @@ impl Power8System {
             "system.failover.migration_backlog",
             self.migration_backlog(),
         );
+        reg.set_counter("system.mlp.submitted", self.mlp_stats.submitted);
+        reg.set_counter("system.mlp.completed", self.mlp_stats.completed);
+        reg.set_counter("system.mlp.redirects", self.mlp_stats.redirects);
+        reg.set_counter(
+            "system.mlp.peak_outstanding",
+            self.mlp_stats.peak_outstanding,
+        );
+        reg.set_counter("system.mlp.outstanding", self.outstanding.len() as u64);
         reg.set_counter(
             "system.fsp.deconfigured_channels",
             self.fsp.deconfigured_channels().len() as u64,
@@ -727,8 +807,397 @@ impl Power8System {
         Some((region.channel, offset))
     }
 
+    /// Submits a pipelined load: routes `phys` through the memory map,
+    /// enqueues a tracked read on the owning channel, and returns a
+    /// [`ReqId`] immediately. Drive the system with
+    /// [`Power8System::poll`] and collect the result there (or block
+    /// on it with [`Power8System::wait_req`]). Up to the per-channel
+    /// in-flight window ([`Power8System::set_mlp_window`]) of requests
+    /// overlap on each channel.
+    ///
+    /// # Errors
+    ///
+    /// Immediate routing failures only: [`SystemError::PoweredOff`],
+    /// [`SystemError::Route`] for unmapped addresses, and
+    /// [`SystemError::Fsp`] when the owning channel is already
+    /// deconfigured. Channel faults surface later, per completion.
+    pub fn submit_load(&mut self, phys: u64) -> Result<ReqId, SystemError> {
+        self.submit_req(phys, None)
+    }
+
+    /// Submits a pipelined store; otherwise as
+    /// [`Power8System::submit_load`]. The host's written-line
+    /// bookkeeping and the mirror fan-out happen when the completion
+    /// is collected, preserving the blocking path's semantics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Power8System::submit_load`].
+    pub fn submit_store(&mut self, phys: u64, data: CacheLine) -> Result<ReqId, SystemError> {
+        self.submit_req(phys, Some(data))
+    }
+
+    fn submit_req(&mut self, phys: u64, data: Option<CacheLine>) -> Result<ReqId, SystemError> {
+        if !self.powered {
+            return Err(SystemError::PoweredOff);
+        }
+        // Each submission advances the background evacuation a batch,
+        // so migration pacing stays proportional to demand traffic.
+        self.pump_migration();
+        let (slot, local) = self
+            .route(phys)
+            .ok_or(SystemError::Route(RouteError::Unmapped { phys }))?;
+        self.fsp.check_channel(slot)?;
+        let line_addr = local & !127;
+        match data {
+            // A demand read during evacuation is pulled ahead of the
+            // copy frontier so the spare serves current data.
+            None => self.demand_pull(slot, line_addr),
+            // A demand write supersedes any stale copy still queued
+            // for this line — the migrator must not overwrite newer
+            // data.
+            Some(_) => {
+                if let Some(mig) = self.migration.as_mut() {
+                    if mig.to == slot && mig.pending.remove(&line_addr) {
+                        mig.migrated += 1;
+                    }
+                }
+            }
+        }
+        let op = match data {
+            None => CommandOp::Read { addr: line_addr },
+            Some(d) => CommandOp::Write {
+                addr: line_addr,
+                data: d,
+            },
+        };
+        let cmd =
+            {
+                let ch = self.channel_mut(slot).ok_or(SystemError::Fsp(
+                    FspError::ChannelDeconfigured { channel: slot },
+                ))?;
+                ch.channel.enqueue_command(op)
+            };
+        let id = self.next_req;
+        self.next_req += 1;
+        self.outstanding.insert(
+            id,
+            OutstandingReq {
+                phys,
+                slot,
+                line_addr,
+                data,
+                redirects: 0,
+            },
+        );
+        self.route_back.insert((slot, cmd), id);
+        self.mlp_stats.submitted += 1;
+        let depth = self.outstanding.len() as u64;
+        if depth > self.mlp_stats.peak_outstanding {
+            self.mlp_stats.peak_outstanding = depth;
+        }
+        Ok(ReqId(id))
+    }
+
+    /// One batched pump round: advances the background migration, steps
+    /// every channel that has tracked work by one frame slot (in slot
+    /// order, deterministically), and returns every pipelined request
+    /// that finished — in finish order, failover/poison/power semantics
+    /// already applied per completion. Call in a loop to drive the
+    /// system; an empty return just means nothing finished this round.
+    pub fn poll(&mut self) -> Vec<(ReqId, Result<MemCompletion, SystemError>)> {
+        if self.powered {
+            self.pump_migration();
+            self.pump_channels();
+        }
+        self.finished_sys.drain(..).collect()
+    }
+
+    /// Runs [`Power8System::poll`] rounds until no pipelined request
+    /// is outstanding, returning everything that finished. Stops early
+    /// if the system powers off mid-drain.
+    pub fn drain(&mut self) -> Vec<(ReqId, Result<MemCompletion, SystemError>)> {
+        let mut out = Vec::new();
+        loop {
+            out.extend(self.poll());
+            if self.outstanding.is_empty() || !self.powered {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Pipelined requests currently in flight.
+    pub fn outstanding_reqs(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Applies one tracked-command in-flight window to every channel
+    /// (clamped to `1..=32`, the DMI tag space): the knob that turns
+    /// memory-level parallelism up and down.
+    pub fn set_mlp_window(&mut self, window: usize) {
+        for c in &mut self.channels {
+            c.channel.set_inflight_window(window);
+        }
+    }
+
+    /// Blocks on one pipelined request: pump rounds run until `id`
+    /// finishes. Other requests' results stay queued for
+    /// [`Power8System::poll`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever the request's ladder surfaced, plus
+    /// [`SystemError::PoweredOff`] if the rail dropped while waiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never submitted or its result was already
+    /// collected.
+    pub fn wait_req(&mut self, id: ReqId) -> Result<MemCompletion, SystemError> {
+        loop {
+            if let Some(pos) = self.finished_sys.iter().position(|(r, _)| *r == id) {
+                return self
+                    .finished_sys
+                    .remove(pos)
+                    .expect("position just found")
+                    .1;
+            }
+            if !self.powered {
+                return Err(SystemError::PoweredOff);
+            }
+            assert!(
+                self.outstanding.contains_key(&id.0),
+                "wait_req: request {id:?} was never submitted or already collected"
+            );
+            self.pump_migration();
+            self.pump_channels();
+        }
+    }
+
+    /// Steps every channel with tracked work one slot and collects
+    /// finished channel commands into finished system requests. Does
+    /// not advance the migration — callers own that pacing.
+    fn pump_channels(&mut self) {
+        for idx in 0..self.channels.len() {
+            if self.channels[idx].channel.has_command_work() {
+                self.channels[idx].channel.step();
+            }
+            self.collect_channel(idx);
+        }
+    }
+
+    /// Drains one channel's finished tracked commands and translates
+    /// them into request completions.
+    fn collect_channel(&mut self, idx: usize) {
+        loop {
+            let slot = self.channels[idx].slot;
+            let Some((cmd, result)) = self.channels[idx].channel.poll_command() else {
+                return;
+            };
+            let Some(req_id) = self.route_back.remove(&(slot, cmd)) else {
+                // A tracked command someone enqueued directly on the
+                // channel, not through the system: not ours to route.
+                continue;
+            };
+            self.translate_completion(req_id, result);
+        }
+    }
+
+    /// Applies the blocking path's per-access semantics to one
+    /// finished channel command: poison surfacing, written-line and
+    /// inherited-poison bookkeeping, the mirror fan-out, and the error
+    /// ladder (verdict → failover → mirror fallback → redirect).
+    fn translate_completion(
+        &mut self,
+        req_id: u64,
+        result: Result<crate::channel::Completion, DmiError>,
+    ) {
+        let req = self
+            .outstanding
+            .get(&req_id)
+            .cloned()
+            .expect("route_back entry implies an outstanding request");
+        match result {
+            Ok(c) => match req.data {
+                None => {
+                    if c.poisoned {
+                        if let Some(ch) = self.channel_mut(req.slot) {
+                            ch.channel.note_poison_delivered(req.line_addr);
+                        }
+                        self.finish_req_error(
+                            req_id,
+                            DmiError::Poisoned {
+                                addr: req.line_addr,
+                            },
+                        );
+                        return;
+                    }
+                    match c.data {
+                        Some(data) => self.finish_req(
+                            req_id,
+                            Ok(MemCompletion {
+                                phys: req.phys,
+                                data: Some(data),
+                                completed_at: c.completed_at,
+                            }),
+                        ),
+                        None => self.finish_req(
+                            req_id,
+                            Err(SystemError::Dmi(DmiError::MalformedFrame(
+                                "read completed without data",
+                            ))),
+                        ),
+                    }
+                }
+                Some(data) => {
+                    self.written
+                        .entry(req.slot)
+                        .or_default()
+                        .insert(req.line_addr);
+                    // A successful full-line demand write overwrites
+                    // any rot the line inherited from an evacuation.
+                    if let Some(lines) = self.inherited_poison.get_mut(&req.slot) {
+                        lines.remove(&req.line_addr);
+                    }
+                    self.mirror_store(req.slot, req.line_addr, data);
+                    self.finish_req(
+                        req_id,
+                        Ok(MemCompletion {
+                            phys: req.phys,
+                            data: None,
+                            completed_at: c.completed_at,
+                        }),
+                    );
+                }
+            },
+            Err(err) => self.finish_req_error(req_id, err),
+        }
+    }
+
+    /// The per-completion error ladder, ported from the old blocking
+    /// helpers: classify the error against the owning channel's budget,
+    /// fail over if the FSP pulled the channel, serve mirrored reads
+    /// from the shadow copy, and re-route timed-out requests whose
+    /// address now maps elsewhere — the route comparison (rather than a
+    /// per-call flag) also redirects sibling requests that were already
+    /// in flight when another request's timeout triggered the failover.
+    fn finish_req_error(&mut self, req_id: u64, err: DmiError) {
+        let req = self
+            .outstanding
+            .get(&req_id)
+            .cloned()
+            .expect("error for a request not outstanding");
+        self.apply_error_verdict(req.slot, req.line_addr, &err);
+        if self.fsp.is_deconfigured(req.slot) {
+            let _ = self.try_failover(req.slot);
+        }
+        // Mirrored pairs fail reads over per-access: a poisoned or
+        // timed-out primary read is served from the shadow copy.
+        if req.data.is_none() {
+            if let FailoverMode::Mirrored { primary, mirror } = self.mode {
+                if req.slot == primary
+                    && matches!(err, DmiError::Poisoned { .. } | DmiError::Timeout { .. })
+                    && !self.fsp.is_deconfigured(mirror)
+                {
+                    let fallback = self
+                        .channel_mut(mirror)
+                        .and_then(|ch| ch.channel.read_line_blocking(req.line_addr).ok());
+                    if let Some((line, at)) = fallback {
+                        self.stats.mirror_read_fallbacks += 1;
+                        self.tracer
+                            .record(TraceEvent::MirrorReadFallback { addr: req.phys });
+                        self.finish_req(
+                            req_id,
+                            Ok(MemCompletion {
+                                phys: req.phys,
+                                data: Some(line),
+                                completed_at: at,
+                            }),
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+        if matches!(err, DmiError::Timeout { .. }) && req.redirects < MAX_REDIRECTS {
+            if let Some((new_slot, _)) = self.route(req.phys) {
+                if new_slot != req.slot {
+                    self.redirect_req(req_id);
+                    return;
+                }
+            }
+        }
+        self.finish_req(req_id, Err(SystemError::Dmi(err)));
+    }
+
+    /// Re-routes an outstanding request through the memory map after a
+    /// failover moved its address to a new slot.
+    fn redirect_req(&mut self, req_id: u64) {
+        let req = self
+            .outstanding
+            .get(&req_id)
+            .cloned()
+            .expect("redirect of a request not outstanding");
+        let Some((slot, local)) = self.route(req.phys) else {
+            self.finish_req(
+                req_id,
+                Err(SystemError::Route(RouteError::Unmapped { phys: req.phys })),
+            );
+            return;
+        };
+        if let Err(e) = self.fsp.check_channel(slot) {
+            self.finish_req(req_id, Err(SystemError::Fsp(e)));
+            return;
+        }
+        let line_addr = local & !127;
+        match req.data {
+            None => self.demand_pull(slot, line_addr),
+            Some(_) => {
+                if let Some(mig) = self.migration.as_mut() {
+                    if mig.to == slot && mig.pending.remove(&line_addr) {
+                        mig.migrated += 1;
+                    }
+                }
+            }
+        }
+        let op = match req.data {
+            None => CommandOp::Read { addr: line_addr },
+            Some(d) => CommandOp::Write {
+                addr: line_addr,
+                data: d,
+            },
+        };
+        let Some(ch) = self.channel_mut(slot) else {
+            self.finish_req(
+                req_id,
+                Err(SystemError::Fsp(FspError::ChannelDeconfigured {
+                    channel: slot,
+                })),
+            );
+            return;
+        };
+        let cmd = ch.channel.enqueue_command(op);
+        let entry = self
+            .outstanding
+            .get_mut(&req_id)
+            .expect("checked outstanding above");
+        entry.slot = slot;
+        entry.line_addr = line_addr;
+        entry.redirects += 1;
+        self.route_back.insert((slot, cmd), req_id);
+        self.mlp_stats.redirects += 1;
+    }
+
+    fn finish_req(&mut self, req_id: u64, result: Result<MemCompletion, SystemError>) {
+        self.outstanding.remove(&req_id);
+        self.mlp_stats.completed += 1;
+        self.finished_sys.push_back((ReqId(req_id), result));
+    }
+
     /// Software cache-line load at a physical address, through the
-    /// owning channel.
+    /// owning channel. A thin shim over the pipelined path:
+    /// [`Power8System::submit_load`] + [`Power8System::wait_req`].
     ///
     /// # Errors
     ///
@@ -737,71 +1206,24 @@ impl Power8System {
     /// with nowhere to fail over, [`SystemError::Dmi`] for channel
     /// faults that survived the recovery ladder.
     pub fn load_line(&mut self, phys: u64) -> Result<(CacheLine, SimTime), SystemError> {
-        if !self.powered {
-            return Err(SystemError::PoweredOff);
-        }
-        self.pump_migration();
-        let (slot, local) = self
-            .route(phys)
-            .ok_or(SystemError::Route(RouteError::Unmapped { phys }))?;
-        self.fsp.check_channel(slot)?;
-        let line_addr = local & !127;
-        self.demand_pull(slot, line_addr);
-        let result =
-            {
-                let ch = self.channel_mut(slot).ok_or(SystemError::Fsp(
-                    FspError::ChannelDeconfigured { channel: slot },
-                ))?;
-                ch.channel.read_line_blocking(line_addr)
-            };
-        match result {
-            Ok(ok) => Ok(ok),
-            Err(err) => self.handle_load_error(phys, slot, line_addr, err),
-        }
+        let id = self.submit_load(phys)?;
+        let c = self.wait_req(id)?;
+        let data = c.data.ok_or(SystemError::Dmi(DmiError::MalformedFrame(
+            "read completed without data",
+        )))?;
+        Ok((data, c.completed_at))
     }
 
-    /// Software cache-line store.
+    /// Software cache-line store: shim over
+    /// [`Power8System::submit_store`] + [`Power8System::wait_req`].
     ///
     /// # Errors
     ///
     /// Same ladder as [`Self::load_line`].
     pub fn store_line(&mut self, phys: u64, data: CacheLine) -> Result<SimTime, SystemError> {
-        if !self.powered {
-            return Err(SystemError::PoweredOff);
-        }
-        self.pump_migration();
-        let (slot, local) = self
-            .route(phys)
-            .ok_or(SystemError::Route(RouteError::Unmapped { phys }))?;
-        self.fsp.check_channel(slot)?;
-        let line_addr = local & !127;
-        // A demand write supersedes any stale copy still queued for
-        // this line — the migrator must not overwrite newer data.
-        if let Some(mig) = self.migration.as_mut() {
-            if mig.to == slot && mig.pending.remove(&line_addr) {
-                mig.migrated += 1;
-            }
-        }
-        let result =
-            {
-                let ch = self.channel_mut(slot).ok_or(SystemError::Fsp(
-                    FspError::ChannelDeconfigured { channel: slot },
-                ))?;
-                ch.channel.write_line_blocking(line_addr, data)
-            };
-        match result {
-            Ok(t) => {
-                self.written.entry(slot).or_default().insert(line_addr);
-                // A successful full-line demand write overwrites any
-                // rot the line inherited from an evacuation.
-                if let Some(lines) = self.inherited_poison.get_mut(&slot) {
-                    lines.remove(&line_addr);
-                }
-                self.mirror_store(slot, line_addr, data);
-                Ok(t)
-            }
-            Err(err) => self.handle_store_error(phys, slot, line_addr, data, err),
-        }
+        let id = self.submit_store(phys, data)?;
+        let c = self.wait_req(id)?;
+        Ok(c.completed_at)
     }
 
     /// Fans a successful primary store out to the mirror.
@@ -854,65 +1276,6 @@ impl Power8System {
         {
             self.fsp.deconfigure(now, slot, "recovery ladder exhausted");
         }
-    }
-
-    fn handle_load_error(
-        &mut self,
-        phys: u64,
-        slot: usize,
-        line_addr: u64,
-        err: DmiError,
-    ) -> Result<(CacheLine, SimTime), SystemError> {
-        self.apply_error_verdict(slot, line_addr, &err);
-        let failed_over = if self.fsp.is_deconfigured(slot) {
-            self.try_failover(slot)
-        } else {
-            false
-        };
-        // Mirrored pairs fail reads over per-access: a poisoned or
-        // timed-out primary read is served from the shadow copy.
-        if let FailoverMode::Mirrored { primary, mirror } = self.mode {
-            if slot == primary
-                && matches!(err, DmiError::Poisoned { .. } | DmiError::Timeout { .. })
-                && !self.fsp.is_deconfigured(mirror)
-            {
-                let fallback = self
-                    .channel_mut(mirror)
-                    .and_then(|ch| ch.channel.read_line_blocking(line_addr).ok());
-                if let Some(ok) = fallback {
-                    self.stats.mirror_read_fallbacks += 1;
-                    self.tracer
-                        .record(TraceEvent::MirrorReadFallback { addr: phys });
-                    return Ok(ok);
-                }
-            }
-        }
-        if failed_over && matches!(err, DmiError::Timeout { .. }) {
-            // The map now points at the failover target; one retry
-            // through the new route serves the access.
-            return self.load_line(phys);
-        }
-        Err(SystemError::Dmi(err))
-    }
-
-    fn handle_store_error(
-        &mut self,
-        phys: u64,
-        slot: usize,
-        line_addr: u64,
-        data: CacheLine,
-        err: DmiError,
-    ) -> Result<SimTime, SystemError> {
-        self.apply_error_verdict(slot, line_addr, &err);
-        let failed_over = if self.fsp.is_deconfigured(slot) {
-            self.try_failover(slot)
-        } else {
-            false
-        };
-        if failed_over && matches!(err, DmiError::Timeout { .. }) {
-            return self.store_line(phys, data);
-        }
-        Err(SystemError::Dmi(err))
     }
 
     /// Concurrent maintenance (paper §3.2): an operator pulls a buffer

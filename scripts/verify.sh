@@ -34,4 +34,9 @@ cargo run -p contutto-bench --release --bin faults --quiet -- --failover --smoke
 echo "==> power-fail campaign (smoke)"
 cargo run -p contutto-bench --release --bin faults --quiet -- --power --smoke
 
+echo "==> mlp pipeline benchmark (smoke)"
+# Writes BENCH_pipeline.json; fails on broken determinism, a depth-16
+# speedup under 4x, or a >20% throughput regression vs the last report.
+cargo run -p contutto-bench --release --bin pipeline --quiet -- --smoke
+
 echo "verify: all gates passed"
