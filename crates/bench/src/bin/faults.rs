@@ -2,9 +2,17 @@
 //! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--media | --failover | --power] [--smoke] [--seeds N] [--lines N] [--metrics]
+//! faults [--media | --failover | --power | --traffic] [--smoke] [--seeds N] [--lines N] [--metrics]
 //! ```
 //!
+//! * `--traffic` — run the SLO-under-fault traffic campaign: an
+//!   open-loop zipfian request stream over the failover testbed while
+//!   {nothing, a scrub storm, a channel failover, an EPOW + reboot}
+//!   fires mid-run; steady-phase vs fault-phase tail percentiles and
+//!   SLO-violation counts are reported, every run is executed twice
+//!   and must be byte-identical (fingerprint + histogram identity),
+//!   and `BENCH_traffic.json` is written with a ≥0.8× requests/sec
+//!   regression gate against any prior baseline;
 //! * `--media`   — run the media-fault campaign (seeded bit flips in
 //!   the DIMM arrays across {DRAM, MRAM, NVDIMM} × {scrub on/off})
 //!   instead of the link-fault campaign;
@@ -25,7 +33,7 @@
 //! scenario does not permit a typed failure — and, for `--media`, if
 //! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::{failover, faults, media, power};
+use contutto_bench::{failover, faults, media, power, traffic};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +44,42 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
     };
+
+    if flag("--traffic") {
+        let mut cfg = if flag("--smoke") {
+            traffic::CampaignConfig::smoke()
+        } else {
+            traffic::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.requests = n.max(30);
+        }
+        let report = traffic::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        if flag("--metrics") {
+            println!("\nmerged metrics across all runs:");
+            print!("{}", report.merged_metrics().render());
+        }
+        let baseline = std::fs::read_to_string("BENCH_traffic.json").ok();
+        let violations = report.violations(baseline.as_deref());
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        let json = report.to_json();
+        if let Err(e) = std::fs::write("BENCH_traffic.json", &json) {
+            eprintln!("warning: could not write BENCH_traffic.json: {e}");
+        } else {
+            println!("wrote BENCH_traffic.json");
+        }
+        if !violations.is_empty() {
+            eprintln!("traffic campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if flag("--power") {
         let mut cfg = if flag("--smoke") {

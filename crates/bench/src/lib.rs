@@ -27,6 +27,7 @@ pub mod harness;
 pub mod media;
 pub mod pipeline;
 pub mod power;
+pub mod traffic;
 
 use contutto_centaur::{Centaur, CentaurConfig};
 use contutto_core::accel::block::{BlockAccelDriver, BlockOp, ControlBlock};

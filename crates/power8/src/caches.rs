@@ -6,6 +6,7 @@
 //! 8 MiB of L3 region) with round latencies at a 4 GHz core.
 
 use contutto_centaur::EdramCache;
+use contutto_dmi::DmiError;
 use contutto_sim::SimTime;
 
 use crate::channel::DmiChannel;
@@ -109,19 +110,24 @@ impl CacheHierarchy {
     /// A full load: through the hierarchy and, on miss, over the
     /// channel. Returns (level, total latency).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the channel hangs (from the blocking read).
-    pub fn load(&mut self, channel: &mut DmiChannel, addr: u64) -> (HitLevel, SimTime) {
+    /// Propagates the channel's typed error (timeout ladder exhausted,
+    /// tag pool exhausted, …) instead of converting a recoverable
+    /// [`DmiError`] back into a panic — a hung channel is a fault the
+    /// RAS machinery reports, not a programming error.
+    pub fn load(
+        &mut self,
+        channel: &mut DmiChannel,
+        addr: u64,
+    ) -> Result<(HitLevel, SimTime), DmiError> {
         let (level, lat) = self.access(addr);
         if level == HitLevel::Memory {
             let before = channel.now();
-            channel
-                .read_line_blocking(addr)
-                .expect("cache-miss read must not exhaust tags");
-            (level, lat + (channel.now() - before))
+            channel.read_line_blocking(addr)?;
+            Ok((level, lat + (channel.now() - before)))
         } else {
-            (level, lat)
+            Ok((level, lat))
         }
     }
 }
@@ -169,11 +175,41 @@ mod tests {
             ChannelConfig::centaur(),
             Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
         );
-        let (lvl, total) = h.load(&mut ch, 0x10_0000);
+        let (lvl, total) = h.load(&mut ch, 0x10_0000).unwrap();
         assert_eq!(lvl, HitLevel::Memory);
         assert!(total > SimTime::from_ns(40), "memory load {total}");
-        let (lvl, total) = h.load(&mut ch, 0x10_0000);
+        let (lvl, total) = h.load(&mut ch, 0x10_0000).unwrap();
         assert_eq!(lvl, HitLevel::L1);
         assert!(total < SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn hung_channel_surfaces_error_not_panic() {
+        use crate::channel::RetryPolicy;
+        use contutto_dmi::link::BitErrorInjector;
+
+        let mut h = CacheHierarchy::power8_core();
+        let mut ch = DmiChannel::new(
+            ChannelConfig::centaur(),
+            Box::new(Centaur::new(CentaurConfig::optimized(), 8 << 30)),
+        );
+        // Tight ladder so the test stays fast, then kill both link
+        // directions: the miss can never complete.
+        ch.set_retry_policy(RetryPolicy {
+            op_timeout: SimTime::from_us(3),
+            max_attempts: 2,
+            base_backoff: SimTime::from_ns(500),
+            max_retrains: 0,
+        });
+        ch.set_down_injector(BitErrorInjector::bernoulli(1.0, 13));
+        ch.set_up_injector(BitErrorInjector::bernoulli(1.0, 14));
+        let err = h.load(&mut ch, 0x20_0000).unwrap_err();
+        assert!(
+            matches!(err, DmiError::Timeout { .. }),
+            "expected the ladder's Timeout, got {err:?}"
+        );
+        // The miss was still counted — the access happened, the fill
+        // from memory did not.
+        assert_eq!(h.stats().memory_accesses, 1);
     }
 }

@@ -932,6 +932,28 @@ impl Power8System {
         self.outstanding.len()
     }
 
+    /// The system clock: the furthest-ahead channel. Channels advance
+    /// independently while they have work; the maximum is what an
+    /// external observer (a traffic generator pacing arrivals) should
+    /// treat as "now".
+    pub fn now(&self) -> SimTime {
+        self.channels
+            .iter()
+            .map(|c| c.channel.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Advances every channel's clock to at least `t`, processing any
+    /// in-flight frames on the way. Idle time between request arrivals
+    /// passes here — an open-loop traffic generator uses it to let the
+    /// system sit genuinely idle instead of back-to-back.
+    pub fn advance_to(&mut self, t: SimTime) {
+        for c in &mut self.channels {
+            c.channel.run_until(t);
+        }
+    }
+
     /// Applies one tracked-command in-flight window to every channel
     /// (clamped to `1..=32`, the DMI tag space): the knob that turns
     /// memory-level parallelism up and down.

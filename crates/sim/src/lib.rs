@@ -40,6 +40,6 @@ pub use event::{EventId, EventQueue};
 pub use queue::DelayQueue;
 pub use registry::{Metric, MetricsRegistry};
 pub use rng::SimRng;
-pub use stats::{Counter, Histogram, LatencyStats};
+pub use stats::{Counter, Histogram, LatencyStats, LogHistogram, QuantileOutcome};
 pub use time::{Cycles, Frequency, SimTime};
 pub use trace::{LinkDir, TraceEvent, TraceRecord, Tracer};

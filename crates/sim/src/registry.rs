@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::stats::{Counter, Histogram, LatencyStats};
+use crate::stats::{Counter, Histogram, LatencyStats, LogHistogram, QuantileOutcome};
 
 /// One registered metric.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +32,15 @@ pub enum Metric {
     Counter(Counter),
     Latency(LatencyStats),
     Histogram(Histogram),
+    LogHistogram(LogHistogram),
+}
+
+fn fmt_outcome(outcome: QuantileOutcome) -> String {
+    match outcome {
+        QuantileOutcome::Empty => "-".into(),
+        QuantileOutcome::Value(v) => v.to_string(),
+        QuantileOutcome::Overflow => "overflow".into(),
+    }
 }
 
 impl fmt::Display for Metric {
@@ -44,11 +53,10 @@ impl fmt::Display for Metric {
                 "histogram n={} overflow={} p50={} p99={}",
                 h.count(),
                 h.overflow(),
-                h.quantile(0.5)
-                    .map_or_else(|| "-".into(), |v| v.to_string()),
-                h.quantile(0.99)
-                    .map_or_else(|| "-".into(), |v| v.to_string()),
+                fmt_outcome(h.quantile_outcome(0.5)),
+                fmt_outcome(h.quantile_outcome(0.99)),
             ),
+            Metric::LogHistogram(h) => write!(f, "loghist {h}"),
         }
     }
 }
@@ -128,6 +136,13 @@ impl MetricsRegistry {
             .insert(name.to_owned(), Metric::Histogram(histogram.clone()));
     }
 
+    /// Publishes a copy of an existing log-bucketed histogram under
+    /// `name`.
+    pub fn set_log_histogram(&mut self, name: &str, histogram: &LogHistogram) {
+        self.metrics
+            .insert(name.to_owned(), Metric::LogHistogram(histogram.clone()));
+    }
+
     /// Looks up a metric by exact name.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.metrics.get(name)
@@ -160,14 +175,20 @@ impl MetricsRegistry {
             .filter(move |(name, _)| name.starts_with(prefix))
     }
 
-    /// Merges another registry into this one: counters and latency
-    /// collectors accumulate; histograms and kind conflicts are replaced
+    /// Merges another registry into this one: counters, latency
+    /// collectors and log-histograms (of matching precision)
+    /// accumulate; linear histograms and kind conflicts are replaced
     /// by `other`'s entry.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, metric) in other.iter() {
             match (self.metrics.get_mut(name), metric) {
                 (Some(Metric::Counter(a)), Metric::Counter(b)) => a.add(b.get()),
                 (Some(Metric::Latency(a)), Metric::Latency(b)) => a.merge(b),
+                (Some(Metric::LogHistogram(a)), Metric::LogHistogram(b))
+                    if a.sub_bits() == b.sub_bits() =>
+                {
+                    a.merge(b);
+                }
                 _ => {
                     self.metrics.insert(name.to_owned(), metric.clone());
                 }
@@ -250,6 +271,40 @@ mod tests {
         reg.set_counter("centaur.reads", 30);
         assert_eq!(reg.with_prefix("dmi.").count(), 2);
         assert_eq!(reg.with_prefix("centaur.").count(), 1);
+    }
+
+    #[test]
+    fn log_histograms_publish_and_merge() {
+        let mut a = MetricsRegistry::new();
+        let mut ha = LogHistogram::new();
+        ha.record(100);
+        a.set_log_histogram("traffic.latency", &ha);
+        let mut b = MetricsRegistry::new();
+        let mut hb = LogHistogram::new();
+        hb.record(1_000_000);
+        b.set_log_histogram("traffic.latency", &hb);
+        a.merge(&b);
+        match a.get("traffic.latency").unwrap() {
+            Metric::LogHistogram(h) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.min(), Some(100));
+                assert_eq!(h.max(), Some(1_000_000));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(a.render().contains("loghist"));
+    }
+
+    #[test]
+    fn histogram_render_shows_overflow_tail() {
+        let mut reg = MetricsRegistry::new();
+        let mut h = Histogram::new(1, 4);
+        h.record(1);
+        h.record(1000);
+        reg.set_histogram("hist", &h);
+        // The tail landed past the last bucket: rendered as such, not
+        // masked as missing data.
+        assert!(reg.render().contains("p99=overflow"), "{}", reg.render());
     }
 
     #[test]

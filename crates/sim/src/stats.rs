@@ -198,20 +198,304 @@ impl Histogram {
 
     /// The value at or below which `q` (0.0–1.0) of samples fall,
     /// reported as the upper edge of the containing bucket. `None` when
-    /// empty or when the quantile lands in the overflow bucket.
+    /// empty, when `q` is out of range, or when the quantile lands in
+    /// the overflow bucket — use [`Histogram::quantile_outcome`] to
+    /// tell those apart (the old `None`-for-everything behaviour masked
+    /// overflow as "no data" and let callers report tails of 0).
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+        if !(0.0..=1.0).contains(&q) {
             return None;
+        }
+        match self.quantile_outcome(q) {
+            QuantileOutcome::Value(v) => Some(v),
+            QuantileOutcome::Empty | QuantileOutcome::Overflow => None,
+        }
+    }
+
+    /// The typed quantile: distinguishes "no samples" from "the
+    /// quantile landed past the last finite bucket". `q = 0.0` reports
+    /// the minimum — the *lower* edge of the first non-empty bucket —
+    /// rather than clamping to the first-sample target and returning
+    /// that bucket's upper edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_outcome(&self, q: f64) -> QuantileOutcome {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return QuantileOutcome::Empty;
+        }
+        if q == 0.0 {
+            for (i, &c) in self.buckets.iter().enumerate() {
+                if c > 0 {
+                    return QuantileOutcome::Value(i as u64 * self.bucket_width);
+                }
+            }
+            return QuantileOutcome::Overflow;
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some((i as u64 + 1) * self.bucket_width);
+                return QuantileOutcome::Value((i as u64 + 1) * self.bucket_width);
             }
         }
-        None
+        QuantileOutcome::Overflow
+    }
+}
+
+/// Result of a [`Histogram`] quantile query, distinguishing the two
+/// states the old `Option` conflated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileOutcome {
+    /// No samples recorded.
+    Empty,
+    /// The quantile landed in a finite bucket; the contained value.
+    Value(u64),
+    /// The quantile landed in the overflow bucket: the true value is
+    /// at or above the histogram's range and was not captured.
+    Overflow,
+}
+
+/// An HDR-style log-bucketed histogram over the full `u64` range:
+/// log2 major buckets subdivided linearly, so recording can never
+/// overflow and every quantile is reported with a bounded *relative*
+/// error instead of the fixed absolute resolution (and silent
+/// overflow bucket) of [`Histogram`].
+///
+/// Layout with `n = 2^sub_bits` linear slots:
+///
+/// * values `< n` are exact (one slot per value);
+/// * values in `[2^m, 2^(m+1))` for `m >= sub_bits` land in one of
+///   `n/2` slots of width `2^(m - sub_bits + 1)`, so the reported
+///   upper edge overstates a contained value by at most a factor of
+///   `1 + 2^(1 - sub_bits)` ([`LogHistogram::relative_error_bound`]).
+///
+/// Two histograms with the same `sub_bits` merge losslessly
+/// (bucket-wise addition), and merging is associative and commutative
+/// — shards can fold their histograms in any grouping and produce the
+/// identical aggregate, which the deterministic campaigns assert by
+/// direct equality.
+///
+/// # Example
+///
+/// ```
+/// use contutto_sim::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [10, 20, 30, 5_000_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.quantile(0.0), 10);       // exact: below 2^sub_bits
+/// let p99 = h.quantile(0.99);
+/// assert!(p99 >= 5_000_000);             // never under-reported
+/// assert!((p99 as f64) <= 5_000_000.0 * (1.0 + h.relative_error_bound()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    sub_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Default linear precision: 2^6 = 64 exact low slots, 32 sub-buckets
+/// per octave, ≤ 3.125 % relative error on every reported quantile.
+pub const LOG_HISTOGRAM_DEFAULT_SUB_BITS: u32 = 6;
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram at the default precision
+    /// ([`LOG_HISTOGRAM_DEFAULT_SUB_BITS`]).
+    pub fn new() -> Self {
+        LogHistogram::with_sub_bits(LOG_HISTOGRAM_DEFAULT_SUB_BITS)
+    }
+
+    /// Creates an empty histogram with `2^sub_bits` linear slots per
+    /// scale (relative error bound `2^(1 - sub_bits)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= sub_bits <= 16` (below 2 the error bound is
+    /// useless; above 16 the table is pointlessly large).
+    pub fn with_sub_bits(sub_bits: u32) -> Self {
+        assert!(
+            (2..=16).contains(&sub_bits),
+            "sub_bits must be within 2..=16"
+        );
+        let n = 1usize << sub_bits;
+        let majors = 64 - sub_bits as usize;
+        LogHistogram {
+            sub_bits,
+            buckets: vec![0; n + majors * (n / 2)],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The configured precision exponent.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// The largest relative error any reported quantile can carry:
+    /// `2^(1 - sub_bits)`.
+    pub fn relative_error_bound(&self) -> f64 {
+        f64::powi(2.0, 1 - self.sub_bits as i32)
+    }
+
+    fn index(&self, value: u64) -> usize {
+        let n = 1u64 << self.sub_bits;
+        if value < n {
+            return value as usize;
+        }
+        let top = 63 - value.leading_zeros();
+        let major = top - self.sub_bits + 1;
+        let sub = (value >> major) - (n >> 1);
+        (n + u64::from(major - 1) * (n >> 1) + sub) as usize
+    }
+
+    /// The upper edge (inclusive upper bound reported for quantiles)
+    /// of bucket `idx`, saturating at `u64::MAX` for the top bucket.
+    fn bucket_edge(&self, idx: usize) -> u64 {
+        let n = 1u64 << self.sub_bits;
+        if (idx as u64) < n {
+            return idx as u64 + 1;
+        }
+        let rel = idx as u64 - n;
+        let major = rel / (n >> 1) + 1;
+        let sub = rel % (n >> 1);
+        let edge = (u128::from((n >> 1) + sub) + 1) << major;
+        edge.min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records one value. Total, never lossy: every `u64` has a bucket.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value` at once.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.index(value);
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (exact), if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (exact), if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all recorded values (exact sum, truncating division);
+    /// 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// The value at or below which `q` (0.0–1.0) of samples fall.
+    /// Reported as the containing bucket's upper edge, clamped into
+    /// `[min, max]` of the recorded values, so the answer is exact at
+    /// the extremes and never more than
+    /// [`LogHistogram::relative_error_bound`] above the true quantile.
+    /// Returns 0 when empty (the histogram records that state via
+    /// [`LogHistogram::count`], never silently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        if q == 0.0 {
+            return self.min;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                return self.bucket_edge(i).clamp(self.min, self.max);
+            }
+        }
+        // Unreachable: every recorded value has a bucket. Keep a sane
+        // answer rather than a panic in release builds.
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precisions differ — merging across layouts would
+    /// silently degrade the error bound.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge LogHistograms of different precision"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} min={} p50={} p99={} p99.9={} max={}",
+            self.count,
+            self.min,
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max,
+        )
     }
 }
 
@@ -307,6 +591,187 @@ mod tests {
         assert_eq!(h.quantile(0.99), Some(99));
         assert_eq!(h.quantile(1.0), Some(100));
         assert_eq!(Histogram::new(1, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_zero_is_minimum_edge() {
+        let mut h = Histogram::new(10, 4);
+        h.record(25); // bucket 2: [20, 30)
+        h.record(35);
+        // Lower edge of the first non-empty bucket — not the upper edge
+        // the old clamp-to-one-sample behaviour produced.
+        assert_eq!(h.quantile_outcome(0.0), QuantileOutcome::Value(20));
+        assert_eq!(h.quantile(0.0), Some(20));
+    }
+
+    #[test]
+    fn histogram_quantile_distinguishes_empty_from_overflow() {
+        let empty = Histogram::new(1, 4);
+        assert_eq!(empty.quantile_outcome(0.99), QuantileOutcome::Empty);
+
+        let mut overflowed = Histogram::new(1, 4); // covers [0, 4)
+        overflowed.record(1);
+        overflowed.record(1000); // overflow
+                                 // p99 lands in the overflow bucket: typed, not a silent None.
+        assert_eq!(overflowed.quantile_outcome(0.99), QuantileOutcome::Overflow);
+        assert_eq!(overflowed.quantile(0.99), None);
+        // p50 is still finite.
+        assert_eq!(overflowed.quantile_outcome(0.5), QuantileOutcome::Value(2));
+    }
+
+    #[test]
+    fn log_histogram_exact_below_linear_range() {
+        let mut h = LogHistogram::new();
+        for v in 0..64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(63));
+        // Every value below 2^sub_bits has its own bucket: quantiles
+        // are exact (upper edge = value + 1, clamped by max).
+        assert_eq!(h.quantile(0.5), 32);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn log_histogram_never_overflows() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn log_histogram_empty_reports_zero_not_garbage() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn log_histogram_relative_error_bound_holds() {
+        // Property: for a deterministic pseudo-random sample set, every
+        // reported quantile lies in [true_quantile, true_quantile * (1
+        // + bound)] where the true quantile comes from the sorted data.
+        let mut h = LogHistogram::new();
+        let mut samples = Vec::new();
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..4096 {
+            // xorshift-style scramble; spans many octaves via masking.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x >> (x % 48);
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let bound = h.relative_error_bound();
+        for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+            let reported = h.quantile(q);
+            let rank = ((q * samples.len() as f64).ceil().max(1.0) as usize).min(samples.len()) - 1;
+            let truth = samples[rank];
+            assert!(
+                reported >= truth,
+                "q={q}: reported {reported} under-reports true {truth}"
+            );
+            assert!(
+                reported as f64 <= truth as f64 * (1.0 + bound) + 1.0,
+                "q={q}: reported {reported} exceeds error bound over {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative_and_commutative() {
+        let mut parts = Vec::new();
+        let mut x: u64 = 42;
+        for p in 0..3u64 {
+            let mut h = LogHistogram::new();
+            for i in 0..500u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(p + i);
+                h.record(x >> (x % 50));
+            }
+            parts.push(h);
+        }
+        // (a ∪ b) ∪ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ∪ (b ∪ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        // c ∪ b ∪ a
+        let mut rev = parts[2].clone();
+        rev.merge(&parts[1]);
+        rev.merge(&parts[0]);
+        assert_eq!(left, right);
+        assert_eq!(left, rev);
+        assert_eq!(left.count(), 1500);
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_single_recording() {
+        // Merging shards is lossless: identical to recording the union
+        // into one histogram, asserted by direct structural equality.
+        let values = [3u64, 64, 100, 5_000, 1 << 40, u64::MAX];
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn log_histogram_merge_rejects_mixed_precision() {
+        let mut a = LogHistogram::with_sub_bits(6);
+        let b = LogHistogram::with_sub_bits(7);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn log_histogram_bucket_math_round_trips() {
+        // Every recorded value must land in a bucket whose edge bounds
+        // it: lower_edge <= v < upper edge is implied by idx monotonic
+        // in v and edge(idx) > v >= edge(idx - 1).
+        let h = LogHistogram::new();
+        let mut probe = vec![0u64, 1, 63, 64, 65, 127, 128, 129];
+        for shift in 7..64 {
+            probe.push(1u64 << shift);
+            probe.push((1u64 << shift) - 1);
+            probe.push((1u64 << shift) + 1);
+        }
+        probe.push(u64::MAX);
+        let mut last_idx = 0usize;
+        let mut sorted = probe.clone();
+        sorted.sort_unstable();
+        for v in sorted {
+            let idx = h.index(v);
+            assert!(idx >= last_idx, "index not monotone at {v}");
+            assert!(idx < h.buckets.len(), "index out of range at {v}");
+            assert!(h.bucket_edge(idx) >= v.max(1), "edge below value at {v}");
+            last_idx = idx;
+        }
     }
 
     #[test]

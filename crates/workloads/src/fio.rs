@@ -10,7 +10,7 @@
 //! reports IOPS and mean latency. A fixed per-op engine overhead
 //! models the benchmark's own submission path.
 
-use contutto_sim::{Histogram, LatencyStats, SimTime};
+use contutto_sim::{LatencyStats, LogHistogram, SimTime};
 use contutto_storage::blockdev::{BlockDevice, BLOCK_BYTES};
 
 /// Access pattern.
@@ -36,8 +36,20 @@ pub struct FioResult {
     /// Per-op latency statistics (device time, excluding engine
     /// think-time — what Figure 10 plots).
     pub latency: LatencyStats,
-    /// 99th-percentile latency (1 µs histogram buckets).
+    /// 99th-percentile latency from the log-bucketed histogram:
+    /// nonzero whenever any IO completed, bounded relative error, no
+    /// range to overflow (the old 1 µs × 1024 linear histogram
+    /// silently reported p99 = 0 for any device slower than ~1 ms).
     pub p99: SimTime,
+    /// The full per-op latency distribution (nanosecond samples).
+    pub latency_hist: LogHistogram,
+}
+
+impl FioResult {
+    /// An arbitrary quantile of the per-op latency distribution.
+    pub fn latency_quantile(&self, q: f64) -> SimTime {
+        SimTime::from_ns(self.latency_hist.quantile(q))
+    }
 }
 
 /// The FIO engine.
@@ -94,7 +106,7 @@ impl FioEngine {
         };
         let mut now = SimTime::ZERO;
         let mut latency = LatencyStats::new();
-        let mut hist = Histogram::new(1, 1024); // 1 us buckets up to ~1 ms
+        let mut hist = LogHistogram::new(); // ns samples, no overflow
         let mut buf = [0u8; BLOCK_BYTES];
         // Touch a few blocks first so reads return written data and
         // device state (rows, maps) is warm.
@@ -119,7 +131,7 @@ impl FioEngine {
                     FioPattern::RandWrite => device.write_block(start, lba, &buf),
                 };
                 latency.record(end - start);
-                hist.record((end - start).as_us_f64() as u64);
+                hist.record((end - start).as_ns());
                 batch_end = batch_end.max(end);
             }
             now = batch_end.max(submit);
@@ -131,7 +143,8 @@ impl FioEngine {
             ops: self.ops,
             iops: self.ops as f64 / now.as_secs_f64(),
             latency,
-            p99: SimTime::from_us(hist.quantile(0.99).unwrap_or(0)),
+            p99: SimTime::from_ns(hist.quantile(0.99)),
+            latency_hist: hist,
         }
     }
 }
@@ -139,7 +152,7 @@ impl FioEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use contutto_storage::blockdev::{mram_contutto_device, PcieCard, SasSsd};
+    use contutto_storage::blockdev::{mram_contutto_device, PcieCard, SasHdd, SasSsd};
 
     fn quick() -> FioEngine {
         FioEngine {
@@ -243,6 +256,38 @@ mod tests {
         let qd8 = deep.run(&mut SasSsd::new(), FioPattern::RandWrite);
         assert!(qd8.iops > qd1.iops, "{} !> {}", qd8.iops, qd1.iops);
         assert!(qd8.latency.mean() >= qd1.latency.mean());
+    }
+
+    #[test]
+    fn p99_survives_millisecond_media() {
+        // Regression: the old 1 µs × 1024-bucket linear histogram
+        // overflowed on anything slower than ~1 ms and `unwrap_or(0)`
+        // then reported p99 = 0 µs. A 7200 rpm disk seeks in
+        // milliseconds, so every sample overflowed the old range; the
+        // log histogram must report a nonzero, bounded-error tail.
+        let engine = quick();
+        let r = engine.run(&mut SasHdd::new(), FioPattern::RandRead);
+        assert!(
+            r.p99 > SimTime::from_us(1024),
+            "p99 {} not past the old histogram range — regression test is toothless",
+            r.p99
+        );
+        assert!(r.p99 >= r.latency.mean(), "p99 below the mean");
+        assert!(
+            r.p99 <= r.latency.max().unwrap(),
+            "p99 {} above max {}",
+            r.p99,
+            r.latency.max().unwrap()
+        );
+        // p100 is exact at nanosecond granularity (histogram samples
+        // truncate the sub-ns remainder LatencyStats keeps).
+        let p100 = r.latency_quantile(1.0);
+        let max = r.latency.max().unwrap();
+        assert_eq!(
+            p100,
+            SimTime::from_ns(max.as_ns()),
+            "p100 must be exact (clamped to recorded max)"
+        );
     }
 
     #[test]

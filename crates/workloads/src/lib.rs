@@ -11,6 +11,7 @@
 //! | [`gpfs`] | the GPFS write-cache experiment (Table 4) |
 //! | [`pointer_chase`] | linked-list traversal — the worst case §4.1 warns about |
 //! | [`baseline`] | single-thread software baselines for Table 5 (memcpy, min/max, FFT) |
+//! | [`traffic`] | open/closed-loop service traffic with tail-latency SLOs |
 //!
 //! The SPEC and DB2 models are *analytic* (stall-cycle decomposition
 //! per benchmark), but their memory-latency inputs come from the
@@ -24,9 +25,11 @@ pub mod fio;
 pub mod gpfs;
 pub mod pointer_chase;
 pub mod spec;
+pub mod traffic;
 
 pub use baseline::SoftwareBaselines;
 pub use db2::{Db2Workload, QueryKind};
 pub use fio::{FioEngine, FioPattern, FioResult};
 pub use gpfs::GpfsExperiment;
 pub use spec::{SpecBenchmark, SpecModel};
+pub use traffic::{ArrivalProcess, LoopMode, Phase, TrafficConfig, TrafficEngine, TrafficReport};

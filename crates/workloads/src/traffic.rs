@@ -1,0 +1,782 @@
+//! Service-level traffic generator: millions of simulated users with
+//! tail-latency SLOs (ROADMAP item 2).
+//!
+//! The paper's DB2/GPFS/FIO results are latency-sensitivity curves;
+//! the production-scale extension is the *tail*. This module drives a
+//! KV-style serving layer over [`Power8System`]'s pipelined
+//! submit/poll path with open- or closed-loop request arrivals
+//! (Poisson or bursty), a configurable user population, and zipfian
+//! key skew, recording every per-request latency into a
+//! [`LogHistogram`] so p50/p99/p99.9/p99.99 are reported with bounded
+//! relative error and no silent overflow.
+//!
+//! Two disciplines, per the standard load-testing taxonomy:
+//!
+//! * **Open loop** — arrivals follow the configured process regardless
+//!   of completions, so queueing delay is part of the measured latency
+//!   (`completion − nominal arrival`). This is what exposes tail
+//!   collapse under a fault: arrivals keep coming while the system
+//!   recovers.
+//! * **Closed loop** — each simulated user waits for its response,
+//!   thinks, and issues the next request; latency is service time
+//!   (`completion − issue`). Coordinated omission applies, which is
+//!   exactly why campaigns run both.
+//!
+//! A per-iteration hook lets a campaign trigger faults mid-run
+//! (patrol-scrub storm, channel failover, EPOW/reboot) and label the
+//! current [`Phase`]; steady and fault latencies accumulate into
+//! separate histograms so "p99.9 *during* the fault" is a first-class
+//! result. Every run is deterministic: same seed, same byte-identical
+//! trace and histograms.
+
+use std::collections::BTreeMap;
+
+use contutto_dmi::command::CacheLine;
+use contutto_power8::system::{Power8System, ReqId, SystemError};
+use contutto_sim::{LogHistogram, MetricsRegistry, SimRng, SimTime};
+
+/// Load-generation discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Arrivals are independent of completions (queueing delay is
+    /// measured).
+    Open,
+    /// Each user waits for its response and thinks before re-issuing.
+    Closed,
+}
+
+/// Inter-arrival (open loop) / think-time (closed loop) process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential gaps — memoryless, the classic M/G/k offered load.
+    Poisson,
+    /// `burst_len` back-to-back arrivals, then one long exponential
+    /// gap scaled so the mean offered rate matches Poisson.
+    Bursty {
+        /// Arrivals per burst (≥ 1; 1 degenerates to Poisson).
+        burst_len: u32,
+    },
+}
+
+/// Which regime a request was issued in (set by the campaign hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// No fault active.
+    Steady,
+    /// A fault (scrub storm, failover, EPOW…) is in progress.
+    Fault,
+}
+
+/// Traffic generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Open or closed loop.
+    pub mode: LoopMode,
+    /// Arrival / think process.
+    pub arrival: ArrivalProcess,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Simulated user population (closed loop: concurrent users; open
+    /// loop: only scales the offered rate via `per_user_rps`).
+    pub users: u64,
+    /// Open loop: offered requests/sec *per user* (aggregate offered
+    /// load is `users × per_user_rps` of simulated time).
+    pub per_user_rps: f64,
+    /// Closed loop: mean think time between a response and the user's
+    /// next request.
+    pub think: SimTime,
+    /// Key-space size (each key maps to one cache line, spread across
+    /// every memory-map region for channel-level parallelism).
+    pub keys: u64,
+    /// Zipf exponent for key popularity (0 = uniform; 0.99 = YCSB-ish).
+    pub zipf_theta: f64,
+    /// Fraction of requests that are reads (the rest are writes).
+    pub read_fraction: f64,
+    /// Per-channel in-flight window applied at run start.
+    pub mlp_window: usize,
+    /// The latency SLO; completions above it count as violations.
+    pub slo: SimTime,
+    /// RNG seed — same seed, byte-identical run.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            mode: LoopMode::Open,
+            arrival: ArrivalProcess::Poisson,
+            requests: 512,
+            users: 1000,
+            per_user_rps: 4_000.0, // 4M rps aggregate at 1000 users
+            think: SimTime::from_us(1),
+            keys: 4096,
+            zipf_theta: 0.99,
+            read_fraction: 0.9,
+            mlp_window: 16,
+            slo: SimTime::from_us(2),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Everything a campaign hook needs to decide whether to fire a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficTick {
+    /// Requests issued so far.
+    pub submitted: u64,
+    /// Requests finished so far (ok or error).
+    pub completed: u64,
+    /// The system clock.
+    pub now: SimTime,
+}
+
+/// Results of one traffic run. Structural equality covers the full
+/// latency distributions, so two same-seed runs can be asserted
+/// identical with `==`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// Requests issued (including failed submissions).
+    pub submitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that surfaced a typed error (submit or completion).
+    pub errors: u64,
+    /// Requests orphaned by a power cut (no completion ever arrived).
+    pub orphaned: u64,
+    /// Simulated time from first submission to last completion.
+    pub elapsed: SimTime,
+    /// Latency distribution (ns) for steady-phase requests.
+    pub steady: LogHistogram,
+    /// Latency distribution (ns) for fault-phase requests.
+    pub fault: LogHistogram,
+    /// Steady-phase completions over the SLO.
+    pub steady_slo_violations: u64,
+    /// Fault-phase completions over the SLO.
+    pub fault_slo_violations: u64,
+    /// Completions that hit the hottest 1 % of keys (zipf sanity).
+    pub hot_key_completions: u64,
+}
+
+impl TrafficReport {
+    /// A latency quantile for one phase.
+    pub fn quantile(&self, phase: Phase, q: f64) -> SimTime {
+        let hist = match phase {
+            Phase::Steady => &self.steady,
+            Phase::Fault => &self.fault,
+        };
+        SimTime::from_ns(hist.quantile(q))
+    }
+
+    /// Successful completions per simulated second.
+    pub fn achieved_rps(&self) -> f64 {
+        contutto_sim::stats::ops_per_sec(self.completed, self.elapsed)
+    }
+
+    /// Fraction of completions that hit the hottest 1 % of keys.
+    pub fn hot_key_share(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.hot_key_completions as f64 / self.completed as f64
+        }
+    }
+
+    /// Publishes the run under `system.traffic.*` in a registry.
+    pub fn publish(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter("system.traffic.submitted", self.submitted);
+        reg.set_counter("system.traffic.completed", self.completed);
+        reg.set_counter("system.traffic.errors", self.errors);
+        reg.set_counter("system.traffic.orphaned", self.orphaned);
+        reg.set_log_histogram("system.traffic.latency.steady", &self.steady);
+        reg.set_log_histogram("system.traffic.latency.fault", &self.fault);
+        reg.set_counter(
+            "system.traffic.slo_violations.steady",
+            self.steady_slo_violations,
+        );
+        reg.set_counter(
+            "system.traffic.slo_violations.fault",
+            self.fault_slo_violations,
+        );
+    }
+}
+
+struct PendingReq {
+    /// Nominal arrival (open loop) or issue instant (closed loop) —
+    /// the latency epoch.
+    issued: SimTime,
+    phase: Phase,
+    key: u64,
+    /// Closed loop: which user is blocked on this request.
+    user: Option<usize>,
+}
+
+/// The traffic engine: key table, popularity distribution, arrival
+/// state. Build once per run with [`TrafficEngine::new`], then drive
+/// a system with [`TrafficEngine::run`].
+pub struct TrafficEngine {
+    cfg: TrafficConfig,
+    /// key → physical line address, spread across regions.
+    addrs: Vec<u64>,
+    /// Zipf CDF over keys (hotness order: key 0 is hottest).
+    cdf: Vec<f64>,
+    hot_keys: u64,
+}
+
+impl TrafficEngine {
+    /// Builds the key table against a booted system's memory map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is degenerate (no keys, no requests, no
+    /// users, a non-positive rate, or an unbootable empty map).
+    pub fn new(cfg: TrafficConfig, sys: &Power8System) -> Self {
+        assert!(cfg.requests > 0, "need at least one request");
+        assert!(cfg.users > 0, "need at least one user");
+        assert!(cfg.keys > 0 && cfg.keys <= 1 << 22, "keys must be 1..=4M");
+        assert!(cfg.per_user_rps > 0.0, "offered rate must be positive");
+        assert!(
+            (0.0..=1.0).contains(&cfg.read_fraction),
+            "read fraction must be a probability"
+        );
+        let regions = sys.memory_map().regions();
+        assert!(!regions.is_empty(), "system has no mapped memory");
+        let mut addrs = Vec::with_capacity(cfg.keys as usize);
+        for key in 0..cfg.keys {
+            let region = &regions[(key % regions.len() as u64) as usize];
+            let lines = (region.os_size / 128).max(1);
+            let line = (key / regions.len() as u64) % lines;
+            addrs.push(region.base + line * 128);
+        }
+        // Zipf CDF: weight(i) = 1/(i+1)^theta, normalized.
+        let mut cdf = Vec::with_capacity(cfg.keys as usize);
+        let mut acc = 0.0;
+        for i in 0..cfg.keys {
+            acc += 1.0 / ((i + 1) as f64).powf(cfg.zipf_theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        TrafficEngine {
+            cfg,
+            addrs,
+            cdf,
+            hot_keys: (cfg.keys / 100).max(1),
+        }
+    }
+
+    fn sample_key(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.next_f64();
+        // First key whose CDF covers u.
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.addrs.len() - 1) as u64
+    }
+
+    /// Exponential sample with the given mean, floored at one
+    /// picosecond so time always moves.
+    fn sample_exp(rng: &mut SimRng, mean_ps: f64) -> SimTime {
+        let u = rng.next_f64();
+        let ps = -(1.0 - u).ln() * mean_ps;
+        SimTime::from_ps((ps as u64).max(1))
+    }
+
+    /// The next inter-arrival gap (open loop) or think time (closed
+    /// loop). `burst_pos` cycles through the burst so bursty traffic
+    /// alternates zero-gap clusters with long compensating gaps.
+    fn next_gap(&self, rng: &mut SimRng, mean_ps: f64, burst_pos: &mut u32) -> SimTime {
+        match self.cfg.arrival {
+            ArrivalProcess::Poisson => Self::sample_exp(rng, mean_ps),
+            ArrivalProcess::Bursty { burst_len } => {
+                let len = burst_len.max(1);
+                *burst_pos = (*burst_pos + 1) % len;
+                if *burst_pos == 0 {
+                    // One long gap carries the whole burst's budget.
+                    Self::sample_exp(rng, mean_ps * f64::from(len))
+                } else {
+                    SimTime::ZERO
+                }
+            }
+        }
+    }
+
+    fn submit_one(
+        &self,
+        sys: &mut Power8System,
+        rng: &mut SimRng,
+        key: u64,
+    ) -> Result<ReqId, SystemError> {
+        let phys = self.addrs[key as usize];
+        if rng.gen_bool(self.cfg.read_fraction) {
+            sys.submit_load(phys)
+        } else {
+            sys.submit_store(phys, CacheLine::patterned(key))
+        }
+    }
+
+    /// Runs the configured traffic with no fault hook: all requests
+    /// are steady-phase.
+    pub fn run_steady(&self, sys: &mut Power8System) -> TrafficReport {
+        self.run(sys, |_, _| Phase::Steady)
+    }
+
+    /// Runs the configured traffic. `hook` is called once per engine
+    /// iteration; it may mutate the system (fire a scrub storm, pull a
+    /// channel, cut power) and returns the phase label stamped on
+    /// requests issued from that point on.
+    ///
+    /// Requests whose completions were wiped by a power cut are
+    /// reconciled as `orphaned` (the system clears its in-flight set;
+    /// the engine must not wait forever for completions that can never
+    /// arrive).
+    pub fn run<H>(&self, sys: &mut Power8System, mut hook: H) -> TrafficReport
+    where
+        H: FnMut(&mut Power8System, &TrafficTick) -> Phase,
+    {
+        sys.set_mlp_window(self.cfg.mlp_window);
+        match self.cfg.mode {
+            LoopMode::Open => self.run_open(sys, &mut hook),
+            LoopMode::Closed => self.run_closed(sys, &mut hook),
+        }
+    }
+
+    fn run_open<H>(&self, sys: &mut Power8System, hook: &mut H) -> TrafficReport
+    where
+        H: FnMut(&mut Power8System, &TrafficTick) -> Phase,
+    {
+        let mut rng = SimRng::seed_from_u64(self.cfg.seed);
+        let mean_gap_ps = 1e12 / (self.cfg.per_user_rps * self.cfg.users as f64);
+        let mut burst_pos = 0u32;
+        let start = sys.now();
+        let mut next_arrival = start + self.next_gap(&mut rng, mean_gap_ps, &mut burst_pos);
+        let mut acc = Accumulator::new(&self.cfg, self.hot_keys, start);
+        let mut pending: BTreeMap<ReqId, PendingReq> = BTreeMap::new();
+        loop {
+            let tick = TrafficTick {
+                submitted: acc.submitted,
+                completed: acc.completed + acc.errors + acc.orphaned,
+                now: sys.now(),
+            };
+            let phase = hook(sys, &tick);
+            // Latencies are measured against the global clock (the max
+            // across channels); a lagging channel would stamp
+            // completions before the arrival that caused them. Keep
+            // every local clock at or past the global now.
+            sys.advance_to(tick.now);
+            // Issue every arrival that is due.
+            while acc.submitted < self.cfg.requests && next_arrival <= sys.now() {
+                let key = self.sample_key(&mut rng);
+                let arrival = next_arrival;
+                acc.submitted += 1;
+                next_arrival += self.next_gap(&mut rng, mean_gap_ps, &mut burst_pos);
+                match self.submit_one(sys, &mut rng, key) {
+                    Ok(id) => {
+                        pending.insert(
+                            id,
+                            PendingReq {
+                                issued: arrival,
+                                phase,
+                                key,
+                                user: None,
+                            },
+                        );
+                    }
+                    Err(_) => acc.errors += 1,
+                }
+            }
+            let finished = sys.poll();
+            let progressed = !finished.is_empty();
+            for (id, result) in finished {
+                let Some(req) = pending.remove(&id) else {
+                    continue;
+                };
+                acc.finish(&req, result.map(|c| c.completed_at));
+            }
+            if acc.submitted >= self.cfg.requests && pending.is_empty() {
+                break;
+            }
+            if !progressed {
+                if pending.is_empty() {
+                    // Idle: jump to the next arrival.
+                    sys.advance_to(next_arrival);
+                } else if sys.outstanding_reqs() == 0 {
+                    // A power cut wiped the in-flight set — these
+                    // completions will never arrive.
+                    for (_, req) in std::mem::take(&mut pending) {
+                        acc.orphaned += 1;
+                        acc.last_event = acc.last_event.max(sys.now());
+                        let _ = req;
+                    }
+                }
+            }
+        }
+        acc.into_report()
+    }
+
+    fn run_closed<H>(&self, sys: &mut Power8System, hook: &mut H) -> TrafficReport
+    where
+        H: FnMut(&mut Power8System, &TrafficTick) -> Phase,
+    {
+        let mut rng = SimRng::seed_from_u64(self.cfg.seed);
+        let think_ps = self.cfg.think.as_ps() as f64;
+        let start = sys.now();
+        struct User {
+            next_issue: SimTime,
+            waiting: bool,
+            burst_pos: u32,
+        }
+        let mut users: Vec<User> = (0..self.cfg.users)
+            .map(|_| User {
+                // Staggered cold start so the population doesn't
+                // stampede in one slot.
+                next_issue: start + Self::sample_exp(&mut rng, think_ps),
+                waiting: false,
+                burst_pos: 0,
+            })
+            .collect();
+        let mut acc = Accumulator::new(&self.cfg, self.hot_keys, start);
+        let mut pending: BTreeMap<ReqId, PendingReq> = BTreeMap::new();
+        loop {
+            let tick = TrafficTick {
+                submitted: acc.submitted,
+                completed: acc.completed + acc.errors + acc.orphaned,
+                now: sys.now(),
+            };
+            let phase = hook(sys, &tick);
+            // Same timebase rule as the open loop: no channel may lag
+            // the global clock that issue times are stamped with.
+            sys.advance_to(tick.now);
+            let now = sys.now();
+            for (idx, user) in users.iter_mut().enumerate() {
+                if acc.submitted >= self.cfg.requests {
+                    break;
+                }
+                if user.waiting || user.next_issue > now {
+                    continue;
+                }
+                let key = self.sample_key(&mut rng);
+                acc.submitted += 1;
+                match self.submit_one(sys, &mut rng, key) {
+                    Ok(id) => {
+                        user.waiting = true;
+                        pending.insert(
+                            id,
+                            PendingReq {
+                                issued: now,
+                                phase,
+                                key,
+                                user: Some(idx),
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        acc.errors += 1;
+                        user.next_issue =
+                            now + self.next_gap(&mut rng, think_ps, &mut user.burst_pos);
+                    }
+                }
+            }
+            let finished = sys.poll();
+            let progressed = !finished.is_empty();
+            for (id, result) in finished {
+                let Some(req) = pending.remove(&id) else {
+                    continue;
+                };
+                let end = acc.finish(&req, result.map(|c| c.completed_at));
+                if let Some(u) = req.user {
+                    users[u].waiting = false;
+                    users[u].next_issue =
+                        end + self.next_gap(&mut rng, think_ps, &mut users[u].burst_pos);
+                }
+            }
+            if acc.submitted >= self.cfg.requests && pending.is_empty() {
+                break;
+            }
+            if !progressed {
+                if pending.is_empty() {
+                    if let Some(next) = users
+                        .iter()
+                        .filter(|u| !u.waiting)
+                        .map(|u| u.next_issue)
+                        .min()
+                    {
+                        sys.advance_to(next.max(sys.now()));
+                    }
+                } else if sys.outstanding_reqs() == 0 {
+                    let now = sys.now();
+                    for (_, req) in std::mem::take(&mut pending) {
+                        acc.orphaned += 1;
+                        acc.last_event = acc.last_event.max(now);
+                        if let Some(u) = req.user {
+                            users[u].waiting = false;
+                            users[u].next_issue =
+                                now + self.next_gap(&mut rng, think_ps, &mut users[u].burst_pos);
+                        }
+                    }
+                }
+            }
+        }
+        acc.into_report()
+    }
+}
+
+/// Shared per-run bookkeeping between the two loop disciplines.
+struct Accumulator {
+    submitted: u64,
+    completed: u64,
+    errors: u64,
+    orphaned: u64,
+    steady: LogHistogram,
+    fault: LogHistogram,
+    steady_slo_violations: u64,
+    fault_slo_violations: u64,
+    hot_key_completions: u64,
+    hot_keys: u64,
+    slo: SimTime,
+    start: SimTime,
+    last_event: SimTime,
+}
+
+impl Accumulator {
+    fn new(cfg: &TrafficConfig, hot_keys: u64, start: SimTime) -> Self {
+        Accumulator {
+            submitted: 0,
+            completed: 0,
+            errors: 0,
+            orphaned: 0,
+            steady: LogHistogram::new(),
+            fault: LogHistogram::new(),
+            steady_slo_violations: 0,
+            fault_slo_violations: 0,
+            hot_key_completions: 0,
+            hot_keys,
+            slo: cfg.slo,
+            start,
+            last_event: start,
+        }
+    }
+
+    /// Records one finished request; returns the completion time used
+    /// (for closed-loop think scheduling).
+    fn finish(&mut self, req: &PendingReq, result: Result<SimTime, SystemError>) -> SimTime {
+        match result {
+            Ok(completed_at) => {
+                self.completed += 1;
+                self.last_event = self.last_event.max(completed_at);
+                let latency = completed_at.saturating_sub(req.issued);
+                if req.key < self.hot_keys {
+                    self.hot_key_completions += 1;
+                }
+                let over = latency > self.slo;
+                match req.phase {
+                    Phase::Steady => {
+                        self.steady.record(latency.as_ns());
+                        if over {
+                            self.steady_slo_violations += 1;
+                        }
+                    }
+                    Phase::Fault => {
+                        self.fault.record(latency.as_ns());
+                        if over {
+                            self.fault_slo_violations += 1;
+                        }
+                    }
+                }
+                completed_at
+            }
+            Err(_) => {
+                self.errors += 1;
+                self.last_event
+            }
+        }
+    }
+
+    fn into_report(self) -> TrafficReport {
+        TrafficReport {
+            submitted: self.submitted,
+            completed: self.completed,
+            errors: self.errors,
+            orphaned: self.orphaned,
+            elapsed: self.last_event.saturating_sub(self.start),
+            steady: self.steady,
+            fault: self.fault,
+            steady_slo_violations: self.steady_slo_violations,
+            fault_slo_violations: self.fault_slo_violations,
+            hot_key_completions: self.hot_key_completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contutto_centaur::CentaurConfig;
+    use contutto_power8::firmware::layouts;
+
+    fn boot() -> Power8System {
+        Power8System::boot(layouts::all_cdimm(CentaurConfig::optimized(), 4 << 30), 7)
+            .expect("cdimm system must boot")
+    }
+
+    fn quick(mode: LoopMode, arrival: ArrivalProcess, seed: u64) -> TrafficConfig {
+        TrafficConfig {
+            mode,
+            arrival,
+            requests: 96,
+            users: 16,
+            per_user_rps: 250_000.0,
+            think: SimTime::from_us(1),
+            keys: 256,
+            seed,
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_loop_completes_every_request() {
+        let mut sys = boot();
+        let cfg = quick(LoopMode::Open, ArrivalProcess::Poisson, 7);
+        let engine = TrafficEngine::new(cfg, &sys);
+        let r = engine.run_steady(&mut sys);
+        assert_eq!(r.submitted, 96);
+        assert_eq!(r.completed, 96);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.orphaned, 0);
+        assert_eq!(r.steady.count(), 96);
+        assert_eq!(r.fault.count(), 0);
+        assert!(r.elapsed > SimTime::ZERO);
+        assert!(r.achieved_rps() > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let mut sys = boot();
+        let cfg = quick(LoopMode::Closed, ArrivalProcess::Bursty { burst_len: 4 }, 9);
+        let engine = TrafficEngine::new(cfg, &sys);
+        let r = engine.run_steady(&mut sys);
+        assert_eq!(r.completed, 96);
+        assert_eq!(r.steady.count(), 96);
+    }
+
+    #[test]
+    fn same_seed_reports_are_identical() {
+        let cfg = quick(LoopMode::Open, ArrivalProcess::Bursty { burst_len: 8 }, 21);
+        let mut a = boot();
+        let ra = TrafficEngine::new(cfg, &a).run_steady(&mut a);
+        let mut b = boot();
+        let rb = TrafficEngine::new(cfg, &b).run_steady(&mut b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing() {
+        // Same system, same request count: offered load far above
+        // capacity must show a worse tail than a trickle (queueing
+        // delay measured from the *nominal* arrival).
+        let base = quick(LoopMode::Open, ArrivalProcess::Poisson, 33);
+        let mut sys = boot();
+        let trickle = TrafficEngine::new(
+            TrafficConfig {
+                per_user_rps: 62_500.0, // 1M rps aggregate: well under capacity
+                ..base
+            },
+            &sys,
+        )
+        .run_steady(&mut sys);
+        let mut sys2 = boot();
+        let flood = TrafficEngine::new(
+            TrafficConfig {
+                per_user_rps: 4e9, // everything arrives at once: pure queueing
+                ..base
+            },
+            &sys2,
+        )
+        .run_steady(&mut sys2);
+        assert!(
+            flood.quantile(Phase::Steady, 0.99) > trickle.quantile(Phase::Steady, 0.99),
+            "flood p99 {} !> trickle p99 {}",
+            flood.quantile(Phase::Steady, 0.99),
+            trickle.quantile(Phase::Steady, 0.99),
+        );
+    }
+
+    #[test]
+    fn zipfian_skew_concentrates_on_hot_keys() {
+        let mut sys = boot();
+        let cfg = TrafficConfig {
+            requests: 256,
+            keys: 1000,
+            zipf_theta: 0.99,
+            ..quick(LoopMode::Open, ArrivalProcess::Poisson, 5)
+        };
+        let skewed = TrafficEngine::new(cfg, &sys).run_steady(&mut sys);
+        let mut sys2 = boot();
+        let uniform = TrafficEngine::new(
+            TrafficConfig {
+                zipf_theta: 0.0,
+                ..cfg
+            },
+            &sys2,
+        )
+        .run_steady(&mut sys2);
+        // Hottest 1% of 1000 keys = 10 keys: zipf(0.99) sends >20% of
+        // traffic there; uniform sends ~1%.
+        assert!(
+            skewed.hot_key_share() > 0.2,
+            "hot share {}",
+            skewed.hot_key_share()
+        );
+        assert!(
+            uniform.hot_key_share() < 0.1,
+            "uniform hot share {}",
+            uniform.hot_key_share()
+        );
+    }
+
+    #[test]
+    fn fault_phase_is_recorded_separately() {
+        let mut sys = boot();
+        let cfg = quick(LoopMode::Open, ArrivalProcess::Poisson, 11);
+        let engine = TrafficEngine::new(cfg, &sys);
+        let r = engine.run(&mut sys, |_, tick| {
+            if tick.completed >= 48 {
+                Phase::Fault
+            } else {
+                Phase::Steady
+            }
+        });
+        assert_eq!(r.steady.count() + r.fault.count(), 96);
+        assert!(r.steady.count() > 0);
+        assert!(r.fault.count() > 0);
+    }
+
+    #[test]
+    fn power_cut_orphans_inflight_requests() {
+        let mut sys = boot();
+        let cfg = TrafficConfig {
+            requests: 64,
+            per_user_rps: 4_000_000.0, // flood so plenty are in flight
+            ..quick(LoopMode::Open, ArrivalProcess::Poisson, 13)
+        };
+        let engine = TrafficEngine::new(cfg, &sys);
+        let mut cut = false;
+        let r = engine.run(&mut sys, |sys, tick| {
+            if !cut && tick.completed >= 16 {
+                cut = true;
+                let at = sys.now();
+                sys.power_cut(at);
+                let back = sys.now() + SimTime::from_us(5);
+                sys.reboot(back).expect("reboot after cut");
+                return Phase::Fault;
+            }
+            if cut {
+                Phase::Fault
+            } else {
+                Phase::Steady
+            }
+        });
+        assert!(r.orphaned > 0, "no in-flight request was orphaned");
+        assert_eq!(r.submitted, 64);
+        assert_eq!(r.completed + r.errors + r.orphaned, 64);
+    }
+}

@@ -34,6 +34,12 @@ cargo run -p contutto-bench --release --bin faults --quiet -- --failover --smoke
 echo "==> power-fail campaign (smoke)"
 cargo run -p contutto-bench --release --bin faults --quiet -- --power --smoke
 
+echo "==> traffic SLO-under-fault campaign (smoke)"
+# Writes BENCH_traffic.json; fails on fingerprint/histogram divergence
+# between same-seed double runs, a fault that never fired, or a >20%
+# requests/sec regression vs the last report.
+cargo run -p contutto-bench --release --bin faults --quiet -- --traffic --smoke
+
 echo "==> mlp pipeline benchmark (smoke)"
 # Writes BENCH_pipeline.json; fails on broken determinism, a depth-16
 # speedup under 4x, or a >20% throughput regression vs the last report.

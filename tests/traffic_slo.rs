@@ -1,0 +1,171 @@
+//! Integration: the service-level traffic generator.
+//!
+//! The contract under test is *byte-identical determinism of the whole
+//! serving report*: for every loop mode × arrival process × seed, two
+//! runs from the same seed must produce the same trace fingerprint and
+//! a structurally identical [`TrafficReport`] — latency histograms
+//! included, which is exactly the identity the old `p99=0` bug class
+//! would have broken. Plus sanity on the zipfian skew and the
+//! SLO-accounting arithmetic.
+
+use contutto_system::centaur::CentaurConfig;
+use contutto_system::power8::firmware::layouts;
+use contutto_system::power8::Power8System;
+use contutto_system::sim::SimTime;
+use contutto_system::workloads::traffic::{
+    ArrivalProcess, LoopMode, TrafficConfig, TrafficEngine, TrafficReport,
+};
+
+fn boot(seed: u64) -> Power8System {
+    Power8System::boot(
+        layouts::all_cdimm(CentaurConfig::optimized(), 4 << 30),
+        seed,
+    )
+    .expect("boot")
+}
+
+fn config(mode: LoopMode, arrival: ArrivalProcess, seed: u64) -> TrafficConfig {
+    TrafficConfig {
+        mode,
+        arrival,
+        requests: 120,
+        users: 16,
+        per_user_rps: 250_000.0,
+        think: SimTime::from_ns(400),
+        keys: 512,
+        zipf_theta: 0.99,
+        read_fraction: 0.9,
+        mlp_window: 16,
+        slo: SimTime::from_us(2),
+        seed,
+    }
+}
+
+fn run_once(mode: LoopMode, arrival: ArrivalProcess, seed: u64) -> (TrafficReport, u64) {
+    let mut sys = boot(seed);
+    let tracer = sys.enable_tracing(1 << 16);
+    let cfg = config(mode, arrival, seed);
+    let engine = TrafficEngine::new(cfg, &sys);
+    let report = engine.run_steady(&mut sys);
+    (report, tracer.fingerprint())
+}
+
+/// The tentpole determinism matrix: {open, closed} × {poisson, bursty}
+/// × 4 seeds, each run twice — fingerprints AND full reports
+/// (histograms included) must be identical.
+#[test]
+fn same_seed_identity_across_modes_arrivals_and_seeds() {
+    let modes = [LoopMode::Open, LoopMode::Closed];
+    let arrivals = [
+        ArrivalProcess::Poisson,
+        ArrivalProcess::Bursty { burst_len: 8 },
+    ];
+    for mode in modes {
+        for arrival in arrivals {
+            for seed in [3, 11, 42, 9001] {
+                let (a, fp_a) = run_once(mode, arrival, seed);
+                let (b, fp_b) = run_once(mode, arrival, seed);
+                assert_eq!(
+                    fp_a, fp_b,
+                    "fingerprint diverged for {mode:?}/{arrival:?} seed {seed}"
+                );
+                assert_eq!(a, b, "report diverged for {mode:?}/{arrival:?} seed {seed}");
+                assert_eq!(a.completed, 120, "{mode:?}/{arrival:?} seed {seed}");
+                assert_eq!(a.errors, 0);
+                assert_eq!(a.orphaned, 0);
+            }
+        }
+    }
+}
+
+/// Different seeds must actually produce different traffic — otherwise
+/// the identity test above proves nothing.
+#[test]
+fn different_seeds_diverge() {
+    let (a, fp_a) = run_once(LoopMode::Open, ArrivalProcess::Poisson, 3);
+    let (b, fp_b) = run_once(LoopMode::Open, ArrivalProcess::Poisson, 4);
+    assert_ne!(fp_a, fp_b, "two seeds produced the same trace");
+    assert_ne!(a, b, "two seeds produced the same report");
+}
+
+/// Zipfian skew at theta=0.99: the hot keys must take a far larger
+/// completion share than a uniform draw would give them.
+#[test]
+fn zipf_hot_keys_dominate() {
+    let (report, _) = run_once(LoopMode::Open, ArrivalProcess::Poisson, 7);
+    let share = report.hot_key_share();
+    // The engine tracks its hottest 1% of keys; uniform traffic would
+    // give them ~1% of completions. Zipf(0.99) gives them many times
+    // that.
+    assert!(
+        share > 0.05,
+        "hot-key completion share {share:.3} is not skewed"
+    );
+    assert!(share < 1.0, "all traffic on hot keys is a sampling bug");
+}
+
+/// Bursty arrivals stretch the tail relative to Poisson at the same
+/// offered load: a burst of back-to-back arrivals queues behind
+/// itself.
+#[test]
+fn bursty_arrivals_have_a_longer_tail_than_poisson() {
+    let (poisson, _) = run_once(LoopMode::Open, ArrivalProcess::Poisson, 5);
+    let (bursty, _) = run_once(LoopMode::Open, ArrivalProcess::Bursty { burst_len: 16 }, 5);
+    let p = poisson.steady.quantile(0.999);
+    let b = bursty.steady.quantile(0.999);
+    assert!(
+        b > p,
+        "bursty p99.9 ({b} ns) should exceed poisson p99.9 ({p} ns)"
+    );
+}
+
+/// SLO accounting arithmetic: with the SLO below the minimum observed
+/// latency every completion violates; with it above the maximum, none
+/// do.
+#[test]
+fn slo_violation_counting_brackets() {
+    let mut sys = boot(3);
+    let mut cfg = config(LoopMode::Open, ArrivalProcess::Poisson, 3);
+    cfg.slo = SimTime::from_ps(1);
+    let tight = TrafficEngine::new(cfg, &sys).run_steady(&mut sys);
+    assert_eq!(
+        tight.steady_slo_violations, tight.completed,
+        "a 1 ps SLO must be violated by every completion"
+    );
+
+    let mut sys = boot(3);
+    cfg.slo = SimTime::from_ms(10);
+    let loose = TrafficEngine::new(cfg, &sys).run_steady(&mut sys);
+    assert_eq!(
+        loose.steady_slo_violations, 0,
+        "a 10 ms SLO must never be violated in steady state"
+    );
+}
+
+/// The closed loop can never exceed its population's concurrency: at
+/// any instant at most `users` requests are outstanding, so a tiny
+/// population with long think times completes strictly slower than a
+/// big one.
+#[test]
+fn closed_loop_throughput_scales_with_population() {
+    let mut small_cfg = config(LoopMode::Closed, ArrivalProcess::Poisson, 13);
+    small_cfg.users = 1;
+    small_cfg.think = SimTime::from_us(2);
+    let mut sys = boot(13);
+    let small = TrafficEngine::new(small_cfg, &sys).run_steady(&mut sys);
+
+    let mut big_cfg = config(LoopMode::Closed, ArrivalProcess::Poisson, 13);
+    big_cfg.users = 32;
+    big_cfg.think = SimTime::from_us(2);
+    let mut sys = boot(13);
+    let big = TrafficEngine::new(big_cfg, &sys).run_steady(&mut sys);
+
+    assert_eq!(small.completed, 120);
+    assert_eq!(big.completed, 120);
+    assert!(
+        big.elapsed < small.elapsed,
+        "32 users ({}) should finish before 1 user ({})",
+        big.elapsed,
+        small.elapsed
+    );
+}
