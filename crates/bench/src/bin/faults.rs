@@ -2,9 +2,17 @@
 //! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--media | --failover | --power | --traffic] [--smoke] [--seeds N] [--lines N] [--metrics]
+//! faults [--chaos | --media | --failover | --power | --traffic]
+//!        [--smoke] [--seeds N] [--lines N] [--metrics] [--replay FILE]
 //! ```
 //!
+//! * `--chaos` — run the chaos campaign: seed-generated composable
+//!   fault plans (link noise, flip storms, scrub toggles, maintenance
+//!   pulls, EPOW, power cuts, rate steps) against a ledgered load,
+//!   every plan executed twice and held to the global durability
+//!   oracle; failing plans are shrunk to minimal JSON reproducers
+//!   (`CHAOS_repro_*.json`) replayable with `--replay FILE`, and
+//!   `BENCH_chaos.json` is written with a ≥0.8× plans/sec gate;
 //! * `--traffic` — run the SLO-under-fault traffic campaign: an
 //!   open-loop zipfian request stream over the failover testbed while
 //!   {nothing, a scrub storm, a channel failover, an EPOW + reboot}
@@ -33,17 +41,103 @@
 //! scenario does not permit a typed failure — and, for `--media`, if
 //! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::{failover, faults, media, power, traffic};
+use contutto_bench::{chaos, failover, faults, media, power, traffic};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
-    let value = |name: &str| -> Option<u64> {
+    let text = |name: &str| -> Option<&String> {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
     };
+    let value = |name: &str| -> Option<u64> { text(name).and_then(|v| v.parse().ok()) };
+
+    if flag("--chaos") {
+        if let Some(path) = text("--replay") {
+            let json = match std::fs::read_to_string(path) {
+                Ok(json) => json,
+                Err(e) => {
+                    eprintln!("cannot read reproducer {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let plan = match chaos::FaultPlan::from_json(&json) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("cannot parse reproducer {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "replaying {path}: {} layout, seed {}, {} requests, {} actions",
+                plan.layout.name(),
+                plan.seed,
+                plan.requests,
+                plan.actions.len()
+            );
+            let report = chaos::run_plan(&plan);
+            println!(
+                "fingerprint {:016x}, {} applied, {} reboots, deterministic: {}",
+                report.fingerprint,
+                report.applied,
+                report.reboots,
+                if report.deterministic { "yes" } else { "NO" }
+            );
+            for v in &report.violations {
+                println!("VIOLATION: {v}");
+            }
+            if report.clean() {
+                println!("plan upheld the durability contract");
+            } else {
+                std::process::exit(1);
+            }
+            return;
+        }
+        let mut cfg = if flag("--smoke") {
+            chaos::CampaignConfig::smoke()
+        } else {
+            chaos::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.requests = n.max(16);
+        }
+        let report = chaos::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        let mut repro = 0usize;
+        for record in &report.records {
+            if let Some(plan) = &record.reproducer {
+                let path = format!("CHAOS_repro_{repro}.json");
+                match std::fs::write(&path, plan.to_json()) {
+                    Ok(()) => eprintln!(
+                        "wrote minimal reproducer {path} (seed {} plan {}) — replay with \
+                         `faults --chaos --replay {path}`",
+                        record.seed, record.index
+                    ),
+                    Err(e) => eprintln!("warning: could not write {path}: {e}"),
+                }
+                repro += 1;
+            }
+        }
+        let baseline = std::fs::read_to_string("BENCH_chaos.json").ok();
+        let violations = report.violations(baseline.as_deref());
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        if let Err(e) = std::fs::write("BENCH_chaos.json", report.to_json()) {
+            eprintln!("warning: could not write BENCH_chaos.json: {e}");
+        } else {
+            println!("wrote BENCH_chaos.json");
+        }
+        if !violations.is_empty() {
+            eprintln!("chaos campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if flag("--traffic") {
         let mut cfg = if flag("--smoke") {

@@ -476,10 +476,11 @@ fn run_once(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
 /// marks the report non-deterministic (a violation).
 pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
     let lines = lines.max(4).next_multiple_of(2);
-    let mut report = run_once(scenario, seed, lines);
-    let rerun = run_once(scenario, seed, lines);
-    report.deterministic =
-        report.fingerprint == rerun.fingerprint && report.outcome == rerun.outcome;
+    let (mut report, deterministic) = crate::harness::run_twice_assert_identical(
+        || run_once(scenario, seed, lines),
+        |a, b| a.fingerprint == b.fingerprint && a.outcome == b.outcome,
+    );
+    report.deterministic = deterministic;
     report
 }
 

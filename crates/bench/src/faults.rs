@@ -178,6 +178,8 @@ pub struct RunReport {
     pub fingerprint: u64,
     /// Free tags after the run settled (32 = nothing leaked).
     pub tags_free_after: usize,
+    /// Same-seed rerun matched (fingerprint and outcome).
+    pub deterministic: bool,
     /// Full metrics snapshot for `--metrics` aggregation.
     pub metrics: MetricsRegistry,
 }
@@ -185,6 +187,9 @@ pub struct RunReport {
 impl RunReport {
     /// Whether this run violates the campaign's invariants.
     pub fn is_violation(&self) -> bool {
+        if !self.deterministic {
+            return true;
+        }
         match &self.outcome {
             Outcome::Pass | Outcome::Degraded => false,
             Outcome::Fail(_) => !self.scenario.may_fail(),
@@ -247,7 +252,7 @@ impl CampaignReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>4}  {:<10} {:>7} {:>8} {:>9} {:>8} {:>6}  {:<16}\n",
+            "{:<16} {:>4}  {:<10} {:>7} {:>8} {:>9} {:>8} {:>6} {:>4}  {:<16}\n",
             "scenario",
             "seed",
             "outcome",
@@ -256,9 +261,10 @@ impl CampaignReport {
             "reclaimed",
             "replays",
             "crc",
+            "det",
             "fingerprint"
         ));
-        out.push_str(&"-".repeat(96));
+        out.push_str(&"-".repeat(101));
         out.push('\n');
         for r in &self.runs {
             let outcome = match &r.outcome {
@@ -266,7 +272,7 @@ impl CampaignReport {
                 other => other.to_string(),
             };
             out.push_str(&format!(
-                "{:<16} {:>4}  {:<10} {:>7} {:>8} {:>9} {:>8} {:>6}  {:016x}\n",
+                "{:<16} {:>4}  {:<10} {:>7} {:>8} {:>9} {:>8} {:>6} {:>4}  {:016x}\n",
                 r.scenario.name(),
                 r.seed,
                 outcome,
@@ -275,6 +281,7 @@ impl CampaignReport {
                 r.reclaimed,
                 r.replays,
                 r.crc_errors,
+                if r.deterministic { "yes" } else { "NO" },
                 r.fingerprint,
             ));
         }
@@ -397,10 +404,7 @@ fn pipelined_workload(ch: &mut DmiChannel, seed: u64, lines: u64) -> (u64, Optio
     (mismatches, None)
 }
 
-/// Runs one scenario at one seed, catching panics so a regression in
-/// the recovery machinery shows up as a `Panicked` row rather than
-/// aborting the campaign.
-pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
+fn run_once(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
     let result = catch_unwind(AssertUnwindSafe(move || {
         let mut ch = channel_for(scenario, seed);
         let tracer = ch.enable_tracing(1 << 15);
@@ -448,6 +452,7 @@ pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
             crc_errors,
             fingerprint: tracer.fingerprint(),
             tags_free_after: ch.tags_available(),
+            deterministic: true,
             metrics,
         }
     }));
@@ -468,9 +473,24 @@ pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
             crc_errors: 0,
             fingerprint: 0,
             tags_free_after: 0,
+            deterministic: true,
             metrics: MetricsRegistry::new(),
         }
     })
+}
+
+/// Runs one scenario at one seed — twice, because byte-identical
+/// same-seed traces are part of the contract: a divergence marks the
+/// run non-deterministic, which is always a violation. Panics are
+/// caught so a regression in the recovery machinery shows up as a
+/// `Panicked` row rather than aborting the campaign.
+pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
+    let (mut report, deterministic) = crate::harness::run_twice_assert_identical(
+        || run_once(scenario, seed, lines),
+        |a, b| a.fingerprint == b.fingerprint && a.outcome == b.outcome,
+    );
+    report.deterministic = deterministic;
+    report
 }
 
 /// Runs every scenario across every seed.

@@ -21,6 +21,7 @@
 //! the dependent-load probe on the simulated channel of the
 //! corresponding configuration — the same methodology as the paper.
 
+pub mod chaos;
 pub mod failover;
 pub mod faults;
 pub mod harness;

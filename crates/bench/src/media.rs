@@ -168,6 +168,8 @@ pub struct RunReport {
     pub poisoned_reads: u64,
     /// Trace fingerprint — byte-identical across same-seed runs.
     pub fingerprint: u64,
+    /// Same-seed rerun matched (fingerprint and outcome).
+    pub deterministic: bool,
     /// Full metrics snapshot for `--metrics` aggregation.
     pub metrics: MetricsRegistry,
 }
@@ -177,6 +179,9 @@ impl RunReport {
     /// Poison is *not* a violation — it is the loud failure the whole
     /// pipeline exists to deliver.
     pub fn is_violation(&self) -> bool {
+        if !self.deterministic {
+            return true;
+        }
         match &self.outcome {
             Outcome::Pass | Outcome::Degraded => false,
             Outcome::Fail(_) | Outcome::Corrupt { .. } | Outcome::Panicked(_) => true,
@@ -262,7 +267,7 @@ impl CampaignReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>4}  {:<10} {:>9} {:>7} {:>6} {:>7} {:>8}  {:<16}\n",
+            "{:<16} {:>4}  {:<10} {:>9} {:>7} {:>6} {:>7} {:>8} {:>4}  {:<16}\n",
             "scenario",
             "seed",
             "outcome",
@@ -271,13 +276,14 @@ impl CampaignReport {
             "scrubs",
             "retired",
             "poisoned",
+            "det",
             "fingerprint"
         ));
-        out.push_str(&"-".repeat(96));
+        out.push_str(&"-".repeat(101));
         out.push('\n');
         for r in &self.runs {
             out.push_str(&format!(
-                "{:<16} {:>4}  {:<10} {:>9} {:>7} {:>6} {:>7} {:>8}  {:016x}\n",
+                "{:<16} {:>4}  {:<10} {:>9} {:>7} {:>6} {:>7} {:>8} {:>4}  {:016x}\n",
                 r.scenario.name(),
                 r.seed,
                 r.outcome.to_string(),
@@ -286,6 +292,7 @@ impl CampaignReport {
                 r.scrub_passes,
                 r.pages_retired,
                 r.poisoned_reads,
+                if r.deterministic { "yes" } else { "NO" },
                 r.fingerprint,
             ));
         }
@@ -353,10 +360,7 @@ fn workload(ch: &mut DmiChannel, seed: u64, lines: u64) -> (u64, Option<DmiError
     (mismatches, None, poisoned)
 }
 
-/// Runs one scenario at one seed, catching panics so a regression
-/// shows up as a `Panicked` row rather than aborting the campaign.
-pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
-    let lines = lines.max(2).next_multiple_of(2);
+fn run_once(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
     let result = catch_unwind(AssertUnwindSafe(move || {
         let mut ch = channel_for(scenario, seed, lines);
         let tracer = ch.enable_tracing(1 << 15);
@@ -387,6 +391,7 @@ pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
             pages_retired,
             poisoned_reads: poisoned,
             fingerprint: tracer.fingerprint(),
+            deterministic: true,
             metrics,
         }
     }));
@@ -406,9 +411,25 @@ pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
             pages_retired: 0,
             poisoned_reads: 0,
             fingerprint: 0,
+            deterministic: true,
             metrics: MetricsRegistry::new(),
         }
     })
+}
+
+/// Runs one scenario at one seed — twice, because byte-identical
+/// same-seed traces are part of the contract: a divergence marks the
+/// run non-deterministic, which is always a violation. Panics are
+/// caught so a regression shows up as a `Panicked` row rather than
+/// aborting the campaign.
+pub fn run_scenario(scenario: Scenario, seed: u64, lines: u64) -> RunReport {
+    let lines = lines.max(2).next_multiple_of(2);
+    let (mut report, deterministic) = crate::harness::run_twice_assert_identical(
+        || run_once(scenario, seed, lines),
+        |a, b| a.fingerprint == b.fingerprint && a.outcome == b.outcome,
+    );
+    report.deterministic = deterministic;
+    report
 }
 
 /// Runs every media × scrub scenario across every seed.

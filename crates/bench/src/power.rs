@@ -590,9 +590,10 @@ pub fn run_crash_point(
     seed: u64,
     cut_after: u64,
 ) -> (RunRecord, MetricsRegistry) {
-    let first = run_once(scenario, seed, cut_after);
-    let rerun = run_once(scenario, seed, cut_after);
-    let deterministic = first.fingerprint == rerun.fingerprint && first.outcome == rerun.outcome;
+    let (first, deterministic) = crate::harness::run_twice_assert_identical(
+        || run_once(scenario, seed, cut_after),
+        |a, b| a.fingerprint == b.fingerprint && a.outcome == b.outcome,
+    );
     (
         RunRecord {
             seed,

@@ -326,11 +326,11 @@ fn run_once(scenario: Scenario, seed: u64, requests: u64) -> RunReport {
 /// non-deterministic.
 pub fn run_scenario(scenario: Scenario, seed: u64, requests: u64) -> RunReport {
     let requests = requests.max(30);
-    let mut report = run_once(scenario, seed, requests);
-    let rerun = run_once(scenario, seed, requests);
-    report.deterministic = report.fingerprint == rerun.fingerprint
-        && report.report == rerun.report
-        && report.panicked == rerun.panicked;
+    let (mut report, deterministic) = crate::harness::run_twice_assert_identical(
+        || run_once(scenario, seed, requests),
+        |a, b| a.fingerprint == b.fingerprint && a.report == b.report && a.panicked == b.panicked,
+    );
+    report.deterministic = deterministic;
     report
 }
 

@@ -222,7 +222,17 @@ impl Centaur {
                     self.write_line(read_done, addr, &merged)
                 }
             }
-            _ => unreachable!("only write-class headers carry data"),
+            // A data-carrying assembly completed against a read-class
+            // header: decode aliasing slipped a WriteData stream onto
+            // a tag that never asked for one. Drop the data loudly and
+            // still complete the tag so the channel does not hang on a
+            // done that would otherwise never come.
+            CommandHeader::Read { .. } | CommandHeader::Flush => {
+                self.stats.frames_orphaned += 1;
+                self.tracer
+                    .record(TraceEvent::FrameOrphaned { tag: tag.raw() });
+                start
+            }
         };
         self.ready.push_back((
             done + self.cfg.tx_latency,
@@ -299,7 +309,7 @@ impl DmiBuffer for Centaur {
         if !ready_now {
             return None;
         }
-        let (_, first) = self.ready.pop_front().expect("checked non-empty");
+        let (_, first) = self.ready.pop_front()?;
         // Pack two ready dones into one frame, as the upstream format
         // allows (paper §3.3(iii)).
         if let UpstreamPayload::Done {
@@ -472,6 +482,49 @@ mod tests {
         assert!(resp
             .iter()
             .any(|(_, p)| matches!(p, UpstreamPayload::Done { .. })));
+    }
+
+    #[test]
+    fn data_beats_against_a_read_header_complete_without_panicking() {
+        // Decode aliasing in the worst case: a WriteData stream
+        // assembles fully against a tag whose pending header is
+        // read-class. The data must be dropped (orphan-flagged), the
+        // tag must still get its Done, and no write may execute.
+        let mut c = centaur();
+        let tracer = Tracer::ring(16);
+        c.attach_tracer(tracer.clone());
+        c.pending_writes.insert(
+            t(5),
+            PendingWrite {
+                header: CommandHeader::Read { addr: 0x2000 },
+                assembler: LineAssembler::downstream(),
+            },
+        );
+        let line = CacheLine::patterned(3);
+        for (i, beat) in line_to_downstream_beats(t(5), &line)
+            .into_iter()
+            .enumerate()
+        {
+            c.push_downstream(SimTime::from_ns(2) * (i as u64), beat);
+        }
+        assert_eq!(c.stats().frames_orphaned, 1);
+        assert_eq!(c.stats().writes, 0, "the stray data must not land");
+        assert_eq!(
+            tracer.count_matching(|e| matches!(e, TraceEvent::FrameOrphaned { tag: 5 })),
+            1
+        );
+        let resp = drain_all(&mut c, SimTime::from_us(2));
+        assert!(
+            resp.iter()
+                .any(|(_, p)| matches!(p, UpstreamPayload::Done { first, .. } if first.raw() == 5)),
+            "the aliased tag still completes"
+        );
+    }
+
+    #[test]
+    fn empty_ready_queue_pull_is_none_not_fatal() {
+        let mut c = centaur();
+        assert!(c.pull_upstream(SimTime::from_us(1)).is_none());
     }
 
     #[test]

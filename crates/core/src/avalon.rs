@@ -207,6 +207,21 @@ impl AvalonBus {
         }
     }
 
+    /// Enables patrol scrub on every port mid-run, first pass due one
+    /// interval after `now`.
+    pub fn enable_scrub_at(&mut self, now: SimTime, interval: SimTime) {
+        for c in &mut self.controllers {
+            c.enable_scrub_at(now, interval);
+        }
+    }
+
+    /// Disables patrol scrub on every port.
+    pub fn disable_scrub(&mut self) {
+        for c in &mut self.controllers {
+            c.disable_scrub();
+        }
+    }
+
     /// Arms a media-fault injector on every port. Each port's seed is
     /// decorrelated so the two DIMMs do not fail in lock-step.
     pub fn attach_media_faults(&mut self, cfg: FaultConfig) {
@@ -214,6 +229,16 @@ impl AvalonBus {
             let mut port_cfg = cfg;
             port_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
             c.attach_media_faults(port_cfg);
+        }
+    }
+
+    /// Arms a media-fault injector on every port with the flip
+    /// schedule starting at `now`, same per-port seed decorrelation.
+    pub fn attach_media_faults_at(&mut self, now: SimTime, cfg: FaultConfig) {
+        for (i, c) in self.controllers.iter_mut().enumerate() {
+            let mut port_cfg = cfg;
+            port_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            c.attach_media_faults_at(now, port_cfg);
         }
     }
 

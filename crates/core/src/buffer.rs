@@ -9,7 +9,7 @@
 //! plus the extensions: the latency knob (§4.1), non-DRAM memory
 //! (§4.2) and the acceleration hooks (§4.3).
 
-use contutto_dmi::buffer::{DmiBuffer, PowerRestoreOutcome};
+use contutto_dmi::buffer::{DmiBuffer, MediaFaultSpec, PowerRestoreOutcome};
 use contutto_dmi::frame::{DownstreamPayload, UpstreamPayload};
 use contutto_memdev::{FaultConfig, MramGeneration, RasCounters};
 use contutto_sim::{MetricsRegistry, SimTime, Tracer};
@@ -296,6 +296,30 @@ impl DmiBuffer for ConTutto {
 
     fn set_supercap_budget_nj(&mut self, nj: u64) {
         self.mbs.avalon_mut().set_supercap_budget_nj(nj);
+    }
+
+    fn arm_media_faults(&mut self, now: SimTime, spec: MediaFaultSpec) -> bool {
+        self.mbs.avalon_mut().attach_media_faults_at(
+            now,
+            FaultConfig {
+                seed: spec.seed,
+                transient_flips: spec.transient_flips,
+                window: spec.window,
+                hot_start: spec.hot_start,
+                hot_len: spec.hot_len.max(1),
+                stuck_cells: spec.stuck_cells,
+                wear_acceleration: 0.0,
+            },
+        );
+        true
+    }
+
+    fn set_scrub(&mut self, now: SimTime, interval: Option<SimTime>) -> bool {
+        match interval {
+            Some(interval) => self.mbs.avalon_mut().enable_scrub_at(now, interval),
+            None => self.mbs.avalon_mut().disable_scrub(),
+        }
+        true
     }
 
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {

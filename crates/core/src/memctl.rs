@@ -118,6 +118,16 @@ impl MemoryController {
         }
     }
 
+    /// Installs an injector whose flip schedule starts at `now`
+    /// (runtime re-arm from a chaos plan).
+    pub fn attach_media_faults_at(&mut self, now: SimTime, cfg: FaultConfig) {
+        match &mut self.device {
+            PortDevice::Dram(d) => d.attach_media_faults_at(now, cfg),
+            PortDevice::Mram(d) => d.attach_media_faults_at(now, cfg),
+            PortDevice::Nvdimm(d) => d.attach_media_faults_at(now, cfg),
+        }
+    }
+
     /// Correctable errors a page may accumulate before retirement.
     pub fn set_retire_threshold(&mut self, threshold: u32) {
         match &mut self.device {
@@ -133,6 +143,16 @@ impl MemoryController {
         assert!(interval > SimTime::ZERO, "scrub interval must be nonzero");
         self.scrub_interval = Some(interval);
         self.next_scrub = interval;
+    }
+
+    /// Enables patrol scrub mid-run: the first pass falls due one
+    /// interval after `now`, never retroactively. A zero interval is
+    /// clamped to 1 ps — chaos plans are external input and must not
+    /// abort the process.
+    pub fn enable_scrub_at(&mut self, now: SimTime, interval: SimTime) {
+        let interval = interval.max(SimTime::from_ps(1));
+        self.scrub_interval = Some(interval);
+        self.next_scrub = now + interval;
     }
 
     /// Disables patrol scrub.

@@ -70,6 +70,27 @@ impl std::fmt::Display for PowerRestoreOutcome {
     }
 }
 
+/// A media fault burst described from the channel's side of the DMI
+/// link, mirroring the memdev fault-injector knobs without a
+/// dependency on that crate (the dmi crate sits below the device
+/// models in the layering). Buffers that own fault-capable media
+/// translate this into their device-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaFaultSpec {
+    /// Seed for the burst's own RNG stream.
+    pub seed: u64,
+    /// Transient single-bit flips to schedule across the window.
+    pub transient_flips: u32,
+    /// Window over which the flips land, starting at the arm time.
+    pub window: SimTime,
+    /// First line of the hot range flips concentrate in.
+    pub hot_start: u64,
+    /// Length of the hot range in lines (clamped to ≥ 1).
+    pub hot_len: u64,
+    /// Permanently stuck cells to plant immediately.
+    pub stuck_cells: u32,
+}
+
 /// A DMI slave device: parses downstream traffic, executes commands,
 /// emits upstream responses.
 pub trait DmiBuffer {
@@ -164,6 +185,24 @@ pub trait DmiBuffer {
     /// ignore it (the default).
     fn set_supercap_budget_nj(&mut self, nj: u64) {
         let _ = nj;
+    }
+
+    /// Arms a media fault burst at runtime: flips scheduled relative
+    /// to `now`, stuck cells planted immediately. Returns `true` if
+    /// the buffer's media accepted the burst; `false` when the model
+    /// has no fault-capable media (the default).
+    fn arm_media_faults(&mut self, now: SimTime, spec: MediaFaultSpec) -> bool {
+        let _ = (now, spec);
+        false
+    }
+
+    /// Reconfigures patrol scrub at runtime: `Some(interval)` (re)arms
+    /// it with the next pass at `now + interval`, `None` disables it.
+    /// Returns `true` if the buffer has a scrub engine; `false`
+    /// otherwise (the default).
+    fn set_scrub(&mut self, now: SimTime, interval: Option<SimTime>) -> bool {
+        let _ = (now, interval);
+        false
     }
 }
 

@@ -47,7 +47,7 @@ pub mod protocol;
 pub mod scramble;
 pub mod training;
 
-pub use buffer::{DmiBuffer, PowerRestoreOutcome};
+pub use buffer::{DmiBuffer, MediaFaultSpec, PowerRestoreOutcome};
 pub use command::{CacheLine, CommandOp, MemCommand, MemResponse, Tag, TagPool, CACHE_LINE_BYTES};
 pub use error::DmiError;
 pub use frame::{DownstreamFrame, DownstreamPayload, UpstreamFrame, UpstreamPayload};

@@ -105,26 +105,33 @@ pub struct MediaFaultInjector {
 
 impl MediaFaultInjector {
     /// Builds the full fault plan from `cfg` (all randomness is
-    /// consumed here; injection itself is pure replay).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the hot range is empty.
+    /// consumed here; injection itself is pure replay). Flips are
+    /// scheduled over `[0, window)`.
     pub fn new(cfg: FaultConfig) -> Self {
-        assert!(cfg.hot_len > 0, "hot range must be non-empty");
+        Self::new_at(cfg, SimTime::ZERO)
+    }
+
+    /// Like [`Self::new`] but scheduled relative to `start`: flips
+    /// land over `[start, start + window)`. This is what lets a chaos
+    /// plan arm a fault burst on a device mid-run without the burst
+    /// retroactively landing in the past. An empty hot range is
+    /// clamped to one byte rather than rejected — replayed plan files
+    /// are external input and must not abort the process.
+    pub fn new_at(cfg: FaultConfig, start: SimTime) -> Self {
+        let hot_len = cfg.hot_len.max(1);
         let mut rng = SimRng::seed_from_u64(cfg.seed);
         let window_ps = cfg.window.as_ps().max(1);
         let mut schedule: Vec<TransientFlip> = (0..cfg.transient_flips)
             .map(|_| TransientFlip {
-                due: SimTime::from_ps(rng.gen_below(window_ps)),
-                addr: cfg.hot_start + rng.gen_below(cfg.hot_len),
+                due: start + SimTime::from_ps(rng.gen_below(window_ps)),
+                addr: cfg.hot_start + rng.gen_below(hot_len),
                 bit: rng.gen_below(8) as u8,
             })
             .collect();
         schedule.sort_by_key(|f| (f.due, f.addr, f.bit));
         let stuck: Vec<StuckCell> = (0..cfg.stuck_cells)
             .map(|_| StuckCell {
-                addr: cfg.hot_start + rng.gen_below(cfg.hot_len),
+                addr: cfg.hot_start + rng.gen_below(hot_len),
                 bit: rng.gen_below(8) as u8,
                 level: rng.gen_bool(0.5),
             })
@@ -261,6 +268,34 @@ mod tests {
         // Replant is a no-op.
         inj.plant_due(SimTime::from_ms(1), &mut store, &retired);
         assert_eq!(inj.stats().planted, 20);
+    }
+
+    #[test]
+    fn new_at_offsets_the_schedule_without_reordering_it() {
+        let base = MediaFaultInjector::new(cfg());
+        let start = SimTime::from_us(7);
+        let shifted = MediaFaultInjector::new_at(cfg(), start);
+        assert_eq!(base.schedule.len(), shifted.schedule.len());
+        for (a, b) in base.schedule.iter().zip(&shifted.schedule) {
+            assert_eq!(b.due, a.due + start);
+            assert_eq!((b.addr, b.bit), (a.addr, a.bit));
+        }
+        // Nothing is due before the arm time.
+        let mut inj = MediaFaultInjector::new_at(cfg(), start);
+        let mut store = SparseMemory::new();
+        let retired = BTreeSet::new();
+        inj.plant_due(start - SimTime::from_ps(1), &mut store, &retired);
+        assert_eq!(inj.stats().planted, 0);
+    }
+
+    #[test]
+    fn empty_hot_range_is_clamped_not_fatal() {
+        let inj = MediaFaultInjector::new(FaultConfig {
+            hot_len: 0,
+            hot_start: 64,
+            ..cfg()
+        });
+        assert!(inj.schedule.iter().all(|f| f.addr == 64));
     }
 
     #[test]

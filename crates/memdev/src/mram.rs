@@ -118,6 +118,13 @@ impl SttMram {
         self.ras.attach_injector(MediaFaultInjector::new(cfg));
     }
 
+    /// Installs an injector whose flip schedule starts at `now`
+    /// (runtime re-arm from a chaos plan).
+    pub fn attach_media_faults_at(&mut self, now: SimTime, cfg: FaultConfig) {
+        self.ras
+            .attach_injector(MediaFaultInjector::new_at(cfg, now));
+    }
+
     /// Correctable errors a page may accumulate before retirement.
     pub fn set_retire_threshold(&mut self, threshold: u32) {
         self.ras.set_retire_threshold(threshold);

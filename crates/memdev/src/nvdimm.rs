@@ -205,6 +205,12 @@ impl NvdimmN {
         self.dram.attach_media_faults(cfg);
     }
 
+    /// Installs a media-fault injector whose flip schedule starts at
+    /// `now` (runtime re-arm from a chaos plan).
+    pub fn attach_media_faults_at(&mut self, now: SimTime, cfg: FaultConfig) {
+        self.dram.attach_media_faults_at(now, cfg);
+    }
+
     /// Correctable errors a page may accumulate before retirement.
     pub fn set_retire_threshold(&mut self, threshold: u32) {
         self.dram.set_retire_threshold(threshold);
@@ -305,6 +311,16 @@ impl NvdimmN {
     /// (no CPU/FPGA involvement); otherwise contents are lost.
     /// Returns the time the DIMM is quiescent.
     pub fn power_loss(&mut self, now: SimTime) -> SimTime {
+        // A redundant cut — power glitching again while the engine is
+        // still saving, or after a save completed but before restore —
+        // must not re-stream the now-dark DRAM over the valid flash
+        // image: that would replace saved data with zeroes behind a
+        // clean CRC, a silent loss no restore check could catch.
+        match self.state {
+            SaveState::Saving { done_at } => return done_at.max(now),
+            SaveState::Saved => return now,
+            SaveState::Idle | SaveState::Lost => {}
+        }
         if self.armed {
             let done = now + self.backup_duration();
             // Functionally: stream the DRAM image into flash, hashing
@@ -592,6 +608,30 @@ mod tests {
         nv.power_loss(done + SimTime::from_ms(1));
         assert_eq!(nv.save_state(), SaveState::Lost);
         assert!(!nv.is_durable(done + SimTime::from_ms(2)));
+    }
+
+    #[test]
+    fn double_power_cut_does_not_destroy_the_save_image() {
+        let mut nv = nvdimm();
+        nv.write(SimTime::ZERO, 4096, &[0xA5; 128]);
+        let done = nv.power_loss(SimTime::from_ms(1));
+        // Power glitches: a second cut lands while the engine is still
+        // streaming. It must not restart the save from the now-dark
+        // DRAM — the in-flight image is all the data there is.
+        let quiesced = nv.power_loss(SimTime::from_ms(2));
+        assert_eq!(quiesced, done, "the original save window stands");
+        assert!(matches!(nv.save_state(), SaveState::Saving { .. }));
+        let usable = nv.power_restore(done).expect("image intact");
+        let mut buf = [0u8; 128];
+        nv.read(usable, 4096, &mut buf);
+        assert_eq!(buf, [0xA5; 128], "saved data survived the glitch");
+        // And again after the save completed but before any restore.
+        nv.write(usable, 4096, &[0x3C; 128]);
+        let done2 = nv.power_loss(usable + SimTime::from_ms(1));
+        let _ = nv.power_loss(done2 + SimTime::from_ms(1));
+        let usable2 = nv.power_restore(done2 + SimTime::from_ms(2)).expect("ok");
+        nv.read(usable2, 4096, &mut buf);
+        assert_eq!(buf, [0x3C; 128]);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`prefetch`] | the CPU-side stream prefetcher — why streaming workloads tolerate the FPGA's latency |
 //! | [`firmware`] | IPL: presence detect, plug rules, training with retries, SPD, NVDIMM arming |
 //! | [`fsp`] | the Flexible Service Processor: error logs, budgets, deconfiguration |
+//! | [`inject`] | the unified fault surface: typed [`FaultAction`]s routed to the injector owning each layer |
 //! | [`system`] | a whole S824-class system: 8 DMI channels with mixed Centaur/ConTutto population |
 
 pub mod caches;
@@ -19,6 +20,7 @@ pub mod channel;
 pub mod failover;
 pub mod firmware;
 pub mod fsp;
+pub mod inject;
 pub mod latency;
 pub mod memmap;
 pub mod prefetch;
@@ -28,6 +30,7 @@ pub use channel::{ChannelConfig, DmiChannel};
 pub use failover::{FailoverMode, FailoverStats};
 pub use firmware::{BootError, BootReport, Firmware, SlotPopulation};
 pub use fsp::{FspError, ServiceProcessor};
+pub use inject::{FaultAction, FaultOutcome};
 pub use latency::{LatencyProbe, MeasurementLevel};
 pub use memmap::{MemoryMap, MemoryRegion, RegionFlags, RouteError};
 pub use prefetch::StreamingLoader;

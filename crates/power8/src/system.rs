@@ -134,7 +134,7 @@ pub struct DataLoss {
 }
 
 /// The result of a cold reboot after a power cut.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RebootReport {
     /// When power returned.
     pub at: SimTime,
@@ -1373,6 +1373,19 @@ impl Power8System {
         });
         self.stats.failovers += 1;
         if !mirrored {
+            // Writes drained by the quiesce (or requeued by its link
+            // reset) have not been through `translate_completion` yet:
+            // their acks will be delivered after the remap, so their
+            // lines must evacuate too — snapshotting `written` alone
+            // would strand freshly acknowledged data on the dead
+            // buffer.
+            let in_flight: Vec<u64> = self
+                .outstanding
+                .values()
+                .filter(|r| r.slot == slot && r.data.is_some())
+                .map(|r| r.line_addr)
+                .collect();
+            self.written.entry(slot).or_default().extend(in_flight);
             // Evacuate everything software ever wrote through the dead
             // slot. The mirror already holds its copy by construction.
             let pending: BTreeSet<u64> = self.written.get(&slot).cloned().unwrap_or_default();
@@ -1764,6 +1777,50 @@ mod tests {
             Err(SystemError::Fsp(FspError::ChannelDeconfigured { .. }))
         ));
         assert!(sys.fsp().is_deconfigured(slot));
+    }
+
+    #[test]
+    fn store_in_flight_at_maintenance_pull_survives_evacuation() {
+        // Found by the chaos campaign: a pipelined store whose
+        // completion the quiesce drained but nobody had polled yet was
+        // acked *after* the remap, while the evacuation snapshot —
+        // taken from `written`, which only updates at completion
+        // translation — missed its line. The ack was then a lie: the
+        // data stayed on the deconfigured victim and the spare served
+        // zeros (or a stale copy) for a store software saw succeed.
+        let mut sys = Power8System::boot_with_failover(
+            layouts::failover_pair(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+            13,
+            FailoverMode::Spare { spare: 4 },
+        )
+        .unwrap();
+        let base = sys
+            .memory_map()
+            .regions()
+            .iter()
+            .find(|r| r.channel == 2)
+            .unwrap()
+            .base;
+        let line = CacheLine::patterned(77);
+        let id = sys.submit_store(base, line).unwrap();
+        // Pull the card with the store still in flight — no poll in
+        // between, so `written` has never heard of the line.
+        sys.maintenance_pull(2).unwrap();
+        let acked = sys
+            .drain()
+            .into_iter()
+            .any(|(rid, r)| rid == id && r.is_ok());
+        sys.complete_migration();
+        let read = sys.load_line(base);
+        match read {
+            Ok((back, _)) => assert_eq!(
+                back, line,
+                "spare serves wrong bytes for a store software saw acked: {acked}"
+            ),
+            // A typed loss would also honour the contract — but only
+            // if the store was never acknowledged as durable.
+            Err(e) => assert!(!acked, "store acked, then lost as {e:?}"),
+        }
     }
 
     #[test]

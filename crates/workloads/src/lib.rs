@@ -12,6 +12,7 @@
 //! | [`pointer_chase`] | linked-list traversal — the worst case §4.1 warns about |
 //! | [`baseline`] | single-thread software baselines for Table 5 (memcpy, min/max, FFT) |
 //! | [`traffic`] | open/closed-loop service traffic with tail-latency SLOs |
+//! | [`chaos_load`] | the chaos campaign's ledgered key/value load — every store remembered for the durability oracle |
 //!
 //! The SPEC and DB2 models are *analytic* (stall-cycle decomposition
 //! per benchmark), but their memory-latency inputs come from the
@@ -20,6 +21,7 @@
 //! the latency knob's effect with a probe, then run applications.
 
 pub mod baseline;
+pub mod chaos_load;
 pub mod db2;
 pub mod fio;
 pub mod gpfs;
@@ -28,6 +30,9 @@ pub mod spec;
 pub mod traffic;
 
 pub use baseline::SoftwareBaselines;
+pub use chaos_load::{
+    ChaosLoad, ChaosLoadConfig, ChaosLoadReport, ChaosTick, StoreEvent, StoreOutcome,
+};
 pub use db2::{Db2Workload, QueryKind};
 pub use fio::{FioEngine, FioPattern, FioResult};
 pub use gpfs::GpfsExperiment;

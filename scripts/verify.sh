@@ -40,6 +40,14 @@ echo "==> traffic SLO-under-fault campaign (smoke)"
 # requests/sec regression vs the last report.
 cargo run -p contutto-bench --release --bin faults --quiet -- --traffic --smoke
 
+echo "==> chaos campaign (smoke)"
+# Writes BENCH_chaos.json; fails on any durability-oracle violation
+# (silent corruption, resurrection, unreported loss, panic,
+# non-determinism between same-seed double runs) or a >20% plans/sec
+# regression vs the last report. Failing plans are shrunk to minimal
+# CHAOS_repro_*.json reproducers.
+cargo run -p contutto-bench --release --bin faults --quiet -- --chaos --smoke
+
 echo "==> mlp pipeline benchmark (smoke)"
 # Writes BENCH_pipeline.json; fails on broken determinism, a depth-16
 # speedup under 4x, or a >20% throughput regression vs the last report.
