@@ -2,7 +2,7 @@
 //! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--chaos | --media | --failover | --power | --traffic]
+//! faults [--chaos | --media | --failover | --power | --traffic | --overload]
 //!        [--smoke] [--seeds N] [--lines N] [--metrics] [--replay FILE]
 //! ```
 //!
@@ -21,6 +21,15 @@
 //!   and must be byte-identical (fingerprint + histogram identity),
 //!   and `BENCH_traffic.json` is written with a ≥0.8× requests/sec
 //!   regression gate against any prior baseline;
+//! * `--overload` — run the metastable-failure campaign: the same
+//!   open-loop stream over the *mirrored* testbed while a slow-channel
+//!   plus link-noise trigger holds for a bounded window mid-run; the
+//!   naive row (client retries, no defenses) must stay congested after
+//!   the trigger clears, the protected row (deadlines, admission
+//!   control, retry budget, breakers, hedged reads, brownout) must
+//!   recover to within 2× of steady p99 with zero duplicate
+//!   completions; `BENCH_overload.json` is written with a ≥0.8×
+//!   requests/sec regression gate;
 //! * `--media`   — run the media-fault campaign (seeded bit flips in
 //!   the DIMM arrays across {DRAM, MRAM, NVDIMM} × {scrub on/off})
 //!   instead of the link-fault campaign;
@@ -41,7 +50,7 @@
 //! scenario does not permit a typed failure — and, for `--media`, if
 //! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::{chaos, failover, faults, media, power, traffic};
+use contutto_bench::{chaos, failover, faults, media, overload, power, traffic};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -170,6 +179,42 @@ fn main() {
         }
         if !violations.is_empty() {
             eprintln!("traffic campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if flag("--overload") {
+        let mut cfg = if flag("--smoke") {
+            overload::CampaignConfig::smoke()
+        } else {
+            overload::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.requests = n.max(60);
+        }
+        let report = overload::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        if flag("--metrics") {
+            println!("\nmerged metrics across all runs:");
+            print!("{}", report.merged_metrics().render());
+        }
+        let baseline = std::fs::read_to_string("BENCH_overload.json").ok();
+        let violations = report.violations(baseline.as_deref());
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        let json = report.to_json();
+        if let Err(e) = std::fs::write("BENCH_overload.json", &json) {
+            eprintln!("warning: could not write BENCH_overload.json: {e}");
+        } else {
+            println!("wrote BENCH_overload.json");
+        }
+        if !violations.is_empty() {
+            eprintln!("overload campaign FAILED: see violations above");
             std::process::exit(1);
         }
         return;

@@ -81,6 +81,59 @@ fn print_metrics() {
         tracer.len(),
         tracer.fingerprint()
     );
+    print_overload_metrics();
+}
+
+/// Runs a short overload scenario — hedged reads with deadlines
+/// against a slowed mirrored primary — and renders the system-level
+/// registry so the `system.overload.*` counters show with live values.
+fn print_overload_metrics() {
+    use contutto_core::{ContuttoConfig, MemoryPopulation};
+    use contutto_power8::failover::FailoverMode;
+    use contutto_power8::firmware::layouts;
+    use contutto_power8::inject::FaultAction;
+    use contutto_power8::system::Power8System;
+    use contutto_power8::{HedgeConfig, OverloadConfig};
+    use contutto_sim::SimTime;
+
+    rule("Overload: system metrics (slowed primary, hedged reads, deadlines)");
+    let mut sys = Power8System::boot_with_failover(
+        layouts::failover_pair(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+        11,
+        FailoverMode::Mirrored {
+            primary: 2,
+            mirror: 4,
+        },
+    )
+    .expect("mirrored testbed boots");
+    let mut cfg = OverloadConfig::protective();
+    cfg.hedge = Some(HedgeConfig {
+        after: SimTime::from_ns(400),
+        max_in_flight: 8,
+    });
+    sys.set_overload_config(cfg);
+    sys.set_mlp_window(16);
+    sys.apply_fault_action(
+        sys.now(),
+        &FaultAction::SlowChannel {
+            slot: 2,
+            window: SimTime::from_us(50),
+        },
+    );
+    let base = 4u64 << 30; // the ConTutto region behind slot 2
+    let deadline = sys.now() + SimTime::from_us(5);
+    let mut issued = 0u64;
+    for i in 0..32u64 {
+        if sys
+            .submit_load_deadline(base + i * 128, Some(deadline))
+            .is_ok()
+        {
+            issued += 1;
+        }
+    }
+    let done = sys.drain();
+    assert_eq!(done.len() as u64, issued, "every admitted read resolves");
+    print!("{}", sys.metrics().render());
 }
 
 fn print_mram_generations() {

@@ -6,7 +6,8 @@
 //! This module closes the gap between them: a [`FaultPlan`] is a
 //! time-ordered list of typed actions — link noise windows, media flip
 //! storms, scrub toggles, maintenance pulls, EPOW, surprise power
-//! cuts, traffic-rate steps — generated from a seed at a configurable
+//! cuts, slow-channel windows, traffic-rate steps and bounded demand
+//! spikes — generated from a seed at a configurable
 //! intensity and applied against a live system through
 //! [`contutto_power8::Power8System::apply_fault_action`] while a
 //! ledgered key/value load
@@ -46,7 +47,7 @@ use contutto_core::{ContuttoConfig, MemoryKind, MemoryPopulation};
 use contutto_dmi::command::CacheLine;
 use contutto_power8::failover::FailoverMode;
 use contutto_power8::firmware::{layouts, BootError, SlotPopulation};
-use contutto_power8::system::Power8System;
+use contutto_power8::system::{Power8System, SystemError};
 use contutto_power8::{FaultAction, FaultOutcome};
 use contutto_sim::{SimRng, SimTime};
 use contutto_workloads::chaos_load::{ChaosLoad, ChaosLoadConfig, StoreEvent, StoreOutcome};
@@ -149,6 +150,17 @@ pub enum PlanAction {
         /// New inter-submit gap.
         gap: SimTime,
     },
+    /// A bounded demand burst: the inter-submit gap drops to `gap` for
+    /// `steps` logical steps, then snaps back to whatever the base
+    /// rate was (the plan's gap, or the last `RateStep`). Composed
+    /// with a `SlowChannel` window this is the metastable-failure
+    /// trigger shape: a load spike landing on degraded capacity.
+    TrafficSpike {
+        /// Burst inter-submit gap (smaller = harder).
+        gap: SimTime,
+        /// Logical steps the burst lasts.
+        steps: u64,
+    },
 }
 
 /// An action bound to the logical step it fires at.
@@ -202,7 +214,7 @@ impl FaultPlan {
             let slots = layout.fault_slots();
             let slot = slots[rng.gen_below(slots.len() as u64) as usize];
             let contutto = layout.contutto_slot();
-            match rng.gen_below(8) {
+            match rng.gen_below(10) {
                 0 | 1 => {
                     // Noise window: per-frame corruption the retry
                     // ladder must absorb, cleared later in the run.
@@ -271,6 +283,27 @@ impl FaultPlan {
                         action: PlanAction::Fault(action),
                     });
                 }
+                8 => {
+                    // Latency degradation: the channel goes slow, not
+                    // dead — the shape retry storms feed on.
+                    actions.push(PlannedAction {
+                        at_step,
+                        action: PlanAction::Fault(FaultAction::SlowChannel {
+                            slot,
+                            window: SimTime::from_us(in_range(&mut rng, 10, 40)),
+                        }),
+                    });
+                }
+                9 => {
+                    let steps = in_range(&mut rng, 4, requests / 4 + 4);
+                    actions.push(PlannedAction {
+                        at_step,
+                        action: PlanAction::TrafficSpike {
+                            gap: SimTime::from_ps(in_range(&mut rng, 50_000, 200_000)),
+                            steps,
+                        },
+                    });
+                }
                 _ => {
                     if layout == PlanLayout::Failover && pulls == 0 {
                         pulls += 1;
@@ -326,6 +359,10 @@ impl FaultPlan {
                 PlanAction::Fault(FaultAction::LinkClear { slot }) => {
                     format!("\"kind\": \"link_clear\", \"slot\": {slot}")
                 }
+                PlanAction::Fault(FaultAction::SlowChannel { slot, window }) => format!(
+                    "\"kind\": \"slow_channel\", \"slot\": {slot}, \"window_ps\": {}",
+                    window.as_ps()
+                ),
                 PlanAction::Fault(FaultAction::FlipStorm {
                     slot,
                     seed,
@@ -360,6 +397,10 @@ impl FaultPlan {
                 PlanAction::RateStep { gap } => {
                     format!("\"kind\": \"rate_step\", \"gap_ps\": {}", gap.as_ps())
                 }
+                PlanAction::TrafficSpike { gap, steps } => format!(
+                    "\"kind\": \"traffic_spike\", \"gap_ps\": {}, \"steps\": {steps}",
+                    gap.as_ps()
+                ),
             };
             let _ = writeln!(
                 out,
@@ -435,6 +476,14 @@ impl FaultPlan {
                 "link_clear" => PlanAction::Fault(FaultAction::LinkClear {
                     slot: slot()? as usize,
                 }),
+                "slow_channel" => PlanAction::Fault(FaultAction::SlowChannel {
+                    slot: slot()? as usize,
+                    window: SimTime::from_ps(
+                        int(chunk, "\"window_ps\"")
+                            .ok_or("slow_channel missing window_ps")?
+                            .max(1),
+                    ),
+                }),
                 "flip_storm" => PlanAction::Fault(FaultAction::FlipStorm {
                     slot: slot()? as usize,
                     seed: int(chunk, "\"seed\"").ok_or("flip_storm missing seed")?,
@@ -474,6 +523,16 @@ impl FaultPlan {
                             .ok_or("rate_step missing gap_ps")?
                             .max(1),
                     ),
+                },
+                "traffic_spike" => PlanAction::TrafficSpike {
+                    gap: SimTime::from_ps(
+                        int(chunk, "\"gap_ps\"")
+                            .ok_or("traffic_spike missing gap_ps")?
+                            .max(1),
+                    ),
+                    steps: int(chunk, "\"steps\"")
+                        .ok_or("traffic_spike missing steps")?
+                        .max(1),
                 },
                 other => return Err(format!("unknown action kind {other:?}")),
             };
@@ -525,6 +584,15 @@ pub enum Violation {
     Panicked(String),
     /// The same-seed rerun diverged (fingerprint or violations).
     NonDeterministic,
+    /// The system never dug itself out after the plan's faults: the
+    /// post-load drain tripped the no-progress watchdog and stranded
+    /// requests as `Stalled`. Recovery — not just durability — is
+    /// part of the contract: a wedged channel after every fault has
+    /// cleared is a metastable outcome, not an acceptable end state.
+    NoRecovery {
+        /// Requests stranded by the watchdog.
+        stranded: u64,
+    },
 }
 
 impl Violation {
@@ -537,6 +605,7 @@ impl Violation {
             Violation::UnexpectedError { .. } => "unexpected-error",
             Violation::Panicked(_) => "panic",
             Violation::NonDeterministic => "non-deterministic",
+            Violation::NoRecovery { .. } => "no-recovery",
         }
     }
 }
@@ -556,6 +625,9 @@ impl fmt::Display for Violation {
             Violation::UnexpectedError { context } => write!(f, "unexpected error: {context}"),
             Violation::Panicked(msg) => write!(f, "PANIC: {msg}"),
             Violation::NonDeterministic => write!(f, "double run diverged"),
+            Violation::NoRecovery { stranded } => {
+                write!(f, "no recovery: {stranded} requests stranded in the drain")
+            }
         }
     }
 }
@@ -816,13 +888,25 @@ pub fn run_plan_once(plan: &FaultPlan) -> PlanRunReport {
         let mut applied = 0u64;
         let mut skipped = 0u64;
         let mut reboots = 0u64;
+        let mut base_gap = plan.gap;
+        let mut spike_until: Option<u64> = None;
         let report = load.run(&mut sys, |sys, tick| {
             let mut new_gap = None;
+            if spike_until.is_some_and(|until| tick.step >= until) {
+                spike_until = None;
+                new_gap = Some(base_gap);
+            }
             while cursor < plan.actions.len() && plan.actions[cursor].at_step <= tick.step {
                 let now = sys.now();
                 match &plan.actions[cursor].action {
                     PlanAction::RateStep { gap } => {
+                        base_gap = *gap;
                         new_gap = Some(*gap);
+                        applied += 1;
+                    }
+                    PlanAction::TrafficSpike { gap, steps } => {
+                        new_gap = Some(*gap);
+                        spike_until = Some(tick.step + (*steps).max(1));
                         applied += 1;
                     }
                     PlanAction::Fault(action) => match sys.apply_fault_action(now, action) {
@@ -852,8 +936,15 @@ pub fn run_plan_once(plan: &FaultPlan) -> PlanRunReport {
             }
             new_gap
         });
-        let _ = sys.drain();
-        let violations = oracle.check(&mut sys, &report.ledger, &wipes);
+        let drained = sys.drain();
+        let stranded = drained
+            .iter()
+            .filter(|(_, r)| matches!(r, Err(SystemError::Stalled)))
+            .count() as u64;
+        let mut violations = oracle.check(&mut sys, &report.ledger, &wipes);
+        if stranded > 0 {
+            violations.push(Violation::NoRecovery { stranded });
+        }
         PlanRunReport {
             violations,
             fingerprint: tracer.fingerprint(),
@@ -994,6 +1085,16 @@ fn narrow(pa: &PlannedAction) -> PlannedAction {
                 outage: SimTime::from_ps((outage.as_ps() / 2).max(1_000_000)),
             })
         }
+        PlanAction::Fault(FaultAction::SlowChannel { slot, window }) => {
+            PlanAction::Fault(FaultAction::SlowChannel {
+                slot: *slot,
+                window: SimTime::from_ps((window.as_ps() / 2).max(1_000_000)),
+            })
+        }
+        PlanAction::TrafficSpike { gap, steps } => PlanAction::TrafficSpike {
+            gap: SimTime::from_ps(gap.as_ps().saturating_mul(2)),
+            steps: (*steps / 2).max(1),
+        },
         other => other.clone(),
     };
     PlannedAction {
@@ -1249,6 +1350,31 @@ mod tests {
                 at_step: 40,
                 action: PlanAction::Fault(FaultAction::Sabotage { slot: 2, addr: 0 }),
             }],
+        };
+        let back = FaultPlan::from_json(&plan.to_json()).expect("parse back");
+        assert_eq!(plan, back);
+        // The overload-trigger actions round-trip too.
+        let plan = FaultPlan {
+            layout: PlanLayout::Failover,
+            seed: 1,
+            requests: 48,
+            gap: DEFAULT_GAP,
+            actions: vec![
+                PlannedAction {
+                    at_step: 8,
+                    action: PlanAction::Fault(FaultAction::SlowChannel {
+                        slot: 2,
+                        window: SimTime::from_us(25),
+                    }),
+                },
+                PlannedAction {
+                    at_step: 12,
+                    action: PlanAction::TrafficSpike {
+                        gap: SimTime::from_ns(100),
+                        steps: 16,
+                    },
+                },
+            ],
         };
         let back = FaultPlan::from_json(&plan.to_json()).expect("parse back");
         assert_eq!(plan, back);

@@ -26,6 +26,7 @@ pub mod failover;
 pub mod faults;
 pub mod harness;
 pub mod media;
+pub mod overload;
 pub mod pipeline;
 pub mod power;
 pub mod traffic;

@@ -139,6 +139,9 @@ fn traffic_config(requests: u64, seed: u64) -> TrafficConfig {
         read_fraction: 0.9,
         mlp_window: 16,
         slo: SimTime::from_us(4),
+        deadline: None,
+        client_retries: 0,
+        client_backoff: SimTime::from_us(2),
         seed,
     }
 }
@@ -307,8 +310,16 @@ fn run_once(scenario: Scenario, seed: u64, requests: u64) -> RunReport {
                 elapsed: SimTime::ZERO,
                 steady: Default::default(),
                 fault: Default::default(),
+                recovery: Default::default(),
                 steady_slo_violations: 0,
                 fault_slo_violations: 0,
+                recovery_slo_violations: 0,
+                shed: [0; 3],
+                deadline_expired: 0,
+                client_retries: 0,
+                client_retries_denied: 0,
+                duplicate_completions: 0,
+                hedges: [0; 3],
                 hot_key_completions: 0,
             },
             fault_fired: false,

@@ -222,6 +222,12 @@ impl AvalonBus {
         }
     }
 
+    /// Current patrol-scrub interval. All ports are armed together, so
+    /// the first port's interval speaks for the bus.
+    pub fn scrub_interval(&self) -> Option<SimTime> {
+        self.controllers.first().and_then(|c| c.scrub_interval())
+    }
+
     /// Arms a media-fault injector on every port. Each port's seed is
     /// decorrelated so the two DIMMs do not fail in lock-step.
     pub fn attach_media_faults(&mut self, cfg: FaultConfig) {

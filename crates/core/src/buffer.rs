@@ -322,6 +322,10 @@ impl DmiBuffer for ConTutto {
         true
     }
 
+    fn scrub_interval(&self) -> Option<SimTime> {
+        self.mbs.avalon().scrub_interval()
+    }
+
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         let stats = self.stats();
         registry.set_counter(&format!("{prefix}.reads"), stats.mbs.reads);

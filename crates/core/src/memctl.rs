@@ -160,6 +160,11 @@ impl MemoryController {
         self.scrub_interval = None;
     }
 
+    /// Current patrol-scrub interval, if scrub is enabled.
+    pub fn scrub_interval(&self) -> Option<SimTime> {
+        self.scrub_interval
+    }
+
     /// Cumulative media RAS counters for this port.
     pub fn ras_counters(&self) -> RasCounters {
         match &self.device {

@@ -204,6 +204,12 @@ pub trait DmiBuffer {
         let _ = (now, interval);
         false
     }
+
+    /// Current patrol-scrub interval, `None` when scrub is disabled or
+    /// the buffer has no scrub engine (the default).
+    fn scrub_interval(&self) -> Option<SimTime> {
+        None
+    }
 }
 
 #[cfg(test)]

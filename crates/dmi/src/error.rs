@@ -71,6 +71,14 @@ pub enum DmiError {
         /// Host address the RMW targeted.
         addr: u64,
     },
+    /// The command's propagated deadline expired before it could be
+    /// issued (or before a timed-out attempt could be re-queued); it
+    /// was dropped without touching the link. Not hardware evidence —
+    /// the work was shed, not failed.
+    DeadlineExceeded {
+        /// How long the command sat before being dropped.
+        waited: SimTime,
+    },
 }
 
 impl fmt::Display for DmiError {
@@ -103,6 +111,9 @@ impl fmt::Display for DmiError {
             DmiError::Poisoned { addr } => write!(f, "poisoned data at {addr:#x}"),
             DmiError::RmwAborted { addr } => {
                 write!(f, "rmw at {addr:#x} aborted mid-flight; not retried")
+            }
+            DmiError::DeadlineExceeded { waited } => {
+                write!(f, "deadline expired after {waited} queued; command shed")
             }
         }
     }
@@ -138,6 +149,9 @@ mod tests {
             DmiError::Config("replay buffer must cover the ack timeout"),
             DmiError::Poisoned { addr: 0x8000 },
             DmiError::RmwAborted { addr: 0x4000 },
+            DmiError::DeadlineExceeded {
+                waited: SimTime::from_us(40),
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -143,6 +143,10 @@ struct QueuedCmd {
     attempt: u32,
     /// Retrain escalations already spent on this command.
     retrains_used: u32,
+    /// Absolute request deadline, if the submitter set one. An expired
+    /// command is dropped instead of issued, and an expired retry is
+    /// never re-queued.
+    abs_deadline: Option<SimTime>,
 }
 
 /// Ladder state carried by an in-flight tracked command: its identity,
@@ -156,6 +160,8 @@ struct TrackedPending {
     attempt: u32,
     retrains_used: u32,
     deadline: SimTime,
+    /// Absolute request deadline (see [`QueuedCmd::abs_deadline`]).
+    abs_deadline: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -252,6 +258,20 @@ pub struct DmiChannel {
     stale_responses: u64,
     poisoned_reads: u64,
     rmw_aborts: u64,
+    /// Shared retry budget: when set, every ladder backoff retry spends
+    /// a token and every tracked success refills one. A denied spend
+    /// skips the retry rung — the ladder falls through to retrain /
+    /// the typed error instead of amplifying load.
+    retry_budget: Option<std::rc::Rc<std::cell::RefCell<crate::overload::RetryBudget>>>,
+    retries_denied: u64,
+    /// Commands dropped (queued or timed out) because their absolute
+    /// request deadline had already expired.
+    deadline_drops: u64,
+    /// A latency-degrade fault window: the in-flight window is clamped
+    /// to 1 until this instant, then restored.
+    degraded_until: Option<SimTime>,
+    degraded_saved_window: usize,
+    degrade_windows: u64,
 }
 
 impl std::fmt::Debug for DmiChannel {
@@ -315,6 +335,12 @@ impl DmiChannel {
             stale_responses: 0,
             poisoned_reads: 0,
             rmw_aborts: 0,
+            retry_budget: None,
+            retries_denied: 0,
+            deadline_drops: 0,
+            degraded_until: None,
+            degraded_saved_window: NUM_TAGS,
+            degrade_windows: 0,
         })
     }
 
@@ -389,6 +415,9 @@ impl DmiChannel {
         reg.set_counter("channel.window", self.window as u64);
         reg.set_counter("channel.cmds_queued", self.queue.len() as u64);
         reg.set_counter("channel.rmw_aborts", self.rmw_aborts);
+        reg.set_counter("channel.retries_denied", self.retries_denied);
+        reg.set_counter("channel.deadline_drops", self.deadline_drops);
+        reg.set_counter("channel.degrade_windows", self.degrade_windows);
         reg.set_latency("channel.command_latency", &self.command_latency);
         self.buffer.register_metrics("buffer", &mut reg);
         reg
@@ -506,6 +535,46 @@ impl DmiChannel {
     /// on the issue queue.
     pub fn set_inflight_window(&mut self, window: usize) {
         self.window = window.clamp(1, NUM_TAGS);
+        // An explicit window change supersedes a degrade restore.
+        self.degraded_until = None;
+    }
+
+    /// Applies a latency-degrade fault window: the in-flight window is
+    /// clamped to 1 for `window` of sim time, serializing every
+    /// command, then restored. Overlapping degrades extend the window.
+    pub fn degrade_for(&mut self, window: SimTime) {
+        if self.degraded_until.is_none() {
+            self.degraded_saved_window = self.window;
+            self.degrade_windows += 1;
+        }
+        let until = self.now + window;
+        self.degraded_until = Some(self.degraded_until.map_or(until, |u| u.max(until)));
+        self.window = 1;
+    }
+
+    /// Whether a latency-degrade window is currently active.
+    pub fn degraded(&self) -> bool {
+        self.degraded_until.is_some()
+    }
+
+    /// Attaches the shared retry budget that gates the backoff-retry
+    /// rung of the ladder (and is refilled by tracked successes).
+    pub fn set_retry_budget(
+        &mut self,
+        budget: Option<std::rc::Rc<std::cell::RefCell<crate::overload::RetryBudget>>>,
+    ) {
+        self.retry_budget = budget;
+    }
+
+    /// Ladder retries denied by the shared retry budget so far.
+    pub fn retries_denied(&self) -> u64 {
+        self.retries_denied
+    }
+
+    /// Commands dropped because their request deadline expired (shed
+    /// before issue, or a retry that was never re-queued).
+    pub fn deadline_drops(&self) -> u64 {
+        self.deadline_drops
     }
 
     /// Swaps the downstream wire's error injector mid-run (fault
@@ -804,6 +873,19 @@ impl DmiChannel {
     /// because the buffer may already have applied the merge and only
     /// the done notification was lost.
     pub fn enqueue_command(&mut self, op: CommandOp) -> CmdId {
+        self.enqueue_command_deadline(op, None)
+    }
+
+    /// As [`DmiChannel::enqueue_command`], with an absolute request
+    /// deadline: an expired command is dropped before issue (finishing
+    /// with [`DmiError::Timeout`]) and an expired retry is never
+    /// re-queued — the ladder fails fast instead of resubmitting work
+    /// nobody is waiting for.
+    pub fn enqueue_command_deadline(
+        &mut self,
+        op: CommandOp,
+        abs_deadline: Option<SimTime>,
+    ) -> CmdId {
         let id = CmdId(self.next_cmd);
         self.next_cmd += 1;
         self.queue.insert(
@@ -813,6 +895,7 @@ impl DmiChannel {
                 enqueued: self.now,
                 attempt: 1,
                 retrains_used: 0,
+                abs_deadline,
             },
         );
         id
@@ -878,6 +961,14 @@ impl DmiChannel {
                 break;
             }
             let qc = self.queue.remove(&key).expect("key just found");
+            // An already-expired command is shed here, before it ever
+            // takes a tag or touches the wire.
+            if qc.abs_deadline.is_some_and(|d| self.now >= d) {
+                self.deadline_drops += 1;
+                let waited = self.now - qc.enqueued;
+                self.finish(id, Err(DmiError::DeadlineExceeded { waited }));
+                continue;
+            }
             let tracked = TrackedPending {
                 id,
                 op: qc.op.clone(),
@@ -885,6 +976,7 @@ impl DmiChannel {
                 attempt: qc.attempt,
                 retrains_used: qc.retrains_used,
                 deadline: self.now + self.retry.op_timeout,
+                abs_deadline: qc.abs_deadline,
             };
             if let Err(e) = self.submit_inner(qc.op, Some(tracked)) {
                 self.finish(id, Err(e));
@@ -924,7 +1016,31 @@ impl DmiChannel {
             self.finish(t.id, Err(DmiError::RmwAborted { addr }));
             return;
         }
-        if t.attempt < self.retry.max_attempts {
+        // An expired request never re-queues: its submitter's deadline
+        // has passed, so another attempt only adds load to a system
+        // that is already behind. Fail fast with the typed error.
+        if t.abs_deadline.is_some_and(|d| self.now >= d) {
+            self.deadline_drops += 1;
+            let waited = self.now - t.enqueued;
+            self.finish(t.id, Err(DmiError::DeadlineExceeded { waited }));
+            return;
+        }
+        // The backoff-retry rung is gated by the shared retry budget:
+        // under overload the bucket drains and the ladder falls through
+        // to retrain / the typed error instead of multiplying traffic.
+        let retry_allowed = t.attempt < self.retry.max_attempts && {
+            match &self.retry_budget {
+                None => true,
+                Some(budget) => {
+                    let ok = budget.borrow_mut().try_spend();
+                    if !ok {
+                        self.retries_denied += 1;
+                    }
+                    ok
+                }
+            }
+        };
+        if retry_allowed {
             let backoff = self.retry.base_backoff * (1u64 << (t.attempt - 1));
             self.retries_scheduled += 1;
             self.tracer.record(TraceEvent::RetryScheduled {
@@ -939,6 +1055,7 @@ impl DmiChannel {
                     enqueued: t.enqueued,
                     attempt: t.attempt + 1,
                     retrains_used: t.retrains_used,
+                    abs_deadline: t.abs_deadline,
                 },
             );
         } else if t.retrains_used < self.retry.max_retrains {
@@ -975,6 +1092,7 @@ impl DmiChannel {
                 enqueued: t.enqueued,
                 attempt: 1,
                 retrains_used: t.retrains_used + 1,
+                abs_deadline: t.abs_deadline,
             },
         );
         if let Err(e) = self.retrain() {
@@ -1008,6 +1126,7 @@ impl DmiChannel {
                     enqueued: t.enqueued,
                     attempt: t.attempt,
                     retrains_used: t.retrains_used,
+                    abs_deadline: t.abs_deadline,
                 },
             );
         }
@@ -1050,6 +1169,12 @@ impl DmiChannel {
             }
         }
         self.now += self.slot;
+        if let Some(until) = self.degraded_until {
+            if self.now >= until {
+                self.window = self.degraded_saved_window;
+                self.degraded_until = None;
+            }
+        }
         self.check_deadlines();
         if !self.quarantine.is_empty() {
             self.age_quarantine();
@@ -1147,6 +1272,13 @@ impl DmiChannel {
         }
         self.command_latency.record(now - pending.issued);
         let tracked = pending.tracked.take();
+        // Tracked successes refill the shared retry budget: the bucket
+        // grows as a fixed ratio of the success rate.
+        if tracked.is_some() {
+            if let Some(budget) = &self.retry_budget {
+                budget.borrow_mut().on_success();
+            }
+        }
         let completion = Completion {
             tag,
             completed_at: now,

@@ -24,6 +24,13 @@ pub const MIGRATION_LINE_COST: SimTime = SimTime::from_us(2);
 /// style" catch-up: progress rides on foreground traffic).
 pub const MIGRATION_BATCH: usize = 4;
 
+/// Migration batch while the system is browned out: evacuation yields
+/// almost all of its bandwidth to demand traffic, moving one line per
+/// pump so the backlog still drains (brownout must never starve the
+/// evacuation to a standstill — a dead buffer's data stays at risk
+/// until it is off the card).
+pub const BROWNOUT_MIGRATION_BATCH: usize = 1;
+
 /// Emit a `MigrationProgress` trace event every this many lines.
 pub const MIGRATION_PROGRESS_STRIDE: u64 = 8;
 

@@ -74,6 +74,9 @@ pub struct ServiceProcessor {
     deconfigured: Vec<usize>,
     /// Unrecovered errors tolerated per channel before deconfiguration.
     error_budget: u32,
+    /// Circuit-breaker state reports received from the system's
+    /// overload layer (open/close transitions).
+    breaker_reports: u64,
 }
 
 impl ServiceProcessor {
@@ -98,6 +101,7 @@ impl ServiceProcessor {
             unrecovered_counts: HashMap::new(),
             deconfigured: Vec::new(),
             error_budget,
+            breaker_reports: 0,
         }
     }
 
@@ -131,6 +135,29 @@ impl ServiceProcessor {
                 });
             }
         }
+    }
+
+    /// Records a circuit-breaker transition reported by the overload
+    /// layer. A breaker opening is evidence of persistent failure the
+    /// FSP folds into its own picture of channel health: the event is
+    /// logged ([`Severity::Recovered`] — the breaker *is* the recovery
+    /// action, fast-failing load away from the sick channel) and
+    /// counted, but does not by itself charge the unrecovered-error
+    /// budget; the ladder-final errors that tripped the breaker already
+    /// did.
+    pub fn note_breaker(&mut self, at: SimTime, channel: usize, open: bool) {
+        self.breaker_reports += 1;
+        let message = if open {
+            "circuit breaker opened (ladder-final error threshold)"
+        } else {
+            "circuit breaker closed (probe successes)"
+        };
+        self.log(at, channel, Severity::Recovered, message);
+    }
+
+    /// Breaker transitions reported so far.
+    pub fn breaker_reports(&self) -> u64 {
+        self.breaker_reports
     }
 
     /// Takes a channel out of service directly — the firmware's

@@ -43,6 +43,18 @@ pub enum FaultAction {
         /// Target slot.
         slot: usize,
     },
+    /// Latency degradation: collapses the channel's tracked in-flight
+    /// window to a single tag for `window` of channel time, modelling
+    /// a link that still works but has gone slow (a retraining lane, a
+    /// thermally throttled FPGA). The overload layer's metastable
+    /// campaign uses this as its trigger: a slow — not dead — channel
+    /// is what retry storms feed on.
+    SlowChannel {
+        /// Target slot.
+        slot: usize,
+        /// How long the degradation lasts, in channel time.
+        window: SimTime,
+    },
     /// A media fault burst on the DIMMs behind a slot: transient
     /// flips over a window starting now, concentrated in a hot range,
     /// plus permanently stuck cells.
@@ -153,6 +165,13 @@ impl Power8System {
                 };
                 ch.channel.set_down_injector(BitErrorInjector::never());
                 ch.channel.set_up_injector(BitErrorInjector::never());
+                FaultOutcome::Applied
+            }
+            FaultAction::SlowChannel { slot, window } => {
+                let Some(ch) = self.channel_mut(slot) else {
+                    return FaultOutcome::Skipped("no live channel in slot");
+                };
+                ch.channel.degrade_for(window.max(SimTime::from_ps(1)));
                 FaultOutcome::Applied
             }
             FaultAction::FlipStorm {
@@ -342,6 +361,27 @@ mod tests {
         sys.store_line(0, CacheLine::patterned(1)).expect("store");
         let (line, _) = sys.load_line(0).expect("load");
         assert_eq!(line, CacheLine::patterned(1));
+    }
+
+    #[test]
+    fn slow_channel_degrades_live_slots_and_skips_dead_ones() {
+        let mut sys = system();
+        let now = sys.now();
+        let slow = |slot| FaultAction::SlowChannel {
+            slot,
+            window: SimTime::from_us(30),
+        };
+        assert_eq!(sys.apply_fault_action(now, &slow(2)), FaultOutcome::Applied);
+        assert!(matches!(
+            sys.apply_fault_action(now, &slow(1)),
+            FaultOutcome::Skipped(_)
+        ));
+        // Degrade the channel serving address 0 too: a degraded channel
+        // still completes traffic (window = 1, not 0).
+        assert_eq!(sys.apply_fault_action(now, &slow(0)), FaultOutcome::Applied);
+        sys.store_line(0, CacheLine::patterned(3)).expect("store");
+        let (line, _) = sys.load_line(0).expect("load");
+        assert_eq!(line, CacheLine::patterned(3));
     }
 
     #[test]

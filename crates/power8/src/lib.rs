@@ -13,6 +13,7 @@
 //! | [`firmware`] | IPL: presence detect, plug rules, training with retries, SPD, NVDIMM arming |
 //! | [`fsp`] | the Flexible Service Processor: error logs, budgets, deconfiguration |
 //! | [`inject`] | the unified fault surface: typed [`FaultAction`]s routed to the injector owning each layer |
+//! | [`overload`] | overload-resilience policy: admission control, retry budgets, circuit breakers, hedging, brownout |
 //! | [`system`] | a whole S824-class system: 8 DMI channels with mixed Centaur/ConTutto population |
 
 pub mod caches;
@@ -23,6 +24,7 @@ pub mod fsp;
 pub mod inject;
 pub mod latency;
 pub mod memmap;
+pub mod overload;
 pub mod prefetch;
 pub mod system;
 
@@ -33,6 +35,10 @@ pub use fsp::{FspError, ServiceProcessor};
 pub use inject::{FaultAction, FaultOutcome};
 pub use latency::{LatencyProbe, MeasurementLevel};
 pub use memmap::{MemoryMap, MemoryRegion, RegionFlags, RouteError};
+pub use overload::{
+    AdmissionConfig, BreakerConfig, BreakerState, BrownoutConfig, CircuitBreaker, HedgeConfig,
+    OverloadConfig, OverloadStats, RetryBudget, RetryBudgetConfig,
+};
 pub use prefetch::StreamingLoader;
 pub use system::{
     DataLoss, EpowReport, Power8System, PowerConfig, PowerStats, RebootReport, SystemError,

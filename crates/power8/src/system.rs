@@ -14,7 +14,9 @@
 //! copy frontier; accesses with nowhere to go return typed errors,
 //! never panics.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use contutto_dmi::command::{CacheLine, CommandOp};
 use contutto_dmi::{DmiError, PowerRestoreOutcome};
@@ -31,6 +33,7 @@ use crate::firmware::{
 };
 use crate::fsp::{FspError, ServiceProcessor, Severity};
 use crate::memmap::{ChannelMemory, MemoryMap, RouteError};
+use crate::overload::{BreakerState, CircuitBreaker, OverloadConfig, OverloadStats, RetryBudget};
 
 /// Quiesce budget, in multiples of the channel's per-op timeout:
 /// enough for in-flight commands to complete or time out before the
@@ -42,6 +45,11 @@ const QUIESCE_TIMEOUTS: u64 = 3;
 /// common failover (primary → spare/mirror); the second covers a
 /// remap that happened while the retry was in flight.
 const MAX_REDIRECTS: u32 = 2;
+
+/// Pump rounds with outstanding work but no finished request and no
+/// clock progress before the no-progress watchdog gives up and fails
+/// the work with [`SystemError::Stalled`] instead of livelocking.
+const STALL_ROUNDS: u32 = 3;
 
 /// Hold-up energy charged per written cache line pushed out of the
 /// core caches in EPOW stage 1, in nanojoules.
@@ -160,6 +168,23 @@ pub enum SystemError {
     Dmi(DmiError),
     /// The system is powered off; no software access can proceed.
     PoweredOff,
+    /// The request's deadline expired before it was served; the work
+    /// was shed (at submit, in queue, or at completion translation),
+    /// never retried past the deadline.
+    DeadlineExceeded,
+    /// Admission control (bounded queue, deadline-aware queue-delay
+    /// estimate, or an open circuit breaker) rejected the request
+    /// before it was enqueued.
+    Shed {
+        /// The channel whose admission gate refused the request.
+        slot: usize,
+    },
+    /// The no-progress watchdog fired: pump rounds stopped advancing
+    /// the clock or finishing work while requests were outstanding.
+    Stalled,
+    /// The request id was never submitted, or its result was already
+    /// collected.
+    UnknownRequest,
 }
 
 impl std::fmt::Display for SystemError {
@@ -169,6 +194,14 @@ impl std::fmt::Display for SystemError {
             SystemError::Fsp(e) => write!(f, "fsp: {e}"),
             SystemError::Dmi(e) => write!(f, "dmi: {e}"),
             SystemError::PoweredOff => write!(f, "system is powered off"),
+            SystemError::DeadlineExceeded => write!(f, "deadline exceeded; request shed"),
+            SystemError::Shed { slot } => {
+                write!(f, "admission control shed the request for channel {slot}")
+            }
+            SystemError::Stalled => write!(f, "pump made no progress; request stalled"),
+            SystemError::UnknownRequest => {
+                write!(f, "request was never submitted or already collected")
+            }
         }
     }
 }
@@ -228,6 +261,12 @@ struct OutstandingReq {
     /// `None` for loads.
     data: Option<CacheLine>,
     redirects: u32,
+    /// Absolute deadline propagated from the submitter, if any.
+    deadline: Option<SimTime>,
+    /// Channel clock when the request was admitted (hedge aging).
+    submitted_at: SimTime,
+    /// Whether a hedge arm has been issued for this read.
+    hedged: bool,
 }
 
 /// Counters for the pipelined submit/poll path, surfaced as
@@ -272,6 +311,21 @@ pub struct Power8System {
     /// Finished pipelined requests awaiting [`Power8System::poll`].
     finished_sys: VecDeque<(ReqId, Result<MemCompletion, SystemError>)>,
     mlp_stats: MlpStats,
+    /// The overload policy ([`OverloadConfig::off`] by default: the
+    /// legacy service path, byte-identical to pre-overload runs).
+    overload: OverloadConfig,
+    /// The shared retry budget (ladder + client retries), when
+    /// configured. Shared with every channel via `Rc`.
+    retry_budget: Option<Rc<RefCell<RetryBudget>>>,
+    /// Per-channel circuit breakers, when configured.
+    breakers: BTreeMap<usize, CircuitBreaker>,
+    /// Hedged reads in flight: request id → arms still outstanding.
+    hedge_arms: BTreeMap<u64, u32>,
+    ov_stats: OverloadStats,
+    /// Whether brownout is currently engaged.
+    brownout: bool,
+    /// Scrub intervals saved while brownout stretches them.
+    brownout_saved_scrub: BTreeMap<usize, SimTime>,
 }
 
 impl std::fmt::Debug for Power8System {
@@ -338,6 +392,13 @@ impl Power8System {
             route_back: BTreeMap::new(),
             finished_sys: VecDeque::new(),
             mlp_stats: MlpStats::default(),
+            overload: OverloadConfig::off(),
+            retry_budget: None,
+            breakers: BTreeMap::new(),
+            hedge_arms: BTreeMap::new(),
+            ov_stats: OverloadStats::default(),
+            brownout: false,
+            brownout_saved_scrub: BTreeMap::new(),
         };
         // The boot report's arming list is a promise; keep it by
         // actually arming the supercap save on each NVDIMM buffer.
@@ -432,6 +493,61 @@ impl Power8System {
         for c in &mut self.channels {
             c.channel.set_retry_policy(policy.clone());
         }
+    }
+
+    /// Installs the overload policy: a shared retry budget is built
+    /// and distributed to every channel's ladder, per-channel circuit
+    /// breakers are armed, and admission/hedging/brownout take effect
+    /// on subsequent submissions. [`OverloadConfig::off`] restores the
+    /// legacy (ungoverned) service path.
+    pub fn set_overload_config(&mut self, cfg: OverloadConfig) {
+        self.exit_brownout();
+        self.breakers.clear();
+        let budget = cfg
+            .retry_budget
+            .map(|b| Rc::new(RefCell::new(RetryBudget::new(b))));
+        for c in &mut self.channels {
+            c.channel.set_retry_budget(budget.clone());
+        }
+        self.retry_budget = budget;
+        if let Some(bcfg) = cfg.breaker {
+            let slots: Vec<usize> = self.channels.iter().map(|c| c.slot).collect();
+            for slot in slots {
+                self.breakers.insert(slot, CircuitBreaker::new(bcfg));
+            }
+        }
+        self.overload = cfg;
+    }
+
+    /// The active overload policy.
+    pub fn overload_config(&self) -> &OverloadConfig {
+        &self.overload
+    }
+
+    /// System-level overload counters (`system.overload.*`).
+    pub fn overload_stats(&self) -> &OverloadStats {
+        &self.ov_stats
+    }
+
+    /// A client-level retry decision against the shared budget: spends
+    /// one token when a budget is configured (always allowed when
+    /// not). The traffic layer asks here before re-submitting, so
+    /// client retries and the channel ladder drain one bucket.
+    pub fn client_retry_allowed(&mut self) -> bool {
+        match &self.retry_budget {
+            None => true,
+            Some(b) => b.borrow_mut().try_spend(),
+        }
+    }
+
+    /// The circuit breaker state for a slot, when breakers are armed.
+    pub fn breaker_state(&self, slot: usize) -> Option<BreakerState> {
+        self.breakers.get(&slot).map(CircuitBreaker::state)
+    }
+
+    /// Whether brownout is currently engaged.
+    pub fn brownout_active(&self) -> bool {
+        self.brownout
     }
 
     /// Installs a power-fail energy model; a finite NVDIMM supercap
@@ -630,6 +746,11 @@ impl Power8System {
         self.outstanding.clear();
         self.route_back.clear();
         self.finished_sys.clear();
+        self.hedge_arms.clear();
+        // Brownout dies with the rail too — the stretched scrub
+        // intervals it saved are gone along with the scrub engines.
+        self.brownout = false;
+        self.brownout_saved_scrub.clear();
         self.powered = false;
         quiet
     }
@@ -796,6 +917,39 @@ impl Power8System {
             "system.power.restores_failed",
             self.power_stats.restores_failed,
         );
+        let o = &self.ov_stats;
+        reg.set_counter("system.overload.shed_admission", o.shed_admission);
+        reg.set_counter("system.overload.shed_deadline", o.shed_deadline);
+        reg.set_counter("system.overload.shed_breaker", o.shed_breaker);
+        reg.set_counter("system.overload.expired_at_submit", o.expired_at_submit);
+        reg.set_counter("system.overload.deadline_expired", o.deadline_expired);
+        reg.set_counter("system.overload.hedges_issued", o.hedges_issued);
+        reg.set_counter("system.overload.hedges_won", o.hedges_won);
+        reg.set_counter("system.overload.hedges_cancelled", o.hedges_cancelled);
+        reg.set_counter("system.overload.brownout_entries", o.brownout_entries);
+        reg.set_counter("system.overload.brownout_active", u64::from(self.brownout));
+        reg.set_counter("system.overload.stalls", o.stalls);
+        reg.set_counter(
+            "system.overload.breaker_opens",
+            self.breakers
+                .values()
+                .map(|b| u64::from(b.times_opened()))
+                .sum(),
+        );
+        reg.set_counter(
+            "system.overload.breakers_open",
+            self.breakers
+                .values()
+                .filter(|b| b.state() != BreakerState::Closed)
+                .count() as u64,
+        );
+        if let Some(b) = &self.retry_budget {
+            let b = b.borrow();
+            reg.set_counter("system.overload.retry_tokens", b.tokens());
+            reg.set_counter("system.overload.retries_spent", b.spent());
+            reg.set_counter("system.overload.retries_denied", b.denied());
+        }
+        reg.set_counter("system.fsp.breaker_reports", self.fsp.breaker_reports());
         reg
     }
 
@@ -822,7 +976,28 @@ impl Power8System {
     /// [`SystemError::Fsp`] when the owning channel is already
     /// deconfigured. Channel faults surface later, per completion.
     pub fn submit_load(&mut self, phys: u64) -> Result<ReqId, SystemError> {
-        self.submit_req(phys, None)
+        self.submit_req(phys, None, None)
+    }
+
+    /// [`Power8System::submit_load`] with a propagated absolute
+    /// deadline: the request is shed with
+    /// [`SystemError::DeadlineExceeded`] if already expired, shed with
+    /// [`SystemError::Shed`] if admission control predicts the queue
+    /// delay would blow it, and — once queued — dropped before issue
+    /// (and never re-queued by the retry ladder) past the deadline. An
+    /// answer that arrives after the deadline is delivered as the
+    /// typed error, not as a late success.
+    ///
+    /// # Errors
+    ///
+    /// As [`Power8System::submit_load`], plus
+    /// [`SystemError::DeadlineExceeded`] and [`SystemError::Shed`].
+    pub fn submit_load_deadline(
+        &mut self,
+        phys: u64,
+        deadline: Option<SimTime>,
+    ) -> Result<ReqId, SystemError> {
+        self.submit_req(phys, None, deadline)
     }
 
     /// Submits a pipelined store; otherwise as
@@ -834,13 +1009,34 @@ impl Power8System {
     ///
     /// As for [`Power8System::submit_load`].
     pub fn submit_store(&mut self, phys: u64, data: CacheLine) -> Result<ReqId, SystemError> {
-        self.submit_req(phys, Some(data))
+        self.submit_req(phys, Some(data), None)
     }
 
-    fn submit_req(&mut self, phys: u64, data: Option<CacheLine>) -> Result<ReqId, SystemError> {
+    /// [`Power8System::submit_store`] with a propagated deadline; see
+    /// [`Power8System::submit_load_deadline`] for the shed semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Power8System::submit_load_deadline`].
+    pub fn submit_store_deadline(
+        &mut self,
+        phys: u64,
+        data: CacheLine,
+        deadline: Option<SimTime>,
+    ) -> Result<ReqId, SystemError> {
+        self.submit_req(phys, Some(data), deadline)
+    }
+
+    fn submit_req(
+        &mut self,
+        phys: u64,
+        data: Option<CacheLine>,
+        deadline: Option<SimTime>,
+    ) -> Result<ReqId, SystemError> {
         if !self.powered {
             return Err(SystemError::PoweredOff);
         }
+        self.update_brownout();
         // Each submission advances the background evacuation a batch,
         // so migration pacing stays proportional to demand traffic.
         self.pump_migration();
@@ -848,6 +1044,40 @@ impl Power8System {
             .route(phys)
             .ok_or(SystemError::Route(RouteError::Unmapped { phys }))?;
         self.fsp.check_channel(slot)?;
+        let ch_now = self.now_of(slot);
+        // Circuit breaker: fast-fail work aimed at a channel whose
+        // ladder keeps losing, except for the half-open probe trickle.
+        if let Some(br) = self.breakers.get_mut(&slot) {
+            if !br.admit(ch_now) {
+                self.ov_stats.shed_breaker += 1;
+                return Err(SystemError::Shed { slot });
+            }
+        }
+        // A dead-on-arrival deadline sheds before any queue state is
+        // touched.
+        if deadline.is_some_and(|d| ch_now >= d) {
+            self.ov_stats.expired_at_submit += 1;
+            return Err(SystemError::DeadlineExceeded);
+        }
+        // Admission control: a bounded queue, and — deadline known —
+        // an estimate of whether queue delay alone would blow it.
+        if let Some(adm) = self.overload.admission {
+            let queued = self
+                .channels
+                .iter()
+                .find(|c| c.slot == slot)
+                .map_or(0, |c| c.channel.queued_commands());
+            if queued >= adm.queue_limit {
+                self.ov_stats.shed_admission += 1;
+                return Err(SystemError::Shed { slot });
+            }
+            if let Some(d) = deadline {
+                if ch_now + adm.service_estimate * (queued as u64 + 1) > d {
+                    self.ov_stats.shed_deadline += 1;
+                    return Err(SystemError::Shed { slot });
+                }
+            }
+        }
         let line_addr = local & !127;
         match data {
             // A demand read during evacuation is pulled ahead of the
@@ -876,7 +1106,7 @@ impl Power8System {
                 let ch = self.channel_mut(slot).ok_or(SystemError::Fsp(
                     FspError::ChannelDeconfigured { channel: slot },
                 ))?;
-                ch.channel.enqueue_command(op)
+                ch.channel.enqueue_command_deadline(op, deadline)
             };
         let id = self.next_req;
         self.next_req += 1;
@@ -888,6 +1118,9 @@ impl Power8System {
                 line_addr,
                 data,
                 redirects: 0,
+                deadline,
+                submitted_at: ch_now,
+                hedged: false,
             },
         );
         self.route_back.insert((slot, cmd), id);
@@ -908,6 +1141,7 @@ impl Power8System {
     pub fn poll(&mut self) -> Vec<(ReqId, Result<MemCompletion, SystemError>)> {
         if self.powered {
             self.pump_migration();
+            self.pump_hedges();
             self.pump_channels();
         }
         self.finished_sys.drain(..).collect()
@@ -915,14 +1149,49 @@ impl Power8System {
 
     /// Runs [`Power8System::poll`] rounds until no pipelined request
     /// is outstanding, returning everything that finished. Stops early
-    /// if the system powers off mid-drain.
+    /// if the system powers off mid-drain, and — if `STALL_ROUNDS`
+    /// consecutive rounds finish nothing and advance
+    /// no clock — fails the remaining requests with
+    /// [`SystemError::Stalled`] rather than livelocking on a wedged
+    /// channel.
     pub fn drain(&mut self) -> Vec<(ReqId, Result<MemCompletion, SystemError>)> {
         let mut out = Vec::new();
+        let mut stalled_rounds = 0u32;
         loop {
-            out.extend(self.poll());
+            let before = self.clock_sum();
+            let finished = self.poll();
+            let progressed = !finished.is_empty() || self.clock_sum() > before;
+            out.extend(finished);
             if self.outstanding.is_empty() || !self.powered {
                 break;
             }
+            if progressed {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if stalled_rounds >= STALL_ROUNDS {
+                    out.extend(self.fail_stalled());
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The no-progress watchdog's verdict: every outstanding request
+    /// is failed with [`SystemError::Stalled`], its route-back entries
+    /// and hedge state dropped, so a wedged channel can never livelock
+    /// the pump. Typed and loud — never a hang.
+    fn fail_stalled(&mut self) -> Vec<(ReqId, Result<MemCompletion, SystemError>)> {
+        self.ov_stats.stalls += 1;
+        let ids: Vec<u64> = self.outstanding.keys().copied().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            self.route_back.retain(|_, v| *v != id);
+            self.hedge_arms.remove(&id);
+            self.outstanding.remove(&id);
+            self.mlp_stats.completed += 1;
+            out.push((ReqId(id), Err(SystemError::Stalled)));
         }
         out
     }
@@ -930,6 +1199,17 @@ impl Power8System {
     /// Pipelined requests currently in flight.
     pub fn outstanding_reqs(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Progress signal for the no-progress watchdogs: the sum of every
+    /// channel clock. [`Power8System::now`] is the *max* across
+    /// channels, which hides a behind-the-max channel catching up;
+    /// the sum moves whenever any channel steps forward.
+    fn clock_sum(&self) -> u128 {
+        self.channels
+            .iter()
+            .map(|c| u128::from(c.channel.now().as_ps()))
+            .sum()
     }
 
     /// The system clock: the furthest-ahead channel. Channels advance
@@ -970,13 +1250,13 @@ impl Power8System {
     /// # Errors
     ///
     /// Whatever the request's ladder surfaced, plus
-    /// [`SystemError::PoweredOff`] if the rail dropped while waiting.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` was never submitted or its result was already
-    /// collected.
+    /// [`SystemError::PoweredOff`] if the rail dropped while waiting,
+    /// [`SystemError::UnknownRequest`] if `id` was never submitted or
+    /// its result was already collected, and [`SystemError::Stalled`]
+    /// if the pump stops making progress while the request is still
+    /// outstanding (no-progress watchdog; never a livelock).
     pub fn wait_req(&mut self, id: ReqId) -> Result<MemCompletion, SystemError> {
+        let mut stalled_rounds = 0u32;
         loop {
             if let Some(pos) = self.finished_sys.iter().position(|(r, _)| *r == id) {
                 return self
@@ -988,12 +1268,27 @@ impl Power8System {
             if !self.powered {
                 return Err(SystemError::PoweredOff);
             }
-            assert!(
-                self.outstanding.contains_key(&id.0),
-                "wait_req: request {id:?} was never submitted or already collected"
-            );
+            if !self.outstanding.contains_key(&id.0) {
+                return Err(SystemError::UnknownRequest);
+            }
+            let before_now = self.clock_sum();
+            let before_finished = self.finished_sys.len();
             self.pump_migration();
+            self.pump_hedges();
             self.pump_channels();
+            if self.clock_sum() > before_now || self.finished_sys.len() > before_finished {
+                stalled_rounds = 0;
+            } else {
+                stalled_rounds += 1;
+                if stalled_rounds >= STALL_ROUNDS {
+                    self.ov_stats.stalls += 1;
+                    self.route_back.retain(|_, v| *v != id.0);
+                    self.hedge_arms.remove(&id.0);
+                    self.outstanding.remove(&id.0);
+                    self.mlp_stats.completed += 1;
+                    return Err(SystemError::Stalled);
+                }
+            }
         }
     }
 
@@ -1019,10 +1314,167 @@ impl Power8System {
             };
             let Some(req_id) = self.route_back.remove(&(slot, cmd)) else {
                 // A tracked command someone enqueued directly on the
-                // channel, not through the system: not ours to route.
+                // channel, not through the system — or a cancelled
+                // hedge loser whose route entry was dropped when its
+                // sibling won: absorbed, never delivered twice.
                 continue;
             };
+            if self.hedge_arms.contains_key(&req_id) {
+                self.collect_hedged(slot, req_id, result);
+                continue;
+            }
             self.translate_completion(req_id, result);
+        }
+    }
+
+    /// Issues hedge reads: an outstanding read against the mirrored
+    /// primary that has aged past the hedge threshold gets a duplicate
+    /// read enqueued on the mirror. First completion wins; the loser's
+    /// route-back entry is dropped by [`Self::collect_hedged`], so its
+    /// completion is absorbed without a second delivery. Only reads
+    /// hedge — the mirror holds a full shadow copy by construction, so
+    /// the duplicate has no side effects to double-apply.
+    fn pump_hedges(&mut self) {
+        let Some(h) = self.overload.hedge else {
+            return;
+        };
+        let FailoverMode::Mirrored { primary, mirror } = self.mode else {
+            return;
+        };
+        if self.fsp.is_deconfigured(primary)
+            || self.fsp.is_deconfigured(mirror)
+            || self.channel_index(mirror).is_none()
+        {
+            return;
+        }
+        let mut budget = h.max_in_flight.saturating_sub(self.hedge_arms.len());
+        if budget == 0 {
+            return;
+        }
+        let now = self.now();
+        let due: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, r)| {
+                r.data.is_none()
+                    && !r.hedged
+                    && r.slot == primary
+                    && now >= r.submitted_at + h.after
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            if budget == 0 {
+                break;
+            }
+            let (line_addr, phys, deadline) = {
+                let r = self.outstanding.get(&id).expect("id collected above");
+                (r.line_addr, r.phys, r.deadline)
+            };
+            let Some(ch) = self.channel_mut(mirror) else {
+                return;
+            };
+            let cmd = ch
+                .channel
+                .enqueue_command_deadline(CommandOp::Read { addr: line_addr }, deadline);
+            self.route_back.insert((mirror, cmd), id);
+            self.outstanding
+                .get_mut(&id)
+                .expect("id collected above")
+                .hedged = true;
+            self.hedge_arms.insert(id, 2);
+            self.ov_stats.hedges_issued += 1;
+            self.tracer.record(TraceEvent::HedgeIssued { addr: phys });
+            budget -= 1;
+        }
+    }
+
+    /// One arm of a hedged read finished. A clean completion wins the
+    /// race: the request finishes once and the sibling's route entry
+    /// is cancelled. A losing arm (error, poison, no data) charges its
+    /// own channel's verdict and waits for the sibling — unless it was
+    /// the last arm, in which case its error is surfaced.
+    fn collect_hedged(
+        &mut self,
+        slot: usize,
+        req_id: u64,
+        result: Result<crate::channel::Completion, DmiError>,
+    ) {
+        let arms = self
+            .hedge_arms
+            .get_mut(&req_id)
+            .expect("caller checked hedge_arms");
+        *arms = arms.saturating_sub(1);
+        let arms_left = *arms;
+        let req = self
+            .outstanding
+            .get(&req_id)
+            .cloned()
+            .expect("hedged request is outstanding");
+        match result {
+            Ok(c) if !c.poisoned && c.data.is_some() => {
+                self.hedge_arms.remove(&req_id);
+                let stale: Vec<(usize, CmdId)> = self
+                    .route_back
+                    .iter()
+                    .filter(|&(_, &id)| id == req_id)
+                    .map(|(&k, _)| k)
+                    .collect();
+                for key in stale {
+                    self.route_back.remove(&key);
+                    self.ov_stats.hedges_cancelled += 1;
+                }
+                self.ov_stats.hedges_won += 1;
+                self.breaker_success(slot);
+                // Same completion-time deadline translation as the
+                // unhedged path: a winning arm that is still late
+                // surfaces the typed error.
+                if req.deadline.is_some_and(|d| c.completed_at >= d) {
+                    self.ov_stats.deadline_expired += 1;
+                    self.finish_req(req_id, Err(SystemError::DeadlineExceeded));
+                } else {
+                    self.finish_req(
+                        req_id,
+                        Ok(MemCompletion {
+                            phys: req.phys,
+                            data: c.data,
+                            completed_at: c.completed_at,
+                        }),
+                    );
+                }
+            }
+            other => {
+                let err = match other {
+                    Ok(c) if c.poisoned => {
+                        if let Some(ch) = self.channel_mut(slot) {
+                            ch.channel.note_poison_delivered(req.line_addr);
+                        }
+                        DmiError::Poisoned {
+                            addr: req.line_addr,
+                        }
+                    }
+                    Ok(_) => DmiError::MalformedFrame("read completed without data"),
+                    Err(e) => e,
+                };
+                // A deadline shed is not hardware evidence; everything
+                // else charges the arm's own channel.
+                let shed = matches!(err, DmiError::DeadlineExceeded { .. });
+                if !shed {
+                    self.apply_error_verdict(slot, req.line_addr, &err);
+                    if self.fsp.is_deconfigured(slot) {
+                        let _ = self.try_failover(slot);
+                    }
+                }
+                if arms_left == 0 {
+                    self.hedge_arms.remove(&req_id);
+                    if shed {
+                        self.ov_stats.deadline_expired += 1;
+                        self.finish_req(req_id, Err(SystemError::DeadlineExceeded));
+                    } else {
+                        self.finish_req(req_id, Err(SystemError::Dmi(err)));
+                    }
+                }
+            }
         }
     }
 
@@ -1041,6 +1493,13 @@ impl Power8System {
             .cloned()
             .expect("route_back entry implies an outstanding request");
         match result {
+            // Deadline translation at completion: the channel answered,
+            // but past the point anyone wants it. The hardware evidence
+            // is still a success (breaker credit stays); the *client*
+            // gets the typed error. A late store has genuinely landed,
+            // so its bookkeeping and mirror fan-out still run —
+            // reporting the ambiguous outcome without fanning out would
+            // silently desync the mirror.
             Ok(c) => match req.data {
                 None => {
                     if c.poisoned {
@@ -1056,14 +1515,22 @@ impl Power8System {
                         return;
                     }
                     match c.data {
-                        Some(data) => self.finish_req(
-                            req_id,
-                            Ok(MemCompletion {
-                                phys: req.phys,
-                                data: Some(data),
-                                completed_at: c.completed_at,
-                            }),
-                        ),
+                        Some(data) => {
+                            self.breaker_success(req.slot);
+                            if req.deadline.is_some_and(|d| c.completed_at >= d) {
+                                self.ov_stats.deadline_expired += 1;
+                                self.finish_req(req_id, Err(SystemError::DeadlineExceeded));
+                            } else {
+                                self.finish_req(
+                                    req_id,
+                                    Ok(MemCompletion {
+                                        phys: req.phys,
+                                        data: Some(data),
+                                        completed_at: c.completed_at,
+                                    }),
+                                );
+                            }
+                        }
                         None => self.finish_req(
                             req_id,
                             Err(SystemError::Dmi(DmiError::MalformedFrame(
@@ -1083,14 +1550,20 @@ impl Power8System {
                         lines.remove(&req.line_addr);
                     }
                     self.mirror_store(req.slot, req.line_addr, data);
-                    self.finish_req(
-                        req_id,
-                        Ok(MemCompletion {
-                            phys: req.phys,
-                            data: None,
-                            completed_at: c.completed_at,
-                        }),
-                    );
+                    self.breaker_success(req.slot);
+                    if req.deadline.is_some_and(|d| c.completed_at >= d) {
+                        self.ov_stats.deadline_expired += 1;
+                        self.finish_req(req_id, Err(SystemError::DeadlineExceeded));
+                    } else {
+                        self.finish_req(
+                            req_id,
+                            Ok(MemCompletion {
+                                phys: req.phys,
+                                data: None,
+                                completed_at: c.completed_at,
+                            }),
+                        );
+                    }
                 }
             },
             Err(err) => self.finish_req_error(req_id, err),
@@ -1110,47 +1583,68 @@ impl Power8System {
             .get(&req_id)
             .cloned()
             .expect("error for a request not outstanding");
+        // A channel-level deadline shed is not hardware evidence: the
+        // work was dropped, not failed. No verdict, no breaker charge,
+        // no fallback or redirect (an expired request must never be
+        // re-queued) — surface the typed system error directly.
+        if matches!(err, DmiError::DeadlineExceeded { .. }) {
+            self.ov_stats.deadline_expired += 1;
+            self.finish_req(req_id, Err(SystemError::DeadlineExceeded));
+            return;
+        }
+        let deadline_blown = req.deadline.is_some_and(|d| self.now_of(req.slot) >= d);
         self.apply_error_verdict(req.slot, req.line_addr, &err);
         if self.fsp.is_deconfigured(req.slot) {
             let _ = self.try_failover(req.slot);
         }
-        // Mirrored pairs fail reads over per-access: a poisoned or
-        // timed-out primary read is served from the shadow copy.
-        if req.data.is_none() {
-            if let FailoverMode::Mirrored { primary, mirror } = self.mode {
-                if req.slot == primary
-                    && matches!(err, DmiError::Poisoned { .. } | DmiError::Timeout { .. })
-                    && !self.fsp.is_deconfigured(mirror)
-                {
-                    let fallback = self
-                        .channel_mut(mirror)
-                        .and_then(|ch| ch.channel.read_line_blocking(req.line_addr).ok());
-                    if let Some((line, at)) = fallback {
-                        self.stats.mirror_read_fallbacks += 1;
-                        self.tracer
-                            .record(TraceEvent::MirrorReadFallback { addr: req.phys });
-                        self.finish_req(
-                            req_id,
-                            Ok(MemCompletion {
-                                phys: req.phys,
-                                data: Some(line),
-                                completed_at: at,
-                            }),
-                        );
+        // Recovery attempts (mirror fallback, redirect) are themselves
+        // retries; a request past its deadline skips them and fails
+        // fast — the verdict above still counted the hardware
+        // evidence.
+        if !deadline_blown {
+            // Mirrored pairs fail reads over per-access: a poisoned or
+            // timed-out primary read is served from the shadow copy.
+            if req.data.is_none() {
+                if let FailoverMode::Mirrored { primary, mirror } = self.mode {
+                    if req.slot == primary
+                        && matches!(err, DmiError::Poisoned { .. } | DmiError::Timeout { .. })
+                        && !self.fsp.is_deconfigured(mirror)
+                    {
+                        let fallback = self
+                            .channel_mut(mirror)
+                            .and_then(|ch| ch.channel.read_line_blocking(req.line_addr).ok());
+                        if let Some((line, at)) = fallback {
+                            self.stats.mirror_read_fallbacks += 1;
+                            self.tracer
+                                .record(TraceEvent::MirrorReadFallback { addr: req.phys });
+                            self.finish_req(
+                                req_id,
+                                Ok(MemCompletion {
+                                    phys: req.phys,
+                                    data: Some(line),
+                                    completed_at: at,
+                                }),
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            if matches!(err, DmiError::Timeout { .. }) && req.redirects < MAX_REDIRECTS {
+                if let Some((new_slot, _)) = self.route(req.phys) {
+                    if new_slot != req.slot {
+                        self.redirect_req(req_id);
                         return;
                     }
                 }
             }
         }
-        if matches!(err, DmiError::Timeout { .. }) && req.redirects < MAX_REDIRECTS {
-            if let Some((new_slot, _)) = self.route(req.phys) {
-                if new_slot != req.slot {
-                    self.redirect_req(req_id);
-                    return;
-                }
-            }
+        if deadline_blown {
+            self.ov_stats.deadline_expired += 1;
+            self.finish_req(req_id, Err(SystemError::DeadlineExceeded));
+        } else {
+            self.finish_req(req_id, Err(SystemError::Dmi(err)));
         }
-        self.finish_req(req_id, Err(SystemError::Dmi(err)));
     }
 
     /// Re-routes an outstanding request through the memory map after a
@@ -1199,7 +1693,7 @@ impl Power8System {
             );
             return;
         };
-        let cmd = ch.channel.enqueue_command(op);
+        let cmd = ch.channel.enqueue_command_deadline(op, req.deadline);
         let entry = self
             .outstanding
             .get_mut(&req_id)
@@ -1292,11 +1786,56 @@ impl Power8System {
         {
             return;
         }
+        self.breaker_failure(slot);
         let now = self.now_of(slot);
         if Firmware::classify_runtime_error(now, slot, err, &mut self.fsp)
             == ErrorAction::Deconfigure
         {
             self.fsp.deconfigure(now, slot, "recovery ladder exhausted");
+        }
+    }
+
+    /// Feeds a successful completion to the slot's breaker; a
+    /// half-open → closed transition is reported to the FSP and
+    /// traced.
+    fn breaker_success(&mut self, slot: usize) {
+        let closed = self
+            .breakers
+            .get_mut(&slot)
+            .is_some_and(CircuitBreaker::on_success);
+        if closed {
+            let now = self.now_of(slot);
+            self.fsp.note_breaker(now, slot, false);
+            self.tracer
+                .record(TraceEvent::BreakerTransition { slot, open: false });
+        }
+    }
+
+    /// Feeds a ladder-final failure to the slot's breaker. A trip is
+    /// reported to the FSP, and once a breaker has opened
+    /// `deconfigure_after_opens` times the FSP's verdict is that the
+    /// channel is persistently failing: it is deconfigured outright
+    /// (breaker state consumed as service-processor evidence).
+    fn breaker_failure(&mut self, slot: usize) {
+        let now = self.now_of(slot);
+        let tripped = self
+            .breakers
+            .get_mut(&slot)
+            .is_some_and(|br| br.on_failure(now));
+        if !tripped {
+            return;
+        }
+        self.fsp.note_breaker(now, slot, true);
+        self.tracer
+            .record(TraceEvent::BreakerTransition { slot, open: true });
+        let opens = self
+            .breakers
+            .get(&slot)
+            .map_or(0, CircuitBreaker::times_opened);
+        if let Some(bcfg) = self.overload.breaker {
+            if opens >= bcfg.deconfigure_after_opens && !self.fsp.is_deconfigured(slot) {
+                self.fsp.deconfigure(now, slot, "circuit breaker exhausted");
+            }
         }
     }
 
@@ -1409,10 +1948,76 @@ impl Power8System {
 
     /// Background catch-up: each demand access moves up to
     /// [`MIGRATION_BATCH`] lines (scrub-style, like the PR-3 patrol).
+    /// While browned out, the batch shrinks to the brownout batch so
+    /// evacuation yields its bandwidth to demand traffic — but never
+    /// to zero: a dead buffer's data stays at risk until it is off the
+    /// card.
     fn pump_migration(&mut self) {
-        for _ in 0..MIGRATION_BATCH {
+        let batch = if self.brownout {
+            self.overload
+                .brownout
+                .map_or(MIGRATION_BATCH, |b| b.migration_batch.max(1))
+        } else {
+            MIGRATION_BATCH
+        };
+        for _ in 0..batch {
             if !self.migrate_next() {
                 break;
+            }
+        }
+    }
+
+    /// The brownout hysteresis: total queued commands above the high
+    /// watermark engage it (migration batch shrinks, patrol scrub
+    /// intervals stretch); at or below the low watermark it releases
+    /// and the saved scrub intervals are restored.
+    fn update_brownout(&mut self) {
+        let Some(bo) = self.overload.brownout else {
+            return;
+        };
+        let queued: usize = self
+            .channels
+            .iter()
+            .map(|c| c.channel.queued_commands())
+            .sum();
+        if !self.brownout && queued >= bo.queue_high {
+            self.brownout = true;
+            self.ov_stats.brownout_entries += 1;
+            let slots: Vec<usize> = self.channels.iter().map(|c| c.slot).collect();
+            for slot in slots {
+                let Some(ch) = self.channel_mut(slot) else {
+                    continue;
+                };
+                let Some(iv) = ch.channel.buffer_mut().scrub_interval() else {
+                    continue;
+                };
+                let now = ch.channel.now();
+                let stretched = iv * u64::from(bo.scrub_stretch.max(1));
+                if ch.channel.buffer_mut().set_scrub(now, Some(stretched)) {
+                    self.brownout_saved_scrub.insert(slot, iv);
+                }
+            }
+        } else if self.brownout && queued <= bo.queue_low {
+            self.exit_brownout();
+        }
+    }
+
+    /// Releases brownout and restores every stretched scrub interval.
+    fn exit_brownout(&mut self) {
+        if !self.brownout {
+            return;
+        }
+        self.brownout = false;
+        let saved: Vec<(usize, SimTime)> = self
+            .brownout_saved_scrub
+            .iter()
+            .map(|(&slot, &iv)| (slot, iv))
+            .collect();
+        self.brownout_saved_scrub.clear();
+        for (slot, iv) in saved {
+            if let Some(ch) = self.channel_mut(slot) {
+                let now = ch.channel.now();
+                let _ = ch.channel.buffer_mut().set_scrub(now, Some(iv));
             }
         }
     }

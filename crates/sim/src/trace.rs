@@ -184,6 +184,12 @@ pub enum TraceEvent {
     /// corrupt image, or disarmed supercap); the loss is reported as a
     /// machine check, never silently.
     NvdimmRestoreFailed { slot: usize },
+    /// A read stuck past the hedge threshold issued a duplicate to the
+    /// mirror; first completion wins, the loser is cancelled.
+    HedgeIssued { addr: u64 },
+    /// A per-channel circuit breaker changed state (`open` = tripped,
+    /// `!open` = closed again after successful probes).
+    BreakerTransition { slot: usize, open: bool },
 }
 
 impl fmt::Display for TraceEvent {
@@ -280,6 +286,10 @@ impl fmt::Display for TraceEvent {
             PowerRestored => write!(f, "power-restored"),
             NvdimmRestored { slot } => write!(f, "nvdimm-restored slot={slot}"),
             NvdimmRestoreFailed { slot } => write!(f, "nvdimm-restore-failed slot={slot}"),
+            HedgeIssued { addr } => write!(f, "hedge-issued addr={addr:#x}"),
+            BreakerTransition { slot, open } => {
+                write!(f, "breaker-transition slot={slot} open={open}")
+            }
         }
     }
 }
@@ -648,12 +658,19 @@ mod tests {
         });
         t.record(TraceEvent::MirrorReadFallback { addr: 0x4000 });
         t.record(TraceEvent::FrameOrphaned { tag: 7 });
+        t.record(TraceEvent::HedgeIssued { addr: 0x4000 });
+        t.record(TraceEvent::BreakerTransition {
+            slot: 2,
+            open: true,
+        });
         let text = t.render();
         assert!(text.contains("channel-quiesced slot=2 clean=true"));
         assert!(text.contains("migration-progress from=2 to=4 migrated=8 remaining=16"));
         assert!(text.contains("channel-failed-over from=2 to=4 mirrored=false"));
         assert!(text.contains("mirror-read-fallback addr=0x4000"));
         assert!(text.contains("frame-orphaned tag=7"));
+        assert!(text.contains("hedge-issued addr=0x4000"));
+        assert!(text.contains("breaker-transition slot=2 open=true"));
     }
 
     #[test]

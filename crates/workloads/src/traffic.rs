@@ -65,6 +65,10 @@ pub enum Phase {
     Steady,
     /// A fault (scrub storm, failover, EPOW…) is in progress.
     Fault,
+    /// The fault trigger has cleared but the system may still be
+    /// digging out — the window where metastable congestion shows (or
+    /// doesn't). Labelled by the campaign hook after its trigger ends.
+    Recovery,
 }
 
 /// Traffic generator configuration.
@@ -96,6 +100,19 @@ pub struct TrafficConfig {
     pub mlp_window: usize,
     /// The latency SLO; completions above it count as violations.
     pub slo: SimTime,
+    /// Per-request deadline, relative to the nominal arrival: requests
+    /// are submitted with an absolute deadline of `arrival + deadline`
+    /// and the system sheds them (pre-issue) once it passes. `None`
+    /// disables deadline propagation.
+    pub deadline: Option<SimTime>,
+    /// Client-side retries per logical request after a retryable error
+    /// (open loop only). Each retry asks the system's shared retry
+    /// budget first — with no budget configured, retries are
+    /// unconditional, which is exactly the metastable-failure
+    /// amplifier the overload campaign demonstrates.
+    pub client_retries: u32,
+    /// Base client backoff; retry `n` waits `n × client_backoff`.
+    pub client_backoff: SimTime,
     /// RNG seed — same seed, byte-identical run.
     pub seed: u64,
 }
@@ -114,6 +131,9 @@ impl Default for TrafficConfig {
             read_fraction: 0.9,
             mlp_window: 16,
             slo: SimTime::from_us(2),
+            deadline: None,
+            client_retries: 0,
+            client_backoff: SimTime::from_us(2),
             seed: 0xC0FFEE,
         }
     }
@@ -149,12 +169,41 @@ pub struct TrafficReport {
     pub steady: LogHistogram,
     /// Latency distribution (ns) for fault-phase requests.
     pub fault: LogHistogram,
+    /// Latency distribution (ns) for recovery-phase requests.
+    pub recovery: LogHistogram,
     /// Steady-phase completions over the SLO.
     pub steady_slo_violations: u64,
     /// Fault-phase completions over the SLO.
     pub fault_slo_violations: u64,
+    /// Recovery-phase completions over the SLO.
+    pub recovery_slo_violations: u64,
+    /// Requests shed by the overload layer per phase
+    /// ([`SystemError::Shed`] + [`SystemError::DeadlineExceeded`]
+    /// events, at submit or completion), indexed steady/fault/recovery.
+    pub shed: [u64; 3],
+    /// The [`SystemError::DeadlineExceeded`] subset of `shed`.
+    pub deadline_expired: u64,
+    /// Client retries actually issued (budget-approved).
+    pub client_retries: u64,
+    /// Client retries the shared budget refused.
+    pub client_retries_denied: u64,
+    /// Completions for requests already finished — a hedge that
+    /// double-applied would show here. Must stay zero.
+    pub duplicate_completions: u64,
+    /// Hedged reads issued per phase (sampled from the system's
+    /// overload stats at each tick), indexed steady/fault/recovery.
+    pub hedges: [u64; 3],
     /// Completions that hit the hottest 1 % of keys (zipf sanity).
     pub hot_key_completions: u64,
+}
+
+/// Index of a [`Phase`] into the per-phase count arrays.
+fn phase_idx(phase: Phase) -> usize {
+    match phase {
+        Phase::Steady => 0,
+        Phase::Fault => 1,
+        Phase::Recovery => 2,
+    }
 }
 
 impl TrafficReport {
@@ -163,8 +212,20 @@ impl TrafficReport {
         let hist = match phase {
             Phase::Steady => &self.steady,
             Phase::Fault => &self.fault,
+            Phase::Recovery => &self.recovery,
         };
         SimTime::from_ns(hist.quantile(q))
+    }
+
+    /// Shed count for one phase (admission/breaker sheds + expired
+    /// deadlines, wherever in the request's life they fired).
+    pub fn shed_in(&self, phase: Phase) -> u64 {
+        self.shed[phase_idx(phase)]
+    }
+
+    /// Hedged reads issued while the run was in `phase`.
+    pub fn hedges_in(&self, phase: Phase) -> u64 {
+        self.hedges[phase_idx(phase)]
     }
 
     /// Successful completions per simulated second.
@@ -189,6 +250,7 @@ impl TrafficReport {
         reg.set_counter("system.traffic.orphaned", self.orphaned);
         reg.set_log_histogram("system.traffic.latency.steady", &self.steady);
         reg.set_log_histogram("system.traffic.latency.fault", &self.fault);
+        reg.set_log_histogram("system.traffic.latency.recovery", &self.recovery);
         reg.set_counter(
             "system.traffic.slo_violations.steady",
             self.steady_slo_violations,
@@ -197,17 +259,85 @@ impl TrafficReport {
             "system.traffic.slo_violations.fault",
             self.fault_slo_violations,
         );
+        reg.set_counter(
+            "system.traffic.slo_violations.recovery",
+            self.recovery_slo_violations,
+        );
+        reg.set_counter("system.traffic.shed.steady", self.shed[0]);
+        reg.set_counter("system.traffic.shed.fault", self.shed[1]);
+        reg.set_counter("system.traffic.shed.recovery", self.shed[2]);
+        reg.set_counter("system.traffic.deadline_expired", self.deadline_expired);
+        reg.set_counter("system.traffic.client_retries", self.client_retries);
+        reg.set_counter(
+            "system.traffic.client_retries_denied",
+            self.client_retries_denied,
+        );
+        reg.set_counter(
+            "system.traffic.duplicate_completions",
+            self.duplicate_completions,
+        );
+        reg.set_counter("system.traffic.hedges.steady", self.hedges[0]);
+        reg.set_counter("system.traffic.hedges.fault", self.hedges[1]);
+        reg.set_counter("system.traffic.hedges.recovery", self.hedges[2]);
     }
 }
 
 struct PendingReq {
     /// Nominal arrival (open loop) or issue instant (closed loop) —
-    /// the latency epoch.
+    /// the latency epoch. Retries keep the *original* epoch: a retried
+    /// request's latency honestly includes every failed attempt.
     issued: SimTime,
+    /// Absolute deadline submitted with every attempt. Fixed at the
+    /// first issue, so an expired retry is refused at submit and never
+    /// re-queued.
+    deadline: Option<SimTime>,
     phase: Phase,
     key: u64,
+    /// The op is sampled once per logical request so a retry replays
+    /// the same operation, not a fresh coin flip.
+    is_read: bool,
+    /// Client retries performed so far.
+    attempts: u32,
     /// Closed loop: which user is blocked on this request.
     user: Option<usize>,
+}
+
+/// Client-side retries waiting out their backoff, ordered by due time
+/// with a sequence tiebreaker so same-instant retries re-issue in a
+/// deterministic order.
+struct RetryQueue {
+    items: BTreeMap<(SimTime, u64), PendingReq>,
+    seq: u64,
+}
+
+impl RetryQueue {
+    fn new() -> Self {
+        RetryQueue {
+            items: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, due: SimTime, req: PendingReq) {
+        self.items.insert((due, self.seq), req);
+        self.seq += 1;
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<PendingReq> {
+        let (&(due, seq), _) = self.items.iter().next()?;
+        if due > now {
+            return None;
+        }
+        self.items.remove(&(due, seq))
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        self.items.keys().next().map(|&(t, _)| t)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
 }
 
 /// The traffic engine: key table, popularity distribution, arrival
@@ -300,17 +430,65 @@ impl TrafficEngine {
         }
     }
 
-    fn submit_one(
+    fn submit_req(&self, sys: &mut Power8System, req: &PendingReq) -> Result<ReqId, SystemError> {
+        let phys = self.addrs[req.key as usize];
+        if req.is_read {
+            sys.submit_load_deadline(phys, req.deadline)
+        } else {
+            sys.submit_store_deadline(phys, CacheLine::patterned(req.key), req.deadline)
+        }
+    }
+
+    /// Whether a failed request may be re-submitted: within the retry
+    /// limit, and the error isn't terminal. Expired deadlines are
+    /// never retried (the deadline is absolute — a retry would be
+    /// refused at submit anyway), and a dead rail or stranded request
+    /// has nothing to retry against.
+    fn retry_eligible(&self, req: &PendingReq, e: &SystemError) -> bool {
+        req.attempts < self.cfg.client_retries
+            && !matches!(
+                e,
+                SystemError::DeadlineExceeded
+                    | SystemError::PoweredOff
+                    | SystemError::UnknownRequest
+            )
+    }
+
+    /// Linear client backoff: retry `n` waits `n × client_backoff`.
+    fn backoff_for(&self, attempts: u32) -> SimTime {
+        self.cfg.client_backoff.max(SimTime::from_ps(1)) * u64::from(attempts.max(1))
+    }
+
+    /// Submits one logical request (first attempt or retry): on a
+    /// retryable submit error it is re-queued with backoff if the
+    /// shared retry budget allows, otherwise counted as finished.
+    fn issue(
         &self,
         sys: &mut Power8System,
-        rng: &mut SimRng,
-        key: u64,
-    ) -> Result<ReqId, SystemError> {
-        let phys = self.addrs[key as usize];
-        if rng.gen_bool(self.cfg.read_fraction) {
-            sys.submit_load(phys)
-        } else {
-            sys.submit_store(phys, CacheLine::patterned(key))
+        acc: &mut Accumulator,
+        pending: &mut BTreeMap<ReqId, PendingReq>,
+        retries: &mut RetryQueue,
+        mut req: PendingReq,
+        phase: Phase,
+    ) {
+        req.phase = phase;
+        match self.submit_req(sys, &req) {
+            Ok(id) => {
+                pending.insert(id, req);
+            }
+            Err(e) => {
+                acc.note_error_kind(phase, &e);
+                if self.retry_eligible(&req, &e) && sys.client_retry_allowed() {
+                    acc.client_retries += 1;
+                    req.attempts += 1;
+                    retries.push(sys.now() + self.backoff_for(req.attempts), req);
+                } else {
+                    if self.retry_eligible(&req, &e) {
+                        acc.client_retries_denied += 1;
+                    }
+                    acc.finish(&req, Err(e));
+                }
+            }
         }
     }
 
@@ -351,6 +529,7 @@ impl TrafficEngine {
         let mut next_arrival = start + self.next_gap(&mut rng, mean_gap_ps, &mut burst_pos);
         let mut acc = Accumulator::new(&self.cfg, self.hot_keys, start);
         let mut pending: BTreeMap<ReqId, PendingReq> = BTreeMap::new();
+        let mut retries = RetryQueue::new();
         loop {
             let tick = TrafficTick {
                 submitted: acc.submitted,
@@ -358,55 +537,79 @@ impl TrafficEngine {
                 now: sys.now(),
             };
             let phase = hook(sys, &tick);
+            acc.note_hedges(sys, phase);
             // Latencies are measured against the global clock (the max
             // across channels); a lagging channel would stamp
             // completions before the arrival that caused them. Keep
             // every local clock at or past the global now.
             sys.advance_to(tick.now);
+            // Re-issue retries whose backoff has elapsed (they predate
+            // any arrival due this round).
+            while let Some(req) = retries.pop_due(sys.now()) {
+                self.issue(sys, &mut acc, &mut pending, &mut retries, req, phase);
+            }
             // Issue every arrival that is due.
             while acc.submitted < self.cfg.requests && next_arrival <= sys.now() {
                 let key = self.sample_key(&mut rng);
+                let is_read = rng.gen_bool(self.cfg.read_fraction);
                 let arrival = next_arrival;
                 acc.submitted += 1;
                 next_arrival += self.next_gap(&mut rng, mean_gap_ps, &mut burst_pos);
-                match self.submit_one(sys, &mut rng, key) {
-                    Ok(id) => {
-                        pending.insert(
-                            id,
-                            PendingReq {
-                                issued: arrival,
-                                phase,
-                                key,
-                                user: None,
-                            },
-                        );
-                    }
-                    Err(_) => acc.errors += 1,
-                }
+                let req = PendingReq {
+                    issued: arrival,
+                    deadline: self.cfg.deadline.map(|d| arrival + d),
+                    phase,
+                    key,
+                    is_read,
+                    attempts: 0,
+                    user: None,
+                };
+                self.issue(sys, &mut acc, &mut pending, &mut retries, req, phase);
             }
             let finished = sys.poll();
             let progressed = !finished.is_empty();
             for (id, result) in finished {
                 let Some(req) = pending.remove(&id) else {
+                    acc.duplicate_completions += 1;
                     continue;
                 };
-                acc.finish(&req, result.map(|c| c.completed_at));
+                match result {
+                    Ok(c) => {
+                        acc.finish(&req, Ok(c.completed_at));
+                    }
+                    Err(e) => {
+                        acc.note_error_kind(req.phase, &e);
+                        if self.retry_eligible(&req, &e) && sys.client_retry_allowed() {
+                            acc.client_retries += 1;
+                            let mut r = req;
+                            r.attempts += 1;
+                            let due = sys.now() + self.backoff_for(r.attempts);
+                            retries.push(due, r);
+                        } else {
+                            if self.retry_eligible(&req, &e) {
+                                acc.client_retries_denied += 1;
+                            }
+                            acc.finish(&req, Err(e));
+                        }
+                    }
+                }
             }
-            if acc.submitted >= self.cfg.requests && pending.is_empty() {
+            if acc.submitted >= self.cfg.requests && pending.is_empty() && retries.is_empty() {
                 break;
             }
-            if !progressed {
-                if pending.is_empty() {
-                    // Idle: jump to the next arrival.
-                    sys.advance_to(next_arrival);
-                } else if sys.outstanding_reqs() == 0 {
-                    // A power cut wiped the in-flight set — these
-                    // completions will never arrive.
-                    for (_, req) in std::mem::take(&mut pending) {
-                        acc.orphaned += 1;
-                        acc.last_event = acc.last_event.max(sys.now());
-                        let _ = req;
-                    }
+            if !progressed && pending.is_empty() {
+                // Idle: jump to the next arrival or due retry.
+                let next_new = (acc.submitted < self.cfg.requests).then_some(next_arrival);
+                if let Some(t) = [next_new, retries.next_due()].into_iter().flatten().min() {
+                    sys.advance_to(t.max(sys.now()));
+                }
+            } else if !progressed && sys.outstanding_reqs() == 0 {
+                // A power cut wiped the in-flight set — these
+                // completions will never arrive.
+                for (_, req) in std::mem::take(&mut pending) {
+                    acc.orphaned += 1;
+                    acc.last_event = acc.last_event.max(sys.now());
+                    let _ = req;
                 }
             }
         }
@@ -443,6 +646,7 @@ impl TrafficEngine {
                 now: sys.now(),
             };
             let phase = hook(sys, &tick);
+            acc.note_hedges(sys, phase);
             // Same timebase rule as the open loop: no channel may lag
             // the global clock that issue times are stamped with.
             sys.advance_to(tick.now);
@@ -456,20 +660,26 @@ impl TrafficEngine {
                 }
                 let key = self.sample_key(&mut rng);
                 acc.submitted += 1;
-                match self.submit_one(sys, &mut rng, key) {
+                let req = PendingReq {
+                    issued: now,
+                    deadline: self.cfg.deadline.map(|d| now + d),
+                    phase,
+                    key,
+                    is_read: rng.gen_bool(self.cfg.read_fraction),
+                    attempts: 0,
+                    user: Some(idx),
+                };
+                match self.submit_req(sys, &req) {
                     Ok(id) => {
                         user.waiting = true;
-                        pending.insert(
-                            id,
-                            PendingReq {
-                                issued: now,
-                                phase,
-                                key,
-                                user: Some(idx),
-                            },
-                        );
+                        pending.insert(id, req);
                     }
-                    Err(_) => {
+                    Err(e) => {
+                        // Closed-loop users don't retry: the blocked
+                        // user simply thinks and issues fresh work —
+                        // the loop is self-clocking, so there is no
+                        // retry storm to model here.
+                        acc.note_error_kind(phase, &e);
                         acc.errors += 1;
                         user.next_issue =
                             now + self.next_gap(&mut rng, think_ps, &mut user.burst_pos);
@@ -480,8 +690,12 @@ impl TrafficEngine {
             let progressed = !finished.is_empty();
             for (id, result) in finished {
                 let Some(req) = pending.remove(&id) else {
+                    acc.duplicate_completions += 1;
                     continue;
                 };
+                if let Err(e) = &result {
+                    acc.note_error_kind(req.phase, e);
+                }
                 let end = acc.finish(&req, result.map(|c| c.completed_at));
                 if let Some(u) = req.user {
                     users[u].waiting = false;
@@ -528,8 +742,19 @@ struct Accumulator {
     orphaned: u64,
     steady: LogHistogram,
     fault: LogHistogram,
+    recovery: LogHistogram,
     steady_slo_violations: u64,
     fault_slo_violations: u64,
+    recovery_slo_violations: u64,
+    shed: [u64; 3],
+    deadline_expired: u64,
+    client_retries: u64,
+    client_retries_denied: u64,
+    duplicate_completions: u64,
+    hedges: [u64; 3],
+    /// Last `hedges_issued` sample from the system's overload stats
+    /// (`None` until the first tick sets the baseline).
+    hedge_seen: Option<u64>,
     hot_key_completions: u64,
     hot_keys: u64,
     slo: SimTime,
@@ -546,14 +771,46 @@ impl Accumulator {
             orphaned: 0,
             steady: LogHistogram::new(),
             fault: LogHistogram::new(),
+            recovery: LogHistogram::new(),
             steady_slo_violations: 0,
             fault_slo_violations: 0,
+            recovery_slo_violations: 0,
+            shed: [0; 3],
+            deadline_expired: 0,
+            client_retries: 0,
+            client_retries_denied: 0,
+            duplicate_completions: 0,
+            hedges: [0; 3],
+            hedge_seen: None,
             hot_key_completions: 0,
             hot_keys,
             slo: cfg.slo,
             start,
             last_event: start,
         }
+    }
+
+    /// Classifies an overload-layer refusal into the per-phase shed
+    /// counters. Other error kinds are left to the plain error count.
+    fn note_error_kind(&mut self, phase: Phase, e: &SystemError) {
+        match e {
+            SystemError::Shed { .. } => self.shed[phase_idx(phase)] += 1,
+            SystemError::DeadlineExceeded => {
+                self.shed[phase_idx(phase)] += 1;
+                self.deadline_expired += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Attributes newly issued hedges to the current phase by diffing
+    /// the system's cumulative counter at each tick.
+    fn note_hedges(&mut self, sys: &Power8System, phase: Phase) {
+        let issued = sys.overload_stats().hedges_issued;
+        if let Some(seen) = self.hedge_seen {
+            self.hedges[phase_idx(phase)] += issued.saturating_sub(seen);
+        }
+        self.hedge_seen = Some(issued);
     }
 
     /// Records one finished request; returns the completion time used
@@ -581,6 +838,12 @@ impl Accumulator {
                             self.fault_slo_violations += 1;
                         }
                     }
+                    Phase::Recovery => {
+                        self.recovery.record(latency.as_ns());
+                        if over {
+                            self.recovery_slo_violations += 1;
+                        }
+                    }
                 }
                 completed_at
             }
@@ -600,8 +863,16 @@ impl Accumulator {
             elapsed: self.last_event.saturating_sub(self.start),
             steady: self.steady,
             fault: self.fault,
+            recovery: self.recovery,
             steady_slo_violations: self.steady_slo_violations,
             fault_slo_violations: self.fault_slo_violations,
+            recovery_slo_violations: self.recovery_slo_violations,
+            shed: self.shed,
+            deadline_expired: self.deadline_expired,
+            client_retries: self.client_retries,
+            client_retries_denied: self.client_retries_denied,
+            duplicate_completions: self.duplicate_completions,
+            hedges: self.hedges,
             hot_key_completions: self.hot_key_completions,
         }
     }

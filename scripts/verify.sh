@@ -40,6 +40,15 @@ echo "==> traffic SLO-under-fault campaign (smoke)"
 # requests/sec regression vs the last report.
 cargo run -p contutto-bench --release --bin faults --quiet -- --traffic --smoke
 
+echo "==> overload metastability campaign (smoke)"
+# Writes BENCH_overload.json; fails if the naive row (no defenses)
+# does not stay congested after the trigger clears, if the protected
+# row (deadlines + admission + retry budget + breakers + hedging +
+# brownout) does not recover to within 2x of steady p99, on any
+# duplicate completion or same-seed divergence, or on a >20%
+# requests/sec regression vs the last report.
+cargo run -p contutto-bench --release --bin faults --quiet -- --overload --smoke
+
 echo "==> chaos campaign (smoke)"
 # Writes BENCH_chaos.json; fails on any durability-oracle violation
 # (silent corruption, resurrection, unreported loss, panic,

@@ -37,6 +37,9 @@ fn config(mode: LoopMode, arrival: ArrivalProcess, seed: u64) -> TrafficConfig {
         read_fraction: 0.9,
         mlp_window: 16,
         slo: SimTime::from_us(2),
+        deadline: None,
+        client_retries: 0,
+        client_backoff: SimTime::from_us(2),
         seed,
     }
 }
