@@ -2,13 +2,16 @@
 //! pass/degrade/fail tables.
 //!
 //! ```text
-//! faults [--chaos | --media | --failover | --power | --traffic | --overload]
+//! faults [--chaos | --media | --failover | --power | --traffic | --overload
+//!         | --checkpoint]
 //!        [--smoke] [--seeds N] [--lines N] [--metrics] [--replay FILE]
+//!        [--reuse-prefix]
 //! ```
 //!
 //! * `--chaos` — run the chaos campaign: seed-generated composable
 //!   fault plans (link noise, flip storms, scrub toggles, maintenance
-//!   pulls, EPOW, power cuts, rate steps) against a ledgered load,
+//!   pulls, EPOW, power cuts, rate steps, checkpoints and timeline
+//!   rewinds) against a ledgered load,
 //!   every plan executed twice and held to the global durability
 //!   oracle; failing plans are shrunk to minimal JSON reproducers
 //!   (`CHAOS_repro_*.json`) replayable with `--replay FILE`, and
@@ -41,6 +44,15 @@
 //!   surprise cut} × crash points): the whole system loses power and
 //!   the durability contract is asserted — NVDIMM contents survive or
 //!   produce a typed loss report, never silent corruption;
+//! * `--reuse-prefix` — with `--power`: simulate each (scenario, seed)
+//!   store prefix once, snapshot it at every crash point, and restore
+//!   the snapshot instead of re-simulating the stores. Results are
+//!   byte-identical to the straight sweep;
+//! * `--checkpoint` — run the checkpoint campaign: snapshot/restore
+//!   throughput plus a prefix-reuse identity proof (the reused power
+//!   sweep must match the straight sweep record-for-record while
+//!   simulating strictly fewer stores); writes `BENCH_checkpoint.json`
+//!   with ≥0.8× snapshots/sec and restores/sec regression gates;
 //! * `--smoke`   — the quick `scripts/verify.sh` gate;
 //! * `--seeds N` — sweep seeds 1..=N (default: the full 5-seed sweep);
 //! * `--lines N` — lines written/read back per run;
@@ -50,7 +62,7 @@
 //! scenario does not permit a typed failure — and, for `--media`, if
 //! disabling scrub does not raise the uncorrectable aggregate.
 
-use contutto_bench::{chaos, failover, faults, media, overload, power, traffic};
+use contutto_bench::{chaos, checkpoint, failover, faults, media, overload, power, traffic};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -220,6 +232,38 @@ fn main() {
         return;
     }
 
+    if flag("--checkpoint") {
+        let mut cfg = if flag("--smoke") {
+            checkpoint::CampaignConfig::smoke()
+        } else {
+            checkpoint::CampaignConfig::full()
+        };
+        if let Some(n) = value("--seeds") {
+            cfg.seeds = (1..=n.max(1)).collect();
+        }
+        if let Some(n) = value("--lines") {
+            cfg.lines = n.max(1);
+        }
+        let report = checkpoint::run_campaign(&cfg);
+        print!("{}", report.render_table());
+        let baseline = std::fs::read_to_string("BENCH_checkpoint.json").ok();
+        let violations = report.violations(baseline.as_deref());
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        let json = report.to_json();
+        if let Err(e) = std::fs::write("BENCH_checkpoint.json", &json) {
+            eprintln!("warning: could not write BENCH_checkpoint.json: {e}");
+        } else {
+            println!("wrote BENCH_checkpoint.json");
+        }
+        if !violations.is_empty() {
+            eprintln!("checkpoint campaign FAILED: see violations above");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if flag("--power") {
         let mut cfg = if flag("--smoke") {
             power::CampaignConfig::smoke()
@@ -232,8 +276,18 @@ fn main() {
         if let Some(n) = value("--lines") {
             cfg.lines = n.max(1);
         }
+        cfg.reuse_prefix = flag("--reuse-prefix");
         let report = power::run_campaign(&cfg);
         print!("{}", report.render_table());
+        println!(
+            "stores simulated: {}{}",
+            report.stores_executed,
+            if cfg.reuse_prefix {
+                " (prefix reused)"
+            } else {
+                ""
+            }
+        );
         if flag("--metrics") {
             println!("\nmerged metrics across all runs:");
             print!("{}", report.merged_metrics().render());

@@ -6,8 +6,9 @@
 //! This module closes the gap between them: a [`FaultPlan`] is a
 //! time-ordered list of typed actions — link noise windows, media flip
 //! storms, scrub toggles, maintenance pulls, EPOW, surprise power
-//! cuts, slow-channel windows, traffic-rate steps and bounded demand
-//! spikes — generated from a seed at a configurable
+//! cuts, slow-channel windows, traffic-rate steps, bounded demand
+//! spikes, and whole-system checkpoints with timeline rewinds
+//! (`Checkpoint` / `RestoreLatest`) — generated from a seed at a configurable
 //! intensity and applied against a live system through
 //! [`contutto_power8::Power8System::apply_fault_action`] while a
 //! ledgered key/value load
@@ -50,7 +51,9 @@ use contutto_power8::firmware::{layouts, BootError, SlotPopulation};
 use contutto_power8::system::{Power8System, SystemError};
 use contutto_power8::{FaultAction, FaultOutcome};
 use contutto_sim::{SimRng, SimTime};
-use contutto_workloads::chaos_load::{ChaosLoad, ChaosLoadConfig, StoreEvent, StoreOutcome};
+use contutto_workloads::chaos_load::{
+    ChaosLoad, ChaosLoadConfig, HookVerdict, RewindPoint, StoreEvent, StoreOutcome,
+};
 
 use crate::failover::{SPARE_SLOT, VICTIM_SLOT};
 use crate::faults::campaign_policy;
@@ -161,6 +164,17 @@ pub enum PlanAction {
         /// Logical steps the burst lasts.
         steps: u64,
     },
+    /// Snapshot the whole system mid-plan. A later `RestoreLatest`
+    /// rewinds to it; a checkpoint nobody restores is still a fault
+    /// (the snapshot walk itself must not perturb the run).
+    Checkpoint,
+    /// Restore the most recent `Checkpoint`, abandoning everything
+    /// simulated since: in-flight requests, faults, even power cuts.
+    /// The ledger demotes the abandoned timeline and the oracle holds
+    /// the system to the *surviving* one — a rolled-back value
+    /// showing up afterwards is a resurrection. Skipped if no
+    /// checkpoint has been taken yet.
+    RestoreLatest,
 }
 
 /// An action bound to the logical step it fires at.
@@ -214,7 +228,7 @@ impl FaultPlan {
             let slots = layout.fault_slots();
             let slot = slots[rng.gen_below(slots.len() as u64) as usize];
             let contutto = layout.contutto_slot();
-            match rng.gen_below(10) {
+            match rng.gen_below(12) {
                 0 | 1 => {
                     // Noise window: per-frame corruption the retry
                     // ladder must absorb, cleared later in the run.
@@ -304,6 +318,22 @@ impl FaultPlan {
                         },
                     });
                 }
+                10 => {
+                    // Checkpoint paired with a later rewind: whatever
+                    // other draws land in between gets un-happened.
+                    actions.push(PlannedAction {
+                        at_step,
+                        action: PlanAction::Checkpoint,
+                    });
+                    actions.push(PlannedAction {
+                        at_step: (at_step + requests / 8 + 1).min(requests),
+                        action: PlanAction::RestoreLatest,
+                    });
+                }
+                11 => actions.push(PlannedAction {
+                    at_step,
+                    action: PlanAction::Checkpoint,
+                }),
                 _ => {
                     if layout == PlanLayout::Failover && pulls == 0 {
                         pulls += 1;
@@ -394,6 +424,8 @@ impl FaultPlan {
                 PlanAction::Fault(FaultAction::Sabotage { slot, addr }) => {
                     format!("\"kind\": \"sabotage\", \"slot\": {slot}, \"addr\": {addr}")
                 }
+                PlanAction::Checkpoint => "\"kind\": \"checkpoint\"".to_string(),
+                PlanAction::RestoreLatest => "\"kind\": \"restore\"".to_string(),
                 PlanAction::RateStep { gap } => {
                     format!("\"kind\": \"rate_step\", \"gap_ps\": {}", gap.as_ps())
                 }
@@ -517,6 +549,8 @@ impl FaultPlan {
                     slot: slot()? as usize,
                     addr: int(chunk, "\"addr\"").ok_or("sabotage missing addr")?,
                 }),
+                "checkpoint" => PlanAction::Checkpoint,
+                "restore" => PlanAction::RestoreLatest,
                 "rate_step" => PlanAction::RateStep {
                     gap: SimTime::from_ps(
                         int(chunk, "\"gap_ps\"")
@@ -563,7 +597,9 @@ pub enum Violation {
         phys: u64,
     },
     /// A read returned a value from *before* a power cut that wiped
-    /// the address — volatile contents must not survive.
+    /// the address — volatile contents must not survive — or from a
+    /// timeline a snapshot restore abandoned: a rolled-back store's
+    /// value must never be visible again.
     Resurrection {
         /// Affected physical address.
         phys: u64,
@@ -725,10 +761,19 @@ impl Oracle {
             // *no longer* hold (for resurrection classification).
             let mut acceptable: BTreeSet<Candidate> = BTreeSet::from([Candidate::Zero]);
             let mut superseded: BTreeSet<Candidate> = BTreeSet::new();
+            let mut rolled_back: BTreeSet<Candidate> = BTreeSet::new();
             let mut excused = false;
             let mut wiped = false;
             let mut wi = 0usize;
             for ev in events {
+                // Rolled-back stores belong to an abandoned timeline:
+                // their submit times are not on the surviving clock,
+                // so they don't advance the wipe cursor. Their value
+                // must simply never be seen again.
+                if ev.outcome == StoreOutcome::RolledBack {
+                    rolled_back.insert(Candidate::Token(ev.token));
+                    continue;
+                }
                 while wi < wipes.len() && wipes[wi].at <= ev.submitted_at {
                     apply_wipe(
                         &wipes[wi],
@@ -752,6 +797,8 @@ impl Oracle {
                     StoreOutcome::Pending | StoreOutcome::Errored | StoreOutcome::Orphaned => {
                         acceptable.insert(Candidate::Token(ev.token));
                     }
+                    // Filtered above.
+                    StoreOutcome::RolledBack => unreachable!(),
                 }
             }
             while wi < wipes.len() {
@@ -774,7 +821,11 @@ impl Oracle {
                     if excused || acceptable.iter().any(|c| c.matches(&line)) {
                         continue;
                     }
-                    if superseded.iter().any(|c| c.matches(&line)) {
+                    if rolled_back.iter().any(|c| c.matches(&line)) {
+                        // A value from a timeline a restore abandoned
+                        // is back: the rewind leaked.
+                        violations.push(Violation::Resurrection { phys });
+                    } else if superseded.iter().any(|c| c.matches(&line)) {
                         if wiped {
                             violations.push(Violation::Resurrection { phys });
                         } else {
@@ -890,8 +941,13 @@ pub fn run_plan_once(plan: &FaultPlan) -> PlanRunReport {
         let mut reboots = 0u64;
         let mut base_gap = plan.gap;
         let mut spike_until: Option<u64> = None;
+        // The latest `Checkpoint`'s image plus the rewind point a
+        // `RestoreLatest` hands back to the driver.
+        let mut checkpoint: Option<(Vec<u8>, RewindPoint)> = None;
+        let mut restore_failures: Vec<String> = Vec::new();
         let report = load.run(&mut sys, |sys, tick| {
             let mut new_gap = None;
+            let mut rewound = None;
             if spike_until.is_some_and(|until| tick.step >= until) {
                 spike_until = None;
                 new_gap = Some(base_gap);
@@ -909,6 +965,34 @@ pub fn run_plan_once(plan: &FaultPlan) -> PlanRunReport {
                         spike_until = Some(tick.step + (*steps).max(1));
                         applied += 1;
                     }
+                    PlanAction::Checkpoint => {
+                        checkpoint = Some((
+                            sys.snapshot(),
+                            RewindPoint {
+                                at: sys.now(),
+                                stores: tick.stores,
+                            },
+                        ));
+                        applied += 1;
+                    }
+                    PlanAction::RestoreLatest => match &checkpoint {
+                        Some((image, rp)) => match sys.restore(image) {
+                            Ok(()) => {
+                                applied += 1;
+                                // Wipes in the abandoned timeline
+                                // never happened.
+                                wipes.retain(|w| w.at <= rp.at);
+                                rewound = Some(*rp);
+                            }
+                            Err(e) => {
+                                // Same-topology in-place restore must
+                                // not fail; surface it loudly.
+                                restore_failures.push(format!("in-place restore: {e}"));
+                                skipped += 1;
+                            }
+                        },
+                        None => skipped += 1,
+                    },
                     PlanAction::Fault(action) => match sys.apply_fault_action(now, action) {
                         FaultOutcome::Applied => applied += 1,
                         FaultOutcome::Rebooted(r) => {
@@ -934,7 +1018,7 @@ pub fn run_plan_once(plan: &FaultPlan) -> PlanRunReport {
                 }
                 cursor += 1;
             }
-            new_gap
+            HookVerdict { new_gap, rewound }
         });
         let drained = sys.drain();
         let stranded = drained
@@ -944,6 +1028,9 @@ pub fn run_plan_once(plan: &FaultPlan) -> PlanRunReport {
         let mut violations = oracle.check(&mut sys, &report.ledger, &wipes);
         if stranded > 0 {
             violations.push(Violation::NoRecovery { stranded });
+        }
+        for context in restore_failures {
+            violations.push(Violation::UnexpectedError { context });
         }
         PlanRunReport {
             violations,
@@ -1455,6 +1542,176 @@ mod tests {
         let report = run_plan(&replayed);
         assert!(report.deterministic);
         assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind() == "silent-corruption"));
+    }
+
+    #[test]
+    fn checkpoint_actions_round_trip_through_json() {
+        let plan = FaultPlan {
+            layout: PlanLayout::Nvdimm,
+            seed: 3,
+            requests: 48,
+            gap: DEFAULT_GAP,
+            actions: vec![
+                PlannedAction {
+                    at_step: 8,
+                    action: PlanAction::Checkpoint,
+                },
+                PlannedAction {
+                    at_step: 24,
+                    action: PlanAction::RestoreLatest,
+                },
+            ],
+        };
+        let back = FaultPlan::from_json(&plan.to_json()).expect("parse back");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn checkpoint_rewind_plan_upholds_the_contract() {
+        // A rewind across live faults: noise lands between the
+        // checkpoint and the restore, so the whole window — faults,
+        // in-flight requests, acks — must un-happen cleanly, on both
+        // layouts, twice each.
+        for layout in [PlanLayout::Failover, PlanLayout::Nvdimm] {
+            let plan = FaultPlan {
+                layout,
+                seed: 7,
+                requests: 72,
+                gap: DEFAULT_GAP,
+                actions: vec![
+                    PlannedAction {
+                        at_step: 12,
+                        action: PlanAction::Checkpoint,
+                    },
+                    PlannedAction {
+                        at_step: 20,
+                        action: PlanAction::Fault(FaultAction::LinkNoise {
+                            slot: 2,
+                            down: 0.01,
+                            up: 0.005,
+                            seed: 99,
+                        }),
+                    },
+                    PlannedAction {
+                        at_step: 36,
+                        action: PlanAction::RestoreLatest,
+                    },
+                ],
+            };
+            let r = run_plan(&plan);
+            assert!(r.clean(), "{layout:?} violations: {:?}", r.violations);
+            assert!(r.deterministic, "{layout:?} rewind must be deterministic");
+            // Checkpoint, noise and restore all applied.
+            assert_eq!(r.applied, 3, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn rewind_across_a_power_cut_discards_the_wipe() {
+        // Cut the power after the checkpoint, then rewind across the
+        // reboot: the wipe belongs to the abandoned timeline and must
+        // not excuse (or demand) anything in the oracle's replay.
+        let plan = FaultPlan {
+            layout: PlanLayout::Nvdimm,
+            seed: 11,
+            requests: 72,
+            gap: DEFAULT_GAP,
+            actions: vec![
+                PlannedAction {
+                    at_step: 10,
+                    action: PlanAction::Checkpoint,
+                },
+                PlannedAction {
+                    at_step: 24,
+                    action: PlanAction::Fault(FaultAction::PowerCut {
+                        outage: SimTime::from_us(60),
+                    }),
+                },
+                PlannedAction {
+                    at_step: 40,
+                    action: PlanAction::RestoreLatest,
+                },
+            ],
+        };
+        let r = run_plan(&plan);
+        assert!(r.clean(), "violations: {:?}", r.violations);
+        assert!(r.deterministic);
+        assert_eq!(r.reboots, 1, "the cut fired before the rewind");
+    }
+
+    #[test]
+    fn restore_without_a_checkpoint_is_skipped() {
+        let plan = FaultPlan {
+            layout: PlanLayout::Failover,
+            seed: 5,
+            requests: 48,
+            gap: DEFAULT_GAP,
+            actions: vec![PlannedAction {
+                at_step: 8,
+                action: PlanAction::RestoreLatest,
+            }],
+        };
+        let r = run_plan(&plan);
+        assert!(r.clean(), "violations: {:?}", r.violations);
+        assert_eq!(r.skipped, 1);
+        assert_eq!(r.applied, 0);
+    }
+
+    #[test]
+    fn shrinker_keeps_the_checkpoint_a_failing_rewind_needs() {
+        // Sabotage between checkpoint and restore: the corruption is
+        // un-happened by the rewind, so the failure needs sabotage
+        // *after* the rewind window — build a plan whose sabotage
+        // fires post-restore and check shrinking never drops the
+        // sabotage while hunting, and that checkpoint/restore actions
+        // survive shrinking only if they matter.
+        let requests = 96u64;
+        let make_plan = |seed: u64| FaultPlan {
+            layout: PlanLayout::Failover,
+            seed,
+            requests,
+            gap: DEFAULT_GAP,
+            actions: vec![
+                PlannedAction {
+                    at_step: 8,
+                    action: PlanAction::Checkpoint,
+                },
+                PlannedAction {
+                    at_step: 16,
+                    action: PlanAction::RestoreLatest,
+                },
+                PlannedAction {
+                    at_step: requests * 3 / 4,
+                    action: PlanAction::Fault(FaultAction::Sabotage {
+                        slot: VICTIM_SLOT,
+                        addr: 0,
+                    }),
+                },
+            ],
+        };
+        let plan = (1..=24)
+            .map(make_plan)
+            .find(|plan| {
+                run_plan_once(plan)
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::SilentCorruption { .. }))
+            })
+            .expect("some seed must expose the sabotage");
+        let (minimal, kind) = shrink(&plan).expect("failing plan must shrink");
+        assert_eq!(kind, "silent-corruption");
+        assert!(minimal
+            .actions
+            .iter()
+            .any(|a| matches!(a.action, PlanAction::Fault(FaultAction::Sabotage { .. }))));
+        // The minimal reproducer (with or without the rewind pair)
+        // still replays the violation after a JSON round trip.
+        let replayed = FaultPlan::from_json(&minimal.to_json()).expect("reproducer parses");
+        assert_eq!(minimal, replayed);
+        assert!(run_plan(&replayed)
             .violations
             .iter()
             .any(|v| v.kind() == "silent-corruption"));

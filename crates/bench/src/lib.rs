@@ -22,6 +22,7 @@
 //! corresponding configuration — the same methodology as the paper.
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod failover;
 pub mod faults;
 pub mod harness;

@@ -28,6 +28,7 @@
 //! per scenario (the `--failover` table format) and logs how many
 //! runs the ring dropped — the sweep never truncates silently.
 
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 use std::fmt;
@@ -305,6 +306,12 @@ pub struct CampaignConfig {
     pub cut_stride: u64,
     /// Ring capacity for per-run records, per scenario.
     pub ring_capacity: usize,
+    /// Reuse the store prefix across crash points: per scenario ×
+    /// seed the store sequence is simulated once, snapshotted at
+    /// every cut point, and each crash-point run restores its
+    /// snapshot into a fresh boot instead of re-simulating the
+    /// prefix. Results are byte-identical to the straight sweep.
+    pub reuse_prefix: bool,
 }
 
 impl CampaignConfig {
@@ -315,6 +322,7 @@ impl CampaignConfig {
             lines: 8,
             cut_stride: 4,
             ring_capacity: 64,
+            reuse_prefix: false,
         }
     }
 
@@ -325,6 +333,7 @@ impl CampaignConfig {
             lines: 16,
             cut_stride: 2,
             ring_capacity: 64,
+            reuse_prefix: false,
         }
     }
 
@@ -342,6 +351,11 @@ pub struct CampaignReport {
     pub scenarios: Vec<ScenarioResult>,
     /// Metrics merged across every run (counters accumulate).
     pub metrics: MetricsRegistry,
+    /// Store operations actually simulated, prefix recording
+    /// included. The checkpoint campaign asserts prefix reuse
+    /// *structurally* from this: a reused sweep must execute far
+    /// fewer stores than the straight sweep for identical results.
+    pub stores_executed: u64,
 }
 
 impl CampaignReport {
@@ -453,134 +467,226 @@ struct RawRun {
     metrics: MetricsRegistry,
 }
 
-/// Write `cut_after` lines (alternating NVDIMM / DRAM), optionally run
-/// the EPOW cascade, cut the power, reboot, and audit every pre-cut
-/// line against the durability contract.
-fn run_once(scenario: Scenario, seed: u64, cut_after: u64) -> RawRun {
-    let result = catch_unwind(AssertUnwindSafe(move || {
-        let mut sys = Power8System::boot(power_layout(), seed).expect("campaign layout boots");
-        let tracer = sys.enable_tracing(1 << 14);
-        if scenario.arming == Arming::Disarmed {
-            sys.set_nvdimm_armed(false);
-        }
-        sys.configure_power(scenario.power_config());
+/// Boots the campaign layout with tracing, arming and the scenario's
+/// energy model applied — everything a run does before its stores.
+fn boot_configured(scenario: Scenario, seed: u64) -> Power8System {
+    let mut sys = Power8System::boot(power_layout(), seed).expect("campaign layout boots");
+    sys.enable_tracing(1 << 14);
+    if scenario.arming == Arming::Disarmed {
+        sys.set_nvdimm_armed(false);
+    }
+    sys.configure_power(scenario.power_config());
+    sys
+}
 
-        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
-        let mut golden = Vec::new();
-        for i in 0..cut_after {
+/// The campaign's deterministic store schedule: line `i` alternates
+/// between the NVDIMM region and volatile DRAM. Pure in (seed,
+/// cut_after), so a restored run can rebuild its golden audit list
+/// without re-simulating a single store.
+fn golden_lines(nv_base: u64, seed: u64, cut_after: u64) -> Vec<(u64, CacheLine, bool)> {
+    (0..cut_after)
+        .map(|i| {
             let (addr, nonvolatile) = if i % 2 == 0 {
                 (nv_base + (i / 2) * 128, true)
             } else {
                 (0x20_0000 + (i / 2) * 128, false)
             };
             let line = CacheLine::patterned(seed.wrapping_mul(1_000_003) + i);
-            if let Err(e) = sys.store_line(addr, line) {
+            (addr, line, nonvolatile)
+        })
+        .collect()
+}
+
+/// Optionally run the EPOW cascade, cut the power, reboot, and audit
+/// every pre-cut line against the durability contract.
+fn cut_and_audit(
+    mut sys: Power8System,
+    scenario: Scenario,
+    golden: &[(u64, CacheLine, bool)],
+) -> RawRun {
+    if scenario.orderly {
+        sys.epow();
+    }
+    let now = sys
+        .channels()
+        .iter()
+        .map(|c| c.channel.now())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let quiet = sys.power_cut(now + SimTime::from_us(1));
+    let report = match sys.reboot(quiet + SimTime::from_ms(10)) {
+        Ok(r) => r,
+        Err(e) => {
+            return RawRun {
+                outcome: Outcome::UnexpectedError(format!("reboot: {e}")),
+                torn_saves: 0,
+                reported_loss_slots: 0,
+                fingerprint: sys.tracer().fingerprint(),
+                metrics: sys.metrics(),
+            }
+        }
+    };
+    let lost_slots: BTreeSet<usize> = report.data_loss.iter().map(|d| d.slot).collect();
+    let torn_saves = report
+        .data_loss
+        .iter()
+        .filter(|d| d.outcome == PowerRestoreOutcome::TornSave)
+        .count() as u64;
+
+    let mut nv_clean = 0u64;
+    let mut reported_lost = 0u64;
+    let mut silent = 0u64;
+    for (addr, line, nonvolatile) in golden {
+        let back = match sys.load_line(*addr) {
+            Ok((back, _)) => back,
+            Err(e) => {
+                return RawRun {
+                    outcome: Outcome::UnexpectedError(format!("readback: {e}")),
+                    torn_saves,
+                    reported_loss_slots: lost_slots.len() as u64,
+                    fingerprint: sys.tracer().fingerprint(),
+                    metrics: sys.metrics(),
+                }
+            }
+        };
+        if *nonvolatile {
+            if back == *line {
+                nv_clean += 1;
+            } else if back == CacheLine::default() {
+                let slot = sys.route(*addr).map(|(s, _)| s);
+                if slot.is_some_and(|s| lost_slots.contains(&s)) {
+                    reported_lost += 1;
+                } else {
+                    // Empty with no loss report: silent loss.
+                    silent += 1;
+                }
+            } else {
+                // Neither the written value nor reported-empty.
+                silent += 1;
+            }
+        } else if back != CacheLine::default() {
+            // Volatile contents resurrected across a power cut.
+            silent += 1;
+        }
+    }
+    let outcome = if silent > 0 {
+        Outcome::SilentCorruption { lines: silent }
+    } else {
+        Outcome::Accounted {
+            nv_clean,
+            reported_lost,
+        }
+    };
+    RawRun {
+        outcome,
+        torn_saves,
+        reported_loss_slots: lost_slots.len() as u64,
+        fingerprint: sys.tracer().fingerprint(),
+        metrics: sys.metrics(),
+    }
+}
+
+fn panic_to_raw_run(panic: Box<dyn std::any::Any + Send>) -> RawRun {
+    let msg = panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    RawRun {
+        outcome: Outcome::Panicked(msg),
+        torn_saves: 0,
+        reported_loss_slots: 0,
+        fingerprint: 0,
+        metrics: MetricsRegistry::new(),
+    }
+}
+
+/// Write `cut_after` lines (alternating NVDIMM / DRAM), then cut,
+/// reboot and audit.
+fn run_once(scenario: Scenario, seed: u64, cut_after: u64) -> RawRun {
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        let mut sys = boot_configured(scenario, seed);
+        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+        let golden = golden_lines(nv_base, seed, cut_after);
+        for (addr, line, _) in &golden {
+            if let Err(e) = sys.store_line(*addr, *line) {
                 return RawRun {
                     outcome: Outcome::UnexpectedError(format!("store: {e}")),
                     torn_saves: 0,
                     reported_loss_slots: 0,
-                    fingerprint: tracer.fingerprint(),
+                    fingerprint: sys.tracer().fingerprint(),
                     metrics: sys.metrics(),
                 };
             }
-            golden.push((addr, line, nonvolatile));
         }
-
-        if scenario.orderly {
-            sys.epow();
-        }
-        let now = sys
-            .channels()
-            .iter()
-            .map(|c| c.channel.now())
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let quiet = sys.power_cut(now + SimTime::from_us(1));
-        let report = match sys.reboot(quiet + SimTime::from_ms(10)) {
-            Ok(r) => r,
-            Err(e) => {
-                return RawRun {
-                    outcome: Outcome::UnexpectedError(format!("reboot: {e}")),
-                    torn_saves: 0,
-                    reported_loss_slots: 0,
-                    fingerprint: tracer.fingerprint(),
-                    metrics: sys.metrics(),
-                }
-            }
-        };
-        let lost_slots: BTreeSet<usize> = report.data_loss.iter().map(|d| d.slot).collect();
-        let torn_saves = report
-            .data_loss
-            .iter()
-            .filter(|d| d.outcome == PowerRestoreOutcome::TornSave)
-            .count() as u64;
-
-        let mut nv_clean = 0u64;
-        let mut reported_lost = 0u64;
-        let mut silent = 0u64;
-        for (addr, line, nonvolatile) in &golden {
-            let back = match sys.load_line(*addr) {
-                Ok((back, _)) => back,
-                Err(e) => {
-                    return RawRun {
-                        outcome: Outcome::UnexpectedError(format!("readback: {e}")),
-                        torn_saves,
-                        reported_loss_slots: lost_slots.len() as u64,
-                        fingerprint: tracer.fingerprint(),
-                        metrics: sys.metrics(),
-                    }
-                }
-            };
-            if *nonvolatile {
-                if back == *line {
-                    nv_clean += 1;
-                } else if back == CacheLine::default() {
-                    let slot = sys.route(*addr).map(|(s, _)| s);
-                    if slot.is_some_and(|s| lost_slots.contains(&s)) {
-                        reported_lost += 1;
-                    } else {
-                        // Empty with no loss report: silent loss.
-                        silent += 1;
-                    }
-                } else {
-                    // Neither the written value nor reported-empty.
-                    silent += 1;
-                }
-            } else if back != CacheLine::default() {
-                // Volatile contents resurrected across a power cut.
-                silent += 1;
-            }
-        }
-        let outcome = if silent > 0 {
-            Outcome::SilentCorruption { lines: silent }
-        } else {
-            Outcome::Accounted {
-                nv_clean,
-                reported_lost,
-            }
-        };
-        RawRun {
-            outcome,
-            torn_saves,
-            reported_loss_slots: lost_slots.len() as u64,
-            fingerprint: tracer.fingerprint(),
-            metrics: sys.metrics(),
-        }
+        cut_and_audit(sys, scenario, &golden)
     }));
-    result.unwrap_or_else(|panic| {
-        let msg = panic
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        RawRun {
-            outcome: Outcome::Panicked(msg),
-            torn_saves: 0,
-            reported_loss_slots: 0,
-            fingerprint: 0,
-            metrics: MetricsRegistry::new(),
+    result.unwrap_or_else(panic_to_raw_run)
+}
+
+/// The reused-prefix variant of [`run_once`]: instead of simulating
+/// `cut_after` stores, overlay the snapshot taken after them onto a
+/// fresh boot and go straight to the cut.
+fn run_once_reused(scenario: Scenario, seed: u64, cut_after: u64, image: &[u8]) -> RawRun {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut sys = Power8System::boot(power_layout(), seed).expect("campaign layout boots");
+        if let Err(e) = sys.restore(image) {
+            return RawRun {
+                outcome: Outcome::UnexpectedError(format!("restore: {e}")),
+                torn_saves: 0,
+                reported_loss_slots: 0,
+                fingerprint: 0,
+                metrics: sys.metrics(),
+            };
         }
-    })
+        let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+        let golden = golden_lines(nv_base, seed, cut_after);
+        cut_and_audit(sys, scenario, &golden)
+    }));
+    result.unwrap_or_else(panic_to_raw_run)
+}
+
+/// Simulates the store prefix once, snapshotting at every cut point.
+/// Returns the images plus the number of stores actually simulated,
+/// or `None` if a store failed (the caller falls back to the
+/// straight path, which will type the error per crash point).
+fn record_prefix(
+    scenario: Scenario,
+    seed: u64,
+    cut_points: &[u64],
+) -> Option<(BTreeMap<u64, Vec<u8>>, u64)> {
+    let mut points = cut_points.to_vec();
+    points.sort_unstable();
+    points.dedup();
+    let mut sys = boot_configured(scenario, seed);
+    let nv_base = sys.memory_map().nonvolatile_regions()[0].base;
+    let max = points.last().copied().unwrap_or(0);
+    let golden = golden_lines(nv_base, seed, max);
+    let mut images = BTreeMap::new();
+    let mut done = 0u64;
+    let mut stores = 0u64;
+    for &cp in &points {
+        for i in done..cp {
+            let (addr, line, _) = golden[i as usize];
+            sys.store_line(addr, line).ok()?;
+            stores += 1;
+        }
+        done = cp;
+        images.insert(cp, sys.snapshot());
+    }
+    Some((images, stores))
+}
+
+fn to_record(first: RawRun, deterministic: bool, seed: u64, cut_after: u64) -> RunRecord {
+    RunRecord {
+        seed,
+        cut_after,
+        outcome: first.outcome,
+        torn_saves: first.torn_saves,
+        reported_loss_slots: first.reported_loss_slots,
+        deterministic,
+        fingerprint: first.fingerprint,
+    }
 }
 
 /// Runs one scenario × seed × crash point — twice, because
@@ -594,38 +700,73 @@ pub fn run_crash_point(
         || run_once(scenario, seed, cut_after),
         |a, b| a.fingerprint == b.fingerprint && a.outcome == b.outcome,
     );
-    (
-        RunRecord {
-            seed,
-            cut_after,
-            outcome: first.outcome,
-            torn_saves: first.torn_saves,
-            reported_loss_slots: first.reported_loss_slots,
-            deterministic,
-            fingerprint: first.fingerprint,
-        },
-        first.metrics,
-    )
+    let metrics = first.metrics.clone();
+    (to_record(first, deterministic, seed, cut_after), metrics)
+}
+
+/// [`run_crash_point`] over a recorded prefix snapshot: both
+/// determinism legs restore the same image into fresh boots, so the
+/// double-run additionally proves restore itself is deterministic.
+pub fn run_crash_point_reused(
+    scenario: Scenario,
+    seed: u64,
+    cut_after: u64,
+    image: &[u8],
+) -> (RunRecord, MetricsRegistry) {
+    let (first, deterministic) = crate::harness::run_twice_assert_identical(
+        || run_once_reused(scenario, seed, cut_after, image),
+        |a, b| a.fingerprint == b.fingerprint && a.outcome == b.outcome,
+    );
+    let metrics = first.metrics.clone();
+    (to_record(first, deterministic, seed, cut_after), metrics)
 }
 
 /// Runs every arming × budget × orderliness scenario across every
-/// seed and crash point.
+/// seed and crash point. With [`CampaignConfig::reuse_prefix`] the
+/// per-(scenario, seed) store prefix is simulated once and each crash
+/// point restores its snapshot — same records, far fewer stores.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let cut_points = cfg.cut_points();
     let mut scenarios = Vec::new();
     let mut metrics = MetricsRegistry::new();
+    let mut stores_executed = 0u64;
     for scenario in Scenario::all() {
         let mut result = ScenarioResult::new(scenario);
         for &seed in &cfg.seeds {
-            for &cut_after in &cut_points {
-                let (record, run_metrics) = run_crash_point(scenario, seed, cut_after);
-                metrics.merge(&run_metrics);
-                result.push(record, cfg.ring_capacity.max(1));
+            let prefix = if cfg.reuse_prefix {
+                record_prefix(scenario, seed, &cut_points)
+            } else {
+                None
+            };
+            match prefix {
+                Some((images, prefix_stores)) => {
+                    stores_executed += prefix_stores;
+                    for &cut_after in &cut_points {
+                        let (record, run_metrics) =
+                            run_crash_point_reused(scenario, seed, cut_after, &images[&cut_after]);
+                        metrics.merge(&run_metrics);
+                        result.push(record, cfg.ring_capacity.max(1));
+                    }
+                }
+                None => {
+                    for &cut_after in &cut_points {
+                        let (record, run_metrics) = run_crash_point(scenario, seed, cut_after);
+                        // The determinism double-run simulates the
+                        // prefix twice.
+                        stores_executed += 2 * cut_after;
+                        metrics.merge(&run_metrics);
+                        result.push(record, cfg.ring_capacity.max(1));
+                    }
+                }
             }
         }
         scenarios.push(result);
     }
-    CampaignReport { scenarios, metrics }
+    CampaignReport {
+        scenarios,
+        metrics,
+        stores_executed,
+    }
 }
 
 #[cfg(test)]
@@ -639,9 +780,47 @@ mod tests {
             lines: 8,
             cut_stride: 4,
             ring_capacity: 64,
+            reuse_prefix: false,
         });
         let violations = report.violations();
         assert!(violations.is_empty(), "{}", violations.join("\n"));
+    }
+
+    /// The prefix-reused sweep must reproduce the straight sweep's
+    /// records byte-for-byte while simulating strictly fewer stores.
+    #[test]
+    fn reused_prefix_sweep_is_byte_identical_to_straight() {
+        let mut cfg = CampaignConfig {
+            seeds: vec![1],
+            lines: 8,
+            cut_stride: 4,
+            ring_capacity: 64,
+            reuse_prefix: false,
+        };
+        let straight = run_campaign(&cfg);
+        cfg.reuse_prefix = true;
+        let reused = run_campaign(&cfg);
+        assert_eq!(straight.render_table(), reused.render_table());
+        for (a, b) in straight.scenarios.iter().zip(&reused.scenarios) {
+            for (ra, rb) in a.ring.iter().zip(&b.ring) {
+                assert_eq!(ra.fingerprint, rb.fingerprint, "{:?}", a.scenario);
+                assert_eq!(ra.outcome, rb.outcome, "{:?}", a.scenario);
+                assert!(rb.deterministic, "{:?}", a.scenario);
+            }
+        }
+        // Straight runs each prefix twice per crash point; reuse
+        // records it once per (scenario, seed).
+        assert!(
+            reused.stores_executed < straight.stores_executed,
+            "reused {} vs straight {}",
+            reused.stores_executed,
+            straight.stores_executed
+        );
+        // 8 scenarios × 1 seed × cut points {0,4,8} → straight
+        // simulates 2·(0+4+8) stores per scenario; reuse simulates
+        // max(cut_points) = 8 once per scenario.
+        assert_eq!(straight.stores_executed, 8 * 2 * 12);
+        assert_eq!(reused.stores_executed, 8 * 8);
     }
 
     #[test]
@@ -724,6 +903,7 @@ mod tests {
             lines: 4,
             cut_stride: 1,
             ring_capacity: 2,
+            reuse_prefix: false,
         });
         let s = &report.scenarios[0];
         assert_eq!(s.total_runs, 5);

@@ -18,7 +18,8 @@ use contutto_dmi::command::{CacheLine, Tag, CACHE_LINE_BYTES};
 use contutto_dmi::frame::{
     line_to_upstream_beats, CommandHeader, DownstreamPayload, LineAssembler, UpstreamPayload,
 };
-use contutto_memdev::{DdrTimings, Dram, MemoryDevice, RasCounters, ReadOutcome};
+use contutto_memdev::{range_ok, DdrTimings, Dram, MemoryDevice, RasCounters, ReadOutcome};
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
 use crate::cache::EdramCache;
@@ -348,11 +349,20 @@ impl DmiBuffer for Centaur {
     }
 
     fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> Option<([u8; 128], bool)> {
+        // The sideband takes external addresses (maintenance tools,
+        // fault reproducers): refuse out-of-range instead of letting
+        // the device's range assertion abort the process.
+        if !range_ok(self.capacity_bytes(), addr, CACHE_LINE_BYTES) {
+            return None;
+        }
         let (port, local) = self.route(addr);
         Some(self.ports[port].sideband_read_line(now, local))
     }
 
     fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) -> bool {
+        if !range_ok(self.capacity_bytes(), addr, CACHE_LINE_BYTES) {
+            return false;
+        }
         let (port, local) = self.route(addr);
         self.ports[port].sideband_write_line(local, data, poison);
         true
@@ -372,6 +382,85 @@ impl DmiBuffer for Centaur {
         self.pending_writes.clear();
         self.ready.clear();
         now
+    }
+
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.cache.snapshot_state(out);
+        (self.ports.len() as u64).persist(out);
+        for port in &self.ports {
+            port.snapshot_state(out);
+        }
+        let mut tags: Vec<Tag> = self.pending_writes.keys().copied().collect();
+        tags.sort_by_key(|t| t.raw());
+        (tags.len() as u64).persist(out);
+        for tag in tags {
+            let pending = &self.pending_writes[&tag];
+            tag.persist(out);
+            pending.header.persist(out);
+            pending.assembler.persist(out);
+        }
+        (self.ready.len() as u64).persist(out);
+        for (at, payload) in &self.ready {
+            at.persist(out);
+            payload.persist(out);
+        }
+        self.stats.reads.persist(out);
+        self.stats.writes.persist(out);
+        self.stats.rmws.persist(out);
+        self.stats.unsupported.persist(out);
+        self.stats.coalesced_dones.persist(out);
+        self.stats.corrected_reads.persist(out);
+        self.stats.poisoned_reads.persist(out);
+        self.stats.poisoned_rmws.persist(out);
+        self.stats.frames_orphaned.persist(out);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        self.cache.restore_state(r)?;
+        let ports = r.len()?;
+        if ports != self.ports.len() {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "centaur port count",
+            });
+        }
+        for port in &mut self.ports {
+            port.restore_state(r)?;
+        }
+        let n = r.len()?;
+        let mut pending_writes = HashMap::with_capacity(n.min(256));
+        for _ in 0..n {
+            let tag = Tag::restore(r)?;
+            let pending = PendingWrite {
+                header: CommandHeader::restore(r)?,
+                assembler: LineAssembler::restore(r)?,
+            };
+            if pending_writes.insert(tag, pending).is_some() {
+                return Err(snapshot::RestoreError::Malformed {
+                    context: "duplicate pending-write tag",
+                });
+            }
+        }
+        let n = r.len()?;
+        let mut ready = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let at = SimTime::restore(r)?;
+            ready.push_back((at, UpstreamPayload::restore(r)?));
+        }
+        let stats = CentaurStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            rmws: r.u64()?,
+            unsupported: r.u64()?,
+            coalesced_dones: r.u64()?,
+            corrected_reads: r.u64()?,
+            poisoned_reads: r.u64()?,
+            poisoned_rmws: r.u64()?,
+            frames_orphaned: r.u64()?,
+        };
+        self.pending_writes = pending_writes;
+        self.ready = ready;
+        self.stats = stats;
+        Ok(())
     }
 
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
@@ -430,6 +519,18 @@ mod tests {
 
     fn centaur() -> Centaur {
         Centaur::new(CentaurConfig::optimized(), 1 << 30)
+    }
+
+    #[test]
+    fn sideband_refuses_out_of_range_addresses() {
+        let mut c = centaur();
+        let cap = c.capacity_bytes();
+        assert!(c.sideband_read_line(SimTime::ZERO, cap).is_none());
+        assert!(c.sideband_read_line(SimTime::ZERO, u64::MAX - 64).is_none());
+        assert!(!c.sideband_write_line(cap, &[0u8; 128], false));
+        assert!(!c.sideband_write_line(u64::MAX - 64, &[0u8; 128], false));
+        // In-range maintenance access still works.
+        assert!(c.sideband_read_line(SimTime::ZERO, cap - 128).is_some());
     }
 
     /// Pushes a full write (command + 8 beats) starting at `now`, one
@@ -593,6 +694,70 @@ mod tests {
         let (back, _) = c.sideband_read_line(SimTime::from_secs(1), 0x8000).unwrap();
         assert_eq!(back, [0u8; 128]);
         assert_eq!(c.cache().hits(), 0);
+    }
+
+    #[test]
+    fn snapshot_mid_assembly_resumes_identically() {
+        let mut c = centaur();
+        let line = CacheLine::patterned(21);
+        // A completed write warms the cache and DRAM.
+        push_write(&mut c, SimTime::ZERO, t(0), 0x8000, &line);
+        drain_all(&mut c, SimTime::from_us(1));
+        // A second write left mid-assembly: command plus 3 of 8 beats.
+        c.push_downstream(
+            SimTime::from_us(2),
+            DownstreamPayload::Command {
+                tag: t(3),
+                header: CommandHeader::Write { addr: 0x9000 },
+            },
+        );
+        let beats = line_to_downstream_beats(t(3), &CacheLine::patterned(9));
+        for (i, beat) in beats.iter().take(3).cloned().enumerate() {
+            c.push_downstream(
+                SimTime::from_us(2) + SimTime::from_ns(2) * (i as u64 + 1),
+                beat,
+            );
+        }
+        // A read whose response is still queued.
+        c.push_downstream(
+            SimTime::from_us(2),
+            DownstreamPayload::Command {
+                tag: t(4),
+                header: CommandHeader::Read { addr: 0x8000 },
+            },
+        );
+
+        let mut img = Vec::new();
+        c.snapshot_state(&mut img);
+        let mut fresh = centaur();
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+
+        // Finish the interrupted write on both copies; feed the
+        // remaining beats and drain: byte-identical upstream streams.
+        for (i, beat) in beats.iter().skip(3).cloned().enumerate() {
+            let at = SimTime::from_us(3) + SimTime::from_ns(2) * (i as u64);
+            c.push_downstream(at, beat.clone());
+            fresh.push_downstream(at, beat);
+        }
+        let a = drain_all(&mut c, SimTime::from_us(6));
+        let b = drain_all(&mut fresh, SimTime::from_us(6));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_eq!(c.stats(), fresh.stats());
+        assert_eq!(c.cache().hits(), fresh.cache().hits());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_capacity_mismatch() {
+        let c = centaur();
+        let mut img = Vec::new();
+        c.snapshot_state(&mut img);
+        let mut small = Centaur::new(CentaurConfig::optimized(), 1 << 20);
+        let err = small.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

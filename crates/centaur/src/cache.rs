@@ -7,6 +7,8 @@
 //! authoritative in DRAM (the model writes through), so the cache only
 //! decides whether an access pays DRAM latency.
 
+use contutto_sim::snapshot::{self, Persist, SnapReader};
+
 /// A set-associative tag array with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct EdramCache {
@@ -175,6 +177,71 @@ impl EdramCache {
     pub fn capacity_bytes(&self) -> u64 {
         self.sets.len() as u64 * self.ways as u64 * self.line_bytes
     }
+
+    /// Serializes all dynamic state (tag array, LRU clock, stats).
+    /// Geometry is a construction parameter and is only cross-checked.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        (self.sets.len() as u64).persist(out);
+        (self.ways as u64).persist(out);
+        self.line_bytes.persist(out);
+        for set in &self.sets {
+            (set.len() as u64).persist(out);
+            for way in set {
+                way.valid.persist(out);
+                way.tag.persist(out);
+                way.last_used.persist(out);
+            }
+        }
+        self.tick.persist(out);
+        self.hits.persist(out);
+        self.misses.persist(out);
+        self.prefetch_degree.persist(out);
+        self.prefetch_fills.persist(out);
+    }
+
+    /// Overlays an [`EdramCache::snapshot_state`] image onto this
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if the image came
+    /// from a different geometry, or any decode error from a corrupt
+    /// payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let num_sets = r.len()?;
+        let ways = r.len()?;
+        let line_bytes = r.u64()?;
+        if num_sets != self.sets.len() || ways != self.ways || line_bytes != self.line_bytes {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "cache geometry",
+            });
+        }
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            let set_ways = r.len()?;
+            let mut set = Vec::with_capacity(set_ways);
+            for _ in 0..set_ways {
+                set.push(CacheWay {
+                    valid: r.bool()?,
+                    tag: r.u64()?,
+                    last_used: r.u64()?,
+                });
+            }
+            sets.push(set);
+        }
+        let tick = r.u64()?;
+        let hits = r.u64()?;
+        let misses = r.u64()?;
+        let prefetch_degree = r.u64()?;
+        let prefetch_fills = r.u64()?;
+        self.sets = sets;
+        self.tick = tick;
+        self.hits = hits;
+        self.misses = misses;
+        self.prefetch_degree = prefetch_degree;
+        self.prefetch_fills = prefetch_fills;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +319,34 @@ mod tests {
         assert!(c.contains(0));
         c.invalidate_all();
         assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_residency_and_lru() {
+        let mut c = EdramCache::new(16 << 10, 4);
+        c.access(0);
+        c.access(0x1000);
+        c.access(0);
+        let mut img = Vec::new();
+        c.snapshot_state(&mut img);
+        let mut fresh = EdramCache::new(16 << 10, 4);
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        assert!(fresh.contains(0) && fresh.contains(0x1000));
+        assert_eq!(fresh.hits(), c.hits());
+        assert_eq!(fresh.misses(), c.misses());
+        assert_eq!(fresh.prefetch_fills(), c.prefetch_fills());
+        // LRU order came back: the two copies evict identically.
+        for addr in [0x8000u64, 0x9000, 0xA000] {
+            assert_eq!(c.access(addr), fresh.access(addr));
+        }
+        assert_eq!(fresh.hits(), c.hits());
+        // Different geometry refuses the image.
+        let mut other = EdramCache::new(16 << 10, 8);
+        let err = other.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

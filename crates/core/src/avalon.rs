@@ -16,6 +16,7 @@
 
 use contutto_dmi::PowerRestoreOutcome;
 use contutto_memdev::{FaultConfig, RasCounters, ReadOutcome};
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::{time::clocks, Cycles, SimTime, Tracer};
 
 use crate::memctl::{MemoryController, MemoryKind};
@@ -298,6 +299,52 @@ impl AvalonBus {
         for c in &mut self.controllers {
             c.set_supercap_budget_nj(nj);
         }
+    }
+
+    /// Serializes the bus's dynamic state: every port controller plus
+    /// the port-busy bookkeeping and transfer counter. Port count and
+    /// CDC depth are construction parameters and only cross-checked.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        (self.controllers.len() as u64).persist(out);
+        self.cdc_cycles.persist(out);
+        for c in &self.controllers {
+            c.snapshot_state(out);
+        }
+        for t in &self.read_busy {
+            t.persist(out);
+        }
+        for t in &self.write_busy {
+            t.persist(out);
+        }
+        self.transfers.persist(out);
+    }
+
+    /// Overlays an [`AvalonBus::snapshot_state`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if the image came
+    /// from a bus with a different port count or CDC depth, or any
+    /// decode error from the per-port payloads.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let ports = r.len()?;
+        let cdc = r.u64()?;
+        if ports != self.controllers.len() || cdc != self.cdc_cycles {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "avalon port count or cdc depth",
+            });
+        }
+        for c in &mut self.controllers {
+            c.restore_state(r)?;
+        }
+        for t in &mut self.read_busy {
+            *t = SimTime::restore(r)?;
+        }
+        for t in &mut self.write_busy {
+            *t = SimTime::restore(r)?;
+        }
+        self.transfers = r.u64()?;
+        Ok(())
     }
 
     /// Media RAS counters summed across ports.

@@ -11,7 +11,8 @@
 
 use contutto_dmi::buffer::{DmiBuffer, MediaFaultSpec, PowerRestoreOutcome};
 use contutto_dmi::frame::{DownstreamPayload, UpstreamPayload};
-use contutto_memdev::{FaultConfig, MramGeneration, RasCounters};
+use contutto_memdev::{range_ok, FaultConfig, MramGeneration, RasCounters};
+use contutto_sim::snapshot::{self, SnapReader};
 use contutto_sim::{MetricsRegistry, SimTime, Tracer};
 
 use crate::avalon::AvalonBus;
@@ -256,10 +257,19 @@ impl DmiBuffer for ConTutto {
     }
 
     fn sideband_read_line(&mut self, now: SimTime, addr: u64) -> Option<([u8; 128], bool)> {
+        // The sideband takes external addresses (maintenance tools,
+        // fault reproducers): refuse out-of-range instead of letting
+        // the device's range assertion abort the process.
+        if !range_ok(self.mbs.avalon().capacity_bytes(), addr, 128) {
+            return None;
+        }
         Some(self.mbs.avalon_mut().sideband_read_line(now, addr))
     }
 
     fn sideband_write_line(&mut self, addr: u64, data: &[u8; 128], poison: bool) -> bool {
+        if !range_ok(self.mbs.avalon().capacity_bytes(), addr, 128) {
+            return false;
+        }
         self.mbs
             .avalon_mut()
             .sideband_write_line(addr, data, poison);
@@ -324,6 +334,16 @@ impl DmiBuffer for ConTutto {
 
     fn scrub_interval(&self) -> Option<SimTime> {
         self.mbs.avalon().scrub_interval()
+    }
+
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        // All dynamic card state lives in the MBS and below (Avalon,
+        // controllers, media); the PHY/MBI layers are pure latency.
+        self.mbs.snapshot_state(out);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        self.mbs.restore_state(r)
     }
 
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
@@ -403,6 +423,18 @@ mod tests {
             now += SimTime::from_ns(2);
         }
         out
+    }
+
+    #[test]
+    fn sideband_refuses_out_of_range_addresses() {
+        let mut c = ConTutto::new(ContuttoConfig::base(), MemoryPopulation::dram_8gb());
+        let cap = c.population().total_bytes();
+        assert!(c.sideband_read_line(SimTime::ZERO, cap).is_none());
+        assert!(c.sideband_read_line(SimTime::ZERO, u64::MAX - 64).is_none());
+        assert!(!c.sideband_write_line(cap, &[0u8; 128], false));
+        assert!(!c.sideband_write_line(u64::MAX - 64, &[0u8; 128], false));
+        // In-range maintenance access still works.
+        assert!(c.sideband_read_line(SimTime::ZERO, cap - 128).is_some());
     }
 
     #[test]
@@ -551,6 +583,56 @@ mod tests {
         // The FPGA path alone is ~350 ns — far above Centaur's ~70 ns.
         assert!(done > SimTime::from_ns(300), "done {done}");
         assert!(done < SimTime::from_ns(430), "done {done}");
+    }
+
+    #[test]
+    fn snapshot_restore_card_resumes_identically() {
+        let mut c = ConTutto::new(ContuttoConfig::with_knob(2), MemoryPopulation::dram_8gb());
+        let line = CacheLine::patterned(31);
+        c.push_downstream(
+            SimTime::ZERO,
+            DownstreamPayload::Command {
+                tag: t(0),
+                header: CommandHeader::Write { addr: 0x8000 },
+            },
+        );
+        for (i, beat) in line_to_downstream_beats(t(0), &line)
+            .into_iter()
+            .enumerate()
+        {
+            c.push_downstream(SimTime::from_ns(2) * (i as u64 + 1), beat);
+        }
+        drain(&mut c, SimTime::from_us(2));
+        // A read whose response is still queued rides across the
+        // snapshot boundary.
+        c.push_downstream(
+            SimTime::from_us(3),
+            DownstreamPayload::Command {
+                tag: t(1),
+                header: CommandHeader::Read { addr: 0x8000 },
+            },
+        );
+        let mut img = Vec::new();
+        c.snapshot_state(&mut img);
+
+        let mut fresh = ConTutto::new(ContuttoConfig::with_knob(2), MemoryPopulation::dram_8gb());
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        let a = drain(&mut c, SimTime::from_us(6));
+        let b = drain(&mut fresh, SimTime::from_us(6));
+        assert_eq!(a, b, "restored card must replay the exact response stream");
+        assert_eq!(c.stats(), fresh.stats());
+        assert_eq!(c.ras_counters(), fresh.ras_counters());
+
+        // A card with a different population refuses the image.
+        let mut mram = ConTutto::new(
+            ContuttoConfig::with_knob(2),
+            MemoryPopulation::mram_512mb(MramGeneration::Pmtj),
+        );
+        let err = mram.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

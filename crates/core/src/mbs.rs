@@ -32,6 +32,7 @@ use contutto_dmi::command::{CacheLine, Tag};
 use contutto_dmi::frame::{
     line_to_upstream_beats, CommandHeader, DownstreamPayload, LineAssembler, UpstreamPayload,
 };
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::{time::clocks, Cycles, SimTime, TraceEvent, Tracer};
 
 use crate::avalon::{AvalonBus, ReadPort, WritePort};
@@ -377,6 +378,141 @@ impl MbsLogic {
                 second: None,
             },
         );
+    }
+
+    /// Serializes all dynamic MBS state: the runtime latency knob, the
+    /// Avalon bus and media below it, every in-flight command engine,
+    /// the upstream response queue and the statistics. Pipeline depths
+    /// and PHY/MBI latencies are construction parameters and only
+    /// cross-checked.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.cfg.decode_cycles.persist(out);
+        self.cfg.engine_cycles.persist(out);
+        self.cfg.arb_cycles.persist(out);
+        self.cfg.memctl_issue_cycles.persist(out);
+        self.cfg.memctl_return_cycles.persist(out);
+        self.rx_extra.persist(out);
+        self.tx_extra.persist(out);
+        // The knob is software-writable at runtime, so it travels as
+        // state rather than a construction parameter.
+        self.cfg.latency_knob.persist(out);
+        self.avalon.snapshot_state(out);
+        let mut tags: Vec<Tag> = self.engines.keys().copied().collect();
+        tags.sort_by_key(|t| t.raw());
+        (tags.len() as u64).persist(out);
+        for tag in tags {
+            let engine = &self.engines[&tag];
+            tag.persist(out);
+            engine.header.persist(out);
+            engine.assembler.persist(out);
+        }
+        (self.ready.len() as u64).persist(out);
+        for (at, payload) in &self.ready {
+            at.persist(out);
+            payload.persist(out);
+        }
+        self.decoder_toggle.persist(out);
+        self.stats.reads.persist(out);
+        self.stats.writes.persist(out);
+        self.stats.rmws.persist(out);
+        self.stats.inline_accel_ops.persist(out);
+        self.stats.flushes.persist(out);
+        self.stats.write_beats.persist(out);
+        self.stats.coalesced_dones.persist(out);
+        self.stats.corrected_reads.persist(out);
+        self.stats.poisoned_reads.persist(out);
+        self.stats.poisoned_rmws.persist(out);
+        self.stats.frames_orphaned.persist(out);
+    }
+
+    /// Overlays an [`MbsLogic::snapshot_state`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if the image came
+    /// from a differently-configured pipeline, or any decode error
+    /// from a corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let decode_cycles = r.u64()?;
+        let engine_cycles = r.u64()?;
+        let arb_cycles = r.u64()?;
+        let memctl_issue_cycles = r.u64()?;
+        let memctl_return_cycles = r.u64()?;
+        let rx_extra = SimTime::restore(r)?;
+        let tx_extra = SimTime::restore(r)?;
+        if decode_cycles != self.cfg.decode_cycles
+            || engine_cycles != self.cfg.engine_cycles
+            || arb_cycles != self.cfg.arb_cycles
+            || memctl_issue_cycles != self.cfg.memctl_issue_cycles
+            || memctl_return_cycles != self.cfg.memctl_return_cycles
+            || rx_extra != self.rx_extra
+            || tx_extra != self.tx_extra
+        {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "mbs pipeline parameters",
+            });
+        }
+        let latency_knob = r.u8()?;
+        if latency_knob > 7 {
+            return Err(snapshot::RestoreError::Malformed {
+                context: "latency knob out of range",
+            });
+        }
+        self.avalon.restore_state(r)?;
+        let n = r.len()?;
+        if n > NUM_ENGINES {
+            return Err(snapshot::RestoreError::Malformed {
+                context: "more engines in image than exist",
+            });
+        }
+        let mut engines = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let tag = Tag::restore(r)?;
+            let header = CommandHeader::restore(r)?;
+            let assembler = LineAssembler::restore(r)?;
+            if engines
+                .insert(tag, EngineState { header, assembler })
+                .is_some()
+            {
+                return Err(snapshot::RestoreError::Malformed {
+                    context: "duplicate engine tag",
+                });
+            }
+        }
+        let m = r.len()?;
+        // Each queue entry costs at least 9 bytes (timestamp + payload
+        // discriminant); reject counts the remaining bytes cannot hold.
+        if m > r.remaining() / 9 {
+            return Err(snapshot::RestoreError::Truncated {
+                context: "mbs upstream queue",
+            });
+        }
+        let mut ready = VecDeque::with_capacity(m);
+        for _ in 0..m {
+            let at = SimTime::restore(r)?;
+            let payload = UpstreamPayload::restore(r)?;
+            ready.push_back((at, payload));
+        }
+        let decoder_toggle = r.bool()?;
+        let stats = MbsStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            rmws: r.u64()?,
+            inline_accel_ops: r.u64()?,
+            flushes: r.u64()?,
+            write_beats: r.u64()?,
+            coalesced_dones: r.u64()?,
+            corrected_reads: r.u64()?,
+            poisoned_reads: r.u64()?,
+            poisoned_rmws: r.u64()?,
+            frames_orphaned: r.u64()?,
+        };
+        self.cfg.latency_knob = latency_knob;
+        self.engines = engines;
+        self.ready = ready;
+        self.decoder_toggle = decoder_toggle;
+        self.stats = stats;
+        Ok(())
     }
 
     /// Power cut: every in-flight engine assembly and queued response
@@ -768,6 +904,80 @@ mod tests {
         assert_eq!(dones[0].0, t(0));
         assert_eq!(dones[0].1, Some(t(16)));
         assert_eq!(m.stats().coalesced_dones, 1);
+    }
+
+    #[test]
+    fn snapshot_mid_assembly_resumes_identically() {
+        let mut m = mbs();
+        m.set_latency_knob(3);
+        // One complete write, one write mid-assembly (5 of 8 beats),
+        // and a read whose response is still queued.
+        let line_a = CacheLine::patterned(21);
+        push_write(&mut m, SimTime::ZERO, t(0), 0x1000, &line_a);
+        let line_b = CacheLine::patterned(22);
+        m.handle_downstream(
+            SimTime::from_ns(100),
+            DownstreamPayload::Command {
+                tag: t(17),
+                header: CommandHeader::Write { addr: 0x2000 },
+            },
+        );
+        let beats = line_to_downstream_beats(t(17), &line_b);
+        for (i, beat) in beats.iter().take(5).enumerate() {
+            m.handle_downstream(SimTime::from_ns(102 + 2 * i as u64), beat.clone());
+        }
+        m.handle_downstream(
+            SimTime::from_ns(120),
+            DownstreamPayload::Command {
+                tag: t(2),
+                header: CommandHeader::Read { addr: 0x1000 },
+            },
+        );
+        assert_eq!(m.engines_busy(), 1);
+
+        let mut img = Vec::new();
+        m.snapshot_state(&mut img);
+        let mut fresh = mbs();
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        assert_eq!(fresh.engines_busy(), 1);
+
+        // Feed the remaining beats to both copies; their upstream
+        // streams must be byte-identical including timestamps.
+        for m in [&mut m, &mut fresh] {
+            for (i, beat) in beats.iter().skip(5).enumerate() {
+                m.handle_downstream(
+                    SimTime::from_us(1) + SimTime::from_ns(2 * i as u64),
+                    beat.clone(),
+                );
+            }
+        }
+        let a = drain(&mut m, SimTime::from_us(4));
+        let b = drain(&mut fresh, SimTime::from_us(4));
+        assert_eq!(a, b);
+        assert_eq!(m.stats(), fresh.stats());
+
+        // A pipeline with different depths refuses the image.
+        let avalon = AvalonBus::new(
+            vec![
+                MemoryController::new(MemoryKind::Ddr3Dram, 1 << 29),
+                MemoryController::new(MemoryKind::Ddr3Dram, 1 << 29),
+            ],
+            5,
+        );
+        let mut other = MbsLogic::new(
+            MbsConfig {
+                decode_cycles: 9,
+                ..MbsConfig::base()
+            },
+            avalon,
+            SimTime::from_ns(32),
+            SimTime::from_ns(28),
+        );
+        let err = other.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use contutto_memdev::{
     DdrTimings, Dram, FaultConfig, MemoryDevice, MramGeneration, NvdimmN, RasCounters, ReadOutcome,
     ReadResult, RestoreError, SaveState, SttMram,
 };
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::{SimTime, TraceEvent, Tracer};
 
 /// The memory technology a controller instance drives.
@@ -407,6 +408,73 @@ impl MemoryController {
             _ => None,
         }
     }
+
+    /// Serializes the controller's dynamic state: the device (contents,
+    /// wear, save engine), flush bookkeeping, op counters and the
+    /// patrol-scrub schedule. The payload is tagged with the media kind
+    /// so a restore into a differently-populated port fails as a
+    /// topology mismatch instead of misinterpreting the bytes.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        match &self.device {
+            PortDevice::Dram(d) => {
+                0u8.persist(out);
+                d.snapshot_state(out);
+            }
+            PortDevice::Mram(d) => {
+                1u8.persist(out);
+                d.snapshot_state(out);
+            }
+            PortDevice::Nvdimm(d) => {
+                2u8.persist(out);
+                d.snapshot_state(out);
+            }
+        }
+        self.last_write_durable.persist(out);
+        self.reads.persist(out);
+        self.writes.persist(out);
+        self.flushes.persist(out);
+        self.scrub_interval.persist(out);
+        self.next_scrub.persist(out);
+    }
+
+    /// Overlays a [`MemoryController::snapshot_state`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if this port drives
+    /// a different media kind than the image, or any decode error from
+    /// a corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let tag = r.u8()?;
+        match (&mut self.device, tag) {
+            (PortDevice::Dram(d), 0) => d.restore_state(r)?,
+            (PortDevice::Mram(d), 1) => d.restore_state(r)?,
+            (PortDevice::Nvdimm(d), 2) => d.restore_state(r)?,
+            (_, 0..=2) => {
+                return Err(snapshot::RestoreError::TopologyMismatch {
+                    context: "memory-controller media kind",
+                })
+            }
+            _ => {
+                return Err(snapshot::RestoreError::Malformed {
+                    context: "memory-controller media discriminant",
+                })
+            }
+        }
+        let last_write_durable = SimTime::restore(r)?;
+        let reads = r.u64()?;
+        let writes = r.u64()?;
+        let flushes = r.u64()?;
+        let scrub_interval = Option::<SimTime>::restore(r)?;
+        let next_scrub = SimTime::restore(r)?;
+        self.last_write_durable = last_write_durable;
+        self.reads = reads;
+        self.writes = writes;
+        self.flushes = flushes;
+        self.scrub_interval = scrub_interval;
+        self.next_scrub = next_scrub;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +535,38 @@ mod tests {
         nv.power_restore(done).expect("clean restore");
         let (back, _, _) = mc.read_line(SimTime::from_secs(1), 0);
         assert_eq!(back, [7u8; 128]);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_scrub_and_flush_bookkeeping() {
+        let mut mc = MemoryController::new(MemoryKind::SttMram(MramGeneration::Pmtj), 1 << 20);
+        mc.enable_scrub(SimTime::from_us(50));
+        let durable = mc.write_line(SimTime::ZERO, 0x100, &[0x77u8; 128]);
+        let mut img = Vec::new();
+        mc.snapshot_state(&mut img);
+
+        let mut fresh = MemoryController::new(MemoryKind::SttMram(MramGeneration::Pmtj), 1 << 20);
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        // Contents, flush horizon, op counters and scrub schedule all
+        // came back.
+        let (back, _, _) = fresh.read_line(durable, 0x100);
+        assert_eq!(back, [0x77u8; 128]);
+        assert_eq!(
+            fresh.flush(SimTime::from_ns(1)),
+            mc.flush(SimTime::from_ns(1))
+        );
+        assert_eq!(fresh.scrub_interval(), Some(SimTime::from_us(50)));
+        let (r, w, f) = fresh.op_counts();
+        assert_eq!((r, w), (1, 1));
+        assert_eq!(f, 1);
+
+        // A differently-populated port refuses the image.
+        let mut dram = MemoryController::new(MemoryKind::Ddr3Dram, 1 << 20);
+        let err = dram.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

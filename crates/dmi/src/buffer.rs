@@ -12,6 +12,7 @@
 //! their completion times. Each `pull_upstream` call corresponds to
 //! one upstream frame-slot grant from the arbiter.
 
+use contutto_sim::snapshot::{RestoreError, SnapReader};
 use contutto_sim::{MetricsRegistry, SimTime, Tracer};
 
 use crate::frame::{DownstreamPayload, UpstreamPayload};
@@ -209,6 +210,28 @@ pub trait DmiBuffer {
     /// the buffer has no scrub engine (the default).
     fn scrub_interval(&self) -> Option<SimTime> {
         None
+    }
+
+    /// Serializes the buffer's dynamic state (caches, engine queues,
+    /// media contents, save-engine state) into a snapshot payload.
+    /// Must be the exact mirror of [`DmiBuffer::restore_state`]: a
+    /// model overriding one must override both. Default: a stateless
+    /// buffer contributes no bytes.
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Overlays buffer state from a snapshot payload written by
+    /// [`DmiBuffer::snapshot_state`] onto this identically-constructed
+    /// buffer. Default: reads nothing (matching the empty default
+    /// snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RestoreError`] from the payload decode.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        let _ = r;
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 use contutto_sim::{TraceEvent, Tracer};
 
 use crate::error::DmiError;
@@ -227,6 +228,24 @@ impl TagPool {
     pub fn is_in_flight(&self, tag: Tag) -> bool {
         self.free & (1 << tag.0) == 0
     }
+
+    /// Serializes the pool's dynamic state (the free bitmask) into a
+    /// snapshot payload. The tracer attachment is construction-time
+    /// wiring and is not part of the image.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.free.persist(out);
+    }
+
+    /// Overlays pool state from a snapshot payload, keeping the
+    /// existing tracer attachment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RestoreError`] from the payload decode.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        self.free = u32::restore(r)?;
+        Ok(())
+    }
 }
 
 /// Atomic read-modify-write operations supported by the buffer's ALU
@@ -400,6 +419,145 @@ impl MemResponse {
         match self {
             MemResponse::ReadData { tag, .. } | MemResponse::Done { tag } => *tag,
         }
+    }
+}
+
+impl Persist for CacheLine {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(CacheLine(<[u8; CACHE_LINE_BYTES]>::restore(r)?))
+    }
+}
+
+impl Persist for Tag {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Tag::new(r.u8()?).map_err(|_| RestoreError::Malformed {
+            context: "tag out of range",
+        })
+    }
+}
+
+impl Persist for RmwOp {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            RmwOp::PartialWrite { sector_mask } => {
+                out.push(0);
+                sector_mask.persist(out);
+            }
+            RmwOp::AtomicAdd => out.push(1),
+            RmwOp::MinStore => out.push(2),
+            RmwOp::MaxStore => out.push(3),
+            RmwOp::ConditionalSwap => out.push(4),
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => RmwOp::PartialWrite {
+                sector_mask: r.u8()?,
+            },
+            1 => RmwOp::AtomicAdd,
+            2 => RmwOp::MinStore,
+            3 => RmwOp::MaxStore,
+            4 => RmwOp::ConditionalSwap,
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "RmwOp discriminant",
+                })
+            }
+        })
+    }
+}
+
+impl Persist for CommandOp {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            CommandOp::Read { addr } => {
+                out.push(0);
+                addr.persist(out);
+            }
+            CommandOp::Write { addr, data } => {
+                out.push(1);
+                addr.persist(out);
+                data.persist(out);
+            }
+            CommandOp::Rmw { addr, op, data } => {
+                out.push(2);
+                addr.persist(out);
+                op.persist(out);
+                data.persist(out);
+            }
+            CommandOp::Flush => out.push(3),
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => CommandOp::Read { addr: r.u64()? },
+            1 => CommandOp::Write {
+                addr: r.u64()?,
+                data: CacheLine::restore(r)?,
+            },
+            2 => CommandOp::Rmw {
+                addr: r.u64()?,
+                op: RmwOp::restore(r)?,
+                data: CacheLine::restore(r)?,
+            },
+            3 => CommandOp::Flush,
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "CommandOp discriminant",
+                })
+            }
+        })
+    }
+}
+
+impl Persist for MemCommand {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.tag.persist(out);
+        self.op.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(MemCommand {
+            tag: Tag::restore(r)?,
+            op: CommandOp::restore(r)?,
+        })
+    }
+}
+
+impl Persist for MemResponse {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            MemResponse::ReadData { tag, data } => {
+                out.push(0);
+                tag.persist(out);
+                data.persist(out);
+            }
+            MemResponse::Done { tag } => {
+                out.push(1);
+                tag.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => MemResponse::ReadData {
+                tag: Tag::restore(r)?,
+                data: CacheLine::restore(r)?,
+            },
+            1 => MemResponse::Done {
+                tag: Tag::restore(r)?,
+            },
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "MemResponse discriminant",
+                })
+            }
+        })
     }
 }
 

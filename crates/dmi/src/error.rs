@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 use contutto_sim::SimTime;
 
 /// Errors surfaced by DMI link and protocol operations.
@@ -121,6 +122,121 @@ impl fmt::Display for DmiError {
 
 impl Error for DmiError {}
 
+/// Interns a restored message so the `&'static str` payload variants
+/// round-trip through a snapshot. Distinct messages are deduplicated,
+/// so the leaked memory is bounded by the (small, fixed) set of
+/// message literals the codebase can ever emit.
+fn intern(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern table poisoned");
+    if let Some(existing) = table.get(s.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+impl Persist for DmiError {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            DmiError::CrcMismatch { claimed_seq } => {
+                0u8.persist(out);
+                claimed_seq.persist(out);
+            }
+            DmiError::SequenceGap { expected, got } => {
+                1u8.persist(out);
+                expected.persist(out);
+                got.persist(out);
+            }
+            DmiError::ReplayBufferUnderrun => 2u8.persist(out),
+            DmiError::NoFreeTag => 3u8.persist(out),
+            DmiError::UnknownTag(t) => {
+                4u8.persist(out);
+                t.persist(out);
+            }
+            DmiError::TrainingFailed { attempts } => {
+                5u8.persist(out);
+                attempts.persist(out);
+            }
+            DmiError::FrtlExceeded {
+                measured_bus_cycles,
+                max_bus_cycles,
+            } => {
+                6u8.persist(out);
+                measured_bus_cycles.persist(out);
+                max_bus_cycles.persist(out);
+            }
+            DmiError::MalformedFrame(what) => {
+                7u8.persist(out);
+                what.to_string().persist(out);
+            }
+            DmiError::Timeout { tag, waited } => {
+                8u8.persist(out);
+                tag.persist(out);
+                waited.persist(out);
+            }
+            DmiError::Config(what) => {
+                9u8.persist(out);
+                what.to_string().persist(out);
+            }
+            DmiError::Poisoned { addr } => {
+                10u8.persist(out);
+                addr.persist(out);
+            }
+            DmiError::RmwAborted { addr } => {
+                11u8.persist(out);
+                addr.persist(out);
+            }
+            DmiError::DeadlineExceeded { waited } => {
+                12u8.persist(out);
+                waited.persist(out);
+            }
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => DmiError::CrcMismatch {
+                claimed_seq: r.u8()?,
+            },
+            1 => DmiError::SequenceGap {
+                expected: r.u8()?,
+                got: r.u8()?,
+            },
+            2 => DmiError::ReplayBufferUnderrun,
+            3 => DmiError::NoFreeTag,
+            4 => DmiError::UnknownTag(r.u8()?),
+            5 => DmiError::TrainingFailed { attempts: r.u32()? },
+            6 => DmiError::FrtlExceeded {
+                measured_bus_cycles: r.u64()?,
+                max_bus_cycles: r.u64()?,
+            },
+            7 => DmiError::MalformedFrame(intern(r.string()?)),
+            8 => DmiError::Timeout {
+                tag: r.u8()?,
+                waited: SimTime::restore(r)?,
+            },
+            9 => DmiError::Config(intern(r.string()?)),
+            10 => DmiError::Poisoned { addr: r.u64()? },
+            11 => DmiError::RmwAborted { addr: r.u64()? },
+            12 => DmiError::DeadlineExceeded {
+                waited: SimTime::restore(r)?,
+            },
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "dmi error discriminant",
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +280,50 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DmiError>();
+    }
+
+    #[test]
+    fn every_variant_roundtrips_through_persist() {
+        let errs = [
+            DmiError::CrcMismatch { claimed_seq: 3 },
+            DmiError::SequenceGap {
+                expected: 1,
+                got: 5,
+            },
+            DmiError::ReplayBufferUnderrun,
+            DmiError::NoFreeTag,
+            DmiError::UnknownTag(7),
+            DmiError::TrainingFailed { attempts: 4 },
+            DmiError::FrtlExceeded {
+                measured_bus_cycles: 900,
+                max_bus_cycles: 800,
+            },
+            DmiError::MalformedFrame("bad opcode"),
+            DmiError::Timeout {
+                tag: 11,
+                waited: SimTime::from_us(20),
+            },
+            DmiError::Config("replay buffer must cover the ack timeout"),
+            DmiError::Poisoned { addr: 0x8000 },
+            DmiError::RmwAborted { addr: 0x4000 },
+            DmiError::DeadlineExceeded {
+                waited: SimTime::from_us(40),
+            },
+        ];
+        for e in errs {
+            let mut bytes = Vec::new();
+            e.persist(&mut bytes);
+            let mut r = SnapReader::new(&bytes);
+            let back = DmiError::restore(&mut r).unwrap();
+            assert_eq!(back, e);
+            assert!(r.is_empty());
+            // Interned messages render identically to the originals.
+            assert_eq!(back.to_string(), e.to_string());
+        }
+        let mut r = SnapReader::new(&[13]);
+        assert!(matches!(
+            DmiError::restore(&mut r),
+            Err(RestoreError::Malformed { .. })
+        ));
     }
 }

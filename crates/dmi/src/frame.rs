@@ -22,6 +22,8 @@
 //! direction (paper §2.3): `0x80 | seq` acknowledges `seq`, `0x00`
 //! carries no ACK.
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
+
 use crate::command::{CacheLine, CommandOp, RmwOp, Tag};
 use crate::crc::crc16;
 use crate::error::DmiError;
@@ -588,6 +590,215 @@ impl LineAssembler {
             return Err(DmiError::MalformedFrame("line incomplete"));
         }
         Ok(self.line)
+    }
+}
+
+impl Persist for LineAssembler {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.line.persist(out);
+        self.beats_seen.persist(out);
+        self.beats_expected.persist(out);
+        self.beat_bytes.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let line = CacheLine::restore(r)?;
+        let beats_seen = r.u16()?;
+        let beats_expected = r.u16()?;
+        let beat_bytes = usize::restore(r)?;
+        let valid_shape = (beat_bytes == DOWNSTREAM_BEAT_BYTES
+            && beats_expected == (1 << DOWNSTREAM_BEATS_PER_LINE) - 1)
+            || (beat_bytes == UPSTREAM_BEAT_BYTES
+                && beats_expected == (1 << UPSTREAM_BEATS_PER_LINE) - 1);
+        if !valid_shape || beats_seen & !beats_expected != 0 {
+            return Err(RestoreError::Malformed {
+                context: "line assembler shape",
+            });
+        }
+        Ok(LineAssembler {
+            line,
+            beats_seen,
+            beats_expected,
+            beat_bytes,
+        })
+    }
+}
+
+impl Persist for ControlKind {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            ControlKind::TrainingPattern { stage, value } => {
+                0u8.persist(out);
+                stage.persist(out);
+                value.persist(out);
+            }
+            ControlKind::FrtlProbe { signature } => {
+                1u8.persist(out);
+                signature.persist(out);
+            }
+            ControlKind::FrtlEcho { signature } => {
+                2u8.persist(out);
+                signature.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        match r.u8()? {
+            0 => Ok(ControlKind::TrainingPattern {
+                stage: r.u8()?,
+                value: r.u32()?,
+            }),
+            1 => Ok(ControlKind::FrtlProbe {
+                signature: r.u32()?,
+            }),
+            2 => Ok(ControlKind::FrtlEcho {
+                signature: r.u32()?,
+            }),
+            _ => Err(RestoreError::Malformed {
+                context: "ControlKind discriminant",
+            }),
+        }
+    }
+}
+
+impl Persist for CommandHeader {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            CommandHeader::Read { addr } => {
+                0u8.persist(out);
+                addr.persist(out);
+            }
+            CommandHeader::Write { addr } => {
+                1u8.persist(out);
+                addr.persist(out);
+            }
+            CommandHeader::Rmw { addr, op } => {
+                2u8.persist(out);
+                addr.persist(out);
+                op.persist(out);
+            }
+            CommandHeader::Flush => 3u8.persist(out),
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        match r.u8()? {
+            0 => Ok(CommandHeader::Read { addr: r.u64()? }),
+            1 => Ok(CommandHeader::Write { addr: r.u64()? }),
+            2 => Ok(CommandHeader::Rmw {
+                addr: r.u64()?,
+                op: RmwOp::restore(r)?,
+            }),
+            3 => Ok(CommandHeader::Flush),
+            _ => Err(RestoreError::Malformed {
+                context: "CommandHeader discriminant",
+            }),
+        }
+    }
+}
+
+impl Persist for DownstreamPayload {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            DownstreamPayload::Idle => 0u8.persist(out),
+            DownstreamPayload::Command { tag, header } => {
+                1u8.persist(out);
+                tag.persist(out);
+                header.persist(out);
+            }
+            DownstreamPayload::WriteData { tag, beat, data } => {
+                2u8.persist(out);
+                tag.persist(out);
+                beat.persist(out);
+                data.persist(out);
+            }
+            DownstreamPayload::Control(kind) => {
+                3u8.persist(out);
+                kind.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        match r.u8()? {
+            0 => Ok(DownstreamPayload::Idle),
+            1 => Ok(DownstreamPayload::Command {
+                tag: Tag::restore(r)?,
+                header: CommandHeader::restore(r)?,
+            }),
+            2 => {
+                let tag = Tag::restore(r)?;
+                let beat = r.u8()?;
+                if usize::from(beat) >= DOWNSTREAM_BEATS_PER_LINE {
+                    return Err(RestoreError::Malformed {
+                        context: "downstream beat index",
+                    });
+                }
+                Ok(DownstreamPayload::WriteData {
+                    tag,
+                    beat,
+                    data: <[u8; DOWNSTREAM_BEAT_BYTES]>::restore(r)?,
+                })
+            }
+            3 => Ok(DownstreamPayload::Control(ControlKind::restore(r)?)),
+            _ => Err(RestoreError::Malformed {
+                context: "DownstreamPayload discriminant",
+            }),
+        }
+    }
+}
+
+impl Persist for UpstreamPayload {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            UpstreamPayload::Idle => 0u8.persist(out),
+            UpstreamPayload::ReadData {
+                tag,
+                beat,
+                data,
+                poison,
+            } => {
+                1u8.persist(out);
+                tag.persist(out);
+                beat.persist(out);
+                data.persist(out);
+                poison.persist(out);
+            }
+            UpstreamPayload::Done { first, second } => {
+                2u8.persist(out);
+                first.persist(out);
+                second.persist(out);
+            }
+            UpstreamPayload::Control(kind) => {
+                3u8.persist(out);
+                kind.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        match r.u8()? {
+            0 => Ok(UpstreamPayload::Idle),
+            1 => {
+                let tag = Tag::restore(r)?;
+                let beat = r.u8()?;
+                if usize::from(beat) >= UPSTREAM_BEATS_PER_LINE {
+                    return Err(RestoreError::Malformed {
+                        context: "upstream beat index",
+                    });
+                }
+                Ok(UpstreamPayload::ReadData {
+                    tag,
+                    beat,
+                    data: <[u8; UPSTREAM_BEAT_BYTES]>::restore(r)?,
+                    poison: r.bool()?,
+                })
+            }
+            2 => Ok(UpstreamPayload::Done {
+                first: Tag::restore(r)?,
+                second: Option::restore(r)?,
+            }),
+            3 => Ok(UpstreamPayload::Control(ControlKind::restore(r)?)),
+            _ => Err(RestoreError::Malformed {
+                context: "UpstreamPayload discriminant",
+            }),
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! is "short reach ... up to 21dB" — errors are rare but real, which
 //! is why the replay machinery of paper §2.3 exists).
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 use contutto_sim::{DelayQueue, SimRng, SimTime};
 
 /// Link speed grades of the DMI channel.
@@ -131,6 +132,54 @@ impl BitErrorInjector {
     }
 }
 
+impl Persist for BitErrorInjector {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            BitErrorInjector::Never => out.push(0),
+            BitErrorInjector::AtFrames(frames) => {
+                out.push(1);
+                frames.persist(out);
+            }
+            BitErrorInjector::Bernoulli { p, rng } => {
+                out.push(2);
+                p.persist(out);
+                rng.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => BitErrorInjector::Never,
+            1 => {
+                let frames = Vec::<u64>::restore(r)?;
+                if frames.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(RestoreError::Malformed {
+                        context: "fault schedule not sorted",
+                    });
+                }
+                BitErrorInjector::AtFrames(frames)
+            }
+            2 => {
+                let p = r.f64()?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(RestoreError::Malformed {
+                        context: "error probability out of range",
+                    });
+                }
+                BitErrorInjector::Bernoulli {
+                    p,
+                    rng: SimRng::restore(r)?,
+                }
+            }
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "BitErrorInjector discriminant",
+                })
+            }
+        })
+    }
+}
+
 /// One direction of a DMI channel: a latency pipe for serialized
 /// frames, with error injection and frame accounting.
 ///
@@ -215,6 +264,39 @@ impl LinkSegment {
     /// fault-injection phase).
     pub fn set_injector(&mut self, injector: BitErrorInjector) {
         self.injector = injector;
+    }
+
+    /// Serializes the segment's dynamic state (in-flight frames,
+    /// injector, frame accounting). The speed grade is a construction
+    /// parameter and is not persisted; the wire latency it implies is
+    /// cross-checked on restore instead.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.wire.persist(out);
+        self.injector.persist(out);
+        self.frames_sent.persist(out);
+        self.frames_corrupted.persist(out);
+    }
+
+    /// Overlays segment state from a snapshot payload.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::TopologyMismatch`] when the stored wire latency
+    /// does not match this segment's construction (different speed
+    /// grade or propagation delay); otherwise propagates the payload
+    /// decode error.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        let wire = DelayQueue::<Vec<u8>>::restore(r)?;
+        if wire.latency() != self.wire.latency() {
+            return Err(RestoreError::TopologyMismatch {
+                context: "link segment latency",
+            });
+        }
+        self.injector = BitErrorInjector::restore(r)?;
+        self.frames_sent = u64::restore(r)?;
+        self.frames_corrupted = u64::restore(r)?;
+        self.wire = wire;
+        Ok(())
     }
 }
 
@@ -343,6 +425,65 @@ mod tests {
         // see the same coin flips either way.
         assert!(!with_gap[1]);
         assert_eq!(with_gap[2..], without_gap[2..]);
+    }
+
+    #[test]
+    fn snapshot_restores_in_flight_frames_and_rng() {
+        let mut seg = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::bernoulli(0.3, 9),
+        );
+        for i in 0..10u8 {
+            seg.transmit(SimTime::from_ns(u64::from(i)), vec![i; 28]);
+        }
+        let mut image = Vec::new();
+        seg.snapshot_state(&mut image);
+        let mut fresh = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
+        fresh
+            .restore_state(&mut SnapReader::new(&image))
+            .expect("restore");
+        assert_eq!(fresh.frames_sent(), seg.frames_sent());
+        assert_eq!(fresh.frames_corrupted(), seg.frames_corrupted());
+        // Drained frames and future corruption decisions are identical.
+        let t = SimTime::from_secs(1);
+        loop {
+            let (a, b) = (seg.receive(t), fresh.receive(t));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        for i in 10..30u8 {
+            let now = SimTime::from_ns(u64::from(i));
+            seg.transmit(now, vec![i; 28]);
+            fresh.transmit(now, vec![i; 28]);
+        }
+        assert_eq!(seg.frames_corrupted(), fresh.frames_corrupted());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_speed() {
+        let seg = LinkSegment::new(
+            LinkSpeed::Gbps8,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
+        let mut image = Vec::new();
+        seg.snapshot_state(&mut image);
+        let mut wrong = LinkSegment::new(
+            LinkSpeed::Gbps9_6,
+            SimTime::from_ns(1),
+            BitErrorInjector::never(),
+        );
+        assert!(matches!(
+            wrong.restore_state(&mut SnapReader::new(&image)),
+            Err(RestoreError::TopologyMismatch { .. })
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use std::collections::VecDeque;
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 use contutto_sim::{LinkDir, TraceEvent, Tracer};
 
 use crate::error::DmiError;
@@ -582,6 +583,168 @@ impl<T: WireFrame, R: WireFrame> LinkEndpoint<T, R> {
     pub fn rx_awaiting_replay(&self) -> bool {
         self.rx_state == RxState::AwaitReplay
     }
+
+    /// Serializes the endpoint's dynamic state into a snapshot
+    /// payload. Frames (replay buffer, last frame) and backlogged
+    /// payloads ride as their wire bytes — the same encoding the link
+    /// itself uses, CRC included — so a flipped byte in a stored frame
+    /// is caught on restore by the frame decoder. The role and buffer
+    /// sizing are construction parameters; only the runtime-mutable
+    /// ACK timeout (set after FRTL measurement) is persisted.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.cfg.ack_timeout_frames.persist(out);
+        let backlog: Vec<Vec<u8>> = self
+            .backlog
+            .iter()
+            .map(|p| T::assemble(0, None, p.clone()).serialize())
+            .collect();
+        backlog.persist(out);
+        let replay: Vec<Vec<u8>> = self.replay.iter().map(WireFrame::serialize).collect();
+        replay.persist(out);
+        self.next_seq.persist(out);
+        self.acked_upto.persist(out);
+        self.slots_since_progress.persist(out);
+        match self.tx_state {
+            TxState::Normal => out.push(0),
+            TxState::Freeze { slots_left } => {
+                out.push(1);
+                slots_left.persist(out);
+            }
+            TxState::Replay { next_idx } => {
+                out.push(2);
+                next_idx.persist(out);
+            }
+        }
+        self.last_frame
+            .as_ref()
+            .map(WireFrame::serialize)
+            .persist(out);
+        self.rx_expected.persist(out);
+        out.push(match self.rx_state {
+            RxState::Normal => 0,
+            RxState::AwaitReplay => 1,
+        });
+        self.pending_ack.persist(out);
+        self.stats.frames_tx.persist(out);
+        self.stats.frames_rx_ok.persist(out);
+        self.stats.crc_errors.persist(out);
+        self.stats.seq_errors.persist(out);
+        self.stats.duplicates_dropped.persist(out);
+        self.stats.replays_triggered.persist(out);
+        self.stats.frames_replayed.persist(out);
+    }
+
+    /// Overlays endpoint state from a snapshot payload onto this
+    /// (identically configured) endpoint, keeping the existing tracer
+    /// attachment.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Malformed`] when a stored frame fails to decode,
+    /// a sequence ID is outside the 7-bit space, the replay cursor is
+    /// out of range, or the stored ACK timeout violates the replay
+    /// buffer's coverage invariant; otherwise propagates the payload
+    /// decode error.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        fn decode_frame<F: WireFrame>(bytes: &[u8]) -> Result<F, RestoreError> {
+            F::deserialize(bytes).map_err(|_| RestoreError::Malformed {
+                context: "stored link frame",
+            })
+        }
+
+        let ack_timeout_frames = u64::restore(r)?;
+        let candidate = LinkEndpointConfig {
+            ack_timeout_frames,
+            ..self.cfg.clone()
+        };
+        if candidate.validate().is_err() {
+            return Err(RestoreError::Malformed {
+                context: "link ack timeout",
+            });
+        }
+        let backlog = Vec::<Vec<u8>>::restore(r)?
+            .iter()
+            .map(|bytes| Ok(decode_frame::<T>(bytes)?.into_payload()))
+            .collect::<Result<VecDeque<_>, RestoreError>>()?;
+        let replay = Vec::<Vec<u8>>::restore(r)?
+            .iter()
+            .map(|bytes| decode_frame::<T>(bytes))
+            .collect::<Result<VecDeque<_>, RestoreError>>()?;
+        if replay.len() > candidate.replay_buffer_frames {
+            return Err(RestoreError::Malformed {
+                context: "replay buffer overflow",
+            });
+        }
+        let next_seq = r.u8()?;
+        let acked_upto = Option::<u8>::restore(r)?;
+        let slots_since_progress = u64::restore(r)?;
+        let tx_state = match r.u8()? {
+            0 => TxState::Normal,
+            1 => TxState::Freeze {
+                slots_left: r.u64()?,
+            },
+            2 => {
+                let next_idx = usize::restore(r)?;
+                if next_idx > replay.len() {
+                    return Err(RestoreError::Malformed {
+                        context: "replay cursor out of range",
+                    });
+                }
+                TxState::Replay { next_idx }
+            }
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "TxState discriminant",
+                })
+            }
+        };
+        let last_frame = Option::<Vec<u8>>::restore(r)?
+            .map(|bytes| decode_frame::<T>(&bytes))
+            .transpose()?;
+        let rx_expected = r.u8()?;
+        let rx_state = match r.u8()? {
+            0 => RxState::Normal,
+            1 => RxState::AwaitReplay,
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "RxState discriminant",
+                })
+            }
+        };
+        let pending_ack = Option::<u8>::restore(r)?;
+        if next_seq >= SEQ_MODULO
+            || rx_expected >= SEQ_MODULO
+            || acked_upto.is_some_and(|a| a >= SEQ_MODULO)
+            || pending_ack.is_some_and(|a| a >= SEQ_MODULO)
+        {
+            return Err(RestoreError::Malformed {
+                context: "sequence ID out of range",
+            });
+        }
+        let stats = LinkStats {
+            frames_tx: r.u64()?,
+            frames_rx_ok: r.u64()?,
+            crc_errors: r.u64()?,
+            seq_errors: r.u64()?,
+            duplicates_dropped: r.u64()?,
+            replays_triggered: r.u64()?,
+            frames_replayed: r.u64()?,
+        };
+
+        self.cfg = candidate;
+        self.backlog = backlog;
+        self.replay = replay;
+        self.next_seq = next_seq;
+        self.acked_upto = acked_upto;
+        self.slots_since_progress = slots_since_progress;
+        self.tx_state = tx_state;
+        self.last_frame = last_frame;
+        self.rx_expected = rx_expected;
+        self.rx_state = rx_state;
+        self.pending_ack = pending_ack;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 /// Convenience aliases for the two concrete endpoint directions.
@@ -882,6 +1045,81 @@ mod tests {
             ))
         );
         assert!(HostEndpoint::try_new(LinkEndpointConfig::host()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_restores_endpoint_mid_recovery() {
+        // Drive a host endpoint into a messy state: backlog, unacked
+        // replay frames, a replay in progress.
+        let mut h = host();
+        for i in 0..40 {
+            h.enqueue(cmd_payload(i % 32, u64::from(i) * 128));
+        }
+        for _ in 0..30 {
+            h.tick_tx(); // no ACKs ever arrive: window fills, replay triggers
+        }
+        assert!(h.stats().replays_triggered >= 1);
+
+        let mut image = Vec::new();
+        h.snapshot_state(&mut image);
+        let mut fresh = host();
+        fresh
+            .restore_state(&mut contutto_sim::SnapReader::new(&image))
+            .expect("restore");
+
+        // From here both endpoints must emit byte-identical frames and
+        // process ACKs identically.
+        for slot in 0..60 {
+            assert_eq!(h.tick_tx(), fresh.tick_tx(), "slot {slot}");
+        }
+        let ack = UpstreamFrame {
+            seq: 0,
+            ack: Some(3),
+            payload: UpstreamPayload::Idle,
+        };
+        let mut bytes = ack.to_bytes().to_vec();
+        crate::scramble::apply_trained(&mut bytes);
+        assert_eq!(h.on_receive(&bytes), fresh.on_receive(&bytes));
+        assert_eq!(h.stats(), fresh.stats());
+        for slot in 0..20 {
+            assert_eq!(h.tick_tx(), fresh.tick_tx(), "post-ack slot {slot}");
+        }
+    }
+
+    #[test]
+    fn endpoint_restore_rejects_corrupt_frames() {
+        use contutto_sim::RestoreError;
+        let mut h = host();
+        h.enqueue(cmd_payload(1, 0x80));
+        h.tick_tx();
+        let mut image = Vec::new();
+        h.snapshot_state(&mut image);
+        // Flip a byte inside the stored replay frame: the frame CRC
+        // catches it at decode time.
+        let mut bad = image.clone();
+        let n = bad.len();
+        bad[n - 60] ^= 0x10;
+        let err = host()
+            .restore_state(&mut contutto_sim::SnapReader::new(&bad))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RestoreError::Malformed { .. } | RestoreError::Truncated { .. }
+            ),
+            "got {err:?}"
+        );
+        // An uncoverable ACK timeout is rejected before anything else.
+        let mut zeroed = image;
+        zeroed[..8].fill(0);
+        assert_eq!(
+            host()
+                .restore_state(&mut contutto_sim::SnapReader::new(&zeroed))
+                .unwrap_err(),
+            RestoreError::Malformed {
+                context: "link ack timeout"
+            }
+        );
     }
 
     #[test]

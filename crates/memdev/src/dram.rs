@@ -9,6 +9,7 @@
 //! ConTutto's soft DDR3 controller (paper §3.3(v): "For DRAM
 //! enablement, we use the soft DDR3 memory controller from Altera").
 
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::SimTime;
 
 use crate::ecc::{MediaRas, RasCounters, ReadResult, ScrubReport};
@@ -219,6 +220,64 @@ impl Dram {
         self.store.clear();
         self.banks = [BankState::default(); NUM_BANKS];
         self.ras.on_power_loss();
+    }
+
+    /// Serializes all dynamic state (contents, bank/row state, RAS
+    /// bookkeeping, stats). Capacity and timings are construction
+    /// parameters: the image only cross-checks them.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.capacity.persist(out);
+        for bank in &self.banks {
+            bank.open_row.persist(out);
+            bank.busy_until.persist(out);
+        }
+        self.store.persist(out);
+        self.next_refresh.persist(out);
+        self.last_data_out.persist(out);
+        self.stats.hits.persist(out);
+        self.stats.misses.persist(out);
+        self.stats.conflicts.persist(out);
+        self.stats.refresh_stalls.persist(out);
+        self.ras.persist(out);
+    }
+
+    /// Overlays a [`Dram::snapshot_state`] image onto this device.
+    /// Nothing is mutated until the whole payload validates.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if the image was
+    /// taken from a device of a different capacity, or any decode
+    /// error from a corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let capacity = r.u64()?;
+        if capacity != self.capacity {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "dram capacity",
+            });
+        }
+        let mut banks = [BankState::default(); NUM_BANKS];
+        for bank in banks.iter_mut() {
+            bank.open_row = Option::restore(r)?;
+            bank.busy_until = SimTime::restore(r)?;
+        }
+        let store = SparseMemory::restore(r)?;
+        let next_refresh = SimTime::restore(r)?;
+        let last_data_out = SimTime::restore(r)?;
+        let stats = DramStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            conflicts: r.u64()?,
+            refresh_stalls: r.u64()?,
+        };
+        let ras = MediaRas::restore(r)?;
+        self.banks = banks;
+        self.store = store;
+        self.next_refresh = next_refresh;
+        self.last_data_out = last_data_out;
+        self.stats = stats;
+        self.ras = ras;
+        Ok(())
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
@@ -485,6 +544,58 @@ mod tests {
         let mut buf = [0u8; 128];
         let r = d.read(SimTime::from_ms(1), 0, &mut buf);
         assert!(r.outcome.is_clean());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut d = dram();
+        d.attach_media_faults(FaultConfig {
+            seed: 11,
+            transient_flips: 4,
+            window: SimTime::from_us(100),
+            hot_start: 0,
+            hot_len: 4096,
+            stuck_cells: 1,
+            wear_acceleration: 0.0,
+        });
+        let mut buf = [0u8; 128];
+        d.write(SimTime::ZERO, 0, &[0x42; 128]);
+        d.read(SimTime::from_us(10), 0, &mut buf);
+        d.scrub_pass(SimTime::from_us(20));
+
+        let mut img = Vec::new();
+        d.snapshot_state(&mut img);
+        let mut fresh = dram();
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+
+        // Both copies serve the identical timeline from here on.
+        let a = d.read(SimTime::from_us(200), 0, &mut buf);
+        let data_a = buf;
+        let b = fresh.read(SimTime::from_us(200), 0, &mut buf);
+        assert_eq!(a, b);
+        assert_eq!(buf, data_a);
+        assert_eq!(d.stats(), fresh.stats());
+        assert_eq!(d.ras_counters(), fresh.ras_counters());
+        let ra = d.scrub_pass(SimTime::from_us(300));
+        let rb = fresh.scrub_pass(SimTime::from_us(300));
+        assert_eq!(ra.corrected, rb.corrected);
+        assert_eq!(ra.retired_pages, rb.retired_pages);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_capacity_mismatch() {
+        let d = dram();
+        let mut img = Vec::new();
+        d.snapshot_state(&mut img);
+        let mut other = Dram::new(1 << 20, DdrTimings::ddr3_1600());
+        let err = other.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                contutto_sim::snapshot::RestoreError::TopologyMismatch { .. }
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

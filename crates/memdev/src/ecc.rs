@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use contutto_sim::snapshot::{persist_sorted_map, restore_map, Persist, RestoreError, SnapReader};
 use contutto_sim::SimTime;
 
 use crate::endurance::EnduranceClass;
@@ -128,9 +129,10 @@ pub type LineCheck = [u8; ECC_WORDS_PER_LINE];
 /// Encodes all sixteen words of a 128-byte line.
 pub fn encode_line(line: &[u8; ECC_LINE_BYTES]) -> LineCheck {
     let mut check = [0u8; ECC_WORDS_PER_LINE];
-    for (w, c) in check.iter_mut().enumerate() {
-        let word = u64::from_le_bytes(line[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
-        *c = encode(word);
+    for (chunk, c) in line.chunks_exact(8).zip(check.iter_mut()) {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(chunk);
+        *c = encode(u64::from_le_bytes(bytes));
     }
     check
 }
@@ -139,7 +141,9 @@ pub fn encode_line(line: &[u8; ECC_LINE_BYTES]) -> LineCheck {
 pub fn decode_line(line: &mut [u8; ECC_LINE_BYTES], check: &LineCheck) -> ReadOutcome {
     let mut outcome = ReadOutcome::Clean;
     for (w, c) in check.iter().enumerate() {
-        let mut word = u64::from_le_bytes(line[w * 8..w * 8 + 8].try_into().expect("8 bytes"));
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&line[w * 8..w * 8 + 8]);
+        let mut word = u64::from_le_bytes(bytes);
         let d = decode(&mut word, *c);
         match d {
             WordDecode::Clean => {}
@@ -560,6 +564,63 @@ impl MediaRas {
         self.counters.scrub_passes += 1;
         self.counters.pages_retired += report.retired_pages.len() as u64;
         report
+    }
+}
+
+impl Persist for RasCounters {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.demand_corrected.persist(out);
+        self.demand_uncorrectable.persist(out);
+        self.scrub_corrected.persist(out);
+        self.scrub_uncorrectable.persist(out);
+        self.scrub_passes.persist(out);
+        self.pages_retired.persist(out);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(RasCounters {
+            demand_corrected: r.u64()?,
+            demand_uncorrectable: r.u64()?,
+            scrub_corrected: r.u64()?,
+            scrub_uncorrectable: r.u64()?,
+            scrub_passes: r.u64()?,
+            pages_retired: r.u64()?,
+        })
+    }
+}
+
+impl Persist for MediaRas {
+    fn persist(&self, out: &mut Vec<u8>) {
+        persist_sorted_map(&self.check, out);
+        self.injector.persist(out);
+        persist_sorted_map(&self.page_correctable, out);
+        self.retired.persist(out);
+        self.poisoned.persist(out);
+        self.retire_threshold.persist(out);
+        self.counters.persist(out);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let check = restore_map::<u64, LineCheck>(r)?;
+        let injector = Option::<MediaFaultInjector>::restore(r)?;
+        let page_correctable = restore_map::<u64, u32>(r)?;
+        let retired = BTreeSet::restore(r)?;
+        let poisoned = BTreeSet::restore(r)?;
+        let retire_threshold = r.u32()?;
+        if retire_threshold == 0 {
+            return Err(RestoreError::Malformed {
+                context: "zero retire threshold",
+            });
+        }
+        Ok(MediaRas {
+            check,
+            injector,
+            page_correctable,
+            retired,
+            poisoned,
+            retire_threshold,
+            counters: RasCounters::restore(r)?,
+        })
     }
 }
 

@@ -22,6 +22,7 @@
 
 use std::collections::BTreeSet;
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 use contutto_sim::{SimRng, SimTime};
 
 use crate::endurance::EnduranceClass;
@@ -224,6 +225,93 @@ impl MediaFaultInjector {
     }
 }
 
+impl Persist for StuckCell {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.addr.persist(out);
+        self.bit.persist(out);
+        self.level.persist(out);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let addr = r.u64()?;
+        let bit = r.u8()?;
+        let level = r.bool()?;
+        if bit >= 8 {
+            return Err(RestoreError::Malformed {
+                context: "stuck-cell bit out of range",
+            });
+        }
+        Ok(StuckCell { addr, bit, level })
+    }
+}
+
+impl Persist for TransientFlip {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.due.persist(out);
+        self.addr.persist(out);
+        self.bit.persist(out);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let due = SimTime::restore(r)?;
+        let addr = r.u64()?;
+        let bit = r.u8()?;
+        if bit >= 8 {
+            return Err(RestoreError::Malformed {
+                context: "transient-flip bit out of range",
+            });
+        }
+        Ok(TransientFlip { due, addr, bit })
+    }
+}
+
+impl Persist for InjectorStats {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.planted.persist(out);
+        self.suppressed.persist(out);
+        self.stuck_cells.persist(out);
+        self.wear_failures.persist(out);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(InjectorStats {
+            planted: r.u64()?,
+            suppressed: r.u64()?,
+            stuck_cells: r.u64()?,
+            wear_failures: r.u64()?,
+        })
+    }
+}
+
+impl Persist for MediaFaultInjector {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.schedule.persist(out);
+        self.cursor.persist(out);
+        self.stuck.persist(out);
+        self.worn_lines.persist(out);
+        self.wear_acceleration.persist(out);
+        self.stats.persist(out);
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let schedule = Vec::<TransientFlip>::restore(r)?;
+        let cursor = usize::restore(r)?;
+        if cursor > schedule.len() {
+            return Err(RestoreError::Malformed {
+                context: "fault cursor past end of schedule",
+            });
+        }
+        Ok(MediaFaultInjector {
+            schedule,
+            cursor,
+            stuck: Vec::restore(r)?,
+            worn_lines: BTreeSet::restore(r)?,
+            wear_acceleration: f64::restore(r)?,
+            stats: InjectorStats::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +438,44 @@ mod tests {
         assert!(!inj.note_write(0, 400, band), "already worn: no new cell");
         assert_eq!(inj.stats().wear_failures, 1);
         assert_eq!(inj.stats().stuck_cells, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_schedule() {
+        let mut inj = MediaFaultInjector::new(cfg());
+        let mut store = SparseMemory::new();
+        let retired = BTreeSet::new();
+        inj.plant_due(SimTime::from_us(50), &mut store, &retired);
+        let planted_so_far = inj.stats().planted;
+        assert!(planted_so_far > 0 && inj.cursor < inj.schedule.len());
+
+        let mut img = Vec::new();
+        inj.persist(&mut img);
+        let mut restored = MediaFaultInjector::restore(&mut SnapReader::new(&img)).unwrap();
+        assert_eq!(restored.cursor, inj.cursor);
+        assert_eq!(restored.stats(), inj.stats());
+
+        // The remaining schedule plants identically from both copies.
+        let mut store2 = store.clone();
+        inj.plant_due(SimTime::from_ms(1), &mut store, &retired);
+        restored.plant_due(SimTime::from_ms(1), &mut store2, &retired);
+        assert_eq!(restored.stats(), inj.stats());
+        assert_eq!(store2.resident_page_addrs(), store.resident_page_addrs());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_cursor_past_schedule() {
+        let inj = MediaFaultInjector::new(FaultConfig {
+            transient_flips: 2,
+            ..cfg()
+        });
+        let mut img = Vec::new();
+        inj.persist(&mut img);
+        // The cursor field sits right after the 2-entry schedule:
+        // 8 (len) + 2 * 17 (due+addr+bit) = offset 42. Overwrite it
+        // with a value past the end.
+        img[42..50].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = MediaFaultInjector::restore(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(matches!(err, RestoreError::Malformed { .. }), "got {err:?}");
     }
 }

@@ -7,6 +7,7 @@
 //! This is the media model under the SSD / PCIe-flash baselines in the
 //! storage crate and the backup store inside NVDIMM-N.
 
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::SimTime;
 
 use crate::ecc::{ReadOutcome, ReadResult};
@@ -176,6 +177,60 @@ impl NandFlash {
         self.store.read(addr, &mut b);
         b[0] ^= mask;
         self.store.write(addr, &b);
+    }
+
+    /// Serializes all dynamic state (contents, per-block wear and
+    /// program bitmaps). Geometry is a construction parameter: the
+    /// image only cross-checks it.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.capacity.persist(out);
+        self.store.persist(out);
+        (self.blocks.len() as u64).persist(out);
+        for block in &self.blocks {
+            block.programmed.persist(out);
+            block.erase_count.persist(out);
+            block.bad.persist(out);
+        }
+        self.busy_until.persist(out);
+        self.dropped_writes.persist(out);
+    }
+
+    /// Overlays a [`NandFlash::snapshot_state`] image onto this device.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if the image came
+    /// from a device of a different capacity or block count, or any
+    /// decode error from a corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let capacity = r.u64()?;
+        if capacity != self.capacity {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "flash capacity",
+            });
+        }
+        let store = SparseMemory::restore(r)?;
+        let count = r.len()?;
+        if count != self.blocks.len() {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "flash block count",
+            });
+        }
+        let mut blocks = Vec::with_capacity(count);
+        for _ in 0..count {
+            blocks.push(BlockState {
+                programmed: r.u64()?,
+                erase_count: r.u64()?,
+                bad: r.bool()?,
+            });
+        }
+        let busy_until = SimTime::restore(r)?;
+        let dropped_writes = r.u64()?;
+        self.store = store;
+        self.blocks = blocks;
+        self.busy_until = busy_until;
+        self.dropped_writes = dropped_writes;
+        Ok(())
     }
 
     fn page_of(&self, addr: u64) -> u64 {
@@ -454,6 +509,35 @@ mod tests {
         let r = f.read(SimTime::ZERO, block_bytes as u64, &mut buf);
         assert!(r.outcome.is_clean());
         assert_eq!(buf, vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_wear_state() {
+        let mut f = flash();
+        f.write(SimTime::ZERO, 0, &vec![1u8; 4096]);
+        f.write(SimTime::ZERO, 0, &vec![2u8; 4096]); // forces an erase
+        let mut img = Vec::new();
+        f.snapshot_state(&mut img);
+        let mut fresh = flash();
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        assert_eq!(fresh.erase_count(0), 1);
+        assert_eq!(fresh.dropped_writes(), 0);
+        let mut buf = vec![0u8; 4096];
+        fresh.read(SimTime::from_ms(100), 0, &mut buf);
+        assert_eq!(buf, vec![2u8; 4096]);
+        // Programming an already-programmed page still demands erase:
+        // the bitmap state came back with the image.
+        assert_eq!(
+            fresh.program_page(SimTime::ZERO, 0, &vec![3u8; 4096]),
+            Err(FlashError::PageNotErased { page: 0 })
+        );
+        // A different geometry refuses the image.
+        let mut small = NandFlash::new(1 << 20, FlashConfig::mlc());
+        let err = small.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

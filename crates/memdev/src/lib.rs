@@ -44,4 +44,4 @@ pub use flash::{FlashError, NandFlash};
 pub use mram::{MramGeneration, SttMram};
 pub use nvdimm::{NvdimmN, RestoreError, SaveSequence, SaveState, SAVE_COST_PER_PAGE_NJ};
 pub use store::SparseMemory;
-pub use traits::{MediaKind, MemoryDevice};
+pub use traits::{range_ok, MediaKind, MemoryDevice};

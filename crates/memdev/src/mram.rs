@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use contutto_sim::snapshot::{self, persist_sorted_map, restore_map, Persist, SnapReader};
 use contutto_sim::SimTime;
 
 use crate::ecc::{MediaRas, RasCounters, ReadResult, ScrubReport};
@@ -198,6 +199,58 @@ impl SttMram {
         self.busy_until = SimTime::ZERO;
     }
 
+    /// Serializes all dynamic state (contents, wear counters, RAS
+    /// bookkeeping). Capacity and generation are construction
+    /// parameters: the image only cross-checks them.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.capacity.persist(out);
+        let generation: u8 = match self.generation {
+            MramGeneration::Imtj => 0,
+            MramGeneration::Pmtj => 1,
+        };
+        generation.persist(out);
+        self.store.persist(out);
+        self.busy_until.persist(out);
+        persist_sorted_map(&self.write_counts, out);
+        self.total_writes.persist(out);
+        self.total_write_energy_pj.persist(out);
+        self.ras.persist(out);
+    }
+
+    /// Overlays a [`SttMram::snapshot_state`] image onto this device.
+    ///
+    /// # Errors
+    ///
+    /// [`snapshot::RestoreError::TopologyMismatch`] if the image came
+    /// from a device of a different capacity or generation, or any
+    /// decode error from a corrupt payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        let capacity = r.u64()?;
+        let generation = r.u8()?;
+        let expected: u8 = match self.generation {
+            MramGeneration::Imtj => 0,
+            MramGeneration::Pmtj => 1,
+        };
+        if capacity != self.capacity || generation != expected {
+            return Err(snapshot::RestoreError::TopologyMismatch {
+                context: "mram capacity or generation",
+            });
+        }
+        let store = SparseMemory::restore(r)?;
+        let busy_until = SimTime::restore(r)?;
+        let write_counts = restore_map::<u64, u64>(r)?;
+        let total_writes = r.u64()?;
+        let total_write_energy_pj = r.f64()?;
+        let ras = MediaRas::restore(r)?;
+        self.store = store;
+        self.busy_until = busy_until;
+        self.write_counts = write_counts;
+        self.total_writes = total_writes;
+        self.total_write_energy_pj = total_write_energy_pj;
+        self.ras = ras;
+        Ok(())
+    }
+
     fn spans(addr: u64, len: usize) -> u64 {
         let first = addr / 64;
         let last = (addr + len as u64 - 1) / 64;
@@ -297,6 +350,31 @@ mod tests {
         let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
         m.write(SimTime::ZERO, 32, &[0u8; 64]); // straddles two 64 B lines
         assert_eq!(m.total_writes(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_wear_and_contents() {
+        let mut m = SttMram::new(1 << 20, MramGeneration::Pmtj);
+        for _ in 0..7 {
+            m.write(SimTime::ZERO, 0, &[0x3C; 64]);
+        }
+        let mut img = Vec::new();
+        m.snapshot_state(&mut img);
+        let mut fresh = SttMram::new(1 << 20, MramGeneration::Pmtj);
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        assert_eq!(fresh.max_line_wear(), 7);
+        assert_eq!(fresh.total_writes(), m.total_writes());
+        assert_eq!(fresh.total_write_energy_pj(), m.total_write_energy_pj());
+        let mut buf = [0u8; 64];
+        fresh.read(SimTime::from_us(1), 0, &mut buf);
+        assert_eq!(buf, [0x3C; 64]);
+        // A generation mismatch is a topology error, not a silent mix.
+        let mut imtj = SttMram::new(1 << 20, MramGeneration::Imtj);
+        let err = imtj.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::fmt;
 
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::{SimTime, TraceEvent, Tracer};
 
 use crate::dram::{DdrTimings, Dram};
@@ -427,6 +428,79 @@ impl NvdimmN {
         }
     }
 
+    /// Serializes all dynamic state: both media sides (DRAM contents
+    /// plus the flash backup image), the save engine state machine,
+    /// and the supercap accounting. The attached tracer is a wiring
+    /// concern and is not part of the image.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.dram.snapshot_state(out);
+        self.flash.snapshot_state(out);
+        self.armed.persist(out);
+        match self.state {
+            SaveState::Idle => 0u8.persist(out),
+            SaveState::Saving { done_at } => {
+                1u8.persist(out);
+                done_at.persist(out);
+            }
+            SaveState::Saved => 2u8.persist(out),
+            SaveState::Lost => 3u8.persist(out),
+        }
+        match self.sequence {
+            SaveSequence::JedecDdr4 => 0u8.persist(out),
+            SaveSequence::VendorDdr3(vendor) => {
+                1u8.persist(out);
+                vendor.persist(out);
+            }
+        }
+        self.save_crc.persist(out);
+        self.supercap_budget_nj.persist(out);
+        self.supercap_remaining_nj.persist(out);
+        self.supercap_spent_nj.persist(out);
+        self.save_truncated.persist(out);
+    }
+
+    /// Overlays an [`NvdimmN::snapshot_state`] image onto this DIMM,
+    /// including an in-flight or completed flash save.
+    ///
+    /// # Errors
+    ///
+    /// Any decode or topology error from the embedded DRAM/flash
+    /// images, or [`snapshot::RestoreError::Malformed`] for an
+    /// unrecognized save-engine state.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), snapshot::RestoreError> {
+        self.dram.restore_state(r)?;
+        self.flash.restore_state(r)?;
+        self.armed = r.bool()?;
+        self.state = match r.u8()? {
+            0 => SaveState::Idle,
+            1 => SaveState::Saving {
+                done_at: SimTime::restore(r)?,
+            },
+            2 => SaveState::Saved,
+            3 => SaveState::Lost,
+            _ => {
+                return Err(snapshot::RestoreError::Malformed {
+                    context: "save state discriminant",
+                })
+            }
+        };
+        self.sequence = match r.u8()? {
+            0 => SaveSequence::JedecDdr4,
+            1 => SaveSequence::VendorDdr3(r.u8()?),
+            _ => {
+                return Err(snapshot::RestoreError::Malformed {
+                    context: "save sequence discriminant",
+                })
+            }
+        };
+        self.save_crc = Option::restore(r)?;
+        self.supercap_budget_nj = Option::restore(r)?;
+        self.supercap_remaining_nj = r.u64()?;
+        self.supercap_spent_nj = r.u64()?;
+        self.save_truncated = r.bool()?;
+        Ok(())
+    }
+
     fn restore_image(&mut self, now: SimTime) -> Result<SimTime, RestoreError> {
         let cap = self.dram.capacity_bytes();
         let mut buf = vec![0u8; 64 * 1024];
@@ -632,6 +706,74 @@ mod tests {
         let usable2 = nv.power_restore(done2 + SimTime::from_ms(2)).expect("ok");
         nv.read(usable2, 4096, &mut buf);
         assert_eq!(buf, [0x3C; 128]);
+    }
+
+    #[test]
+    fn snapshot_mid_save_restores_the_whole_engine() {
+        let mut nv = nvdimm();
+        nv.set_supercap_budget_nj(nv.save_energy_required_nj());
+        nv.write(SimTime::ZERO, 4096, &[0x9D; 128]);
+        let done = nv.power_loss(SimTime::from_ms(1));
+        assert!(matches!(nv.save_state(), SaveState::Saving { .. }));
+
+        // Snapshot while the save engine is still streaming.
+        let mut img = Vec::new();
+        nv.snapshot_state(&mut img);
+        let mut fresh = nvdimm();
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+        assert_eq!(fresh.save_state(), nv.save_state());
+        assert_eq!(fresh.supercap_spent_nj(), nv.supercap_spent_nj());
+        assert_eq!(fresh.supercap_remaining_nj(), nv.supercap_remaining_nj());
+
+        // Both copies complete the power cycle identically.
+        let a = nv.power_restore(done).expect("original restores");
+        let b = fresh.power_restore(done).expect("restored copy restores");
+        assert_eq!(a, b);
+        let mut buf_a = [0u8; 128];
+        let mut buf_b = [0u8; 128];
+        nv.read(a, 4096, &mut buf_a);
+        fresh.read(b, 4096, &mut buf_b);
+        assert_eq!(buf_a, [0x9D; 128]);
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn snapshot_preserves_truncated_save_marker() {
+        let mut nv = nvdimm();
+        nv.set_supercap_budget_nj(SAVE_COST_PER_PAGE_NJ * 20);
+        nv.write(SimTime::ZERO, 0, &[0x55; 64]);
+        let done = nv.power_loss(SimTime::from_ms(1));
+
+        let mut img = Vec::new();
+        nv.snapshot_state(&mut img);
+        let mut fresh = nvdimm();
+        fresh.restore_state(&mut SnapReader::new(&img)).unwrap();
+
+        // The truncation marker travelled with the image: the restored
+        // copy also refuses to present the torn flash image.
+        let err = fresh
+            .power_restore(done + SimTime::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, RestoreError::TornSave { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_bad_discriminant() {
+        let nv = nvdimm();
+        let mut img = Vec::new();
+        nv.snapshot_state(&mut img);
+        // The save-state discriminant is the byte right after the
+        // armed flag at the tail of the two embedded device images;
+        // corrupt the final byte (save_truncated bool) instead, which
+        // is position-stable.
+        let last = img.len() - 1;
+        img[last] = 7;
+        let mut fresh = nvdimm();
+        let err = fresh.restore_state(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(
+            matches!(err, snapshot::RestoreError::Malformed { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

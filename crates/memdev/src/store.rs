@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
+
 const PAGE_SIZE: u64 = 4096;
 
 /// A sparse, zero-initialized byte store.
@@ -98,6 +100,42 @@ impl SparseMemory {
     }
 }
 
+impl Persist for SparseMemory {
+    fn persist(&self, out: &mut Vec<u8>) {
+        // The hash map iterates in arbitrary order; sort page indices
+        // so the same contents always serialize to the same bytes.
+        let mut idxs: Vec<u64> = self.pages.keys().copied().collect();
+        idxs.sort_unstable();
+        (idxs.len() as u64).persist(out);
+        for idx in idxs {
+            idx.persist(out);
+            out.extend_from_slice(&self.pages[&idx][..]);
+        }
+    }
+
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let n = r.len()?;
+        // Each entry is 8 + PAGE_SIZE bytes; a length prefix claiming
+        // more entries than could possibly remain is a truncation.
+        if n > r.remaining() / 8 {
+            return Err(RestoreError::Truncated {
+                context: "sparse memory page table",
+            });
+        }
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = u64::restore(r)?;
+            let bytes = <[u8; PAGE_SIZE as usize]>::restore(r)?;
+            if pages.insert(idx, Box::new(bytes)).is_some() {
+                return Err(RestoreError::Malformed {
+                    context: "duplicate sparse page",
+                });
+            }
+        }
+        Ok(SparseMemory { pages })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +199,28 @@ mod tests {
             m.resident_page_addrs(),
             vec![PAGE_SIZE, 5 * PAGE_SIZE, 9 * PAGE_SIZE]
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_contents() {
+        let mut m = SparseMemory::new();
+        m.write(100, &[1, 2, 3]);
+        m.write(9 * PAGE_SIZE + 7, &[0xEE; 64]);
+        let mut img = Vec::new();
+        m.persist(&mut img);
+        let restored = SparseMemory::restore(&mut SnapReader::new(&img)).unwrap();
+        assert_eq!(restored.resident_page_addrs(), m.resident_page_addrs());
+        let mut buf = [0u8; 3];
+        restored.read(100, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_oversized_page_table() {
+        let mut img = Vec::new();
+        (u64::MAX).persist(&mut img);
+        let err = SparseMemory::restore(&mut SnapReader::new(&img)).unwrap_err();
+        assert!(matches!(err, RestoreError::Truncated { .. }), "got {err:?}");
     }
 
     #[test]

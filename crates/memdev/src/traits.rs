@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use contutto_sim::snapshot::{self, Persist, SnapReader};
 use contutto_sim::SimTime;
 
 use crate::ecc::{ReadResult, ScrubReport};
@@ -36,6 +37,33 @@ impl MediaKind {
     /// the device — [`crate::nvdimm::NvdimmN::is_durable`].
     pub fn is_nonvolatile(self) -> bool {
         !matches!(self, MediaKind::Dram)
+    }
+}
+
+impl Persist for MediaKind {
+    fn persist(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            MediaKind::Dram => 0,
+            MediaKind::SttMram => 1,
+            MediaKind::NvdimmN => 2,
+            MediaKind::NandFlash => 3,
+            MediaKind::HardDisk => 4,
+        };
+        tag.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, snapshot::RestoreError> {
+        Ok(match r.u8()? {
+            0 => MediaKind::Dram,
+            1 => MediaKind::SttMram,
+            2 => MediaKind::NvdimmN,
+            3 => MediaKind::NandFlash,
+            4 => MediaKind::HardDisk,
+            _ => {
+                return Err(snapshot::RestoreError::Malformed {
+                    context: "media kind discriminant",
+                })
+            }
+        })
     }
 }
 
@@ -93,6 +121,17 @@ pub trait MemoryDevice {
     }
 }
 
+/// Whether `[addr, addr + len)` fits inside `capacity`, with the
+/// overflow case answered `false` instead of panicking. Entry points
+/// that accept *external* addresses (sideband maintenance paths, fault
+/// reproducers) gate on this and surface a typed refusal; only the
+/// internal data path, whose addresses the memory map has already
+/// validated, goes on to [`check_range`].
+pub fn range_ok(capacity: u64, addr: u64, len: usize) -> bool {
+    addr.checked_add(len as u64)
+        .is_some_and(|end| end <= capacity)
+}
+
 /// Validates an access range against a capacity.
 ///
 /// # Panics
@@ -100,12 +139,9 @@ pub trait MemoryDevice {
 /// Panics when the access is out of range — out-of-range accesses are
 /// always a modelling bug upstream (the memory map must prevent them).
 pub fn check_range(capacity: u64, addr: u64, len: usize) {
-    let end = addr
-        .checked_add(len as u64)
-        .expect("address overflow in device access");
     assert!(
-        end <= capacity,
-        "device access [{addr:#x}, {end:#x}) exceeds capacity {capacity:#x}"
+        range_ok(capacity, addr, len),
+        "device access [{addr:#x}, +{len}) exceeds capacity {capacity:#x}"
     );
 }
 
@@ -137,5 +173,16 @@ mod tests {
     #[should_panic(expected = "exceeds capacity")]
     fn range_check_rejects_overrun() {
         check_range(1024, 1000, 128);
+    }
+
+    #[test]
+    fn range_ok_answers_instead_of_panicking() {
+        assert!(range_ok(1024, 0, 128));
+        assert!(range_ok(1024, 1024 - 128, 128));
+        assert!(!range_ok(1024, 1000, 128));
+        assert!(!range_ok(1024, 1024, 1));
+        // Address arithmetic overflow is a refusal, not a panic.
+        assert!(!range_ok(u64::MAX, u64::MAX, 128));
+        assert!(!range_ok(1024, u64::MAX - 64, 128));
     }
 }

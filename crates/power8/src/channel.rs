@@ -36,6 +36,7 @@ use contutto_dmi::link::{BitErrorInjector, LinkSegment, LinkSpeed};
 use contutto_dmi::protocol::{LinkEndpoint, LinkEndpointConfig};
 use contutto_dmi::training::{measure_frtl, LinkTrainer, TrainerConfig, TrainingOutcome};
 use contutto_dmi::DmiError;
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 use contutto_sim::{Frequency, LatencyStats, MetricsRegistry, SimTime, TraceEvent, Tracer};
 
 type HostEndpoint = LinkEndpoint<DownstreamFrame, UpstreamFrame>;
@@ -1362,6 +1363,293 @@ impl DmiChannel {
         let id = self.enqueue_command(CommandOp::Write { addr, data });
         let c = self.wait_for_command(id)?;
         Ok(c.completed_at)
+    }
+
+    /// Serializes the channel's full dynamic state: both link
+    /// endpoints, both wire segments, the buffer chip, the tag pool,
+    /// every in-flight / queued / finished tracked command, the ladder
+    /// configuration and counters. Construction parameters (link
+    /// speed, endpoint configs, wiring) are not persisted — the
+    /// restorer must already hold an identically-constructed channel;
+    /// the frame slot is recorded only to cross-check that.
+    ///
+    /// The shared retry budget ([`DmiChannel::set_retry_budget`]) is
+    /// deliberately excluded: it is system-owned wiring, restored once
+    /// at system level and redistributed to every channel.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        self.slot.persist(out);
+        self.now.persist(out);
+        self.host.snapshot_state(out);
+        self.buffer_ep.snapshot_state(out);
+        self.down.snapshot_state(out);
+        self.up.snapshot_state(out);
+        self.buffer.snapshot_state(out);
+        self.tags.snapshot_state(out);
+        (self.pending.len() as u64).persist(out);
+        for (tag, p) in &self.pending {
+            tag.persist(out);
+            p.issued.persist(out);
+            p.addr.persist(out);
+            p.assembler.persist(out);
+            p.data.persist(out);
+            p.poisoned.persist(out);
+            match &p.tracked {
+                None => false.persist(out),
+                Some(t) => {
+                    true.persist(out);
+                    t.id.persist(out);
+                    t.op.persist(out);
+                    t.enqueued.persist(out);
+                    t.attempt.persist(out);
+                    t.retrains_used.persist(out);
+                    t.deadline.persist(out);
+                    t.abs_deadline.persist(out);
+                }
+            }
+        }
+        self.completions.persist(out);
+        self.quarantine.persist(out);
+        (self.queue.len() as u64).persist(out);
+        for ((not_before, id), q) in &self.queue {
+            not_before.persist(out);
+            id.persist(out);
+            q.op.persist(out);
+            q.enqueued.persist(out);
+            q.attempt.persist(out);
+            q.retrains_used.persist(out);
+            q.abs_deadline.persist(out);
+        }
+        (self.finished.len() as u64).persist(out);
+        for (id, result) in &self.finished {
+            id.persist(out);
+            match result {
+                Ok(c) => {
+                    0u8.persist(out);
+                    c.persist(out);
+                }
+                Err(e) => {
+                    1u8.persist(out);
+                    e.persist(out);
+                }
+            }
+        }
+        self.finished_order.persist(out);
+        self.next_cmd.persist(out);
+        self.window.persist(out);
+        self.issue_hold.persist(out);
+        self.retry.persist(out);
+        self.trained.persist(out);
+        self.trainer_cfg.persist(out);
+        self.train_seed.persist(out);
+        self.command_latency.persist(out);
+        self.tags_reclaimed.persist(out);
+        self.retries_scheduled.persist(out);
+        self.link_retrains.persist(out);
+        self.stale_responses.persist(out);
+        self.poisoned_reads.persist(out);
+        self.rmw_aborts.persist(out);
+        self.retries_denied.persist(out);
+        self.deadline_drops.persist(out);
+        self.degrade_windows.persist(out);
+        self.degraded_until.persist(out);
+        self.degraded_saved_window.persist(out);
+    }
+
+    /// Overlays [`DmiChannel::snapshot_state`] bytes onto this channel.
+    /// The target must have been constructed with the same
+    /// [`ChannelConfig`] and buffer as the snapshotted one.
+    ///
+    /// On error the channel may be partially restored; callers discard
+    /// the target (the system-level restore rebuilds from a fresh
+    /// boot, so a failed overlay never serves traffic).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::TopologyMismatch`] when the frame slot (link
+    /// speed) differs; any [`RestoreError`] from a truncated or
+    /// malformed payload.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), RestoreError> {
+        let slot = SimTime::restore(r)?;
+        if slot != self.slot {
+            return Err(RestoreError::TopologyMismatch {
+                context: "channel link speed (frame slot)",
+            });
+        }
+        self.now = SimTime::restore(r)?;
+        self.host.restore_state(r)?;
+        self.buffer_ep.restore_state(r)?;
+        self.down.restore_state(r)?;
+        self.up.restore_state(r)?;
+        self.buffer.restore_state(r)?;
+        self.tags.restore_state(r)?;
+        let n = r.len()?;
+        if n > NUM_TAGS {
+            return Err(RestoreError::Malformed {
+                context: "more pending tags than the tag space",
+            });
+        }
+        let mut pending = BTreeMap::new();
+        for _ in 0..n {
+            let tag = Tag::restore(r)?;
+            let issued = SimTime::restore(r)?;
+            let addr = r.u64()?;
+            let assembler = Option::restore(r)?;
+            let data = Option::restore(r)?;
+            let poisoned = r.bool()?;
+            let tracked = if r.bool()? {
+                Some(TrackedPending {
+                    id: CmdId::restore(r)?,
+                    op: CommandOp::restore(r)?,
+                    enqueued: SimTime::restore(r)?,
+                    attempt: r.u32()?,
+                    retrains_used: r.u32()?,
+                    deadline: SimTime::restore(r)?,
+                    abs_deadline: Option::restore(r)?,
+                })
+            } else {
+                None
+            };
+            if pending
+                .insert(
+                    tag,
+                    Pending {
+                        issued,
+                        addr,
+                        assembler,
+                        data,
+                        poisoned,
+                        tracked,
+                    },
+                )
+                .is_some()
+            {
+                return Err(RestoreError::Malformed {
+                    context: "duplicate pending tag",
+                });
+            }
+        }
+        self.pending = pending;
+        self.completions = VecDeque::restore(r)?;
+        self.quarantine = BTreeMap::restore(r)?;
+        let n = r.len()?;
+        if n > r.remaining() / 17 {
+            return Err(RestoreError::Truncated {
+                context: "channel issue queue",
+            });
+        }
+        let mut queue = BTreeMap::new();
+        for _ in 0..n {
+            let not_before = SimTime::restore(r)?;
+            let id = CmdId::restore(r)?;
+            let q = QueuedCmd {
+                op: CommandOp::restore(r)?,
+                enqueued: SimTime::restore(r)?,
+                attempt: r.u32()?,
+                retrains_used: r.u32()?,
+                abs_deadline: Option::restore(r)?,
+            };
+            if queue.insert((not_before, id), q).is_some() {
+                return Err(RestoreError::Malformed {
+                    context: "duplicate queued command",
+                });
+            }
+        }
+        self.queue = queue;
+        let n = r.len()?;
+        if n > r.remaining() / 9 {
+            return Err(RestoreError::Truncated {
+                context: "finished command results",
+            });
+        }
+        let mut finished = BTreeMap::new();
+        for _ in 0..n {
+            let id = CmdId::restore(r)?;
+            let result = match r.u8()? {
+                0 => Ok(Completion::restore(r)?),
+                1 => Err(DmiError::restore(r)?),
+                _ => {
+                    return Err(RestoreError::Malformed {
+                        context: "finished result discriminant",
+                    })
+                }
+            };
+            finished.insert(id, result);
+        }
+        self.finished = finished;
+        self.finished_order = VecDeque::restore(r)?;
+        self.next_cmd = r.u64()?;
+        let window = usize::restore(r)?;
+        if window == 0 || window > NUM_TAGS {
+            return Err(RestoreError::Malformed {
+                context: "in-flight window out of range",
+            });
+        }
+        self.window = window;
+        self.issue_hold = SimTime::restore(r)?;
+        self.retry = RetryPolicy::restore(r)?;
+        self.trained = Option::restore(r)?;
+        self.trainer_cfg = TrainerConfig::restore(r)?;
+        self.train_seed = r.u64()?;
+        self.command_latency = LatencyStats::restore(r)?;
+        self.tags_reclaimed = r.u64()?;
+        self.retries_scheduled = r.u64()?;
+        self.link_retrains = r.u64()?;
+        self.stale_responses = r.u64()?;
+        self.poisoned_reads = r.u64()?;
+        self.rmw_aborts = r.u64()?;
+        self.retries_denied = r.u64()?;
+        self.deadline_drops = r.u64()?;
+        self.degrade_windows = r.u64()?;
+        self.degraded_until = Option::restore(r)?;
+        self.degraded_saved_window = usize::restore(r)?;
+        Ok(())
+    }
+}
+
+impl Persist for CmdId {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(CmdId(r.u64()?))
+    }
+}
+
+impl Persist for RetryPolicy {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.op_timeout.persist(out);
+        self.max_attempts.persist(out);
+        self.base_backoff.persist(out);
+        self.max_retrains.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(RetryPolicy {
+            op_timeout: SimTime::restore(r)?,
+            max_attempts: r.u32()?,
+            base_backoff: SimTime::restore(r)?,
+            max_retrains: r.u32()?,
+        })
+    }
+}
+
+impl Persist for Completion {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.tag.persist(out);
+        self.completed_at.persist(out);
+        self.issued_at.persist(out);
+        self.data.persist(out);
+        self.addr.persist(out);
+        self.poisoned.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(Completion {
+            tag: Tag::restore(r)?,
+            completed_at: SimTime::restore(r)?,
+            issued_at: SimTime::restore(r)?,
+            data: Option::restore(r)?,
+            addr: r.u64()?,
+            poisoned: r.bool()?,
+        })
     }
 }
 

@@ -250,7 +250,7 @@ impl Power8System {
                 {
                     FaultOutcome::Applied
                 } else {
-                    FaultOutcome::Skipped("buffer has no sideband path")
+                    FaultOutcome::Skipped("no sideband path or address out of range")
                 }
             }
         }
@@ -416,5 +416,20 @@ mod tests {
         // wrong bytes. Only the durability oracle can catch this.
         let (read, _) = sys.load_line(0).expect("clean load");
         assert_ne!(read, value, "the line silently changed");
+    }
+
+    #[test]
+    fn hostile_sabotage_address_is_skipped_not_a_panic() {
+        // A reproducer is external input: an absurd address must come
+        // back as a typed skip, never abort the process.
+        let mut sys = system();
+        let now = sys.now();
+        let (slot, _) = sys.route(0).expect("mapped");
+        for addr in [u64::MAX, u64::MAX - 64, 1 << 60] {
+            assert_eq!(
+                sys.apply_fault_action(now, &FaultAction::Sabotage { slot, addr }),
+                FaultOutcome::Skipped("no sideband path or address out of range"),
+            );
+        }
     }
 }

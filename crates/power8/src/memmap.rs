@@ -15,6 +15,7 @@
 //! up to Linux the actual size of the MRAM in Megabytes."
 
 use contutto_memdev::MediaKind;
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader};
 
 /// Smallest memory size POWER8 supports behind one DMI link.
 pub const MIN_DMI_REGION_BYTES: u64 = 4 << 30;
@@ -258,6 +259,57 @@ impl MemoryMap {
             .iter()
             .filter(|r| r.flags.kind.is_nonvolatile())
             .collect()
+    }
+}
+
+impl Persist for RegionFlags {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.kind.persist(out);
+        self.preserved.persist(out);
+        self.needs_driver.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(RegionFlags {
+            kind: MediaKind::restore(r)?,
+            preserved: r.bool()?,
+            needs_driver: r.bool()?,
+        })
+    }
+}
+
+impl Persist for MemoryRegion {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.base.persist(out);
+        self.hw_size.persist(out);
+        self.os_size.persist(out);
+        self.flags.persist(out);
+        self.channel.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(MemoryRegion {
+            base: r.u64()?,
+            hw_size: r.u64()?,
+            os_size: r.u64()?,
+            flags: RegionFlags::restore(r)?,
+            channel: usize::restore(r)?,
+        })
+    }
+}
+
+impl Persist for MemoryMap {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.regions.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let map = MemoryMap {
+            regions: Vec::restore(r)?,
+        };
+        // A restored map must still satisfy the firmware's placement
+        // invariants; a bit-flipped base could otherwise overlap.
+        map.validate().map_err(|_| RestoreError::Malformed {
+            context: "restored memory map regions overlap",
+        })?;
+        Ok(map)
     }
 }
 

@@ -19,8 +19,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use contutto_dmi::command::{CacheLine, CommandOp};
+use contutto_dmi::training::TrainingOutcome;
 use contutto_dmi::{DmiError, PowerRestoreOutcome};
 use contutto_memdev::MediaKind;
+use contutto_sim::snapshot::{Persist, RestoreError, SnapReader, SnapshotImage, SnapshotWriter};
 use contutto_sim::{MetricsRegistry, SimTime, TraceEvent, Tracer};
 
 use crate::channel::{CmdId, RetryPolicy};
@@ -279,6 +281,26 @@ struct MlpStats {
     peak_outstanding: u64,
 }
 
+/// Observer metadata for the checkpoint subsystem, surfaced as
+/// `system.snapshot.*` metrics.
+///
+/// Deliberately **not** persisted in the image: a restored system
+/// starts its own count, so the restore-and-continue leg of a
+/// determinism check differs from the straight run only in this
+/// namespace — which the identity contract filters out.
+#[derive(Debug, Clone, Default)]
+struct SnapshotStats {
+    /// Snapshots taken from this system.
+    taken: u64,
+    /// Total image bytes produced.
+    bytes: u64,
+    /// Successful restores into this system.
+    restores: u64,
+    /// Restores that failed validation (the target is then unspecified
+    /// and must be discarded).
+    restore_failures: u64,
+}
+
 /// A booted system.
 pub struct Power8System {
     channels: Vec<BootedChannel>,
@@ -326,6 +348,8 @@ pub struct Power8System {
     brownout: bool,
     /// Scrub intervals saved while brownout stretches them.
     brownout_saved_scrub: BTreeMap<usize, SimTime>,
+    /// Checkpoint observer counters (`system.snapshot.*`).
+    snap_stats: SnapshotStats,
 }
 
 impl std::fmt::Debug for Power8System {
@@ -399,6 +423,7 @@ impl Power8System {
             ov_stats: OverloadStats::default(),
             brownout: false,
             brownout_saved_scrub: BTreeMap::new(),
+            snap_stats: SnapshotStats::default(),
         };
         // The boot report's arming list is a promise; keep it by
         // actually arming the supercap save on each NVDIMM buffer.
@@ -486,6 +511,13 @@ impl Power8System {
         }
         self.tracer = tracer.clone();
         tracer
+    }
+
+    /// The system's trace handle (disabled until
+    /// [`Power8System::enable_tracing`] or a restore of a traced
+    /// snapshot).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Applies one retry policy to every channel.
@@ -950,6 +982,13 @@ impl Power8System {
             reg.set_counter("system.overload.retries_denied", b.denied());
         }
         reg.set_counter("system.fsp.breaker_reports", self.fsp.breaker_reports());
+        reg.set_counter("system.snapshot.taken", self.snap_stats.taken);
+        reg.set_counter("system.snapshot.bytes", self.snap_stats.bytes);
+        reg.set_counter("system.snapshot.restores", self.snap_stats.restores);
+        reg.set_counter(
+            "system.snapshot.restore_failures",
+            self.snap_stats.restore_failures,
+        );
         reg
     }
 
@@ -2199,6 +2238,496 @@ impl Power8System {
     }
 }
 
+impl Persist for ReqId {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(ReqId(r.u64()?))
+    }
+}
+
+impl Persist for PowerConfig {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.holdup_budget_nj.persist(out);
+        self.nvdimm_supercap_nj.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let holdup_budget_nj = Option::restore(r)?;
+        let nvdimm_supercap_nj = Option::restore(r)?;
+        Ok(PowerConfig {
+            holdup_budget_nj,
+            nvdimm_supercap_nj,
+        })
+    }
+}
+
+impl Persist for PowerStats {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.epow_asserted.persist(out);
+        self.cuts.persist(out);
+        self.reboots.persist(out);
+        self.lines_flushed.persist(out);
+        self.holdup_spent_nj.persist(out);
+        self.saves_torn.persist(out);
+        self.restores_clean.persist(out);
+        self.restores_failed.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let epow_asserted = r.u64()?;
+        let cuts = r.u64()?;
+        let reboots = r.u64()?;
+        let lines_flushed = r.u64()?;
+        let holdup_spent_nj = r.u64()?;
+        let saves_torn = r.u64()?;
+        let restores_clean = r.u64()?;
+        let restores_failed = r.u64()?;
+        Ok(PowerStats {
+            epow_asserted,
+            cuts,
+            reboots,
+            lines_flushed,
+            holdup_spent_nj,
+            saves_torn,
+            restores_clean,
+            restores_failed,
+        })
+    }
+}
+
+impl Persist for MlpStats {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.submitted.persist(out);
+        self.completed.persist(out);
+        self.redirects.persist(out);
+        self.peak_outstanding.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let submitted = r.u64()?;
+        let completed = r.u64()?;
+        let redirects = r.u64()?;
+        let peak_outstanding = r.u64()?;
+        Ok(MlpStats {
+            submitted,
+            completed,
+            redirects,
+            peak_outstanding,
+        })
+    }
+}
+
+impl Persist for OutstandingReq {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.phys.persist(out);
+        self.slot.persist(out);
+        self.line_addr.persist(out);
+        self.data.persist(out);
+        self.redirects.persist(out);
+        self.deadline.persist(out);
+        self.submitted_at.persist(out);
+        self.hedged.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let phys = r.u64()?;
+        let slot = usize::restore(r)?;
+        let line_addr = r.u64()?;
+        let data = Option::restore(r)?;
+        let redirects = r.u32()?;
+        let deadline = Option::restore(r)?;
+        let submitted_at = SimTime::restore(r)?;
+        let hedged = r.bool()?;
+        Ok(OutstandingReq {
+            phys,
+            slot,
+            line_addr,
+            data,
+            redirects,
+            deadline,
+            submitted_at,
+            hedged,
+        })
+    }
+}
+
+impl Persist for MemCompletion {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.phys.persist(out);
+        self.data.persist(out);
+        self.completed_at.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let phys = r.u64()?;
+        let data = Option::restore(r)?;
+        let completed_at = SimTime::restore(r)?;
+        Ok(MemCompletion {
+            phys,
+            data,
+            completed_at,
+        })
+    }
+}
+
+impl Persist for SystemError {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            SystemError::Route(RouteError::Unmapped { phys }) => {
+                0u8.persist(out);
+                phys.persist(out);
+            }
+            SystemError::Fsp(FspError::ChannelDeconfigured { channel }) => {
+                1u8.persist(out);
+                channel.persist(out);
+            }
+            SystemError::Dmi(e) => {
+                2u8.persist(out);
+                e.persist(out);
+            }
+            SystemError::PoweredOff => 3u8.persist(out),
+            SystemError::DeadlineExceeded => 4u8.persist(out),
+            SystemError::Shed { slot } => {
+                5u8.persist(out);
+                slot.persist(out);
+            }
+            SystemError::Stalled => 6u8.persist(out),
+            SystemError::UnknownRequest => 7u8.persist(out),
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => SystemError::Route(RouteError::Unmapped { phys: r.u64()? }),
+            1 => SystemError::Fsp(FspError::ChannelDeconfigured {
+                channel: usize::restore(r)?,
+            }),
+            2 => SystemError::Dmi(DmiError::restore(r)?),
+            3 => SystemError::PoweredOff,
+            4 => SystemError::DeadlineExceeded,
+            5 => SystemError::Shed {
+                slot: usize::restore(r)?,
+            },
+            6 => SystemError::Stalled,
+            7 => SystemError::UnknownRequest,
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "system error discriminant",
+                })
+            }
+        })
+    }
+}
+
+impl Power8System {
+    /// Serializes the whole machine — memory map, FSP, failover and
+    /// power state, the pipelined request plumbing, overload governors,
+    /// every channel (buffer, devices, link, tags, queues) and the
+    /// trace ring — into one versioned, section-framed, CRC-sealed
+    /// image.
+    ///
+    /// Construction parameters (slot layout, media kinds, capacities,
+    /// failover mode, link speeds) are *not* persisted as state: the
+    /// image records them only as cross-check material, and
+    /// [`Power8System::restore`] demands a target booted from the same
+    /// layout. Only `&mut self` for the `system.snapshot.*` observer
+    /// counters; simulation state is untouched.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section_with("system", |out| {
+            (self.channels.len() as u64).persist(out);
+            self.mode.persist(out);
+            self.memory_map.persist(out);
+            self.fsp.snapshot_state(out);
+            self.migration.persist(out);
+            self.written.persist(out);
+            self.inherited_poison.persist(out);
+            self.stats.persist(out);
+            self.power.persist(out);
+            self.powered.persist(out);
+            self.power_stats.persist(out);
+            self.nvdimm_armed.persist(out);
+            self.next_req.persist(out);
+            self.outstanding.persist(out);
+            self.route_back.persist(out);
+            (self.finished_sys.len() as u64).persist(out);
+            for (id, res) in &self.finished_sys {
+                id.persist(out);
+                match res {
+                    Ok(c) => {
+                        0u8.persist(out);
+                        c.persist(out);
+                    }
+                    Err(e) => {
+                        1u8.persist(out);
+                        e.persist(out);
+                    }
+                }
+            }
+            self.mlp_stats.persist(out);
+            self.overload.persist(out);
+            match &self.retry_budget {
+                None => false.persist(out),
+                Some(b) => {
+                    true.persist(out);
+                    b.borrow().snapshot_state(out);
+                }
+            }
+            (self.breakers.len() as u64).persist(out);
+            for (slot, b) in &self.breakers {
+                slot.persist(out);
+                b.snapshot_state(out);
+            }
+            self.hedge_arms.persist(out);
+            self.ov_stats.persist(out);
+            self.brownout.persist(out);
+            self.brownout_saved_scrub.persist(out);
+        });
+        for c in &self.channels {
+            w.section_with(&format!("channel.{}", c.slot), |out| {
+                c.slot.persist(out);
+                c.kind.persist(out);
+                c.capacity.persist(out);
+                c.training.persist(out);
+                c.channel.snapshot_state(out);
+            });
+        }
+        if self.tracer.is_enabled() {
+            w.section_with("tracer", |out| self.tracer.snapshot_state(out));
+        }
+        let image = w.finish();
+        self.snap_stats.taken += 1;
+        self.snap_stats.bytes += image.len() as u64;
+        image
+    }
+
+    /// Overlays a [`Power8System::snapshot`] image onto this system.
+    ///
+    /// The target must be freshly booted from the *same construction
+    /// parameters* (slot layout, seed-independent topology, failover
+    /// mode) as the snapshotted system; mismatches surface as
+    /// [`RestoreError::TopologyMismatch`]. After a successful restore,
+    /// continuing the run is fingerprint- and metrics-identical
+    /// (modulo the `system.snapshot.*` observer namespace) to the run
+    /// the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Every [`RestoreError`]: corrupt or truncated images fail the
+    /// framing CRCs, unknown sections are rejected, and topology
+    /// mismatches are typed. On error the target is left in an
+    /// unspecified (partially restored) state and must be discarded —
+    /// never resumed.
+    pub fn restore(&mut self, image: &[u8]) -> Result<(), RestoreError> {
+        match self.restore_inner(image) {
+            Ok(()) => {
+                self.snap_stats.restores += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.snap_stats.restore_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn restore_inner(&mut self, image: &[u8]) -> Result<(), RestoreError> {
+        let img = SnapshotImage::parse(image)?;
+        for name in img.names() {
+            match name {
+                "system" | "tracer" => {}
+                _ => match name
+                    .strip_prefix("channel.")
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    Some(slot) => {
+                        if self.channel_index(slot).is_none() {
+                            return Err(RestoreError::TopologyMismatch {
+                                context: "snapshot channel slot is not populated here",
+                            });
+                        }
+                    }
+                    None => {
+                        return Err(RestoreError::UnknownSection {
+                            section: name.to_owned(),
+                        })
+                    }
+                },
+            }
+        }
+
+        let mut r = img.section("system")?;
+        let nchan = r.u64()? as usize;
+        if nchan != self.channels.len() {
+            return Err(RestoreError::TopologyMismatch {
+                context: "channel count",
+            });
+        }
+        let mode = FailoverMode::restore(&mut r)?;
+        if mode != self.mode {
+            return Err(RestoreError::TopologyMismatch {
+                context: "failover mode",
+            });
+        }
+        let memory_map = MemoryMap::restore(&mut r)?;
+        self.fsp.restore_state(&mut r)?;
+        let migration = Option::<Migration>::restore(&mut r)?;
+        let written = BTreeMap::restore(&mut r)?;
+        let inherited_poison = BTreeMap::restore(&mut r)?;
+        let stats = FailoverStats::restore(&mut r)?;
+        let power = PowerConfig::restore(&mut r)?;
+        let powered = r.bool()?;
+        let power_stats = PowerStats::restore(&mut r)?;
+        let nvdimm_armed = BTreeSet::restore(&mut r)?;
+        let next_req = r.u64()?;
+        let outstanding = BTreeMap::<u64, OutstandingReq>::restore(&mut r)?;
+        let route_back = BTreeMap::<(usize, CmdId), u64>::restore(&mut r)?;
+        let nfin = r.len()?;
+        if nfin > r.remaining() / 9 {
+            return Err(RestoreError::Truncated {
+                context: "finished system results",
+            });
+        }
+        let mut finished_sys = VecDeque::with_capacity(nfin);
+        for _ in 0..nfin {
+            let id = ReqId::restore(&mut r)?;
+            let res = match r.u8()? {
+                0 => Ok(MemCompletion::restore(&mut r)?),
+                1 => Err(SystemError::restore(&mut r)?),
+                _ => {
+                    return Err(RestoreError::Malformed {
+                        context: "finished system result discriminant",
+                    })
+                }
+            };
+            finished_sys.push_back((id, res));
+        }
+        let mlp_stats = MlpStats::restore(&mut r)?;
+        let overload = OverloadConfig::restore(&mut r)?;
+        let budget = if r.bool()? {
+            let Some(bcfg) = overload.retry_budget else {
+                return Err(RestoreError::Malformed {
+                    context: "retry budget state without a budget config",
+                });
+            };
+            let mut b = RetryBudget::new(bcfg);
+            b.restore_state(&mut r)?;
+            Some(Rc::new(RefCell::new(b)))
+        } else {
+            None
+        };
+        let nb = r.len()?;
+        if nb > r.remaining() / 9 {
+            return Err(RestoreError::Truncated {
+                context: "breaker table",
+            });
+        }
+        let mut breakers = BTreeMap::new();
+        for _ in 0..nb {
+            let slot = usize::restore(&mut r)?;
+            let Some(bcfg) = overload.breaker else {
+                return Err(RestoreError::Malformed {
+                    context: "breaker state without a breaker config",
+                });
+            };
+            let mut b = CircuitBreaker::new(bcfg);
+            b.restore_state(&mut r)?;
+            if breakers.insert(slot, b).is_some() {
+                return Err(RestoreError::Malformed {
+                    context: "duplicate breaker slot",
+                });
+            }
+        }
+        let hedge_arms = BTreeMap::restore(&mut r)?;
+        let ov_stats = OverloadStats::restore(&mut r)?;
+        let brownout = r.bool()?;
+        let brownout_saved_scrub = BTreeMap::restore(&mut r)?;
+        if !r.is_empty() {
+            return Err(RestoreError::Malformed {
+                context: "trailing bytes in system section",
+            });
+        }
+
+        // Tracer wiring has to exist before the channels restore so
+        // every clone shares the overlaid ring; the ring *contents*
+        // are overlaid last, after all state is in place. A snapshot
+        // taken untraced restores to an untraced system — continuing
+        // with a live tracer would diverge from the straight run.
+        let has_tracer = img.names().any(|n| n == "tracer");
+        if has_tracer && !self.tracer.is_enabled() {
+            self.enable_tracing(1); // real capacity overlaid below
+        } else if !has_tracer && self.tracer.is_enabled() {
+            for c in &mut self.channels {
+                c.channel.attach_tracer(Tracer::off());
+            }
+            self.tracer = Tracer::off();
+        }
+
+        for i in 0..self.channels.len() {
+            let slot = self.channels[i].slot;
+            let mut cr = img.section(&format!("channel.{slot}"))?;
+            let s = usize::restore(&mut cr)?;
+            if s != slot {
+                return Err(RestoreError::TopologyMismatch {
+                    context: "channel section slot",
+                });
+            }
+            let kind = MediaKind::restore(&mut cr)?;
+            if kind != self.channels[i].kind {
+                return Err(RestoreError::TopologyMismatch {
+                    context: "channel media kind",
+                });
+            }
+            let capacity = cr.u64()?;
+            if capacity != self.channels[i].capacity {
+                return Err(RestoreError::TopologyMismatch {
+                    context: "channel capacity",
+                });
+            }
+            let training = TrainingOutcome::restore(&mut cr)?;
+            self.channels[i].channel.restore_state(&mut cr)?;
+            if !cr.is_empty() {
+                return Err(RestoreError::Malformed {
+                    context: "trailing bytes in channel section",
+                });
+            }
+            self.channels[i].training = training;
+        }
+
+        self.memory_map = memory_map;
+        self.migration = migration;
+        self.written = written;
+        self.inherited_poison = inherited_poison;
+        self.stats = stats;
+        self.power = power;
+        self.powered = powered;
+        self.power_stats = power_stats;
+        self.nvdimm_armed = nvdimm_armed;
+        self.next_req = next_req;
+        self.outstanding = outstanding;
+        self.route_back = route_back;
+        self.finished_sys = finished_sys;
+        self.mlp_stats = mlp_stats;
+        self.overload = overload;
+        for c in &mut self.channels {
+            c.channel.set_retry_budget(budget.clone());
+        }
+        self.retry_budget = budget;
+        self.breakers = breakers;
+        self.hedge_arms = hedge_arms;
+        self.ov_stats = ov_stats;
+        self.brownout = brownout;
+        self.brownout_saved_scrub = brownout_saved_scrub;
+
+        if has_tracer {
+            let mut tr = img.section("tracer")?;
+            self.tracer.restore_state(&mut tr)?;
+            if !tr.is_empty() {
+                return Err(RestoreError::Malformed {
+                    context: "trailing bytes in tracer section",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2608,5 +3137,120 @@ mod tests {
         assert!(report.data_loss[0].outcome.is_data_loss());
         let (back, _) = sys.load_line(nv_base).unwrap();
         assert_eq!(back, CacheLine::default());
+    }
+
+    /// Rendered metrics minus the `system.snapshot.*` observer
+    /// namespace, which by design differs between a straight run and a
+    /// restored run.
+    fn metrics_sans_snapshot(sys: &Power8System) -> String {
+        sys.metrics()
+            .render()
+            .lines()
+            .filter(|l| !l.contains("system.snapshot."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn snapshot_restore_continue_matches_straight_run() {
+        let boot = || {
+            Power8System::boot(
+                layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+                11,
+            )
+            .unwrap()
+        };
+        let mut straight = boot();
+        straight.enable_tracing(256);
+        // Prefix: mixed stores and pipelined loads, leaving requests
+        // in flight at the cut so the MLP plumbing has to survive.
+        for i in 0..6u64 {
+            straight
+                .store_line(0x10_0000 + i * 128, CacheLine::patterned(i))
+                .unwrap();
+        }
+        let mut pending = Vec::new();
+        for i in 0..4u64 {
+            pending.push(straight.submit_load(0x10_0000 + i * 128).unwrap());
+        }
+        let image = straight.snapshot();
+
+        // Straight leg: drain and keep going.
+        let straight_results: Vec<_> = pending
+            .iter()
+            .map(|&id| straight.wait_req(id).unwrap())
+            .collect();
+        for i in 0..4u64 {
+            straight
+                .store_line(0x20_0000 + i * 128, CacheLine::patterned(100 + i))
+                .unwrap();
+        }
+        let straight_fp = straight.tracer.fingerprint();
+        let straight_metrics = metrics_sans_snapshot(&straight);
+
+        // Restored leg: fresh boot, overlay, same suffix.
+        let mut resumed = boot();
+        resumed.restore(&image).unwrap();
+        assert!(resumed.tracer.is_enabled(), "tracer section restored");
+        let resumed_results: Vec<_> = pending
+            .iter()
+            .map(|&id| resumed.wait_req(id).unwrap())
+            .collect();
+        for i in 0..4u64 {
+            resumed
+                .store_line(0x20_0000 + i * 128, CacheLine::patterned(100 + i))
+                .unwrap();
+        }
+        assert_eq!(straight_results, resumed_results);
+        assert_eq!(straight_fp, resumed.tracer.fingerprint());
+        assert_eq!(straight_metrics, metrics_sans_snapshot(&resumed));
+        assert_eq!(resumed.metrics().counter("system.snapshot.restores"), 1);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_topology() {
+        let mut small = Power8System::boot(
+            layouts::all_cdimm(contutto_centaur::CentaurConfig::optimized(), 1 << 30),
+            3,
+        )
+        .unwrap();
+        let image = small.snapshot();
+        let mut other = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+            3,
+        )
+        .unwrap();
+        let err = other.restore(&image).unwrap_err();
+        assert!(
+            matches!(err, RestoreError::TopologyMismatch { .. }),
+            "got {err:?}"
+        );
+        assert_eq!(
+            other.metrics().counter("system.snapshot.restore_failures"),
+            1
+        );
+    }
+
+    #[test]
+    fn restore_rejects_unknown_section() {
+        let mut sys = Power8System::boot(
+            layouts::one_contutto_six_cdimm(ContuttoConfig::base(), nvdimm_small()),
+            9,
+        )
+        .unwrap();
+        let image = sys.snapshot();
+        let img = SnapshotImage::parse(&image).unwrap();
+        let mut w = SnapshotWriter::new();
+        for name in img.names() {
+            let mut r = img.section(name).unwrap();
+            let payload = r.take(r.remaining()).unwrap().to_vec();
+            w.section(name, payload);
+        }
+        w.section("mystery", vec![1, 2, 3]);
+        let err = sys.restore(&w.finish()).unwrap_err();
+        assert!(
+            matches!(err, RestoreError::UnknownSection { ref section } if section == "mystery"),
+            "got {err:?}"
+        );
     }
 }

@@ -32,6 +32,7 @@ pub mod event;
 pub mod queue;
 pub mod registry;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -40,6 +41,10 @@ pub use event::{EventId, EventQueue};
 pub use queue::DelayQueue;
 pub use registry::{Metric, MetricsRegistry};
 pub use rng::SimRng;
+pub use snapshot::{
+    crc32, Persist, RestoreError, SnapReader, SnapshotImage, SnapshotWriter, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use stats::{Counter, Histogram, LatencyStats, LogHistogram, QuantileOutcome};
 pub use time::{Cycles, Frequency, SimTime};
 pub use trace::{LinkDir, TraceEvent, TraceRecord, Tracer};

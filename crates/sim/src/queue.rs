@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::snapshot::{Persist, RestoreError, SnapReader};
 use crate::time::SimTime;
 
 /// A FIFO whose items become available a fixed or per-item delay after
@@ -140,6 +141,39 @@ impl<T> DelayQueue<T> {
     /// Iterates over `(ready_time, item)` pairs front to back.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
         self.items.iter().map(|(t, item)| (*t, item))
+    }
+}
+
+impl<T: Persist> Persist for DelayQueue<T> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.latency.persist(out);
+        self.capacity.persist(out);
+        self.items.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let latency = SimTime::restore(r)?;
+        let capacity = Option::<usize>::restore(r)?;
+        let items: VecDeque<(SimTime, T)> = VecDeque::restore(r)?;
+        if capacity == Some(0) {
+            return Err(RestoreError::Malformed {
+                context: "delay queue capacity",
+            });
+        }
+        if capacity.is_some_and(|c| items.len() > c)
+            || items
+                .iter()
+                .zip(items.iter().skip(1))
+                .any(|((a, _), (b, _))| a > b)
+        {
+            return Err(RestoreError::Malformed {
+                context: "delay queue ordering",
+            });
+        }
+        Ok(DelayQueue {
+            items,
+            latency,
+            capacity,
+        })
     }
 }
 

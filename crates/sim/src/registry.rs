@@ -24,6 +24,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::snapshot::{Persist, RestoreError, SnapReader};
 use crate::stats::{Counter, Histogram, LatencyStats, LogHistogram, QuantileOutcome};
 
 /// One registered metric.
@@ -205,6 +206,53 @@ impl MetricsRegistry {
             out.push_str(&format!("{name:<width$} = {metric}\n"));
         }
         out
+    }
+}
+
+impl Persist for Metric {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            Metric::Counter(c) => {
+                out.push(0);
+                c.persist(out);
+            }
+            Metric::Latency(l) => {
+                out.push(1);
+                l.persist(out);
+            }
+            Metric::Histogram(h) => {
+                out.push(2);
+                h.persist(out);
+            }
+            Metric::LogHistogram(h) => {
+                out.push(3);
+                h.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(match r.u8()? {
+            0 => Metric::Counter(Counter::restore(r)?),
+            1 => Metric::Latency(LatencyStats::restore(r)?),
+            2 => Metric::Histogram(Histogram::restore(r)?),
+            3 => Metric::LogHistogram(LogHistogram::restore(r)?),
+            _ => {
+                return Err(RestoreError::Malformed {
+                    context: "Metric discriminant",
+                })
+            }
+        })
+    }
+}
+
+impl Persist for MetricsRegistry {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.metrics.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(MetricsRegistry {
+            metrics: BTreeMap::restore(r)?,
+        })
     }
 }
 

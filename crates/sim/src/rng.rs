@@ -79,6 +79,18 @@ impl SimRng {
         Self::seed_from_u64(self.next_u64())
     }
 
+    /// The raw internal state, for snapshotting. Restoring via
+    /// [`SimRng::from_state`] continues the stream exactly where it
+    /// left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured state.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SimRng { s }
+    }
+
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -1,0 +1,913 @@
+//! Versioned, section-framed, CRC-sealed snapshot images.
+//!
+//! A snapshot is the serialized dynamic state of a simulated system:
+//! a small header (magic, format version, section count) followed by
+//! named sections, each sealed by a CRC-32 over its full frame (name,
+//! length and payload). The framing is deliberately dumb — restore
+//! code addresses sections by name and decodes payloads with
+//! [`SnapReader`] — so that corruption anywhere in an image surfaces
+//! as a typed [`RestoreError`], never a panic and never a silently
+//! accepted image:
+//!
+//! * a flipped byte in the header fails the magic, version or header
+//!   CRC check;
+//! * a flipped byte anywhere in a section frame fails that section's
+//!   CRC;
+//! * truncation anywhere — mid-header, mid-frame, or cleanly at a
+//!   section boundary — fails the length or section-count check;
+//! * a validly framed section the restorer does not recognize is
+//!   [`RestoreError::UnknownSection`].
+//!
+//! Payload encoding is via the [`Persist`] trait: fixed-width
+//! little-endian integers, length-prefixed containers, explicit
+//! discriminant bytes for enums. Map/set containers are written in
+//! sorted key order so that identical state always produces identical
+//! bytes (images are themselves part of the determinism contract).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::rng::SimRng;
+use crate::time::{Cycles, Frequency, SimTime};
+
+/// Leading bytes of every snapshot image.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CTSS";
+/// Current image format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 4 + 2 + 4 + 4; // magic + version + count + crc
+
+/// Why an image could not be restored. Every constructor of this type
+/// replaces what would otherwise be a panic or a silent misparse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// The image does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The image was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the image.
+        found: u16,
+        /// Version this build understands.
+        expected: u16,
+    },
+    /// A section frame (name, length or payload) failed its CRC; for
+    /// the fixed header the section name is `"header"`.
+    SectionCrcMismatch {
+        /// Name of the failing section as far as it could be parsed.
+        section: String,
+    },
+    /// The image ends before the advertised data: mid-header,
+    /// mid-frame, mid-payload, or with fewer sections than the header
+    /// counted.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A validly framed section whose name the restorer does not
+    /// recognize (an image from a different layout or a future
+    /// writer).
+    UnknownSection {
+        /// The unrecognized section name.
+        section: String,
+    },
+    /// A required section is absent from an otherwise valid image.
+    MissingSection {
+        /// The absent section name.
+        section: String,
+    },
+    /// A payload decoded to an impossible value (bad discriminant,
+    /// out-of-range index, non-UTF-8 string, ordering violation).
+    Malformed {
+        /// What was malformed.
+        context: &'static str,
+    },
+    /// The restoring system's construction does not match the image
+    /// (different slot population, buffer kind, or capacity).
+    TopologyMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::BadMagic => write!(f, "not a snapshot image (bad magic)"),
+            RestoreError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} (expected {expected})")
+            }
+            RestoreError::SectionCrcMismatch { section } => {
+                write!(f, "section {section:?} failed its CRC check")
+            }
+            RestoreError::Truncated { context } => {
+                write!(f, "image truncated while reading {context}")
+            }
+            RestoreError::UnknownSection { section } => {
+                write!(f, "unknown section {section:?}")
+            }
+            RestoreError::MissingSection { section } => {
+                write!(f, "required section {section:?} is missing")
+            }
+            RestoreError::Malformed { context } => {
+                write!(f, "malformed payload: {context}")
+            }
+            RestoreError::TopologyMismatch { context } => {
+                write!(f, "image does not match this system: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+// ------------------------------------------------------------- CRC-32
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE, reflected) over a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// -------------------------------------------------------- byte reader
+
+/// A bounds-checked cursor over one section payload. Every read is
+/// total: running out of bytes is [`RestoreError::Truncated`], an
+/// impossible value is [`RestoreError::Malformed`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
+        if self.remaining() < n {
+            return Err(RestoreError::Truncated {
+                context: "payload bytes",
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, RestoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, RestoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, RestoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, RestoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, RestoreError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16")))
+    }
+
+    /// Reads a `usize` persisted as `u64`, rejecting values this
+    /// platform cannot hold.
+    pub fn len(&mut self) -> Result<usize, RestoreError> {
+        usize::try_from(self.u64()?).map_err(|_| RestoreError::Malformed {
+            context: "length exceeds usize",
+        })
+    }
+
+    /// Reads a length used to size an allocation, additionally bounded
+    /// by the bytes actually remaining so a corrupt length cannot ask
+    /// for an absurd reservation.
+    fn seq_len(&mut self) -> Result<usize, RestoreError> {
+        let n = self.len()?;
+        if n > self.remaining() {
+            return Err(RestoreError::Truncated {
+                context: "sequence shorter than its length prefix",
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads a `bool` (0 or 1; anything else is malformed).
+    pub fn bool(&mut self) -> Result<bool, RestoreError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(RestoreError::Malformed {
+                context: "bool out of range",
+            }),
+        }
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, RestoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, RestoreError> {
+        let n = self.seq_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| RestoreError::Malformed {
+            context: "string is not UTF-8",
+        })
+    }
+}
+
+// ---------------------------------------------------------- persist
+
+/// State that can be written to and read back from a snapshot payload.
+///
+/// Implementations must round-trip exactly (`restore(persist(x)) ==
+/// x`) and must be deterministic: the same value always produces the
+/// same bytes (unordered containers are therefore persisted in sorted
+/// order).
+pub trait Persist: Sized {
+    /// Appends this value's encoding to `out`.
+    fn persist(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the reader.
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError>;
+}
+
+macro_rules! persist_int {
+    ($ty:ty, $read:ident) => {
+        impl Persist for $ty {
+            fn persist(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+                r.$read()
+            }
+        }
+    };
+}
+
+persist_int!(u8, u8);
+persist_int!(u16, u16);
+persist_int!(u32, u32);
+persist_int!(u64, u64);
+persist_int!(u128, u128);
+
+impl Persist for usize {
+    fn persist(&self, out: &mut Vec<u8>) {
+        (*self as u64).persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        r.len()
+    }
+}
+
+impl Persist for bool {
+    fn persist(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        r.bool()
+    }
+}
+
+impl Persist for f64 {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.to_bits().persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        r.f64()
+    }
+}
+
+impl Persist for String {
+    fn persist(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).persist(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        r.string()
+    }
+}
+
+impl Persist for SimTime {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.as_ps().persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(SimTime::from_ps(r.u64()?))
+    }
+}
+
+impl Persist for Cycles {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.count().persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(Cycles(r.u64()?))
+    }
+}
+
+impl Persist for Frequency {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.period().as_ps().persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let period_ps = r.u64()?;
+        if period_ps == 0 {
+            return Err(RestoreError::Malformed {
+                context: "zero clock period",
+            });
+        }
+        Ok(Frequency::from_period_ps(period_ps))
+    }
+}
+
+impl Persist for SimRng {
+    fn persist(&self, out: &mut Vec<u8>) {
+        for word in self.state() {
+            word.persist(out);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(SimRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]))
+    }
+}
+
+impl<const N: usize> Persist for [u8; N] {
+    fn persist(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(r.take(N)?.try_into().expect("exact length"))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.persist(out);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::restore(r)?)),
+            _ => Err(RestoreError::Malformed {
+                context: "Option discriminant",
+            }),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).persist(out);
+        for item in self {
+            item.persist(out);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let n = r.seq_len()?;
+        let mut v = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            v.push(T::restore(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Persist> Persist for VecDeque<T> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).persist(out);
+        for item in self {
+            item.persist(out);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(Vec::restore(r)?.into())
+    }
+}
+
+impl<K: Persist + Ord, V: Persist> Persist for BTreeMap<K, V> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).persist(out);
+        for (k, v) in self {
+            k.persist(out);
+            v.persist(out);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let n = r.seq_len()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::restore(r)?;
+            let v = V::restore(r)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Persist + Ord> Persist for BTreeSet<T> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).persist(out);
+        for item in self {
+            item.persist(out);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let n = r.seq_len()?;
+        let mut set = BTreeSet::new();
+        for _ in 0..n {
+            set.insert(T::restore(r)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+        self.1.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok((A::restore(r)?, B::restore(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+        self.1.persist(out);
+        self.2.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok((A::restore(r)?, B::restore(r)?, C::restore(r)?))
+    }
+}
+
+/// Persists a `HashMap` deterministically by writing entries in sorted
+/// key order. (There is deliberately no `Persist for HashMap` — going
+/// through this helper makes the sorting explicit at the call site.)
+pub fn persist_sorted_map<K, V>(map: &std::collections::HashMap<K, V>, out: &mut Vec<u8>)
+where
+    K: Persist + Ord + std::hash::Hash + Clone,
+    V: Persist,
+{
+    let mut keys: Vec<&K> = map.keys().collect();
+    keys.sort();
+    (keys.len() as u64).persist(out);
+    for k in keys {
+        k.persist(out);
+        map[k].persist(out);
+    }
+}
+
+/// Restores a `HashMap` written by [`persist_sorted_map`].
+pub fn restore_map<K, V>(
+    r: &mut SnapReader<'_>,
+) -> Result<std::collections::HashMap<K, V>, RestoreError>
+where
+    K: Persist + Eq + std::hash::Hash,
+    V: Persist,
+{
+    let n = r.seq_len()?;
+    let mut map = std::collections::HashMap::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = K::restore(r)?;
+        let v = V::restore(r)?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+// ---------------------------------------------------- image framing
+
+/// Builds a snapshot image: header, then sections in the order added.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Adds a named section with an already-built payload.
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) {
+        self.sections.push((name.to_owned(), payload));
+    }
+
+    /// Adds a named section, building the payload in a closure.
+    pub fn section_with(&mut self, name: &str, build: impl FnOnce(&mut Vec<u8>)) {
+        let mut payload = Vec::new();
+        build(&mut payload);
+        self.section(name, payload);
+    }
+
+    /// Seals the image: header (magic, version, section count, header
+    /// CRC) followed by each section's CRC-sealed frame.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        for (name, payload) in &self.sections {
+            let mut frame = Vec::with_capacity(2 + name.len() + 8 + payload.len());
+            frame.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            frame.extend_from_slice(name.as_bytes());
+            frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            frame.extend_from_slice(payload);
+            let crc = crc32(&frame);
+            out.extend_from_slice(&crc.to_le_bytes());
+            out.extend_from_slice(&frame);
+        }
+        out
+    }
+}
+
+/// A parsed snapshot image: validated header and CRC-checked sections,
+/// in file order.
+#[derive(Debug)]
+pub struct SnapshotImage<'a> {
+    sections: Vec<(String, &'a [u8])>,
+}
+
+impl<'a> SnapshotImage<'a> {
+    /// Parses and validates an image. Every failure is typed; this
+    /// function never panics on any input byte string.
+    pub fn parse(image: &'a [u8]) -> Result<Self, RestoreError> {
+        if image.len() < 4 {
+            return Err(RestoreError::Truncated { context: "header" });
+        }
+        if image[0..4] != SNAPSHOT_MAGIC {
+            return Err(RestoreError::BadMagic);
+        }
+        if image.len() < HEADER_LEN {
+            return Err(RestoreError::Truncated { context: "header" });
+        }
+        let version = u16::from_le_bytes(image[4..6].try_into().expect("2"));
+        if version != SNAPSHOT_VERSION {
+            return Err(RestoreError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes(image[6..10].try_into().expect("4"));
+        let header_crc = u32::from_le_bytes(image[10..14].try_into().expect("4"));
+        if crc32(&image[0..10]) != header_crc {
+            return Err(RestoreError::SectionCrcMismatch {
+                section: "header".to_owned(),
+            });
+        }
+        let mut sections = Vec::with_capacity(count.min(1 << 12) as usize);
+        let mut pos = HEADER_LEN;
+        for _ in 0..count {
+            if image.len() - pos < 4 {
+                return Err(RestoreError::Truncated {
+                    context: "section CRC",
+                });
+            }
+            let crc = u32::from_le_bytes(image[pos..pos + 4].try_into().expect("4"));
+            pos += 4;
+            let frame_start = pos;
+            if image.len() - pos < 2 {
+                return Err(RestoreError::Truncated {
+                    context: "section name length",
+                });
+            }
+            let name_len = u16::from_le_bytes(image[pos..pos + 2].try_into().expect("2")) as usize;
+            pos += 2;
+            if image.len() - pos < name_len {
+                return Err(RestoreError::Truncated {
+                    context: "section name",
+                });
+            }
+            let name_bytes = &image[pos..pos + name_len];
+            pos += name_len;
+            if image.len() - pos < 8 {
+                return Err(RestoreError::Truncated {
+                    context: "section payload length",
+                });
+            }
+            let payload_len = u64::from_le_bytes(image[pos..pos + 8].try_into().expect("8"));
+            pos += 8;
+            let payload_len =
+                usize::try_from(payload_len).map_err(|_| RestoreError::Malformed {
+                    context: "section payload length exceeds usize",
+                })?;
+            if image.len() - pos < payload_len {
+                return Err(RestoreError::Truncated {
+                    context: "section payload",
+                });
+            }
+            let payload = &image[pos..pos + payload_len];
+            pos += payload_len;
+            let name = match std::str::from_utf8(name_bytes) {
+                Ok(name) => name.to_owned(),
+                Err(_) => {
+                    // The CRC verdict is more precise than "bad UTF-8":
+                    // a corrupted name fails its seal first.
+                    return if crc32(&image[frame_start..pos]) != crc {
+                        Err(RestoreError::SectionCrcMismatch {
+                            section: String::from_utf8_lossy(name_bytes).into_owned(),
+                        })
+                    } else {
+                        Err(RestoreError::Malformed {
+                            context: "section name is not UTF-8",
+                        })
+                    };
+                }
+            };
+            if crc32(&image[frame_start..pos]) != crc {
+                return Err(RestoreError::SectionCrcMismatch { section: name });
+            }
+            sections.push((name, payload));
+        }
+        if pos != image.len() {
+            return Err(RestoreError::Malformed {
+                context: "trailing bytes after last section",
+            });
+        }
+        Ok(SnapshotImage { sections })
+    }
+
+    /// Section names in file order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when the image has no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// A reader over the named section's payload.
+    pub fn section(&self, name: &str) -> Result<SnapReader<'a>, RestoreError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, payload)| SnapReader::new(payload))
+            .ok_or_else(|| RestoreError::MissingSection {
+                section: name.to_owned(),
+            })
+    }
+
+    /// Byte offsets (into the original image) of every section
+    /// boundary: the start of each frame and the end of the image.
+    /// Used by corruption fuzzing to truncate exactly at boundaries.
+    pub fn boundaries(image: &[u8]) -> Vec<usize> {
+        let mut cuts = vec![HEADER_LEN.min(image.len())];
+        if let Ok(parsed) = SnapshotImage::parse(image) {
+            let mut pos = HEADER_LEN;
+            for (name, payload) in &parsed.sections {
+                pos += 4 + 2 + name.len() + 8 + payload.len();
+                cuts.push(pos);
+            }
+        }
+        cuts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section_with("alpha", |out| {
+            42u64.persist(out);
+            "hello".to_owned().persist(out);
+        });
+        w.section_with("beta", |out| {
+            vec![1u32, 2, 3].persist(out);
+        });
+        w.finish()
+    }
+
+    #[test]
+    fn image_round_trips() {
+        let image = sample_image();
+        let parsed = SnapshotImage::parse(&image).expect("valid image");
+        assert_eq!(parsed.names().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+        let mut r = parsed.section("alpha").expect("alpha");
+        assert_eq!(u64::restore(&mut r).unwrap(), 42);
+        assert_eq!(String::restore(&mut r).unwrap(), "hello");
+        assert!(r.is_empty());
+        let mut r = parsed.section("beta").expect("beta");
+        assert_eq!(Vec::<u32>::restore(&mut r).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let image = sample_image();
+        let parsed = SnapshotImage::parse(&image).unwrap();
+        assert_eq!(
+            parsed.section("gamma").unwrap_err(),
+            RestoreError::MissingSection {
+                section: "gamma".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut image = sample_image();
+        image[0] ^= 0xFF;
+        assert_eq!(
+            SnapshotImage::parse(&image).unwrap_err(),
+            RestoreError::BadMagic
+        );
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut image = sample_image();
+        image[4] = SNAPSHOT_VERSION as u8 + 1;
+        assert!(matches!(
+            SnapshotImage::parse(&image).unwrap_err(),
+            RestoreError::VersionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn header_count_flip_fails_header_crc() {
+        let mut image = sample_image();
+        image[6] ^= 0x01;
+        assert_eq!(
+            SnapshotImage::parse(&image).unwrap_err(),
+            RestoreError::SectionCrcMismatch {
+                section: "header".into()
+            }
+        );
+    }
+
+    #[test]
+    fn every_payload_flip_fails_some_check() {
+        let image = sample_image();
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut bad = image.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    SnapshotImage::parse(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let image = sample_image();
+        for cut in 0..image.len() {
+            let err = SnapshotImage::parse(&image[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    RestoreError::Truncated { .. }
+                        | RestoreError::SectionCrcMismatch { .. }
+                        | RestoreError::BadMagic
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundaries_cover_all_sections() {
+        let image = sample_image();
+        let cuts = SnapshotImage::boundaries(&image);
+        assert_eq!(cuts.len(), 3); // header end + 2 section ends
+        assert_eq!(*cuts.last().unwrap(), image.len());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut out = Vec::new();
+        let map: BTreeMap<u64, String> = [(3, "c".to_owned()), (1, "a".to_owned())]
+            .into_iter()
+            .collect();
+        map.persist(&mut out);
+        let set: BTreeSet<u32> = [5, 2, 9].into_iter().collect();
+        set.persist(&mut out);
+        let opt: Option<(u8, bool)> = Some((7, true));
+        opt.persist(&mut out);
+        let dq: VecDeque<u16> = [10u16, 20].into_iter().collect();
+        dq.persist(&mut out);
+        let arr: [u8; 4] = [9, 8, 7, 6];
+        arr.persist(&mut out);
+        (-0.5f64).persist(&mut out);
+        SimTime::from_ns(77).persist(&mut out);
+
+        let mut r = SnapReader::new(&out);
+        assert_eq!(BTreeMap::<u64, String>::restore(&mut r).unwrap(), map);
+        assert_eq!(BTreeSet::<u32>::restore(&mut r).unwrap(), set);
+        assert_eq!(Option::<(u8, bool)>::restore(&mut r).unwrap(), opt);
+        assert_eq!(VecDeque::<u16>::restore(&mut r).unwrap(), dq);
+        assert_eq!(<[u8; 4]>::restore(&mut r).unwrap(), arr);
+        assert_eq!(f64::restore(&mut r).unwrap(), -0.5);
+        assert_eq!(SimTime::restore(&mut r).unwrap(), SimTime::from_ns(77));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hashmap_helper_is_sorted_and_round_trips() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(9u64, 1u32);
+        map.insert(1u64, 2u32);
+        let mut a = Vec::new();
+        persist_sorted_map(&map, &mut a);
+        let mut b = Vec::new();
+        persist_sorted_map(&map.clone(), &mut b);
+        assert_eq!(a, b, "encoding must not depend on hash order");
+        let mut r = SnapReader::new(&a);
+        let back: std::collections::HashMap<u64, u32> = restore_map(&mut r).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn rng_round_trips_mid_stream() {
+        let mut rng = SimRng::seed_from_u64(77);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let mut out = Vec::new();
+        rng.persist(&mut out);
+        let mut r = SnapReader::new(&out);
+        let mut back = SimRng::restore(&mut r).unwrap();
+        assert_eq!(back.next_u64(), rng.next_u64());
+        assert_eq!(back.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn truncated_payload_reads_are_typed() {
+        let mut out = Vec::new();
+        1_000_000u64.persist(&mut out); // absurd length prefix
+        let mut r = SnapReader::new(&out);
+        assert!(matches!(
+            Vec::<u64>::restore(&mut r),
+            Err(RestoreError::Truncated { .. })
+        ));
+    }
+}

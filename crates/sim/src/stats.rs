@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use crate::snapshot::{Persist, RestoreError, SnapReader};
 use crate::time::SimTime;
 
 /// A simple named monotonic counter.
@@ -496,6 +497,91 @@ impl fmt::Display for LogHistogram {
             self.quantile(0.999),
             self.max,
         )
+    }
+}
+
+impl Persist for Counter {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.value.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(Counter { value: r.u64()? })
+    }
+}
+
+impl Persist for LatencyStats {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.count.persist(out);
+        self.sum_ps.persist(out);
+        self.min.persist(out);
+        self.max.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        Ok(LatencyStats {
+            count: r.u64()?,
+            sum_ps: r.u128()?,
+            min: Option::restore(r)?,
+            max: Option::restore(r)?,
+        })
+    }
+}
+
+impl Persist for Histogram {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.bucket_width.persist(out);
+        self.buckets.persist(out);
+        self.overflow.persist(out);
+        self.count.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let bucket_width = r.u64()?;
+        let buckets = Vec::restore(r)?;
+        if bucket_width == 0 || buckets.is_empty() {
+            return Err(RestoreError::Malformed {
+                context: "histogram shape",
+            });
+        }
+        Ok(Histogram {
+            bucket_width,
+            buckets,
+            overflow: r.u64()?,
+            count: r.u64()?,
+        })
+    }
+}
+
+impl Persist for LogHistogram {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.sub_bits.persist(out);
+        self.buckets.persist(out);
+        self.count.persist(out);
+        self.sum.persist(out);
+        self.min.persist(out);
+        self.max.persist(out);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, RestoreError> {
+        let sub_bits = r.u32()?;
+        if !(2..=16).contains(&sub_bits) {
+            return Err(RestoreError::Malformed {
+                context: "log-histogram precision",
+            });
+        }
+        let buckets: Vec<u64> = Vec::restore(r)?;
+        let n = 1usize << sub_bits;
+        let majors = 64 - sub_bits as usize;
+        if buckets.len() != n + majors * (n / 2) {
+            return Err(RestoreError::Malformed {
+                context: "log-histogram bucket count",
+            });
+        }
+        Ok(LogHistogram {
+            sub_bits,
+            buckets,
+            count: r.u64()?,
+            sum: r.u128()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
     }
 }
 

@@ -32,6 +32,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::snapshot::Persist;
 use crate::time::SimTime;
 
 /// Direction a DMI frame travels: host→buffer is downstream, buffer→host
@@ -190,6 +191,11 @@ pub enum TraceEvent {
     /// A per-channel circuit breaker changed state (`open` = tripped,
     /// `!open` = closed again after successful probes).
     BreakerTransition { slot: usize, open: bool },
+    /// An event carried across a snapshot/restore boundary as its
+    /// canonical rendered text (everything after the timestamp
+    /// prefix). Re-rendering a restored ring is byte-identical to the
+    /// original because this variant displays the text verbatim.
+    Restored { line: String },
 }
 
 impl fmt::Display for TraceEvent {
@@ -290,6 +296,7 @@ impl fmt::Display for TraceEvent {
             BreakerTransition { slot, open } => {
                 write!(f, "breaker-transition slot={slot} open={open}")
             }
+            Restored { line } => f.write_str(line),
         }
     }
 }
@@ -470,6 +477,97 @@ impl Tracer {
         })
     }
 
+    /// Serializes the full trace state — clock, ring capacity, totals,
+    /// fingerprint and the retained events (as rendered text, so no
+    /// event structure needs to survive the image). No-op encoding is
+    /// not provided for a disabled tracer; callers skip the section.
+    pub fn snapshot_state(&self, out: &mut Vec<u8>) {
+        let inner = self.inner.as_ref().expect("snapshot of a disabled tracer");
+        let ring = inner.ring.borrow();
+        inner.now.get().persist(out);
+        (ring.capacity as u64).persist(out);
+        ring.total.persist(out);
+        ring.dropped.persist(out);
+        ring.fingerprint.persist(out);
+        (ring.events.len() as u64).persist(out);
+        for record in &ring.events {
+            record.at.persist(out);
+            record.event.to_string().persist(out);
+        }
+    }
+
+    /// Rebuilds trace state from [`Tracer::snapshot_state`] bytes.
+    ///
+    /// When this handle is already enabled the state is overlaid into
+    /// the existing shared ring, so every clone distributed through the
+    /// system observes the restored state; otherwise a fresh ring is
+    /// created. Restored events render byte-identically to the
+    /// originals, and the fingerprint continues from the restored
+    /// accumulator, so a resumed run's fingerprint equals the straight
+    /// run's.
+    pub fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::RestoreError> {
+        use crate::snapshot::RestoreError;
+        let now = SimTime::restore(r)?;
+        let capacity = r.len()?;
+        if capacity == 0 {
+            return Err(RestoreError::Malformed {
+                context: "trace ring capacity",
+            });
+        }
+        let total = r.u64()?;
+        let dropped = r.u64()?;
+        let fingerprint = r.u64()?;
+        let count = r.len()?;
+        if count > capacity {
+            return Err(RestoreError::Malformed {
+                context: "trace ring holds more than its capacity",
+            });
+        }
+        let mut events = VecDeque::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let at = SimTime::restore(r)?;
+            let line = String::restore(r)?;
+            events.push_back(TraceRecord {
+                at,
+                event: TraceEvent::Restored { line },
+            });
+        }
+        match &self.inner {
+            Some(inner) => {
+                inner.now.set(now);
+                let mut ring = inner.ring.borrow_mut();
+                ring.capacity = capacity;
+                ring.events = events;
+                ring.total = total;
+                ring.dropped = dropped;
+                ring.fingerprint = fingerprint;
+            }
+            None => {
+                self.inner = Some(Rc::new(TracerShared {
+                    now: Cell::new(now),
+                    ring: RefCell::new(TraceRing {
+                        capacity,
+                        events,
+                        total,
+                        dropped,
+                        fingerprint,
+                    }),
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.ring.borrow().capacity)
+    }
+
     /// Renders the retained trace as text: a header with totals and the
     /// fingerprint, then one line per event. Byte-identical across
     /// same-seed runs.
@@ -536,6 +634,47 @@ mod tests {
         assert_eq!(a.total_recorded(), 2);
         assert_eq!(b.total_recorded(), 2);
         assert_eq!(a.snapshot()[0].at, SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_render_and_fingerprint() {
+        let original = Tracer::ring(4);
+        original.advance(SimTime::from_ns(3));
+        for tag in 0..6 {
+            original.record(TraceEvent::TagAcquire { tag });
+        }
+        let mut bytes = Vec::new();
+        original.snapshot_state(&mut bytes);
+
+        // Restore into a disabled handle: identical render, totals and
+        // fingerprint.
+        let mut restored = Tracer::off();
+        restored
+            .restore_state(&mut crate::snapshot::SnapReader::new(&bytes))
+            .expect("restore");
+        assert_eq!(restored.render(), original.render());
+        assert_eq!(restored.now(), original.now());
+        assert_eq!(restored.capacity(), 4);
+        assert_eq!(restored.dropped(), original.dropped());
+
+        // Recording continues the fingerprint stream exactly.
+        let next = TraceEvent::TagRelease { tag: 0 };
+        original.record(next.clone());
+        restored.record(next);
+        assert_eq!(restored.fingerprint(), original.fingerprint());
+        assert_eq!(restored.render(), original.render());
+
+        // Restore also overlays into an already-enabled shared ring.
+        let mut shared = Tracer::ring(16);
+        let peer = shared.clone();
+        shared.record(TraceEvent::TagExhausted);
+        let mut bytes = Vec::new();
+        original.snapshot_state(&mut bytes);
+        shared
+            .restore_state(&mut crate::snapshot::SnapReader::new(&bytes))
+            .expect("overlay restore");
+        assert_eq!(peer.render(), original.render());
+        assert_eq!(peer.fingerprint(), original.fingerprint());
     }
 
     #[test]

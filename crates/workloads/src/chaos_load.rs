@@ -67,6 +67,11 @@ pub enum StoreOutcome {
     /// Its in-flight record was wiped by a power cut; no ack was ever
     /// given.
     Orphaned,
+    /// Submitted in a timeline the hook later abandoned by restoring
+    /// an earlier snapshot. The store un-happened: its value must
+    /// *not* be visible afterwards (seeing it is a resurrection), and
+    /// any ack it collected before the rewind does not stand.
+    RolledBack,
 }
 
 /// One store, as the driver saw it. The oracle's unit of evidence.
@@ -101,6 +106,46 @@ pub struct ChaosTick {
     pub resolved: u64,
     /// Global simulated time.
     pub now: SimTime,
+    /// Ledger length so far (stores submitted). A hook snapshotting
+    /// the system records this alongside the image so a later rewind
+    /// can tell the driver where the surviving ledger ends.
+    pub stores: u64,
+}
+
+/// The checkpoint a hook just rewound to by restoring a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewindPoint {
+    /// Simulated time the restored snapshot was taken at.
+    pub at: SimTime,
+    /// Ledger length ([`ChaosTick::stores`]) when it was taken.
+    pub stores: u64,
+}
+
+/// What the per-tick hook decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HookVerdict {
+    /// New inter-submit gap (a traffic-rate step), if any.
+    pub new_gap: Option<SimTime>,
+    /// Set when the hook restored an earlier snapshot of the system:
+    /// the driver demotes the abandoned timeline's ledger entries and
+    /// realigns its clocks to the rewound present.
+    pub rewound: Option<RewindPoint>,
+}
+
+impl HookVerdict {
+    /// Change nothing this tick.
+    pub const KEEP: HookVerdict = HookVerdict {
+        new_gap: None,
+        rewound: None,
+    };
+
+    /// A traffic-rate step to `gap`.
+    pub fn gap(gap: SimTime) -> HookVerdict {
+        HookVerdict {
+            new_gap: Some(gap),
+            rewound: None,
+        }
+    }
 }
 
 /// What a run produced: counters plus the full store ledger.
@@ -173,11 +218,20 @@ impl ChaosLoad {
 
     /// Runs the load. `hook` fires once per engine iteration *before*
     /// any submission; it may mutate the system (that is the point)
-    /// and may return a new inter-submit gap to model a traffic-rate
-    /// step. Returning `None` keeps the current gap.
+    /// and returns a [`HookVerdict`]: a new inter-submit gap to model
+    /// a traffic-rate step, and/or a [`RewindPoint`] after restoring
+    /// an earlier snapshot. [`HookVerdict::KEEP`] changes nothing.
+    ///
+    /// On a rewind every in-flight request is resolved on the spot
+    /// (its completion belongs to a timeline that no longer exists),
+    /// ledger entries submitted after the checkpoint become
+    /// [`StoreOutcome::RolledBack`], acks collected after the
+    /// checkpoint are demoted to [`StoreOutcome::Orphaned`] (the
+    /// restored system re-executes those writes, so they may or may
+    /// not land again), and pacing restarts from the rewound clock.
     pub fn run<H>(&self, sys: &mut Power8System, mut hook: H) -> ChaosLoadReport
     where
-        H: FnMut(&mut Power8System, &ChaosTick) -> Option<SimTime>,
+        H: FnMut(&mut Power8System, &ChaosTick) -> HookVerdict,
     {
         sys.set_mlp_window(self.cfg.mlp_window);
         let mut rng = SimRng::seed_from_stream(self.cfg.seed, 0x006C_0AD5);
@@ -196,14 +250,46 @@ impl ChaosLoad {
                 step: submitted,
                 resolved: completed + errors + orphaned,
                 now: sys.now(),
+                stores: ledger.len() as u64,
             };
-            if let Some(new_gap) = hook(sys, &tick) {
+            let verdict = hook(sys, &tick);
+            if let Some(new_gap) = verdict.new_gap {
                 gap = new_gap.max(SimTime::from_ps(1));
                 next_submit = next_submit.min(sys.now() + gap);
             }
-            // A fault hook may have rebooted the system and moved some
-            // channel clocks; keep every local clock at the global now.
-            sys.advance_to(tick.now.max(sys.now()));
+            if let Some(rp) = verdict.rewound {
+                // The post-checkpoint timeline is abandoned: no
+                // completion for anything in flight can ever arrive
+                // (the restored system's re-completions carry request
+                // ids we either already resolved or never issued).
+                for (_, kind) in std::mem::take(&mut pending) {
+                    orphaned += 1;
+                    if let PendingKind::Store(idx) = kind {
+                        ledger[idx].outcome = if idx as u64 >= rp.stores {
+                            StoreOutcome::RolledBack
+                        } else {
+                            StoreOutcome::Orphaned
+                        };
+                    }
+                }
+                for (idx, ev) in ledger.iter_mut().enumerate() {
+                    if idx as u64 >= rp.stores {
+                        ev.outcome = StoreOutcome::RolledBack;
+                    } else if matches!(ev.outcome, StoreOutcome::Acked(t) if t > rp.at) {
+                        // Acked in the abandoned timeline: the write
+                        // is in flight again and may or may not land.
+                        ev.outcome = StoreOutcome::Orphaned;
+                    }
+                }
+                // Pacing restarts from the rewound clock — do NOT
+                // drag the restored system forward to abandoned time.
+                next_submit = sys.now() + gap;
+            } else {
+                // A fault hook may have rebooted the system and moved
+                // some channel clocks; keep every local clock at the
+                // global now.
+                sys.advance_to(tick.now.max(sys.now()));
+            }
             while submitted < self.cfg.requests && next_submit <= sys.now() {
                 let key = rng.gen_below(self.addrs.len() as u64);
                 let phys = self.addrs[key as usize];
@@ -319,7 +405,7 @@ mod tests {
     fn every_request_resolves_and_the_ledger_matches() {
         let mut sys = boot();
         let load = ChaosLoad::new(quick(3), &sys);
-        let r = load.run(&mut sys, |_, _| None);
+        let r = load.run(&mut sys, |_, _| HookVerdict::KEEP);
         assert_eq!(r.submitted, 96);
         assert_eq!(r.completed + r.errors + r.orphaned, 96);
         assert_eq!(r.errors, 0);
@@ -334,9 +420,9 @@ mod tests {
     #[test]
     fn same_seed_runs_are_identical() {
         let mut a = boot();
-        let ra = ChaosLoad::new(quick(17), &a).run(&mut a, |_, _| None);
+        let ra = ChaosLoad::new(quick(17), &a).run(&mut a, |_, _| HookVerdict::KEEP);
         let mut b = boot();
-        let rb = ChaosLoad::new(quick(17), &b).run(&mut b, |_, _| None);
+        let rb = ChaosLoad::new(quick(17), &b).run(&mut b, |_, _| HookVerdict::KEEP);
         assert_eq!(ra, rb);
     }
 
@@ -346,7 +432,7 @@ mod tests {
         // acked token must be exactly what a load returns.
         let mut sys = boot();
         let load = ChaosLoad::new(quick(29), &sys);
-        let r = load.run(&mut sys, |_, _| None);
+        let r = load.run(&mut sys, |_, _| HookVerdict::KEEP);
         let last = r.last_acked_by_addr();
         assert!(!last.is_empty());
         for (phys, ev) in last {
@@ -358,11 +444,12 @@ mod tests {
     #[test]
     fn hook_rate_step_changes_pacing() {
         let mut slow = boot();
-        let r_slow = ChaosLoad::new(quick(5), &slow).run(&mut slow, |_, tick| {
-            (tick.step == 8).then(|| SimTime::from_us(2))
+        let r_slow = ChaosLoad::new(quick(5), &slow).run(&mut slow, |_, tick| HookVerdict {
+            new_gap: (tick.step == 8).then(|| SimTime::from_us(2)),
+            rewound: None,
         });
         let mut fast = boot();
-        let r_fast = ChaosLoad::new(quick(5), &fast).run(&mut fast, |_, _| None);
+        let r_fast = ChaosLoad::new(quick(5), &fast).run(&mut fast, |_, _| HookVerdict::KEEP);
         assert_eq!(r_slow.submitted, r_fast.submitted);
         assert!(
             r_slow.finished_at > r_fast.finished_at,
@@ -391,7 +478,7 @@ mod tests {
                 sys.reboot(quiet + SimTime::from_us(5))
                     .expect("reboot after cut");
             }
-            None
+            HookVerdict::KEEP
         });
         assert!(r.orphaned > 0, "flood + cut must orphan something");
         assert_eq!(
@@ -402,5 +489,57 @@ mod tests {
             r.orphaned
         );
         assert!(r.ledger.iter().all(|e| e.outcome != StoreOutcome::Pending));
+    }
+
+    #[test]
+    fn rewind_demotes_the_abandoned_timeline() {
+        let mut sys = boot();
+        let cfg = ChaosLoadConfig {
+            requests: 64,
+            read_fraction: 0.0,
+            ..quick(21)
+        };
+        let load = ChaosLoad::new(cfg, &sys);
+        let mut checkpoint: Option<(Vec<u8>, RewindPoint)> = None;
+        let mut rewound = false;
+        let r = load.run(&mut sys, |sys, tick| {
+            if checkpoint.is_none() && tick.step >= 8 {
+                checkpoint = Some((
+                    sys.snapshot(),
+                    RewindPoint {
+                        at: sys.now(),
+                        stores: tick.stores,
+                    },
+                ));
+                return HookVerdict::KEEP;
+            }
+            if !rewound && tick.step >= 32 {
+                if let Some((image, rp)) = &checkpoint {
+                    rewound = true;
+                    sys.restore(image).expect("in-place restore");
+                    return HookVerdict {
+                        new_gap: None,
+                        rewound: Some(*rp),
+                    };
+                }
+            }
+            HookVerdict::KEEP
+        });
+        assert!(rewound, "the hook must have fired");
+        let rolled_back = r
+            .ledger
+            .iter()
+            .filter(|e| e.outcome == StoreOutcome::RolledBack)
+            .count();
+        assert!(rolled_back > 0, "stores past the checkpoint must roll back");
+        assert!(r.ledger.iter().all(|e| e.outcome != StoreOutcome::Pending));
+        // Post-rewind stores resubmit and must still resolve cleanly.
+        let cp_stores = checkpoint.expect("taken").1.stores;
+        assert!(
+            r.ledger[cp_stores as usize..]
+                .iter()
+                .any(|e| matches!(e.outcome, StoreOutcome::Acked(_))),
+            "the surviving timeline must make progress after the rewind"
+        );
     }
 }

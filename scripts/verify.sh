@@ -57,6 +57,14 @@ echo "==> chaos campaign (smoke)"
 # CHAOS_repro_*.json reproducers.
 cargo run -p contutto-bench --release --bin faults --quiet -- --chaos --smoke
 
+echo "==> checkpoint/restore campaign (smoke)"
+# Writes BENCH_checkpoint.json; fails if a restored system's
+# fingerprint or metrics diverge from its source, if the prefix-reused
+# power sweep is not byte-identical to the straight sweep, if the
+# structural store skip did not happen, or on a >20% snapshot/restore
+# throughput regression vs the last same-image-size report.
+cargo run -p contutto-bench --release --bin faults --quiet -- --checkpoint --smoke
+
 echo "==> mlp pipeline benchmark (smoke)"
 # Writes BENCH_pipeline.json; fails on broken determinism, a depth-16
 # speedup under 4x, or a >20% throughput regression vs the last report.

@@ -312,3 +312,117 @@ fn fft_roundtrip_via_inverse_energy() {
         }
     }
 }
+
+// ------------------------------------------------ snapshot corruption
+
+/// A booted system with enough activity that every snapshot section
+/// has meat: tracing on, stores landed, pipelined loads in flight.
+fn snapshot_testbed() -> (contutto_system::power8::system::Power8System, Vec<u8>) {
+    use contutto_system::contutto::{ContuttoConfig, MemoryPopulation};
+    use contutto_system::power8::firmware::layouts;
+    use contutto_system::power8::system::Power8System;
+
+    let mut sys = Power8System::boot(
+        layouts::one_contutto_six_cdimm(ContuttoConfig::base(), MemoryPopulation::dram_8gb()),
+        23,
+    )
+    .expect("boots");
+    sys.enable_tracing(256);
+    for i in 0..6u64 {
+        sys.store_line(0x10_0000 + i * 128, CacheLine::patterned(900 + i))
+            .unwrap();
+    }
+    for i in 0..3u64 {
+        sys.submit_load(0x10_0000 + i * 128).unwrap();
+    }
+    let image = sys.snapshot();
+    (sys, image)
+}
+
+#[test]
+fn snapshot_truncation_at_every_boundary_is_a_typed_error() {
+    use contutto_system::power8::system::Power8System;
+    use contutto_system::sim::snapshot::SnapshotImage;
+
+    let (_, image) = snapshot_testbed();
+    let boundaries = SnapshotImage::boundaries(&image);
+    assert!(boundaries.len() > 2, "multi-section image");
+    let mut rng = SimRng::seed_from_u64(0x0BAD_C0DE);
+    let mut cuts: Vec<usize> = boundaries
+        .iter()
+        .copied()
+        .filter(|&b| b < image.len())
+        .collect();
+    // Plus mid-frame cuts: truncation must be typed anywhere, not
+    // just on the seams.
+    for _ in 0..32 {
+        cuts.push(rng.gen_index(image.len()));
+    }
+    for cut in cuts {
+        let mut victim = Power8System::boot(
+            contutto_system::power8::firmware::layouts::one_contutto_six_cdimm(
+                contutto_system::contutto::ContuttoConfig::base(),
+                contutto_system::contutto::MemoryPopulation::dram_8gb(),
+            ),
+            23,
+        )
+        .expect("boots");
+        let err = victim
+            .restore(&image[..cut])
+            .expect_err("truncated image must never restore");
+        // Any typed error is acceptable; reaching here at all proves
+        // no panic. The Display impl must render, too.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn snapshot_bitflip_sweep_is_a_typed_error() {
+    use contutto_system::power8::system::Power8System;
+    use contutto_system::sim::snapshot::RestoreError;
+
+    let (_, image) = snapshot_testbed();
+    let mut rng = SimRng::seed_from_u64(0x0F11_F1A9);
+    // Every header byte, then a sampled sweep over the body: one bit
+    // per chosen byte. CRC32 catches every single-bit flip, so the
+    // only acceptable outcomes are typed errors — never Ok, never a
+    // panic.
+    let mut positions: Vec<usize> = (0..14.min(image.len())).collect();
+    for _ in 0..96 {
+        positions.push(rng.gen_index(image.len()));
+    }
+    for pos in positions {
+        let bit = rng.gen_index(8) as u8;
+        let mut corrupt = image.clone();
+        corrupt[pos] ^= 1 << bit;
+        let mut victim = Power8System::boot(
+            contutto_system::power8::firmware::layouts::one_contutto_six_cdimm(
+                contutto_system::contutto::ContuttoConfig::base(),
+                contutto_system::contutto::MemoryPopulation::dram_8gb(),
+            ),
+            23,
+        )
+        .expect("boots");
+        let err = victim
+            .restore(&corrupt)
+            .expect_err("corrupt image must never be silently accepted");
+        match pos {
+            0..=3 => assert!(
+                matches!(err, RestoreError::BadMagic),
+                "magic flip at {pos}: {err:?}"
+            ),
+            4..=5 => assert!(
+                matches!(err, RestoreError::VersionMismatch { .. }),
+                "version flip at {pos}: {err:?}"
+            ),
+            6..=13 => assert!(
+                matches!(err, RestoreError::SectionCrcMismatch { ref section } if section == "header")
+                    || matches!(err, RestoreError::Truncated { .. }),
+                "header flip at {pos}: {err:?}"
+            ),
+            _ => {
+                let _ = err.to_string();
+            }
+        }
+    }
+}
